@@ -1,0 +1,93 @@
+//! Criterion microbenches of the in-switch accelerator datapath: ingest
+//! throughput, full-round aggregation, and the cost of the on-the-fly
+//! pipeline bookkeeping.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use iswitch_core::{
+    num_quant_segments, quantize_gradient, segment_gradient, Accelerator, AcceleratorConfig,
+    DataSegment, QuantAccelerator, QuantConfig,
+};
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("accelerator");
+    let seg = DataSegment { seg: 0, count: 1, values: vec![1.0; 366] };
+    g.throughput(Throughput::Bytes(366 * 4));
+    g.bench_function("ingest_full_segment", |b| {
+        b.iter_batched(
+            || Accelerator::new(AcceleratorConfig::default(), 1, u16::MAX),
+            |mut accel| accel.ingest(&seg),
+            BatchSize::SmallInput,
+        );
+    });
+
+    // One full 4-worker aggregation round over a PPO-sized vector.
+    let grad = vec![0.5f32; 10_342];
+    let packets = segment_gradient(&grad);
+    let segs = iswitch_core::num_segments(grad.len());
+    g.throughput(Throughput::Bytes((grad.len() * 4 * 4) as u64));
+    g.bench_function("aggregate_ppo_vector_4_workers", |b| {
+        b.iter_batched(
+            || Accelerator::new(AcceleratorConfig::default(), segs, 4),
+            |mut accel| {
+                let mut emitted = 0;
+                for _ in 0..4 {
+                    for seg in &packets {
+                        if accel.ingest(seg).0.is_some() {
+                            emitted += 1;
+                        }
+                    }
+                }
+                assert_eq!(emitted, segs);
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_quantized(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quantized");
+    let grad = vec![0.5f32; 10_342];
+    let cfg = QuantConfig::default();
+    g.throughput(Throughput::Bytes((grad.len() * 2) as u64));
+    g.bench_function("quantize_ppo_vector", |b| b.iter(|| quantize_gradient(&grad, cfg)));
+    let packets = quantize_gradient(&grad, cfg);
+    let segs = num_quant_segments(grad.len());
+    g.throughput(Throughput::Bytes((grad.len() * 2 * 4) as u64));
+    g.bench_function("int_aggregate_ppo_vector_4_workers", |b| {
+        b.iter_batched(
+            || QuantAccelerator::new(segs, 4),
+            |mut accel| {
+                for _ in 0..4 {
+                    for seg in &packets {
+                        let _ = accel.ingest(seg);
+                    }
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol");
+    let seg = DataSegment { seg: 42, count: 3, values: vec![1.25; 366] };
+    let encoded = seg.encode();
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("segment_encode", |b| b.iter(|| seg.encode()));
+    g.bench_function("segment_decode", |b| {
+        b.iter(|| DataSegment::decode(&encoded).expect("valid"))
+    });
+    let grad = vec![0.25f32; 100_000];
+    g.throughput(Throughput::Bytes((grad.len() * 4) as u64));
+    g.bench_function("segment_gradient_100k", |b| b.iter(|| segment_gradient(&grad)));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ingest, bench_encode_decode, bench_quantized
+}
+criterion_main!(benches);

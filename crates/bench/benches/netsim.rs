@@ -1,0 +1,40 @@
+//! Criterion microbenches of the discrete-event engine and the in-switch
+//! aggregation fast path end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use iswitch_cluster::{run_timing, Strategy, TimingConfig};
+use iswitch_rl::Algorithm;
+
+fn bench_timing_iteration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim");
+    g.sample_size(10);
+    // Simulates 5 full PPO training iterations at packet granularity.
+    for strategy in [Strategy::SyncPs, Strategy::SyncAr, Strategy::SyncIsw] {
+        g.bench_function(format!("simulate_ppo_{}", strategy.label()), |b| {
+            b.iter(|| {
+                let mut cfg = TimingConfig::main_cluster(Algorithm::Ppo, strategy);
+                cfg.iterations = 5;
+                cfg.warmup = 1;
+                run_timing(&cfg)
+            });
+        });
+    }
+    // Packet-event throughput on the DQN iSwitch path (the heaviest).
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("simulate_dqn_iSW_iteration", |b| {
+        b.iter(|| {
+            let mut cfg = TimingConfig::main_cluster(Algorithm::Dqn, Strategy::SyncIsw);
+            cfg.iterations = 2;
+            cfg.warmup = 1;
+            run_timing(&cfg)
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_timing_iteration
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Not a microbench: running `cargo bench` regenerates every table and
+//! figure of the paper at quick scale, so the bench log doubles as the
+//! reproduction record. Use the `--bin` generators (full scale) for the
+//! numbers recorded in EXPERIMENTS.md.
+
+use iswitch_cluster::experiments::{self, Scale};
+use iswitch_cluster::report::{fmt_secs, fmt_speedup, render_table};
+use iswitch_cluster::Strategy;
+use iswitch_rl::Algorithm;
+
+fn main() {
+    let scale = Scale::quick();
+    println!("regenerating paper artifacts at quick scale — see the");
+    println!("iswitch-bench binaries for the full-scale versions\n");
+
+    println!("--- Table 1 ---");
+    for r in experiments::table1() {
+        println!(
+            "{:>5}  {:<20} {:>10} B (paper {:>10} B)  {:.2}M iters",
+            r.algorithm,
+            r.environment,
+            r.model_bytes,
+            r.paper_bytes,
+            r.paper_iterations as f64 / 1e6
+        );
+    }
+
+    println!("\n--- Fig. 8 (conventional vs on-the-fly) ---");
+    for r in experiments::fig8(4) {
+        println!(
+            "{:>5}: conventional {:.3} ms  on-the-fly {:.3} ms",
+            r.algorithm, r.conventional_ms, r.on_the_fly_ms
+        );
+    }
+
+    println!("\n--- Fig. 12 (sync per-iteration, normalized vs PS) ---");
+    let rows = experiments::fig12(&scale);
+    let mut table = Vec::new();
+    for chunk in rows.chunks(3) {
+        let ps = chunk[0].total;
+        for r in chunk {
+            table.push(vec![
+                format!("{} ({})", r.algorithm, r.strategy),
+                fmt_secs(r.total),
+                format!("{:.2}", r.total / ps),
+                format!("{:.1}%", r.aggregation_share * 100.0),
+            ]);
+        }
+    }
+    println!("{}", render_table(&["Benchmark", "Per-iter", "vs PS", "Agg share"], &table));
+
+    println!("--- Table 4 (sync) ---");
+    let sync = experiments::table4(&scale);
+    for r in &sync {
+        println!(
+            "{:>5}: {} iters, reward {:.1}; E2E PS {} / AR {} / iSW {}  (speedups {} / {})",
+            r.algorithm,
+            r.iterations,
+            r.final_reward,
+            fmt_secs(r.end_to_end_s[0]),
+            fmt_secs(r.end_to_end_s[1]),
+            fmt_secs(r.end_to_end_s[2]),
+            fmt_speedup(r.speedup[1]),
+            fmt_speedup(r.speedup[2]),
+        );
+    }
+
+    println!("\n--- Table 5 (async, S = 3) ---");
+    let asynch = experiments::table5(&scale);
+    for r in &asynch {
+        println!(
+            "{:>5}: iters PS {} / iSW {}; per-iter {:.2} / {:.2} ms; iSW speedup {}",
+            r.algorithm,
+            r.iterations[0],
+            r.iterations[1],
+            r.per_iteration_s[0] * 1e3,
+            r.per_iteration_s[1] * 1e3,
+            fmt_speedup(r.isw_speedup),
+        );
+    }
+
+    println!("\n--- Fig. 15 (PPO scalability, quick grid) ---");
+    for series in experiments::fig15(
+        Algorithm::Ppo,
+        &[Strategy::SyncPs, Strategy::SyncAr, Strategy::SyncIsw],
+        &scale,
+    ) {
+        println!("{:>4}: {:?} -> {:?}", series.strategy, series.workers, series.speedup);
+    }
+    println!("\npaper artifacts regenerated — PASS");
+}

@@ -1,0 +1,51 @@
+//! Criterion microbenches of the tensor/NN substrate: the per-iteration
+//! local-compute kernels (forward, backward, flatten) that the distributed
+//! training loop amortizes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use iswitch_tensor::{
+    grad_vec, mlp, mse, param_vec, zero_grads, Activation, Conv2d, Module, Sequential, Tensor,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_mlp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tensor");
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut net = mlp(&[64, 128, 128, 8], Activation::Tanh, None, &mut rng);
+    let x = Tensor::zeros(&[32, 64]);
+    let target = Tensor::zeros(&[32, 8]);
+
+    g.throughput(Throughput::Elements(net.param_count() as u64));
+    g.bench_function("forward_batch32", |b| b.iter(|| net.forward(&x)));
+    g.bench_function("forward_backward_batch32", |b| {
+        b.iter(|| {
+            zero_grads(&mut net);
+            let y = net.forward(&x);
+            let (_, dy) = mse(&y, &target);
+            net.backward(&dy);
+        })
+    });
+    g.bench_function("flatten_params_and_grads", |b| {
+        b.iter(|| (param_vec(&mut net), grad_vec(&mut net)))
+    });
+
+    let a = Tensor::zeros(&[128, 128]);
+    let bmat = Tensor::zeros(&[128, 128]);
+    g.throughput(Throughput::Elements(128 * 128 * 128));
+    g.bench_function("matmul_128", |b| b.iter(|| a.matmul(&bmat)));
+
+    // Conv front end of the MiniPong Q-network: 1x12x12 -> 8 ch, k4, s2.
+    let mut conv = Sequential::new().push(Conv2d::new(1, 8, 12, 12, 4, 2, &mut rng));
+    let frames = Tensor::zeros(&[16, 144]);
+    g.throughput(Throughput::Elements(16 * 144));
+    g.bench_function("conv2d_forward_batch16", |b| b.iter(|| conv.forward(&frames)));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_mlp
+}
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Runs every table/figure generator in paper order. Pass `--quick` for
+//! the CI-sized configuration.
+
+use std::process::Command;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let bins = [
+        "table1", "fig4", "fig8", "table4", "table5", "table3", "fig12", "fig13", "fig14",
+        "fig15", "resources", "ablations", "quantization", "loss_recovery",
+        "bandwidth_sweep",
+    ];
+    for bin in bins {
+        let mut cmd = Command::new(std::env::current_exe().expect("self path").with_file_name(bin));
+        if quick {
+            cmd.arg("--quick");
+        }
+        let status = cmd.status().unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+        println!();
+    }
+}

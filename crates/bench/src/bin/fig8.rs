@@ -1,0 +1,31 @@
+//! Regenerates Fig. 8: conventional whole-vector aggregation vs iSwitch's
+//! on-the-fly per-packet aggregation.
+
+use iswitch_bench::banner;
+use iswitch_cluster::experiments::fig8;
+use iswitch_cluster::report::render_table;
+
+fn main() {
+    banner("Figure 8", "Conventional vs on-the-fly aggregation latency");
+    let rows: Vec<Vec<String>> = fig8(4)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.algorithm,
+                format!("{:.2} KB", r.model_bytes as f64 / 1024.0),
+                format!("{:.3} ms", r.conventional_ms),
+                format!("{:.3} ms", r.on_the_fly_ms),
+                format!("{:.1}%", 100.0 * (1.0 - r.on_the_fly_ms / r.conventional_ms)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["Algorithm", "Vector size", "Conventional (Fig. 8a)", "On-the-fly (Fig. 8b)", "Reduction"],
+            &rows
+        )
+    );
+    println!("On-the-fly aggregation hides the summation behind packet arrival,");
+    println!("so completion trails the last packet by one datapath latency only.");
+}

@@ -1,0 +1,28 @@
+//! Regenerates Table 1: the study of popular RL algorithms.
+
+use iswitch_bench::banner;
+use iswitch_cluster::experiments::table1;
+use iswitch_cluster::report::{fmt_bytes, render_table};
+
+fn main() {
+    banner("Table 1", "A study of popular RL algorithms");
+    let rows: Vec<Vec<String>> = table1()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.algorithm,
+                r.environment,
+                fmt_bytes(r.model_bytes as f64),
+                fmt_bytes(r.paper_bytes as f64),
+                format!("{:.2}M", r.paper_iterations as f64 / 1e6),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["Algorithm", "Environment", "Model Size (ours)", "Model Size (paper)", "Iterations (paper)"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,264 @@
+//! Shared machinery for the timing-mode worker/server applications:
+//! a bulk-transfer ("blob") protocol for the PS and AllReduce baselines,
+//! and per-iteration span bookkeeping.
+
+use std::collections::HashMap;
+
+use iswitch_netsim::{IpAddr, Packet, SimDuration, SimTime, MAX_UDP_PAYLOAD};
+
+/// Bytes of blob header per packet: tag (4), msg id (4), total length (8).
+pub const BLOB_HEADER: usize = 16;
+
+/// Data bytes carried per blob packet.
+pub const BLOB_CHUNK: usize = MAX_UDP_PAYLOAD - BLOB_HEADER;
+
+/// UDP port used by the baseline (non-iSwitch) training protocols.
+pub const BASELINE_PORT: u16 = 9800;
+
+/// Builds the packet train for a `total_bytes` message from `src` to `dst`.
+///
+/// Payload contents are irrelevant to timing, so packets carry only the
+/// header plus *accounted* (not materialized) data: each packet's payload
+/// is padded to its true wire size.
+pub fn blob_packets(src: IpAddr, dst: IpAddr, tag: u32, msg_id: u32, total_bytes: u64) -> Vec<Packet> {
+    let mut header = Vec::with_capacity(BLOB_HEADER);
+    header.extend_from_slice(&tag.to_be_bytes());
+    header.extend_from_slice(&msg_id.to_be_bytes());
+    header.extend_from_slice(&total_bytes.to_be_bytes());
+
+    let n_packets = total_bytes.div_ceil(BLOB_CHUNK as u64).max(1);
+    let mut out = Vec::with_capacity(n_packets as usize);
+    let mut remaining = total_bytes;
+    for _ in 0..n_packets {
+        let data = (remaining as usize).min(BLOB_CHUNK);
+        remaining -= data as u64;
+        let mut payload = header.clone();
+        payload.resize(BLOB_HEADER + data, 0);
+        out.push(Packet::udp(src, dst, BASELINE_PORT, BASELINE_PORT, 0).with_payload(payload));
+    }
+    out
+}
+
+/// A completed blob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlobDone {
+    /// Sender address.
+    pub src: IpAddr,
+    /// Application tag.
+    pub tag: u32,
+    /// Message id (iteration index, step index, weight version, …).
+    pub msg_id: u32,
+}
+
+/// Reassembles blob messages from interleaved packet arrivals.
+#[derive(Debug, Default)]
+pub struct BlobAssembler {
+    pending: HashMap<(IpAddr, u32, u32), (u64, u64)>,
+}
+
+impl BlobAssembler {
+    /// A fresh assembler.
+    pub fn new() -> Self {
+        BlobAssembler::default()
+    }
+
+    /// Feeds one packet; returns the blob identity when it completes.
+    /// Non-blob packets (too-short payloads) return `None`.
+    pub fn on_packet(&mut self, pkt: &Packet) -> Option<BlobDone> {
+        if pkt.payload.len() < BLOB_HEADER {
+            return None;
+        }
+        let tag = u32::from_be_bytes(pkt.payload[0..4].try_into().expect("4 bytes"));
+        let msg_id = u32::from_be_bytes(pkt.payload[4..8].try_into().expect("4 bytes"));
+        let total = u64::from_be_bytes(pkt.payload[8..16].try_into().expect("8 bytes"));
+        let data = (pkt.payload.len() - BLOB_HEADER) as u64;
+        let key = (pkt.ip.src, tag, msg_id);
+        let entry = self.pending.entry(key).or_insert((0, total));
+        entry.0 += data;
+        // Zero-length blobs (pull requests) complete on their first packet.
+        if entry.0 >= entry.1 {
+            self.pending.remove(&key);
+            Some(BlobDone { src: pkt.ip.src, tag, msg_id })
+        } else {
+            None
+        }
+    }
+
+    /// Number of in-flight messages.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// Measured spans of one training iteration on a worker.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IterSpans {
+    /// Local gradient computation.
+    pub compute: SimDuration,
+    /// Gradient aggregation (compute done → aggregated result installed).
+    pub aggregation: SimDuration,
+    /// Weight update.
+    pub update: SimDuration,
+}
+
+impl IterSpans {
+    /// Total iteration time.
+    pub fn total(&self) -> SimDuration {
+        self.compute + self.aggregation + self.update
+    }
+}
+
+/// Per-worker iteration log with span accounting helpers.
+#[derive(Debug, Default)]
+pub struct IterLog {
+    spans: Vec<IterSpans>,
+    iter_start: Option<SimTime>,
+    compute_done: Option<SimTime>,
+    agg_done: Option<SimTime>,
+}
+
+impl IterLog {
+    /// A fresh log.
+    pub fn new() -> Self {
+        IterLog::default()
+    }
+
+    /// Marks the start of an iteration.
+    pub fn start(&mut self, now: SimTime) {
+        self.iter_start = Some(now);
+    }
+
+    /// Marks the end of local gradient computation.
+    pub fn compute_done(&mut self, now: SimTime) {
+        self.compute_done = Some(now);
+    }
+
+    /// Marks the installation of the aggregated gradient.
+    pub fn aggregation_done(&mut self, now: SimTime) {
+        self.agg_done = Some(now);
+    }
+
+    /// Marks the end of the weight update, closing the iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the earlier marks were skipped.
+    pub fn finish(&mut self, now: SimTime) {
+        let start = self.iter_start.take().expect("iteration started");
+        let compute = self.compute_done.take().expect("compute marked");
+        let agg = self.agg_done.take().expect("aggregation marked");
+        self.spans.push(IterSpans {
+            compute: compute.duration_since(start),
+            aggregation: agg.duration_since(compute),
+            update: now.duration_since(agg),
+        });
+    }
+
+    /// Completed iterations.
+    pub fn spans(&self) -> &[IterSpans] {
+        &self.spans
+    }
+
+    /// Number of completed iterations.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether no iterations completed.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Mean spans over iterations `skip..`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `skip + 1` iterations completed.
+    pub fn mean_after(&self, skip: usize) -> IterSpans {
+        let tail = &self.spans[skip..];
+        assert!(!tail.is_empty(), "no measured iterations after warmup");
+        let n = tail.len() as u64;
+        let sum = |f: fn(&IterSpans) -> SimDuration| {
+            SimDuration::from_nanos(tail.iter().map(|s| f(s).as_nanos()).sum::<u64>() / n)
+        };
+        IterSpans {
+            compute: sum(|s| s.compute),
+            aggregation: sum(|s| s.aggregation),
+            update: sum(|s| s.update),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(x: u8) -> IpAddr {
+        IpAddr::new(10, 0, 0, x)
+    }
+
+    #[test]
+    fn blob_round_trips_through_assembler() {
+        let pkts = blob_packets(ip(1), ip(2), 7, 42, 5_000);
+        assert_eq!(pkts.len(), 5_000usize.div_ceil(BLOB_CHUNK));
+        let mut asm = BlobAssembler::new();
+        let mut done = None;
+        for p in &pkts {
+            done = asm.on_packet(p);
+        }
+        assert_eq!(done, Some(BlobDone { src: ip(1), tag: 7, msg_id: 42 }));
+        assert_eq!(asm.in_flight(), 0);
+    }
+
+    #[test]
+    fn interleaved_blobs_complete_independently() {
+        let a = blob_packets(ip(1), ip(9), 1, 0, 3_000);
+        let b = blob_packets(ip(2), ip(9), 1, 0, 3_000);
+        let mut asm = BlobAssembler::new();
+        let mut done = Vec::new();
+        for (pa, pb) in a.iter().zip(&b) {
+            if let Some(d) = asm.on_packet(pa) {
+                done.push(d);
+            }
+            if let Some(d) = asm.on_packet(pb) {
+                done.push(d);
+            }
+        }
+        assert_eq!(done.len(), 2);
+        assert_ne!(done[0].src, done[1].src);
+    }
+
+    #[test]
+    fn zero_length_blob_is_single_packet_request() {
+        let pkts = blob_packets(ip(3), ip(9), 9, 1, 0);
+        assert_eq!(pkts.len(), 1);
+        let mut asm = BlobAssembler::new();
+        assert!(asm.on_packet(&pkts[0]).is_some());
+    }
+
+    #[test]
+    fn iter_log_computes_spans() {
+        let mut log = IterLog::new();
+        let t = SimTime::from_nanos;
+        log.start(t(0));
+        log.compute_done(t(100));
+        log.aggregation_done(t(300));
+        log.finish(t(350));
+        log.start(t(350));
+        log.compute_done(t(470));
+        log.aggregation_done(t(650));
+        log.finish(t(720));
+        let mean = log.mean_after(0);
+        assert_eq!(mean.compute, SimDuration::from_nanos(110));
+        assert_eq!(mean.aggregation, SimDuration::from_nanos(190));
+        assert_eq!(mean.update, SimDuration::from_nanos(60));
+        assert_eq!(log.mean_after(1).compute, SimDuration::from_nanos(120));
+    }
+
+    #[test]
+    fn blob_packets_fit_the_mtu() {
+        for pkt in blob_packets(ip(1), ip(2), 0, 0, 100_000) {
+            assert!(pkt.payload.len() <= MAX_UDP_PAYLOAD);
+        }
+    }
+}

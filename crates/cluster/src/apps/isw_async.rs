@@ -1,0 +1,156 @@
+//! Asynchronous iSwitch worker: the paper's rethought asynchronous
+//! training (§4.1, Algorithm 1, Fig. 11).
+//!
+//! The three stages are fully pipelined:
+//!
+//! * **LGC** — keep computing gradients from the current local weights and
+//!   committing them (non-blocking) when their staleness is within `S`;
+//! * **GA** — the switch aggregates any `H` arriving gradient vectors and
+//!   broadcasts the sum (faster workers contribute more);
+//! * **LWU** — on each broadcast, every worker applies the same update to
+//!   its decentralized weight replica.
+
+use std::any::Any;
+
+use iswitch_core::{gradient_packets, num_segments, TOS_DATA};
+use iswitch_netsim::{HostApp, HostCtx, Packet, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::compute_model::{CommCosts, ComputeModel};
+
+const T_COMPUTE: u64 = 1;
+const T_COMMIT: u64 = 2;
+const T_UPDATE: u64 = 3;
+
+/// An asynchronous iSwitch worker with the three-stage pipeline.
+pub struct IswAsyncWorker {
+    grad_len: usize,
+    /// Collectives per iteration (dual-model DDPG pushes two vectors).
+    messages: u64,
+    compute: ComputeModel,
+    comm: CommCosts,
+    staleness_bound: u32,
+    rng: StdRng,
+    /// Local weight version `ts` (count of applied global updates).
+    version: u32,
+    /// Version the in-flight gradient was computed from (`tw`).
+    compute_from: u32,
+    segs_received: usize,
+    template: Option<Vec<Packet>>,
+    deadline: Option<SimTime>,
+    stopped: bool,
+    /// Completion time of every local weight update (LWU stage).
+    pub update_times: Vec<SimTime>,
+    /// Staleness (`ts - tw`) of every committed gradient.
+    pub staleness: Vec<u32>,
+    /// Gradients skipped for exceeding the bound (Alg. 1 line 11).
+    pub skipped: u64,
+    /// Gradients committed to the switch.
+    pub commits: u64,
+}
+
+impl IswAsyncWorker {
+    /// A worker pushing gradients of `grad_len` f32 elements until
+    /// `deadline` (if given).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        grad_len: usize,
+        messages: u64,
+        compute: ComputeModel,
+        comm: CommCosts,
+        staleness_bound: u32,
+        seed: u64,
+        deadline: Option<SimTime>,
+    ) -> Self {
+        IswAsyncWorker {
+            grad_len,
+            messages: messages.max(1),
+            compute,
+            comm,
+            staleness_bound,
+            rng: StdRng::seed_from_u64(seed),
+            version: 0,
+            compute_from: 0,
+            segs_received: 0,
+            template: None,
+            deadline,
+            stopped: false,
+            update_times: Vec::new(),
+            staleness: Vec::new(),
+            skipped: 0,
+            commits: 0,
+        }
+    }
+
+    fn begin_compute(&mut self, ctx: &mut HostCtx<'_, '_>) {
+        if let Some(d) = self.deadline {
+            if ctx.now() >= d {
+                self.stopped = true;
+                return;
+            }
+        }
+        // Alg. 1: copy the iteration index and weights, then interact.
+        self.compute_from = self.version;
+        let d = self.compute.sample_local_compute(&mut self.rng);
+        ctx.set_timer(d, T_COMPUTE);
+    }
+}
+
+impl HostApp for IswAsyncWorker {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_, '_>) {
+        let grad = vec![1.0f32; self.grad_len];
+        self.template = Some(gradient_packets(ctx.ip(), &grad));
+        self.begin_compute(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut HostCtx<'_, '_>, token: u64) {
+        match token {
+            T_COMPUTE => {
+                // Staleness check before commit (Alg. 1 line 8).
+                let staleness = self.version.saturating_sub(self.compute_from);
+                if staleness <= self.staleness_bound {
+                    self.staleness.push(staleness);
+                    ctx.set_timer(self.comm.phase_send() * self.messages, T_COMMIT);
+                } else {
+                    self.skipped += 1;
+                    // Discard and restart from fresher weights.
+                    self.begin_compute(ctx);
+                }
+            }
+            T_COMMIT => {
+                for pkt in self.template.as_ref().expect("built at start").clone() {
+                    ctx.send(pkt);
+                }
+                self.commits += 1;
+                // Non-blocking send: the LGC stage continues immediately.
+                self.begin_compute(ctx);
+            }
+            T_UPDATE => {
+                self.version += 1;
+                self.update_times.push(ctx.now());
+            }
+            _ => {}
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut HostCtx<'_, '_>, pkt: Packet) {
+        if pkt.ip.tos != TOS_DATA {
+            return;
+        }
+        self.segs_received += 1;
+        if self.segs_received == num_segments(self.grad_len) {
+            self.segs_received = 0;
+            let d = self.comm.phase_recv() * self.messages
+                + self.compute.sample_weight_update(&mut self.rng);
+            ctx.set_timer(d, T_UPDATE);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

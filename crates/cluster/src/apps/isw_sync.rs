@@ -1,0 +1,214 @@
+//! Synchronous iSwitch worker (paper Fig. 1c): push tagged gradient
+//! packets, receive the broadcast aggregate — two network hops, with
+//! aggregation happening on the fly inside the switch.
+
+use std::any::Any;
+
+use iswitch_core::{
+    control_packet, decode_data, gradient_packets_round, num_segments, seg_index, seg_round,
+    tag_round, ControlMessage, UPSTREAM_IP,
+};
+use iswitch_netsim::{HostApp, HostCtx, Packet, SimDuration};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::apps::common::IterLog;
+use crate::compute_model::{CommCosts, ComputeModel};
+
+const T_COMPUTE: u64 = 1;
+const T_SEND: u64 = 2;
+const T_UPDATE: u64 = 3;
+/// Retry timers encode the iteration so a stale timer from a completed
+/// iteration is ignored.
+const T_RETRY_BASE: u64 = 1_000;
+
+/// A synchronous iSwitch worker pushing synthetic gradient vectors.
+pub struct IswSyncWorker {
+    grad_len: usize,
+    /// Collectives per iteration (dual-model DDPG pushes two vectors).
+    messages: u64,
+    iterations: usize,
+    compute: ComputeModel,
+    comm: CommCosts,
+    rng: StdRng,
+    iter: u32,
+    received: Vec<bool>,
+    segs_received: usize,
+    grad: Vec<f32>,
+    /// Timeout before asking the switch to recover missing result
+    /// segments via `Help` (and flush stuck rounds via `FBcast`).
+    help_timeout: Option<SimDuration>,
+    /// Progress marker at the last retry, plus consecutive no-progress
+    /// retries — `FBcast` only fires after repeated stalls, because
+    /// flushing a round that is merely still streaming would split it.
+    last_progress: usize,
+    stalled_retries: u32,
+    /// `Help` requests issued (loss-recovery activity).
+    pub help_requests: u64,
+    /// Per-iteration span log.
+    pub log: IterLog,
+}
+
+impl IswSyncWorker {
+    /// A worker pushing gradients of `grad_len` f32 elements in
+    /// `messages` collectives per iteration.
+    pub fn new(
+        grad_len: usize,
+        messages: u64,
+        iterations: usize,
+        compute: ComputeModel,
+        comm: CommCosts,
+        seed: u64,
+    ) -> Self {
+        IswSyncWorker {
+            grad_len,
+            messages: messages.max(1),
+            iterations,
+            compute,
+            comm,
+            rng: StdRng::seed_from_u64(seed),
+            iter: 0,
+            received: vec![false; num_segments(grad_len)],
+            segs_received: 0,
+            grad: Vec::new(),
+            help_timeout: None,
+            last_progress: 0,
+            stalled_retries: 0,
+            help_requests: 0,
+            log: IterLog::new(),
+        }
+    }
+
+    /// Enables loss recovery: after `timeout` without a complete result,
+    /// the worker sends `Help` for each missing segment (recovering lost
+    /// result packets from the switch's cache) and `FBcast` (flushing
+    /// rounds stuck on a lost contribution).
+    pub fn with_help_timeout(mut self, timeout: SimDuration) -> Self {
+        self.help_timeout = Some(timeout);
+        self
+    }
+
+    fn begin_iteration(&mut self, ctx: &mut HostCtx<'_, '_>) {
+        self.log.start(ctx.now());
+        self.segs_received = 0;
+        self.received.fill(false);
+        let d = self.compute.sample_local_compute(&mut self.rng);
+        ctx.set_timer(d, T_COMPUTE);
+    }
+
+    fn complete(&self) -> bool {
+        self.segs_received == num_segments(self.grad_len)
+    }
+}
+
+impl HostApp for IswSyncWorker {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_, '_>) {
+        // Packet contents don't affect timing; keep one synthetic vector.
+        self.grad = vec![1.0f32; self.grad_len];
+        self.begin_iteration(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut HostCtx<'_, '_>, token: u64) {
+        match token {
+            T_COMPUTE => {
+                self.log.compute_done(ctx.now());
+                ctx.set_timer(self.comm.phase_send() * self.messages, T_SEND);
+            }
+            T_SEND => {
+                // Tag every segment with the iteration so stale
+                // re-broadcasts and expired partial flushes of earlier
+                // rounds cannot satisfy this one.
+                for pkt in gradient_packets_round(ctx.ip(), &self.grad, self.iter) {
+                    ctx.send(pkt);
+                }
+                if let Some(timeout) = self.help_timeout {
+                    self.last_progress = 0;
+                    self.stalled_retries = 0;
+                    ctx.set_timer(timeout, T_RETRY_BASE + u64::from(self.iter));
+                }
+            }
+            T_UPDATE => {
+                self.log.finish(ctx.now());
+                self.iter += 1;
+                if (self.iter as usize) < self.iterations {
+                    self.begin_iteration(ctx);
+                }
+            }
+            token if token >= T_RETRY_BASE => {
+                // Only act if the iteration that armed this timer is still
+                // waiting on its result.
+                if token - T_RETRY_BASE == u64::from(self.iter) && !self.complete() {
+                    if self.segs_received != self.last_progress {
+                        self.last_progress = self.segs_received;
+                        self.stalled_retries = 0;
+                    } else {
+                        self.stalled_retries += 1;
+                    }
+                    // A lost *result* is recovered from the switch's cache
+                    // (Help). A lost *contribution* leaves the round stuck:
+                    // only after two stalled retries — i.e. genuinely no
+                    // progress — flush it with a partial broadcast. The
+                    // batch is capped so a retry can never re-request a
+                    // vector's worth of traffic (a premature timeout would
+                    // otherwise trigger a retransmission storm).
+                    const HELP_BATCH: u64 = 64;
+                    let escalate = self.stalled_retries >= 2;
+                    let mut budget = HELP_BATCH;
+                    for (seg, got) in self.received.iter().enumerate() {
+                        if !got {
+                            if budget == 0 {
+                                break;
+                            }
+                            budget -= 1;
+                            self.help_requests += 1;
+                            let seg = tag_round(seg as u64, self.iter);
+                            let help =
+                                control_packet(ctx.ip(), UPSTREAM_IP, &ControlMessage::Help { seg });
+                            ctx.send(help);
+                            if escalate {
+                                let flush = control_packet(
+                                    ctx.ip(),
+                                    UPSTREAM_IP,
+                                    &ControlMessage::FBcast { seg },
+                                );
+                                ctx.send(flush);
+                            }
+                        }
+                    }
+                    if let Some(timeout) = self.help_timeout {
+                        ctx.set_timer(timeout, T_RETRY_BASE + u64::from(self.iter));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut HostCtx<'_, '_>, pkt: Packet) {
+        let Some(seg) = decode_data(&pkt) else {
+            return;
+        };
+        if seg_round(seg.seg) != self.iter & 0xFFFF {
+            return; // stale round (expired flush or duplicate Help reply)
+        }
+        let idx = seg_index(seg.seg) as usize;
+        if idx >= self.received.len() || self.received[idx] || self.complete() {
+            return; // duplicate (Help retransmission)
+        }
+        self.received[idx] = true;
+        self.segs_received += 1;
+        if self.complete() {
+            self.log.aggregation_done(ctx.now());
+            let d = self.comm.phase_recv() * self.messages
+                + self.compute.sample_weight_update(&mut self.rng);
+            ctx.set_timer(d, T_UPDATE);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

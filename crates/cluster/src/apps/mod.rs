@@ -1,0 +1,19 @@
+//! Event-driven host applications implementing every distributed-training
+//! strategy the paper evaluates, for timing-mode simulation.
+
+mod allreduce;
+mod common;
+mod isw_async;
+mod isw_sync;
+mod ps_async;
+mod ps_sync;
+
+pub use allreduce::{RingWorker, TAG_RING};
+pub use common::{
+    blob_packets, BlobAssembler, BlobDone, IterLog, IterSpans, BASELINE_PORT, BLOB_CHUNK,
+    BLOB_HEADER,
+};
+pub use isw_async::IswAsyncWorker;
+pub use isw_sync::IswSyncWorker;
+pub use ps_async::{AsyncPsServer, AsyncPsWorker};
+pub use ps_sync::{SyncPsServer, SyncPsWorker, TAG_GRAD, TAG_PULL, TAG_WEIGHTS};

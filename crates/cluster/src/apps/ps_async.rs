@@ -1,0 +1,244 @@
+//! Asynchronous parameter-server baseline (paper Fig. 3).
+//!
+//! Workers independently pull the latest weights, compute a gradient, and
+//! push it; the server applies each arriving gradient to the central
+//! weights immediately. Staleness of a pushed gradient is the number of
+//! server updates that happened between the pull it computed from and its
+//! arrival; gradients staler than the bound `S` are discarded, mirroring
+//! the staleness control the paper applies to both async systems (§6.2).
+
+use std::any::Any;
+use std::collections::VecDeque;
+
+use iswitch_netsim::{HostApp, HostCtx, IpAddr, Packet, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::apps::common::{blob_packets, BlobAssembler};
+use crate::apps::ps_sync::{TAG_GRAD, TAG_PULL, TAG_WEIGHTS};
+use crate::compute_model::{CommCosts, ComputeModel};
+
+const T_COMPUTE: u64 = 1;
+const T_PUSH: u64 = 2;
+const T_PULL: u64 = 3;
+
+/// An asynchronous PS worker: pull → compute → push, forever.
+pub struct AsyncPsWorker {
+    server: IpAddr,
+    model_bytes: u64,
+    messages: u64,
+    compute: ComputeModel,
+    comm: CommCosts,
+    rng: StdRng,
+    asm: BlobAssembler,
+    pull_seq: u32,
+    weight_version: u32,
+    stopped: bool,
+    /// Iterations this worker completed (gradients pushed).
+    pub pushes: u64,
+    deadline: Option<SimTime>,
+}
+
+impl AsyncPsWorker {
+    /// A worker that keeps iterating until `deadline` (if given).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        server: IpAddr,
+        model_bytes: u64,
+        messages: u64,
+        compute: ComputeModel,
+        comm: CommCosts,
+        seed: u64,
+        deadline: Option<SimTime>,
+    ) -> Self {
+        AsyncPsWorker {
+            server,
+            model_bytes,
+            messages: messages.max(1),
+            compute,
+            comm,
+            rng: StdRng::seed_from_u64(seed),
+            asm: BlobAssembler::new(),
+            pull_seq: 0,
+            weight_version: 0,
+            stopped: false,
+            pushes: 0,
+            deadline,
+        }
+    }
+
+    fn pull(&mut self, ctx: &mut HostCtx<'_, '_>) {
+        if let Some(d) = self.deadline {
+            if ctx.now() >= d {
+                self.stopped = true;
+                return;
+            }
+        }
+        self.pull_seq += 1;
+        for pkt in blob_packets(ctx.ip(), self.server, TAG_PULL, self.pull_seq, 0) {
+            ctx.send(pkt);
+        }
+    }
+}
+
+impl HostApp for AsyncPsWorker {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_, '_>) {
+        self.pull(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut HostCtx<'_, '_>, token: u64) {
+        match token {
+            T_COMPUTE => {
+                ctx.set_timer(self.comm.phase_send() * self.messages, T_PUSH);
+            }
+            T_PUSH => {
+                // Push the gradient stamped with the weight version it was
+                // computed from, then immediately pull again.
+                for pkt in blob_packets(
+                    ctx.ip(),
+                    self.server,
+                    TAG_GRAD,
+                    self.weight_version,
+                    self.model_bytes,
+                ) {
+                    ctx.send(pkt);
+                }
+                self.pushes += 1;
+                self.pull(ctx);
+            }
+            T_PULL => {
+                let d = self.compute.sample_local_compute(&mut self.rng);
+                ctx.set_timer(d, T_COMPUTE);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut HostCtx<'_, '_>, pkt: Packet) {
+        if self.stopped {
+            return;
+        }
+        if let Some(done) = self.asm.on_packet(&pkt) {
+            if done.tag == TAG_WEIGHTS {
+                self.weight_version = done.msg_id;
+                ctx.set_timer(self.comm.phase_recv() * self.messages, T_PULL);
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+const T_APPLY_DONE: u64 = 10;
+
+/// The asynchronous central server.
+pub struct AsyncPsServer {
+    model_bytes: u64,
+    messages: u64,
+    compute: ComputeModel,
+    comm: CommCosts,
+    staleness_bound: u32,
+    rng: StdRng,
+    asm: BlobAssembler,
+    version: u32,
+    applying: bool,
+    apply_queue: VecDeque<u32>,
+    /// Completion time of every weight update.
+    pub update_times: Vec<SimTime>,
+    /// Staleness of every *applied* gradient.
+    pub staleness: Vec<u32>,
+    /// Gradients discarded for exceeding the bound.
+    pub discarded: u64,
+}
+
+impl AsyncPsServer {
+    /// A server enforcing the given staleness bound.
+    pub fn new(
+        model_bytes: u64,
+        messages: u64,
+        compute: ComputeModel,
+        comm: CommCosts,
+        staleness_bound: u32,
+        seed: u64,
+    ) -> Self {
+        AsyncPsServer {
+            model_bytes,
+            messages: messages.max(1),
+            compute,
+            comm,
+            staleness_bound,
+            rng: StdRng::seed_from_u64(seed),
+            asm: BlobAssembler::new(),
+            version: 0,
+            applying: false,
+            apply_queue: VecDeque::new(),
+            update_times: Vec::new(),
+            staleness: Vec::new(),
+            discarded: 0,
+        }
+    }
+
+    fn maybe_apply(&mut self, ctx: &mut HostCtx<'_, '_>) {
+        if self.applying {
+            return;
+        }
+        while let Some(from_version) = self.apply_queue.pop_front() {
+            let staleness = self.version.saturating_sub(from_version);
+            if staleness > self.staleness_bound {
+                self.discarded += 1;
+                continue;
+            }
+            self.staleness.push(staleness);
+            self.applying = true;
+            let d = self.comm.phase_recv() * self.messages
+                + self.compute.sample_weight_update(&mut self.rng);
+            ctx.set_timer(d, T_APPLY_DONE);
+            return;
+        }
+    }
+}
+
+impl HostApp for AsyncPsServer {
+    fn on_packet(&mut self, ctx: &mut HostCtx<'_, '_>, pkt: Packet) {
+        let src = pkt.ip.src;
+        if let Some(done) = self.asm.on_packet(&pkt) {
+            match done.tag {
+                TAG_PULL => {
+                    // Reply with the current weights, stamped with their
+                    // version.
+                    for out in
+                        blob_packets(ctx.ip(), src, TAG_WEIGHTS, self.version, self.model_bytes)
+                    {
+                        ctx.send(out);
+                    }
+                }
+                TAG_GRAD => {
+                    self.apply_queue.push_back(done.msg_id);
+                    self.maybe_apply(ctx);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut HostCtx<'_, '_>, token: u64) {
+        if token == T_APPLY_DONE {
+            self.version += 1;
+            self.update_times.push(ctx.now());
+            self.applying = false;
+            self.maybe_apply(ctx);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,224 @@
+//! Synchronous parameter-server baseline (paper Fig. 1a).
+//!
+//! Workers push their full gradient vector to a central server; the server
+//! waits for **all** vectors (the conventional aggregation of Fig. 8a),
+//! sums them, updates the weights, and pushes the updated weights back to
+//! every worker. Four network hops per iteration, with the server's access
+//! link as the central bottleneck.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use iswitch_netsim::{HostApp, HostCtx, IpAddr, Packet, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::apps::common::{blob_packets, BlobAssembler, IterLog};
+use crate::compute_model::{CommCosts, ComputeModel};
+
+/// Blob tag for worker→server gradient pushes.
+pub const TAG_GRAD: u32 = 1;
+/// Blob tag for server→worker weight pushes.
+pub const TAG_WEIGHTS: u32 = 2;
+/// Blob tag for async pull requests.
+pub const TAG_PULL: u32 = 3;
+
+const T_COMPUTE: u64 = 1;
+const T_SEND: u64 = 2;
+const T_RECV: u64 = 3;
+
+/// A synchronous PS worker.
+pub struct SyncPsWorker {
+    server: IpAddr,
+    model_bytes: u64,
+    /// Collectives per iteration (DDPG's dual model aggregates actor and
+    /// critic separately, doubling the per-phase software costs).
+    messages: u64,
+    iterations: usize,
+    compute: ComputeModel,
+    comm: CommCosts,
+    rng: StdRng,
+    iter: u32,
+    asm: BlobAssembler,
+    /// Per-iteration span log.
+    pub log: IterLog,
+}
+
+impl SyncPsWorker {
+    /// A worker that will run `iterations` iterations against `server`,
+    /// aggregating `messages` collectives per iteration.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        server: IpAddr,
+        model_bytes: u64,
+        messages: u64,
+        iterations: usize,
+        compute: ComputeModel,
+        comm: CommCosts,
+        seed: u64,
+    ) -> Self {
+        SyncPsWorker {
+            server,
+            model_bytes,
+            messages: messages.max(1),
+            iterations,
+            compute,
+            comm,
+            rng: StdRng::seed_from_u64(seed),
+            iter: 0,
+            asm: BlobAssembler::new(),
+            log: IterLog::new(),
+        }
+    }
+
+    fn begin_iteration(&mut self, ctx: &mut HostCtx<'_, '_>) {
+        self.log.start(ctx.now());
+        let d = self.compute.sample_local_compute(&mut self.rng);
+        ctx.set_timer(d, T_COMPUTE);
+    }
+}
+
+impl HostApp for SyncPsWorker {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_, '_>) {
+        self.begin_iteration(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut HostCtx<'_, '_>, token: u64) {
+        match token {
+            T_COMPUTE => {
+                self.log.compute_done(ctx.now());
+                ctx.set_timer(self.comm.phase_send() * self.messages, T_SEND);
+            }
+            T_SEND => {
+                for pkt in
+                    blob_packets(ctx.ip(), self.server, TAG_GRAD, self.iter, self.model_bytes)
+                {
+                    ctx.send(pkt);
+                }
+            }
+            T_RECV => {
+                // PS keeps the weight update on the server; the worker just
+                // installs the received weights (cost inside phase_recv).
+                self.log.aggregation_done(ctx.now());
+                self.log.finish(ctx.now());
+                self.iter += 1;
+                if (self.iter as usize) < self.iterations {
+                    self.begin_iteration(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut HostCtx<'_, '_>, pkt: Packet) {
+        if let Some(done) = self.asm.on_packet(&pkt) {
+            if done.tag == TAG_WEIGHTS && done.msg_id == self.iter {
+                ctx.set_timer(self.comm.phase_recv() * self.messages, T_RECV);
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+const T_APPLY: u64 = 10;
+const T_BCAST: u64 = 11;
+
+/// The central parameter server.
+pub struct SyncPsServer {
+    workers: Vec<IpAddr>,
+    model_bytes: u64,
+    messages: u64,
+    compute: ComputeModel,
+    comm: CommCosts,
+    rng: StdRng,
+    asm: BlobAssembler,
+    received: HashMap<u32, usize>,
+    apply_iter: u32,
+    /// Times at which weight updates completed (one per iteration).
+    pub update_times: Vec<SimTime>,
+}
+
+impl SyncPsServer {
+    /// A server for the given worker set.
+    pub fn new(
+        workers: Vec<IpAddr>,
+        model_bytes: u64,
+        messages: u64,
+        compute: ComputeModel,
+        comm: CommCosts,
+        seed: u64,
+    ) -> Self {
+        SyncPsServer {
+            workers,
+            model_bytes,
+            messages: messages.max(1),
+            compute,
+            comm,
+            rng: StdRng::seed_from_u64(seed),
+            asm: BlobAssembler::new(),
+            received: HashMap::new(),
+            apply_iter: 0,
+            update_times: Vec::new(),
+        }
+    }
+}
+
+impl HostApp for SyncPsServer {
+    fn on_packet(&mut self, ctx: &mut HostCtx<'_, '_>, pkt: Packet) {
+        let Some(done) = self.asm.on_packet(&pkt) else {
+            return;
+        };
+        if done.tag != TAG_GRAD {
+            return;
+        }
+        let count = self.received.entry(done.msg_id).or_insert(0);
+        *count += 1;
+        if *count == self.workers.len() {
+            self.received.remove(&done.msg_id);
+            self.apply_iter = done.msg_id;
+            // Conventional aggregation: only now that *all* vectors are
+            // resident does the server sum and update (Fig. 8a). The server
+            // pays per-worker, per-collective software costs — the paper's
+            // central *computation* bottleneck alongside the central link.
+            let d = self.comm.phase_recv() * (self.workers.len() as u64 * self.messages)
+                + self.comm.sum_time(self.workers.len(), self.model_bytes as usize)
+                + self.compute.sample_weight_update(&mut self.rng);
+            ctx.set_timer(d, T_APPLY);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut HostCtx<'_, '_>, token: u64) {
+        match token {
+            T_APPLY => {
+                self.update_times.push(ctx.now());
+                ctx.set_timer(
+                    self.comm.phase_send() * (self.workers.len() as u64 * self.messages),
+                    T_BCAST,
+                );
+            }
+            T_BCAST => {
+                for w in self.workers.clone() {
+                    for pkt in
+                        blob_packets(ctx.ip(), w, TAG_WEIGHTS, self.apply_iter, self.model_bytes)
+                    {
+                        ctx.send(pkt);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

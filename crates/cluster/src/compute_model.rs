@@ -1,0 +1,280 @@
+//! Calibrated local-computation time model (paper Fig. 4 components).
+//!
+//! The paper measures each training iteration's time in ten components:
+//! agent action, environment reaction, buffer sampling, memory allocation,
+//! forward pass, backward pass, GPU copy, gradient aggregation, weight
+//! update, and others. Everything except gradient aggregation is *local*
+//! computation on the worker (or server), which this reproduction cannot
+//! re-measure (no Titan RTX + PyTorch stack); instead it is a calibrated
+//! constant-plus-jitter model.
+//!
+//! Calibration (DESIGN.md §5): the per-algorithm totals are chosen so the
+//! baseline Sync-PS per-iteration time and its aggregation share land near
+//! the paper's Table 4 / Fig. 4 values; every other number is then
+//! *predicted* by the packet-level simulator. Paper anchors used:
+//!
+//! | Algorithm | Sync-PS per-iter (Table 4) | aggregation share (Fig. 4) |
+//! |---|---|---|
+//! | DQN  | 81.56 ms (31.72 h / 1.4 M iters)  | ≈ 0.83 |
+//! | A2C  | 51.66 ms (2.87 h / 0.2 M iters)   | ≈ 0.78 |
+//! | PPO  | 17.55 ms (0.39 h / 0.08 M iters)  | ≈ 0.50 |
+//! | DDPG | 38.74 ms (8.07 h / 0.75 M iters)  | ≈ 0.55 |
+
+use iswitch_netsim::SimDuration;
+use iswitch_rl::Algorithm;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The component labels of the paper's Fig. 4 breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Component {
+    /// Selecting actions with the current policy.
+    AgentAction,
+    /// Stepping the environment.
+    EnvironReact,
+    /// Sampling the trajectory/replay buffer.
+    BufferSampling,
+    /// Allocator churn.
+    MemoryAlloc,
+    /// Policy forward pass.
+    ForwardPass,
+    /// Backward pass.
+    BackwardPass,
+    /// Host/GPU transfers.
+    GpuCopy,
+    /// Network gradient aggregation (measured by the simulator, not here).
+    GradAggregation,
+    /// Applying the aggregated gradient.
+    WeightUpdate,
+    /// Everything else.
+    Others,
+}
+
+impl Component {
+    /// Display label matching the paper's figure legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            Component::AgentAction => "Agent Action",
+            Component::EnvironReact => "Environ React",
+            Component::BufferSampling => "Buffer Sampling",
+            Component::MemoryAlloc => "Memory Alloc",
+            Component::ForwardPass => "Forward Pass",
+            Component::BackwardPass => "Backward Pass",
+            Component::GpuCopy => "GPU Copy",
+            Component::GradAggregation => "Grad Aggregation",
+            Component::WeightUpdate => "Weight Update",
+            Component::Others => "Others",
+        }
+    }
+}
+
+/// Per-iteration local-computation cost for one algorithm.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComputeModel {
+    /// The local (pre-aggregation) components in microseconds.
+    pub components: Vec<(Component, u64)>,
+    /// Weight-update time in microseconds (applies the aggregated
+    /// gradient; on the PS server this also covers the summation).
+    pub weight_update_us: u64,
+    /// Multiplicative jitter amplitude (uniform in `1 ± jitter`).
+    pub jitter: f64,
+}
+
+impl ComputeModel {
+    /// The calibrated model for one of the paper's four benchmarks.
+    pub fn for_algorithm(alg: Algorithm) -> Self {
+        // Component splits follow the visual proportions of Fig. 4;
+        // totals are the calibration anchors in the module docs.
+        let (components, weight_update_us) = match alg {
+            // Total local ≈ 12.9 ms + 0.9 ms update (target ~13.9 ms).
+            Algorithm::Dqn => (
+                vec![
+                    (Component::AgentAction, 1_300),
+                    (Component::EnvironReact, 1_700),
+                    (Component::BufferSampling, 1_500),
+                    (Component::MemoryAlloc, 900),
+                    (Component::ForwardPass, 2_400),
+                    (Component::BackwardPass, 3_300),
+                    (Component::GpuCopy, 1_300),
+                    (Component::Others, 500),
+                ],
+                900,
+            ),
+            // Total local ≈ 10.5 ms + 0.8 ms update (target ~11.4 ms).
+            Algorithm::A2c => (
+                vec![
+                    (Component::AgentAction, 1_500),
+                    (Component::EnvironReact, 2_100),
+                    (Component::BufferSampling, 700),
+                    (Component::MemoryAlloc, 700),
+                    (Component::ForwardPass, 2_100),
+                    (Component::BackwardPass, 2_600),
+                    (Component::GpuCopy, 500),
+                    (Component::Others, 300),
+                ],
+                800,
+            ),
+            // Total local ≈ 8.3 ms + 0.5 ms update (target ~8.8 ms).
+            Algorithm::Ppo => (
+                vec![
+                    (Component::AgentAction, 1_200),
+                    (Component::EnvironReact, 2_500),
+                    (Component::BufferSampling, 600),
+                    (Component::MemoryAlloc, 500),
+                    (Component::ForwardPass, 1_400),
+                    (Component::BackwardPass, 1_700),
+                    (Component::GpuCopy, 200),
+                    (Component::Others, 200),
+                ],
+                500,
+            ),
+            // Total local ≈ 16.7 ms + 0.7 ms update (target ~17.4 ms).
+            Algorithm::Ddpg => (
+                vec![
+                    (Component::AgentAction, 1_800),
+                    (Component::EnvironReact, 3_500),
+                    (Component::BufferSampling, 1_900),
+                    (Component::MemoryAlloc, 1_000),
+                    (Component::ForwardPass, 3_300),
+                    (Component::BackwardPass, 4_200),
+                    (Component::GpuCopy, 600),
+                    (Component::Others, 400),
+                ],
+                700,
+            ),
+        };
+        ComputeModel { components, weight_update_us, jitter: 0.03 }
+    }
+
+    /// Mean local-compute time (all pre-aggregation components).
+    pub fn local_compute(&self) -> SimDuration {
+        SimDuration::from_micros(self.components.iter().map(|(_, us)| us).sum())
+    }
+
+    /// Mean weight-update time.
+    pub fn weight_update(&self) -> SimDuration {
+        SimDuration::from_micros(self.weight_update_us)
+    }
+
+    /// One jittered sample of the local-compute time.
+    pub fn sample_local_compute(&self, rng: &mut StdRng) -> SimDuration {
+        let factor = 1.0 + rng.gen_range(-self.jitter..self.jitter);
+        SimDuration::from_secs_f64(self.local_compute().as_secs_f64() * factor)
+    }
+
+    /// One jittered sample of the weight-update time.
+    pub fn sample_weight_update(&self, rng: &mut StdRng) -> SimDuration {
+        let factor = 1.0 + rng.gen_range(-self.jitter..self.jitter);
+        SimDuration::from_secs_f64(self.weight_update().as_secs_f64() * factor)
+    }
+}
+
+/// Host-side communication software costs, algorithm-independent.
+///
+/// For small models (PPO's 40 KB), wire serialization is microseconds yet
+/// the paper reports millisecond-scale aggregation times; the gap is the
+/// software stack (framework collective setup, socket syscalls, copies),
+/// charged once per communication *phase*. The Ring-AllReduce pays it
+/// `2(N-1)` times per iteration — which is exactly why AR loses to PS on
+/// PPO/DDPG in the paper while winning on DQN/A2C.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CommCosts {
+    /// Sender-side cost to initiate one phase (µs).
+    pub phase_send_us: u64,
+    /// Receiver-side cost to complete one phase (µs).
+    pub phase_recv_us: u64,
+    /// Server-side summation rate for the conventional (whole-vector)
+    /// aggregation of Fig. 8a, in bytes/second. The PS server charges
+    /// `N · model_bytes / rate` before it can update weights.
+    pub sum_bytes_per_sec: u64,
+}
+
+impl Default for CommCosts {
+    fn default() -> Self {
+        CommCosts {
+            phase_send_us: 700,
+            phase_recv_us: 500,
+            sum_bytes_per_sec: 4 << 30,
+        }
+    }
+}
+
+impl CommCosts {
+    /// Sender phase-initiation cost.
+    pub fn phase_send(&self) -> SimDuration {
+        SimDuration::from_micros(self.phase_send_us)
+    }
+
+    /// Receiver phase-completion cost.
+    pub fn phase_recv(&self) -> SimDuration {
+        SimDuration::from_micros(self.phase_recv_us)
+    }
+
+    /// Time for the server to sum `n` vectors of `bytes` each.
+    pub fn sum_time(&self, n: usize, bytes: usize) -> SimDuration {
+        let total = (n * bytes) as f64;
+        SimDuration::from_secs_f64(total / self.sum_bytes_per_sec as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn calibration_totals_match_design_targets() {
+        // Local compute + update must equal (1 - agg share) · Table-4 time
+        // within 10%.
+        let anchors = [
+            (Algorithm::Dqn, 81.56, 0.83),
+            (Algorithm::A2c, 51.66, 0.78),
+            (Algorithm::Ppo, 17.55, 0.50),
+            (Algorithm::Ddpg, 38.74, 0.55),
+        ];
+        for (alg, total_ms, agg_share) in anchors {
+            let m = ComputeModel::for_algorithm(alg);
+            let local_ms =
+                m.local_compute().as_millis_f64() + m.weight_update().as_millis_f64();
+            let target = total_ms * (1.0 - agg_share);
+            let err = (local_ms - target).abs() / target;
+            assert!(
+                err < 0.10,
+                "{alg}: local {local_ms:.2} ms vs target {target:.2} ms"
+            );
+        }
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_seeded() {
+        let m = ComputeModel::for_algorithm(Algorithm::Ppo);
+        let mut rng = StdRng::seed_from_u64(0);
+        let base = m.local_compute().as_secs_f64();
+        for _ in 0..100 {
+            let s = m.sample_local_compute(&mut rng).as_secs_f64();
+            assert!((s / base - 1.0).abs() <= m.jitter + 1e-9);
+        }
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(m.sample_local_compute(&mut a), m.sample_local_compute(&mut b));
+    }
+
+    #[test]
+    fn sum_time_scales_linearly() {
+        let c = CommCosts::default();
+        let one = c.sum_time(1, 1 << 20);
+        let four = c.sum_time(4, 1 << 20);
+        let err = (four.as_nanos() as i64 - one.as_nanos() as i64 * 4).abs();
+        assert!(err <= 4, "nonlinear beyond rounding: {err} ns");
+    }
+
+    #[test]
+    fn component_labels_cover_figure_legend() {
+        let m = ComputeModel::for_algorithm(Algorithm::Dqn);
+        let labels: Vec<&str> = m.components.iter().map(|(c, _)| c.label()).collect();
+        assert!(labels.contains(&"Forward Pass"));
+        assert!(labels.contains(&"Backward Pass"));
+        assert_eq!(Component::GradAggregation.label(), "Grad Aggregation");
+    }
+}

@@ -1,0 +1,48 @@
+//! # iswitch-cluster
+//!
+//! The distributed-training harness of the iSwitch (ISCA '19)
+//! reproduction. It combines the substrates into the paper's experiments:
+//!
+//! * **timing mode** ([`run_timing`]): paper-sized gradient traffic driven
+//!   through the packet-level simulator by event-driven worker/server
+//!   applications, one per strategy — synchronous PS, Ring-AllReduce, and
+//!   iSwitch, plus asynchronous PS and the three-stage-pipelined
+//!   asynchronous iSwitch. Produces per-iteration times, component
+//!   breakdowns, and staleness distributions.
+//! * **convergence mode** ([`run_convergence`]): real (scaled-down) RL
+//!   training with per-strategy aggregation semantics; async strategies
+//!   replay the staleness distributions measured in timing mode — the
+//!   paper's own §5.3 emulation methodology.
+//! * **experiments** ([`experiments`]): one function per table/figure of
+//!   the paper's evaluation, composing the two modes.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use iswitch_cluster::{run_timing, Strategy, TimingConfig};
+//! use iswitch_rl::Algorithm;
+//!
+//! let ps = run_timing(&TimingConfig::main_cluster(Algorithm::Ppo, Strategy::SyncPs));
+//! let isw = run_timing(&TimingConfig::main_cluster(Algorithm::Ppo, Strategy::SyncIsw));
+//! assert!(isw.per_iteration < ps.per_iteration);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod apps;
+mod compute_model;
+mod convergence;
+pub mod experiments;
+pub mod report;
+mod staleness;
+mod timing_runner;
+
+pub use compute_model::{CommCosts, Component, ComputeModel};
+pub use convergence::{
+    default_max_iterations, default_target, run_convergence, AggregationSemantics,
+    ConvergenceConfig, ConvergenceResult,
+};
+pub use staleness::StalenessDistribution;
+pub use timing_runner::{run_timing, Breakdown, Strategy, TimingConfig, TimingResult};
+
+pub use iswitch_core::AggregationMode;

@@ -1,0 +1,171 @@
+//! Plain-text table/series rendering for the bench harness.
+
+use std::fmt::Write as _;
+
+/// Renders a Markdown-style table with right-aligned numeric columns.
+///
+/// # Panics
+///
+/// Panics if any row's width differs from the header's.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "ragged table row");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        out.push('|');
+        for (w, cell) in widths.iter().zip(cells) {
+            let _ = write!(out, " {cell:>w$} |", w = w);
+        }
+        out.push('\n');
+    };
+    line(&mut out, &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    out.push('|');
+    for w in &widths {
+        let _ = write!(out, "{}|", "-".repeat(w + 2));
+    }
+    out.push('\n');
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Formats seconds as adaptive `ms` / `s` / `h`.
+pub fn fmt_secs(s: f64) -> String {
+    if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else if s < 3_600.0 {
+        format!("{s:.2} s")
+    } else {
+        format!("{:.2} h", s / 3_600.0)
+    }
+}
+
+/// Formats a speedup factor.
+pub fn fmt_speedup(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats bytes as adaptive `KB`/`MB`.
+pub fn fmt_bytes(b: f64) -> String {
+    if b >= 1_048_576.0 {
+        format!("{:.2} MB", b / 1_048_576.0)
+    } else {
+        format!("{:.2} KB", b / 1_024.0)
+    }
+}
+
+/// Renders an ASCII line chart of one or more series (used for the
+/// training-curve and scalability figures).
+pub fn render_ascii_chart(
+    title: &str,
+    series: &[(String, Vec<(f64, f64)>)],
+    width: usize,
+    height: usize,
+) -> String {
+    let mut out = format!("{title}\n");
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|(_, p)| p.iter().copied()).collect();
+    if all.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let (mut x0, mut x1) = (f64::MAX, f64::MIN);
+    let (mut y0, mut y1) = (f64::MAX, f64::MIN);
+    for &(x, y) in &all {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if (x1 - x0).abs() < 1e-12 {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < 1e-12 {
+        y1 = y0 + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    let marks = ['*', 'o', '+', 'x', '#', '@'];
+    for (si, (_, points)) in series.iter().enumerate() {
+        let mark = marks[si % marks.len()];
+        for &(x, y) in points {
+            let cx = (((x - x0) / (x1 - x0)) * (width - 1) as f64).round() as usize;
+            let cy = (((y - y0) / (y1 - y0)) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - cy][cx.min(width - 1)] = mark;
+        }
+    }
+    let _ = writeln!(out, "  y: [{y0:.1} .. {y1:.1}]   x: [{x0:.1} .. {x1:.1}]");
+    for row in grid {
+        out.push_str("  |");
+        out.extend(row);
+        out.push('\n');
+    }
+    let _ = writeln!(out, "  +{}", "-".repeat(width));
+    for (si, (name, _)) in series.iter().enumerate() {
+        let _ = writeln!(out, "  {} = {name}", marks[si % marks.len()]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "12345".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(lines[3].contains("long-name"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = render_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_secs(0.0123), "12.30 ms");
+        assert_eq!(fmt_secs(12.0), "12.00 s");
+        assert_eq!(fmt_secs(7_200.0), "2.00 h");
+        assert_eq!(fmt_speedup(3.664), "3.66x");
+        assert_eq!(fmt_bytes(40.02 * 1024.0), "40.02 KB");
+        assert_eq!(fmt_bytes(6.41 * 1_048_576.0), "6.41 MB");
+    }
+
+    #[test]
+    fn chart_renders_all_series() {
+        let chart = render_ascii_chart(
+            "demo",
+            &[
+                ("up".into(), vec![(0.0, 0.0), (1.0, 1.0)]),
+                ("down".into(), vec![(0.0, 1.0), (1.0, 0.0)]),
+            ],
+            20,
+            10,
+        );
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+        assert!(chart.contains("up"));
+    }
+
+    #[test]
+    fn chart_handles_empty() {
+        assert!(render_ascii_chart("t", &[], 10, 5).contains("no data"));
+    }
+}

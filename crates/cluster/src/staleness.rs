@@ -1,0 +1,108 @@
+//! Empirical staleness distributions, bridging timing mode and
+//! convergence mode.
+//!
+//! The paper's emulation methodology (§5.3): "the iterations required by
+//! iSwitch can be emulated by controlling the usage of staled gradient in
+//! synchronous training … where the staleness is calculated by the
+//! measured time ratio of the three stages." Timing mode measures the
+//! staleness of every committed gradient; convergence mode replays that
+//! distribution while training for real.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An empirical distribution over integer staleness values.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StalenessDistribution {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl StalenessDistribution {
+    /// Builds from observed samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_samples(samples: &[u32]) -> Self {
+        assert!(!samples.is_empty(), "staleness distribution needs samples");
+        let max = *samples.iter().max().expect("non-empty") as usize;
+        let mut counts = vec![0u64; max + 1];
+        for &s in samples {
+            counts[s as usize] += 1;
+        }
+        StalenessDistribution { counts, total: samples.len() as u64 }
+    }
+
+    /// A degenerate distribution always returning `value` (staleness 0 is
+    /// synchronous training).
+    pub fn constant(value: u32) -> Self {
+        let mut counts = vec![0u64; value as usize + 1];
+        counts[value as usize] = 1;
+        StalenessDistribution { counts, total: 1 }
+    }
+
+    /// Draws one staleness value.
+    pub fn sample(&self, rng: &mut StdRng) -> u32 {
+        let mut pick = rng.gen_range(0..self.total);
+        for (value, &count) in self.counts.iter().enumerate() {
+            if pick < count {
+                return value as u32;
+            }
+            pick -= count;
+        }
+        (self.counts.len() - 1) as u32
+    }
+
+    /// Mean staleness.
+    pub fn mean(&self) -> f64 {
+        let weighted: u64 =
+            self.counts.iter().enumerate().map(|(v, &c)| v as u64 * c).sum();
+        weighted as f64 / self.total as f64
+    }
+
+    /// Maximum observed staleness.
+    pub fn max(&self) -> u32 {
+        (self.counts.len() - 1) as u32
+    }
+
+    /// Probability of staleness exactly `value`.
+    pub fn probability(&self, value: u32) -> f64 {
+        self.counts.get(value as usize).map_or(0.0, |&c| c as f64 / self.total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_samples_reconstructs_frequencies() {
+        let d = StalenessDistribution::from_samples(&[0, 0, 1, 2, 2, 2]);
+        assert!((d.probability(0) - 2.0 / 6.0).abs() < 1e-12);
+        assert!((d.probability(2) - 3.0 / 6.0).abs() < 1e-12);
+        assert_eq!(d.probability(9), 0.0);
+        assert_eq!(d.max(), 2);
+        assert!((d.mean() - (0.0 + 0.0 + 1.0 + 2.0 + 2.0 + 2.0) / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let d = StalenessDistribution::from_samples(&[0, 1, 1, 1]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 10_000;
+        let ones = (0..n).filter(|_| d.sample(&mut rng) == 1).count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.03, "got {frac}");
+    }
+
+    #[test]
+    fn constant_distribution_is_degenerate() {
+        let d = StalenessDistribution::constant(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!((0..50).all(|_| d.sample(&mut rng) == 2));
+        assert_eq!(d.mean(), 2.0);
+    }
+}

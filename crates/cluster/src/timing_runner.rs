@@ -1,0 +1,849 @@
+//! Timing-mode experiments: paper-sized gradient traffic through the
+//! packet-level simulator, measuring steady-state per-iteration time and
+//! its component breakdown for every strategy of the paper's evaluation.
+
+use iswitch_core::{AggregationMode, AggregationRole, ExtensionConfig, IswitchExtension};
+use iswitch_netsim::{
+    build_star, build_tree, build_tree3, host_ip, Host, HostApp, LossModel, PortId, SimDuration,
+    SimTime, Simulator, SwitchExtension, SwitchRole, TopologyConfig,
+};
+use iswitch_rl::{paper_model, Algorithm};
+use serde::{Deserialize, Serialize};
+
+use crate::apps::{
+    AsyncPsServer, AsyncPsWorker, IswAsyncWorker, IswSyncWorker, IterSpans, RingWorker,
+    SyncPsServer, SyncPsWorker,
+};
+use crate::compute_model::{CommCosts, ComputeModel};
+
+/// A distributed-training strategy from the paper's evaluation (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Synchronous centralized parameter server (baseline "PS").
+    SyncPs,
+    /// Synchronous Ring-AllReduce ("AR").
+    SyncAr,
+    /// Synchronous in-switch aggregation ("iSW").
+    SyncIsw,
+    /// Asynchronous parameter server ("Async PS").
+    AsyncPs,
+    /// Asynchronous in-switch aggregation with the three-stage pipeline
+    /// ("Async iSW").
+    AsyncIsw,
+}
+
+impl Strategy {
+    /// Paper label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::SyncPs => "PS",
+            Strategy::SyncAr => "AR",
+            Strategy::SyncIsw => "iSW",
+            Strategy::AsyncPs => "Async PS",
+            Strategy::AsyncIsw => "Async iSW",
+        }
+    }
+
+    /// Whether this is an asynchronous strategy.
+    pub fn is_async(self) -> bool {
+        matches!(self, Strategy::AsyncPs | Strategy::AsyncIsw)
+    }
+}
+
+/// Configuration of one timing experiment.
+#[derive(Debug, Clone)]
+pub struct TimingConfig {
+    /// Benchmark algorithm (fixes the model size and compute model).
+    pub algorithm: Algorithm,
+    /// Strategy under test.
+    pub strategy: Strategy,
+    /// Number of training workers.
+    pub workers: usize,
+    /// `Some(k)` builds the two-layer ToR/Core tree with `k` workers per
+    /// rack (paper §5.3 uses 3); `None` builds the single-switch star.
+    pub workers_per_rack: Option<usize>,
+    /// With `workers_per_rack` set, `Some(f)` inserts an aggregation
+    /// switch layer grouping `f` racks per AGG (the full three-level
+    /// hierarchy of Fig. 10). `None` keeps ToRs directly under the core.
+    pub racks_per_agg: Option<usize>,
+    /// Iterations to measure (after warmup).
+    pub iterations: usize,
+    /// Iterations discarded as warmup.
+    pub warmup: usize,
+    /// Physical network parameters.
+    pub topo: TopologyConfig,
+    /// Host software costs.
+    pub comm: CommCosts,
+    /// Staleness bound `S` for asynchronous strategies.
+    pub staleness_bound: u32,
+    /// Output-scheduling ablation for iSwitch strategies (the paper's
+    /// design is on-the-fly; Fig. 8a's conventional scheme for comparison).
+    pub aggregation_mode: AggregationMode,
+    /// Overrides the aggregation threshold `H` on iSwitch switches (the
+    /// `SetH` partial-aggregation ablation). `None` keeps `H` = children.
+    pub threshold_override: Option<u16>,
+    /// Per-packet random loss probability on edge links (failure
+    /// injection). iSwitch workers recover via `Help`/`FBcast`.
+    pub edge_loss: f64,
+    /// Safety cap on simulator events (panics past it instead of hanging);
+    /// `None` = unlimited. Useful when exploring extreme loss regimes
+    /// where recovery traffic can compound.
+    pub event_limit: Option<u64>,
+    /// Seed for compute-time jitter.
+    pub seed: u64,
+}
+
+impl TimingConfig {
+    /// The paper's main-cluster setup: 4 workers on one switch, S = 3.
+    pub fn main_cluster(algorithm: Algorithm, strategy: Strategy) -> Self {
+        TimingConfig {
+            algorithm,
+            strategy,
+            workers: 4,
+            workers_per_rack: None,
+            racks_per_agg: None,
+            iterations: 30,
+            warmup: 3,
+            topo: TopologyConfig::default(),
+            comm: CommCosts::default(),
+            staleness_bound: 3,
+            aggregation_mode: AggregationMode::OnTheFly,
+            threshold_override: None,
+            edge_loss: 0.0,
+            event_limit: None,
+            seed: 0x5117c4,
+        }
+    }
+}
+
+/// Mean per-iteration breakdown (the paper's Fig. 4 / Fig. 12 spans).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Breakdown {
+    /// Local gradient computing.
+    pub compute: SimDuration,
+    /// Gradient aggregation (network + in-switch/in-server summation).
+    pub aggregation: SimDuration,
+    /// Weight update.
+    pub update: SimDuration,
+}
+
+impl Breakdown {
+    /// Total iteration time.
+    pub fn total(&self) -> SimDuration {
+        self.compute + self.aggregation + self.update
+    }
+
+    /// Fraction of the iteration spent in gradient aggregation.
+    pub fn aggregation_share(&self) -> f64 {
+        self.aggregation.as_secs_f64() / self.total().as_secs_f64()
+    }
+}
+
+/// Result of one timing experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimingResult {
+    /// Mean per-iteration time (sync: worker iteration; async: interval
+    /// between weight updates, the paper's §5.2 definition).
+    pub per_iteration: SimDuration,
+    /// Component breakdown (sync strategies only; async reports totals).
+    pub breakdown: Breakdown,
+    /// Staleness samples of committed gradients (async strategies).
+    pub staleness: Vec<u32>,
+    /// Fraction of pushed gradients discarded for exceeding the staleness
+    /// bound (async PS only; iSwitch's bound check happens *before* the
+    /// commit, so nothing is wasted on the wire).
+    pub discard_fraction: f64,
+    /// Iterations actually measured.
+    pub iterations_measured: usize,
+}
+
+impl TimingResult {
+    /// Mean staleness, if async.
+    pub fn mean_staleness(&self) -> Option<f64> {
+        if self.staleness.is_empty() {
+            None
+        } else {
+            Some(self.staleness.iter().map(|&s| s as f64).sum::<f64>() / self.staleness.len() as f64)
+        }
+    }
+}
+
+fn model_bytes(alg: Algorithm) -> u64 {
+    paper_model(alg).bytes() as u64
+}
+
+fn grad_len(alg: Algorithm) -> usize {
+    paper_model(alg).param_count()
+}
+
+/// Collectives per iteration: one per constituent network (DDPG's dual
+/// model aggregates actor and critic separately).
+fn messages(alg: Algorithm) -> u64 {
+    paper_model(alg).networks.len() as u64
+}
+
+/// Splits `workers` into racks of at most `per_rack`.
+fn rack_sizes(workers: usize, per_rack: usize) -> Vec<usize> {
+    assert!(per_rack > 0);
+    let mut left = workers;
+    let mut out = Vec::new();
+    while left > 0 {
+        let take = left.min(per_rack);
+        out.push(take);
+        left -= take;
+    }
+    out
+}
+
+/// Runs one timing experiment.
+///
+/// # Panics
+///
+/// Panics on degenerate configurations (zero workers/iterations).
+pub fn run_timing(cfg: &TimingConfig) -> TimingResult {
+    assert!(cfg.workers >= 2, "distributed training needs at least two workers");
+    assert!(cfg.iterations > 0, "must measure at least one iteration");
+    match cfg.strategy {
+        Strategy::SyncPs => run_sync_ps(cfg),
+        Strategy::SyncAr => run_sync_ar(cfg),
+        Strategy::SyncIsw => run_sync_isw(cfg),
+        Strategy::AsyncPs => run_async_ps(cfg),
+        Strategy::AsyncIsw => run_async_isw(cfg),
+    }
+}
+
+/// Builds either a star or a tree over the given worker apps (plus an
+/// optional trailing server app placed in the first rack), returning the
+/// worker node ids (and the server node id last, when present).
+fn build_plain_topology(
+    sim: &mut Simulator,
+    mut worker_apps: Vec<Box<dyn HostApp>>,
+    server_app: Option<Box<dyn HostApp>>,
+    cfg: &TimingConfig,
+) -> (Vec<iswitch_netsim::NodeId>, Option<iswitch_netsim::NodeId>) {
+    match cfg.workers_per_rack {
+        None => {
+            let has_server = server_app.is_some();
+            if let Some(s) = server_app {
+                worker_apps.push(s);
+            }
+            let star = build_star(sim, worker_apps, None, &cfg.topo);
+            let mut nodes = star.hosts;
+            let server = if has_server { nodes.pop() } else { None };
+            (nodes, server)
+        }
+        Some(per_rack) => {
+            let sizes = rack_sizes(cfg.workers, per_rack);
+            let mut apps = worker_apps.into_iter();
+            let mut racks: Vec<Vec<Box<dyn HostApp>>> =
+                sizes.iter().map(|&k| (0..k).map(|_| apps.next().expect("enough apps")).collect()).collect();
+            // The PS server joins the first rack (extra port on ToR 0).
+            let has_server = server_app.is_some();
+            if let Some(s) = server_app {
+                racks[0].push(s);
+            }
+            let tree = build_tree(sim, racks, &mut |_| None, &cfg.topo);
+            let mut nodes: Vec<_> = tree.hosts.iter().flatten().copied().collect();
+            let server = if has_server {
+                // Last host of rack 0 is the server; remove it from the
+                // flattened worker list (it sits at index sizes[0]).
+                let idx = rack_sizes(cfg.workers, per_rack)[0];
+                Some(nodes.remove(idx))
+            } else {
+                None
+            };
+            (nodes, server)
+        }
+    }
+}
+
+/// The IP a host at flattened position `i` has (accounting for rack layout
+/// and the optional server slot).
+fn server_ip(cfg: &TimingConfig) -> iswitch_netsim::IpAddr {
+    match cfg.workers_per_rack {
+        None => host_ip(0, cfg.workers),
+        Some(per_rack) => host_ip(0, rack_sizes(cfg.workers, per_rack)[0]),
+    }
+}
+
+fn collect_sync_result<T: HostApp>(
+    sim: &mut Simulator,
+    workers: &[iswitch_netsim::NodeId],
+    warmup: usize,
+    log_of: impl Fn(&T) -> &crate::apps::IterLog,
+) -> TimingResult {
+    let mut spans: Vec<IterSpans> = Vec::new();
+    let mut measured = 0;
+    for &w in workers {
+        let app = sim.device::<Host>(w).app::<T>();
+        let log = log_of(app);
+        spans.push(log.mean_after(warmup));
+        measured += log.len().saturating_sub(warmup);
+    }
+    let n = spans.len() as u64;
+    let mean = |f: fn(&IterSpans) -> SimDuration| {
+        SimDuration::from_nanos(spans.iter().map(|s| f(s).as_nanos()).sum::<u64>() / n)
+    };
+    let breakdown = Breakdown {
+        compute: mean(|s| s.compute),
+        aggregation: mean(|s| s.aggregation),
+        update: mean(|s| s.update),
+    };
+    TimingResult {
+        per_iteration: breakdown.total(),
+        breakdown,
+        staleness: Vec::new(),
+        discard_fraction: 0.0,
+        iterations_measured: measured,
+    }
+}
+
+fn run_sync_ps(cfg: &TimingConfig) -> TimingResult {
+    let bytes = model_bytes(cfg.algorithm);
+    let model = ComputeModel::for_algorithm(cfg.algorithm);
+    let total_iters = cfg.warmup + cfg.iterations;
+    let mut sim = Simulator::new();
+    let srv_ip = server_ip(cfg);
+    let worker_apps: Vec<Box<dyn HostApp>> = (0..cfg.workers)
+        .map(|w| {
+            Box::new(SyncPsWorker::new(
+                srv_ip,
+                bytes,
+                messages(cfg.algorithm),
+                total_iters,
+                model.clone(),
+                cfg.comm.clone(),
+                cfg.seed.wrapping_add(w as u64),
+            )) as Box<dyn HostApp>
+        })
+        .collect();
+    let worker_ips: Vec<_> = worker_ips(cfg);
+    let server = Box::new(SyncPsServer::new(
+        worker_ips,
+        bytes,
+        messages(cfg.algorithm),
+        model,
+        cfg.comm.clone(),
+        cfg.seed.wrapping_add(0xFF),
+    ));
+    let (workers, _server) = build_plain_topology(&mut sim, worker_apps, Some(server), cfg);
+    sim.run_until_idle();
+    collect_sync_result::<SyncPsWorker>(&mut sim, &workers, cfg.warmup, |a| &a.log)
+}
+
+/// Worker IPs in flattened order for the current layout.
+fn worker_ips(cfg: &TimingConfig) -> Vec<iswitch_netsim::IpAddr> {
+    match cfg.workers_per_rack {
+        None => (0..cfg.workers).map(|i| host_ip(0, i)).collect(),
+        Some(per_rack) => {
+            let sizes = rack_sizes(cfg.workers, per_rack);
+            let mut out = Vec::new();
+            for (r, &k) in sizes.iter().enumerate() {
+                for i in 0..k {
+                    out.push(host_ip(r, i));
+                }
+            }
+            out
+        }
+    }
+}
+
+fn run_sync_ar(cfg: &TimingConfig) -> TimingResult {
+    let bytes = model_bytes(cfg.algorithm);
+    let model = ComputeModel::for_algorithm(cfg.algorithm);
+    let total_iters = cfg.warmup + cfg.iterations;
+    let ips = worker_ips(cfg);
+    let mut sim = Simulator::new();
+    let worker_apps: Vec<Box<dyn HostApp>> = (0..cfg.workers)
+        .map(|w| {
+            Box::new(RingWorker::new(
+                w,
+                cfg.workers,
+                ips[(w + 1) % cfg.workers],
+                bytes,
+                messages(cfg.algorithm),
+                total_iters,
+                model.clone(),
+                cfg.comm.clone(),
+                cfg.seed.wrapping_add(w as u64),
+            )) as Box<dyn HostApp>
+        })
+        .collect();
+    let (workers, _) = build_plain_topology(&mut sim, worker_apps, None, cfg);
+    sim.run_until_idle();
+    collect_sync_result::<RingWorker>(&mut sim, &workers, cfg.warmup, |a| &a.log)
+}
+
+/// Builds the iSwitch topology (star or tree with accelerators installed)
+/// over the given worker apps.
+fn build_isw_topology(
+    sim: &mut Simulator,
+    worker_apps: Vec<Box<dyn HostApp>>,
+    cfg: &TimingConfig,
+    len: usize,
+) -> Vec<iswitch_netsim::NodeId> {
+    let tune = |mut ext_cfg: ExtensionConfig, cfg: &TimingConfig| {
+        ext_cfg.mode = cfg.aggregation_mode;
+        if let Some(h) = cfg.threshold_override {
+            ext_cfg.threshold = h;
+        }
+        if cfg.edge_loss > 0.0 {
+            // Expire partial rounds stuck on a lost contribution (round
+            // tags keep expired flushes from polluting newer rounds).
+            let age = SimDuration::serialization(len * 4, cfg.topo.edge.bandwidth_bps)
+                + SimDuration::from_millis(2);
+            ext_cfg.stale_flush = Some(age);
+        }
+        ext_cfg
+    };
+    match cfg.workers_per_rack {
+        None => {
+            let n = worker_apps.len();
+            let child_ports: Vec<PortId> = (0..n).map(PortId::new).collect();
+            let ext =
+                IswitchExtension::new(tune(ExtensionConfig::for_star(child_ports, len), cfg));
+            build_star(sim, worker_apps, Some(Box::new(ext)), &cfg.topo).hosts
+        }
+        Some(per_rack) => {
+            let sizes = rack_sizes(cfg.workers, per_rack);
+            let mut apps = worker_apps.into_iter();
+            let racks: Vec<Vec<Box<dyn HostApp>>> = sizes
+                .iter()
+                .map(|&k| (0..k).map(|_| apps.next().expect("enough apps")).collect())
+                .collect();
+            let n_racks = sizes.len();
+            match cfg.racks_per_agg {
+                None => {
+                    let mut mk_ext = |role: SwitchRole| -> Option<Box<dyn SwitchExtension>> {
+                        // The threshold/mode ablations target the
+                        // single-switch deployment; hierarchical thresholds
+                        // stay child-counts so every level completes
+                        // consistently.
+                        let ext = match role {
+                            SwitchRole::Tor(r) => {
+                                IswitchExtension::new(ExtensionConfig::for_tree_level(
+                                    AggregationRole::Intermediate {
+                                        uplink: PortId::new(sizes[r]),
+                                    },
+                                    (0..sizes[r]).map(PortId::new).collect(),
+                                    len,
+                                ))
+                            }
+                            SwitchRole::Core => {
+                                IswitchExtension::new(ExtensionConfig::for_tree_level(
+                                    AggregationRole::Root,
+                                    (0..n_racks).map(PortId::new).collect(),
+                                    len,
+                                ))
+                            }
+                            SwitchRole::Agg(_) => {
+                                unreachable!("two-level trees have no aggregation layer")
+                            }
+                        };
+                        Some(Box::new(ext))
+                    };
+                    let tree = build_tree(sim, racks, &mut mk_ext, &cfg.topo);
+                    tree.hosts.into_iter().flatten().collect()
+                }
+                Some(fanout) => {
+                    let fanout = fanout.max(1);
+                    let mut racks = racks.into_iter();
+                    let mut grouped: Vec<Vec<Vec<Box<dyn HostApp>>>> = Vec::new();
+                    let mut group_sizes: Vec<usize> = Vec::new();
+                    let mut i = 0;
+                    while i < n_racks {
+                        let take = fanout.min(n_racks - i);
+                        grouped.push((0..take).map(|_| racks.next().expect("racks")).collect());
+                        group_sizes.push(take);
+                        i += take;
+                    }
+                    let n_aggs = grouped.len();
+                    let mut mk_ext = |role: SwitchRole| -> Option<Box<dyn SwitchExtension>> {
+                        let ext = match role {
+                            SwitchRole::Tor(r) => {
+                                IswitchExtension::new(ExtensionConfig::for_tree_level(
+                                    AggregationRole::Intermediate {
+                                        uplink: PortId::new(sizes[r]),
+                                    },
+                                    (0..sizes[r]).map(PortId::new).collect(),
+                                    len,
+                                ))
+                            }
+                            SwitchRole::Agg(a) => {
+                                IswitchExtension::new(ExtensionConfig::for_tree_level(
+                                    AggregationRole::Intermediate {
+                                        uplink: PortId::new(group_sizes[a]),
+                                    },
+                                    (0..group_sizes[a]).map(PortId::new).collect(),
+                                    len,
+                                ))
+                            }
+                            SwitchRole::Core => {
+                                IswitchExtension::new(ExtensionConfig::for_tree_level(
+                                    AggregationRole::Root,
+                                    (0..n_aggs).map(PortId::new).collect(),
+                                    len,
+                                ))
+                            }
+                        };
+                        Some(Box::new(ext))
+                    };
+                    let tree3 = build_tree3(sim, grouped, &mut mk_ext, &cfg.topo);
+                    tree3.hosts.into_iter().flatten().flatten().collect()
+                }
+            }
+        }
+    }
+}
+
+fn apply_event_limit(sim: &mut Simulator, cfg: &TimingConfig) {
+    if let Some(limit) = cfg.event_limit {
+        sim.set_event_limit(limit);
+    }
+}
+
+fn run_sync_isw(cfg: &TimingConfig) -> TimingResult {
+    let len = grad_len(cfg.algorithm);
+    let model = ComputeModel::for_algorithm(cfg.algorithm);
+    let total_iters = cfg.warmup + cfg.iterations;
+    let mut cfg = cfg.clone();
+    // Loss recovery: retry somewhat after a full round would normally
+    // complete (serialization up + broadcast down + jitter headroom).
+    // Round tags make premature retries harmless and the worker caps each
+    // retry's Help batch, so the timeout only trades recovery latency.
+    let help_timeout = SimDuration::serialization(len * 4, cfg.topo.edge.bandwidth_bps) * 3
+        + SimDuration::from_millis(3);
+    if cfg.edge_loss > 0.0 {
+        cfg.topo.edge.loss =
+            LossModel::Random { probability: cfg.edge_loss, seed: cfg.seed };
+    }
+    let mut sim = Simulator::new();
+    apply_event_limit(&mut sim, &cfg);
+    let worker_apps: Vec<Box<dyn HostApp>> = (0..cfg.workers)
+        .map(|w| {
+            let mut worker = IswSyncWorker::new(
+                len,
+                messages(cfg.algorithm),
+                total_iters,
+                model.clone(),
+                cfg.comm.clone(),
+                cfg.seed.wrapping_add(w as u64),
+            );
+            if cfg.edge_loss > 0.0 {
+                worker = worker.with_help_timeout(help_timeout);
+            }
+            Box::new(worker) as Box<dyn HostApp>
+        })
+        .collect();
+    let workers = build_isw_topology(&mut sim, worker_apps, &cfg, len);
+    sim.run_until_idle();
+    collect_sync_result::<IswSyncWorker>(&mut sim, &workers, cfg.warmup, |a| &a.log)
+}
+
+/// Mean interval between consecutive update timestamps after warmup.
+fn mean_update_interval(times: &[SimTime], warmup: usize) -> (SimDuration, usize) {
+    assert!(
+        times.len() > warmup + 1,
+        "need more than {warmup} + 1 updates, got {}",
+        times.len()
+    );
+    let tail = &times[warmup..];
+    let span = tail.last().expect("non-empty").duration_since(tail[0]);
+    let n = tail.len() - 1;
+    (span / n as u64, n)
+}
+
+/// Runs an open-ended async simulation until `target_updates` have been
+/// observed by `count` (or the event cap trips).
+fn run_async_until(
+    sim: &mut Simulator,
+    target_updates: usize,
+    mut count: impl FnMut(&mut Simulator) -> usize,
+) {
+    let slice = SimDuration::from_millis(200);
+    let mut t = SimTime::ZERO;
+    for _ in 0..100_000 {
+        t += slice;
+        sim.run_until(t);
+        if count(sim) >= target_updates {
+            return;
+        }
+    }
+    panic!("async simulation failed to reach {target_updates} updates");
+}
+
+fn run_async_ps(cfg: &TimingConfig) -> TimingResult {
+    let bytes = model_bytes(cfg.algorithm);
+    let model = ComputeModel::for_algorithm(cfg.algorithm);
+    let mut sim = Simulator::new();
+    let srv_ip = server_ip(cfg);
+    let worker_apps: Vec<Box<dyn HostApp>> = (0..cfg.workers)
+        .map(|w| {
+            Box::new(AsyncPsWorker::new(
+                srv_ip,
+                bytes,
+                messages(cfg.algorithm),
+                model.clone(),
+                cfg.comm.clone(),
+                cfg.seed.wrapping_add(w as u64),
+                None,
+            )) as Box<dyn HostApp>
+        })
+        .collect();
+    let server = Box::new(AsyncPsServer::new(
+        bytes,
+        messages(cfg.algorithm),
+        model,
+        cfg.comm.clone(),
+        cfg.staleness_bound,
+        cfg.seed.wrapping_add(0xFF),
+    ));
+    let (_workers, server_node) = build_plain_topology(&mut sim, worker_apps, Some(server), cfg);
+    let server_node = server_node.expect("async PS has a server");
+    let target = cfg.warmup + cfg.iterations + 1;
+    run_async_until(&mut sim, target, |sim| {
+        sim.device::<Host>(server_node).app::<AsyncPsServer>().update_times.len()
+    });
+    let app = sim.device::<Host>(server_node).app::<AsyncPsServer>();
+    let (per_iteration, measured) = mean_update_interval(&app.update_times, cfg.warmup);
+    let pushed = app.staleness.len() as f64 + app.discarded as f64;
+    TimingResult {
+        per_iteration,
+        breakdown: Breakdown { compute: SimDuration::ZERO, aggregation: per_iteration, update: SimDuration::ZERO },
+        staleness: app.staleness.clone(),
+        discard_fraction: if pushed > 0.0 { app.discarded as f64 / pushed } else { 0.0 },
+        iterations_measured: measured,
+    }
+}
+
+fn run_async_isw(cfg: &TimingConfig) -> TimingResult {
+    let len = grad_len(cfg.algorithm);
+    let model = ComputeModel::for_algorithm(cfg.algorithm);
+    let mut sim = Simulator::new();
+    let worker_apps: Vec<Box<dyn HostApp>> = (0..cfg.workers)
+        .map(|w| {
+            Box::new(IswAsyncWorker::new(
+                len,
+                messages(cfg.algorithm),
+                model.clone(),
+                cfg.comm.clone(),
+                cfg.staleness_bound,
+                cfg.seed.wrapping_add(w as u64),
+                None,
+            )) as Box<dyn HostApp>
+        })
+        .collect();
+    let workers = build_isw_topology(&mut sim, worker_apps, cfg, len);
+    let probe = workers[0];
+    let target = cfg.warmup + cfg.iterations + 1;
+    run_async_until(&mut sim, target, |sim| {
+        sim.device::<Host>(probe).app::<IswAsyncWorker>().update_times.len()
+    });
+    let mut staleness = Vec::new();
+    for &w in &workers {
+        staleness.extend_from_slice(&sim.device::<Host>(w).app::<IswAsyncWorker>().staleness);
+    }
+    let app = sim.device::<Host>(probe).app::<IswAsyncWorker>();
+    let (per_iteration, measured) = mean_update_interval(&app.update_times, cfg.warmup);
+    TimingResult {
+        per_iteration,
+        breakdown: Breakdown { compute: SimDuration::ZERO, aggregation: per_iteration, update: SimDuration::ZERO },
+        staleness,
+        discard_fraction: 0.0,
+        iterations_measured: measured,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(alg: Algorithm, strategy: Strategy) -> TimingConfig {
+        let mut cfg = TimingConfig::main_cluster(alg, strategy);
+        cfg.iterations = 8;
+        cfg.warmup = 2;
+        cfg
+    }
+
+    #[test]
+    fn sync_isw_beats_ps_on_every_benchmark() {
+        for alg in Algorithm::ALL {
+            let ps = run_timing(&quick(alg, Strategy::SyncPs));
+            let isw = run_timing(&quick(alg, Strategy::SyncIsw));
+            assert!(
+                isw.per_iteration < ps.per_iteration,
+                "{alg}: iSW {} !< PS {}",
+                isw.per_iteration,
+                ps.per_iteration
+            );
+        }
+    }
+
+    #[test]
+    fn ar_beats_ps_on_big_models_but_loses_on_small() {
+        let ar_dqn = run_timing(&quick(Algorithm::Dqn, Strategy::SyncAr));
+        let ps_dqn = run_timing(&quick(Algorithm::Dqn, Strategy::SyncPs));
+        assert!(ar_dqn.per_iteration < ps_dqn.per_iteration, "AR should win on DQN");
+
+        let ar_ppo = run_timing(&quick(Algorithm::Ppo, Strategy::SyncAr));
+        let ps_ppo = run_timing(&quick(Algorithm::Ppo, Strategy::SyncPs));
+        assert!(
+            ar_ppo.per_iteration > ps_ppo.per_iteration,
+            "AR should lose on PPO: AR {} vs PS {}",
+            ar_ppo.per_iteration,
+            ps_ppo.per_iteration
+        );
+    }
+
+    #[test]
+    fn sync_ps_dqn_matches_calibration_anchor() {
+        // Table 4: DQN Sync-PS ≈ 81.6 ms/iteration. The simulator should
+        // land within 35% of the anchor without per-strategy tuning.
+        let r = run_timing(&quick(Algorithm::Dqn, Strategy::SyncPs));
+        let ms = r.per_iteration.as_millis_f64();
+        assert!((50.0..115.0).contains(&ms), "DQN PS per-iteration {ms:.1} ms");
+        // Aggregation dominates (Fig. 4).
+        assert!(r.breakdown.aggregation_share() > 0.5);
+    }
+
+    #[test]
+    fn async_isw_updates_faster_than_async_ps_on_dqn() {
+        let ps = run_timing(&quick(Algorithm::Dqn, Strategy::AsyncPs));
+        let isw = run_timing(&quick(Algorithm::Dqn, Strategy::AsyncIsw));
+        assert!(
+            isw.per_iteration < ps.per_iteration,
+            "async iSW {} !< async PS {}",
+            isw.per_iteration,
+            ps.per_iteration
+        );
+    }
+
+    #[test]
+    fn async_staleness_respects_bound() {
+        let r = run_timing(&quick(Algorithm::Ppo, Strategy::AsyncIsw));
+        assert!(!r.staleness.is_empty());
+        assert!(r.staleness.iter().all(|&s| s <= 3), "bound violated: {:?}", r.staleness);
+        let r = run_timing(&quick(Algorithm::Ppo, Strategy::AsyncPs));
+        assert!(r.staleness.iter().all(|&s| s <= 3));
+    }
+
+    #[test]
+    fn tree_topology_runs_all_strategies() {
+        for strategy in [
+            Strategy::SyncPs,
+            Strategy::SyncAr,
+            Strategy::SyncIsw,
+            Strategy::AsyncPs,
+            Strategy::AsyncIsw,
+        ] {
+            let mut cfg = quick(Algorithm::Ppo, strategy);
+            cfg.workers = 6;
+            cfg.workers_per_rack = Some(3);
+            let r = run_timing(&cfg);
+            assert!(r.per_iteration > SimDuration::ZERO, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn on_the_fly_beats_store_and_forward() {
+        // The in-system version of Fig. 8: conventional aggregation delays
+        // the whole result behind the final arrival plus a full summation.
+        let mut cfg = quick(Algorithm::A2c, Strategy::SyncIsw);
+        let otf = run_timing(&cfg);
+        cfg.aggregation_mode = AggregationMode::StoreAndForward;
+        let saf = run_timing(&cfg);
+        assert!(
+            otf.breakdown.aggregation < saf.breakdown.aggregation,
+            "on-the-fly {} !< store-and-forward {}",
+            otf.breakdown.aggregation,
+            saf.breakdown.aggregation
+        );
+    }
+
+    #[test]
+    fn lower_threshold_shortens_async_update_interval() {
+        // SetH partial aggregation: H=2 broadcasts after two contributions,
+        // so updates land more often than with H=4.
+        let mut cfg = quick(Algorithm::Ppo, Strategy::AsyncIsw);
+        cfg.threshold_override = Some(2);
+        let h2 = run_timing(&cfg);
+        cfg.threshold_override = Some(4);
+        let h4 = run_timing(&cfg);
+        assert!(
+            h2.per_iteration < h4.per_iteration,
+            "H=2 {} !< H=4 {}",
+            h2.per_iteration,
+            h4.per_iteration
+        );
+    }
+
+    #[test]
+    fn tight_staleness_bound_forces_discards_on_async_ps() {
+        // With S = 0 every gradient computed while another update landed
+        // is discarded; with 4 overlapping workers that is most of them.
+        let mut cfg = quick(Algorithm::Ppo, Strategy::AsyncPs);
+        cfg.staleness_bound = 0;
+        let r = run_timing(&cfg);
+        assert!(r.staleness.iter().all(|&s| s == 0));
+        assert!(
+            r.discard_fraction > 0.2,
+            "expected heavy discards at S=0, got {:.2}",
+            r.discard_fraction
+        );
+
+        let mut loose = quick(Algorithm::Ppo, Strategy::AsyncPs);
+        loose.staleness_bound = 8;
+        let l = run_timing(&loose);
+        assert!(l.discard_fraction < r.discard_fraction);
+    }
+
+    #[test]
+    fn sync_isw_survives_packet_loss() {
+        // Failure injection: with Help/FBcast recovery the run completes
+        // every iteration, paying a bounded latency overhead.
+        let mut cfg = quick(Algorithm::Ppo, Strategy::SyncIsw);
+        cfg.edge_loss = 1e-3;
+        let lossy = run_timing(&cfg);
+        cfg.edge_loss = 0.0;
+        let clean = run_timing(&cfg);
+        assert_eq!(lossy.iterations_measured, clean.iterations_measured);
+        assert!(
+            lossy.per_iteration >= clean.per_iteration,
+            "loss cannot make iterations faster"
+        );
+        // Recovery is bounded: even at 1e-3 loss the overhead stays small.
+        assert!(
+            lossy.per_iteration.as_secs_f64() < 4.0 * clean.per_iteration.as_secs_f64(),
+            "recovery overhead too large: {} vs {}",
+            lossy.per_iteration,
+            clean.per_iteration
+        );
+    }
+
+    #[test]
+    fn three_level_hierarchy_runs_and_stays_close_to_two_level() {
+        // 12 workers: 4 racks of 3 under the core (two-level) vs the same
+        // racks grouped 2-per-AGG (three-level). One extra switch level
+        // costs a couple of hops, not an iteration.
+        let mut cfg = quick(Algorithm::Ppo, Strategy::SyncIsw);
+        cfg.workers = 12;
+        cfg.workers_per_rack = Some(3);
+        let two = run_timing(&cfg);
+        cfg.racks_per_agg = Some(2);
+        let three = run_timing(&cfg);
+        assert!(three.per_iteration >= two.per_iteration);
+        assert!(
+            three.per_iteration.as_secs_f64() < 1.2 * two.per_iteration.as_secs_f64(),
+            "an extra level should cost hops, not iterations: {} vs {}",
+            three.per_iteration,
+            two.per_iteration
+        );
+    }
+
+    #[test]
+    fn rack_sizes_splits_evenly() {
+        assert_eq!(rack_sizes(12, 3), vec![3, 3, 3, 3]);
+        assert_eq!(rack_sizes(7, 3), vec![3, 3, 1]);
+        assert_eq!(rack_sizes(2, 3), vec![2]);
+    }
+}

@@ -1,0 +1,472 @@
+//! The in-switch aggregation accelerator (paper §3.3, Fig. 7).
+//!
+//! Models the "bump-in-the-wire" datapath the paper synthesizes on the
+//! NetFPGA-SUME: a Seg decoder feeding per-segment aggregation counters, an
+//! address generator, BRAM aggregation buffers, and a bank of parallel
+//! 32-bit floating-point adders on the internal AXI4-Stream bus (256 bits
+//! per cycle at 200 MHz ⇒ eight f32 adders).
+//!
+//! Functionally the accelerator sums payloads of packets sharing a `Seg`
+//! number **on the fly** (Fig. 8b): each arriving packet is accumulated
+//! immediately, and once a segment's counter reaches the aggregation
+//! threshold `H`, the aggregated segment is emitted, its buffer zeroed, and
+//! its counter reset. Timing-wise, every ingested packet occupies the
+//! datapath for `ceil(payload_bits / bus_bits)` cycles plus a fixed
+//! pipeline depth, which the latency model converts to wall-clock time.
+
+use std::collections::HashMap;
+
+use iswitch_netsim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::protocol::{DataSegment, FLOATS_PER_SEGMENT};
+
+/// Hardware parameters of the accelerator (defaults follow §3.5).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AcceleratorConfig {
+    /// Internal bus width in bits per cycle (NetFPGA AXI4-Stream: 256).
+    pub bus_bits: u32,
+    /// Datapath clock in Hz (NetFPGA reference design: 200 MHz).
+    pub clock_hz: u64,
+    /// Fixed pipeline depth in cycles (separator, decoder, output concat).
+    pub pipeline_cycles: u32,
+    /// On-chip buffer budget in bytes (BRAM). The paper reports the
+    /// accelerator consumes 44.5% of the Virtex-7's BRAM; the default here
+    /// is the corresponding ~23 Mb ≈ 2.9 MB budget, rounded.
+    pub buffer_bytes: usize,
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        AcceleratorConfig {
+            bus_bits: 256,
+            clock_hz: 200_000_000,
+            pipeline_cycles: 8,
+            buffer_bytes: 3 << 20,
+        }
+    }
+}
+
+impl AcceleratorConfig {
+    /// Number of parallel f32 adders (one bus beat of elements).
+    pub fn adders(&self) -> u32 {
+        self.bus_bits / 32
+    }
+
+    /// Wall-clock occupancy of the datapath for one packet carrying
+    /// `payload_bytes` of gradient data.
+    pub fn packet_latency(&self, payload_bytes: usize) -> SimDuration {
+        let bursts = (payload_bytes as u64 * 8).div_ceil(u64::from(self.bus_bits));
+        let cycles = bursts + u64::from(self.pipeline_cycles);
+        SimDuration::from_nanos(cycles * 1_000_000_000 / self.clock_hz)
+    }
+}
+
+/// Counters exposed for experiments and tests.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AcceleratorStats {
+    /// Data packets ingested.
+    pub packets_in: u64,
+    /// Aggregated segments emitted (threshold reached).
+    pub segments_emitted: u64,
+    /// Peak bytes of partial-segment buffers resident at once.
+    pub peak_buffer_bytes: usize,
+    /// Partial segments flushed by `FBcast`.
+    pub forced_broadcasts: u64,
+    /// Contributions dropped because the partial-segment window had no
+    /// BRAM left for a new round. Loss recovery (worker `FBcast` + the
+    /// stale-round sweep) heals these like any other lost contribution.
+    pub bram_drops: u64,
+    /// Full `Reset` operations.
+    pub resets: u64,
+    /// Total datapath busy cycles (for utilization studies).
+    pub busy_cycles: u64,
+}
+
+/// Static resource accounting — the reproduction's analog of the paper's
+/// FPGA utilization table (§3.5).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResourceReport {
+    /// Parallel f32 adders instantiated.
+    pub adders: u32,
+    /// Aggregation-buffer bytes in use for the configured segment count.
+    pub buffer_bytes_used: usize,
+    /// Configured BRAM budget in bytes.
+    pub buffer_bytes_budget: usize,
+    /// Counter bits (one 16-bit counter per segment).
+    pub counter_bits: usize,
+}
+
+/// The in-switch aggregation engine.
+///
+/// One instance lives inside each participating switch. It is purely
+/// functional plus a latency model; wiring into the network (broadcast,
+/// hierarchy, control messages) lives in [`crate::IswitchExtension`].
+///
+/// # Examples
+///
+/// ```
+/// use iswitch_core::{Accelerator, AcceleratorConfig, DataSegment};
+///
+/// let mut accel = Accelerator::new(AcceleratorConfig::default(), 1, 2);
+/// let a = DataSegment { seg: 0, count: 1, values: vec![1.0, 2.0] };
+/// let b = DataSegment { seg: 0, count: 1, values: vec![10.0, 20.0] };
+/// assert!(accel.ingest(&a).0.is_none());
+/// let (done, _latency) = accel.ingest(&b);
+/// assert_eq!(done.unwrap().values, vec![11.0, 22.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Accelerator {
+    cfg: AcceleratorConfig,
+    threshold: u16,
+    num_segments: usize,
+    /// Partial-segment buffers keyed by the full (round-tagged) `Seg`
+    /// value, resident only between a round's first contribution and its
+    /// completion. On-the-fly aggregation frees each buffer the moment its
+    /// aggregate is emitted, so the BRAM footprint tracks the *arrival
+    /// skew window*, not the full gradient vector — that is how a 6.41 MB
+    /// DQN model fits the switch's ~3 MB of BRAM.
+    buffers: HashMap<u64, Vec<f32>>,
+    resident_bytes: usize,
+    /// Contributions (packets) received per open round — compared against
+    /// `H`.
+    counters: HashMap<u64, u16>,
+    /// Total workers represented per open round (sums the incoming `count`
+    /// fields) — becomes the emitted result's `count` metadata.
+    worker_counts: HashMap<u64, u16>,
+    /// Cache of the last emitted aggregate per `Seg`, serving `Help`
+    /// retransmission requests for lost result packets. Held in the switch
+    /// CPU's DRAM (control plane), not BRAM.
+    last_results: HashMap<u64, DataSegment>,
+    stats: AcceleratorStats,
+}
+
+impl Accelerator {
+    /// An accelerator for gradient vectors of `num_segments` segments,
+    /// aggregating `threshold` contributions per segment. The final segment
+    /// may be shorter than [`FLOATS_PER_SEGMENT`]; buffers size themselves
+    /// on first arrival.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero, `num_segments` is zero, or the buffer
+    /// requirement exceeds the configured BRAM budget.
+    pub fn new(cfg: AcceleratorConfig, num_segments: usize, threshold: u16) -> Self {
+        assert!(threshold > 0, "aggregation threshold H must be positive");
+        assert!(num_segments > 0, "at least one segment required");
+        assert!(
+            FLOATS_PER_SEGMENT * 4 <= cfg.buffer_bytes,
+            "BRAM budget smaller than a single segment"
+        );
+        Accelerator {
+            cfg,
+            threshold,
+            num_segments,
+            buffers: HashMap::new(),
+            resident_bytes: 0,
+            counters: HashMap::new(),
+            worker_counts: HashMap::new(),
+            last_results: HashMap::new(),
+            stats: AcceleratorStats::default(),
+        }
+    }
+
+    /// The configured aggregation threshold `H`.
+    pub fn threshold(&self) -> u16 {
+        self.threshold
+    }
+
+    /// Changes `H` (the `SetH` control action). Takes effect for segments
+    /// that have not yet completed.
+    pub fn set_threshold(&mut self, h: u16) {
+        assert!(h > 0, "aggregation threshold H must be positive");
+        self.threshold = h;
+    }
+
+    /// Number of segments per gradient vector.
+    pub fn num_segments(&self) -> usize {
+        self.num_segments
+    }
+
+    /// Bytes of partial-segment buffers currently resident in BRAM.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+
+    /// `Seg` values (round-tagged) currently holding a partial round.
+    pub fn partial_segments(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self.buffers.keys().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Running statistics.
+    pub fn stats(&self) -> &AcceleratorStats {
+        &self.stats
+    }
+
+    /// Static resource accounting (the FPGA-utilization analog).
+    pub fn resources(&self) -> ResourceReport {
+        ResourceReport {
+            adders: self.cfg.adders(),
+            buffer_bytes_used: self.stats.peak_buffer_bytes,
+            buffer_bytes_budget: self.cfg.buffer_bytes,
+            counter_bits: self.num_segments * 16,
+        }
+    }
+
+    fn charge(&mut self, payload_bytes: usize) -> SimDuration {
+        let latency = self.cfg.packet_latency(payload_bytes);
+        let bursts = (payload_bytes as u64 * 8).div_ceil(u64::from(self.cfg.bus_bits));
+        self.stats.busy_cycles += bursts + u64::from(self.cfg.pipeline_cycles);
+        latency
+    }
+
+    /// Ingests one contribution packet, accumulating on the fly.
+    ///
+    /// Returns the completed aggregate (when this arrival made the counter
+    /// reach `H`) and the datapath latency charged to this packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment index is out of range or a segment arrives
+    /// with an inconsistent length.
+    pub fn ingest(&mut self, seg: &DataSegment) -> (Option<DataSegment>, SimDuration) {
+        let idx = seg.seg;
+        self.stats.packets_in += 1;
+        let latency = self.charge(seg.values.len() * 4 + 8);
+
+        // Opening a new round requires BRAM for its buffer; when the
+        // window is full the packet is dropped, exactly as the hardware
+        // would. (This genuinely happens when loss desynchronizes workers
+        // by an iteration: N-1 full vectors may contend for a buffer that
+        // holds less than one.)
+        if !self.buffers.contains_key(&idx)
+            && self.resident_bytes + seg.values.len() * 4 > self.cfg.buffer_bytes
+        {
+            self.stats.bram_drops += 1;
+            return (None, latency);
+        }
+        let buffer = self.buffers.entry(idx).or_insert_with(|| {
+            self.resident_bytes += seg.values.len() * 4;
+            vec![0.0; seg.values.len()]
+        });
+        assert_eq!(
+            buffer.len(),
+            seg.values.len(),
+            "segment {idx:#x} length changed between contributions"
+        );
+        for (acc, v) in buffer.iter_mut().zip(&seg.values) {
+            *acc += v;
+        }
+        if self.resident_bytes > self.stats.peak_buffer_bytes {
+            self.stats.peak_buffer_bytes = self.resident_bytes;
+        }
+        let contributions = self.counters.entry(idx).or_insert(0);
+        *contributions = contributions.saturating_add(1);
+        let reached = *contributions >= self.threshold;
+        let workers = self.worker_counts.entry(idx).or_insert(0);
+        *workers = workers.saturating_add(seg.count.max(1));
+
+        if reached {
+            (Some(self.complete(idx)), latency)
+        } else {
+            (None, latency)
+        }
+    }
+
+    fn complete(&mut self, idx: u64) -> DataSegment {
+        let values = self.buffers.remove(&idx).expect("completing a resident segment");
+        self.resident_bytes -= values.len() * 4;
+        let count = self.worker_counts.remove(&idx).unwrap_or(0);
+        self.counters.remove(&idx);
+        self.stats.segments_emitted += 1;
+        let result = DataSegment { seg: idx, count, values };
+        self.last_results.insert(idx, result.clone());
+        result
+    }
+
+    /// Forces out the partial aggregate of `seg` (the `FBcast` control
+    /// action), if any contributions have arrived. The buffer and counter
+    /// reset either way.
+    pub fn force_broadcast(&mut self, seg: u64) -> Option<DataSegment> {
+        if self.counters.get(&seg).copied().unwrap_or(0) == 0 {
+            return None;
+        }
+        self.stats.forced_broadcasts += 1;
+        Some(self.complete(seg))
+    }
+
+    /// The most recently emitted aggregate for `seg`, serving `Help`
+    /// retransmissions of lost result packets.
+    pub fn last_result(&self, seg: u64) -> Option<&DataSegment> {
+        self.last_results.get(&seg)
+    }
+
+    /// Clears all buffers, counters, and result caches (the `Reset`
+    /// control action).
+    pub fn reset(&mut self) {
+        self.buffers.clear();
+        self.resident_bytes = 0;
+        self.counters.clear();
+        self.worker_counts.clear();
+        self.last_results.clear();
+        self.stats.resets += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(idx: u64, values: Vec<f32>) -> DataSegment {
+        DataSegment { seg: idx, count: 1, values }
+    }
+
+    #[test]
+    fn aggregates_exactly_h_contributions() {
+        let mut a = Accelerator::new(AcceleratorConfig::default(), 2, 3);
+        assert!(a.ingest(&seg(0, vec![1.0])).0.is_none());
+        assert!(a.ingest(&seg(0, vec![2.0])).0.is_none());
+        let (done, _) = a.ingest(&seg(0, vec![4.0]));
+        let done = done.expect("third contribution completes");
+        assert_eq!(done.values, vec![7.0]);
+        assert_eq!(done.count, 3);
+        assert_eq!(a.stats().segments_emitted, 1);
+    }
+
+    #[test]
+    fn buffer_resets_between_rounds() {
+        let mut a = Accelerator::new(AcceleratorConfig::default(), 1, 2);
+        a.ingest(&seg(0, vec![1.0, 1.0]));
+        a.ingest(&seg(0, vec![1.0, 1.0]));
+        a.ingest(&seg(0, vec![5.0, 5.0]));
+        let (done, _) = a.ingest(&seg(0, vec![6.0, 6.0]));
+        assert_eq!(done.unwrap().values, vec![11.0, 11.0]);
+    }
+
+    #[test]
+    fn segments_aggregate_independently() {
+        let mut a = Accelerator::new(AcceleratorConfig::default(), 3, 2);
+        a.ingest(&seg(0, vec![1.0]));
+        a.ingest(&seg(2, vec![9.0]));
+        let (done, _) = a.ingest(&seg(2, vec![1.0]));
+        assert_eq!(done.unwrap().values, vec![10.0]);
+        // Segment 0 is still partial.
+        let (done, _) = a.ingest(&seg(0, vec![1.0]));
+        assert_eq!(done.unwrap().values, vec![2.0]);
+    }
+
+    #[test]
+    fn latency_model_matches_cycle_math() {
+        let cfg = AcceleratorConfig::default();
+        // A full segment: 366*4+8 = 1472 bytes = 11,776 bits -> 46 bursts.
+        // 46 + 8 pipeline cycles at 200 MHz (5 ns) = 270 ns.
+        assert_eq!(cfg.packet_latency(1472), SimDuration::from_nanos(270));
+        // Empty payload still pays the pipeline depth.
+        assert_eq!(cfg.packet_latency(0), SimDuration::from_nanos(40));
+        assert_eq!(cfg.adders(), 8);
+    }
+
+    #[test]
+    fn force_broadcast_flushes_partials() {
+        let mut a = Accelerator::new(AcceleratorConfig::default(), 1, 4);
+        a.ingest(&seg(0, vec![3.0]));
+        a.ingest(&seg(0, vec![4.0]));
+        let flushed = a.force_broadcast(0).expect("partial flushed");
+        assert_eq!(flushed.values, vec![7.0]);
+        assert_eq!(flushed.count, 2);
+        // Nothing left to flush.
+        assert!(a.force_broadcast(0).is_none());
+        // Counter restarted: needs 4 fresh contributions again.
+        a.ingest(&seg(0, vec![1.0]));
+        assert!(a.force_broadcast(0).is_some());
+    }
+
+    #[test]
+    fn aggregated_contributions_carry_their_count() {
+        // Hierarchical aggregation: the core aggregates one contribution
+        // per rack (H = 2 here), but the emitted result's count metadata
+        // sums the workers each rack represents.
+        let mut core = Accelerator::new(AcceleratorConfig::default(), 1, 2);
+        let rack_a = DataSegment { seg: 0, count: 3, values: vec![30.0] };
+        let rack_b = DataSegment { seg: 0, count: 3, values: vec![12.0] };
+        assert!(core.ingest(&rack_a).0.is_none());
+        let (done, _) = core.ingest(&rack_b);
+        let done = done.expect("both racks arrived");
+        assert_eq!(done.values, vec![42.0]);
+        assert_eq!(done.count, 6);
+    }
+
+    #[test]
+    fn help_served_from_result_cache() {
+        let mut a = Accelerator::new(AcceleratorConfig::default(), 1, 1);
+        assert!(a.last_result(0).is_none());
+        a.ingest(&seg(0, vec![5.0]));
+        assert_eq!(a.last_result(0).unwrap().values, vec![5.0]);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut a = Accelerator::new(AcceleratorConfig::default(), 2, 2);
+        a.ingest(&seg(0, vec![1.0]));
+        a.ingest(&seg(1, vec![1.0]));
+        a.ingest(&seg(1, vec![1.0]));
+        a.reset();
+        assert!(a.last_result(1).is_none());
+        assert!(a.force_broadcast(0).is_none());
+        assert_eq!(a.stats().resets, 1);
+        // After reset a segment may arrive with a different length.
+        let (done, _) = a.ingest(&seg(0, vec![1.0, 2.0, 3.0]));
+        assert!(done.is_none());
+    }
+
+    #[test]
+    fn set_threshold_takes_effect() {
+        let mut a = Accelerator::new(AcceleratorConfig::default(), 1, 4);
+        a.ingest(&seg(0, vec![1.0]));
+        a.set_threshold(2);
+        let (done, _) = a.ingest(&seg(0, vec![1.0]));
+        assert!(done.is_some());
+    }
+
+    #[test]
+    fn window_overflow_drops_new_rounds() {
+        // Threshold 2 but only one contribution per segment: every segment
+        // stays partial; once the budget is exhausted new rounds drop.
+        let cfg = AcceleratorConfig { buffer_bytes: 2_928, ..AcceleratorConfig::default() };
+        let mut a = Accelerator::new(cfg, 100, 2);
+        for i in 0..100 {
+            let _ = a.ingest(&seg(i, vec![0.0; 366]));
+        }
+        // 2,928 bytes = two 366-f32 buffers; the other 98 packets dropped.
+        assert_eq!(a.stats().bram_drops, 98);
+        assert_eq!(a.resident_bytes(), 2_928);
+        // Accumulating into an existing round is still fine and completes.
+        let (done, _) = a.ingest(&seg(0, vec![1.0; 366]));
+        assert!(done.is_some());
+    }
+
+    #[test]
+    fn window_stays_small_when_segments_complete() {
+        // Two interleaved workers: each segment completes right after both
+        // contributions, so at most one segment is ever resident.
+        let cfg = AcceleratorConfig { buffer_bytes: 4_096, ..AcceleratorConfig::default() };
+        let mut a = Accelerator::new(cfg, 1_000, 2);
+        for i in 0..1_000u64 {
+            let _ = a.ingest(&seg(i, vec![0.0; 366]));
+            let (done, _) = a.ingest(&seg(i, vec![0.0; 366]));
+            assert!(done.is_some());
+        }
+        assert_eq!(a.stats().peak_buffer_bytes, 366 * 4);
+        assert_eq!(a.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn busy_cycles_accumulate() {
+        let mut a = Accelerator::new(AcceleratorConfig::default(), 1, 10);
+        a.ingest(&seg(0, vec![0.0; 366]));
+        a.ingest(&seg(0, vec![0.0; 366]));
+        assert_eq!(a.stats().busy_cycles, 2 * (46 + 8));
+    }
+}

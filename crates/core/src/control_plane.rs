@@ -1,0 +1,186 @@
+//! The switch control plane (paper §3.3, Fig. 9): a lightweight membership
+//! table for the workers and switches in the training job, plus accelerator
+//! management state.
+
+use std::collections::BTreeMap;
+
+use iswitch_netsim::IpAddr;
+use serde::{Deserialize, Serialize};
+
+/// Whether a membership entry is a worker node or a switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemberType {
+    /// A training worker (server node).
+    Worker,
+    /// A switch participating in hierarchical aggregation.
+    Switch,
+}
+
+/// One row of the membership table (Fig. 9): ID, IP address, UDP port,
+/// type, and the parent's ID in the network topology.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Member {
+    /// Unique id of this entry.
+    pub id: u32,
+    /// IP address of the worker or switch.
+    pub ip: IpAddr,
+    /// UDP port of the training endpoint.
+    pub port: u16,
+    /// Entry type.
+    pub member_type: MemberType,
+    /// Parent entry in the topology (`None` for the root).
+    pub parent: Option<u32>,
+}
+
+/// The control plane's membership table.
+///
+/// Entries are updated by `Join`/`Leave` control messages and consulted by
+/// the data plane for collection, computation, forwarding, and broadcast.
+///
+/// # Examples
+///
+/// ```
+/// use iswitch_core::{Member, MemberType, MembershipTable};
+/// use iswitch_netsim::IpAddr;
+///
+/// let mut table = MembershipTable::new();
+/// table.join(Member {
+///     id: 0,
+///     ip: IpAddr::new(10, 0, 0, 2),
+///     port: 9999,
+///     member_type: MemberType::Worker,
+///     parent: Some(4),
+/// });
+/// assert_eq!(table.worker_count(), 1);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MembershipTable {
+    entries: BTreeMap<u32, Member>,
+}
+
+impl MembershipTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        MembershipTable::default()
+    }
+
+    /// Inserts or replaces an entry. Returns the previous entry with the
+    /// same id, if any.
+    pub fn join(&mut self, member: Member) -> Option<Member> {
+        self.entries.insert(member.id, member)
+    }
+
+    /// Removes an entry by id, returning it if present.
+    pub fn leave(&mut self, id: u32) -> Option<Member> {
+        self.entries.remove(&id)
+    }
+
+    /// Looks up an entry.
+    pub fn get(&self, id: u32) -> Option<&Member> {
+        self.entries.get(&id)
+    }
+
+    /// Looks up an entry by IP address.
+    pub fn get_by_ip(&self, ip: IpAddr) -> Option<&Member> {
+        self.entries.values().find(|m| m.ip == ip)
+    }
+
+    /// Total entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over all entries in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Member> {
+        self.entries.values()
+    }
+
+    /// Number of worker entries — the default aggregation threshold `H`
+    /// ("By default, H is equal to the number of workers", §3.2).
+    pub fn worker_count(&self) -> usize {
+        self.entries
+            .values()
+            .filter(|m| m.member_type == MemberType::Worker)
+            .count()
+    }
+
+    /// The smallest unused id.
+    pub fn next_id(&self) -> u32 {
+        (0..).find(|id| !self.entries.contains_key(id)).expect("ids not exhausted")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn worker(id: u32, last_octet: u8) -> Member {
+        Member {
+            id,
+            ip: IpAddr::new(10, 0, 0, last_octet),
+            port: 9999,
+            member_type: MemberType::Worker,
+            parent: Some(99),
+        }
+    }
+
+    #[test]
+    fn join_leave_lifecycle() {
+        let mut t = MembershipTable::new();
+        assert!(t.join(worker(0, 2)).is_none());
+        assert!(t.join(worker(1, 4)).is_none());
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.worker_count(), 2);
+        let gone = t.leave(0).expect("present");
+        assert_eq!(gone.ip, IpAddr::new(10, 0, 0, 2));
+        assert_eq!(t.worker_count(), 1);
+        assert!(t.leave(0).is_none());
+    }
+
+    #[test]
+    fn rejoin_replaces_entry() {
+        let mut t = MembershipTable::new();
+        t.join(worker(0, 2));
+        let old = t.join(worker(0, 7)).expect("replaced");
+        assert_eq!(old.ip, IpAddr::new(10, 0, 0, 2));
+        assert_eq!(t.get(0).unwrap().ip, IpAddr::new(10, 0, 0, 7));
+    }
+
+    #[test]
+    fn switches_do_not_count_as_workers() {
+        let mut t = MembershipTable::new();
+        t.join(worker(0, 2));
+        t.join(Member {
+            id: 4,
+            ip: IpAddr::new(10, 0, 0, 10),
+            port: 9990,
+            member_type: MemberType::Switch,
+            parent: None,
+        });
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.worker_count(), 1);
+    }
+
+    #[test]
+    fn next_id_fills_gaps() {
+        let mut t = MembershipTable::new();
+        t.join(worker(0, 2));
+        t.join(worker(2, 3));
+        assert_eq!(t.next_id(), 1);
+        t.join(worker(1, 4));
+        assert_eq!(t.next_id(), 3);
+    }
+
+    #[test]
+    fn lookup_by_ip() {
+        let mut t = MembershipTable::new();
+        t.join(worker(5, 9));
+        assert_eq!(t.get_by_ip(IpAddr::new(10, 0, 0, 9)).unwrap().id, 5);
+        assert!(t.get_by_ip(IpAddr::new(10, 0, 0, 1)).is_none());
+    }
+}

@@ -1,0 +1,57 @@
+//! Error types for the iSwitch protocol.
+
+use std::error::Error;
+use std::fmt;
+
+/// Failures while decoding iSwitch wire formats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The packet payload was shorter than the fixed header requires.
+    Truncated {
+        /// Bytes required.
+        needed: usize,
+        /// Bytes present.
+        got: usize,
+    },
+    /// The control action code is not one defined in Table 2.
+    UnknownAction(u8),
+    /// A data payload's length is not a whole number of f32 values.
+    MisalignedPayload(usize),
+    /// A decoded field carried an out-of-range value.
+    InvalidField(&'static str),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Truncated { needed, got } => {
+                write!(f, "truncated packet: needed {needed} bytes, got {got}")
+            }
+            ProtocolError::UnknownAction(code) => write!(f, "unknown control action {code:#04x}"),
+            ProtocolError::MisalignedPayload(len) => {
+                write!(f, "gradient payload of {len} bytes is not f32-aligned")
+            }
+            ProtocolError::InvalidField(name) => write!(f, "invalid value in field `{name}`"),
+        }
+    }
+}
+
+impl Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = ProtocolError::Truncated { needed: 8, got: 3 };
+        assert_eq!(e.to_string(), "truncated packet: needed 8 bytes, got 3");
+        assert!(ProtocolError::UnknownAction(0xFF).to_string().contains("0xff"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<ProtocolError>();
+    }
+}

@@ -1,0 +1,209 @@
+//! Control messages (paper §3.2, Table 2).
+//!
+//! A control packet's UDP payload is a 1-byte action code followed by an
+//! optional value whose meaning depends on the action.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::error::ProtocolError;
+
+/// Action codes on the wire.
+mod code {
+    pub const JOIN: u8 = 0x01;
+    pub const LEAVE: u8 = 0x02;
+    pub const RESET: u8 = 0x03;
+    pub const SET_H: u8 = 0x04;
+    pub const FBCAST: u8 = 0x05;
+    pub const HELP: u8 = 0x06;
+    pub const HALT: u8 = 0x07;
+    pub const ACK: u8 = 0x08;
+}
+
+/// A control-plane message (Table 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlMessage {
+    /// Join the training job. The value carries training-model metadata:
+    /// the worker's chosen id and the gradient-vector length in elements.
+    Join {
+        /// Worker-chosen identifier.
+        worker_id: u32,
+        /// Gradient vector length in f32 elements.
+        grad_len: u32,
+    },
+    /// Leave the training job.
+    Leave {
+        /// Identifier of the departing worker.
+        worker_id: u32,
+    },
+    /// Clear accelerator buffers and counters on the switch.
+    Reset,
+    /// Set the aggregation threshold `H` on the switch.
+    SetH {
+        /// Number of gradient vectors to aggregate before broadcasting.
+        h: u32,
+    },
+    /// Force broadcasting a partially aggregated segment on the switch.
+    FBcast {
+        /// Segment index to flush.
+        seg: u64,
+    },
+    /// Request (re)transmission of a lost result packet for a worker.
+    Help {
+        /// Segment index whose aggregated result was lost.
+        seg: u64,
+    },
+    /// Suspend the training job on all workers.
+    Halt,
+    /// Confirm the success or failure of a prior action.
+    Ack {
+        /// Action code being acknowledged.
+        of: u8,
+        /// Whether the action succeeded.
+        ok: bool,
+    },
+}
+
+impl ControlMessage {
+    /// The message's action code.
+    pub fn action_code(&self) -> u8 {
+        match self {
+            ControlMessage::Join { .. } => code::JOIN,
+            ControlMessage::Leave { .. } => code::LEAVE,
+            ControlMessage::Reset => code::RESET,
+            ControlMessage::SetH { .. } => code::SET_H,
+            ControlMessage::FBcast { .. } => code::FBCAST,
+            ControlMessage::Help { .. } => code::HELP,
+            ControlMessage::Halt => code::HALT,
+            ControlMessage::Ack { .. } => code::ACK,
+        }
+    }
+
+    /// Serializes to a UDP payload.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u8(self.action_code());
+        match self {
+            ControlMessage::Join { worker_id, grad_len } => {
+                buf.put_u32(*worker_id);
+                buf.put_u32(*grad_len);
+            }
+            ControlMessage::Leave { worker_id } => buf.put_u32(*worker_id),
+            ControlMessage::Reset | ControlMessage::Halt => {}
+            ControlMessage::SetH { h } => buf.put_u32(*h),
+            ControlMessage::FBcast { seg } | ControlMessage::Help { seg } => buf.put_u64(*seg),
+            ControlMessage::Ack { of, ok } => {
+                buf.put_u8(*of);
+                buf.put_u8(u8::from(*ok));
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Parses a UDP payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] on truncation or an unknown action code.
+    pub fn decode(payload: &[u8]) -> Result<Self, ProtocolError> {
+        let (&action, rest) = payload
+            .split_first()
+            .ok_or(ProtocolError::Truncated { needed: 1, got: 0 })?;
+        let need = |n: usize| {
+            if rest.len() < n {
+                Err(ProtocolError::Truncated { needed: n + 1, got: payload.len() })
+            } else {
+                Ok(())
+            }
+        };
+        let u32_at = |i: usize| u32::from_be_bytes(rest[i..i + 4].try_into().expect("4 bytes"));
+        let u64_at = |i: usize| u64::from_be_bytes(rest[i..i + 8].try_into().expect("8 bytes"));
+        match action {
+            code::JOIN => {
+                need(8)?;
+                Ok(ControlMessage::Join { worker_id: u32_at(0), grad_len: u32_at(4) })
+            }
+            code::LEAVE => {
+                need(4)?;
+                Ok(ControlMessage::Leave { worker_id: u32_at(0) })
+            }
+            code::RESET => Ok(ControlMessage::Reset),
+            code::SET_H => {
+                need(4)?;
+                Ok(ControlMessage::SetH { h: u32_at(0) })
+            }
+            code::FBCAST => {
+                need(8)?;
+                Ok(ControlMessage::FBcast { seg: u64_at(0) })
+            }
+            code::HELP => {
+                need(8)?;
+                Ok(ControlMessage::Help { seg: u64_at(0) })
+            }
+            code::HALT => Ok(ControlMessage::Halt),
+            code::ACK => {
+                need(2)?;
+                Ok(ControlMessage::Ack { of: rest[0], ok: rest[1] != 0 })
+            }
+            other => Err(ProtocolError::UnknownAction(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_messages() -> Vec<ControlMessage> {
+        vec![
+            ControlMessage::Join { worker_id: 3, grad_len: 1_680_343 },
+            ControlMessage::Leave { worker_id: 3 },
+            ControlMessage::Reset,
+            ControlMessage::SetH { h: 4 },
+            ControlMessage::FBcast { seg: 0xDEAD_BEEF },
+            ControlMessage::Help { seg: 7 },
+            ControlMessage::Halt,
+            ControlMessage::Ack { of: 0x04, ok: true },
+            ControlMessage::Ack { of: 0x01, ok: false },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        for msg in all_messages() {
+            let decoded = ControlMessage::decode(&msg.encode()).expect("decodes");
+            assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn action_codes_are_unique() {
+        let mut codes: Vec<u8> = all_messages().iter().map(|m| m.action_code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 8);
+    }
+
+    #[test]
+    fn truncated_payloads_error() {
+        assert_eq!(
+            ControlMessage::decode(&[]),
+            Err(ProtocolError::Truncated { needed: 1, got: 0 })
+        );
+        // Join needs 8 bytes of value.
+        let err = ControlMessage::decode(&[0x01, 0, 0]).unwrap_err();
+        assert!(matches!(err, ProtocolError::Truncated { .. }));
+    }
+
+    #[test]
+    fn unknown_action_errors() {
+        assert_eq!(ControlMessage::decode(&[0x7F]), Err(ProtocolError::UnknownAction(0x7F)));
+    }
+
+    #[test]
+    fn payloads_are_compact() {
+        // Control messages must fit trivially in one frame.
+        for msg in all_messages() {
+            assert!(msg.encode().len() <= 9, "{msg:?}");
+        }
+    }
+}

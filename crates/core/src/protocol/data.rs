@@ -1,0 +1,362 @@
+//! Data (gradient) packets and vector segmentation (paper §3.2, Fig. 5b).
+//!
+//! A gradient vector is split into MTU-sized **segments**; the payload of a
+//! data packet is an 8-byte `Seg` field followed by raw f32 gradient data
+//! ("all gradient data are transmitted and computed in a raw float-point
+//! format"). Packets with the same `Seg` number are summed element-wise by
+//! the accelerator.
+//!
+//! Wire refinement kept from the paper's format: the 8-byte `Seg` field is
+//! split into a 48-bit segment index and a 16-bit **contributor count**.
+//! Worker contributions carry count = 1; aggregated results carry the
+//! number of gradient vectors summed in, which lets workers average
+//! correctly when a partial aggregate is force-broadcast (`FBcast`).
+
+use bytes::{BufMut, Bytes, BytesMut};
+use iswitch_netsim::MAX_UDP_PAYLOAD;
+
+use crate::error::ProtocolError;
+
+/// Bytes of the `Seg` header at the start of every data payload.
+pub const SEG_HEADER_BYTES: usize = 8;
+
+/// f32 elements per full segment: the largest count whose payload fits a
+/// maximum Ethernet frame. With 1,472 payload bytes this is 366.
+pub const FLOATS_PER_SEGMENT: usize = (MAX_UDP_PAYLOAD - SEG_HEADER_BYTES) / 4;
+
+/// Largest representable segment index (48 bits).
+pub const MAX_SEG_INDEX: u64 = (1 << 48) - 1;
+
+/// Bit position of the round tag inside the 48-bit segment field.
+///
+/// Aggregation rounds need an identity: without one, a round left partial
+/// by a lost contribution is silently completed by the *next* iteration's
+/// packets, permanently phase-shifting that segment (and a re-broadcast of
+/// an old round can prematurely satisfy a new one). The low 32 bits carry
+/// the spatial segment index (models up to ~1.5 billion elements); the
+/// high 16 bits carry the sender's round number modulo 2^16 — the same
+/// idea as slot versioning in later in-network aggregation systems.
+pub const ROUND_SHIFT: u32 = 32;
+
+/// Combines a spatial segment index and a round number into a wire `Seg`.
+///
+/// # Panics
+///
+/// Panics if `index` does not fit in 32 bits.
+pub fn tag_round(index: u64, round: u32) -> u64 {
+    assert!(index < (1 << ROUND_SHIFT), "segment index exceeds 32 bits");
+    (u64::from(round & 0xFFFF) << ROUND_SHIFT) | index
+}
+
+/// The spatial segment index of a wire `Seg`.
+pub fn seg_index(tagged: u64) -> u64 {
+    tagged & ((1 << ROUND_SHIFT) - 1)
+}
+
+/// The round tag of a wire `Seg`.
+pub fn seg_round(tagged: u64) -> u32 {
+    ((tagged >> ROUND_SHIFT) & 0xFFFF) as u32
+}
+
+/// One gradient segment: the unit of on-the-fly aggregation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataSegment {
+    /// Segment index (spatial offset `seg * FLOATS_PER_SEGMENT` in the
+    /// gradient vector).
+    pub seg: u64,
+    /// Number of gradient vectors summed into `values` (1 for a worker's
+    /// own contribution).
+    pub count: u16,
+    /// Raw gradient values.
+    pub values: Vec<f32>,
+}
+
+impl DataSegment {
+    /// Serializes to a UDP payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment exceeds the MTU budget or the index exceeds
+    /// [`MAX_SEG_INDEX`].
+    pub fn encode(&self) -> Bytes {
+        assert!(self.seg <= MAX_SEG_INDEX, "segment index exceeds 48 bits");
+        assert!(
+            self.values.len() <= FLOATS_PER_SEGMENT,
+            "segment of {} floats exceeds the MTU budget of {}",
+            self.values.len(),
+            FLOATS_PER_SEGMENT
+        );
+        let mut buf = BytesMut::with_capacity(SEG_HEADER_BYTES + self.values.len() * 4);
+        buf.put_u64((self.seg << 16) | u64::from(self.count));
+        for v in &self.values {
+            buf.put_f32(*v);
+        }
+        buf.freeze()
+    }
+
+    /// Parses a UDP payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] if the payload is shorter than the header
+    /// or its data is not f32-aligned.
+    pub fn decode(payload: &[u8]) -> Result<Self, ProtocolError> {
+        if payload.len() < SEG_HEADER_BYTES {
+            return Err(ProtocolError::Truncated {
+                needed: SEG_HEADER_BYTES,
+                got: payload.len(),
+            });
+        }
+        let header = u64::from_be_bytes(payload[..8].try_into().expect("8 bytes"));
+        let data = &payload[SEG_HEADER_BYTES..];
+        if !data.len().is_multiple_of(4) {
+            return Err(ProtocolError::MisalignedPayload(data.len()));
+        }
+        let values = data
+            .chunks_exact(4)
+            .map(|c| f32::from_be_bytes(c.try_into().expect("4 bytes")))
+            .collect();
+        Ok(DataSegment { seg: header >> 16, count: (header & 0xFFFF) as u16, values })
+    }
+}
+
+/// Number of segments needed for a gradient vector of `len` elements.
+pub fn num_segments(len: usize) -> usize {
+    len.div_ceil(FLOATS_PER_SEGMENT)
+}
+
+/// Splits a gradient vector into worker-contribution segments (count = 1,
+/// round tag 0). The inverse of feeding every segment to a
+/// [`GradientAssembler`].
+pub fn segment_gradient(grad: &[f32]) -> Vec<DataSegment> {
+    segment_gradient_round(grad, 0)
+}
+
+/// Splits a gradient vector into contribution segments tagged with `round`.
+pub fn segment_gradient_round(grad: &[f32], round: u32) -> Vec<DataSegment> {
+    grad.chunks(FLOATS_PER_SEGMENT)
+        .enumerate()
+        .map(|(i, chunk)| DataSegment {
+            seg: tag_round(i as u64, round),
+            count: 1,
+            values: chunk.to_vec(),
+        })
+        .collect()
+}
+
+/// Reassembles aggregated segments back into a full gradient vector.
+///
+/// Tracks per-segment contributor counts so callers can average even when
+/// different segments were aggregated over different numbers of workers
+/// (possible after an `FBcast`).
+#[derive(Debug, Clone)]
+pub struct GradientAssembler {
+    grad_len: usize,
+    values: Vec<f32>,
+    counts: Vec<u16>,
+    received: Vec<bool>,
+    pending: usize,
+}
+
+impl GradientAssembler {
+    /// An assembler for a gradient of `grad_len` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad_len` is zero.
+    pub fn new(grad_len: usize) -> Self {
+        assert!(grad_len > 0, "gradient length must be positive");
+        let n = num_segments(grad_len);
+        GradientAssembler {
+            grad_len,
+            values: vec![0.0; grad_len],
+            counts: vec![0; n],
+            received: vec![false; n],
+            pending: n,
+        }
+    }
+
+    /// Total number of segments expected.
+    pub fn num_segments(&self) -> usize {
+        self.received.len()
+    }
+
+    /// Whether every segment has arrived.
+    pub fn is_complete(&self) -> bool {
+        self.pending == 0
+    }
+
+    /// Indices of segments not yet received.
+    pub fn missing(&self) -> Vec<u64> {
+        self.received
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !**r)
+            .map(|(i, _)| i as u64)
+            .collect()
+    }
+
+    /// Installs a segment. Duplicate arrivals overwrite (results are
+    /// idempotent re-broadcasts). Returns `true` once the vector is
+    /// complete.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::InvalidField`] if the segment index is out
+    /// of range or its length does not match its position.
+    pub fn insert(&mut self, seg: &DataSegment) -> Result<bool, ProtocolError> {
+        let idx = seg_index(seg.seg) as usize;
+        if idx >= self.received.len() {
+            return Err(ProtocolError::InvalidField("seg"));
+        }
+        let offset = idx * FLOATS_PER_SEGMENT;
+        let expect = (self.grad_len - offset).min(FLOATS_PER_SEGMENT);
+        if seg.values.len() != expect {
+            return Err(ProtocolError::InvalidField("payload length"));
+        }
+        self.values[offset..offset + expect].copy_from_slice(&seg.values);
+        self.counts[idx] = seg.count;
+        if !self.received[idx] {
+            self.received[idx] = true;
+            self.pending -= 1;
+        }
+        Ok(self.is_complete())
+    }
+
+    /// Consumes the assembler, returning the element-wise **mean** gradient
+    /// (each segment divided by its contributor count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector is incomplete or any count is zero.
+    pub fn into_mean(self) -> Vec<f32> {
+        assert!(self.is_complete(), "gradient vector incomplete");
+        let mut out = self.values;
+        for (i, &count) in self.counts.iter().enumerate() {
+            assert!(count > 0, "segment {i} has zero contributors");
+            let offset = i * FLOATS_PER_SEGMENT;
+            let end = (offset + FLOATS_PER_SEGMENT).min(out.len());
+            let inv = 1.0 / f32::from(count);
+            for v in &mut out[offset..end] {
+                *v *= inv;
+            }
+        }
+        out
+    }
+
+    /// Consumes the assembler, returning the raw summed gradient and the
+    /// per-segment contributor counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector is incomplete.
+    pub fn into_sum(self) -> (Vec<f32>, Vec<u16>) {
+        assert!(self.is_complete(), "gradient vector incomplete");
+        (self.values, self.counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_encode_decode_round_trips() {
+        let seg = DataSegment { seg: 12345, count: 4, values: vec![1.5, -2.25, 0.0, f32::MIN] };
+        let decoded = DataSegment::decode(&seg.encode()).expect("decodes");
+        assert_eq!(decoded, seg);
+    }
+
+    #[test]
+    fn full_segment_fits_mtu() {
+        let seg = DataSegment { seg: 0, count: 1, values: vec![0.0; FLOATS_PER_SEGMENT] };
+        assert!(seg.encode().len() <= MAX_UDP_PAYLOAD);
+        assert_eq!(FLOATS_PER_SEGMENT, 366);
+    }
+
+    #[test]
+    fn segmentation_then_assembly_is_identity() {
+        let grad: Vec<f32> = (0..1000).map(|i| i as f32 * 0.5 - 100.0).collect();
+        let segs = segment_gradient(&grad);
+        assert_eq!(segs.len(), num_segments(grad.len()));
+        let mut asm = GradientAssembler::new(grad.len());
+        for (i, s) in segs.iter().enumerate() {
+            let complete = asm.insert(s).expect("valid");
+            assert_eq!(complete, i + 1 == segs.len());
+        }
+        // count = 1 everywhere, so the mean is the original vector.
+        assert_eq!(asm.into_mean(), grad);
+    }
+
+    #[test]
+    fn assembler_tracks_missing_and_duplicates() {
+        let grad = vec![1.0f32; FLOATS_PER_SEGMENT * 2 + 10];
+        let segs = segment_gradient(&grad);
+        let mut asm = GradientAssembler::new(grad.len());
+        asm.insert(&segs[2]).unwrap();
+        assert_eq!(asm.missing(), vec![0, 1]);
+        asm.insert(&segs[2]).unwrap(); // duplicate is fine
+        assert_eq!(asm.missing(), vec![0, 1]);
+        asm.insert(&segs[0]).unwrap();
+        asm.insert(&segs[1]).unwrap();
+        assert!(asm.is_complete());
+    }
+
+    #[test]
+    fn mean_divides_by_per_segment_count() {
+        let grad = vec![8.0f32; 10];
+        let mut segs = segment_gradient(&grad);
+        segs[0].count = 4; // pretend the switch summed 4 workers
+        let mut asm = GradientAssembler::new(grad.len());
+        asm.insert(&segs[0]).unwrap();
+        assert_eq!(asm.into_mean(), vec![2.0f32; 10]);
+    }
+
+    #[test]
+    fn wrong_length_or_index_rejected() {
+        let mut asm = GradientAssembler::new(100);
+        let bad_idx = DataSegment { seg: 5, count: 1, values: vec![0.0; 100] };
+        assert_eq!(asm.insert(&bad_idx), Err(ProtocolError::InvalidField("seg")));
+        let bad_len = DataSegment { seg: 0, count: 1, values: vec![0.0; 99] };
+        assert_eq!(asm.insert(&bad_len), Err(ProtocolError::InvalidField("payload length")));
+    }
+
+    #[test]
+    fn truncated_or_misaligned_payload_rejected() {
+        assert!(matches!(
+            DataSegment::decode(&[0, 1, 2]),
+            Err(ProtocolError::Truncated { .. })
+        ));
+        let mut payload = DataSegment { seg: 0, count: 1, values: vec![1.0] }.encode().to_vec();
+        payload.push(0xFF);
+        assert_eq!(DataSegment::decode(&payload), Err(ProtocolError::MisalignedPayload(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "incomplete")]
+    fn into_mean_requires_completeness() {
+        let _ = GradientAssembler::new(10).into_mean();
+    }
+
+    #[test]
+    fn round_tags_round_trip() {
+        let tagged = tag_round(4_590, 65_535);
+        assert_eq!(seg_index(tagged), 4_590);
+        assert_eq!(seg_round(tagged), 65_535);
+        // Round 0 is the identity: legacy single-round flows unchanged.
+        assert_eq!(tag_round(7, 0), 7);
+        // Rounds wrap modulo 2^16.
+        assert_eq!(seg_round(tag_round(0, 65_536 + 3)), 3);
+    }
+
+    #[test]
+    fn assembler_accepts_tagged_segments() {
+        let grad = vec![2.0f32; 100];
+        let segs = segment_gradient_round(&grad, 9);
+        let mut asm = GradientAssembler::new(grad.len());
+        for s in &segs {
+            asm.insert(s).unwrap();
+        }
+        assert_eq!(asm.into_mean(), grad);
+    }
+}

@@ -1,0 +1,19 @@
+//! The iSwitch network protocol (paper §3.2): ToS tagging, control
+//! messages, and gradient data segmentation.
+
+mod control;
+pub(crate) mod data;
+mod quant;
+mod tos;
+
+pub use control::ControlMessage;
+pub use data::{
+    num_segments, seg_index, seg_round, segment_gradient, segment_gradient_round, tag_round,
+    DataSegment, GradientAssembler, FLOATS_PER_SEGMENT, MAX_SEG_INDEX, ROUND_SHIFT,
+    SEG_HEADER_BYTES,
+};
+pub use quant::{
+    num_quant_segments, quantize_gradient, QuantAccelerator, QuantConfig, QuantSegment,
+    INTS_PER_SEGMENT,
+};
+pub use tos::{is_iswitch_tos, ISWITCH_UDP_PORT, TOS_CONTROL, TOS_DATA};

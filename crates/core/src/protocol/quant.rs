@@ -1,0 +1,334 @@
+//! INT16 gradient quantization — an extension in the direction of the
+//! paper's related work (GradiVeQ, §7: bandwidth-efficient gradient
+//! aggregation), adapted to in-switch constraints.
+//!
+//! Floating-point adders are the accelerator's scarcest datapath resource
+//! (17 DSP slices in §3.5); linear INT16 quantization halves the bytes on
+//! the wire *and* replaces the FP adders with integer accumulators. A
+//! **fixed, symmetric scale** is shared by every worker (`clip / 32767`),
+//! so the switch can sum raw integers without rescaling — exactly the kind
+//! of scheme that fits a switch ASIC. The error analysis lives in the
+//! tests: the absolute quantization error per element is at most one
+//! quantization step.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use iswitch_netsim::MAX_UDP_PAYLOAD;
+
+use crate::error::ProtocolError;
+use crate::protocol::data::SEG_HEADER_BYTES;
+
+/// i16 elements per full quantized segment: twice the f32 density. The
+/// payload layout is `seg header (8) | scale (4) | i16 data`.
+pub const INTS_PER_SEGMENT: usize = (MAX_UDP_PAYLOAD - SEG_HEADER_BYTES - 4) / 2;
+
+/// Shared quantization parameters. Every worker and switch in a job must
+/// agree on the clip range (distributed via `Join` metadata in a full
+/// deployment).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantConfig {
+    /// Symmetric clipping range: values outside `[-clip, clip]` saturate.
+    pub clip: f32,
+}
+
+impl QuantConfig {
+    /// A config with the given clip range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clip` is not positive and finite.
+    pub fn new(clip: f32) -> Self {
+        assert!(clip > 0.0 && clip.is_finite(), "clip must be positive and finite");
+        QuantConfig { clip }
+    }
+
+    /// The value of one quantization step.
+    pub fn step(&self) -> f32 {
+        self.clip / f32::from(i16::MAX)
+    }
+
+    /// Quantizes one value (saturating).
+    pub fn quantize(&self, x: f32) -> i16 {
+        let q = (x / self.step()).round();
+        q.clamp(f32::from(i16::MIN + 1), f32::from(i16::MAX)) as i16
+    }
+
+    /// Dequantizes one value.
+    pub fn dequantize(&self, q: i16) -> f32 {
+        f32::from(q) * self.step()
+    }
+}
+
+impl Default for QuantConfig {
+    fn default() -> Self {
+        // Gradients are clipped to unit L2 norm upstream, so per-element
+        // magnitudes rarely exceed 1.
+        QuantConfig { clip: 1.0 }
+    }
+}
+
+/// One quantized gradient segment. The integer accumulator in the switch
+/// sums `values` of same-`seg` packets directly; `count` tracks
+/// contributors just like the f32 path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantSegment {
+    /// Segment index.
+    pub seg: u64,
+    /// Contributor count.
+    pub count: u16,
+    /// Shared quantization step (must match across contributors).
+    pub step: f32,
+    /// Quantized values. Aggregated results may exceed i16 range, so the
+    /// accumulator widens to i32 on the wire's behalf.
+    pub values: Vec<i32>,
+}
+
+impl QuantSegment {
+    /// Serializes to a UDP payload. Worker contributions (all values in
+    /// i16 range) use 2 bytes per element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a value exceeds the i16 range (contributions must be
+    /// freshly quantized; use the f32 path to transport wide aggregates)
+    /// or the segment exceeds the MTU budget.
+    pub fn encode(&self) -> Bytes {
+        assert!(
+            self.values.len() <= INTS_PER_SEGMENT,
+            "quantized segment of {} elements exceeds the MTU budget of {}",
+            self.values.len(),
+            INTS_PER_SEGMENT
+        );
+        let mut buf = BytesMut::with_capacity(SEG_HEADER_BYTES + 4 + self.values.len() * 2);
+        buf.put_u64((self.seg << 16) | u64::from(self.count));
+        buf.put_f32(self.step);
+        for &v in &self.values {
+            let narrow =
+                i16::try_from(v).expect("worker contributions stay within i16 range");
+            buf.put_i16(narrow);
+        }
+        buf.freeze()
+    }
+
+    /// Parses a UDP payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] on truncation or misalignment.
+    pub fn decode(payload: &[u8]) -> Result<Self, ProtocolError> {
+        if payload.len() < SEG_HEADER_BYTES + 4 {
+            return Err(ProtocolError::Truncated {
+                needed: SEG_HEADER_BYTES + 4,
+                got: payload.len(),
+            });
+        }
+        let header = u64::from_be_bytes(payload[..8].try_into().expect("8 bytes"));
+        let step = f32::from_be_bytes(payload[8..12].try_into().expect("4 bytes"));
+        let data = &payload[12..];
+        if !data.len().is_multiple_of(2) {
+            return Err(ProtocolError::MisalignedPayload(data.len()));
+        }
+        let values = data
+            .chunks_exact(2)
+            .map(|c| i32::from(i16::from_be_bytes(c.try_into().expect("2 bytes"))))
+            .collect();
+        Ok(QuantSegment {
+            seg: header >> 16,
+            count: (header & 0xFFFF) as u16,
+            step,
+            values,
+        })
+    }
+
+    /// Dequantizes into f32 values.
+    pub fn to_f32(&self) -> Vec<f32> {
+        self.values.iter().map(|&v| v as f32 * self.step).collect()
+    }
+}
+
+/// Quantizes a gradient into wire segments under `cfg` (count = 1).
+pub fn quantize_gradient(grad: &[f32], cfg: QuantConfig) -> Vec<QuantSegment> {
+    grad.chunks(INTS_PER_SEGMENT)
+        .enumerate()
+        .map(|(i, chunk)| QuantSegment {
+            seg: i as u64,
+            count: 1,
+            step: cfg.step(),
+            values: chunk.iter().map(|&x| i32::from(cfg.quantize(x))).collect(),
+        })
+        .collect()
+}
+
+/// Number of quantized segments for a gradient of `len` elements.
+pub fn num_quant_segments(len: usize) -> usize {
+    len.div_ceil(INTS_PER_SEGMENT)
+}
+
+/// The integer aggregation engine: the quantized counterpart of the f32
+/// [`crate::Accelerator`] datapath. Sums i32 accumulators per segment and
+/// emits when `threshold` contributions arrived.
+#[derive(Debug, Clone)]
+pub struct QuantAccelerator {
+    threshold: u16,
+    num_segments: usize,
+    step: Option<f32>,
+    buffers: std::collections::HashMap<usize, Vec<i32>>,
+    counters: Vec<u16>,
+    worker_counts: Vec<u16>,
+}
+
+impl QuantAccelerator {
+    /// An integer aggregator for `num_segments` segments at threshold `H`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero threshold or segment count.
+    pub fn new(num_segments: usize, threshold: u16) -> Self {
+        assert!(threshold > 0, "aggregation threshold H must be positive");
+        assert!(num_segments > 0, "at least one segment required");
+        QuantAccelerator {
+            threshold,
+            num_segments,
+            step: None,
+            buffers: std::collections::HashMap::new(),
+            counters: vec![0; num_segments],
+            worker_counts: vec![0; num_segments],
+        }
+    }
+
+    /// Ingests a quantized contribution; returns the completed aggregate
+    /// (with i32 values that may exceed i16 range) when `H` is reached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if contributors disagree on the quantization step — the
+    /// shared-scale contract this scheme depends on.
+    pub fn ingest(&mut self, seg: &QuantSegment) -> Option<QuantSegment> {
+        let idx = seg.seg as usize;
+        assert!(idx < self.num_segments, "segment index {idx} out of range");
+        match self.step {
+            None => self.step = Some(seg.step),
+            Some(step) => assert!(
+                (step - seg.step).abs() < f32::EPSILON,
+                "contributors disagree on the quantization step"
+            ),
+        }
+        let buffer = self
+            .buffers
+            .entry(idx)
+            .or_insert_with(|| vec![0i32; seg.values.len()]);
+        assert_eq!(buffer.len(), seg.values.len(), "segment length changed");
+        for (acc, v) in buffer.iter_mut().zip(&seg.values) {
+            *acc = acc.saturating_add(*v);
+        }
+        self.counters[idx] += 1;
+        self.worker_counts[idx] = self.worker_counts[idx].saturating_add(seg.count.max(1));
+        if self.counters[idx] >= self.threshold {
+            let values = self.buffers.remove(&idx).expect("resident");
+            let count = self.worker_counts[idx];
+            self.counters[idx] = 0;
+            self.worker_counts[idx] = 0;
+            Some(QuantSegment {
+                seg: idx as u64,
+                count,
+                step: self.step.expect("step fixed by first ingest"),
+                values,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_round_trips_within_one_step() {
+        let cfg = QuantConfig::default();
+        for x in [-0.9999f32, -0.5, -1e-4, 0.0, 3e-3, 0.77, 0.9999] {
+            let back = cfg.dequantize(cfg.quantize(x));
+            assert!((back - x).abs() <= cfg.step(), "{x} -> {back}");
+        }
+    }
+
+    #[test]
+    fn quantize_saturates_at_clip() {
+        let cfg = QuantConfig::new(0.5);
+        assert_eq!(cfg.quantize(10.0), i16::MAX);
+        assert_eq!(cfg.quantize(-10.0), i16::MIN + 1);
+    }
+
+    #[test]
+    fn wire_round_trips() {
+        let cfg = QuantConfig::default();
+        let grad: Vec<f32> = (0..1000).map(|i| ((i as f32) * 0.37).sin() * 0.8).collect();
+        for seg in quantize_gradient(&grad, cfg) {
+            let decoded = QuantSegment::decode(&seg.encode()).expect("decodes");
+            assert_eq!(decoded, seg);
+        }
+    }
+
+    #[test]
+    fn packs_twice_the_density_of_f32() {
+        assert!(INTS_PER_SEGMENT >= 2 * crate::protocol::FLOATS_PER_SEGMENT - 4);
+        let grad = vec![0.1f32; 10_000];
+        let q = quantize_gradient(&grad, QuantConfig::default());
+        let f = crate::protocol::segment_gradient(&grad);
+        assert!(q.len() < f.len(), "quantized {} vs f32 {}", q.len(), f.len());
+    }
+
+    #[test]
+    fn integer_aggregation_matches_f32_sum_within_error_bound() {
+        let cfg = QuantConfig::default();
+        let n = 4;
+        let grads: Vec<Vec<f32>> = (0..n)
+            .map(|w| (0..800).map(|i| ((w * 800 + i) as f32 * 0.013).sin() * 0.6).collect())
+            .collect();
+        let mut expect = vec![0.0f32; 800];
+        for g in &grads {
+            for (e, v) in expect.iter_mut().zip(g) {
+                *e += v;
+            }
+        }
+        let mut accel = QuantAccelerator::new(num_quant_segments(800), n as u16);
+        let mut got = vec![0.0f32; 800];
+        for g in &grads {
+            for seg in quantize_gradient(g, cfg) {
+                if let Some(done) = accel.ingest(&seg) {
+                    let offset = done.seg as usize * INTS_PER_SEGMENT;
+                    for (i, v) in done.to_f32().into_iter().enumerate() {
+                        got[offset + i] = v;
+                    }
+                }
+            }
+        }
+        // Error bound: each contribution adds at most step/2 rounding error.
+        let bound = cfg.step() * n as f32;
+        for (a, b) in got.iter().zip(&expect) {
+            assert!((a - b).abs() <= bound, "sum {a} vs {b} (bound {bound})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on the quantization step")]
+    fn mismatched_scales_rejected() {
+        let mut accel = QuantAccelerator::new(1, 2);
+        let a = quantize_gradient(&[0.5], QuantConfig::new(1.0)).remove(0);
+        let b = quantize_gradient(&[0.5], QuantConfig::new(2.0)).remove(0);
+        accel.ingest(&a);
+        accel.ingest(&b);
+    }
+
+    #[test]
+    fn aggregate_counts_accumulate() {
+        let cfg = QuantConfig::default();
+        let mut accel = QuantAccelerator::new(1, 3);
+        let seg = quantize_gradient(&[0.25], cfg).remove(0);
+        assert!(accel.ingest(&seg).is_none());
+        assert!(accel.ingest(&seg).is_none());
+        let done = accel.ingest(&seg).expect("third completes");
+        assert_eq!(done.count, 3);
+        assert!((done.to_f32()[0] - 0.75).abs() < 3.0 * cfg.step());
+    }
+}

@@ -1,0 +1,35 @@
+//! ToS tagging of iSwitch packets (paper §3.2, Fig. 5).
+//!
+//! The iSwitch protocol rides on ordinary UDP/IP; packets belonging to the
+//! in-switch training job are identified by reserved values of the IP
+//! Type-of-Service byte, so the switch's input arbiter can divert them to
+//! the accelerator without touching regular traffic.
+
+/// Reserved ToS value tagging **control** packets (Fig. 5a).
+pub const TOS_CONTROL: u8 = 0xB8;
+
+/// Reserved ToS value tagging **data** (gradient) packets (Fig. 5b).
+pub const TOS_DATA: u8 = 0xBC;
+
+/// The UDP port used by the training job (cf. the membership table in
+/// Fig. 9, which registers workers at port 9999).
+pub const ISWITCH_UDP_PORT: u16 = 9999;
+
+/// Whether a ToS value belongs to the iSwitch protocol at all.
+pub fn is_iswitch_tos(tos: u8) -> bool {
+    tos == TOS_CONTROL || tos == TOS_DATA
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_values_are_distinct_and_recognized() {
+        assert_ne!(TOS_CONTROL, TOS_DATA);
+        assert!(is_iswitch_tos(TOS_CONTROL));
+        assert!(is_iswitch_tos(TOS_DATA));
+        assert!(!is_iswitch_tos(0));
+        assert!(!is_iswitch_tos(0x10));
+    }
+}

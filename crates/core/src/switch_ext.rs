@@ -1,0 +1,501 @@
+//! The iSwitch data/control-plane extension for a simulated switch
+//! (paper §3.3, Fig. 6, and §3.4's hierarchical aggregation).
+//!
+//! Installed into an `iswitch-netsim` switch, the extension plays the role
+//! of the paper's enhanced input arbiter: packets tagged with the reserved
+//! ToS values divert to the in-switch accelerator; everything else follows
+//! the regular forwarding path untouched.
+//!
+//! Deployment shapes:
+//!
+//! * **Root** (single-switch star, or the core of a tree): completed
+//!   aggregates are broadcast down every child port.
+//! * **Intermediate** (a ToR under a core switch): completed *local*
+//!   aggregates are forwarded up the uplink for global aggregation
+//!   ("it will forward the aggregated segment to the switches in the
+//!   higher level", §3.4), and result packets arriving *on* the uplink are
+//!   fanned out to the children.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use iswitch_netsim::{
+    ExtAction, IpAddr, Packet, PortId, SimDuration, SimTime, SwitchExtension, SwitchServices,
+};
+
+use crate::accelerator::{Accelerator, AcceleratorConfig};
+use crate::control_plane::{Member, MemberType, MembershipTable};
+use crate::protocol::{
+    num_segments, ControlMessage, DataSegment, ISWITCH_UDP_PORT, TOS_CONTROL, TOS_DATA,
+};
+
+/// Destination IP carried by downward result broadcasts. Worker apps accept
+/// iSwitch data packets regardless of destination address.
+pub const RESULT_BROADCAST_IP: IpAddr = IpAddr::new(10, 255, 255, 255);
+
+/// Destination IP carried by upward (toward the root) aggregate packets.
+pub const UPSTREAM_IP: IpAddr = IpAddr::new(10, 255, 255, 254);
+
+/// How the accelerator schedules its output (paper Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AggregationMode {
+    /// Sum each packet as it arrives and emit each segment's aggregate the
+    /// moment its counter reaches `H` (Fig. 8b — the paper's design).
+    #[default]
+    OnTheFly,
+    /// Conventional scheme (Fig. 8a), for ablation: buffer until **every**
+    /// segment of the round has all `H` contributions, then run the whole
+    /// summation and emit all segments back to back.
+    StoreAndForward,
+}
+
+/// Where a switch sits in the aggregation hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregationRole {
+    /// The top of the hierarchy: completed aggregates broadcast downward.
+    Root,
+    /// A lower-level switch: completed local aggregates travel up `uplink`;
+    /// results arriving on `uplink` fan out to the children.
+    Intermediate {
+        /// The port facing the parent switch.
+        uplink: PortId,
+    },
+}
+
+/// Configuration for [`IswitchExtension`].
+#[derive(Debug, Clone)]
+pub struct ExtensionConfig {
+    /// Hierarchy position.
+    pub role: AggregationRole,
+    /// Ports facing workers (leaf) or child switches (core).
+    pub child_ports: Vec<PortId>,
+    /// Gradient vector length in f32 elements.
+    pub grad_len: usize,
+    /// Aggregation threshold `H`. Defaults to the child count in
+    /// [`ExtensionConfig::for_star`] / [`ExtensionConfig::for_tree_level`].
+    pub threshold: u16,
+    /// Accelerator hardware parameters.
+    pub accel: AcceleratorConfig,
+    /// Source IP stamped on emitted packets.
+    pub switch_ip: IpAddr,
+    /// When true, `Join`/`Leave` control messages adjust `H` to the current
+    /// worker count.
+    pub auto_threshold: bool,
+    /// Output scheduling (ablation knob; the paper's design is
+    /// [`AggregationMode::OnTheFly`]).
+    pub mode: AggregationMode,
+    /// When set, a partial round that has seen no contribution for this
+    /// long is flushed as a partial broadcast. Protects against permanent
+    /// round desynchronization after a lost contribution: without expiry,
+    /// a 3-of-4 round would complete with the *next* iteration's first
+    /// packet and stay phase-shifted forever (the round-versioning problem
+    /// follow-on systems like SwitchML solve with slot versions).
+    pub stale_flush: Option<SimDuration>,
+}
+
+impl ExtensionConfig {
+    /// Configuration for the single-switch (star) deployment of Fig. 1c:
+    /// the switch is the root; `H` = number of workers.
+    pub fn for_star(child_ports: Vec<PortId>, grad_len: usize) -> Self {
+        let threshold = child_ports.len() as u16;
+        ExtensionConfig {
+            role: AggregationRole::Root,
+            child_ports,
+            grad_len,
+            threshold,
+            accel: AcceleratorConfig::default(),
+            switch_ip: IpAddr::new(10, 0, 255, 1),
+            auto_threshold: false,
+            mode: AggregationMode::OnTheFly,
+            stale_flush: None,
+        }
+    }
+
+    /// Configuration for one switch of a two-layer tree (Fig. 10): ToRs are
+    /// intermediates aggregating their local workers; the core is the root
+    /// aggregating one contribution per rack.
+    pub fn for_tree_level(
+        role: AggregationRole,
+        child_ports: Vec<PortId>,
+        grad_len: usize,
+    ) -> Self {
+        let threshold = child_ports.len() as u16;
+        ExtensionConfig {
+            role,
+            child_ports,
+            grad_len,
+            threshold,
+            accel: AcceleratorConfig::default(),
+            switch_ip: IpAddr::new(10, 0, 255, 2),
+            auto_threshold: false,
+            mode: AggregationMode::OnTheFly,
+            stale_flush: None,
+        }
+    }
+
+    /// Switches to the conventional store-and-forward output schedule
+    /// (Fig. 8a), for the on-the-fly ablation.
+    pub fn store_and_forward(mut self) -> Self {
+        self.mode = AggregationMode::StoreAndForward;
+        self
+    }
+
+    /// Overrides the aggregation threshold `H` (the `SetH` control action
+    /// applied at construction). Used by the partial-aggregation ablation.
+    pub fn with_threshold(mut self, h: u16) -> Self {
+        assert!(h > 0, "threshold must be positive");
+        self.threshold = h;
+        self
+    }
+
+    /// Enables switch-side expiry of stale partial rounds (see
+    /// [`ExtensionConfig::stale_flush`]).
+    pub fn with_stale_flush(mut self, age: SimDuration) -> Self {
+        self.stale_flush = Some(age);
+        self
+    }
+}
+
+/// Counters for the extension beyond the accelerator's own.
+#[derive(Debug, Clone, Default)]
+pub struct ExtensionStats {
+    /// Result packets broadcast downward.
+    pub broadcasts: u64,
+    /// Aggregates forwarded up the hierarchy.
+    pub upward_forwards: u64,
+    /// Control messages handled.
+    pub control_handled: u64,
+    /// `Help` retransmissions served.
+    pub help_served: u64,
+    /// Stale partial rounds flushed by the expiry sweep.
+    pub stale_flushes: u64,
+    /// Non-iSwitch packets passed through to regular forwarding.
+    pub passed_through: u64,
+}
+
+enum PendingEmit {
+    Broadcast(DataSegment),
+    Upward(DataSegment),
+    HelpReply { seg: DataSegment, to: IpAddr },
+}
+
+/// The in-switch aggregation extension.
+/// Timer token reserved for the stale-partial sweep.
+const SWEEP_TOKEN: u64 = u64::MAX;
+
+/// The in-switch aggregation extension (data plane + control plane).
+pub struct IswitchExtension {
+    cfg: ExtensionConfig,
+    accel: Accelerator,
+    membership: MembershipTable,
+    pending: HashMap<u64, PendingEmit>,
+    next_token: u64,
+    /// Last contribution arrival per partial segment (sweep bookkeeping).
+    last_arrival: HashMap<usize, SimTime>,
+    sweep_armed: bool,
+    /// Completed segments held back in store-and-forward mode until the
+    /// whole round is resident.
+    held: Vec<DataSegment>,
+    stats: ExtensionStats,
+}
+
+impl IswitchExtension {
+    /// Builds the extension and its accelerator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (no children, zero-length
+    /// gradient) or the model does not fit the accelerator's buffer budget.
+    pub fn new(cfg: ExtensionConfig) -> Self {
+        assert!(!cfg.child_ports.is_empty(), "a switch needs at least one child");
+        assert!(cfg.grad_len > 0, "gradient length must be positive");
+        let accel =
+            Accelerator::new(cfg.accel.clone(), num_segments(cfg.grad_len), cfg.threshold.max(1));
+        IswitchExtension {
+            cfg,
+            accel,
+            membership: MembershipTable::new(),
+            pending: HashMap::new(),
+            next_token: 0,
+            last_arrival: HashMap::new(),
+            sweep_armed: false,
+            held: Vec::new(),
+            stats: ExtensionStats::default(),
+        }
+    }
+
+    /// The underlying accelerator (for inspection in tests/benches).
+    pub fn accelerator(&self) -> &Accelerator {
+        &self.accel
+    }
+
+    /// The control plane's membership table.
+    pub fn membership(&self) -> &MembershipTable {
+        &self.membership
+    }
+
+    /// Extension counters.
+    pub fn stats(&self) -> &ExtensionStats {
+        &self.stats
+    }
+
+    fn schedule(&mut self, sw: &mut SwitchServices<'_, '_>, delay: SimDuration, emit: PendingEmit) {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.pending.insert(token, emit);
+        sw.set_timer(delay, token);
+    }
+
+    fn data_packet(&self, dst: IpAddr, seg: &DataSegment) -> Packet {
+        Packet::udp(self.cfg.switch_ip, dst, ISWITCH_UDP_PORT, ISWITCH_UDP_PORT, TOS_DATA)
+            .with_payload(seg.encode())
+    }
+
+    fn broadcast_down(&mut self, sw: &mut SwitchServices<'_, '_>, seg: &DataSegment) {
+        let pkt = self.data_packet(RESULT_BROADCAST_IP, seg);
+        for &port in &self.cfg.child_ports {
+            sw.send_port(port, pkt.clone());
+            self.stats.broadcasts += 1;
+        }
+    }
+
+    fn emit_completed(&mut self, sw: &mut SwitchServices<'_, '_>, seg: DataSegment, delay: SimDuration) {
+        match self.cfg.mode {
+            AggregationMode::OnTheFly => {
+                let emit = match self.cfg.role {
+                    AggregationRole::Root => PendingEmit::Broadcast(seg),
+                    AggregationRole::Intermediate { .. } => PendingEmit::Upward(seg),
+                };
+                self.schedule(sw, delay, emit);
+            }
+            AggregationMode::StoreAndForward => {
+                self.held.push(seg);
+                if self.held.len() == self.accel.num_segments() {
+                    // The conventional scheme only starts summing once all
+                    // vectors are resident: charge one pass of every packet
+                    // through the adders before anything leaves.
+                    let per_packet = self.cfg.accel.packet_latency(1_472);
+                    let total = self.held.len() as u64
+                        * u64::from(self.accel.threshold())
+                        * per_packet.as_nanos();
+                    let mut when = SimDuration::from_nanos(total);
+                    for seg in std::mem::take(&mut self.held) {
+                        let emit = match self.cfg.role {
+                            AggregationRole::Root => PendingEmit::Broadcast(seg),
+                            AggregationRole::Intermediate { .. } => PendingEmit::Upward(seg),
+                        };
+                        self.schedule(sw, when, emit);
+                        when += per_packet;
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_data(&mut self, sw: &mut SwitchServices<'_, '_>, in_port: PortId, pkt: &Packet) {
+        if let AggregationRole::Intermediate { uplink } = self.cfg.role {
+            if in_port == uplink {
+                // Globally aggregated result coming down: fan out unchanged.
+                let seg = DataSegment::decode(&pkt.payload)
+                    .expect("malformed result packet from parent switch");
+                self.broadcast_down(sw, &seg);
+                return;
+            }
+        }
+        let seg = match DataSegment::decode(&pkt.payload) {
+            Ok(seg) => seg,
+            // Malformed data packets are dropped, as real hardware would.
+            Err(_) => return,
+        };
+        let idx = seg.seg as usize;
+        let (done, latency) = self.accel.ingest(&seg);
+        match done {
+            Some(agg) => {
+                self.last_arrival.remove(&idx);
+                self.emit_completed(sw, agg, latency);
+            }
+            None => {
+                if self.cfg.stale_flush.is_some() {
+                    self.last_arrival.insert(idx, sw.now());
+                    if !self.sweep_armed {
+                        self.sweep_armed = true;
+                        let period = self.cfg.stale_flush.expect("checked") / 2;
+                        sw.set_timer(period, SWEEP_TOKEN);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flushes partial rounds that have seen no contribution for the
+    /// configured age, then re-arms the sweep while partials remain.
+    fn sweep_stale(&mut self, sw: &mut SwitchServices<'_, '_>) {
+        let Some(age) = self.cfg.stale_flush else {
+            self.sweep_armed = false;
+            return;
+        };
+        let now = sw.now();
+        let stale: Vec<usize> = self
+            .last_arrival
+            .iter()
+            .filter(|(_, &at)| now.saturating_duration_since(at) >= age)
+            .map(|(&idx, _)| idx)
+            .collect();
+        for idx in stale {
+            self.last_arrival.remove(&idx);
+            if let Some(partial) = self.accel.force_broadcast(idx as u64) {
+                self.stats.stale_flushes += 1;
+                self.emit_completed(sw, partial, SimDuration::from_nanos(0));
+            }
+        }
+        if self.last_arrival.is_empty() {
+            self.sweep_armed = false;
+        } else {
+            sw.set_timer(age / 2, SWEEP_TOKEN);
+        }
+    }
+
+    fn ack(&self, sw: &mut SwitchServices<'_, '_>, to: IpAddr, of: u8, ok: bool) {
+        let pkt = Packet::udp(
+            self.cfg.switch_ip,
+            to,
+            ISWITCH_UDP_PORT,
+            ISWITCH_UDP_PORT,
+            TOS_CONTROL,
+        )
+        .with_payload(ControlMessage::Ack { of, ok }.encode());
+        let _ = sw.send_routed(pkt);
+    }
+
+    fn handle_control(&mut self, sw: &mut SwitchServices<'_, '_>, pkt: &Packet) {
+        let Ok(msg) = ControlMessage::decode(&pkt.payload) else {
+            return;
+        };
+        self.stats.control_handled += 1;
+        let code = msg.action_code();
+        let from = pkt.ip.src;
+        match msg {
+            ControlMessage::Join { worker_id, grad_len } => {
+                let ok = grad_len as usize == self.cfg.grad_len;
+                if ok {
+                    self.membership.join(Member {
+                        id: worker_id,
+                        ip: from,
+                        port: pkt.udp.src_port,
+                        member_type: MemberType::Worker,
+                        parent: None,
+                    });
+                    if self.cfg.auto_threshold {
+                        self.accel.set_threshold(self.membership.worker_count().max(1) as u16);
+                    }
+                }
+                self.ack(sw, from, code, ok);
+            }
+            ControlMessage::Leave { worker_id } => {
+                let ok = self.membership.leave(worker_id).is_some();
+                if ok && self.cfg.auto_threshold && self.membership.worker_count() > 0 {
+                    self.accel.set_threshold(self.membership.worker_count() as u16);
+                }
+                self.ack(sw, from, code, ok);
+            }
+            ControlMessage::Reset => {
+                self.accel.reset();
+                self.ack(sw, from, code, true);
+            }
+            ControlMessage::SetH { h } => {
+                let ok = h > 0 && h <= u32::from(u16::MAX);
+                if ok {
+                    self.accel.set_threshold(h as u16);
+                }
+                self.ack(sw, from, code, ok);
+            }
+            ControlMessage::FBcast { seg } => {
+                if let Some(partial) = self.accel.force_broadcast(seg) {
+                    let latency = SimDuration::from_nanos(0);
+                    self.emit_completed(sw, partial, latency);
+                }
+            }
+            ControlMessage::Help { seg } => {
+                if let Some(cached) = self.accel.last_result(seg) {
+                    let reply = PendingEmit::HelpReply { seg: cached.clone(), to: from };
+                    self.stats.help_served += 1;
+                    self.schedule(sw, SimDuration::from_nanos(0), reply);
+                }
+            }
+            ControlMessage::Halt => {
+                // Relay the suspension to every child.
+                let pkt = Packet::udp(
+                    self.cfg.switch_ip,
+                    RESULT_BROADCAST_IP,
+                    ISWITCH_UDP_PORT,
+                    ISWITCH_UDP_PORT,
+                    TOS_CONTROL,
+                )
+                .with_payload(ControlMessage::Halt.encode());
+                for &port in &self.cfg.child_ports {
+                    sw.send_port(port, pkt.clone());
+                }
+            }
+            ControlMessage::Ack { .. } => {
+                // Acks terminate at the switch.
+            }
+        }
+    }
+}
+
+impl SwitchExtension for IswitchExtension {
+    fn on_packet(
+        &mut self,
+        sw: &mut SwitchServices<'_, '_>,
+        in_port: PortId,
+        pkt: Packet,
+    ) -> ExtAction {
+        match pkt.ip.tos {
+            TOS_DATA => {
+                self.handle_data(sw, in_port, &pkt);
+                ExtAction::Consumed
+            }
+            TOS_CONTROL => {
+                self.handle_control(sw, &pkt);
+                ExtAction::Consumed
+            }
+            _ => {
+                self.stats.passed_through += 1;
+                ExtAction::Forward(pkt)
+            }
+        }
+    }
+
+    fn on_timer(&mut self, sw: &mut SwitchServices<'_, '_>, token: u64) {
+        if token == SWEEP_TOKEN {
+            self.sweep_stale(sw);
+            return;
+        }
+        let Some(emit) = self.pending.remove(&token) else {
+            return;
+        };
+        match emit {
+            PendingEmit::Broadcast(seg) => self.broadcast_down(sw, &seg),
+            PendingEmit::Upward(seg) => {
+                let AggregationRole::Intermediate { uplink } = self.cfg.role else {
+                    unreachable!("upward emission only scheduled on intermediates");
+                };
+                let pkt = self.data_packet(UPSTREAM_IP, &seg);
+                sw.send_port(uplink, pkt);
+                self.stats.upward_forwards += 1;
+            }
+            PendingEmit::HelpReply { seg, to } => {
+                let pkt = self.data_packet(to, &seg);
+                let _ = sw.send_routed(pkt);
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,93 @@
+//! Worker-side packet helpers: building gradient/control packets and
+//! parsing what comes back from the switch.
+
+use iswitch_netsim::{IpAddr, Packet};
+
+use crate::protocol::{
+    segment_gradient_round, ControlMessage, DataSegment, ISWITCH_UDP_PORT, TOS_CONTROL, TOS_DATA,
+};
+use crate::switch_ext::UPSTREAM_IP;
+
+/// Builds the sequence of data packets carrying `grad` from a worker at
+/// `src` toward its switch. One packet per segment, in segment order.
+///
+/// The destination address is the upstream aggregation address: iSwitch
+/// switches intercept by ToS, so data packets never need a concrete
+/// switch IP.
+pub fn gradient_packets(src: IpAddr, grad: &[f32]) -> Vec<Packet> {
+    gradient_packets_round(src, grad, 0)
+}
+
+/// Like [`gradient_packets`] with an explicit aggregation-round tag in the
+/// `Seg` field (see [`crate::tag_round`]); receivers use the tag to ignore
+/// stale re-broadcasts.
+pub fn gradient_packets_round(src: IpAddr, grad: &[f32], round: u32) -> Vec<Packet> {
+    segment_gradient_round(grad, round)
+        .iter()
+        .map(|seg| data_packet(src, UPSTREAM_IP, seg))
+        .collect()
+}
+
+/// Builds a single data packet carrying `seg`.
+pub fn data_packet(src: IpAddr, dst: IpAddr, seg: &DataSegment) -> Packet {
+    Packet::udp(src, dst, ISWITCH_UDP_PORT, ISWITCH_UDP_PORT, TOS_DATA).with_payload(seg.encode())
+}
+
+/// Builds a control packet carrying `msg` from `src` to `dst`.
+pub fn control_packet(src: IpAddr, dst: IpAddr, msg: &ControlMessage) -> Packet {
+    Packet::udp(src, dst, ISWITCH_UDP_PORT, ISWITCH_UDP_PORT, TOS_CONTROL)
+        .with_payload(msg.encode())
+}
+
+/// Parses an iSwitch data packet, returning `None` for anything else
+/// (wrong ToS or malformed payload).
+pub fn decode_data(pkt: &Packet) -> Option<DataSegment> {
+    if pkt.ip.tos != TOS_DATA {
+        return None;
+    }
+    DataSegment::decode(&pkt.payload).ok()
+}
+
+/// Parses an iSwitch control packet, returning `None` for anything else.
+pub fn decode_control(pkt: &Packet) -> Option<ControlMessage> {
+    if pkt.ip.tos != TOS_CONTROL {
+        return None;
+    }
+    ControlMessage::decode(&pkt.payload).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::FLOATS_PER_SEGMENT;
+
+    #[test]
+    fn gradient_packets_cover_the_vector_in_order() {
+        let grad: Vec<f32> = (0..FLOATS_PER_SEGMENT + 5).map(|i| i as f32).collect();
+        let pkts = gradient_packets(IpAddr::new(10, 0, 0, 1), &grad);
+        assert_eq!(pkts.len(), 2);
+        let seg0 = decode_data(&pkts[0]).unwrap();
+        let seg1 = decode_data(&pkts[1]).unwrap();
+        assert_eq!(seg0.seg, 0);
+        assert_eq!(seg1.seg, 1);
+        assert_eq!(seg0.values.len(), FLOATS_PER_SEGMENT);
+        assert_eq!(seg1.values.len(), 5);
+        assert_eq!(seg1.values[4], (FLOATS_PER_SEGMENT + 4) as f32);
+    }
+
+    #[test]
+    fn decode_rejects_wrong_tos() {
+        let grad = vec![1.0f32; 4];
+        let mut pkt = gradient_packets(IpAddr::new(10, 0, 0, 1), &grad).remove(0);
+        pkt.ip.tos = 0;
+        assert!(decode_data(&pkt).is_none());
+
+        let ctrl = control_packet(
+            IpAddr::new(10, 0, 0, 1),
+            IpAddr::new(10, 0, 255, 1),
+            &ControlMessage::Reset,
+        );
+        assert!(decode_control(&ctrl).is_some());
+        assert!(decode_data(&ctrl).is_none());
+    }
+}

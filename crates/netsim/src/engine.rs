@@ -1,0 +1,656 @@
+//! The discrete-event simulation engine.
+//!
+//! A [`Simulator`] owns a set of nodes (anything implementing [`Device`])
+//! wired together by point-to-point links. Devices react to packet arrivals
+//! and timers through a [`Context`] that lets them transmit packets and
+//! schedule further timers. Event ordering is fully deterministic: ties in
+//! time are broken by scheduling order.
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::ids::{LinkId, NodeId, PortId, TimerId};
+use crate::link::{Link, LinkDir, LinkEnd, LinkSpec};
+use crate::packet::{IpAddr, Packet};
+use crate::stats::SimStats;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{FlowStats, FlowTracker};
+
+/// A simulated node: a host, a switch, or anything else that terminates
+/// links.
+///
+/// Implementations must provide [`Device::as_any_mut`] (and `as_any`) so the
+/// simulator can hand back concrete types after a run; the body is always
+/// `self`.
+pub trait Device: 'static {
+    /// Called once at simulation start (time zero), in node-creation order.
+    fn on_start(&mut self, _ctx: &mut Context<'_>) {}
+
+    /// Called when a packet arrives on `port`.
+    fn on_packet(&mut self, ctx: &mut Context<'_>, port: PortId, pkt: Packet);
+
+    /// Called when a timer set via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut Context<'_>, _token: u64) {}
+
+    /// Upcast for concrete-type recovery via [`Simulator::device`].
+    fn as_any(&self) -> &dyn Any;
+
+    /// Upcast for concrete-type recovery via [`Simulator::device_mut`].
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Per-node configuration supplied at [`Simulator::add_node`] time.
+#[derive(Debug, Clone)]
+pub struct NodeOpts {
+    /// Human-readable label used in panics and stats dumps.
+    pub label: String,
+    /// Per-packet transmit-side processing overhead (host NIC/stack cost);
+    /// charged serially as part of the packet's occupancy of the link.
+    pub tx_overhead: SimDuration,
+    /// Per-packet receive-side latency (host stack, or switch forwarding
+    /// latency) added between wire arrival and the `on_packet` callback.
+    pub rx_overhead: SimDuration,
+}
+
+impl NodeOpts {
+    /// Options with a label and zero overheads.
+    pub fn new(label: impl Into<String>) -> Self {
+        NodeOpts {
+            label: label.into(),
+            tx_overhead: SimDuration::ZERO,
+            rx_overhead: SimDuration::ZERO,
+        }
+    }
+
+    /// Sets the transmit-side per-packet overhead.
+    pub fn with_tx_overhead(mut self, d: SimDuration) -> Self {
+        self.tx_overhead = d;
+        self
+    }
+
+    /// Sets the receive-side per-packet overhead.
+    pub fn with_rx_overhead(mut self, d: SimDuration) -> Self {
+        self.rx_overhead = d;
+        self
+    }
+}
+
+struct NodeSlot {
+    device: Option<Box<dyn Device>>,
+    opts: NodeOpts,
+    /// Port index -> (link, direction-of-travel when transmitting out of it).
+    ports: Vec<(LinkId, LinkDir)>,
+}
+
+struct ScheduledEvent {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+enum EventKind {
+    Start { node: NodeId },
+    Deliver { node: NodeId, port: PortId, pkt: Packet },
+    Timer { node: NodeId, id: TimerId, token: u64 },
+}
+
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for ScheduledEvent {}
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Engine internals shared between the run loop and device callbacks.
+pub(crate) struct SimCore {
+    now: SimTime,
+    queue: BinaryHeap<Reverse<ScheduledEvent>>,
+    next_seq: u64,
+    next_timer: u64,
+    cancelled: HashSet<u64>,
+    links: Vec<Link>,
+    node_opts: Vec<NodeOpts>,
+    node_ports: Vec<Vec<(LinkId, LinkDir)>>,
+    /// Aggregate statistics.
+    pub stats: SimStats,
+    flows: FlowTracker,
+}
+
+impl SimCore {
+    fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        debug_assert!(at >= self.now, "cannot schedule into the past");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse(ScheduledEvent { at, seq, kind }));
+    }
+
+    /// Transmits a packet out of `port` of `node`, modelling FIFO
+    /// serialization on the attached link plus sender/receiver overheads.
+    fn transmit(&mut self, node: NodeId, port: PortId, pkt: Packet) {
+        let ports = &self.node_ports[node.index()];
+        let Some(&(link_id, dir)) = ports.get(port.index()) else {
+            panic!(
+                "{} ({}) transmitted on unconnected {port}",
+                self.node_opts[node.index()].label,
+                node
+            );
+        };
+        let wire = pkt.wire_bytes();
+        let tx_over = self.node_opts[node.index()].tx_overhead;
+        let link = &mut self.links[link_id.index()];
+        let ser = SimDuration::serialization(wire, link.spec.bandwidth_bps);
+        let start = link.busy_until[dir].max(self.now);
+        let depart = start + tx_over + ser;
+        link.busy_until[dir] = depart;
+        self.stats.packets_sent += 1;
+        self.stats.bytes_sent += wire as u64;
+        let backlog = depart.saturating_duration_since(self.now);
+        if backlog > self.stats.max_link_backlog {
+            self.stats.max_link_backlog = backlog;
+        }
+        if link.roll_drop() {
+            self.stats.packets_dropped += 1;
+            self.flows.record_drop(pkt.ip.src, pkt.ip.dst);
+            return;
+        }
+        let dest = link.dest(dir);
+        let arrive = depart + link.spec.propagation + self.node_opts[dest.node.index()].rx_overhead;
+        self.flows
+            .record_delivery(pkt.ip.src, pkt.ip.dst, wire, self.now, arrive);
+        self.schedule(arrive, EventKind::Deliver { node: dest.node, port: dest.port, pkt });
+    }
+}
+
+/// Capabilities handed to a [`Device`] during a callback.
+pub struct Context<'a> {
+    core: &'a mut SimCore,
+    node: NodeId,
+}
+
+impl<'a> Context<'a> {
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// The node this callback is running on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Sends `pkt` out of `port`. Serialization and queueing are modelled by
+    /// the link; delivery happens via the peer's `on_packet`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is not connected.
+    pub fn send(&mut self, port: PortId, pkt: Packet) {
+        self.core.transmit(self.node, port, pkt);
+    }
+
+    /// Schedules `on_timer(token)` on this node after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerId {
+        let id = TimerId(self.core.next_timer);
+        self.core.next_timer += 1;
+        let at = self.core.now + delay;
+        self.core.schedule(at, EventKind::Timer { node: self.node, id, token });
+        id
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired timer is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.core.cancelled.insert(id.0);
+    }
+
+    /// Read access to the running statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.core.stats
+    }
+
+    /// Number of ports connected on this node.
+    pub fn port_count(&self) -> usize {
+        self.core.node_ports[self.node.index()].len()
+    }
+}
+
+/// The discrete-event simulator.
+///
+/// # Examples
+///
+/// ```
+/// use iswitch_netsim::{Context, Device, NodeOpts, PortId, Packet, Simulator};
+///
+/// struct Sink(usize);
+/// impl Device for Sink {
+///     fn on_packet(&mut self, _ctx: &mut Context<'_>, _port: PortId, _pkt: Packet) {
+///         self.0 += 1;
+///     }
+///     fn as_any(&self) -> &dyn std::any::Any { self }
+///     fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+/// }
+///
+/// let mut sim = Simulator::new();
+/// let n = sim.add_node(Box::new(Sink(0)), NodeOpts::new("sink"));
+/// sim.run_until_idle();
+/// assert_eq!(sim.device::<Sink>(n).0, 0);
+/// ```
+pub struct Simulator {
+    core: SimCore,
+    nodes: Vec<NodeSlot>,
+    started: bool,
+    event_limit: u64,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulator {
+    /// Creates an empty simulator at time zero.
+    pub fn new() -> Self {
+        Simulator {
+            core: SimCore {
+                now: SimTime::ZERO,
+                queue: BinaryHeap::new(),
+                next_seq: 0,
+                next_timer: 0,
+                cancelled: HashSet::new(),
+                links: Vec::new(),
+                node_opts: Vec::new(),
+                node_ports: Vec::new(),
+                stats: SimStats::default(),
+                flows: FlowTracker::default(),
+            },
+            nodes: Vec::new(),
+            started: false,
+            event_limit: u64::MAX,
+        }
+    }
+
+    /// Caps the total number of events processed; exceeding it panics.
+    /// Useful as a runaway-loop backstop in tests.
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// Adds a node and returns its id. `on_start` runs at time zero when the
+    /// simulation first runs.
+    pub fn add_node(&mut self, device: Box<dyn Device>, opts: NodeOpts) -> NodeId {
+        assert!(!self.started, "nodes must be added before the simulation runs");
+        let id = NodeId(self.nodes.len());
+        self.core.node_opts.push(opts.clone());
+        self.core.node_ports.push(Vec::new());
+        self.nodes.push(NodeSlot { device: Some(device), opts, ports: Vec::new() });
+        id
+    }
+
+    /// Connects the next free port of `a` to the next free port of `b` with
+    /// a link described by `spec`. Returns `(link, port on a, port on b)`.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> (LinkId, PortId, PortId) {
+        assert!(!self.started, "links must be added before the simulation runs");
+        assert_ne!(a, b, "self-links are not supported");
+        let link_id = LinkId(self.core.links.len());
+        // Decorrelate per-link loss streams: links built from one cloned
+        // spec must not drop the same sequence positions.
+        let mut spec = spec;
+        if let crate::link::LossModel::Random { probability, seed } = spec.loss {
+            let mixed = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(link_id.0 as u64 + 1);
+            spec.loss = crate::link::LossModel::Random { probability, seed: mixed };
+        }
+        let pa = PortId(self.nodes[a.index()].ports.len());
+        let pb = PortId(self.nodes[b.index()].ports.len());
+        let link = Link::new(
+            spec,
+            LinkEnd { node: a, port: pa },
+            LinkEnd { node: b, port: pb },
+        );
+        self.core.links.push(link);
+        self.nodes[a.index()].ports.push((link_id, 0));
+        self.nodes[b.index()].ports.push((link_id, 1));
+        self.core.node_ports[a.index()].push((link_id, 0));
+        self.core.node_ports[b.index()].push((link_id, 1));
+        (link_id, pa, pb)
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.core.stats
+    }
+
+    /// Turns on per-flow (src IP, dst IP) delivery tracking. Off by
+    /// default; tracking every packet costs memory proportional to traffic.
+    pub fn enable_flow_tracking(&mut self) {
+        self.core.flows.enable();
+    }
+
+    /// Delivery statistics for one flow, if flow tracking is enabled and
+    /// the flow has seen traffic. Note: each *hop* records a delivery, so
+    /// a switched path contributes once per hop; per-hop latencies compose
+    /// the end-to-end path.
+    pub fn flow_stats(&self, src: IpAddr, dst: IpAddr) -> Option<&FlowStats> {
+        self.core.flows.flow(src, dst)
+    }
+
+    /// Aggregate statistics over all flows destined to `dst`.
+    pub fn flows_into(&self, dst: IpAddr) -> FlowStats {
+        self.core.flows.into_dst(dst)
+    }
+
+    /// Whether per-flow tracking is on.
+    pub fn flow_tracking_enabled(&self) -> bool {
+        self.core.flows.enabled()
+    }
+
+    /// Iterates over every tracked `((src, dst), stats)` pair.
+    pub fn flows(&self) -> impl Iterator<Item = (&(IpAddr, IpAddr), &FlowStats)> {
+        self.core.flows.flows()
+    }
+
+    /// Borrows a node's device as concrete type `T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is not a `T`.
+    pub fn device<T: Device>(&self, node: NodeId) -> &T {
+        self.nodes[node.index()]
+            .device
+            .as_ref()
+            .expect("device is present outside of dispatch")
+            .as_any()
+            .downcast_ref::<T>()
+            .unwrap_or_else(|| panic!("{node} is not a {}", std::any::type_name::<T>()))
+    }
+
+    /// Mutably borrows a node's device as concrete type `T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is not a `T`.
+    pub fn device_mut<T: Device>(&mut self, node: NodeId) -> &mut T {
+        self.nodes[node.index()]
+            .device
+            .as_mut()
+            .expect("device is present outside of dispatch")
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .unwrap_or_else(|| panic!("{node} is not a {}", std::any::type_name::<T>()))
+    }
+
+    /// The label a node was created with.
+    pub fn node_label(&self, node: NodeId) -> &str {
+        &self.nodes[node.index()].opts.label
+    }
+
+    fn ensure_started(&mut self) {
+        if !self.started {
+            self.started = true;
+            for i in 0..self.nodes.len() {
+                self.core.schedule(SimTime::ZERO, EventKind::Start { node: NodeId(i) });
+            }
+        }
+    }
+
+    /// Processes a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.ensure_started();
+        let Some(Reverse(ev)) = self.core.queue.pop() else {
+            return false;
+        };
+        self.core.now = ev.at;
+        self.core.stats.events_processed += 1;
+        assert!(
+            self.core.stats.events_processed <= self.event_limit,
+            "event limit {} exceeded — runaway simulation?",
+            self.event_limit
+        );
+        match ev.kind {
+            EventKind::Start { node } => self.dispatch(node, |dev, ctx| dev.on_start(ctx)),
+            EventKind::Deliver { node, port, pkt } => {
+                self.core.stats.packets_delivered += 1;
+                self.dispatch(node, |dev, ctx| dev.on_packet(ctx, port, pkt));
+            }
+            EventKind::Timer { node, id, token } => {
+                if !self.core.cancelled.remove(&id.0) {
+                    self.dispatch(node, |dev, ctx| dev.on_timer(ctx, token));
+                }
+            }
+        }
+        true
+    }
+
+    fn dispatch(&mut self, node: NodeId, f: impl FnOnce(&mut dyn Device, &mut Context<'_>)) {
+        let mut device = self.nodes[node.index()]
+            .device
+            .take()
+            .expect("device re-entrancy is impossible in a single-threaded engine");
+        let mut ctx = Context { core: &mut self.core, node };
+        f(device.as_mut(), &mut ctx);
+        self.nodes[node.index()].device = Some(device);
+    }
+
+    /// Runs until the event queue is empty; returns the final time.
+    pub fn run_until_idle(&mut self) -> SimTime {
+        while self.step() {}
+        self.core.now
+    }
+
+    /// Runs until the clock reaches `deadline` (events at later times stay
+    /// queued) or the queue empties. Returns the final time.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        self.ensure_started();
+        loop {
+            match self.core.queue.peek() {
+                Some(Reverse(ev)) if ev.at <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        self.core.now = self.core.now.max(deadline.min(self.core.now));
+        self.core.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::IpAddr;
+
+    /// Echoes every packet back out the port it came in on, once.
+    struct Echo;
+    impl Device for Echo {
+        fn on_packet(&mut self, ctx: &mut Context<'_>, port: PortId, pkt: Packet) {
+            if pkt.udp.dst_port == 7 {
+                let mut reply = pkt.clone();
+                reply.udp.dst_port = 8;
+                std::mem::swap(&mut reply.ip.src, &mut reply.ip.dst);
+                ctx.send(port, reply);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Sends `n` packets at start; records delivery times of replies.
+    struct Pinger {
+        n: usize,
+        sent_at: Vec<SimTime>,
+        rtts: Vec<SimDuration>,
+    }
+    impl Device for Pinger {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            for _ in 0..self.n {
+                self.sent_at.push(ctx.now());
+                let pkt = Packet::udp(IpAddr::new(10, 0, 0, 1), IpAddr::new(10, 0, 0, 2), 7, 7, 0)
+                    .with_payload(vec![0u8; 1000]);
+                ctx.send(PortId(0), pkt);
+            }
+        }
+        fn on_packet(&mut self, ctx: &mut Context<'_>, _port: PortId, _pkt: Packet) {
+            let i = self.rtts.len();
+            self.rtts.push(ctx.now().duration_since(self.sent_at[i]));
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn ping_sim(n: usize, spec: LinkSpec) -> (Simulator, NodeId) {
+        let mut sim = Simulator::new();
+        let p = sim.add_node(
+            Box::new(Pinger { n, sent_at: vec![], rtts: vec![] }),
+            NodeOpts::new("pinger"),
+        );
+        let e = sim.add_node(Box::new(Echo), NodeOpts::new("echo"));
+        sim.connect(p, e, spec);
+        (sim, p)
+    }
+
+    #[test]
+    fn single_ping_rtt_is_two_serializations_plus_two_propagations() {
+        let (mut sim, p) = ping_sim(1, LinkSpec::ten_gbe());
+        sim.run_until_idle();
+        let pinger = sim.device::<Pinger>(p);
+        // frame = 1000 + 46 = 1046; wire = 1066 bytes; at 10G = 852.8ns -> 853ns.
+        let ser = SimDuration::serialization(1066, 10_000_000_000);
+        let expect = (ser + SimDuration::from_micros(1)) * 2;
+        assert_eq!(pinger.rtts, vec![expect]);
+    }
+
+    #[test]
+    fn fifo_serialization_spaces_back_to_back_packets() {
+        let (mut sim, p) = ping_sim(3, LinkSpec::ten_gbe());
+        sim.run_until_idle();
+        let rtts = &sim.device::<Pinger>(p).rtts;
+        assert_eq!(rtts.len(), 3);
+        // Each later packet waits behind the earlier ones on both directions.
+        assert!(rtts[0] < rtts[1] && rtts[1] < rtts[2]);
+    }
+
+    #[test]
+    fn overheads_are_charged() {
+        let mut sim = Simulator::new();
+        let p = sim.add_node(
+            Box::new(Pinger { n: 1, sent_at: vec![], rtts: vec![] }),
+            NodeOpts::new("pinger")
+                .with_tx_overhead(SimDuration::from_micros(2))
+                .with_rx_overhead(SimDuration::from_micros(3)),
+        );
+        let e = sim.add_node(Box::new(Echo), NodeOpts::new("echo"));
+        sim.connect(p, e, LinkSpec::ten_gbe());
+        sim.run_until_idle();
+        let base = {
+            let (mut sim2, p2) = ping_sim(1, LinkSpec::ten_gbe());
+            sim2.run_until_idle();
+            sim2.device::<Pinger>(p2).rtts[0]
+        };
+        let rtt = sim.device::<Pinger>(p).rtts[0];
+        // tx overhead once (pinger->echo), rx overhead once (echo reply back in).
+        assert_eq!(rtt, base + SimDuration::from_micros(2) + SimDuration::from_micros(3));
+    }
+
+    #[test]
+    fn dropped_packets_never_deliver() {
+        let spec = LinkSpec::ten_gbe().with_loss(crate::link::LossModel::Exact { drops: vec![0] });
+        let (mut sim, p) = ping_sim(1, spec);
+        sim.run_until_idle();
+        assert!(sim.device::<Pinger>(p).rtts.is_empty());
+        assert_eq!(sim.stats().packets_dropped, 1);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let (mut sim, _) = ping_sim(1, LinkSpec::ten_gbe());
+        let t = sim.run_until(SimTime::from_nanos(10));
+        assert!(t <= SimTime::from_nanos(10));
+        assert!(sim.stats().packets_delivered < 2);
+        sim.run_until_idle();
+        assert_eq!(sim.stats().packets_delivered, 2);
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        struct TimerDev {
+            fired: Vec<u64>,
+            cancel_me: Option<TimerId>,
+        }
+        impl Device for TimerDev {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimDuration::from_nanos(10), 1);
+                let id = ctx.set_timer(SimDuration::from_nanos(20), 2);
+                ctx.set_timer(SimDuration::from_nanos(30), 3);
+                self.cancel_me = Some(id);
+            }
+            fn on_packet(&mut self, _: &mut Context<'_>, _: PortId, _: Packet) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+                if token == 1 {
+                    ctx.cancel_timer(self.cancel_me.unwrap());
+                }
+                self.fired.push(token);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim = Simulator::new();
+        let n = sim.add_node(
+            Box::new(TimerDev { fired: vec![], cancel_me: None }),
+            NodeOpts::new("timers"),
+        );
+        sim.run_until_idle();
+        assert_eq!(sim.device::<TimerDev>(n).fired, vec![1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "event limit")]
+    fn event_limit_catches_runaway() {
+        struct Loop;
+        impl Device for Loop {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimDuration::from_nanos(1), 0);
+            }
+            fn on_packet(&mut self, _: &mut Context<'_>, _: PortId, _: Packet) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_>, _: u64) {
+                ctx.set_timer(SimDuration::from_nanos(1), 0);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim = Simulator::new();
+        sim.add_node(Box::new(Loop), NodeOpts::new("loop"));
+        sim.set_event_limit(100);
+        sim.run_until_idle();
+    }
+}

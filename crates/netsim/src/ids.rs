@@ -1,0 +1,63 @@
+//! Identifier newtypes for simulation objects.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a node (host or switch) inside one [`Simulator`].
+///
+/// [`Simulator`]: crate::Simulator
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Returns the raw index. Stable for the lifetime of the simulator.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A port index on a node. Hosts use port 0; switches number ports from 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PortId(pub(crate) usize);
+
+impl PortId {
+    /// Constructs a port id from a raw index.
+    pub const fn new(index: usize) -> Self {
+        PortId(index)
+    }
+
+    /// Returns the raw index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Identifies a link inside one [`Simulator`].
+///
+/// [`Simulator`]: crate::Simulator
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkId(pub(crate) usize);
+
+impl LinkId {
+    /// Returns the raw index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Handle to a pending timer, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub(crate) u64);

@@ -1,0 +1,181 @@
+//! Point-to-point links with bandwidth, propagation delay, FIFO
+//! serialization, and optional loss injection.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{NodeId, PortId};
+use crate::time::{SimDuration, SimTime};
+
+/// Loss behaviour of a link, for failure-injection experiments.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub enum LossModel {
+    /// Deliver every packet (the default; clusters rarely drop — paper §3.3).
+    #[default]
+    None,
+    /// Drop each packet independently with probability `probability`,
+    /// using a deterministic per-link RNG seeded with `seed`.
+    Random {
+        /// Per-packet drop probability in `[0, 1]`.
+        probability: f64,
+        /// RNG seed so runs are reproducible.
+        seed: u64,
+    },
+    /// Drop exactly the packets whose per-link sequence number (0-based,
+    /// counting both directions) appears in this list. Useful for targeted
+    /// loss-recovery tests.
+    Exact {
+        /// Sequence numbers of packets to drop.
+        drops: Vec<u64>,
+    },
+}
+
+/// Static description of a link used when wiring a topology.
+///
+/// # Examples
+///
+/// ```
+/// use iswitch_netsim::LinkSpec;
+///
+/// let edge = LinkSpec::ten_gbe();
+/// assert_eq!(edge.bandwidth_bps, 10_000_000_000);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Line rate in bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way propagation delay.
+    pub propagation: SimDuration,
+    /// Loss behaviour.
+    pub loss: LossModel,
+}
+
+impl LinkSpec {
+    /// A new link spec with the given rate and propagation delay and no loss.
+    pub fn new(bandwidth_bps: u64, propagation: SimDuration) -> Self {
+        LinkSpec { bandwidth_bps, propagation, loss: LossModel::None }
+    }
+
+    /// 10 Gb/s edge link with 1 µs propagation — the paper's worker links.
+    pub fn ten_gbe() -> Self {
+        LinkSpec::new(10_000_000_000, SimDuration::from_micros(1))
+    }
+
+    /// 40 Gb/s uplink with 1 µs propagation — the paper's AGG/Core links
+    /// (§3.4: "higher network bandwidth (e.g., 40Gb to 100Gb)").
+    pub fn forty_gbe() -> Self {
+        LinkSpec::new(40_000_000_000, SimDuration::from_micros(1))
+    }
+
+    /// Replaces the loss model, returning the spec.
+    pub fn with_loss(mut self, loss: LossModel) -> Self {
+        self.loss = loss;
+        self
+    }
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        LinkSpec::ten_gbe()
+    }
+}
+
+/// One attachment point of a link.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LinkEnd {
+    pub node: NodeId,
+    pub port: PortId,
+}
+
+/// Runtime state of an instantiated link.
+#[derive(Debug)]
+pub(crate) struct Link {
+    pub spec: LinkSpec,
+    pub a: LinkEnd,
+    pub b: LinkEnd,
+    /// Time until which each direction's transmitter is busy (a->b, b->a).
+    pub busy_until: [SimTime; 2],
+    /// Packets charged to each direction so far (for loss sequencing/stats).
+    pub seq: u64,
+    rng: Option<StdRng>,
+}
+
+/// Direction of travel on a link: 0 = a->b, 1 = b->a.
+pub(crate) type LinkDir = usize;
+
+impl Link {
+    pub fn new(spec: LinkSpec, a: LinkEnd, b: LinkEnd) -> Self {
+        let rng = match spec.loss {
+            LossModel::Random { seed, .. } => Some(StdRng::seed_from_u64(seed)),
+            _ => None,
+        };
+        Link { spec, a, b, busy_until: [SimTime::ZERO; 2], seq: 0, rng }
+    }
+
+    /// The receiving end for a given direction.
+    pub fn dest(&self, dir: LinkDir) -> LinkEnd {
+        if dir == 0 {
+            self.b
+        } else {
+            self.a
+        }
+    }
+
+    /// Decides whether the next packet is dropped, advancing loss state.
+    pub fn roll_drop(&mut self) -> bool {
+        let seq = self.seq;
+        self.seq += 1;
+        match &self.spec.loss {
+            LossModel::None => false,
+            LossModel::Random { probability, .. } => {
+                let rng = self.rng.as_mut().expect("random loss model has rng");
+                rng.gen::<f64>() < *probability
+            }
+            LossModel::Exact { drops } => drops.contains(&seq),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn end(n: usize, p: usize) -> LinkEnd {
+        LinkEnd { node: NodeId(n), port: PortId(p) }
+    }
+
+    #[test]
+    fn dest_follows_direction() {
+        let l = Link::new(LinkSpec::ten_gbe(), end(0, 1), end(2, 3));
+        assert_eq!(l.dest(0).node, NodeId(2));
+        assert_eq!(l.dest(1).node, NodeId(0));
+    }
+
+    #[test]
+    fn exact_loss_hits_listed_sequence_numbers() {
+        let spec = LinkSpec::ten_gbe().with_loss(LossModel::Exact { drops: vec![1, 3] });
+        let mut l = Link::new(spec, end(0, 0), end(1, 0));
+        let rolls: Vec<bool> = (0..5).map(|_| l.roll_drop()).collect();
+        assert_eq!(rolls, vec![false, true, false, true, false]);
+    }
+
+    #[test]
+    fn random_loss_is_deterministic_per_seed() {
+        let mk = || {
+            let spec = LinkSpec::ten_gbe()
+                .with_loss(LossModel::Random { probability: 0.5, seed: 42 });
+            let mut l = Link::new(spec, end(0, 0), end(1, 0));
+            (0..64).map(|_| l.roll_drop()).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+        let drops = mk().iter().filter(|d| **d).count();
+        assert!(drops > 10 && drops < 54, "drop rate wildly off: {drops}/64");
+    }
+
+    #[test]
+    fn no_loss_never_drops() {
+        let mut l = Link::new(LinkSpec::ten_gbe(), end(0, 0), end(1, 0));
+        assert!((0..100).all(|_| !l.roll_drop()));
+    }
+}

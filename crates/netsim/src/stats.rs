@@ -1,0 +1,53 @@
+//! Aggregate simulation statistics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// Counters maintained by the engine across a run.
+///
+/// All counters are cumulative from simulation start.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Packets handed to links for transmission (including later drops).
+    pub packets_sent: u64,
+    /// Wire bytes (frames + preamble/IFG) charged to links.
+    pub bytes_sent: u64,
+    /// Packets delivered to a device's `on_packet`.
+    pub packets_delivered: u64,
+    /// Packets discarded by link loss models.
+    pub packets_dropped: u64,
+    /// Total events processed by the engine.
+    pub events_processed: u64,
+    /// Worst transmit backlog observed on any link direction — the longest
+    /// time a newly enqueued packet had to wait for the wire. Large values
+    /// on the parameter-server downlink are the paper's "central bottleneck".
+    pub max_link_backlog: SimDuration,
+}
+
+impl SimStats {
+    /// Fraction of sent packets that were dropped, or 0 when nothing sent.
+    pub fn drop_rate(&self) -> f64 {
+        if self.packets_sent == 0 {
+            0.0
+        } else {
+            self.packets_dropped as f64 / self.packets_sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_rate_handles_zero() {
+        assert_eq!(SimStats::default().drop_rate(), 0.0);
+    }
+
+    #[test]
+    fn drop_rate_divides() {
+        let s = SimStats { packets_sent: 10, packets_dropped: 2, ..Default::default() };
+        assert!((s.drop_rate() - 0.2).abs() < 1e-12);
+    }
+}

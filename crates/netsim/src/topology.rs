@@ -1,0 +1,419 @@
+//! Topology builders for the paper's deployment shapes.
+//!
+//! Two shapes cover the whole evaluation:
+//!
+//! * a **star** — all workers (plus, for the PS baseline, a parameter
+//!   server) hang off one switch (paper Fig. 1), and
+//! * a **two-layer tree** — racks of workers under ToR switches joined by a
+//!   core switch (paper Fig. 10), used for the rack-scale scalability study.
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{NodeOpts, Simulator};
+use crate::host::{Host, HostApp};
+use crate::ids::{NodeId, PortId};
+use crate::link::LinkSpec;
+use crate::packet::IpAddr;
+use crate::switch::{RouteTable, Switch, SwitchExtension};
+use crate::time::SimDuration;
+
+/// Shared physical parameters for topology construction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopologyConfig {
+    /// Host-to-switch links (paper: 10 GbE).
+    pub edge: LinkSpec,
+    /// Switch-to-switch uplinks (paper: 40–100 GbE; default 40).
+    pub uplink: LinkSpec,
+    /// Per-packet transmit-side host overhead (NIC + stack).
+    pub host_tx_overhead: SimDuration,
+    /// Per-packet receive-side host overhead (NIC + stack).
+    pub host_rx_overhead: SimDuration,
+    /// Switch forwarding latency per packet.
+    pub switch_latency: SimDuration,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        TopologyConfig {
+            edge: LinkSpec::ten_gbe(),
+            uplink: LinkSpec::forty_gbe(),
+            // Calibrated host-stack costs; see DESIGN.md §5.
+            host_tx_overhead: SimDuration::from_nanos(1_200),
+            host_rx_overhead: SimDuration::from_nanos(1_200),
+            switch_latency: SimDuration::from_nanos(500),
+        }
+    }
+}
+
+/// The IP of host `host` in rack `rack` (rack 0 for star topologies).
+pub fn host_ip(rack: usize, host: usize) -> IpAddr {
+    assert!(rack < 255 && host < 254, "rack/host index out of addressing range");
+    IpAddr::new(10, 0, rack as u8, host as u8 + 1)
+}
+
+/// Handles to a star topology built by [`build_star`].
+#[derive(Debug)]
+pub struct Star {
+    /// The single switch.
+    pub switch: NodeId,
+    /// Hosts in creation order.
+    pub hosts: Vec<NodeId>,
+    /// IP of each host (index-aligned with `hosts`).
+    pub host_ips: Vec<IpAddr>,
+    /// Switch port facing each host.
+    pub switch_ports: Vec<PortId>,
+}
+
+/// Builds a star: one switch with `apps.len()` hosts attached by edge links.
+///
+/// Host `i` gets IP `10.0.0.(i+1)`. If `ext` is provided it is installed on
+/// the switch (this is how the iSwitch accelerator is deployed).
+pub fn build_star(
+    sim: &mut Simulator,
+    apps: Vec<Box<dyn HostApp>>,
+    ext: Option<Box<dyn SwitchExtension>>,
+    cfg: &TopologyConfig,
+) -> Star {
+    let switch_dev = match ext {
+        Some(e) => Switch::with_extension(RouteTable::new(), e),
+        None => Switch::new(RouteTable::new()),
+    };
+    let switch = sim.add_node(
+        Box::new(switch_dev),
+        NodeOpts::new("switch").with_rx_overhead(cfg.switch_latency),
+    );
+    let mut hosts = Vec::new();
+    let mut host_ips = Vec::new();
+    let mut switch_ports = Vec::new();
+    let mut routes = RouteTable::new();
+    for (i, app) in apps.into_iter().enumerate() {
+        let ip = host_ip(0, i);
+        let node = sim.add_node(
+            Box::new(Host::new(ip, app)),
+            NodeOpts::new(format!("host{i}"))
+                .with_tx_overhead(cfg.host_tx_overhead)
+                .with_rx_overhead(cfg.host_rx_overhead),
+        );
+        let (_, _, sw_port) = sim.connect(node, switch, cfg.edge.clone());
+        routes.add(ip, sw_port);
+        hosts.push(node);
+        host_ips.push(ip);
+        switch_ports.push(sw_port);
+    }
+    *sim.device_mut::<Switch>(switch).routes_mut() = routes;
+    Star { switch, hosts, host_ips, switch_ports }
+}
+
+/// Which switch an extension is being created for in [`build_tree`] /
+/// [`build_tree3`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchRole {
+    /// Top-of-rack switch for (global) rack index.
+    Tor(usize),
+    /// Aggregation-layer switch (three-level trees only).
+    Agg(usize),
+    /// The core (root) switch.
+    Core,
+}
+
+/// Handles to a two-layer tree built by [`build_tree`].
+#[derive(Debug)]
+pub struct Tree {
+    /// Root switch.
+    pub core: NodeId,
+    /// ToR switch per rack.
+    pub tors: Vec<NodeId>,
+    /// Hosts per rack.
+    pub hosts: Vec<Vec<NodeId>>,
+    /// Host IPs per rack.
+    pub host_ips: Vec<Vec<IpAddr>>,
+    /// On each ToR, the port facing the core.
+    pub tor_uplink: Vec<PortId>,
+    /// On the core, the port facing each ToR.
+    pub core_downlink: Vec<PortId>,
+}
+
+impl Tree {
+    /// All host node ids, rack-major.
+    pub fn all_hosts(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.hosts.iter().flatten().copied()
+    }
+}
+
+/// Builds a two-layer tree: a core switch over `rack_apps.len()` ToR
+/// switches, rack `r` hosting `rack_apps[r]` workers on edge links, with
+/// uplinks between ToRs and the core.
+///
+/// Host `i` of rack `r` gets IP `10.0.r.(i+1)`. `mk_ext` is invoked once per
+/// switch to optionally install an extension (the hierarchical-aggregation
+/// deployment installs one on every switch).
+pub fn build_tree(
+    sim: &mut Simulator,
+    rack_apps: Vec<Vec<Box<dyn HostApp>>>,
+    mk_ext: &mut dyn FnMut(SwitchRole) -> Option<Box<dyn SwitchExtension>>,
+    cfg: &TopologyConfig,
+) -> Tree {
+    let core_dev = match mk_ext(SwitchRole::Core) {
+        Some(e) => Switch::with_extension(RouteTable::new(), e),
+        None => Switch::new(RouteTable::new()),
+    };
+    let core = sim.add_node(
+        Box::new(core_dev),
+        NodeOpts::new("core").with_rx_overhead(cfg.switch_latency),
+    );
+
+    let mut tors = Vec::new();
+    let mut hosts = Vec::new();
+    let mut host_ips = Vec::new();
+    let mut tor_uplink = Vec::new();
+    let mut core_downlink = Vec::new();
+    let mut core_routes = RouteTable::new();
+
+    for (r, apps) in rack_apps.into_iter().enumerate() {
+        let tor_dev = match mk_ext(SwitchRole::Tor(r)) {
+            Some(e) => Switch::with_extension(RouteTable::new(), e),
+            None => Switch::new(RouteTable::new()),
+        };
+        let tor = sim.add_node(
+            Box::new(tor_dev),
+            NodeOpts::new(format!("tor{r}")).with_rx_overhead(cfg.switch_latency),
+        );
+        let mut tor_routes = RouteTable::new();
+        let mut rack_hosts = Vec::new();
+        let mut rack_ips = Vec::new();
+        for (i, app) in apps.into_iter().enumerate() {
+            let ip = host_ip(r, i);
+            let node = sim.add_node(
+                Box::new(Host::new(ip, app)),
+                NodeOpts::new(format!("r{r}h{i}"))
+                    .with_tx_overhead(cfg.host_tx_overhead)
+                    .with_rx_overhead(cfg.host_rx_overhead),
+            );
+            let (_, _, tor_port) = sim.connect(node, tor, cfg.edge.clone());
+            tor_routes.add(ip, tor_port);
+            rack_hosts.push(node);
+            rack_ips.push(ip);
+        }
+        // Uplink after host ports so host i <-> ToR port i.
+        let (_, tor_up, core_down) = sim.connect(tor, core, cfg.uplink.clone());
+        tor_routes.set_default(tor_up);
+        for ip in &rack_ips {
+            core_routes.add(*ip, core_down);
+        }
+        *sim.device_mut::<Switch>(tor).routes_mut() = tor_routes;
+        tors.push(tor);
+        hosts.push(rack_hosts);
+        host_ips.push(rack_ips);
+        tor_uplink.push(tor_up);
+        core_downlink.push(core_down);
+    }
+    *sim.device_mut::<Switch>(core).routes_mut() = core_routes;
+    Tree { core, tors, hosts, host_ips, tor_uplink, core_downlink }
+}
+
+/// Handles to a three-level ToR/AGG/Core tree built by [`build_tree3`]
+/// (the full hierarchy of the paper's Fig. 10).
+#[derive(Debug)]
+pub struct Tree3 {
+    /// Root switch.
+    pub core: NodeId,
+    /// Aggregation switches.
+    pub aggs: Vec<NodeId>,
+    /// ToR switches, grouped by AGG.
+    pub tors: Vec<Vec<NodeId>>,
+    /// Hosts per (agg, tor).
+    pub hosts: Vec<Vec<Vec<NodeId>>>,
+    /// Host IPs per (agg, tor).
+    pub host_ips: Vec<Vec<Vec<IpAddr>>>,
+}
+
+impl Tree3 {
+    /// All host node ids, agg-major then rack-major.
+    pub fn all_hosts(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.hosts.iter().flatten().flatten().copied()
+    }
+}
+
+/// Builds a three-level tree: a core switch over AGG switches, each over
+/// ToR switches, each over its workers. `apps[a][t]` holds the worker apps
+/// of ToR `t` under AGG `a`; global rack indices run agg-major. Port
+/// layout on every switch: children first (in order), then the uplink —
+/// so an extension's uplink port equals its child count.
+pub fn build_tree3(
+    sim: &mut Simulator,
+    apps: Vec<Vec<Vec<Box<dyn HostApp>>>>,
+    mk_ext: &mut dyn FnMut(SwitchRole) -> Option<Box<dyn SwitchExtension>>,
+    cfg: &TopologyConfig,
+) -> Tree3 {
+    let mk_switch = |ext: Option<Box<dyn SwitchExtension>>| match ext {
+        Some(e) => Switch::with_extension(RouteTable::new(), e),
+        None => Switch::new(RouteTable::new()),
+    };
+    let core = sim.add_node(
+        Box::new(mk_switch(mk_ext(SwitchRole::Core))),
+        NodeOpts::new("core").with_rx_overhead(cfg.switch_latency),
+    );
+    let mut core_routes = RouteTable::new();
+    let mut aggs = Vec::new();
+    let mut tors = Vec::new();
+    let mut hosts = Vec::new();
+    let mut host_ips = Vec::new();
+    let mut global_rack = 0usize;
+
+    for (a, agg_apps) in apps.into_iter().enumerate() {
+        let agg = sim.add_node(
+            Box::new(mk_switch(mk_ext(SwitchRole::Agg(a)))),
+            NodeOpts::new(format!("agg{a}")).with_rx_overhead(cfg.switch_latency),
+        );
+        let mut agg_routes = RouteTable::new();
+        let mut agg_tors = Vec::new();
+        let mut agg_hosts = Vec::new();
+        let mut agg_ips = Vec::new();
+        for tor_apps in agg_apps {
+            let tor = sim.add_node(
+                Box::new(mk_switch(mk_ext(SwitchRole::Tor(global_rack)))),
+                NodeOpts::new(format!("tor{global_rack}"))
+                    .with_rx_overhead(cfg.switch_latency),
+            );
+            let mut tor_routes = RouteTable::new();
+            let mut rack_hosts = Vec::new();
+            let mut rack_ips = Vec::new();
+            for (i, app) in tor_apps.into_iter().enumerate() {
+                let ip = host_ip(global_rack, i);
+                let node = sim.add_node(
+                    Box::new(Host::new(ip, app)),
+                    NodeOpts::new(format!("r{global_rack}h{i}"))
+                        .with_tx_overhead(cfg.host_tx_overhead)
+                        .with_rx_overhead(cfg.host_rx_overhead),
+                );
+                let (_, _, tor_port) = sim.connect(node, tor, cfg.edge.clone());
+                tor_routes.add(ip, tor_port);
+                rack_hosts.push(node);
+                rack_ips.push(ip);
+            }
+            let (_, tor_up, agg_down) = sim.connect(tor, agg, cfg.uplink.clone());
+            tor_routes.set_default(tor_up);
+            for ip in &rack_ips {
+                agg_routes.add(*ip, agg_down);
+            }
+            *sim.device_mut::<Switch>(tor).routes_mut() = tor_routes;
+            agg_tors.push(tor);
+            agg_hosts.push(rack_hosts);
+            agg_ips.push(rack_ips);
+            global_rack += 1;
+        }
+        let (_, agg_up, core_down) = sim.connect(agg, core, cfg.uplink.clone());
+        agg_routes.set_default(agg_up);
+        for rack in &agg_ips {
+            for ip in rack {
+                core_routes.add(*ip, core_down);
+            }
+        }
+        *sim.device_mut::<Switch>(agg).routes_mut() = agg_routes;
+        aggs.push(agg);
+        tors.push(agg_tors);
+        hosts.push(agg_hosts);
+        host_ips.push(agg_ips);
+    }
+    *sim.device_mut::<Switch>(core).routes_mut() = core_routes;
+    Tree3 { core, aggs, tors, hosts, host_ips }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::HostCtx;
+    use crate::packet::Packet;
+    use std::any::Any;
+
+    /// Sends one packet to a fixed destination at start; records arrivals.
+    struct OneShot {
+        dst: Option<IpAddr>,
+        got: Vec<IpAddr>,
+    }
+    impl HostApp for OneShot {
+        fn on_start(&mut self, ctx: &mut HostCtx<'_, '_>) {
+            if let Some(dst) = self.dst {
+                let pkt = Packet::udp(ctx.ip(), dst, 1, 1, 0).with_payload(vec![0u8; 100]);
+                ctx.send(pkt);
+            }
+        }
+        fn on_packet(&mut self, _ctx: &mut HostCtx<'_, '_>, pkt: Packet) {
+            self.got.push(pkt.ip.src);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn star_delivers_between_any_pair() {
+        let mut sim = Simulator::new();
+        let apps: Vec<Box<dyn HostApp>> = vec![
+            Box::new(OneShot { dst: Some(host_ip(0, 2)), got: vec![] }),
+            Box::new(OneShot { dst: None, got: vec![] }),
+            Box::new(OneShot { dst: Some(host_ip(0, 1)), got: vec![] }),
+        ];
+        let star = build_star(&mut sim, apps, None, &TopologyConfig::default());
+        sim.run_until_idle();
+        let h1 = sim.device::<Host>(star.hosts[1]).app::<OneShot>();
+        assert_eq!(h1.got, vec![host_ip(0, 2)]);
+        let h2 = sim.device::<Host>(star.hosts[2]).app::<OneShot>();
+        assert_eq!(h2.got, vec![host_ip(0, 0)]);
+    }
+
+    #[test]
+    fn tree_routes_across_racks() {
+        let mut sim = Simulator::new();
+        let racks: Vec<Vec<Box<dyn HostApp>>> = vec![
+            vec![Box::new(OneShot { dst: Some(host_ip(1, 0)), got: vec![] })],
+            vec![Box::new(OneShot { dst: None, got: vec![] })],
+        ];
+        let tree = build_tree(&mut sim, racks, &mut |_| None, &TopologyConfig::default());
+        sim.run_until_idle();
+        let dst = sim.device::<Host>(tree.hosts[1][0]).app::<OneShot>();
+        assert_eq!(dst.got, vec![host_ip(0, 0)]);
+    }
+
+    #[test]
+    fn tree_routes_within_rack_stay_local() {
+        let mut sim = Simulator::new();
+        let racks: Vec<Vec<Box<dyn HostApp>>> = vec![vec![
+            Box::new(OneShot { dst: Some(host_ip(0, 1)), got: vec![] }),
+            Box::new(OneShot { dst: None, got: vec![] }),
+        ]];
+        let tree = build_tree(&mut sim, racks, &mut |_| None, &TopologyConfig::default());
+        sim.run_until_idle();
+        let dst = sim.device::<Host>(tree.hosts[0][1]).app::<OneShot>();
+        assert_eq!(dst.got, vec![host_ip(0, 0)]);
+        // Core switch never saw the packet (ToR routed it locally).
+        assert_eq!(sim.device::<Switch>(tree.core).unroutable, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "addressing range")]
+    fn host_ip_rejects_out_of_range() {
+        let _ = host_ip(0, 254);
+    }
+
+    #[test]
+    fn tree3_routes_across_the_hierarchy() {
+        // Two AGGs, each one rack of one worker; worker (0,0,0) sends to
+        // worker (1,0,0) — the packet must cross ToR->AGG->Core and back
+        // down.
+        let mut sim = Simulator::new();
+        let apps: Vec<Vec<Vec<Box<dyn HostApp>>>> = vec![
+            vec![vec![Box::new(OneShot { dst: Some(host_ip(1, 0)), got: vec![] })]],
+            vec![vec![Box::new(OneShot { dst: None, got: vec![] })]],
+        ];
+        let tree = build_tree3(&mut sim, apps, &mut |_| None, &TopologyConfig::default());
+        sim.run_until_idle();
+        let dst = sim.device::<Host>(tree.hosts[1][0][0]).app::<OneShot>();
+        assert_eq!(dst.got, vec![host_ip(0, 0)]);
+        // Sibling traffic under the same AGG stays below the core.
+        assert_eq!(sim.device::<Switch>(tree.core).unroutable, 0);
+    }
+}

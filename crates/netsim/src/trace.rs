@@ -1,0 +1,175 @@
+//! Per-flow measurement: packet counts, bytes, and end-to-end latency
+//! percentiles between (source, destination) IP pairs.
+//!
+//! Disabled by default (zero overhead); enable with
+//! [`Simulator::enable_flow_tracking`]. Useful for verifying simulator
+//! behaviour (e.g. the PS server's central-link congestion shows up as a
+//! latency spike on `* -> server` flows) and for debugging new apps.
+//!
+//! [`Simulator::enable_flow_tracking`]: crate::Simulator::enable_flow_tracking
+
+use std::collections::HashMap;
+
+use crate::packet::IpAddr;
+use crate::time::{SimDuration, SimTime};
+
+/// Statistics for one (src, dst) flow.
+#[derive(Debug, Clone, Default)]
+pub struct FlowStats {
+    /// Packets delivered.
+    pub packets: u64,
+    /// Wire bytes delivered.
+    pub bytes: u64,
+    /// Packets dropped in flight.
+    pub dropped: u64,
+    latencies_ns: Vec<u64>,
+}
+
+impl FlowStats {
+    /// Mean end-to-end latency of delivered packets.
+    pub fn mean_latency(&self) -> Option<SimDuration> {
+        if self.latencies_ns.is_empty() {
+            return None;
+        }
+        let sum: u64 = self.latencies_ns.iter().sum();
+        Some(SimDuration::from_nanos(sum / self.latencies_ns.len() as u64))
+    }
+
+    /// The `p`-th percentile latency (`0 < p <= 100`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn percentile_latency(&self, p: f64) -> Option<SimDuration> {
+        assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
+        if self.latencies_ns.is_empty() {
+            return None;
+        }
+        let mut sorted = self.latencies_ns.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        Some(SimDuration::from_nanos(sorted[rank.saturating_sub(1).min(sorted.len() - 1)]))
+    }
+
+    /// Maximum observed latency.
+    pub fn max_latency(&self) -> Option<SimDuration> {
+        self.latencies_ns.iter().max().map(|&ns| SimDuration::from_nanos(ns))
+    }
+}
+
+/// Tracks per-flow delivery statistics when enabled.
+#[derive(Debug, Default)]
+pub(crate) struct FlowTracker {
+    enabled: bool,
+    flows: HashMap<(IpAddr, IpAddr), FlowStats>,
+}
+
+impl FlowTracker {
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub fn record_delivery(
+        &mut self,
+        src: IpAddr,
+        dst: IpAddr,
+        wire_bytes: usize,
+        sent_at: SimTime,
+        delivered_at: SimTime,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let stats = self.flows.entry((src, dst)).or_default();
+        stats.packets += 1;
+        stats.bytes += wire_bytes as u64;
+        stats.latencies_ns.push(delivered_at.duration_since(sent_at).as_nanos());
+    }
+
+    pub fn record_drop(&mut self, src: IpAddr, dst: IpAddr) {
+        if !self.enabled {
+            return;
+        }
+        self.flows.entry((src, dst)).or_default().dropped += 1;
+    }
+
+    pub fn flow(&self, src: IpAddr, dst: IpAddr) -> Option<&FlowStats> {
+        self.flows.get(&(src, dst))
+    }
+
+    pub fn flows(&self) -> impl Iterator<Item = (&(IpAddr, IpAddr), &FlowStats)> {
+        self.flows.iter()
+    }
+
+    /// Aggregate over all flows *into* `dst`.
+    pub fn into_dst(&self, dst: IpAddr) -> FlowStats {
+        let mut out = FlowStats::default();
+        for ((_, d), stats) in &self.flows {
+            if *d == dst {
+                out.packets += stats.packets;
+                out.bytes += stats.bytes;
+                out.dropped += stats.dropped;
+                out.latencies_ns.extend_from_slice(&stats.latencies_ns);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(x: u8) -> IpAddr {
+        IpAddr::new(10, 0, 0, x)
+    }
+
+    #[test]
+    fn disabled_tracker_records_nothing() {
+        let mut t = FlowTracker::default();
+        t.record_delivery(ip(1), ip(2), 100, SimTime::ZERO, SimTime::from_nanos(10));
+        assert!(t.flow(ip(1), ip(2)).is_none());
+    }
+
+    #[test]
+    fn latency_statistics() {
+        let mut t = FlowTracker::default();
+        t.enable();
+        for ns in [10u64, 20, 30, 40, 100] {
+            t.record_delivery(ip(1), ip(2), 64, SimTime::ZERO, SimTime::from_nanos(ns));
+        }
+        let f = t.flow(ip(1), ip(2)).expect("flow present");
+        assert_eq!(f.packets, 5);
+        assert_eq!(f.bytes, 5 * 64);
+        assert_eq!(f.mean_latency().unwrap().as_nanos(), 40);
+        assert_eq!(f.percentile_latency(50.0).unwrap().as_nanos(), 30);
+        assert_eq!(f.percentile_latency(100.0).unwrap().as_nanos(), 100);
+        assert_eq!(f.max_latency().unwrap().as_nanos(), 100);
+    }
+
+    #[test]
+    fn into_dst_merges_sources() {
+        let mut t = FlowTracker::default();
+        t.enable();
+        t.record_delivery(ip(1), ip(9), 64, SimTime::ZERO, SimTime::from_nanos(10));
+        t.record_delivery(ip(2), ip(9), 64, SimTime::ZERO, SimTime::from_nanos(30));
+        t.record_drop(ip(3), ip(9));
+        let agg = t.into_dst(ip(9));
+        assert_eq!(agg.packets, 2);
+        assert_eq!(agg.dropped, 1);
+        assert_eq!(agg.mean_latency().unwrap().as_nanos(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn percentile_out_of_range_panics() {
+        let mut t = FlowTracker::default();
+        t.enable();
+        t.record_delivery(ip(1), ip(2), 1, SimTime::ZERO, SimTime::from_nanos(1));
+        let _ = t.flow(ip(1), ip(2)).unwrap().percentile_latency(0.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Flow-tracking integration: the central-bottleneck effect the paper
+//! attributes to the parameter server shows up as measurably higher
+//! latency on the congested downlink flow.
+
+use std::any::Any;
+
+use iswitch_netsim::{
+    build_star, host_ip, HostApp, HostCtx, Packet, SimDuration, Simulator, TopologyConfig,
+};
+
+/// Sends `n` back-to-back 1 kB packets to a fixed destination at start.
+struct Blaster {
+    dst: iswitch_netsim::IpAddr,
+    n: usize,
+}
+
+impl HostApp for Blaster {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_, '_>) {
+        for _ in 0..self.n {
+            let pkt =
+                Packet::udp(ctx.ip(), self.dst, 9, 9, 0).with_payload(vec![0u8; 1_000]);
+            ctx.send(pkt);
+        }
+    }
+    fn on_packet(&mut self, _ctx: &mut HostCtx<'_, '_>, _pkt: Packet) {}
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[test]
+fn congested_sink_flow_shows_higher_latency() {
+    // Hosts 0..3 all blast host 3 (the "server"); host 0 also receives a
+    // little traffic from host 1 for comparison.
+    let mut sim = Simulator::new();
+    sim.enable_flow_tracking();
+    let server = host_ip(0, 3);
+    let apps: Vec<Box<dyn HostApp>> = vec![
+        Box::new(Blaster { dst: server, n: 200 }),
+        Box::new(Blaster { dst: server, n: 200 }),
+        Box::new(Blaster { dst: server, n: 200 }),
+        Box::new(Blaster { dst: host_ip(0, 0), n: 5 }),
+    ];
+    build_star(&mut sim, apps, None, &TopologyConfig::default());
+    sim.run_until_idle();
+
+    // Inbound aggregate at the server: 600 packets, with queueing delay
+    // growing as three senders share one downlink.
+    let into_server = sim.flows_into(server);
+    assert_eq!(into_server.packets, 600 * 2, "each packet crosses two hops");
+    let server_p99 = into_server.percentile_latency(99.0).expect("latencies recorded");
+
+    let into_h0 = sim.flows_into(host_ip(0, 0));
+    let h0_p99 = into_h0.percentile_latency(99.0).expect("latencies recorded");
+    assert!(
+        server_p99 > h0_p99 * 3,
+        "congested flow p99 {server_p99} should dwarf idle flow p99 {h0_p99}"
+    );
+    // Mean is also elevated well beyond one serialization time (~0.85us).
+    assert!(into_server.mean_latency().unwrap() > SimDuration::from_micros(10));
+    assert_eq!(into_server.dropped, 0);
+}
+
+#[test]
+fn tracking_disabled_by_default() {
+    let mut sim = Simulator::new();
+    let apps: Vec<Box<dyn HostApp>> =
+        vec![Box::new(Blaster { dst: host_ip(0, 1), n: 3 }), Box::new(Blaster { dst: host_ip(0, 0), n: 0 })];
+    build_star(&mut sim, apps, None, &TopologyConfig::default());
+    sim.run_until_idle();
+    assert!(sim.flow_stats(host_ip(0, 0), host_ip(0, 1)).is_none());
+}

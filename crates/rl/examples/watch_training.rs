@@ -1,0 +1,35 @@
+//! Watch a single-worker learning curve for any of the four benchmark
+//! algorithms — handy when tuning hyperparameters or verifying a change
+//! to an algorithm.
+//!
+//! Usage: `cargo run --release -p iswitch-rl --example watch_training -- [dqn|a2c|ppo|ddpg] [iterations]`
+
+use iswitch_rl::{make_lite_agent, Algorithm};
+
+fn main() {
+    let alg = match std::env::args().nth(1).as_deref() {
+        Some("dqn") => Algorithm::Dqn,
+        Some("a2c") => Algorithm::A2c,
+        Some("ddpg") => Algorithm::Ddpg,
+        _ => Algorithm::Ppo,
+    };
+    let iters: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(2_000);
+    let mut agent = make_lite_agent(alg, 5);
+    let mut opt = agent.make_optimizer();
+    let mut params = agent.params();
+    println!("{alg}: {} parameters, {iters} iterations", params.len());
+    for i in 0..iters {
+        let g = agent.compute_gradient();
+        opt.step(&mut params, &g);
+        agent.set_params(&params);
+        agent.on_weights_updated();
+        if i % (iters / 20).max(1) == 0 {
+            println!(
+                "iter {i:6}  episodes {:4}  avg10 {:?}",
+                agent.episode_rewards().len(),
+                agent.final_average_reward()
+            );
+        }
+    }
+    println!("final avg10: {:?}", agent.final_average_reward());
+}

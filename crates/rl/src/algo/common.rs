@@ -1,0 +1,228 @@
+//! Helpers shared by the four training algorithms.
+
+use iswitch_tensor::Optimizer;
+
+/// Tracks episode rewards across step-at-a-time interaction.
+#[derive(Debug, Clone, Default)]
+pub struct RewardTracker {
+    completed: Vec<f32>,
+    current: f32,
+}
+
+impl RewardTracker {
+    /// A fresh tracker.
+    pub fn new() -> Self {
+        RewardTracker::default()
+    }
+
+    /// Records one step's reward, closing the episode when `done`.
+    pub fn record(&mut self, reward: f32, done: bool) {
+        self.current += reward;
+        if done {
+            self.completed.push(self.current);
+            self.current = 0.0;
+        }
+    }
+
+    /// Rewards of all completed episodes, in order.
+    pub fn episodes(&self) -> &[f32] {
+        &self.completed
+    }
+
+    /// Mean reward over the last `n` completed episodes — the paper's
+    /// "Final Average Reward" metric uses `n = 10` (§5.2).
+    pub fn average_last(&self, n: usize) -> Option<f32> {
+        if self.completed.is_empty() {
+            return None;
+        }
+        let tail = &self.completed[self.completed.len().saturating_sub(n)..];
+        Some(tail.iter().sum::<f32>() / tail.len() as f32)
+    }
+}
+
+/// Discounted n-step returns with a bootstrap value for the final state.
+///
+/// `R_t = r_t + γ·R_{t+1}`, restarting at terminal steps; `bootstrap` seeds
+/// the recursion when the rollout ends mid-episode.
+pub fn discounted_returns(rewards: &[f32], dones: &[bool], gamma: f32, bootstrap: f32) -> Vec<f32> {
+    assert_eq!(rewards.len(), dones.len(), "one done flag per reward");
+    let mut out = vec![0.0; rewards.len()];
+    let mut acc = bootstrap;
+    for i in (0..rewards.len()).rev() {
+        if dones[i] {
+            acc = 0.0;
+        }
+        acc = rewards[i] + gamma * acc;
+        out[i] = acc;
+    }
+    out
+}
+
+/// Generalized advantage estimation (Schulman et al.), as used by PPO.
+///
+/// Returns `(advantages, value targets)`; `values` must have one entry per
+/// step and `last_value` bootstraps the final state.
+pub fn gae(
+    rewards: &[f32],
+    values: &[f32],
+    dones: &[bool],
+    gamma: f32,
+    lambda: f32,
+    last_value: f32,
+) -> (Vec<f32>, Vec<f32>) {
+    assert_eq!(rewards.len(), values.len());
+    assert_eq!(rewards.len(), dones.len());
+    let n = rewards.len();
+    let mut adv = vec![0.0; n];
+    let mut acc = 0.0;
+    for i in (0..n).rev() {
+        let next_value = if dones[i] {
+            0.0
+        } else if i + 1 < n {
+            values[i + 1]
+        } else {
+            last_value
+        };
+        let not_done = if dones[i] { 0.0 } else { 1.0 };
+        let delta = rewards[i] + gamma * next_value - values[i];
+        acc = delta + gamma * lambda * not_done * acc;
+        adv[i] = acc;
+    }
+    let returns: Vec<f32> = adv.iter().zip(values).map(|(a, v)| a + v).collect();
+    (adv, returns)
+}
+
+/// Normalizes a slice to zero mean / unit variance in place (no-op for
+/// fewer than two elements or ~zero variance).
+pub fn normalize(xs: &mut [f32]) {
+    if xs.len() < 2 {
+        return;
+    }
+    let n = xs.len() as f32;
+    let mean = xs.iter().sum::<f32>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+    let std = var.sqrt();
+    if std < 1e-6 {
+        return;
+    }
+    for x in xs {
+        *x = (*x - mean) / std;
+    }
+}
+
+/// An optimizer that applies different inner optimizers to disjoint ranges
+/// of the flat parameter vector — e.g. DDPG's separate actor/critic
+/// learning rates.
+pub struct SplitOptimizer {
+    parts: Vec<(usize, Box<dyn Optimizer + Send>)>,
+}
+
+impl SplitOptimizer {
+    /// Builds from `(range length, optimizer)` pairs covering the vector in
+    /// order.
+    pub fn new(parts: Vec<(usize, Box<dyn Optimizer + Send>)>) -> Self {
+        assert!(!parts.is_empty(), "SplitOptimizer needs at least one part");
+        SplitOptimizer { parts }
+    }
+}
+
+impl Optimizer for SplitOptimizer {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        let total: usize = self.parts.iter().map(|(n, _)| n).sum();
+        assert_eq!(params.len(), total, "SplitOptimizer ranges must cover all params");
+        assert_eq!(params.len(), grads.len());
+        let mut off = 0;
+        for (n, opt) in &mut self.parts {
+            opt.step(&mut params[off..off + *n], &grads[off..off + *n]);
+            off += *n;
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.parts[0].1.learning_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iswitch_tensor::Sgd;
+
+    #[test]
+    fn reward_tracker_closes_episodes() {
+        let mut t = RewardTracker::new();
+        t.record(1.0, false);
+        t.record(2.0, true);
+        t.record(5.0, true);
+        assert_eq!(t.episodes(), &[3.0, 5.0]);
+        assert_eq!(t.average_last(10), Some(4.0));
+        assert_eq!(t.average_last(1), Some(5.0));
+    }
+
+    #[test]
+    fn reward_tracker_empty_has_no_average() {
+        assert_eq!(RewardTracker::new().average_last(10), None);
+    }
+
+    #[test]
+    fn returns_discount_and_restart_at_terminals() {
+        let r = discounted_returns(&[1.0, 1.0, 1.0], &[false, true, false], 0.5, 8.0);
+        // step2: 1 + 0.5*8 = 5; step1 terminal: 1; step0: 1 + 0.5*1 = 1.5
+        assert_eq!(r, vec![1.5, 1.0, 5.0]);
+    }
+
+    #[test]
+    fn gae_with_lambda_one_equals_monte_carlo_advantage() {
+        let rewards = [1.0, 2.0, 3.0];
+        let values = [0.5, 0.5, 0.5];
+        let dones = [false, false, true];
+        let (adv, ret) = gae(&rewards, &values, &dones, 0.9, 1.0, 0.0);
+        let mc = discounted_returns(&rewards, &dones, 0.9, 0.0);
+        for i in 0..3 {
+            assert!((adv[i] - (mc[i] - values[i])).abs() < 1e-5);
+            assert!((ret[i] - mc[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gae_bootstraps_with_last_value() {
+        let (adv, _) = gae(&[0.0], &[0.0], &[false], 1.0, 1.0, 7.0);
+        assert_eq!(adv, vec![7.0]);
+    }
+
+    #[test]
+    fn normalize_produces_zero_mean_unit_var() {
+        let mut xs = vec![1.0, 2.0, 3.0, 4.0];
+        normalize(&mut xs);
+        let mean: f32 = xs.iter().sum::<f32>() / 4.0;
+        let var: f32 = xs.iter().map(|x| x * x).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn normalize_skips_constant_input() {
+        let mut xs = vec![2.0, 2.0];
+        normalize(&mut xs);
+        assert_eq!(xs, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn split_optimizer_applies_ranges_independently() {
+        let mut opt = SplitOptimizer::new(vec![
+            (1, Box::new(Sgd::new(1.0))),
+            (1, Box::new(Sgd::new(0.1))),
+        ]);
+        let mut p = vec![0.0f32, 0.0];
+        opt.step(&mut p, &[1.0, 1.0]);
+        assert!((p[0] + 1.0).abs() < 1e-6);
+        assert!((p[1] + 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover all params")]
+    fn split_optimizer_rejects_bad_coverage() {
+        let mut opt = SplitOptimizer::new(vec![(1, Box::new(Sgd::new(1.0)) as _)]);
+        opt.step(&mut [0.0, 0.0], &[1.0, 1.0]);
+    }
+}

@@ -1,0 +1,365 @@
+//! Deep Deterministic Policy Gradient (Lillicrap et al. 2015) — paper
+//! benchmark #4.
+//!
+//! Actor-critic with a deterministic policy, target networks with soft
+//! (Polyak) updates, Gaussian exploration noise, and experience replay. The
+//! paper highlights DDPG's *dual model* (actor + critic both travel in the
+//! gradient vector, 157.52 KB total in Table 1); here too the flat parameter
+//! vector concatenates both networks.
+
+use iswitch_tensor::{
+    grad_vec, mlp, mse, param_vec, set_param_vec, zero_grads, Activation, Adam, Module,
+    Optimizer, Sequential, Tensor,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::algo::common::{RewardTracker, SplitOptimizer};
+use crate::algo::gaussian::standard_normal;
+use crate::algo::Agent;
+use crate::env::{Action, ActionSpace, Environment};
+use crate::replay::{ReplayBuffer, Transition};
+
+/// Hyperparameters for [`DdpgAgent`].
+#[derive(Debug, Clone)]
+pub struct DdpgConfig {
+    /// Hidden layer widths (actor and critic share the shape).
+    pub hidden: Vec<usize>,
+    /// Discount factor.
+    pub gamma: f32,
+    /// Actor learning rate.
+    pub actor_lr: f32,
+    /// Critic learning rate.
+    pub critic_lr: f32,
+    /// Polyak soft-update coefficient.
+    pub tau: f32,
+    /// Replay capacity.
+    pub replay_capacity: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Environment steps per gradient computation.
+    pub steps_per_iter: usize,
+    /// Minimum transitions before learning starts.
+    pub learn_start: usize,
+    /// Exploration noise standard deviation (fraction of action range).
+    pub noise_std: f32,
+}
+
+impl Default for DdpgConfig {
+    fn default() -> Self {
+        DdpgConfig {
+            hidden: vec![64, 64],
+            gamma: 0.98,
+            actor_lr: 5e-4,
+            critic_lr: 2e-3,
+            tau: 0.01,
+            replay_capacity: 20_000,
+            batch_size: 64,
+            steps_per_iter: 2,
+            learn_start: 400,
+            noise_std: 0.15,
+        }
+    }
+}
+
+/// A DDPG worker bound to one continuous-control environment.
+pub struct DdpgAgent {
+    cfg: DdpgConfig,
+    env: Box<dyn Environment>,
+    actor: Sequential,
+    critic: Sequential,
+    target_actor: Sequential,
+    target_critic: Sequential,
+    replay: ReplayBuffer,
+    rng: StdRng,
+    obs: Vec<f32>,
+    act_dim: usize,
+    act_high: f32,
+    tracker: RewardTracker,
+}
+
+impl DdpgAgent {
+    /// Creates a worker over `env` with fresh networks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the environment is not continuous-action.
+    pub fn new(env: Box<dyn Environment>, cfg: DdpgConfig, seed: u64) -> Self {
+        let ActionSpace::Continuous { dim, high, .. } = env.action_space() else {
+            panic!("DDPG requires a continuous action space");
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut a_sizes = vec![env.obs_dim()];
+        a_sizes.extend_from_slice(&cfg.hidden);
+        a_sizes.push(dim);
+        let mut c_sizes = vec![env.obs_dim() + dim];
+        c_sizes.extend_from_slice(&cfg.hidden);
+        c_sizes.push(1);
+        let mut actor = mlp(&a_sizes, Activation::ReLU, Some(Activation::Tanh), &mut rng);
+        let mut critic = mlp(&c_sizes, Activation::ReLU, None, &mut rng);
+        let mut target_actor = mlp(&a_sizes, Activation::ReLU, Some(Activation::Tanh), &mut rng);
+        let mut target_critic = mlp(&c_sizes, Activation::ReLU, None, &mut rng);
+        let wa = param_vec(&mut actor);
+        set_param_vec(&mut target_actor, &wa);
+        let wc = param_vec(&mut critic);
+        set_param_vec(&mut target_critic, &wc);
+        let replay = ReplayBuffer::new(cfg.replay_capacity);
+        let mut agent = DdpgAgent {
+            cfg,
+            env,
+            actor,
+            critic,
+            target_actor,
+            target_critic,
+            replay,
+            rng,
+            obs: Vec::new(),
+            act_dim: dim,
+            act_high: high,
+            tracker: RewardTracker::new(),
+        };
+        agent.obs = agent.env.reset();
+        agent
+    }
+
+    fn act_with_noise(&mut self) -> Vec<f32> {
+        let input = Tensor::from_shape_vec(&[1, self.obs.len()], self.obs.clone());
+        let a = self.actor.forward(&input);
+        a.row(0)
+            .iter()
+            .map(|&x| {
+                let noisy = x * self.act_high
+                    + self.cfg.noise_std * self.act_high * standard_normal(&mut self.rng);
+                noisy.clamp(-self.act_high, self.act_high)
+            })
+            .collect()
+    }
+
+    fn interact(&mut self) {
+        for _ in 0..self.cfg.steps_per_iter {
+            let a = self.act_with_noise();
+            let out = self.env.step(&Action::Continuous(a.clone()));
+            self.tracker.record(out.reward, out.done);
+            self.replay.push(Transition {
+                obs: std::mem::take(&mut self.obs),
+                action: Action::Continuous(a),
+                reward: out.reward,
+                next_obs: out.obs.clone(),
+                done: out.done,
+            });
+            self.obs = if out.done { self.env.reset() } else { out.obs };
+        }
+    }
+
+    fn concat_obs_actions(obs: &[f32], obs_dim: usize, actions: &Tensor, scale: f32) -> Tensor {
+        let b = actions.rows();
+        let act_dim = actions.cols();
+        let mut data = Vec::with_capacity(b * (obs_dim + act_dim));
+        for r in 0..b {
+            data.extend_from_slice(&obs[r * obs_dim..(r + 1) * obs_dim]);
+            data.extend(actions.row(r).iter().map(|&a| a * scale));
+        }
+        Tensor::from_shape_vec(&[b, obs_dim + act_dim], data)
+    }
+}
+
+impl Agent for DdpgAgent {
+    fn name(&self) -> &'static str {
+        "DDPG"
+    }
+
+    fn param_count(&self) -> usize {
+        self.actor.param_count() + self.critic.param_count()
+    }
+
+    fn params(&mut self) -> Vec<f32> {
+        let mut p = param_vec(&mut self.actor);
+        p.extend(param_vec(&mut self.critic));
+        p
+    }
+
+    fn set_params(&mut self, params: &[f32]) {
+        assert_eq!(params.len(), self.param_count(), "flat parameter length mismatch");
+        let split = self.actor.param_count();
+        set_param_vec(&mut self.actor, &params[..split]);
+        set_param_vec(&mut self.critic, &params[split..]);
+    }
+
+    fn compute_gradient(&mut self) -> Vec<f32> {
+        self.interact();
+        if self.replay.len() < self.cfg.learn_start {
+            return vec![0.0; self.param_count()];
+        }
+        let batch = self.replay.sample(self.cfg.batch_size, &mut self.rng);
+        let b = batch.len();
+        let obs_dim = batch[0].obs.len();
+        let mut obs = Vec::with_capacity(b * obs_dim);
+        let mut next_obs = Vec::with_capacity(b * obs_dim);
+        let mut acts = Vec::with_capacity(b * self.act_dim);
+        let mut rewards = Vec::with_capacity(b);
+        let mut dones = Vec::with_capacity(b);
+        for t in &batch {
+            obs.extend_from_slice(&t.obs);
+            next_obs.extend_from_slice(&t.next_obs);
+            acts.extend_from_slice(t.action.continuous());
+            rewards.push(t.reward);
+            dones.push(t.done);
+        }
+        let next_obs_t = Tensor::from_shape_vec(&[b, obs_dim], next_obs);
+
+        // Critic target: y = r + γ(1-d)·Q'(s', μ'(s')).
+        let next_a = self.target_actor.forward(&next_obs_t);
+        let next_in = Self::concat_obs_actions(
+            next_obs_t.data(),
+            obs_dim,
+            &next_a,
+            self.act_high,
+        );
+        let next_q = self.target_critic.forward(&next_in);
+        let mut y = Vec::with_capacity(b);
+        for i in 0..b {
+            let boot = if dones[i] { 0.0 } else { self.cfg.gamma * next_q.data()[i] };
+            y.push(rewards[i] + boot);
+        }
+
+        // Critic gradient (replayed actions are already env-scaled).
+        zero_grads(&mut self.critic);
+        let replayed = Tensor::from_shape_vec(&[b, self.act_dim], acts);
+        let critic_in = Self::concat_obs_actions(&obs, obs_dim, &replayed, 1.0);
+        let q = self.critic.forward(&critic_in);
+        let (_, dq) = mse(&q, &Tensor::from_shape_vec(&[b, 1], y));
+        self.critic.backward(&dq);
+        let critic_grads = grad_vec(&mut self.critic);
+
+        // Actor gradient: minimize -mean Q(s, μ(s)); chain dQ/da through
+        // the actor's tanh output and the action scaling.
+        zero_grads(&mut self.actor);
+        zero_grads(&mut self.critic); // scratch pass; critic grads saved above
+        let obs_t = Tensor::from_shape_vec(&[b, obs_dim], obs);
+        let a_pred = self.actor.forward(&obs_t);
+        let actor_in = Self::concat_obs_actions(obs_t.data(), obs_dim, &a_pred, self.act_high);
+        let _ = self.critic.forward(&actor_in);
+        let dq = Tensor::full(&[b, 1], -1.0 / b as f32);
+        let dinput = self.critic.backward(&dq);
+        // Slice the action columns and undo the scale factor.
+        let mut da = Tensor::zeros(&[b, self.act_dim]);
+        for r in 0..b {
+            for j in 0..self.act_dim {
+                da.data_mut()[r * self.act_dim + j] =
+                    dinput.at(r, obs_dim + j) * self.act_high;
+            }
+        }
+        self.actor.backward(&da);
+        let mut g = grad_vec(&mut self.actor);
+        g.extend(critic_grads);
+        g
+    }
+
+    fn make_optimizer(&self) -> Box<dyn Optimizer + Send> {
+        Box::new(SplitOptimizer::new(vec![
+            (self.actor.param_count(), Box::new(Adam::new(self.cfg.actor_lr))),
+            (self.critic.param_count(), Box::new(Adam::new(self.cfg.critic_lr))),
+        ]))
+    }
+
+    fn on_weights_updated(&mut self) {
+        let tau = self.cfg.tau;
+        let soft = |net: &mut Sequential, target: &mut Sequential| {
+            let w = param_vec(net);
+            let mut wt = param_vec(target);
+            for (t, s) in wt.iter_mut().zip(&w) {
+                *t = tau * s + (1.0 - tau) * *t;
+            }
+            set_param_vec(target, &wt);
+        };
+        soft(&mut self.actor, &mut self.target_actor);
+        soft(&mut self.critic, &mut self.target_critic);
+    }
+
+    fn episode_rewards(&self) -> &[f32] {
+        self.tracker.episodes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envs::{CheetahLite, Pendulum};
+
+    fn pendulum_agent(seed: u64) -> DdpgAgent {
+        let cfg = DdpgConfig { learn_start: 200, ..DdpgConfig::default() };
+        DdpgAgent::new(Box::new(Pendulum::new(seed)), cfg, seed)
+    }
+
+    #[test]
+    fn warmup_returns_zero_gradient() {
+        let mut agent = pendulum_agent(0);
+        let g = agent.compute_gradient();
+        assert!(g.iter().all(|&x| x == 0.0));
+        assert_eq!(g.len(), agent.param_count());
+    }
+
+    #[test]
+    fn gradient_covers_actor_and_critic() {
+        let mut agent = pendulum_agent(1);
+        let mut g = Vec::new();
+        for _ in 0..150 {
+            g = agent.compute_gradient();
+        }
+        let split = agent.actor.param_count();
+        assert!(g[..split].iter().any(|&x| x != 0.0), "actor grad all zero");
+        assert!(g[split..].iter().any(|&x| x != 0.0), "critic grad all zero");
+    }
+
+    #[test]
+    fn soft_update_moves_targets_toward_nets() {
+        let mut agent = pendulum_agent(2);
+        let before = param_vec(&mut agent.target_actor);
+        let mut w = agent.params();
+        for x in &mut w {
+            *x += 1.0;
+        }
+        agent.set_params(&w);
+        agent.on_weights_updated();
+        let after = param_vec(&mut agent.target_actor);
+        let wa = param_vec(&mut agent.actor);
+        for i in 0..before.len() {
+            let expect = agent.cfg.tau * wa[i] + (1.0 - agent.cfg.tau) * before[i];
+            assert!((after[i] - expect).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn works_on_cheetah_lite_action_arity() {
+        let mut agent = DdpgAgent::new(
+            Box::new(CheetahLite::new(0)),
+            DdpgConfig { learn_start: 50, ..DdpgConfig::default() },
+            0,
+        );
+        for _ in 0..60 {
+            let g = agent.compute_gradient();
+            assert_eq!(g.len(), agent.param_count());
+        }
+    }
+
+    #[test]
+    fn training_improves_pendulum_reward() {
+        let mut agent = pendulum_agent(4);
+        let mut opt = agent.make_optimizer();
+        let mut params = agent.params();
+        for _ in 0..4000 {
+            let g = agent.compute_gradient();
+            opt.step(&mut params, &g);
+            agent.set_params(&params);
+            agent.on_weights_updated();
+        }
+        let eps = agent.episode_rewards();
+        assert!(eps.len() > 10);
+        let early: f32 = eps[..5].iter().sum::<f32>() / 5.0;
+        let late = agent.final_average_reward().unwrap();
+        assert!(
+            late > early + 100.0,
+            "expected improvement: early {early:.0} vs late {late:.0}"
+        );
+    }
+}

@@ -1,0 +1,257 @@
+//! A diagonal-Gaussian policy head for continuous control (PPO).
+//!
+//! The mean comes from an MLP; the per-dimension log standard deviation is
+//! a state-independent learnable parameter, matching the reference PPO
+//! implementation the paper benchmarks.
+
+use iswitch_tensor::{
+    grad_vec, mlp, param_vec, set_param_vec, zero_grads, Activation, Module, Sequential, Tensor,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One `N(0, 1)` draw via Box–Muller (keeps the dependency set minimal).
+pub fn standard_normal(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen::<f32>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+const LOG_2PI: f32 = 1.837_877_1;
+
+/// A Gaussian policy `π(a|s) = N(μ_net(s), diag(exp(log_std))²)`.
+pub struct GaussianPolicy {
+    net: Sequential,
+    act_dim: usize,
+    log_std: Vec<f32>,
+    grad_log_std: Vec<f32>,
+}
+
+impl GaussianPolicy {
+    /// Builds a policy whose mean MLP has the given `sizes`
+    /// (`[obs, hidden.., act_dim]`), with all log-stds at `init_log_std`.
+    pub fn new(sizes: &[usize], init_log_std: f32, rng: &mut StdRng) -> Self {
+        let act_dim = *sizes.last().expect("sizes non-empty");
+        GaussianPolicy {
+            net: mlp(sizes, Activation::Tanh, None, rng),
+            act_dim,
+            log_std: vec![init_log_std; act_dim],
+            grad_log_std: vec![0.0; act_dim],
+        }
+    }
+
+    /// Action dimensionality.
+    pub fn act_dim(&self) -> usize {
+        self.act_dim
+    }
+
+    /// Total parameter count (mean net + log-stds).
+    pub fn param_count(&self) -> usize {
+        self.net.param_count() + self.act_dim
+    }
+
+    /// Flat parameters: mean-net parameters followed by log-stds.
+    pub fn params(&mut self) -> Vec<f32> {
+        let mut p = param_vec(&mut self.net);
+        p.extend_from_slice(&self.log_std);
+        p
+    }
+
+    /// Overwrites all parameters from a flat vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn set_params(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.param_count(), "flat parameter length mismatch");
+        let split = self.net.param_count();
+        set_param_vec(&mut self.net, &flat[..split]);
+        self.log_std.copy_from_slice(&flat[split..]);
+    }
+
+    /// Flat accumulated gradients, aligned with [`GaussianPolicy::params`].
+    pub fn grads(&mut self) -> Vec<f32> {
+        let mut g = grad_vec(&mut self.net);
+        g.extend_from_slice(&self.grad_log_std);
+        g
+    }
+
+    /// Zeroes accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        zero_grads(&mut self.net);
+        self.grad_log_std.fill(0.0);
+    }
+
+    /// Forward pass producing the action means for a `[batch, obs]` input
+    /// (caches activations for a later [`GaussianPolicy::backward_logp`]).
+    pub fn forward_mean(&mut self, obs: &Tensor) -> Tensor {
+        self.net.forward(obs)
+    }
+
+    /// Samples an action for a single mean row.
+    pub fn sample(&self, mean: &[f32], rng: &mut StdRng) -> Vec<f32> {
+        assert_eq!(mean.len(), self.act_dim);
+        mean.iter()
+            .zip(&self.log_std)
+            .map(|(&m, &ls)| m + ls.exp() * standard_normal(rng))
+            .collect()
+    }
+
+    /// Log-density of each row's action under the row's Gaussian.
+    pub fn log_prob(&self, means: &Tensor, actions: &Tensor) -> Vec<f32> {
+        assert_eq!(means.shape(), actions.shape(), "means/actions shape mismatch");
+        let d = self.act_dim;
+        let mut out = Vec::with_capacity(means.rows());
+        for r in 0..means.rows() {
+            let mut lp = 0.0;
+            for j in 0..d {
+                let sigma = self.log_std[j].exp();
+                let z = (actions.at(r, j) - means.at(r, j)) / sigma;
+                lp += -0.5 * (z * z + LOG_2PI) - self.log_std[j];
+            }
+            out.push(lp);
+        }
+        out
+    }
+
+    /// Accumulates the gradient of `Σ_r coeff_r · log π(a_r | s_r)` into the
+    /// policy parameters. `means` must come from the most recent
+    /// [`GaussianPolicy::forward_mean`] on the matching observations.
+    pub fn backward_logp(&mut self, means: &Tensor, actions: &Tensor, coeffs: &[f32]) {
+        assert_eq!(coeffs.len(), means.rows(), "one coefficient per row");
+        let d = self.act_dim;
+        let mut dmean = Tensor::zeros(&[means.rows(), d]);
+        for (r, &coeff) in coeffs.iter().enumerate() {
+            for j in 0..d {
+                let sigma = self.log_std[j].exp();
+                let diff = actions.at(r, j) - means.at(r, j);
+                // d logp / d mu = (a - mu) / sigma^2
+                dmean.data_mut()[r * d + j] = coeff * diff / (sigma * sigma);
+                // d logp / d log_sigma = z^2 - 1
+                let z = diff / sigma;
+                self.grad_log_std[j] += coeff * (z * z - 1.0);
+            }
+        }
+        self.net.backward(&dmean);
+    }
+
+    /// Policy entropy (state-independent for a fixed-std Gaussian) and its
+    /// gradient contribution: `dH/d log_std_j = 1`.
+    pub fn entropy(&self) -> f32 {
+        self.log_std.iter().map(|ls| ls + 0.5 * (LOG_2PI + 1.0)).sum()
+    }
+
+    /// Adds `coeff` to every log-std gradient — the entropy-bonus gradient.
+    pub fn add_entropy_grad(&mut self, coeff: f32) {
+        for g in &mut self.grad_log_std {
+            *g += coeff;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn policy() -> GaussianPolicy {
+        let mut rng = StdRng::seed_from_u64(0);
+        GaussianPolicy::new(&[3, 16, 2], -0.5, &mut rng)
+    }
+
+    #[test]
+    fn params_round_trip() {
+        let mut p = policy();
+        let flat = p.params();
+        assert_eq!(flat.len(), p.param_count());
+        let mut flat2 = flat.clone();
+        let n = flat2.len();
+        flat2[n - 1] = 0.7;
+        p.set_params(&flat2);
+        assert_eq!(p.params(), flat2);
+        assert_eq!(p.log_std[1], 0.7);
+    }
+
+    #[test]
+    fn log_prob_peaks_at_mean() {
+        let mut p = policy();
+        let obs = Tensor::from_rows(vec![vec![0.1, -0.2, 0.3]]);
+        let mean = p.forward_mean(&obs);
+        let at_mean = p.log_prob(&mean, &mean)[0];
+        let off = mean.map(|m| m + 1.0);
+        let away = p.log_prob(&mean, &off)[0];
+        assert!(at_mean > away);
+    }
+
+    #[test]
+    fn sampling_tracks_std() {
+        let p = policy();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mean = vec![0.0, 0.0];
+        let n = 4000;
+        let mut sum_sq = [0.0f64; 2];
+        for _ in 0..n {
+            let a = p.sample(&mean, &mut rng);
+            sum_sq[0] += (a[0] as f64).powi(2);
+            sum_sq[1] += (a[1] as f64).powi(2);
+        }
+        let sigma = (-0.5f32).exp() as f64;
+        for s in sum_sq {
+            let emp = (s / n as f64).sqrt();
+            assert!((emp - sigma).abs() < 0.05, "empirical std {emp} vs {sigma}");
+        }
+        // Deterministic per seed.
+        let mut rng2 = StdRng::seed_from_u64(9);
+        let mut rng3 = StdRng::seed_from_u64(9);
+        assert_eq!(p.sample(&mean, &mut rng2), p.sample(&mean, &mut rng3));
+    }
+
+    #[test]
+    fn logp_gradient_matches_finite_difference() {
+        let mut p = policy();
+        let obs = Tensor::from_rows(vec![vec![0.5, -1.0, 0.2], vec![-0.3, 0.8, 0.0]]);
+        let actions = Tensor::from_rows(vec![vec![0.4, -0.1], vec![0.0, 0.6]]);
+        let coeffs = vec![1.0, -0.5];
+
+        p.zero_grads();
+        let means = p.forward_mean(&obs);
+        p.backward_logp(&means, &actions, &coeffs);
+        let analytic = p.grads();
+
+        let objective = |p: &mut GaussianPolicy| {
+            let means = p.forward_mean(&obs);
+            let lps = p.log_prob(&means, &actions);
+            lps.iter().zip(&coeffs).map(|(l, c)| l * c).sum::<f32>()
+        };
+        let p0 = p.params();
+        let eps = 1e-3;
+        for idx in (0..p0.len()).step_by(11) {
+            let mut plus = p0.clone();
+            plus[idx] += eps;
+            p.set_params(&plus);
+            let up = objective(&mut p);
+            let mut minus = p0.clone();
+            minus[idx] -= eps;
+            p.set_params(&minus);
+            let down = objective(&mut p);
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (numeric - analytic[idx]).abs() < 2e-2 * (1.0 + analytic[idx].abs()),
+                "grad mismatch at {idx}: analytic {} vs numeric {numeric}",
+                analytic[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn entropy_increases_with_log_std() {
+        let mut p = policy();
+        let h0 = p.entropy();
+        let mut flat = p.params();
+        let n = flat.len();
+        flat[n - 1] += 1.0;
+        flat[n - 2] += 1.0;
+        p.set_params(&flat);
+        assert!(p.entropy() > h0);
+    }
+}

@@ -1,0 +1,308 @@
+//! Proximal Policy Optimization (Schulman et al. 2017) — paper benchmark #3.
+//!
+//! Clipped-surrogate PPO with GAE(λ) advantages and a Gaussian policy for
+//! continuous control. A rollout of `horizon` steps is reused for `epochs`
+//! optimization passes; **each pass is one distributed-training iteration**
+//! (one gradient aggregation), matching how distributed PPO interleaves
+//! communication with its inner epochs.
+
+use iswitch_tensor::{
+    grad_vec, mlp, mse, param_vec, set_param_vec, zero_grads, Activation, Adam, Module,
+    Optimizer, Sequential, Tensor,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::algo::common::{gae, normalize, RewardTracker};
+use crate::algo::gaussian::GaussianPolicy;
+use crate::algo::Agent;
+use crate::env::{Action, ActionSpace, Environment};
+
+/// Hyperparameters for [`PpoAgent`].
+#[derive(Debug, Clone)]
+pub struct PpoConfig {
+    /// Hidden layer widths (policy mean net and value net).
+    pub hidden: Vec<usize>,
+    /// Discount factor.
+    pub gamma: f32,
+    /// GAE λ.
+    pub lam: f32,
+    /// Clipping parameter ε.
+    pub clip: f32,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Rollout length.
+    pub horizon: usize,
+    /// Optimization passes per rollout (each is one iteration).
+    pub epochs: usize,
+    /// Entropy-bonus coefficient.
+    pub entropy_coef: f32,
+    /// Value-loss coefficient.
+    pub value_coef: f32,
+    /// Initial log standard deviation of the Gaussian policy.
+    pub init_log_std: f32,
+    /// Clip the combined gradient to this L2 norm, if set.
+    pub max_grad_norm: Option<f32>,
+}
+
+impl Default for PpoConfig {
+    fn default() -> Self {
+        PpoConfig {
+            hidden: vec![64, 64],
+            gamma: 0.9,
+            lam: 0.95,
+            clip: 0.2,
+            lr: 3e-4,
+            horizon: 200,
+            epochs: 10,
+            entropy_coef: 0.002,
+            value_coef: 0.5,
+            init_log_std: 0.0,
+            max_grad_norm: None,
+        }
+    }
+}
+
+struct Rollout {
+    obs: Tensor,
+    actions: Tensor,
+    old_logp: Vec<f32>,
+    adv: Vec<f32>,
+    returns: Vec<f32>,
+}
+
+/// A PPO worker bound to one continuous-control environment.
+pub struct PpoAgent {
+    cfg: PpoConfig,
+    env: Box<dyn Environment>,
+    policy: GaussianPolicy,
+    value: Sequential,
+    rng: StdRng,
+    obs: Vec<f32>,
+    act_dim: usize,
+    act_low: f32,
+    act_high: f32,
+    rollout: Option<Rollout>,
+    passes_left: usize,
+    tracker: RewardTracker,
+}
+
+impl PpoAgent {
+    /// Creates a worker over `env` with fresh networks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the environment is not continuous-action.
+    pub fn new(env: Box<dyn Environment>, cfg: PpoConfig, seed: u64) -> Self {
+        let ActionSpace::Continuous { dim, low, high } = env.action_space() else {
+            panic!("PPO here targets continuous action spaces");
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut p_sizes = vec![env.obs_dim()];
+        p_sizes.extend_from_slice(&cfg.hidden);
+        p_sizes.push(dim);
+        let mut v_sizes = vec![env.obs_dim()];
+        v_sizes.extend_from_slice(&cfg.hidden);
+        v_sizes.push(1);
+        let policy = GaussianPolicy::new(&p_sizes, cfg.init_log_std, &mut rng);
+        let value = mlp(&v_sizes, Activation::Tanh, None, &mut rng);
+        let mut agent = PpoAgent {
+            cfg,
+            env,
+            policy,
+            value,
+            rng,
+            obs: Vec::new(),
+            act_dim: dim,
+            act_low: low,
+            act_high: high,
+            rollout: None,
+            passes_left: 0,
+            tracker: RewardTracker::new(),
+        };
+        agent.obs = agent.env.reset();
+        agent
+    }
+
+    fn collect_rollout(&mut self) {
+        let h = self.cfg.horizon;
+        let obs_dim = self.obs.len();
+        let mut obs_buf = Vec::with_capacity(h * obs_dim);
+        let mut act_buf = Vec::with_capacity(h * self.act_dim);
+        let mut rewards = Vec::with_capacity(h);
+        let mut dones = Vec::with_capacity(h);
+        for _ in 0..h {
+            let input = Tensor::from_shape_vec(&[1, obs_dim], self.obs.clone());
+            let mean = self.policy.forward_mean(&input);
+            let a = self.policy.sample(mean.row(0), &mut self.rng);
+            let clamped: Vec<f32> =
+                a.iter().map(|x| x.clamp(self.act_low, self.act_high)).collect();
+            obs_buf.extend_from_slice(&self.obs);
+            // Store the *unclamped* sample: log-probs must match the draw.
+            act_buf.extend_from_slice(&a);
+            let out = self.env.step(&Action::Continuous(clamped));
+            self.tracker.record(out.reward, out.done);
+            rewards.push(out.reward);
+            dones.push(out.done);
+            self.obs = if out.done { self.env.reset() } else { out.obs };
+        }
+        let obs = Tensor::from_shape_vec(&[h, obs_dim], obs_buf);
+        let actions = Tensor::from_shape_vec(&[h, self.act_dim], act_buf);
+
+        let values = self.value.forward(&obs).into_data();
+        let last_value = if *dones.last().expect("rollout non-empty") {
+            0.0
+        } else {
+            let last = Tensor::from_shape_vec(&[1, obs_dim], self.obs.clone());
+            self.value.forward(&last).data()[0]
+        };
+        let (mut adv, returns) =
+            gae(&rewards, &values, &dones, self.cfg.gamma, self.cfg.lam, last_value);
+        normalize(&mut adv);
+
+        let means = self.policy.forward_mean(&obs);
+        let old_logp = self.policy.log_prob(&means, &actions);
+        self.rollout = Some(Rollout { obs, actions, old_logp, adv, returns });
+        self.passes_left = self.cfg.epochs;
+    }
+}
+
+impl Agent for PpoAgent {
+    fn name(&self) -> &'static str {
+        "PPO"
+    }
+
+    fn param_count(&self) -> usize {
+        self.policy.param_count() + self.value.param_count()
+    }
+
+    fn params(&mut self) -> Vec<f32> {
+        let mut p = self.policy.params();
+        p.extend(param_vec(&mut self.value));
+        p
+    }
+
+    fn set_params(&mut self, params: &[f32]) {
+        assert_eq!(params.len(), self.param_count(), "flat parameter length mismatch");
+        let split = self.policy.param_count();
+        self.policy.set_params(&params[..split]);
+        set_param_vec(&mut self.value, &params[split..]);
+    }
+
+    fn compute_gradient(&mut self) -> Vec<f32> {
+        if self.passes_left == 0 {
+            self.collect_rollout();
+        }
+        self.passes_left -= 1;
+        let rollout = self.rollout.as_ref().expect("rollout present after collect");
+        let b = rollout.adv.len() as f32;
+
+        self.policy.zero_grads();
+        zero_grads(&mut self.value);
+
+        // Clipped surrogate: for each row the loss contribution is
+        // -min(r·A, clip(r, 1±ε)·A); its gradient w.r.t. the new log-prob is
+        // -A·r when the unclipped branch is active, else 0.
+        let means = self.policy.forward_mean(&rollout.obs);
+        let new_logp = self.policy.log_prob(&means, &rollout.actions);
+        let mut coeffs = Vec::with_capacity(new_logp.len());
+        for (i, &lp_new) in new_logp.iter().enumerate() {
+            let ratio = (lp_new - rollout.old_logp[i]).exp();
+            let a = rollout.adv[i];
+            let unclipped = ratio * a;
+            let clipped = ratio.clamp(1.0 - self.cfg.clip, 1.0 + self.cfg.clip) * a;
+            let coeff = if unclipped <= clipped { -a * ratio / b } else { 0.0 };
+            coeffs.push(coeff);
+        }
+        self.policy.backward_logp(&means, &rollout.actions, &coeffs);
+        // Entropy bonus (loss -= c·H, H depends only on log_std).
+        self.policy.add_entropy_grad(-self.cfg.entropy_coef);
+
+        // Value loss.
+        let v = self.value.forward(&rollout.obs);
+        let target = Tensor::from_shape_vec(&[rollout.returns.len(), 1], rollout.returns.clone());
+        let (_, dv) = mse(&v, &target);
+        self.value.backward(&dv.scale(self.cfg.value_coef));
+
+        let mut g = self.policy.grads();
+        g.extend(grad_vec(&mut self.value));
+        if let Some(max_norm) = self.cfg.max_grad_norm {
+            iswitch_tensor::clip_grad_norm(&mut g, max_norm);
+        }
+        g
+    }
+
+    fn make_optimizer(&self) -> Box<dyn Optimizer + Send> {
+        Box::new(Adam::new(self.cfg.lr))
+    }
+
+    fn episode_rewards(&self) -> &[f32] {
+        self.tracker.episodes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envs::Pendulum;
+
+    fn quick_agent(seed: u64) -> PpoAgent {
+        PpoAgent::new(Box::new(Pendulum::balance(seed)), PpoConfig::default(), seed)
+    }
+
+    #[test]
+    fn rollout_is_reused_for_epochs_passes() {
+        let mut agent = quick_agent(0);
+        let _ = agent.compute_gradient();
+        let episodes_after_first = agent.episode_rewards().len();
+        for _ in 0..agent.cfg.epochs - 1 {
+            let _ = agent.compute_gradient();
+        }
+        // No new environment interaction during the remaining passes.
+        assert_eq!(agent.episode_rewards().len(), episodes_after_first);
+        let _ = agent.compute_gradient(); // triggers a fresh rollout
+        assert!(agent.tracker.episodes().len() >= episodes_after_first);
+    }
+
+    #[test]
+    fn later_epochs_clip_some_samples() {
+        let mut agent = quick_agent(1);
+        let mut opt = agent.make_optimizer();
+        let mut params = agent.params();
+        // First pass: all ratios are exactly 1 => nothing clipped and the
+        // gradient is the vanilla PG gradient. After an update, ratios move.
+        let g1 = agent.compute_gradient();
+        opt.step(&mut params, &g1);
+        agent.set_params(&params);
+        let g2 = agent.compute_gradient();
+        assert_ne!(g1, g2);
+    }
+
+    #[test]
+    fn gradient_length_matches_params() {
+        let mut agent = quick_agent(2);
+        let g = agent.compute_gradient();
+        assert_eq!(g.len(), agent.param_count());
+        assert!(g.iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn training_improves_pendulum_reward() {
+        let mut agent = quick_agent(5);
+        let mut opt = agent.make_optimizer();
+        let mut params = agent.params();
+        for _ in 0..4000 {
+            let g = agent.compute_gradient();
+            opt.step(&mut params, &g);
+            agent.set_params(&params);
+        }
+        let eps = agent.episode_rewards();
+        assert!(eps.len() > 20);
+        let early: f32 = eps[..5].iter().sum::<f32>() / 5.0;
+        let late = agent.final_average_reward().unwrap();
+        assert!(
+            late > early + 200.0,
+            "expected improvement: early {early:.0} vs late {late:.0}"
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! The environment abstraction shared by all RL algorithms.
+
+use serde::{Deserialize, Serialize};
+
+/// The action space of an environment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ActionSpace {
+    /// `n` distinct actions, indexed `0..n`.
+    Discrete(usize),
+    /// A box of `dim` continuous values, each clamped to `[low, high]`.
+    Continuous {
+        /// Number of action dimensions.
+        dim: usize,
+        /// Per-dimension lower bound.
+        low: f32,
+        /// Per-dimension upper bound.
+        high: f32,
+    },
+}
+
+impl ActionSpace {
+    /// Number of scalar outputs a policy head needs for this space.
+    pub fn policy_outputs(&self) -> usize {
+        match *self {
+            ActionSpace::Discrete(n) => n,
+            ActionSpace::Continuous { dim, .. } => dim,
+        }
+    }
+}
+
+/// An action taken by an agent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Index into a discrete action set.
+    Discrete(usize),
+    /// Continuous action vector.
+    Continuous(Vec<f32>),
+}
+
+impl Action {
+    /// The discrete index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the action is continuous.
+    pub fn discrete(&self) -> usize {
+        match self {
+            Action::Discrete(a) => *a,
+            Action::Continuous(_) => panic!("expected a discrete action"),
+        }
+    }
+
+    /// The continuous vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the action is discrete.
+    pub fn continuous(&self) -> &[f32] {
+        match self {
+            Action::Continuous(a) => a,
+            Action::Discrete(_) => panic!("expected a continuous action"),
+        }
+    }
+}
+
+/// Result of one environment step.
+#[derive(Debug, Clone)]
+pub struct StepOutcome {
+    /// Observation after the action took effect.
+    pub obs: Vec<f32>,
+    /// Scalar reward.
+    pub reward: f32,
+    /// Whether the episode terminated (including time limits).
+    pub done: bool,
+}
+
+/// A reinforcement-learning environment (paper §2.1, Fig. 2).
+///
+/// Environments own their randomness (seeded at construction) so that
+/// distributed workers exploring "in parallel" are reproducible.
+pub trait Environment: Send {
+    /// Dimensionality of observation vectors.
+    fn obs_dim(&self) -> usize;
+
+    /// The action space.
+    fn action_space(&self) -> ActionSpace;
+
+    /// Starts a new episode, returning the initial observation.
+    fn reset(&mut self) -> Vec<f32>;
+
+    /// Advances one step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the action kind does not match [`Environment::action_space`],
+    /// or if called after `done` without an intervening [`Environment::reset`].
+    fn step(&mut self, action: &Action) -> StepOutcome;
+
+    /// A human-readable environment name.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_outputs_by_space() {
+        assert_eq!(ActionSpace::Discrete(4).policy_outputs(), 4);
+        assert_eq!(
+            ActionSpace::Continuous { dim: 2, low: -1.0, high: 1.0 }.policy_outputs(),
+            2
+        );
+    }
+
+    #[test]
+    fn action_accessors() {
+        assert_eq!(Action::Discrete(3).discrete(), 3);
+        assert_eq!(Action::Continuous(vec![0.5]).continuous(), &[0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a discrete action")]
+    fn wrong_accessor_panics() {
+        let _ = Action::Continuous(vec![0.0]).discrete();
+    }
+}

@@ -1,0 +1,198 @@
+//! Acrobot — a two-link underactuated swing-up task (Sutton 1996 / Gym
+//! dynamics, simplified Euler integration) for discrete-control
+//! experiments beyond the paper's benchmark pairings.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::env::{Action, ActionSpace, Environment, StepOutcome};
+
+const DT: f32 = 0.2;
+const LINK_MASS: f32 = 1.0;
+const LINK_LENGTH: f32 = 1.0;
+const LINK_COM: f32 = 0.5;
+const LINK_MOI: f32 = 1.0;
+const GRAVITY: f32 = 9.8;
+const MAX_VEL_1: f32 = 4.0 * std::f32::consts::PI;
+const MAX_VEL_2: f32 = 9.0 * std::f32::consts::PI;
+const MAX_STEPS: usize = 300;
+
+/// The acrobot: two links hanging from a pivot, torque only at the elbow.
+/// Swing the tip above the bar (`-cos θ1 - cos(θ1 + θ2) > 1`).
+///
+/// Observations: `[cos θ1, sin θ1, cos θ2, sin θ2, dθ1, dθ2]` (velocities
+/// normalized); actions: 0 (−1 torque), 1 (0), 2 (+1). Reward −1 per step
+/// until the goal.
+#[derive(Debug)]
+pub struct Acrobot {
+    theta1: f32,
+    theta2: f32,
+    dtheta1: f32,
+    dtheta2: f32,
+    steps: usize,
+    done: bool,
+    rng: StdRng,
+}
+
+impl Acrobot {
+    /// A new acrobot with its own seeded RNG for initial-state jitter.
+    pub fn new(seed: u64) -> Self {
+        Acrobot {
+            theta1: 0.0,
+            theta2: 0.0,
+            dtheta1: 0.0,
+            dtheta2: 0.0,
+            steps: 0,
+            done: true,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn observe(&self) -> Vec<f32> {
+        vec![
+            self.theta1.cos(),
+            self.theta1.sin(),
+            self.theta2.cos(),
+            self.theta2.sin(),
+            self.dtheta1 / MAX_VEL_1,
+            self.dtheta2 / MAX_VEL_2,
+        ]
+    }
+
+    fn tip_height(&self) -> f32 {
+        -self.theta1.cos() - (self.theta1 + self.theta2).cos()
+    }
+
+    fn dynamics(&mut self, torque: f32) {
+        // Standard acrobot equations of motion (Sutton & Barto, eq. form),
+        // integrated with two half-steps of explicit Euler.
+        for _ in 0..2 {
+            let (t1, t2, d1v, d2v) = (self.theta1, self.theta2, self.dtheta1, self.dtheta2);
+            let m = LINK_MASS;
+            let l1 = LINK_LENGTH;
+            let lc = LINK_COM;
+            let i = LINK_MOI;
+            let g = GRAVITY;
+            let d1 = m * lc * lc
+                + m * (l1 * l1 + lc * lc + 2.0 * l1 * lc * t2.cos())
+                + 2.0 * i;
+            let d2 = m * (lc * lc + l1 * lc * t2.cos()) + i;
+            let phi2 = m * lc * g * (t1 + t2 - std::f32::consts::FRAC_PI_2).cos();
+            let phi1 = -m * l1 * lc * d2v * d2v * t2.sin()
+                - 2.0 * m * l1 * lc * d2v * d1v * t2.sin()
+                + (m * lc + m * l1) * g * (t1 - std::f32::consts::FRAC_PI_2).cos()
+                + phi2;
+            let ddtheta2 = (torque + d2 / d1 * phi1
+                - m * l1 * lc * d1v * d1v * t2.sin()
+                - phi2)
+                / (m * lc * lc + i - d2 * d2 / d1);
+            let ddtheta1 = -(d2 * ddtheta2 + phi1) / d1;
+            self.dtheta1 = (d1v + ddtheta1 * DT / 2.0).clamp(-MAX_VEL_1, MAX_VEL_1);
+            self.dtheta2 = (d2v + ddtheta2 * DT / 2.0).clamp(-MAX_VEL_2, MAX_VEL_2);
+            self.theta1 += self.dtheta1 * DT / 2.0;
+            self.theta2 += self.dtheta2 * DT / 2.0;
+        }
+    }
+}
+
+impl Environment for Acrobot {
+    fn obs_dim(&self) -> usize {
+        6
+    }
+
+    fn action_space(&self) -> ActionSpace {
+        ActionSpace::Discrete(3)
+    }
+
+    fn reset(&mut self) -> Vec<f32> {
+        self.theta1 = self.rng.gen_range(-0.1..0.1);
+        self.theta2 = self.rng.gen_range(-0.1..0.1);
+        self.dtheta1 = self.rng.gen_range(-0.1..0.1);
+        self.dtheta2 = self.rng.gen_range(-0.1..0.1);
+        self.steps = 0;
+        self.done = false;
+        self.observe()
+    }
+
+    fn step(&mut self, action: &Action) -> StepOutcome {
+        assert!(!self.done, "step() after done without reset()");
+        let a = action.discrete();
+        assert!(a < 3, "acrobot action out of range");
+        self.dynamics(a as f32 - 1.0);
+        self.steps += 1;
+        let at_goal = self.tip_height() > 1.0;
+        self.done = at_goal || self.steps >= MAX_STEPS;
+        StepOutcome { obs: self.observe(), reward: -1.0, done: self.done }
+    }
+
+    fn name(&self) -> &'static str {
+        "Acrobot"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_hanging_below_the_bar() {
+        let mut env = Acrobot::new(0);
+        env.reset();
+        assert!(env.tip_height() < 0.0, "initial tip height {}", env.tip_height());
+    }
+
+    #[test]
+    fn zero_torque_never_swings_up() {
+        let mut env = Acrobot::new(1);
+        env.reset();
+        let mut steps = 0;
+        loop {
+            let out = env.step(&Action::Discrete(1));
+            steps += 1;
+            if out.done {
+                break;
+            }
+        }
+        assert_eq!(steps, MAX_STEPS, "passive acrobot must time out");
+    }
+
+    #[test]
+    fn resonant_torque_swings_up() {
+        // Torque with the elbow's velocity direction pumps energy in.
+        let mut env = Acrobot::new(2);
+        let mut obs = env.reset();
+        let mut steps = 0;
+        loop {
+            let a = if obs[5] >= 0.0 { 2 } else { 0 };
+            let out = env.step(&Action::Discrete(a));
+            obs = out.obs;
+            steps += 1;
+            if out.done {
+                break;
+            }
+        }
+        assert!(steps < MAX_STEPS, "energy pumping should reach the goal, took {steps}");
+    }
+
+    #[test]
+    fn velocities_stay_clamped() {
+        let mut env = Acrobot::new(3);
+        env.reset();
+        for _ in 0..100 {
+            let out = env.step(&Action::Discrete(2));
+            assert!(out.obs[4].abs() <= 1.0 + 1e-6);
+            assert!(out.obs[5].abs() <= 1.0 + 1e-6);
+            if out.done {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn observations_are_unit_circle_pairs() {
+        let mut env = Acrobot::new(4);
+        let obs = env.reset();
+        assert!((obs[0] * obs[0] + obs[1] * obs[1] - 1.0).abs() < 1e-5);
+        assert!((obs[2] * obs[2] + obs[3] * obs[3] - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,142 @@
+//! CartPole — the discrete-control stand-in for Atari "Pong" (paper §5.1).
+//!
+//! Standard Barto–Sutton–Anderson dynamics with the OpenAI Gym
+//! parameterization: episodes end when the pole falls past ±12°, the cart
+//! leaves ±2.4, or after 500 steps. Reward is +1 per surviving step, so the
+//! maximum episode reward is 500.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::env::{Action, ActionSpace, Environment, StepOutcome};
+
+const GRAVITY: f32 = 9.8;
+const MASS_CART: f32 = 1.0;
+const MASS_POLE: f32 = 0.1;
+const TOTAL_MASS: f32 = MASS_CART + MASS_POLE;
+const POLE_HALF_LENGTH: f32 = 0.5;
+const POLE_MASS_LENGTH: f32 = MASS_POLE * POLE_HALF_LENGTH;
+const FORCE_MAG: f32 = 10.0;
+const TAU: f32 = 0.02;
+const THETA_LIMIT: f32 = 12.0 * std::f32::consts::PI / 180.0;
+const X_LIMIT: f32 = 2.4;
+const MAX_STEPS: usize = 500;
+
+/// The CartPole balancing task. Observations are
+/// `[x, x_dot, theta, theta_dot]`; actions are 0 (push left) / 1 (push
+/// right).
+#[derive(Debug)]
+pub struct CartPole {
+    state: [f32; 4],
+    steps: usize,
+    done: bool,
+    rng: StdRng,
+}
+
+impl CartPole {
+    /// A new CartPole with its own seeded RNG for initial-state jitter.
+    pub fn new(seed: u64) -> Self {
+        CartPole { state: [0.0; 4], steps: 0, done: true, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Environment for CartPole {
+    fn obs_dim(&self) -> usize {
+        4
+    }
+
+    fn action_space(&self) -> ActionSpace {
+        ActionSpace::Discrete(2)
+    }
+
+    fn reset(&mut self) -> Vec<f32> {
+        for s in &mut self.state {
+            *s = self.rng.gen_range(-0.05..0.05);
+        }
+        self.steps = 0;
+        self.done = false;
+        self.state.to_vec()
+    }
+
+    fn step(&mut self, action: &Action) -> StepOutcome {
+        assert!(!self.done, "step() after done without reset()");
+        let a = action.discrete();
+        assert!(a < 2, "cart-pole action out of range");
+        let force = if a == 1 { FORCE_MAG } else { -FORCE_MAG };
+        let [x, x_dot, theta, theta_dot] = self.state;
+        let cos = theta.cos();
+        let sin = theta.sin();
+        let temp = (force + POLE_MASS_LENGTH * theta_dot * theta_dot * sin) / TOTAL_MASS;
+        let theta_acc = (GRAVITY * sin - cos * temp)
+            / (POLE_HALF_LENGTH * (4.0 / 3.0 - MASS_POLE * cos * cos / TOTAL_MASS));
+        let x_acc = temp - POLE_MASS_LENGTH * theta_acc * cos / TOTAL_MASS;
+        self.state = [
+            x + TAU * x_dot,
+            x_dot + TAU * x_acc,
+            theta + TAU * theta_dot,
+            theta_dot + TAU * theta_acc,
+        ];
+        self.steps += 1;
+        let fell = self.state[0].abs() > X_LIMIT || self.state[2].abs() > THETA_LIMIT;
+        self.done = fell || self.steps >= MAX_STEPS;
+        StepOutcome { obs: self.state.to_vec(), reward: 1.0, done: self.done }
+    }
+
+    fn name(&self) -> &'static str {
+        "CartPole"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_policy(mut policy: impl FnMut(&[f32]) -> usize, seed: u64) -> (f32, usize) {
+        let mut env = CartPole::new(seed);
+        let mut obs = env.reset();
+        let mut total = 0.0;
+        let mut steps = 0;
+        loop {
+            let out = env.step(&Action::Discrete(policy(&obs)));
+            total += out.reward;
+            steps += 1;
+            obs = out.obs;
+            if out.done {
+                return (total, steps);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_push_fails_quickly() {
+        let (reward, steps) = run_policy(|_| 1, 0);
+        assert!(steps < 100, "constant force should topple the pole, took {steps}");
+        assert_eq!(reward, steps as f32);
+    }
+
+    #[test]
+    fn angle_feedback_beats_constant_policy() {
+        // Push toward the lean: a classic stabilizing heuristic.
+        let (good, _) = run_policy(|obs| if obs[2] > 0.0 { 1 } else { 0 }, 0);
+        let (bad, _) = run_policy(|_| 1, 0);
+        assert!(good > 2.0 * bad, "feedback {good} vs constant {bad}");
+    }
+
+    #[test]
+    fn episode_caps_at_500() {
+        // The feedback policy balances essentially forever; the cap kicks in.
+        let (reward, steps) =
+            run_policy(|obs| if obs[2] + 0.1 * obs[3] > 0.0 { 1 } else { 0 }, 3);
+        assert!(steps <= 500);
+        assert_eq!(reward, steps as f32);
+    }
+
+    #[test]
+    fn reset_jitters_initial_state() {
+        let mut env = CartPole::new(9);
+        let a = env.reset();
+        let b = env.reset();
+        assert_ne!(a, b);
+        assert!(a.iter().all(|v| v.abs() < 0.05));
+    }
+}

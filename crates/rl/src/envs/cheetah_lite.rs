@@ -1,0 +1,179 @@
+//! CheetahLite — a planar locomotion task standing in for MuJoCo
+//! "HalfCheetah" (paper §5.1): multi-dimensional continuous control with a
+//! forward-velocity reward and a quadratic control cost.
+//!
+//! The dynamics are a deliberately simple mass–spring "gait" model: two
+//! actuated joints drive the body's forward acceleration through a phase
+//! coupling, so high reward requires the joints to oscillate coherently —
+//! enough structure that DDPG has something nontrivial to learn, without a
+//! physics engine.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::env::{Action, ActionSpace, Environment, StepOutcome};
+
+const DT: f32 = 0.05;
+const MAX_STEPS: usize = 200;
+const JOINT_LIMIT: f32 = 1.5;
+const MAX_ACTION: f32 = 1.0;
+
+/// A 6-observation, 2-action planar runner.
+///
+/// State: body velocity `v`, two joint angles `q0, q1`, two joint velocities
+/// `dq0, dq1`, and the gait phase. Actions torque the joints; forward thrust
+/// is produced when the joints swing out of phase (`q0 · dq1 - q1 · dq0`),
+/// and drag pulls `v` back toward zero. Reward is
+/// `v - 0.1·(u0² + u1²)` per step.
+#[derive(Debug)]
+pub struct CheetahLite {
+    v: f32,
+    q: [f32; 2],
+    dq: [f32; 2],
+    phase: f32,
+    steps: usize,
+    done: bool,
+    rng: StdRng,
+}
+
+impl CheetahLite {
+    /// A new runner with its own seeded RNG for initial-state jitter.
+    pub fn new(seed: u64) -> Self {
+        CheetahLite {
+            v: 0.0,
+            q: [0.0; 2],
+            dq: [0.0; 2],
+            phase: 0.0,
+            steps: 0,
+            done: true,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn observe(&self) -> Vec<f32> {
+        vec![self.v, self.q[0], self.q[1], self.dq[0], self.dq[1], self.phase.sin()]
+    }
+}
+
+impl Environment for CheetahLite {
+    fn obs_dim(&self) -> usize {
+        6
+    }
+
+    fn action_space(&self) -> ActionSpace {
+        ActionSpace::Continuous { dim: 2, low: -MAX_ACTION, high: MAX_ACTION }
+    }
+
+    fn reset(&mut self) -> Vec<f32> {
+        self.v = 0.0;
+        for q in &mut self.q {
+            *q = self.rng.gen_range(-0.1..0.1);
+        }
+        for dq in &mut self.dq {
+            *dq = self.rng.gen_range(-0.1..0.1);
+        }
+        self.phase = 0.0;
+        self.steps = 0;
+        self.done = false;
+        self.observe()
+    }
+
+    fn step(&mut self, action: &Action) -> StepOutcome {
+        assert!(!self.done, "step() after done without reset()");
+        let act = action.continuous();
+        assert_eq!(act.len(), 2, "cheetah-lite expects 2 action dims");
+        let u = [act[0].clamp(-MAX_ACTION, MAX_ACTION), act[1].clamp(-MAX_ACTION, MAX_ACTION)];
+        // Joint dynamics: torque, spring restoring force, damping.
+        for (i, &torque) in u.iter().enumerate() {
+            let acc = 8.0 * torque - 4.0 * self.q[i] - 0.5 * self.dq[i];
+            self.dq[i] += acc * DT;
+            self.q[i] = (self.q[i] + self.dq[i] * DT).clamp(-JOINT_LIMIT, JOINT_LIMIT);
+        }
+        // Out-of-phase joint swing produces forward thrust; drag decays v.
+        let thrust = (self.q[1] * self.dq[0] - self.q[0] * self.dq[1]).clamp(-4.0, 4.0);
+        self.v += (2.0 * thrust - 0.8 * self.v) * DT;
+        self.phase += DT * 2.0 * std::f32::consts::PI;
+        self.steps += 1;
+        self.done = self.steps >= MAX_STEPS;
+        let reward = self.v - 0.1 * (u[0] * u[0] + u[1] * u[1]);
+        StepOutcome { obs: self.observe(), reward, done: self.done }
+    }
+
+    fn name(&self) -> &'static str {
+        "CheetahLite"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total_reward(mut policy: impl FnMut(&[f32], usize) -> [f32; 2], seed: u64) -> f32 {
+        let mut env = CheetahLite::new(seed);
+        let mut obs = env.reset();
+        let mut total = 0.0;
+        let mut t = 0;
+        loop {
+            let a = policy(&obs, t);
+            let out = env.step(&Action::Continuous(a.to_vec()));
+            total += out.reward;
+            obs = out.obs;
+            t += 1;
+            if out.done {
+                return total;
+            }
+        }
+    }
+
+    #[test]
+    fn idle_policy_scores_near_zero() {
+        let r = total_reward(|_, _| [0.0, 0.0], 0);
+        assert!(r.abs() < 1.0, "idle reward should be ~0, got {r}");
+    }
+
+    #[test]
+    fn out_of_phase_oscillation_runs_forward() {
+        // A quadrature "gait" produces sustained thrust.
+        let gait = |_: &[f32], t: usize| {
+            let ph = t as f32 * DT * 2.0 * std::f32::consts::PI;
+            [ph.sin(), ph.cos()]
+        };
+        let r = total_reward(gait, 0);
+        assert!(r > 20.0, "gait should earn substantial reward, got {r}");
+    }
+
+    #[test]
+    fn in_phase_oscillation_earns_less() {
+        let in_phase = |_: &[f32], t: usize| {
+            let ph = t as f32 * DT * 2.0 * std::f32::consts::PI;
+            [ph.sin(), ph.sin()]
+        };
+        let quadrature = |_: &[f32], t: usize| {
+            let ph = t as f32 * DT * 2.0 * std::f32::consts::PI;
+            [ph.sin(), ph.cos()]
+        };
+        assert!(total_reward(quadrature, 1) > total_reward(in_phase, 1) + 10.0);
+    }
+
+    #[test]
+    fn joint_angles_stay_bounded() {
+        let mut env = CheetahLite::new(2);
+        env.reset();
+        for _ in 0..MAX_STEPS {
+            let out = env.step(&Action::Continuous(vec![1.0, -1.0]));
+            assert!(out.obs[1].abs() <= JOINT_LIMIT + 1e-5);
+            assert!(out.obs[2].abs() <= JOINT_LIMIT + 1e-5);
+            if out.done {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2 action dims")]
+    fn wrong_action_arity_panics() {
+        let mut env = CheetahLite::new(0);
+        env.reset();
+        let _ = env.step(&Action::Continuous(vec![0.0]));
+    }
+}

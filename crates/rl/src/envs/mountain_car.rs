@@ -1,0 +1,140 @@
+//! MountainCar — a second discrete-control task (classic Moore 1990 /
+//! Gym dynamics) exercising sparse-reward exploration, available for
+//! experiments beyond the paper's four benchmark pairings.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::env::{Action, ActionSpace, Environment, StepOutcome};
+
+const MIN_POS: f32 = -1.2;
+const MAX_POS: f32 = 0.6;
+const MAX_SPEED: f32 = 0.07;
+const GOAL_POS: f32 = 0.5;
+const FORCE: f32 = 0.001;
+const GRAVITY: f32 = 0.0025;
+const MAX_STEPS: usize = 200;
+
+/// The underpowered car in a valley. Observations are
+/// `[position, velocity]`; actions are 0 (push left), 1 (coast),
+/// 2 (push right). Reward is −1 per step until the goal at `x ≥ 0.5`.
+#[derive(Debug)]
+pub struct MountainCar {
+    position: f32,
+    velocity: f32,
+    steps: usize,
+    done: bool,
+    rng: StdRng,
+}
+
+impl MountainCar {
+    /// A new car with its own seeded RNG for initial positions.
+    pub fn new(seed: u64) -> Self {
+        MountainCar {
+            position: 0.0,
+            velocity: 0.0,
+            steps: 0,
+            done: true,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Environment for MountainCar {
+    fn obs_dim(&self) -> usize {
+        2
+    }
+
+    fn action_space(&self) -> ActionSpace {
+        ActionSpace::Discrete(3)
+    }
+
+    fn reset(&mut self) -> Vec<f32> {
+        self.position = self.rng.gen_range(-0.6..-0.4);
+        self.velocity = 0.0;
+        self.steps = 0;
+        self.done = false;
+        vec![self.position, self.velocity]
+    }
+
+    fn step(&mut self, action: &Action) -> StepOutcome {
+        assert!(!self.done, "step() after done without reset()");
+        let a = action.discrete();
+        assert!(a < 3, "mountain-car action out of range");
+        let push = (a as f32 - 1.0) * FORCE;
+        self.velocity = (self.velocity + push - GRAVITY * (3.0 * self.position).cos())
+            .clamp(-MAX_SPEED, MAX_SPEED);
+        self.position = (self.position + self.velocity).clamp(MIN_POS, MAX_POS);
+        if self.position <= MIN_POS && self.velocity < 0.0 {
+            self.velocity = 0.0;
+        }
+        self.steps += 1;
+        let at_goal = self.position >= GOAL_POS;
+        self.done = at_goal || self.steps >= MAX_STEPS;
+        StepOutcome {
+            obs: vec![self.position, self.velocity],
+            reward: -1.0,
+            done: self.done,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "MountainCar"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(mut policy: impl FnMut(&[f32]) -> usize, seed: u64) -> (f32, bool) {
+        let mut env = MountainCar::new(seed);
+        let mut obs = env.reset();
+        let mut total = 0.0;
+        loop {
+            let out = env.step(&Action::Discrete(policy(&obs)));
+            total += out.reward;
+            obs = out.obs;
+            if out.done {
+                return (total, obs[0] >= GOAL_POS);
+            }
+        }
+    }
+
+    #[test]
+    fn coasting_never_reaches_the_goal() {
+        let (reward, reached) = run(|_| 1, 0);
+        assert!(!reached);
+        assert_eq!(reward, -(MAX_STEPS as f32));
+    }
+
+    #[test]
+    fn constant_right_push_is_not_enough() {
+        // The defining property: the car is underpowered.
+        let (_, reached) = run(|_| 2, 0);
+        assert!(!reached, "direct push must fail on MountainCar");
+    }
+
+    #[test]
+    fn momentum_policy_reaches_the_goal() {
+        // Push in the direction of travel to pump energy.
+        let (reward, reached) = run(|o| if o[1] >= 0.0 { 2 } else { 0 }, 0);
+        assert!(reached, "energy pumping should solve it");
+        assert!(reward > -(MAX_STEPS as f32));
+    }
+
+    #[test]
+    fn velocity_stays_clamped() {
+        let mut env = MountainCar::new(3);
+        let mut obs = env.reset();
+        for _ in 0..MAX_STEPS {
+            let out = env.step(&Action::Discrete(if obs[1] >= 0.0 { 2 } else { 0 }));
+            obs = out.obs;
+            assert!(obs[1].abs() <= MAX_SPEED + 1e-6);
+            assert!((MIN_POS..=MAX_POS).contains(&obs[0]));
+            if out.done {
+                break;
+            }
+        }
+    }
+}

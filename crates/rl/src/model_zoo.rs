@@ -1,0 +1,280 @@
+//! Model configurations matching the paper's Table 1, plus the "lite"
+//! agents used for convergence experiments.
+//!
+//! Table 1 of the paper:
+//!
+//! | Algorithm | Environment | Model size | Training iterations |
+//! |---|---|---|---|
+//! | DQN  | Atari (Pong)        | 6.41 MB   | 200.00 M |
+//! | A2C  | Atari (Qbert)       | 3.31 MB   | 2.00 M   |
+//! | PPO  | MuJoCo (Hopper)     | 40.02 KB  | 0.15 M   |
+//! | DDPG | MuJoCo (HalfCheetah)| 157.52 KB | 2.50 M   |
+//!
+//! The "paper-sized" specs here reproduce those byte sizes (within a small
+//! rounding margin) with MLPs, so the gradient vectors on the simulated
+//! wire have the same length as the paper's. The lite specs are the small
+//! networks used when real convergence must be measured on a laptop.
+
+use crate::algo::{A2cAgent, A2cConfig, Agent, DdpgAgent, DdpgConfig, DqnAgent, DqnConfig, PpoAgent, PpoConfig};
+use crate::envs::{CartPole, CheetahLite, GridWorld, Pendulum};
+
+/// One of the paper's four benchmark algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Deep Q-Network.
+    Dqn,
+    /// Advantage Actor-Critic.
+    A2c,
+    /// Proximal Policy Optimization.
+    Ppo,
+    /// Deep Deterministic Policy Gradient.
+    Ddpg,
+}
+
+impl Algorithm {
+    /// All four, in the paper's order.
+    pub const ALL: [Algorithm; 4] = [Algorithm::Dqn, Algorithm::A2c, Algorithm::Ppo, Algorithm::Ddpg];
+
+    /// Display name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Dqn => "DQN",
+            Algorithm::A2c => "A2C",
+            Algorithm::Ppo => "PPO",
+            Algorithm::Ddpg => "DDPG",
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A (possibly multi-network) model shape with paper-reported metadata.
+#[derive(Debug, Clone)]
+pub struct ModelSpec {
+    /// The algorithm this model belongs to.
+    pub algorithm: Algorithm,
+    /// The paper's environment name.
+    pub paper_environment: &'static str,
+    /// Layer sizes of each constituent network (e.g. DDPG has two).
+    pub networks: Vec<Vec<usize>>,
+    /// Model size reported in Table 1, in bytes.
+    pub paper_bytes: u64,
+    /// Training iterations reported in Table 1.
+    pub paper_iterations: u64,
+}
+
+impl ModelSpec {
+    /// Total scalar parameters across all networks.
+    pub fn param_count(&self) -> usize {
+        self.networks.iter().map(|sizes| mlp_param_count(sizes)).sum()
+    }
+
+    /// Model size in bytes (4 bytes per f32 parameter).
+    pub fn bytes(&self) -> usize {
+        self.param_count() * 4
+    }
+
+    /// Relative error of this spec's byte size vs. the paper's.
+    pub fn size_error(&self) -> f64 {
+        (self.bytes() as f64 - self.paper_bytes as f64).abs() / self.paper_bytes as f64
+    }
+}
+
+/// Parameters of an MLP with the given layer sizes.
+pub fn mlp_param_count(sizes: &[usize]) -> usize {
+    sizes.windows(2).map(|w| w[0] * w[1] + w[1]).sum()
+}
+
+/// Hidden width `h` such that a 2-hidden-layer MLP `[input, h, h, output]`
+/// has approximately `target` parameters (never exceeding it by much):
+/// solves `h² + h(input + output + 2) + output = target`.
+pub fn hidden_for_target(target: usize, input: usize, output: usize) -> usize {
+    let b = (input + output + 2) as f64;
+    let c = output as f64 - target as f64;
+    let h = (-b + (b * b - 4.0 * c).sqrt()) / 2.0;
+    assert!(h >= 1.0, "target {target} too small for input {input} / output {output}");
+    h.round() as usize
+}
+
+/// Paper-sized DQN model (Table 1: 6.41 MB, 200 M iterations).
+pub fn paper_dqn() -> ModelSpec {
+    let (input, output) = (512, 6);
+    let h = hidden_for_target(6_41 * 1_048_576 / 100 / 4, input, output);
+    ModelSpec {
+        algorithm: Algorithm::Dqn,
+        paper_environment: "Atari Pong",
+        networks: vec![vec![input, h, h, output]],
+        paper_bytes: (6.41f64 * 1_048_576.0) as u64,
+        paper_iterations: 200_000_000,
+    }
+}
+
+/// Paper-sized A2C model (Table 1: 3.31 MB, 2 M iterations).
+pub fn paper_a2c() -> ModelSpec {
+    let (input, output) = (512, 6);
+    let h = hidden_for_target((3.31f64 * 1_048_576.0 / 4.0) as usize, input, output);
+    ModelSpec {
+        algorithm: Algorithm::A2c,
+        paper_environment: "Atari Qbert",
+        networks: vec![vec![input, h, h, output]],
+        paper_bytes: (3.31f64 * 1_048_576.0) as u64,
+        paper_iterations: 2_000_000,
+    }
+}
+
+/// Paper-sized PPO model (Table 1: 40.02 KB, 0.15 M iterations).
+pub fn paper_ppo() -> ModelSpec {
+    let (input, output) = (11, 3);
+    let h = hidden_for_target((40.02f64 * 1_024.0 / 4.0) as usize, input, output);
+    ModelSpec {
+        algorithm: Algorithm::Ppo,
+        paper_environment: "MuJoCo Hopper",
+        networks: vec![vec![input, h, h, output]],
+        paper_bytes: (40.02f64 * 1_024.0) as u64,
+        paper_iterations: 150_000,
+    }
+}
+
+/// Paper-sized DDPG dual model (Table 1: 157.52 KB total, 2.5 M iterations).
+pub fn paper_ddpg() -> ModelSpec {
+    let (obs, act) = (17, 6);
+    let half = (157.52f64 * 1_024.0 / 4.0 / 2.0) as usize;
+    let ha = hidden_for_target(half, obs, act);
+    let hc = hidden_for_target(half, obs + act, 1);
+    ModelSpec {
+        algorithm: Algorithm::Ddpg,
+        paper_environment: "MuJoCo HalfCheetah",
+        networks: vec![vec![obs, ha, ha, act], vec![obs + act, hc, hc, 1]],
+        paper_bytes: (157.52f64 * 1_024.0) as u64,
+        paper_iterations: 2_500_000,
+    }
+}
+
+/// The paper-sized model for a given algorithm.
+pub fn paper_model(alg: Algorithm) -> ModelSpec {
+    match alg {
+        Algorithm::Dqn => paper_dqn(),
+        Algorithm::A2c => paper_a2c(),
+        Algorithm::Ppo => paper_ppo(),
+        Algorithm::Ddpg => paper_ddpg(),
+    }
+}
+
+/// All four paper-sized models in Table 1 order.
+pub fn all_paper_models() -> Vec<ModelSpec> {
+    Algorithm::ALL.iter().map(|&a| paper_model(a)).collect()
+}
+
+/// Builds the "lite" worker agent used for convergence experiments:
+/// small networks on the stand-in environments (see `crate::envs`).
+///
+/// Different `seed`s give workers independent exploration while algorithm
+/// structure stays identical.
+pub fn make_lite_agent(alg: Algorithm, seed: u64) -> Box<dyn Agent> {
+    make_lite_agent_scaled(alg, seed, 1.0)
+}
+
+/// Like [`make_lite_agent`], with every learning rate multiplied by
+/// `lr_scale`. Asynchronous experiments use a reduced rate (applied
+/// identically to all async strategies), the standard practice for
+/// stale-gradient training.
+pub fn make_lite_agent_scaled(alg: Algorithm, seed: u64, lr_scale: f32) -> Box<dyn Agent> {
+    assert!(lr_scale > 0.0, "lr_scale must be positive");
+    match alg {
+        Algorithm::Dqn => {
+            let mut cfg = DqnConfig::default();
+            cfg.lr *= lr_scale;
+            Box::new(DqnAgent::new(
+                Box::new(CartPole::new(seed)),
+                cfg,
+                seed.wrapping_add(0x9e37),
+            ))
+        }
+        Algorithm::A2c => {
+            let mut cfg = A2cConfig::default();
+            cfg.lr *= lr_scale;
+            Box::new(A2cAgent::new(
+                Box::new(GridWorld::new(8, 0.1, seed)),
+                cfg,
+                seed.wrapping_add(0x9e37),
+            ))
+        }
+        Algorithm::Ppo => {
+            let mut cfg = PpoConfig::default();
+            cfg.lr *= lr_scale;
+            Box::new(PpoAgent::new(
+                Box::new(Pendulum::balance(seed)),
+                cfg,
+                seed.wrapping_add(0x9e37),
+            ))
+        }
+        Algorithm::Ddpg => {
+            let mut cfg = DdpgConfig::default();
+            cfg.actor_lr *= lr_scale;
+            cfg.critic_lr *= lr_scale;
+            Box::new(DdpgAgent::new(
+                Box::new(CheetahLite::new(seed)),
+                cfg,
+                seed.wrapping_add(0x9e37),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlp_param_count_matches_hand_math() {
+        assert_eq!(mlp_param_count(&[4, 8, 2]), 4 * 8 + 8 + 8 * 2 + 2);
+    }
+
+    #[test]
+    fn hidden_solver_hits_target() {
+        let h = hidden_for_target(10_000, 11, 3);
+        let got = mlp_param_count(&[11, h, h, 3]);
+        assert!((got as f64 - 10_000.0).abs() / 10_000.0 < 0.05, "{got}");
+    }
+
+    #[test]
+    fn paper_models_match_table1_sizes_within_one_percent() {
+        for spec in all_paper_models() {
+            assert!(
+                spec.size_error() < 0.01,
+                "{}: {} bytes vs paper {} ({}% off)",
+                spec.algorithm,
+                spec.bytes(),
+                spec.paper_bytes,
+                spec.size_error() * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn ddpg_spec_is_dual_model() {
+        assert_eq!(paper_ddpg().networks.len(), 2);
+    }
+
+    #[test]
+    fn table1_iteration_counts() {
+        assert_eq!(paper_dqn().paper_iterations, 200_000_000);
+        assert_eq!(paper_a2c().paper_iterations, 2_000_000);
+        assert_eq!(paper_ppo().paper_iterations, 150_000);
+        assert_eq!(paper_ddpg().paper_iterations, 2_500_000);
+    }
+
+    #[test]
+    fn lite_agents_expose_consistent_params() {
+        for alg in Algorithm::ALL {
+            let mut agent = make_lite_agent(alg, 0);
+            let p = agent.params();
+            assert_eq!(p.len(), agent.param_count(), "{alg}");
+            assert_eq!(agent.name(), alg.name());
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Experience replay for off-policy algorithms (DQN, DDPG).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::env::Action;
+
+/// One environment transition.
+#[derive(Debug, Clone)]
+pub struct Transition {
+    /// Observation before the action.
+    pub obs: Vec<f32>,
+    /// Action taken.
+    pub action: Action,
+    /// Reward received.
+    pub reward: f32,
+    /// Observation after the action.
+    pub next_obs: Vec<f32>,
+    /// Whether the episode ended at this step.
+    pub done: bool,
+}
+
+/// A bounded FIFO replay buffer with uniform sampling.
+///
+/// # Examples
+///
+/// ```
+/// use iswitch_rl::{Action, ReplayBuffer, Transition};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut buf = ReplayBuffer::new(100);
+/// buf.push(Transition {
+///     obs: vec![0.0],
+///     action: Action::Discrete(0),
+///     reward: 1.0,
+///     next_obs: vec![1.0],
+///     done: false,
+/// });
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let batch = buf.sample(1, &mut rng);
+/// assert_eq!(batch.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    data: Vec<Transition>,
+    write: usize,
+}
+
+impl ReplayBuffer {
+    /// A buffer holding at most `capacity` transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        ReplayBuffer { capacity, data: Vec::new(), write: 0 }
+    }
+
+    /// Appends a transition, evicting the oldest once full.
+    pub fn push(&mut self, t: Transition) {
+        if self.data.len() < self.capacity {
+            self.data.push(t);
+        } else {
+            self.data[self.write] = t;
+        }
+        self.write = (self.write + 1) % self.capacity;
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Uniformly samples `batch` transitions with replacement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty.
+    pub fn sample(&self, batch: usize, rng: &mut StdRng) -> Vec<&Transition> {
+        assert!(!self.data.is_empty(), "cannot sample an empty replay buffer");
+        (0..batch).map(|_| &self.data[rng.gen_range(0..self.data.len())]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn t(reward: f32) -> Transition {
+        Transition {
+            obs: vec![0.0],
+            action: Action::Discrete(0),
+            reward,
+            next_obs: vec![0.0],
+            done: false,
+        }
+    }
+
+    #[test]
+    fn eviction_is_fifo() {
+        let mut buf = ReplayBuffer::new(3);
+        for i in 0..5 {
+            buf.push(t(i as f32));
+        }
+        assert_eq!(buf.len(), 3);
+        let rewards: Vec<f32> = buf.data.iter().map(|x| x.reward).collect();
+        // Slots hold the 3 newest transitions (2, 3, 4) in ring order.
+        let mut sorted = rewards.clone();
+        sorted.sort_by(f32::total_cmp);
+        assert_eq!(sorted, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mut buf = ReplayBuffer::new(10);
+        for i in 0..10 {
+            buf.push(t(i as f32));
+        }
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            buf.sample(5, &mut rng).iter().map(|t| t.reward).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(1), draw(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty replay buffer")]
+    fn sampling_empty_panics() {
+        let buf = ReplayBuffer::new(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = buf.sample(1, &mut rng);
+    }
+}

@@ -1,0 +1,274 @@
+//! 2-D convolution for pixel observations.
+//!
+//! The paper's DQN/A2C benchmarks run on Atari frames through small conv
+//! stacks; this module provides a direct (im2col-free, loop-based) Conv2d
+//! with manual backprop so pixel-based stand-in environments exercise the
+//! same model structure. Layout: tensors are flattened `[batch,
+//! channels*height*width]` rows entering the layer, reshaped internally.
+
+use rand::rngs::StdRng;
+
+use crate::init;
+use crate::nn::Module;
+use crate::tensor::Tensor;
+
+/// A 2-D convolution layer with stride support and no padding.
+///
+/// Input rows are `in_channels * in_h * in_w` long (channel-major); output
+/// rows are `out_channels * out_h * out_w` with
+/// `out_h = (in_h - k) / stride + 1` (likewise for width).
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    in_h: usize,
+    in_w: usize,
+    k: usize,
+    stride: usize,
+    /// Weights `[out_c, in_c, k, k]`, flattened.
+    w: Vec<f32>,
+    b: Vec<f32>,
+    gw: Vec<f32>,
+    gb: Vec<f32>,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// A new conv layer with He-uniform weights and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit the input or `stride` is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        in_h: usize,
+        in_w: usize,
+        k: usize,
+        stride: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        assert!(k <= in_h && k <= in_w, "kernel larger than input");
+        let fan_in = in_channels * k * k;
+        let mut w = vec![0.0; out_channels * in_channels * k * k];
+        init::he_uniform(&mut w, fan_in, rng);
+        Conv2d {
+            in_channels,
+            out_channels,
+            in_h,
+            in_w,
+            k,
+            stride,
+            gw: vec![0.0; w.len()],
+            w,
+            b: vec![0.0; out_channels],
+            gb: vec![0.0; out_channels],
+            cached_input: None,
+        }
+    }
+
+    /// Output spatial height.
+    pub fn out_h(&self) -> usize {
+        (self.in_h - self.k) / self.stride + 1
+    }
+
+    /// Output spatial width.
+    pub fn out_w(&self) -> usize {
+        (self.in_w - self.k) / self.stride + 1
+    }
+
+    /// Length of one output row (`out_channels * out_h * out_w`).
+    pub fn out_len(&self) -> usize {
+        self.out_channels * self.out_h() * self.out_w()
+    }
+
+    /// Length of one input row.
+    pub fn in_len(&self) -> usize {
+        self.in_channels * self.in_h * self.in_w
+    }
+
+    fn w_at(&self, oc: usize, ic: usize, ky: usize, kx: usize) -> f32 {
+        self.w[((oc * self.in_channels + ic) * self.k + ky) * self.k + kx]
+    }
+
+    fn gw_at_mut(&mut self, oc: usize, ic: usize, ky: usize, kx: usize) -> &mut f32 {
+        &mut self.gw[((oc * self.in_channels + ic) * self.k + ky) * self.k + kx]
+    }
+}
+
+impl Module for Conv2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.cols(), self.in_len(), "Conv2d input width mismatch");
+        let batch = input.rows();
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let mut out = Tensor::zeros(&[batch, self.out_len()]);
+        for n in 0..batch {
+            let row = input.row(n);
+            for oc in 0..self.out_channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = self.b[oc];
+                        for ic in 0..self.in_channels {
+                            let plane = &row[ic * self.in_h * self.in_w..];
+                            for ky in 0..self.k {
+                                let iy = oy * self.stride + ky;
+                                let base = iy * self.in_w + ox * self.stride;
+                                for kx in 0..self.k {
+                                    acc += self.w_at(oc, ic, ky, kx) * plane[base + kx];
+                                }
+                            }
+                        }
+                        out.data_mut()[n * self.out_len() + (oc * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cached_input.take().expect("backward before forward");
+        let batch = input.rows();
+        let (oh, ow) = (self.out_h(), self.out_w());
+        assert_eq!(grad_out.cols(), self.out_len(), "Conv2d grad width mismatch");
+        let mut grad_in = Tensor::zeros(&[batch, self.in_len()]);
+        for n in 0..batch {
+            let row = input.row(n).to_vec();
+            for oc in 0..self.out_channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = grad_out.at(n, (oc * oh + oy) * ow + ox);
+                        if g == 0.0 {
+                            continue;
+                        }
+                        self.gb[oc] += g;
+                        for ic in 0..self.in_channels {
+                            let plane_off = ic * self.in_h * self.in_w;
+                            for ky in 0..self.k {
+                                let iy = oy * self.stride + ky;
+                                let base = plane_off + iy * self.in_w + ox * self.stride;
+                                for kx in 0..self.k {
+                                    *self.gw_at_mut(oc, ic, ky, kx) += g * row[base + kx];
+                                    grad_in.data_mut()[n * self.in_len() + base + kx] +=
+                                        g * self.w_at(oc, ic, ky, kx);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.cached_input = Some(input);
+        grad_in
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        f(&mut self.w, &mut self.gw);
+        f(&mut self.b, &mut self.gb);
+    }
+
+    fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::{grad_vec, param_vec, set_param_vec, zero_grads};
+    use crate::{mse, Sequential};
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // 1x1 kernel with weight 1, bias 0 on a single channel.
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 1, 3, 3, 1, 1, &mut rng);
+        set_param_vec(&mut conv, &[1.0, 0.0]);
+        let x = Tensor::from_shape_vec(&[1, 9], (1..=9).map(|v| v as f32).collect());
+        let y = conv.forward(&x);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn known_3x3_sum_kernel() {
+        // All-ones 3x3 kernel over a 3x3 input = sum of the input.
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 1, 3, 3, 3, 1, &mut rng);
+        let mut p = vec![1.0f32; 9];
+        p.push(0.5); // bias
+        set_param_vec(&mut conv, &p);
+        let x = Tensor::from_shape_vec(&[1, 9], (1..=9).map(|v| v as f32).collect());
+        let y = conv.forward(&x);
+        assert_eq!(y.data(), &[45.0 + 0.5]);
+        assert_eq!(conv.out_h(), 1);
+    }
+
+    #[test]
+    fn stride_shrinks_output() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let conv = Conv2d::new(2, 4, 8, 8, 3, 2, &mut rng);
+        assert_eq!(conv.out_h(), 3);
+        assert_eq!(conv.out_w(), 3);
+        assert_eq!(conv.out_len(), 4 * 9);
+        assert_eq!(conv.param_count(), 4 * 2 * 9 + 4);
+    }
+
+    #[test]
+    fn backprop_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut net = Sequential::new()
+            .push(Conv2d::new(1, 2, 5, 5, 3, 1, &mut rng))
+            .push(crate::ReLU::new())
+            .push(crate::Linear::new(2 * 9, 2, &mut rng));
+        let x = Tensor::from_shape_vec(
+            &[2, 25],
+            (0..50).map(|i| ((i * 37) % 11) as f32 / 11.0 - 0.5).collect(),
+        );
+        let target = Tensor::from_rows(vec![vec![1.0, -0.5], vec![0.2, 0.8]]);
+
+        zero_grads(&mut net);
+        let y = net.forward(&x);
+        let (_, dy) = mse(&y, &target);
+        net.backward(&dy);
+        let analytic = grad_vec(&mut net);
+
+        let p0 = param_vec(&mut net);
+        let eps = 1e-3f32;
+        for idx in (0..p0.len()).step_by(5) {
+            let mut loss_at = |delta: f32| {
+                let mut p = p0.clone();
+                p[idx] += delta;
+                set_param_vec(&mut net, &p);
+                let y = net.forward(&x);
+                mse(&y, &target).0
+            };
+            let numeric = (loss_at(eps) - loss_at(-eps)) / (2.0 * eps);
+            assert!(
+                (numeric - analytic[idx]).abs() < 2e-2 * (1.0 + analytic[idx].abs()),
+                "grad mismatch at {idx}: analytic {} vs numeric {numeric}",
+                analytic[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_flows_to_input() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut conv = Conv2d::new(1, 1, 4, 4, 2, 2, &mut rng);
+        let x = Tensor::from_shape_vec(&[1, 16], vec![1.0; 16]);
+        let y = conv.forward(&x);
+        let gin = conv.backward(&Tensor::from_shape_vec(&[1, y.cols()], vec![1.0; y.cols()]));
+        assert_eq!(gin.cols(), 16);
+        assert!(gin.data().iter().any(|&g| g != 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel larger than input")]
+    fn oversized_kernel_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = Conv2d::new(1, 1, 2, 2, 3, 1, &mut rng);
+    }
+}

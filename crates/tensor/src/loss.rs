@@ -1,0 +1,226 @@
+//! Loss functions returning `(loss, gradient-w.r.t.-prediction)` pairs.
+//!
+//! Each function averages over the batch so gradient magnitudes are
+//! batch-size independent, matching the conventions of the reference RL
+//! implementations the paper benchmarks.
+
+use crate::tensor::Tensor;
+
+/// Mean-squared error: `mean((pred - target)^2)`.
+///
+/// Returns the scalar loss and `d loss / d pred`.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    let n = pred.len() as f32;
+    let diff = pred.sub(target);
+    let loss = diff.data().iter().map(|d| d * d).sum::<f32>() / n;
+    let grad = diff.scale(2.0 / n);
+    (loss, grad)
+}
+
+/// Huber (smooth-L1) loss with threshold `delta`, as used by DQN.
+pub fn huber(pred: &Tensor, target: &Tensor, delta: f32) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "huber shape mismatch");
+    assert!(delta > 0.0, "delta must be positive");
+    let n = pred.len() as f32;
+    let mut loss = 0.0;
+    let grad = pred.zip_with(target, |p, t| {
+        let d = p - t;
+        if d.abs() <= delta {
+            loss += 0.5 * d * d;
+            d / n
+        } else {
+            loss += delta * (d.abs() - 0.5 * delta);
+            delta * d.signum() / n
+        }
+    });
+    (loss / n, grad)
+}
+
+/// Row-wise softmax of logits.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let c = logits.cols();
+    let mut out = logits.clone();
+    for row in out.data_mut().chunks_mut(c) {
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for x in row.iter_mut() {
+            *x = (*x - max).exp();
+            sum += *x;
+        }
+        for x in row.iter_mut() {
+            *x /= sum;
+        }
+    }
+    out
+}
+
+/// Row-wise log-softmax of logits (numerically stable).
+pub fn log_softmax(logits: &Tensor) -> Tensor {
+    let c = logits.cols();
+    let mut out = logits.clone();
+    for row in out.data_mut().chunks_mut(c) {
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let log_sum = row.iter().map(|x| (x - max).exp()).sum::<f32>().ln() + max;
+        for x in row.iter_mut() {
+            *x -= log_sum;
+        }
+    }
+    out
+}
+
+/// Cross-entropy between logits and integer class `labels`, averaged over
+/// the batch. Returns the loss and the gradient w.r.t. the logits.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()` or a label is out of range.
+pub fn cross_entropy_with_logits(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(labels.len(), logits.rows(), "one label per row required");
+    let b = logits.rows() as f32;
+    let probs = softmax(logits);
+    let logp = log_softmax(logits);
+    let mut loss = 0.0;
+    let mut grad = probs.scale(1.0 / b);
+    let c = logits.cols();
+    for (r, &label) in labels.iter().enumerate() {
+        assert!(label < c, "label {label} out of range for {c} classes");
+        loss -= logp.at(r, label);
+        grad.data_mut()[r * c + label] -= 1.0 / b;
+    }
+    (loss / b, grad)
+}
+
+/// Entropy of each row's softmax distribution, averaged over the batch,
+/// with its gradient w.r.t. the logits. Used for the entropy bonus in
+/// A2C/PPO.
+pub fn softmax_entropy(logits: &Tensor) -> (f32, Tensor) {
+    let probs = softmax(logits);
+    let logp = log_softmax(logits);
+    let b = logits.rows() as f32;
+    let c = logits.cols();
+    let mut entropy = 0.0;
+    for r in 0..logits.rows() {
+        for j in 0..c {
+            entropy -= probs.at(r, j) * logp.at(r, j);
+        }
+    }
+    entropy /= b;
+    // dH/dlogit_k = -p_k * (logp_k + H_row); derive per row.
+    let mut grad = Tensor::zeros(&[logits.rows(), c]);
+    for r in 0..logits.rows() {
+        let mut h_row = 0.0;
+        for j in 0..c {
+            h_row -= probs.at(r, j) * logp.at(r, j);
+        }
+        for j in 0..c {
+            grad.data_mut()[r * c + j] = -probs.at(r, j) * (logp.at(r, j) + h_row) / b;
+        }
+    }
+    (entropy, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_for_equal_inputs() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0]);
+        let (l, g) = mse(&a, &a);
+        assert_eq!(l, 0.0);
+        assert!(g.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn mse_gradient_is_finite_difference() {
+        let p = Tensor::from_vec(vec![0.5, -1.0]);
+        let t = Tensor::from_vec(vec![0.0, 0.0]);
+        let (_, g) = mse(&p, &t);
+        let eps = 1e-3;
+        for i in 0..2 {
+            let mut pp = p.clone();
+            pp.data_mut()[i] += eps;
+            let lp = mse(&pp, &t).0;
+            pp.data_mut()[i] -= 2.0 * eps;
+            let lm = mse(&pp, &t).0;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - g.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn huber_is_quadratic_inside_linear_outside() {
+        let t = Tensor::from_vec(vec![0.0]);
+        let (l_small, g_small) = huber(&Tensor::from_vec(vec![0.5]), &t, 1.0);
+        assert!((l_small - 0.125).abs() < 1e-6);
+        assert!((g_small.data()[0] - 0.5).abs() < 1e-6);
+        let (l_big, g_big) = huber(&Tensor::from_vec(vec![3.0]), &t, 1.0);
+        assert!((l_big - 2.5).abs() < 1e-6);
+        assert!((g_big.data()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_rows(vec![vec![1.0, 2.0, 3.0], vec![-5.0, 0.0, 5.0]]);
+        let p = softmax(&logits);
+        for r in 0..2 {
+            let sum: f32 = p.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn log_softmax_is_log_of_softmax() {
+        let logits = Tensor::from_rows(vec![vec![0.1, -2.0, 1.3]]);
+        let p = softmax(&logits);
+        let lp = log_softmax(&logits);
+        for (a, b) in p.data().iter().zip(lp.data()) {
+            assert!((a.ln() - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_is_probs_minus_onehot() {
+        let logits = Tensor::from_rows(vec![vec![2.0, 1.0, 0.0]]);
+        let (loss, grad) = cross_entropy_with_logits(&logits, &[0]);
+        let p = softmax(&logits);
+        assert!((grad.at(0, 0) - (p.at(0, 0) - 1.0)).abs() < 1e-5);
+        assert!((grad.at(0, 1) - p.at(0, 1)).abs() < 1e-5);
+        assert!(loss > 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_low_when_confident_and_correct() {
+        let confident = Tensor::from_rows(vec![vec![10.0, -10.0]]);
+        let (l_good, _) = cross_entropy_with_logits(&confident, &[0]);
+        let (l_bad, _) = cross_entropy_with_logits(&confident, &[1]);
+        assert!(l_good < 1e-3);
+        assert!(l_bad > 5.0);
+    }
+
+    #[test]
+    fn entropy_max_for_uniform_logits() {
+        let uniform = Tensor::from_rows(vec![vec![1.0, 1.0, 1.0]]);
+        let (h, g) = softmax_entropy(&uniform);
+        assert!((h - 3.0f32.ln()).abs() < 1e-5);
+        // Gradient at the maximum is ~0.
+        assert!(g.data().iter().all(|x| x.abs() < 1e-6));
+    }
+
+    #[test]
+    fn entropy_gradient_matches_finite_difference() {
+        let logits = Tensor::from_rows(vec![vec![0.5, -0.3, 1.2]]);
+        let (_, g) = softmax_entropy(&logits);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let hp = softmax_entropy(&lp).0;
+            lp.data_mut()[i] -= 2.0 * eps;
+            let hm = softmax_entropy(&lp).0;
+            let numeric = (hp - hm) / (2.0 * eps);
+            assert!((numeric - g.data()[i]).abs() < 1e-3, "at {i}");
+        }
+    }
+}

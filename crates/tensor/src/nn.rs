@@ -1,0 +1,429 @@
+//! Neural-network modules with manual backpropagation.
+//!
+//! The [`Module`] trait is deliberately small: `forward` caches whatever the
+//! layer needs, `backward` accumulates parameter gradients and returns the
+//! gradient with respect to the input. Parameters and their gradients are
+//! exposed through a visitor so they can be flattened into the contiguous
+//! gradient vector that iSwitch segments onto the wire.
+
+use rand::rngs::StdRng;
+
+use crate::init;
+use crate::tensor::Tensor;
+
+/// A differentiable layer.
+pub trait Module: Send {
+    /// Computes the layer output for a `[batch, in]` input, caching state
+    /// needed by [`Module::backward`].
+    fn forward(&mut self, input: &Tensor) -> Tensor;
+
+    /// Backpropagates `grad_out` (`[batch, out]`), **accumulating** into
+    /// parameter gradients and returning the gradient w.r.t. the input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Visits `(params, grads)` slices of every parameter tensor, in a
+    /// stable order.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32]));
+
+    /// Total number of scalar parameters.
+    fn param_count(&self) -> usize;
+}
+
+/// Activation function selector for [`mlp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit.
+    ReLU,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// No activation.
+    Identity,
+}
+
+/// Fully connected layer: `y = x Wᵀ + b` with `W: [out, in]`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: Tensor,
+    b: Tensor,
+    gw: Tensor,
+    gb: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// A new layer with Xavier-uniform weights and zero bias.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut StdRng) -> Self {
+        let mut w = Tensor::zeros(&[out_features, in_features]);
+        init::xavier_uniform(w.data_mut(), in_features, out_features, rng);
+        Linear {
+            w,
+            b: Tensor::zeros(&[out_features]),
+            gw: Tensor::zeros(&[out_features, in_features]),
+            gb: Tensor::zeros(&[out_features]),
+            cached_input: None,
+        }
+    }
+
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        self.w.rows()
+    }
+}
+
+impl Module for Linear {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.cols(), self.in_features(), "Linear input width mismatch");
+        let out = input.matmul_t(&self.w).add_row_broadcast(&self.b);
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cached_input.as_ref().expect("backward before forward");
+        // dW += dYᵀ · X ; db += Σ rows dY ; dX = dY · W
+        let dw = grad_out.t_matmul(x);
+        for (g, d) in self.gw.data_mut().iter_mut().zip(dw.data()) {
+            *g += d;
+        }
+        let db = grad_out.sum_rows();
+        for (g, d) in self.gb.data_mut().iter_mut().zip(db.data()) {
+            *g += d;
+        }
+        grad_out.matmul(&self.w)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        f(self.w.data_mut(), self.gw.data_mut());
+        f(self.b.data_mut(), self.gb.data_mut());
+    }
+
+    fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+/// ReLU activation.
+#[derive(Debug, Clone, Default)]
+pub struct ReLU {
+    cached_input: Option<Tensor>,
+}
+
+impl ReLU {
+    /// A new ReLU layer.
+    pub fn new() -> Self {
+        ReLU::default()
+    }
+}
+
+impl Module for ReLU {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.cached_input = Some(input.clone());
+        input.map(|x| x.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cached_input.as_ref().expect("backward before forward");
+        grad_out.zip_with(x, |g, xi| if xi > 0.0 { g } else { 0.0 })
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+
+    fn param_count(&self) -> usize {
+        0
+    }
+}
+
+/// Tanh activation.
+#[derive(Debug, Clone, Default)]
+pub struct Tanh {
+    cached_output: Option<Tensor>,
+}
+
+impl Tanh {
+    /// A new Tanh layer.
+    pub fn new() -> Self {
+        Tanh::default()
+    }
+}
+
+impl Module for Tanh {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let out = input.map(f32::tanh);
+        self.cached_output = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let y = self.cached_output.as_ref().expect("backward before forward");
+        grad_out.zip_with(y, |g, yi| g * (1.0 - yi * yi))
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+
+    fn param_count(&self) -> usize {
+        0
+    }
+}
+
+/// A chain of modules applied in order.
+pub struct Sequential {
+    layers: Vec<Box<dyn Module>>,
+}
+
+impl Sequential {
+    /// An empty chain.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer, returning the chain (builder style).
+    pub fn push(mut self, layer: impl Module + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Module for Sequential {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+}
+
+/// Builds a multi-layer perceptron with the given layer `sizes`
+/// (input..hidden..output), `hidden` activation between layers, and an
+/// optional `output` activation.
+///
+/// # Panics
+///
+/// Panics if fewer than two sizes are given.
+///
+/// # Examples
+///
+/// ```
+/// use iswitch_tensor::{mlp, Activation, Module, Tensor};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut net = mlp(&[4, 32, 2], Activation::Tanh, None, &mut rng);
+/// let out = net.forward(&Tensor::zeros(&[1, 4]));
+/// assert_eq!(out.shape(), &[1, 2]);
+/// ```
+pub fn mlp(
+    sizes: &[usize],
+    hidden: Activation,
+    output: Option<Activation>,
+    rng: &mut StdRng,
+) -> Sequential {
+    assert!(sizes.len() >= 2, "mlp needs at least input and output sizes");
+    let mut seq = Sequential::new();
+    for i in 0..sizes.len() - 1 {
+        seq = seq.push(Linear::new(sizes[i], sizes[i + 1], rng));
+        let act = if i + 2 == sizes.len() { output.unwrap_or(Activation::Identity) } else { hidden };
+        seq = match act {
+            Activation::ReLU => seq.push(ReLU::new()),
+            Activation::Tanh => seq.push(Tanh::new()),
+            Activation::Identity => seq,
+        };
+    }
+    seq
+}
+
+/// Copies all parameters of `m` into one contiguous vector.
+pub fn param_vec(m: &mut dyn Module) -> Vec<f32> {
+    let mut out = Vec::with_capacity(m.param_count());
+    m.visit_params(&mut |p, _| out.extend_from_slice(p));
+    out
+}
+
+/// Overwrites all parameters of `m` from a flat vector.
+///
+/// # Panics
+///
+/// Panics if `flat.len() != m.param_count()`.
+pub fn set_param_vec(m: &mut dyn Module, flat: &[f32]) {
+    assert_eq!(flat.len(), m.param_count(), "flat parameter length mismatch");
+    let mut off = 0;
+    m.visit_params(&mut |p, _| {
+        p.copy_from_slice(&flat[off..off + p.len()]);
+        off += p.len();
+    });
+}
+
+/// Copies all accumulated gradients of `m` into one contiguous vector.
+pub fn grad_vec(m: &mut dyn Module) -> Vec<f32> {
+    let mut out = Vec::with_capacity(m.param_count());
+    m.visit_params(&mut |_, g| out.extend_from_slice(g));
+    out
+}
+
+/// Zeroes all accumulated gradients of `m`.
+pub fn zero_grads(m: &mut dyn Module) {
+    m.visit_params(&mut |_, g| g.fill(0.0));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::mse;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_forward_matches_hand_math() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut lin = Linear::new(2, 2, &mut rng);
+        set_param_vec(&mut lin, &[1.0, 2.0, 3.0, 4.0, 0.5, -0.5]);
+        // W = [[1,2],[3,4]], b = [0.5,-0.5]; x = [1,1] -> [3.5, 6.5]
+        let y = lin.forward(&Tensor::from_rows(vec![vec![1.0, 1.0]]));
+        assert_eq!(y.data(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn param_vec_round_trips() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = mlp(&[3, 5, 2], Activation::ReLU, None, &mut rng);
+        let p = param_vec(&mut net);
+        assert_eq!(p.len(), net.param_count());
+        assert_eq!(net.param_count(), 3 * 5 + 5 + 5 * 2 + 2);
+        let mut p2 = p.clone();
+        p2[0] += 1.0;
+        set_param_vec(&mut net, &p2);
+        assert_eq!(param_vec(&mut net), p2);
+    }
+
+    /// Finite-difference check: analytic gradients from backprop must match
+    /// numerical gradients of the MSE loss.
+    #[test]
+    fn backprop_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut net = mlp(&[3, 8, 6, 2], Activation::Tanh, None, &mut rng);
+        let x = Tensor::from_rows(vec![vec![0.3, -0.7, 1.1], vec![0.9, 0.2, -0.4]]);
+        let target = Tensor::from_rows(vec![vec![1.0, -1.0], vec![0.0, 0.5]]);
+
+        zero_grads(&mut net);
+        let y = net.forward(&x);
+        let (_, grad) = mse(&y, &target);
+        net.backward(&grad);
+        let analytic = grad_vec(&mut net);
+
+        let p0 = param_vec(&mut net);
+        let eps = 1e-3f32;
+        for idx in (0..p0.len()).step_by(17) {
+            let mut loss_at = |delta: f32| {
+                let mut p = p0.clone();
+                p[idx] += delta;
+                set_param_vec(&mut net, &p);
+                let y = net.forward(&x);
+                mse(&y, &target).0
+            };
+            let numeric = (loss_at(eps) - loss_at(-eps)) / (2.0 * eps);
+            let a = analytic[idx];
+            assert!(
+                (numeric - a).abs() < 2e-2 * (1.0 + a.abs()),
+                "grad mismatch at {idx}: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradients_accumulate_across_backward_calls() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut net = mlp(&[2, 4, 1], Activation::ReLU, None, &mut rng);
+        let x = Tensor::from_rows(vec![vec![1.0, -1.0]]);
+        let t = Tensor::from_rows(vec![vec![0.0]]);
+
+        zero_grads(&mut net);
+        let y = net.forward(&x);
+        let (_, g) = mse(&y, &t);
+        net.backward(&g);
+        let once = grad_vec(&mut net);
+        let y = net.forward(&x);
+        let (_, g) = mse(&y, &t);
+        net.backward(&g);
+        let twice = grad_vec(&mut net);
+        for (a, b) in once.iter().zip(&twice) {
+            assert!((b - 2.0 * a).abs() < 1e-4, "accumulation broken: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn relu_blocks_negative_gradients() {
+        let mut relu = ReLU::new();
+        let x = Tensor::from_vec(vec![-1.0, 2.0]).reshape(&[1, 2]);
+        let y = relu.forward(&x);
+        assert_eq!(y.data(), &[0.0, 2.0]);
+        let g = relu.backward(&Tensor::from_shape_vec(&[1, 2], vec![5.0, 5.0]));
+        assert_eq!(g.data(), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn tanh_gradient_uses_cached_output() {
+        let mut tanh = Tanh::new();
+        let x = Tensor::from_shape_vec(&[1, 1], vec![0.0]);
+        tanh.forward(&x);
+        let g = tanh.backward(&Tensor::from_shape_vec(&[1, 1], vec![3.0]));
+        assert_eq!(g.data(), &[3.0]); // tanh'(0) = 1
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_without_forward_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut lin = Linear::new(2, 2, &mut rng);
+        let _ = lin.backward(&Tensor::zeros(&[1, 2]));
+    }
+
+    #[test]
+    fn mlp_output_activation_applies() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = mlp(&[2, 4, 3], Activation::ReLU, Some(Activation::Tanh), &mut rng);
+        let y = net.forward(&Tensor::from_rows(vec![vec![10.0, -10.0]]));
+        assert!(y.data().iter().all(|v| v.abs() <= 1.0));
+    }
+}

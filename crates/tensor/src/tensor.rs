@@ -1,0 +1,445 @@
+//! A minimal dense `f32` tensor.
+//!
+//! Only the operations the RL substrate needs are provided: row-major 2-D
+//! matrices (batches of vectors), matrix multiplication, and elementwise
+//! arithmetic. Everything is bounds-checked with informative panics —
+//! shape bugs should fail loudly in a simulator.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major tensor of `f32` with a rank of 1 or 2.
+///
+/// Rank-1 tensors are vectors; rank-2 tensors are `[rows, cols]` matrices.
+/// A batch of observations is a `[batch, features]` matrix.
+///
+/// # Examples
+///
+/// ```
+/// use iswitch_tensor::Tensor;
+///
+/// let a = Tensor::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+/// let b = Tensor::eye(2);
+/// let c = a.matmul(&b);
+/// assert_eq!(c.data(), a.data());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A tensor of zeros with the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is not 1 or 2.
+    pub fn zeros(shape: &[usize]) -> Self {
+        assert!(
+            shape.len() == 1 || shape.len() == 2,
+            "only rank-1/2 tensors are supported, got shape {shape:?}"
+        );
+        Tensor { shape: shape.to_vec(), data: vec![0.0; shape.iter().product()] }
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let mut t = Tensor::zeros(shape);
+        t.data.fill(value);
+        t
+    }
+
+    /// The `n`×`n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// A rank-1 tensor from a vector of values.
+    pub fn from_vec(data: Vec<f32>) -> Self {
+        Tensor { shape: vec![data.len()], data }
+    }
+
+    /// A rank-2 tensor from rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows are ragged or empty.
+    pub fn from_rows(rows: Vec<Vec<f32>>) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
+        let data: Vec<f32> = rows.into_iter().flatten().collect();
+        Tensor { shape: vec![data.len() / cols, cols], data }
+    }
+
+    /// A rank-2 tensor wrapping existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_shape_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "shape {shape:?} does not match data length {}",
+            data.len()
+        );
+        assert!(shape.len() == 1 || shape.len() == 2, "only rank-1/2 supported");
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of rows (a rank-1 tensor is a single row).
+    pub fn rows(&self) -> usize {
+        if self.shape.len() == 2 {
+            self.shape[0]
+        } else {
+            1
+        }
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        *self.shape.last().expect("tensor has a shape")
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The underlying data, row-major.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying data, row-major.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its data.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[f32] {
+        let c = self.cols();
+        assert!(r < self.rows(), "row {r} out of bounds ({} rows)", self.rows());
+        &self.data[r * c..(r + 1) * c]
+    }
+
+    /// Element at `(r, c)` of a rank-2 tensor.
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows() && c < self.cols(), "index ({r},{c}) out of bounds");
+        self.data[r * self.cols() + c]
+    }
+
+    /// Reinterprets as a `[rows, cols]` matrix without copying.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element count does not match.
+    pub fn reshape(mut self, shape: &[usize]) -> Tensor {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            self.data.len(),
+            "reshape to {shape:?} does not preserve element count {}",
+            self.data.len()
+        );
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// Matrix product `self · other` for rank-2 operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (m, k) = (self.rows(), self.cols());
+        let (k2, n) = (other.rows(), other.cols());
+        assert_eq!(k, k2, "matmul inner dims disagree: {k} vs {k2}");
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self · otherᵀ` without materializing the transpose.
+    pub fn matmul_t(&self, other: &Tensor) -> Tensor {
+        let (m, k) = (self.rows(), self.cols());
+        let (n, k2) = (other.rows(), other.cols());
+        assert_eq!(k, k2, "matmul_t inner dims disagree: {k} vs {k2}");
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out.data[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Matrix product `selfᵀ · other` without materializing the transpose.
+    pub fn t_matmul(&self, other: &Tensor) -> Tensor {
+        let (k, m) = (self.rows(), self.cols());
+        let (k2, n) = (other.rows(), other.cols());
+        assert_eq!(k, k2, "t_matmul inner dims disagree: {k} vs {k2}");
+        let mut out = Tensor::zeros(&[m, n]);
+        for p in 0..k {
+            let a_row = &self.data[p * m..(p + 1) * m];
+            let b_row = &other.data[p * n..(p + 1) * n];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// The transpose of a rank-2 tensor.
+    pub fn transpose(&self) -> Tensor {
+        let (m, n) = (self.rows(), self.cols());
+        let mut out = Tensor::zeros(&[n, m]);
+        for i in 0..m {
+            for j in 0..n {
+                out.data[j * m + i] = self.data[i * n + j];
+            }
+        }
+        out
+    }
+
+    /// Elementwise sum of two same-shaped tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Elementwise combination of two same-shaped tensors.
+    pub fn zip_with(&self, other: &Tensor, mut f: impl FnMut(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, other.shape, "shape mismatch: {:?} vs {:?}", self.shape, other.shape);
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+        Tensor { shape: self.shape.clone(), data }
+    }
+
+    /// Elementwise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// Adds a rank-1 bias to every row of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != self.cols()`.
+    pub fn add_row_broadcast(&self, bias: &Tensor) -> Tensor {
+        assert_eq!(bias.len(), self.cols(), "bias length must equal column count");
+        let mut out = self.clone();
+        let c = self.cols();
+        for row in out.data.chunks_mut(c) {
+            for (x, &b) in row.iter_mut().zip(&bias.data) {
+                *x += b;
+            }
+        }
+        out
+    }
+
+    /// Column-wise sum, producing a rank-1 tensor of length `cols`.
+    pub fn sum_rows(&self) -> Tensor {
+        let c = self.cols();
+        let mut out = vec![0.0; c];
+        for row in self.data.chunks(c) {
+            for (o, &x) in out.iter_mut().zip(row) {
+                *o += x;
+            }
+        }
+        Tensor::from_vec(out)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Index of the maximum element in each row.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        let c = self.cols();
+        self.data
+            .chunks(c)
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN in argmax"))
+                    .map(|(i, _)| i)
+                    .expect("non-empty row")
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f32], b: &[f32]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-5, "{a:?} != {b:?}");
+        }
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Tensor::from_rows(vec![vec![5.0, 6.0], vec![7.0, 8.0]]);
+        assert_close(a.matmul(&b).data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_t_equals_explicit_transpose() {
+        let a = Tensor::from_rows(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let b = Tensor::from_rows(vec![vec![1.0, 0.5, -1.0], vec![2.0, -2.0, 0.0]]);
+        assert_close(a.matmul_t(&b).data(), a.matmul(&b.transpose()).data());
+    }
+
+    #[test]
+    fn t_matmul_equals_explicit_transpose() {
+        let a = Tensor::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let b = Tensor::from_rows(vec![vec![1.0, -1.0], vec![0.5, 2.0], vec![3.0, 0.0]]);
+        assert_close(a.t_matmul(&b).data(), a.transpose().matmul(&b).data());
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = Tensor::from_rows(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn broadcast_and_reductions() {
+        let a = Tensor::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let bias = Tensor::from_vec(vec![10.0, 20.0]);
+        assert_close(a.add_row_broadcast(&bias).data(), &[11.0, 22.0, 13.0, 24.0]);
+        assert_close(a.sum_rows().data(), &[4.0, 6.0]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+    }
+
+    #[test]
+    fn argmax_rows_picks_per_row() {
+        let a = Tensor::from_rows(vec![vec![1.0, 9.0, 2.0], vec![5.0, 0.0, 3.0]]);
+        assert_eq!(a.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![1.0, 2.0]);
+        let b = Tensor::from_vec(vec![3.0, 4.0]);
+        assert_close(a.add(&b).data(), &[4.0, 6.0]);
+        assert_close(a.sub(&b).data(), &[-2.0, -2.0]);
+        assert_close(a.mul(&b).data(), &[3.0, 8.0]);
+        assert_close(a.scale(2.0).data(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims disagree")]
+    fn matmul_rejects_bad_dims() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_rejects_shape_mismatch() {
+        let _ = Tensor::zeros(&[2]).add(&Tensor::zeros(&[3]));
+    }
+
+    #[test]
+    fn eye_is_identity_under_matmul() {
+        let a = Tensor::from_rows(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(a.matmul(&Tensor::eye(3)), a);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0]).reshape(&[2, 2]);
+        assert_eq!(a.rows(), 2);
+        assert_eq!(a.at(1, 0), 3.0);
+    }
+}

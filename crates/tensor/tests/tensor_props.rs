@@ -1,0 +1,92 @@
+//! Property tests on the tensor substrate's algebraic identities.
+
+use iswitch_tensor::{grad_vec, mlp, param_vec, set_param_vec, Activation, Module, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_f32() -> impl Strategy<Value = f32> {
+    -10.0f32..10.0f32
+}
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(small_f32(), rows * cols)
+        .prop_map(move |data| Tensor::from_shape_vec(&[rows, cols], data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `(A·I) = A` and `(I·A) = A`.
+    #[test]
+    fn identity_is_neutral(a in matrix(4, 4)) {
+        let i = Tensor::eye(4);
+        let right = a.matmul(&i);
+        let left = i.matmul(&a);
+        prop_assert_eq!(right.data(), a.data());
+        prop_assert_eq!(left.data(), a.data());
+    }
+
+    /// Transpose is an involution and `matmul_t` / `t_matmul` agree with
+    /// explicit transposition.
+    #[test]
+    fn transpose_identities(a in matrix(3, 5), b in matrix(4, 5), c in matrix(3, 6)) {
+        let double = a.transpose().transpose();
+        prop_assert_eq!(double.data(), a.data());
+        let close = |x: &[f32], y: &[f32]| {
+            x.iter().zip(y).all(|(p, q)| (p - q).abs() <= 1e-3 * (1.0 + q.abs()))
+        };
+        let (mt, explicit_t) = (a.matmul_t(&b), a.matmul(&b.transpose()));
+        prop_assert!(close(mt.data(), explicit_t.data()));
+        let (tm, explicit_tm) = (a.t_matmul(&c), a.transpose().matmul(&c));
+        prop_assert!(close(tm.data(), explicit_tm.data()));
+    }
+
+    /// Matrix product distributes over addition: `A(B + C) = AB + AC`.
+    #[test]
+    fn matmul_distributes(a in matrix(3, 4), b in matrix(4, 2), c in matrix(4, 2)) {
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() <= 1e-2 * (1.0 + y.abs()));
+        }
+    }
+
+    /// Parameter flattening round-trips through arbitrary perturbations.
+    #[test]
+    fn param_vec_round_trips(seed in any::<u64>(), deltas in prop::collection::vec(small_f32(), 10)) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = mlp(&[3, 8, 2], Activation::Tanh, None, &mut rng);
+        let mut p = param_vec(&mut net);
+        for (i, d) in deltas.iter().enumerate() {
+            let idx = (i * 7) % p.len();
+            p[idx] = *d;
+        }
+        set_param_vec(&mut net, &p);
+        prop_assert_eq!(param_vec(&mut net), p);
+    }
+
+    /// Gradients are zero-initialized and zero after `zero_grads`.
+    #[test]
+    fn fresh_networks_have_zero_grads(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = mlp(&[4, 6, 3], Activation::ReLU, None, &mut rng);
+        prop_assert!(grad_vec(&mut net).iter().all(|&g| g == 0.0));
+    }
+
+    /// Forward pass is batch-consistent: evaluating rows one at a time
+    /// matches evaluating them as one batch.
+    #[test]
+    fn forward_is_batch_consistent(seed in any::<u64>(), rows in prop::collection::vec(prop::collection::vec(small_f32(), 3), 1..5)) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = mlp(&[3, 8, 2], Activation::Tanh, None, &mut rng);
+        let batch = Tensor::from_rows(rows.clone());
+        let batched = net.forward(&batch);
+        for (r, row) in rows.iter().enumerate() {
+            let single = net.forward(&Tensor::from_shape_vec(&[1, 3], row.clone()));
+            for c in 0..2 {
+                prop_assert!((batched.at(r, c) - single.at(0, c)).abs() < 1e-5);
+            }
+        }
+    }
+}

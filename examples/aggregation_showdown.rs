@@ -1,0 +1,41 @@
+//! Aggregation showdown: per-iteration time of PS, Ring-AllReduce, and
+//! iSwitch across all four paper benchmarks, on the simulated 4-worker
+//! 10 GbE cluster. Reproduces the crossover the paper highlights: AR beats
+//! PS on big models (DQN, A2C) but loses on small ones (PPO, DDPG), while
+//! iSwitch wins everywhere.
+//!
+//! Run with: `cargo run --release --example aggregation_showdown`
+
+use iswitch::cluster::report::render_table;
+use iswitch::cluster::{run_timing, Strategy, TimingConfig};
+use iswitch::rl::{paper_model, Algorithm};
+
+fn main() {
+    let mut rows = Vec::new();
+    for alg in Algorithm::ALL {
+        let mut cells = vec![
+            alg.name().to_string(),
+            format!("{:.0} KB", paper_model(alg).bytes() as f64 / 1024.0),
+        ];
+        let mut times = Vec::new();
+        for strategy in [Strategy::SyncPs, Strategy::SyncAr, Strategy::SyncIsw] {
+            let mut cfg = TimingConfig::main_cluster(alg, strategy);
+            cfg.iterations = 12;
+            let r = run_timing(&cfg);
+            times.push(r.per_iteration.as_millis_f64());
+            cells.push(format!("{:.2} ms", r.per_iteration.as_millis_f64()));
+        }
+        cells.push(format!("{:.2}x", times[0] / times[2]));
+        let winner = if times[1] < times[0] { "AR" } else { "PS" };
+        cells.push(format!("iSW > {winner}"));
+        rows.push(cells);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Algorithm", "Model", "PS", "AR", "iSW", "iSW vs PS", "Ranking"],
+            &rows
+        )
+    );
+    println!("Note the AR/PS crossover between the MB-scale and KB-scale models.");
+}

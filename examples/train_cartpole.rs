@@ -1,0 +1,35 @@
+//! Distributed DQN on CartPole with four workers under synchronous
+//! in-switch aggregation semantics: every iteration, the four local
+//! gradients are averaged (exactly what the switch computes) and the same
+//! update is applied to every replica — the paper's decentralized weight
+//! storage.
+//!
+//! Run with: `cargo run --release --example train_cartpole`
+
+use iswitch::cluster::{run_convergence, AggregationSemantics, ConvergenceConfig};
+use iswitch::rl::Algorithm;
+
+fn main() {
+    let cfg = ConvergenceConfig {
+        workers: 4,
+        semantics: AggregationSemantics::Synchronous,
+        max_iterations: 6_000,
+        target_reward: Some(200.0),
+        check_every: 25,
+        curve_every: 250,
+        ..ConvergenceConfig::sync_main(Algorithm::Dqn)
+    };
+    println!("training DQN on CartPole with 4 workers (sync aggregation)…");
+    let result = run_convergence(&cfg);
+
+    for (iter, reward) in &result.curve {
+        let bar = "#".repeat((reward / 12.0).max(0.0) as usize);
+        println!("iter {iter:>5}  reward {reward:>7.1}  {bar}");
+    }
+    println!(
+        "\n{} after {} iterations (final average reward {:.1})",
+        if result.reached_target { "reached the target" } else { "hit the iteration cap" },
+        result.iterations,
+        result.final_average_reward
+    );
+}

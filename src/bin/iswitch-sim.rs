@@ -1,0 +1,173 @@
+//! Command-line driver for the iSwitch simulator.
+//!
+//! ```console
+//! $ iswitch-sim timing --algorithm dqn --strategy isw --workers 4
+//! $ iswitch-sim timing --algorithm ppo --strategy ar --workers 12 --per-rack 3
+//! $ iswitch-sim convergence --algorithm a2c --workers 4 --max-iterations 8000
+//! $ iswitch-sim scalability --algorithm ppo
+//! ```
+
+use std::process::exit;
+
+use iswitch::cluster::experiments::{fig15, Scale};
+use iswitch::cluster::{
+    run_convergence, run_timing, ConvergenceConfig, Strategy, TimingConfig,
+};
+use iswitch::rl::Algorithm;
+
+const USAGE: &str = "\
+iswitch-sim — packet-level simulation of in-switch gradient aggregation
+
+USAGE:
+    iswitch-sim <COMMAND> [OPTIONS]
+
+COMMANDS:
+    timing        per-iteration time of one strategy (packet simulation)
+    convergence   distributed RL training to a target reward
+    scalability   end-to-end speedup across cluster sizes (Fig. 15)
+
+OPTIONS:
+    --algorithm <dqn|a2c|ppo|ddpg>     benchmark (default: ppo)
+    --strategy <ps|ar|isw|async-ps|async-isw>
+                                       strategy (default: isw; timing only)
+    --workers <N>                      worker count (default: 4)
+    --per-rack <K>                     build a ToR/Core tree with K workers
+                                       per rack (default: single switch)
+    --per-agg <F>                      with --per-rack, group F racks per
+                                       aggregation switch (3-level tree)
+    --iterations <N>                   timing iterations (default: 20)
+    --max-iterations <N>               convergence cap (default: per-algorithm)
+    --seed <N>                         RNG seed (default: 42)
+";
+
+fn parse_flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_algorithm(args: &[String]) -> Algorithm {
+    match parse_flag(args, "--algorithm").as_deref() {
+        None | Some("ppo") => Algorithm::Ppo,
+        Some("dqn") => Algorithm::Dqn,
+        Some("a2c") => Algorithm::A2c,
+        Some("ddpg") => Algorithm::Ddpg,
+        Some(other) => {
+            eprintln!("unknown algorithm `{other}`");
+            exit(2);
+        }
+    }
+}
+
+fn parse_strategy(args: &[String]) -> Strategy {
+    match parse_flag(args, "--strategy").as_deref() {
+        None | Some("isw") => Strategy::SyncIsw,
+        Some("ps") => Strategy::SyncPs,
+        Some("ar") => Strategy::SyncAr,
+        Some("async-ps") => Strategy::AsyncPs,
+        Some("async-isw") => Strategy::AsyncIsw,
+        Some(other) => {
+            eprintln!("unknown strategy `{other}`");
+            exit(2);
+        }
+    }
+}
+
+fn parse_usize(args: &[String], name: &str) -> Option<usize> {
+    parse_flag(args, name).map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("{name} expects a number, got `{v}`");
+            exit(2);
+        })
+    })
+}
+
+fn cmd_timing(args: &[String]) {
+    let alg = parse_algorithm(args);
+    let strategy = parse_strategy(args);
+    let mut cfg = TimingConfig::main_cluster(alg, strategy);
+    if let Some(w) = parse_usize(args, "--workers") {
+        cfg.workers = w;
+    }
+    cfg.workers_per_rack = parse_usize(args, "--per-rack").map(|k| k.max(1));
+    cfg.racks_per_agg = parse_usize(args, "--per-agg").map(|f| f.max(1));
+    if let Some(n) = parse_usize(args, "--iterations") {
+        cfg.iterations = n;
+    }
+    if let Some(s) = parse_usize(args, "--seed") {
+        cfg.seed = s as u64;
+    }
+    println!("simulating {} / {} with {} workers…", alg, strategy.label(), cfg.workers);
+    let r = run_timing(&cfg);
+    println!("per-iteration time : {}", r.per_iteration);
+    println!("  compute          : {}", r.breakdown.compute);
+    println!("  aggregation      : {}", r.breakdown.aggregation);
+    println!("  weight update    : {}", r.breakdown.update);
+    println!("  aggregation share: {:.1}%", r.breakdown.aggregation_share() * 100.0);
+    if let Some(s) = r.mean_staleness() {
+        println!("  mean staleness   : {s:.2}");
+    }
+}
+
+fn cmd_convergence(args: &[String]) {
+    let alg = parse_algorithm(args);
+    let mut cfg = ConvergenceConfig::sync_main(alg);
+    if let Some(w) = parse_usize(args, "--workers") {
+        cfg.workers = w;
+    }
+    if let Some(n) = parse_usize(args, "--max-iterations") {
+        cfg.max_iterations = n;
+    }
+    if let Some(s) = parse_usize(args, "--seed") {
+        cfg.seed = s as u64;
+    }
+    cfg.curve_every = (cfg.max_iterations / 20).max(1);
+    println!(
+        "training {} with {} workers (target reward {:?})…",
+        alg, cfg.workers, cfg.target_reward
+    );
+    let r = run_convergence(&cfg);
+    for (iter, reward) in &r.curve {
+        println!("  iter {iter:>6}  reward {reward:>9.1}");
+    }
+    println!(
+        "{} after {} iterations; final average reward {:.1}",
+        if r.reached_target { "converged" } else { "hit the cap" },
+        r.iterations,
+        r.final_average_reward
+    );
+}
+
+fn cmd_scalability(args: &[String]) {
+    let alg = parse_algorithm(args);
+    let scale = Scale { scalability_workers: vec![4, 6, 9, 12], ..Scale::quick() };
+    println!("scalability of {alg} (sync), 3 workers per rack…");
+    let series = fig15(
+        alg,
+        &[Strategy::SyncPs, Strategy::SyncAr, Strategy::SyncIsw],
+        &scale,
+    );
+    for s in series {
+        let pts: Vec<String> = s
+            .workers
+            .iter()
+            .zip(&s.speedup)
+            .map(|(n, x)| format!("N={n}: {x:.2}x"))
+            .collect();
+        println!("  {:>4}  {}", s.strategy, pts.join("  "));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("timing") => cmd_timing(&args[1..]),
+        Some("convergence") => cmd_convergence(&args[1..]),
+        Some("scalability") => cmd_scalability(&args[1..]),
+        Some("--help" | "-h") | None => {
+            print!("{USAGE}");
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n\n{USAGE}");
+            exit(2);
+        }
+    }
+}
