@@ -10,7 +10,11 @@ use iswitch_core::{
 
 fn bench_ingest(c: &mut Criterion) {
     let mut g = c.benchmark_group("accelerator");
-    let seg = DataSegment { seg: 0, count: 1, values: vec![1.0; 366] };
+    let seg = DataSegment {
+        seg: 0,
+        count: 1,
+        values: vec![1.0; 366],
+    };
     g.throughput(Throughput::Bytes(366 * 4));
     g.bench_function("ingest_full_segment", |b| {
         b.iter_batched(
@@ -50,7 +54,9 @@ fn bench_quantized(c: &mut Criterion) {
     let grad = vec![0.5f32; 10_342];
     let cfg = QuantConfig::default();
     g.throughput(Throughput::Bytes((grad.len() * 2) as u64));
-    g.bench_function("quantize_ppo_vector", |b| b.iter(|| quantize_gradient(&grad, cfg)));
+    g.bench_function("quantize_ppo_vector", |b| {
+        b.iter(|| quantize_gradient(&grad, cfg))
+    });
     let packets = quantize_gradient(&grad, cfg);
     let segs = num_quant_segments(grad.len());
     g.throughput(Throughput::Bytes((grad.len() * 2 * 4) as u64));
@@ -72,7 +78,11 @@ fn bench_quantized(c: &mut Criterion) {
 
 fn bench_encode_decode(c: &mut Criterion) {
     let mut g = c.benchmark_group("protocol");
-    let seg = DataSegment { seg: 42, count: 3, values: vec![1.25; 366] };
+    let seg = DataSegment {
+        seg: 42,
+        count: 3,
+        values: vec![1.25; 366],
+    };
     let encoded = seg.encode();
     g.throughput(Throughput::Bytes(encoded.len() as u64));
     g.bench_function("segment_encode", |b| b.iter(|| seg.encode()));
@@ -81,7 +91,9 @@ fn bench_encode_decode(c: &mut Criterion) {
     });
     let grad = vec![0.25f32; 100_000];
     g.throughput(Throughput::Bytes((grad.len() * 4) as u64));
-    g.bench_function("segment_gradient_100k", |b| b.iter(|| segment_gradient(&grad)));
+    g.bench_function("segment_gradient_100k", |b| {
+        b.iter(|| segment_gradient(&grad))
+    });
     g.finish();
 }
 

@@ -47,7 +47,10 @@ fn main() {
             ]);
         }
     }
-    println!("{}", render_table(&["Benchmark", "Per-iter", "vs PS", "Agg share"], &table));
+    println!(
+        "{}",
+        render_table(&["Benchmark", "Per-iter", "vs PS", "Agg share"], &table)
+    );
 
     println!("--- Table 4 (sync) ---");
     let sync = experiments::table4(&scale);
@@ -85,7 +88,10 @@ fn main() {
         &[Strategy::SyncPs, Strategy::SyncAr, Strategy::SyncIsw],
         &scale,
     ) {
-        println!("{:>4}: {:?} -> {:?}", series.strategy, series.workers, series.speedup);
+        println!(
+            "{:>4}: {:?} -> {:?}",
+            series.strategy, series.workers, series.speedup
+        );
     }
     println!("\npaper artifacts regenerated — PASS");
 }

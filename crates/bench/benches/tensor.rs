@@ -39,7 +39,9 @@ fn bench_mlp(c: &mut Criterion) {
     let mut conv = Sequential::new().push(Conv2d::new(1, 8, 12, 12, 4, 2, &mut rng));
     let frames = Tensor::zeros(&[16, 144]);
     g.throughput(Throughput::Elements(16 * 144));
-    g.bench_function("conv2d_forward_batch16", |b| b.iter(|| conv.forward(&frames)));
+    g.bench_function("conv2d_forward_batch16", |b| {
+        b.iter(|| conv.forward(&frames))
+    });
     g.finish();
 }
 

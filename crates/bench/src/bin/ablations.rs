@@ -13,7 +13,10 @@ use iswitch_cluster::{run_timing, AggregationMode, Strategy, TimingConfig};
 use iswitch_rl::Algorithm;
 
 fn main() {
-    banner("Ablations", "On-the-fly, SetH partial aggregation, hierarchy");
+    banner(
+        "Ablations",
+        "On-the-fly, SetH partial aggregation, hierarchy",
+    );
 
     // --- 1. On-the-fly vs store-and-forward ------------------------------
     println!("1) Output schedule of the in-switch accelerator (sync, 4 workers)\n");
@@ -40,7 +43,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Algorithm", "On-the-fly agg", "Store-and-forward agg", "Reduction"],
+            &[
+                "Algorithm",
+                "On-the-fly agg",
+                "Store-and-forward agg",
+                "Reduction"
+            ],
             &rows
         )
     );

@@ -6,16 +6,34 @@ use std::process::Command;
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let bins = [
-        "table1", "fig4", "fig8", "table4", "table5", "table3", "fig12", "fig13", "fig14",
-        "fig15", "resources", "ablations", "quantization", "loss_recovery",
+        "table1",
+        "fig4",
+        "fig8",
+        "table4",
+        "table5",
+        "table3",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "resources",
+        "ablations",
+        "quantization",
+        "loss_recovery",
         "bandwidth_sweep",
     ];
     for bin in bins {
-        let mut cmd = Command::new(std::env::current_exe().expect("self path").with_file_name(bin));
+        let mut cmd = Command::new(
+            std::env::current_exe()
+                .expect("self path")
+                .with_file_name(bin),
+        );
         if quick {
             cmd.arg("--quick");
         }
-        let status = cmd.status().unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        let status = cmd
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
         assert!(status.success(), "{bin} failed");
         println!();
     }

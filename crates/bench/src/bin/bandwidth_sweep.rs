@@ -11,7 +11,10 @@ use iswitch_netsim::{LinkSpec, SimDuration};
 use iswitch_rl::Algorithm;
 
 fn main() {
-    banner("Bandwidth sweep", "Sync DQN per-iteration vs edge-link speed");
+    banner(
+        "Bandwidth sweep",
+        "Sync DQN per-iteration vs edge-link speed",
+    );
     let rates: [(u64, &str); 4] = [
         (10_000_000_000, "10 GbE"),
         (25_000_000_000, "25 GbE"),
@@ -36,7 +39,10 @@ fn main() {
             format!("{:.2}x", times[0] / times[2]),
         ]);
     }
-    println!("{}", render_table(&["Edge links", "PS", "AR", "iSW", "iSW vs PS"], &rows));
+    println!(
+        "{}",
+        render_table(&["Edge links", "PS", "AR", "iSW", "iSW vs PS"], &rows)
+    );
     println!("Faster links shrink serialization but not the software phase");
     println!("costs or the PS server's per-worker processing, so in-switch");
     println!("aggregation keeps a sizeable advantage even at 100 GbE — the");

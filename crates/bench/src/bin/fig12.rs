@@ -6,7 +6,10 @@ use iswitch_cluster::experiments::fig12;
 use iswitch_cluster::report::render_table;
 
 fn main() {
-    banner("Figure 12", "Sync per-iteration breakdown (normalized vs PS)");
+    banner(
+        "Figure 12",
+        "Sync per-iteration breakdown (normalized vs PS)",
+    );
     let scale = scale_from_args();
     let rows = fig12(&scale);
 
@@ -35,7 +38,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Benchmark", "Per-iter", "Norm. vs PS", "Agg share", "Compute+update", "Aggregation"],
+            &[
+                "Benchmark",
+                "Per-iter",
+                "Norm. vs PS",
+                "Agg share",
+                "Compute+update",
+                "Aggregation"
+            ],
             &table
         )
     );

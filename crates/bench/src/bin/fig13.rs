@@ -8,7 +8,10 @@ use iswitch_cluster::Strategy;
 use iswitch_rl::Algorithm;
 
 fn main() {
-    banner("Figure 13", "DQN sync training curves: reward vs wall-clock");
+    banner(
+        "Figure 13",
+        "DQN sync training curves: reward vs wall-clock",
+    );
     let scale = scale_from_args();
     let curves = training_curves(
         Algorithm::Dqn,
@@ -24,7 +27,15 @@ fn main() {
             )
         })
         .collect();
-    println!("{}", render_ascii_chart("DQN (CartPole stand-in): avg episode reward vs minutes", &series, 72, 20));
+    println!(
+        "{}",
+        render_ascii_chart(
+            "DQN (CartPole stand-in): avg episode reward vs minutes",
+            &series,
+            72,
+            20
+        )
+    );
     for c in &curves {
         let last = c.points.last();
         println!(

@@ -8,10 +8,16 @@ use iswitch_cluster::Strategy;
 use iswitch_rl::Algorithm;
 
 fn main() {
-    banner("Figure 14", "DQN async training curves: reward vs wall-clock");
+    banner(
+        "Figure 14",
+        "DQN async training curves: reward vs wall-clock",
+    );
     let scale = scale_from_args();
-    let curves =
-        training_curves(Algorithm::Dqn, &[Strategy::AsyncPs, Strategy::AsyncIsw], &scale);
+    let curves = training_curves(
+        Algorithm::Dqn,
+        &[Strategy::AsyncPs, Strategy::AsyncIsw],
+        &scale,
+    );
     let series: Vec<(String, Vec<(f64, f64)>)> = curves
         .iter()
         .map(|c| {
@@ -23,7 +29,12 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_ascii_chart("DQN (CartPole stand-in): avg episode reward vs minutes", &series, 72, 20)
+        render_ascii_chart(
+            "DQN (CartPole stand-in): avg episode reward vs minutes",
+            &series,
+            72,
+            20
+        )
     );
     for c in &curves {
         let last = c.points.last();

@@ -8,11 +8,17 @@ use iswitch_cluster::Strategy;
 use iswitch_rl::Algorithm;
 
 fn main() {
-    banner("Figure 15", "Scalability: end-to-end speedup vs worker count");
+    banner(
+        "Figure 15",
+        "Scalability: end-to-end speedup vs worker count",
+    );
     let scale = scale_from_args();
     for alg in [Algorithm::Ppo, Algorithm::Ddpg] {
         for (mode, strategies) in [
-            ("Sync", vec![Strategy::SyncPs, Strategy::SyncAr, Strategy::SyncIsw]),
+            (
+                "Sync",
+                vec![Strategy::SyncPs, Strategy::SyncAr, Strategy::SyncIsw],
+            ),
             ("Async", vec![Strategy::AsyncPs, Strategy::AsyncIsw]),
         ] {
             let series = fig15(alg, &strategies, &scale);
@@ -29,7 +35,10 @@ fn main() {
             let n0 = scale.scalability_workers[0] as f64;
             let mut ideal = vec!["Ideal".to_string()];
             ideal.extend(
-                scale.scalability_workers.iter().map(|&n| format!("{:.2}x", n as f64 / n0)),
+                scale
+                    .scalability_workers
+                    .iter()
+                    .map(|&n| format!("{:.2}x", n as f64 / n0)),
             );
             rows.push(ideal);
             println!("--- {} ({mode}) ---", alg.name());

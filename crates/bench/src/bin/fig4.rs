@@ -25,8 +25,12 @@ fn main() {
     println!("{}", render_table(&headers, &table));
 
     let (lo, hi) = (
-        rows.iter().map(|r| r.aggregation_share).fold(f64::MAX, f64::min),
-        rows.iter().map(|r| r.aggregation_share).fold(f64::MIN, f64::max),
+        rows.iter()
+            .map(|r| r.aggregation_share)
+            .fold(f64::MAX, f64::min),
+        rows.iter()
+            .map(|r| r.aggregation_share)
+            .fold(f64::MIN, f64::max),
     );
     println!(
         "Gradient-aggregation share: measured {:.1}%–{:.1}% (paper: {:.1}%–{:.1}%)",

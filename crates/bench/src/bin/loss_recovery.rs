@@ -27,14 +27,21 @@ fn main() {
             baseline_ms = ms;
         }
         rows.push(vec![
-            if loss == 0.0 { "lossless".to_string() } else { format!("{loss:.0e}") },
+            if loss == 0.0 {
+                "lossless".to_string()
+            } else {
+                format!("{loss:.0e}")
+            },
             format!("{ms:.3} ms"),
             format!("{:+.1}%", 100.0 * (ms / baseline_ms - 1.0)),
         ]);
     }
     println!(
         "{}",
-        render_table(&["Loss rate", "Per-iteration", "Overhead vs lossless"], &rows)
+        render_table(
+            &["Loss rate", "Per-iteration", "Overhead vs lossless"],
+            &rows
+        )
     );
     println!("Lost result packets are re-served from the switch's result cache");
     println!("(Help); rounds stuck on a lost contribution are flushed with a");

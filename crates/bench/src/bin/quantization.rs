@@ -37,7 +37,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Algorithm", "f32 packets", "i16 packets", "Packet saving", "f32 stream", "i16 stream"],
+            &[
+                "Algorithm",
+                "f32 packets",
+                "i16 packets",
+                "Packet saving",
+                "f32 stream",
+                "i16 stream"
+            ],
             &rows
         )
     );

@@ -4,13 +4,16 @@
 //! per benchmark next to the paper's figures.
 
 use iswitch_bench::{banner, paper};
+use iswitch_cluster::report::render_table;
 use iswitch_core::{segment_gradient, Accelerator, AcceleratorConfig};
 use iswitch_netsim::IpAddr;
 use iswitch_rl::{paper_model, Algorithm};
-use iswitch_cluster::report::render_table;
 
 fn main() {
-    banner("§3.5 resources", "Accelerator resource accounting (FPGA analog)");
+    banner(
+        "§3.5 resources",
+        "Accelerator resource accounting (FPGA analog)",
+    );
     let _ = IpAddr::UNSPECIFIED; // keep netsim linked in the resource demo
 
     let mut rows = Vec::new();
@@ -43,7 +46,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Algorithm", "Segments", "f32 adders", "Peak buffer", "BRAM budget", "Counters"],
+            &[
+                "Algorithm",
+                "Segments",
+                "f32 adders",
+                "Peak buffer",
+                "BRAM budget",
+                "Counters"
+            ],
             &rows
         )
     );

@@ -32,7 +32,17 @@ fn main() {
     ];
     println!(
         "{}",
-        render_table(&["Approach", "DQN", "A2C", "PPO", "DDPG", "paper (DQN/A2C/PPO/DDPG)"], &table)
+        render_table(
+            &[
+                "Approach",
+                "DQN",
+                "A2C",
+                "PPO",
+                "DDPG",
+                "paper (DQN/A2C/PPO/DDPG)"
+            ],
+            &table
+        )
     );
     println!("Baselines: sync rows vs Sync PS; async row vs Async PS.");
 }

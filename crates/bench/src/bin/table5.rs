@@ -7,7 +7,10 @@ use iswitch_cluster::experiments::table5;
 use iswitch_cluster::report::{fmt_secs, fmt_speedup, render_table};
 
 fn main() {
-    banner("Table 5", "Asynchronous distributed training comparison (S = 3)");
+    banner(
+        "Table 5",
+        "Asynchronous distributed training comparison (S = 3)",
+    );
     let scale = scale_from_args();
     let rows = table5(&scale);
 

@@ -26,7 +26,10 @@
 
 #![warn(missing_docs)]
 
+use std::path::{Path, PathBuf};
+
 use iswitch_cluster::experiments::Scale;
+use iswitch_obs::JsonValue;
 
 /// Numbers the paper reports, for printing next to measured values.
 pub mod paper {
@@ -91,6 +94,37 @@ pub fn scale_from_args() -> Scale {
     } else {
         Scale::full()
     }
+}
+
+/// Parses the `--metrics-out <path>` flag shared by the artifact binaries:
+/// when present, the binary writes its results as a machine-readable JSON
+/// document to the given path alongside the printed table.
+pub fn metrics_out_from_args() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--metrics-out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
+
+/// Wraps artifact rows in the standard report envelope:
+/// `{"artifact": ..., "rows": [...]}`.
+pub fn rows_artifact(artifact: &str, rows: Vec<JsonValue>) -> JsonValue {
+    let mut doc = JsonValue::empty_object();
+    doc.insert("artifact", JsonValue::Str(artifact.to_owned()));
+    doc.insert("rows", JsonValue::Array(rows));
+    doc
+}
+
+/// Writes a deterministic JSON artifact (one trailing newline), creating
+/// parent directories as needed.
+pub fn write_metrics(path: &Path, doc: &JsonValue) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, format!("{}\n", doc.render()))
 }
 
 /// Prints the standard header for a regenerated artifact.

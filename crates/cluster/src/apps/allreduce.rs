@@ -104,7 +104,10 @@ impl RingWorker {
         // Send this step's chunk to the next neighbor, then wait for the
         // matching chunk from the previous neighbor.
         let id = self.msg_id(self.iter, self.step);
-        ctx.set_timer(self.comm.phase_send() * self.messages, T_SEND_BASE + u64::from(id));
+        ctx.set_timer(
+            self.comm.phase_send() * self.messages,
+            T_SEND_BASE + u64::from(id),
+        );
         self.waiting = true;
         self.check_arrival(ctx);
     }
@@ -154,9 +157,7 @@ impl HostApp for RingWorker {
             }
             id if id >= T_SEND_BASE => {
                 let id = (id - T_SEND_BASE) as u32;
-                for pkt in
-                    blob_packets(ctx.ip(), self.next, TAG_RING, id, self.chunk_bytes())
-                {
+                for pkt in blob_packets(ctx.ip(), self.next, TAG_RING, id, self.chunk_bytes()) {
                     ctx.send(pkt);
                 }
             }

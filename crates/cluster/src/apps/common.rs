@@ -20,7 +20,13 @@ pub const BASELINE_PORT: u16 = 9800;
 /// Payload contents are irrelevant to timing, so packets carry only the
 /// header plus *accounted* (not materialized) data: each packet's payload
 /// is padded to its true wire size.
-pub fn blob_packets(src: IpAddr, dst: IpAddr, tag: u32, msg_id: u32, total_bytes: u64) -> Vec<Packet> {
+pub fn blob_packets(
+    src: IpAddr,
+    dst: IpAddr,
+    tag: u32,
+    msg_id: u32,
+    total_bytes: u64,
+) -> Vec<Packet> {
     let mut header = Vec::with_capacity(BLOB_HEADER);
     header.extend_from_slice(&tag.to_be_bytes());
     header.extend_from_slice(&msg_id.to_be_bytes());
@@ -78,7 +84,11 @@ impl BlobAssembler {
         // Zero-length blobs (pull requests) complete on their first packet.
         if entry.0 >= entry.1 {
             self.pending.remove(&key);
-            Some(BlobDone { src: pkt.ip.src, tag, msg_id })
+            Some(BlobDone {
+                src: pkt.ip.src,
+                tag,
+                msg_id,
+            })
         } else {
             None
         }
@@ -112,6 +122,7 @@ impl IterSpans {
 #[derive(Debug, Default)]
 pub struct IterLog {
     spans: Vec<IterSpans>,
+    ends: Vec<SimTime>,
     iter_start: Option<SimTime>,
     compute_done: Option<SimTime>,
     agg_done: Option<SimTime>,
@@ -152,11 +163,17 @@ impl IterLog {
             aggregation: agg.duration_since(compute),
             update: now.duration_since(agg),
         });
+        self.ends.push(now);
     }
 
     /// Completed iterations.
     pub fn spans(&self) -> &[IterSpans] {
         &self.spans
+    }
+
+    /// Completion timestamp of each iteration, parallel to [`IterLog::spans`].
+    pub fn end_times(&self) -> &[SimTime] {
+        &self.ends
     }
 
     /// Number of completed iterations.
@@ -206,7 +223,14 @@ mod tests {
         for p in &pkts {
             done = asm.on_packet(p);
         }
-        assert_eq!(done, Some(BlobDone { src: ip(1), tag: 7, msg_id: 42 }));
+        assert_eq!(
+            done,
+            Some(BlobDone {
+                src: ip(1),
+                tag: 7,
+                msg_id: 42
+            })
+        );
         assert_eq!(asm.in_flight(), 0);
     }
 

@@ -134,50 +134,52 @@ impl HostApp for IswSyncWorker {
                     self.begin_iteration(ctx);
                 }
             }
-            token if token >= T_RETRY_BASE => {
-                // Only act if the iteration that armed this timer is still
-                // waiting on its result.
-                if token - T_RETRY_BASE == u64::from(self.iter) && !self.complete() {
-                    if self.segs_received != self.last_progress {
-                        self.last_progress = self.segs_received;
-                        self.stalled_retries = 0;
-                    } else {
-                        self.stalled_retries += 1;
-                    }
-                    // A lost *result* is recovered from the switch's cache
-                    // (Help). A lost *contribution* leaves the round stuck:
-                    // only after two stalled retries — i.e. genuinely no
-                    // progress — flush it with a partial broadcast. The
-                    // batch is capped so a retry can never re-request a
-                    // vector's worth of traffic (a premature timeout would
-                    // otherwise trigger a retransmission storm).
-                    const HELP_BATCH: u64 = 64;
-                    let escalate = self.stalled_retries >= 2;
-                    let mut budget = HELP_BATCH;
-                    for (seg, got) in self.received.iter().enumerate() {
-                        if !got {
-                            if budget == 0 {
-                                break;
-                            }
-                            budget -= 1;
-                            self.help_requests += 1;
-                            let seg = tag_round(seg as u64, self.iter);
-                            let help =
-                                control_packet(ctx.ip(), UPSTREAM_IP, &ControlMessage::Help { seg });
-                            ctx.send(help);
-                            if escalate {
-                                let flush = control_packet(
-                                    ctx.ip(),
-                                    UPSTREAM_IP,
-                                    &ControlMessage::FBcast { seg },
-                                );
-                                ctx.send(flush);
-                            }
+            // Only act if the iteration that armed this timer is still
+            // waiting on its result.
+            token
+                if token >= T_RETRY_BASE
+                    && token - T_RETRY_BASE == u64::from(self.iter)
+                    && !self.complete() =>
+            {
+                if self.segs_received != self.last_progress {
+                    self.last_progress = self.segs_received;
+                    self.stalled_retries = 0;
+                } else {
+                    self.stalled_retries += 1;
+                }
+                // A lost *result* is recovered from the switch's cache
+                // (Help). A lost *contribution* leaves the round stuck:
+                // only after two stalled retries — i.e. genuinely no
+                // progress — flush it with a partial broadcast. The
+                // batch is capped so a retry can never re-request a
+                // vector's worth of traffic (a premature timeout would
+                // otherwise trigger a retransmission storm).
+                const HELP_BATCH: u64 = 64;
+                let escalate = self.stalled_retries >= 2;
+                let mut budget = HELP_BATCH;
+                for (seg, got) in self.received.iter().enumerate() {
+                    if !got {
+                        if budget == 0 {
+                            break;
+                        }
+                        budget -= 1;
+                        self.help_requests += 1;
+                        let seg = tag_round(seg as u64, self.iter);
+                        let help =
+                            control_packet(ctx.ip(), UPSTREAM_IP, &ControlMessage::Help { seg });
+                        ctx.send(help);
+                        if escalate {
+                            let flush = control_packet(
+                                ctx.ip(),
+                                UPSTREAM_IP,
+                                &ControlMessage::FBcast { seg },
+                            );
+                            ctx.send(flush);
                         }
                     }
-                    if let Some(timeout) = self.help_timeout {
-                        ctx.set_timer(timeout, T_RETRY_BASE + u64::from(self.iter));
-                    }
+                }
+                if let Some(timeout) = self.help_timeout {
+                    ctx.set_timer(timeout, T_RETRY_BASE + u64::from(self.iter));
                 }
             }
             _ => {}

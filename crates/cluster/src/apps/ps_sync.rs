@@ -187,7 +187,9 @@ impl HostApp for SyncPsServer {
             // pays per-worker, per-collective software costs — the paper's
             // central *computation* bottleneck alongside the central link.
             let d = self.comm.phase_recv() * (self.workers.len() as u64 * self.messages)
-                + self.comm.sum_time(self.workers.len(), self.model_bytes as usize)
+                + self
+                    .comm
+                    .sum_time(self.workers.len(), self.model_bytes as usize)
                 + self.compute.sample_weight_update(&mut self.rng);
             ctx.set_timer(d, T_APPLY);
         }

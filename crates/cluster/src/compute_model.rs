@@ -144,7 +144,11 @@ impl ComputeModel {
                 700,
             ),
         };
-        ComputeModel { components, weight_update_us, jitter: 0.03 }
+        ComputeModel {
+            components,
+            weight_update_us,
+            jitter: 0.03,
+        }
     }
 
     /// Mean local-compute time (all pre-aggregation components).
@@ -235,8 +239,7 @@ mod tests {
         ];
         for (alg, total_ms, agg_share) in anchors {
             let m = ComputeModel::for_algorithm(alg);
-            let local_ms =
-                m.local_compute().as_millis_f64() + m.weight_update().as_millis_f64();
+            let local_ms = m.local_compute().as_millis_f64() + m.weight_update().as_millis_f64();
             let target = total_ms * (1.0 - agg_share);
             let err = (local_ms - target).abs() / target;
             assert!(
@@ -257,7 +260,10 @@ mod tests {
         }
         let mut a = StdRng::seed_from_u64(7);
         let mut b = StdRng::seed_from_u64(7);
-        assert_eq!(m.sample_local_compute(&mut a), m.sample_local_compute(&mut b));
+        assert_eq!(
+            m.sample_local_compute(&mut a),
+            m.sample_local_compute(&mut b)
+        );
     }
 
     #[test]

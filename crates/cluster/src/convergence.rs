@@ -126,8 +126,10 @@ pub fn default_max_iterations(alg: Algorithm) -> usize {
 }
 
 fn pooled_reward(agents: &[Box<dyn Agent>]) -> Option<f32> {
-    let rewards: Vec<f32> =
-        agents.iter().filter_map(|a| a.final_average_reward()).collect();
+    let rewards: Vec<f32> = agents
+        .iter()
+        .filter_map(|a| a.final_average_reward())
+        .collect();
     if rewards.len() < agents.len() {
         return None; // not all workers have completed episodes yet
     }
@@ -264,7 +266,12 @@ pub fn run_convergence(cfg: &ConvergenceConfig) -> ConvergenceResult {
     }
 
     let final_average_reward = pooled_reward(&agents).unwrap_or(f32::NEG_INFINITY);
-    ConvergenceResult { iterations, reached_target: reached, final_average_reward, curve }
+    ConvergenceResult {
+        iterations,
+        reached_target: reached,
+        final_average_reward,
+        curve,
+    }
 }
 
 #[cfg(test)]

@@ -9,8 +9,9 @@ use iswitch_netsim::SimDuration;
 use iswitch_rl::{paper_model, Algorithm};
 use serde::{Deserialize, Serialize};
 
+use std::sync::Mutex;
+
 use crate::compute_model::{CommCosts, Component, ComputeModel};
-use parking_lot::Mutex;
 use crate::convergence::{
     default_target, run_convergence, AggregationSemantics, ConvergenceConfig,
 };
@@ -28,19 +29,23 @@ where
 {
     let n = items.len();
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
         for (i, item) in items.into_iter().enumerate() {
             let results = &results;
             let f = &f;
-            scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let r = f(item);
-                results.lock()[i] = Some(r);
-            });
+                results.lock().expect("results lock")[i] = Some(r);
+            }));
         }
-    })
-    .expect("experiment worker panicked");
+        for handle in handles {
+            handle.join().expect("experiment worker panicked");
+        }
+    });
     results
         .into_inner()
+        .expect("results lock")
         .into_iter()
         .map(|r| r.expect("every experiment cell completed"))
         .collect()
@@ -178,7 +183,10 @@ fn breakdown_row(alg: Algorithm, strategy: Strategy, scale: &Scale) -> Breakdown
         .components
         .iter()
         .map(|(c, us)| {
-            (c.label().to_string(), measured_compute * *us as f64 / compute_total_us as f64)
+            (
+                c.label().to_string(),
+                measured_compute * *us as f64 / compute_total_us as f64,
+            )
         })
         .collect();
     components.push((
@@ -291,23 +299,27 @@ pub struct SyncRow {
 /// Table 4: synchronous comparison across PS / AR / iSW.
 pub fn table4(scale: &Scale) -> Vec<SyncRow> {
     parallel_map(Algorithm::ALL.to_vec(), |alg| {
-            let conv = run_convergence(&ConvergenceConfig {
-                max_iterations: scale.convergence_cap,
-                ..ConvergenceConfig::sync_main(alg)
-            });
-            let times: Vec<f64> = [Strategy::SyncPs, Strategy::SyncAr, Strategy::SyncIsw]
-                .iter()
-                .map(|&s| run_timing(&scale.timing(alg, s)).per_iteration.as_secs_f64())
-                .collect();
-            let e2e: Vec<f64> = times.iter().map(|t| t * conv.iterations as f64).collect();
-            SyncRow {
-                algorithm: alg.name().to_string(),
-                iterations: conv.iterations,
-                final_reward: conv.final_average_reward,
-                per_iteration_s: [times[0], times[1], times[2]],
-                end_to_end_s: [e2e[0], e2e[1], e2e[2]],
-                speedup: [1.0, e2e[0] / e2e[1], e2e[0] / e2e[2]],
-            }
+        let conv = run_convergence(&ConvergenceConfig {
+            max_iterations: scale.convergence_cap,
+            ..ConvergenceConfig::sync_main(alg)
+        });
+        let times: Vec<f64> = [Strategy::SyncPs, Strategy::SyncAr, Strategy::SyncIsw]
+            .iter()
+            .map(|&s| {
+                run_timing(&scale.timing(alg, s))
+                    .per_iteration
+                    .as_secs_f64()
+            })
+            .collect();
+        let e2e: Vec<f64> = times.iter().map(|t| t * conv.iterations as f64).collect();
+        SyncRow {
+            algorithm: alg.name().to_string(),
+            iterations: conv.iterations,
+            final_reward: conv.final_average_reward,
+            per_iteration_s: [times[0], times[1], times[2]],
+            end_to_end_s: [e2e[0], e2e[1], e2e[2]],
+            speedup: [1.0, e2e[0] / e2e[1], e2e[0] / e2e[2]],
+        }
     })
 }
 
@@ -339,45 +351,48 @@ pub struct AsyncRow {
 /// Table 5: asynchronous comparison, staleness bound S = 3 for both.
 pub fn table5(scale: &Scale) -> Vec<AsyncRow> {
     parallel_map(Algorithm::ALL.to_vec(), |alg| {
-            let t_ps = run_timing(&scale.timing(alg, Strategy::AsyncPs));
-            let t_isw = run_timing(&scale.timing(alg, Strategy::AsyncIsw));
-            let d_ps = StalenessDistribution::from_samples(&t_ps.staleness);
-            let d_isw = StalenessDistribution::from_samples(&t_isw.staleness);
+        let t_ps = run_timing(&scale.timing(alg, Strategy::AsyncPs));
+        let t_isw = run_timing(&scale.timing(alg, Strategy::AsyncIsw));
+        let d_ps = StalenessDistribution::from_samples(&t_ps.staleness);
+        let d_isw = StalenessDistribution::from_samples(&t_isw.staleness);
 
-            let base = ConvergenceConfig {
-                max_iterations: scale.convergence_cap,
-                lr_scale: async_lr_scale(alg),
-                ..ConvergenceConfig::sync_main(alg)
-            };
-            let c_ps = run_convergence(&ConvergenceConfig {
-                semantics: AggregationSemantics::AsyncSingle {
-                    staleness: d_ps.clone(),
-                    bound: 3,
-                },
-                ..base.clone()
-            });
-            let c_isw = run_convergence(&ConvergenceConfig {
-                semantics: AggregationSemantics::AsyncAggregated {
-                    staleness: d_isw.clone(),
-                    bound: 3,
-                },
-                ..base
-            });
-            let per = [t_ps.per_iteration.as_secs_f64(), t_isw.per_iteration.as_secs_f64()];
-            let e2e = [per[0] * c_ps.iterations as f64, per[1] * c_isw.iterations as f64];
-            AsyncRow {
-                algorithm: alg.name().to_string(),
-                iterations: [c_ps.iterations, c_isw.iterations],
-                reached: [c_ps.reached_target, c_isw.reached_target],
-                final_reward: [c_ps.final_average_reward, c_isw.final_average_reward],
-                per_iteration_s: per,
-                end_to_end_s: e2e,
-                isw_speedup: e2e[0] / e2e[1],
-                mean_staleness: [
-                    d_ps.mean(),
-                    d_isw.mean(),
-                ],
-            }
+        let base = ConvergenceConfig {
+            max_iterations: scale.convergence_cap,
+            lr_scale: async_lr_scale(alg),
+            ..ConvergenceConfig::sync_main(alg)
+        };
+        let c_ps = run_convergence(&ConvergenceConfig {
+            semantics: AggregationSemantics::AsyncSingle {
+                staleness: d_ps.clone(),
+                bound: 3,
+            },
+            ..base.clone()
+        });
+        let c_isw = run_convergence(&ConvergenceConfig {
+            semantics: AggregationSemantics::AsyncAggregated {
+                staleness: d_isw.clone(),
+                bound: 3,
+            },
+            ..base
+        });
+        let per = [
+            t_ps.per_iteration.as_secs_f64(),
+            t_isw.per_iteration.as_secs_f64(),
+        ];
+        let e2e = [
+            per[0] * c_ps.iterations as f64,
+            per[1] * c_isw.iterations as f64,
+        ];
+        AsyncRow {
+            algorithm: alg.name().to_string(),
+            iterations: [c_ps.iterations, c_isw.iterations],
+            reached: [c_ps.reached_target, c_isw.reached_target],
+            final_reward: [c_ps.final_average_reward, c_isw.final_average_reward],
+            per_iteration_s: per,
+            end_to_end_s: e2e,
+            isw_speedup: e2e[0] / e2e[1],
+            mean_staleness: [d_ps.mean(), d_isw.mean()],
+        }
     })
 }
 
@@ -400,7 +415,11 @@ pub struct Table3 {
 pub fn table3(scale: &Scale) -> Table3 {
     let sync = table4(scale);
     let asynch = table5(scale);
-    let mut t = Table3 { sync_ar: [0.0; 4], sync_isw: [0.0; 4], async_isw: [0.0; 4] };
+    let mut t = Table3 {
+        sync_ar: [0.0; 4],
+        sync_isw: [0.0; 4],
+        async_isw: [0.0; 4],
+    };
     for (i, row) in sync.iter().enumerate() {
         t.sync_ar[i] = row.speedup[1];
         t.sync_isw[i] = row.speedup[2];
@@ -428,33 +447,37 @@ pub struct Curve {
 /// `strategies` picks sync (Fig. 13: PS, AR, iSW) or async (Fig. 14).
 pub fn training_curves(alg: Algorithm, strategies: &[Strategy], scale: &Scale) -> Vec<Curve> {
     parallel_map(strategies.to_vec(), |strategy| {
-            let timing = run_timing(&scale.timing(alg, strategy));
-            let per_iter_min = timing.per_iteration.as_secs_f64() / 60.0;
-            let semantics = match strategy {
-                Strategy::SyncPs | Strategy::SyncAr | Strategy::SyncIsw => {
-                    AggregationSemantics::Synchronous
-                }
-                Strategy::AsyncPs => AggregationSemantics::AsyncSingle {
-                    staleness: StalenessDistribution::from_samples(&timing.staleness),
-                    bound: 3,
-                },
-                Strategy::AsyncIsw => AggregationSemantics::AsyncAggregated {
-                    staleness: StalenessDistribution::from_samples(&timing.staleness),
-                    bound: 3,
-                },
-            };
-            let conv = run_convergence(&ConvergenceConfig {
-                semantics,
-                max_iterations: scale.curve_iterations,
-                target_reward: None,
-                curve_every: scale.curve_every,
-                lr_scale: if strategy.is_async() { async_lr_scale(alg) } else { 1.0 },
-                ..ConvergenceConfig::sync_main(alg)
-            });
-            Curve {
-                strategy: strategy.label().to_string(),
-                points: smooth_curve(&conv.curve, per_iter_min, 7),
+        let timing = run_timing(&scale.timing(alg, strategy));
+        let per_iter_min = timing.per_iteration.as_secs_f64() / 60.0;
+        let semantics = match strategy {
+            Strategy::SyncPs | Strategy::SyncAr | Strategy::SyncIsw => {
+                AggregationSemantics::Synchronous
             }
+            Strategy::AsyncPs => AggregationSemantics::AsyncSingle {
+                staleness: StalenessDistribution::from_samples(&timing.staleness),
+                bound: 3,
+            },
+            Strategy::AsyncIsw => AggregationSemantics::AsyncAggregated {
+                staleness: StalenessDistribution::from_samples(&timing.staleness),
+                bound: 3,
+            },
+        };
+        let conv = run_convergence(&ConvergenceConfig {
+            semantics,
+            max_iterations: scale.curve_iterations,
+            target_reward: None,
+            curve_every: scale.curve_every,
+            lr_scale: if strategy.is_async() {
+                async_lr_scale(alg)
+            } else {
+                1.0
+            },
+            ..ConvergenceConfig::sync_main(alg)
+        });
+        Curve {
+            strategy: strategy.label().to_string(),
+            points: smooth_curve(&conv.curve, per_iter_min, 7),
+        }
     })
 }
 
@@ -467,8 +490,7 @@ fn smooth_curve(curve: &[(usize, f32)], per_iter_min: f64, window: usize) -> Vec
         .map(|i| {
             let lo = i.saturating_sub(half);
             let hi = (i + half + 1).min(curve.len());
-            let mean: f32 =
-                curve[lo..hi].iter().map(|(_, r)| *r).sum::<f32>() / (hi - lo) as f32;
+            let mean: f32 = curve[lo..hi].iter().map(|(_, r)| *r).sum::<f32>() / (hi - lo) as f32;
             (curve[i].0 as f64 * per_iter_min, mean)
         })
         .collect()
@@ -499,35 +521,35 @@ pub struct ScalabilitySeries {
 /// iteration count via a convergence probe on the lite workload.
 pub fn fig15(alg: Algorithm, strategies: &[Strategy], scale: &Scale) -> Vec<ScalabilitySeries> {
     parallel_map(strategies.to_vec(), |strategy| {
-            let mut per_iter = Vec::new();
-            let mut inflation = Vec::new();
-            let mut effective_n = Vec::new();
-            for &n in &scale.scalability_workers {
-                let mut cfg = scale.timing(alg, strategy);
-                cfg.workers = n;
-                cfg.workers_per_rack = Some(3);
-                let t = run_timing(&cfg);
-                per_iter.push(t.per_iteration.as_secs_f64());
-                // Discarded (over-stale) gradients are wasted samples, so
-                // they do not count toward the fixed sample budget.
-                effective_n.push(n as f64 * (1.0 - t.discard_fraction));
-                if strategy.is_async() {
-                    inflation.push(async_iteration_inflation(&t.staleness, strategy, scale));
-                } else {
-                    inflation.push(1.0);
-                }
+        let mut per_iter = Vec::new();
+        let mut inflation = Vec::new();
+        let mut effective_n = Vec::new();
+        for &n in &scale.scalability_workers {
+            let mut cfg = scale.timing(alg, strategy);
+            cfg.workers = n;
+            cfg.workers_per_rack = Some(3);
+            let t = run_timing(&cfg);
+            per_iter.push(t.per_iteration.as_secs_f64());
+            // Discarded (over-stale) gradients are wasted samples, so
+            // they do not count toward the fixed sample budget.
+            effective_n.push(n as f64 * (1.0 - t.discard_fraction));
+            if strategy.is_async() {
+                inflation.push(async_iteration_inflation(&t.staleness, strategy, scale));
+            } else {
+                inflation.push(1.0);
             }
-            let base = per_iter[0] * inflation[0] / effective_n[0];
-            let speedup: Vec<f64> = effective_n
-                .iter()
-                .zip(per_iter.iter().zip(&inflation))
-                .map(|(&n_eff, (t, infl))| base / (t * infl / n_eff))
-                .collect();
-            ScalabilitySeries {
-                strategy: strategy.label().to_string(),
-                workers: scale.scalability_workers.clone(),
-                speedup,
-            }
+        }
+        let base = per_iter[0] * inflation[0] / effective_n[0];
+        let speedup: Vec<f64> = effective_n
+            .iter()
+            .zip(per_iter.iter().zip(&inflation))
+            .map(|(&n_eff, (t, infl))| base / (t * infl / n_eff))
+            .collect();
+        ScalabilitySeries {
+            strategy: strategy.label().to_string(),
+            workers: scale.scalability_workers.clone(),
+            speedup,
+        }
     })
 }
 
@@ -553,8 +575,14 @@ fn async_iteration_inflation(samples: &[u32], strategy: Strategy, scale: &Scale)
     };
     let fresh = run_convergence(&mk(AggregationSemantics::Synchronous));
     let semantics = match strategy {
-        Strategy::AsyncPs => AggregationSemantics::AsyncSingle { staleness: dist, bound: 3 },
-        _ => AggregationSemantics::AsyncAggregated { staleness: dist, bound: 3 },
+        Strategy::AsyncPs => AggregationSemantics::AsyncSingle {
+            staleness: dist,
+            bound: 3,
+        },
+        _ => AggregationSemantics::AsyncAggregated {
+            staleness: dist,
+            bound: 3,
+        },
     };
     let stale = run_convergence(&mk(semantics));
     (stale.iterations as f64 / fresh.iterations as f64).max(1.0)
@@ -567,9 +595,15 @@ mod tests {
     #[test]
     fn table1_sizes_match_paper_within_one_percent() {
         for row in table1() {
-            let err = (row.model_bytes as f64 - row.paper_bytes as f64).abs()
-                / row.paper_bytes as f64;
-            assert!(err < 0.01, "{}: {} vs {}", row.algorithm, row.model_bytes, row.paper_bytes);
+            let err =
+                (row.model_bytes as f64 - row.paper_bytes as f64).abs() / row.paper_bytes as f64;
+            assert!(
+                err < 0.01,
+                "{}: {} vs {}",
+                row.algorithm,
+                row.model_bytes,
+                row.paper_bytes
+            );
         }
     }
 

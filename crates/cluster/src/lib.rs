@@ -43,6 +43,9 @@ pub use convergence::{
     ConvergenceConfig, ConvergenceResult,
 };
 pub use staleness::StalenessDistribution;
-pub use timing_runner::{run_timing, Breakdown, Strategy, TimingConfig, TimingResult};
+pub use timing_runner::{
+    run_timing, run_timing_observed, Breakdown, Strategy, TimingConfig, TimingObservation,
+    TimingResult,
+};
 
 pub use iswitch_core::AggregationMode;

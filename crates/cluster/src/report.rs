@@ -25,7 +25,10 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         }
         out.push('\n');
     };
-    line(&mut out, &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(
+        &mut out,
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    );
     out.push('|');
     for w in &widths {
         let _ = write!(out, "{}|", "-".repeat(w + 2));

@@ -32,7 +32,10 @@ impl StalenessDistribution {
         for &s in samples {
             counts[s as usize] += 1;
         }
-        StalenessDistribution { counts, total: samples.len() as u64 }
+        StalenessDistribution {
+            counts,
+            total: samples.len() as u64,
+        }
     }
 
     /// A degenerate distribution always returning `value` (staleness 0 is
@@ -57,8 +60,12 @@ impl StalenessDistribution {
 
     /// Mean staleness.
     pub fn mean(&self) -> f64 {
-        let weighted: u64 =
-            self.counts.iter().enumerate().map(|(v, &c)| v as u64 * c).sum();
+        let weighted: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| v as u64 * c)
+            .sum();
         weighted as f64 / self.total as f64
     }
 
@@ -69,7 +76,9 @@ impl StalenessDistribution {
 
     /// Probability of staleness exactly `value`.
     pub fn probability(&self, value: u32) -> f64 {
-        self.counts.get(value as usize).map_or(0.0, |&c| c as f64 / self.total as f64)
+        self.counts
+            .get(value as usize)
+            .map_or(0.0, |&c| c as f64 / self.total as f64)
     }
 }
 

@@ -7,6 +7,7 @@ use iswitch_netsim::{
     build_star, build_tree, build_tree3, host_ip, Host, HostApp, LossModel, PortId, SimDuration,
     SimTime, Simulator, SwitchExtension, SwitchRole, TopologyConfig,
 };
+use iswitch_obs::{JsonValue, Trace, TraceEvent};
 use iswitch_rl::{paper_model, Algorithm};
 use serde::{Deserialize, Serialize};
 
@@ -163,8 +164,71 @@ impl TimingResult {
         if self.staleness.is_empty() {
             None
         } else {
-            Some(self.staleness.iter().map(|&s| s as f64).sum::<f64>() / self.staleness.len() as f64)
+            Some(
+                self.staleness.iter().map(|&s| s as f64).sum::<f64>() / self.staleness.len() as f64,
+            )
         }
+    }
+}
+
+/// Observability capture accumulated while a timing run executes.
+#[derive(Default)]
+struct RunObs {
+    metrics: Option<JsonValue>,
+    trace: Trace,
+}
+
+/// Machine-readable capture of one timing run: the summary result plus the
+/// simulation's full metrics snapshot and a per-iteration stage trace
+/// (LGC = local gradient computing, GA = gradient aggregation, LWU = local
+/// weight update — the paper's Fig. 11 decomposition).
+pub struct TimingObservation {
+    /// The summary [`run_timing`] would have returned.
+    pub result: TimingResult,
+    /// Engine + per-switch metrics snapshot
+    /// ([`Simulator::metrics_json`]): link backlog histograms, queue
+    /// depths, aggregation latencies, Help/flush counters.
+    pub metrics: JsonValue,
+    /// One `iteration` event per worker iteration (sync strategies) or one
+    /// `update` event per observed weight update (async strategies),
+    /// stamped with simulated time. Export with [`Trace::to_jsonl`].
+    pub trace: Trace,
+}
+
+impl TimingObservation {
+    /// Renders the whole observation (minus the trace, which is a separate
+    /// JSONL artifact) as one deterministic JSON document.
+    pub fn report_json(&self) -> JsonValue {
+        let b = &self.result.breakdown;
+        let mut stages = JsonValue::empty_object();
+        stages.insert("lgc_ns", JsonValue::UInt(b.compute.as_nanos()));
+        stages.insert("ga_ns", JsonValue::UInt(b.aggregation.as_nanos()));
+        stages.insert("lwu_ns", JsonValue::UInt(b.update.as_nanos()));
+        let mut summary = JsonValue::empty_object();
+        summary.insert(
+            "per_iteration_ns",
+            JsonValue::UInt(self.result.per_iteration.as_nanos()),
+        );
+        summary.insert(
+            "iterations_measured",
+            JsonValue::UInt(self.result.iterations_measured as u64),
+        );
+        summary.insert(
+            "aggregation_share",
+            JsonValue::Float(self.result.breakdown.aggregation_share()),
+        );
+        summary.insert(
+            "discard_fraction",
+            JsonValue::Float(self.result.discard_fraction),
+        );
+        if let Some(s) = self.result.mean_staleness() {
+            summary.insert("mean_staleness", JsonValue::Float(s));
+        }
+        let mut root = JsonValue::empty_object();
+        root.insert("summary", summary);
+        root.insert("stages", stages);
+        root.insert("metrics", self.metrics.clone());
+        root
     }
 }
 
@@ -201,14 +265,37 @@ fn rack_sizes(workers: usize, per_rack: usize) -> Vec<usize> {
 ///
 /// Panics on degenerate configurations (zero workers/iterations).
 pub fn run_timing(cfg: &TimingConfig) -> TimingResult {
-    assert!(cfg.workers >= 2, "distributed training needs at least two workers");
+    dispatch(cfg, None)
+}
+
+/// Runs one timing experiment and captures its full observability export
+/// (metrics snapshot + per-iteration stage trace) alongside the summary.
+///
+/// # Panics
+///
+/// Panics on degenerate configurations (zero workers/iterations).
+pub fn run_timing_observed(cfg: &TimingConfig) -> TimingObservation {
+    let mut obs = RunObs::default();
+    let result = dispatch(cfg, Some(&mut obs));
+    TimingObservation {
+        result,
+        metrics: obs.metrics.unwrap_or_else(JsonValue::empty_object),
+        trace: obs.trace,
+    }
+}
+
+fn dispatch(cfg: &TimingConfig, obs: Option<&mut RunObs>) -> TimingResult {
+    assert!(
+        cfg.workers >= 2,
+        "distributed training needs at least two workers"
+    );
     assert!(cfg.iterations > 0, "must measure at least one iteration");
     match cfg.strategy {
-        Strategy::SyncPs => run_sync_ps(cfg),
-        Strategy::SyncAr => run_sync_ar(cfg),
-        Strategy::SyncIsw => run_sync_isw(cfg),
-        Strategy::AsyncPs => run_async_ps(cfg),
-        Strategy::AsyncIsw => run_async_isw(cfg),
+        Strategy::SyncPs => run_sync_ps(cfg, obs),
+        Strategy::SyncAr => run_sync_ar(cfg, obs),
+        Strategy::SyncIsw => run_sync_isw(cfg, obs),
+        Strategy::AsyncPs => run_async_ps(cfg, obs),
+        Strategy::AsyncIsw => run_async_isw(cfg, obs),
     }
 }
 
@@ -235,8 +322,10 @@ fn build_plain_topology(
         Some(per_rack) => {
             let sizes = rack_sizes(cfg.workers, per_rack);
             let mut apps = worker_apps.into_iter();
-            let mut racks: Vec<Vec<Box<dyn HostApp>>> =
-                sizes.iter().map(|&k| (0..k).map(|_| apps.next().expect("enough apps")).collect()).collect();
+            let mut racks: Vec<Vec<Box<dyn HostApp>>> = sizes
+                .iter()
+                .map(|&k| (0..k).map(|_| apps.next().expect("enough apps")).collect())
+                .collect();
             // The PS server joins the first rack (extra port on ToR 0).
             let has_server = server_app.is_some();
             if let Some(s) = server_app {
@@ -270,13 +359,28 @@ fn collect_sync_result<T: HostApp>(
     sim: &mut Simulator,
     workers: &[iswitch_netsim::NodeId],
     warmup: usize,
+    mut obs: Option<&mut RunObs>,
     log_of: impl Fn(&T) -> &crate::apps::IterLog,
 ) -> TimingResult {
     let mut spans: Vec<IterSpans> = Vec::new();
     let mut measured = 0;
-    for &w in workers {
+    for (widx, &w) in workers.iter().enumerate() {
         let app = sim.device::<Host>(w).app::<T>();
         let log = log_of(app);
+        if let Some(obs) = obs.as_deref_mut() {
+            for (i, (span, end)) in log.spans().iter().zip(log.end_times()).enumerate() {
+                obs.trace.record(
+                    TraceEvent::new(end.as_nanos(), "iteration")
+                        .with_u64("worker", widx as u64)
+                        .with_u64("iter", i as u64)
+                        .with_str("phase", if i < warmup { "warmup" } else { "measure" })
+                        .with_u64("lgc_ns", span.compute.as_nanos())
+                        .with_u64("ga_ns", span.aggregation.as_nanos())
+                        .with_u64("lwu_ns", span.update.as_nanos())
+                        .with_u64("total_ns", span.total().as_nanos()),
+                );
+            }
+        }
         spans.push(log.mean_after(warmup));
         measured += log.len().saturating_sub(warmup);
     }
@@ -298,7 +402,14 @@ fn collect_sync_result<T: HostApp>(
     }
 }
 
-fn run_sync_ps(cfg: &TimingConfig) -> TimingResult {
+/// Snapshots the simulation's metrics registry into the capture, if any.
+fn capture_metrics(sim: &Simulator, obs: &mut Option<&mut RunObs>) {
+    if let Some(obs) = obs.as_deref_mut() {
+        obs.metrics = Some(sim.metrics_json());
+    }
+}
+
+fn run_sync_ps(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResult {
     let bytes = model_bytes(cfg.algorithm);
     let model = ComputeModel::for_algorithm(cfg.algorithm);
     let total_iters = cfg.warmup + cfg.iterations;
@@ -328,7 +439,8 @@ fn run_sync_ps(cfg: &TimingConfig) -> TimingResult {
     ));
     let (workers, _server) = build_plain_topology(&mut sim, worker_apps, Some(server), cfg);
     sim.run_until_idle();
-    collect_sync_result::<SyncPsWorker>(&mut sim, &workers, cfg.warmup, |a| &a.log)
+    capture_metrics(&sim, &mut obs);
+    collect_sync_result::<SyncPsWorker>(&mut sim, &workers, cfg.warmup, obs, |a| &a.log)
 }
 
 /// Worker IPs in flattened order for the current layout.
@@ -348,7 +460,7 @@ fn worker_ips(cfg: &TimingConfig) -> Vec<iswitch_netsim::IpAddr> {
     }
 }
 
-fn run_sync_ar(cfg: &TimingConfig) -> TimingResult {
+fn run_sync_ar(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResult {
     let bytes = model_bytes(cfg.algorithm);
     let model = ComputeModel::for_algorithm(cfg.algorithm);
     let total_iters = cfg.warmup + cfg.iterations;
@@ -371,7 +483,8 @@ fn run_sync_ar(cfg: &TimingConfig) -> TimingResult {
         .collect();
     let (workers, _) = build_plain_topology(&mut sim, worker_apps, None, cfg);
     sim.run_until_idle();
-    collect_sync_result::<RingWorker>(&mut sim, &workers, cfg.warmup, |a| &a.log)
+    capture_metrics(&sim, &mut obs);
+    collect_sync_result::<RingWorker>(&mut sim, &workers, cfg.warmup, obs, |a| &a.log)
 }
 
 /// Builds the iSwitch topology (star or tree with accelerators installed)
@@ -400,8 +513,7 @@ fn build_isw_topology(
         None => {
             let n = worker_apps.len();
             let child_ports: Vec<PortId> = (0..n).map(PortId::new).collect();
-            let ext =
-                IswitchExtension::new(tune(ExtensionConfig::for_star(child_ports, len), cfg));
+            let ext = IswitchExtension::new(tune(ExtensionConfig::for_star(child_ports, len), cfg));
             build_star(sim, worker_apps, Some(Box::new(ext)), &cfg.topo).hosts
         }
         Some(per_rack) => {
@@ -502,7 +614,7 @@ fn apply_event_limit(sim: &mut Simulator, cfg: &TimingConfig) {
     }
 }
 
-fn run_sync_isw(cfg: &TimingConfig) -> TimingResult {
+fn run_sync_isw(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResult {
     let len = grad_len(cfg.algorithm);
     let model = ComputeModel::for_algorithm(cfg.algorithm);
     let total_iters = cfg.warmup + cfg.iterations;
@@ -514,8 +626,10 @@ fn run_sync_isw(cfg: &TimingConfig) -> TimingResult {
     let help_timeout = SimDuration::serialization(len * 4, cfg.topo.edge.bandwidth_bps) * 3
         + SimDuration::from_millis(3);
     if cfg.edge_loss > 0.0 {
-        cfg.topo.edge.loss =
-            LossModel::Random { probability: cfg.edge_loss, seed: cfg.seed };
+        cfg.topo.edge.loss = LossModel::Random {
+            probability: cfg.edge_loss,
+            seed: cfg.seed,
+        };
     }
     let mut sim = Simulator::new();
     apply_event_limit(&mut sim, &cfg);
@@ -537,7 +651,8 @@ fn run_sync_isw(cfg: &TimingConfig) -> TimingResult {
         .collect();
     let workers = build_isw_topology(&mut sim, worker_apps, &cfg, len);
     sim.run_until_idle();
-    collect_sync_result::<IswSyncWorker>(&mut sim, &workers, cfg.warmup, |a| &a.log)
+    capture_metrics(&sim, &mut obs);
+    collect_sync_result::<IswSyncWorker>(&mut sim, &workers, cfg.warmup, obs, |a| &a.log)
 }
 
 /// Mean interval between consecutive update timestamps after warmup.
@@ -572,7 +687,22 @@ fn run_async_until(
     panic!("async simulation failed to reach {target_updates} updates");
 }
 
-fn run_async_ps(cfg: &TimingConfig) -> TimingResult {
+/// Emits one `update` event per observed weight-update timestamp.
+fn trace_updates(obs: &mut Option<&mut RunObs>, times: &[SimTime], warmup: usize) {
+    if let Some(obs) = obs.as_deref_mut() {
+        for (i, t) in times.iter().enumerate() {
+            let mut ev = TraceEvent::new(t.as_nanos(), "update")
+                .with_u64("index", i as u64)
+                .with_str("phase", if i < warmup { "warmup" } else { "measure" });
+            if i > 0 {
+                ev = ev.with_u64("interval_ns", t.duration_since(times[i - 1]).as_nanos());
+            }
+            obs.trace.record(ev);
+        }
+    }
+}
+
+fn run_async_ps(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResult {
     let bytes = model_bytes(cfg.algorithm);
     let model = ComputeModel::for_algorithm(cfg.algorithm);
     let mut sim = Simulator::new();
@@ -602,21 +732,34 @@ fn run_async_ps(cfg: &TimingConfig) -> TimingResult {
     let server_node = server_node.expect("async PS has a server");
     let target = cfg.warmup + cfg.iterations + 1;
     run_async_until(&mut sim, target, |sim| {
-        sim.device::<Host>(server_node).app::<AsyncPsServer>().update_times.len()
+        sim.device::<Host>(server_node)
+            .app::<AsyncPsServer>()
+            .update_times
+            .len()
     });
+    capture_metrics(&sim, &mut obs);
     let app = sim.device::<Host>(server_node).app::<AsyncPsServer>();
+    trace_updates(&mut obs, &app.update_times, cfg.warmup);
     let (per_iteration, measured) = mean_update_interval(&app.update_times, cfg.warmup);
     let pushed = app.staleness.len() as f64 + app.discarded as f64;
     TimingResult {
         per_iteration,
-        breakdown: Breakdown { compute: SimDuration::ZERO, aggregation: per_iteration, update: SimDuration::ZERO },
+        breakdown: Breakdown {
+            compute: SimDuration::ZERO,
+            aggregation: per_iteration,
+            update: SimDuration::ZERO,
+        },
         staleness: app.staleness.clone(),
-        discard_fraction: if pushed > 0.0 { app.discarded as f64 / pushed } else { 0.0 },
+        discard_fraction: if pushed > 0.0 {
+            app.discarded as f64 / pushed
+        } else {
+            0.0
+        },
         iterations_measured: measured,
     }
 }
 
-fn run_async_isw(cfg: &TimingConfig) -> TimingResult {
+fn run_async_isw(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResult {
     let len = grad_len(cfg.algorithm);
     let model = ComputeModel::for_algorithm(cfg.algorithm);
     let mut sim = Simulator::new();
@@ -637,17 +780,26 @@ fn run_async_isw(cfg: &TimingConfig) -> TimingResult {
     let probe = workers[0];
     let target = cfg.warmup + cfg.iterations + 1;
     run_async_until(&mut sim, target, |sim| {
-        sim.device::<Host>(probe).app::<IswAsyncWorker>().update_times.len()
+        sim.device::<Host>(probe)
+            .app::<IswAsyncWorker>()
+            .update_times
+            .len()
     });
+    capture_metrics(&sim, &mut obs);
     let mut staleness = Vec::new();
     for &w in &workers {
         staleness.extend_from_slice(&sim.device::<Host>(w).app::<IswAsyncWorker>().staleness);
     }
     let app = sim.device::<Host>(probe).app::<IswAsyncWorker>();
+    trace_updates(&mut obs, &app.update_times, cfg.warmup);
     let (per_iteration, measured) = mean_update_interval(&app.update_times, cfg.warmup);
     TimingResult {
         per_iteration,
-        breakdown: Breakdown { compute: SimDuration::ZERO, aggregation: per_iteration, update: SimDuration::ZERO },
+        breakdown: Breakdown {
+            compute: SimDuration::ZERO,
+            aggregation: per_iteration,
+            update: SimDuration::ZERO,
+        },
         staleness,
         discard_fraction: 0.0,
         iterations_measured: measured,
@@ -683,7 +835,10 @@ mod tests {
     fn ar_beats_ps_on_big_models_but_loses_on_small() {
         let ar_dqn = run_timing(&quick(Algorithm::Dqn, Strategy::SyncAr));
         let ps_dqn = run_timing(&quick(Algorithm::Dqn, Strategy::SyncPs));
-        assert!(ar_dqn.per_iteration < ps_dqn.per_iteration, "AR should win on DQN");
+        assert!(
+            ar_dqn.per_iteration < ps_dqn.per_iteration,
+            "AR should win on DQN"
+        );
 
         let ar_ppo = run_timing(&quick(Algorithm::Ppo, Strategy::SyncAr));
         let ps_ppo = run_timing(&quick(Algorithm::Ppo, Strategy::SyncPs));
@@ -701,7 +856,10 @@ mod tests {
         // land within 35% of the anchor without per-strategy tuning.
         let r = run_timing(&quick(Algorithm::Dqn, Strategy::SyncPs));
         let ms = r.per_iteration.as_millis_f64();
-        assert!((50.0..115.0).contains(&ms), "DQN PS per-iteration {ms:.1} ms");
+        assert!(
+            (50.0..115.0).contains(&ms),
+            "DQN PS per-iteration {ms:.1} ms"
+        );
         // Aggregation dominates (Fig. 4).
         assert!(r.breakdown.aggregation_share() > 0.5);
     }
@@ -722,7 +880,11 @@ mod tests {
     fn async_staleness_respects_bound() {
         let r = run_timing(&quick(Algorithm::Ppo, Strategy::AsyncIsw));
         assert!(!r.staleness.is_empty());
-        assert!(r.staleness.iter().all(|&s| s <= 3), "bound violated: {:?}", r.staleness);
+        assert!(
+            r.staleness.iter().all(|&s| s <= 3),
+            "bound violated: {:?}",
+            r.staleness
+        );
         let r = run_timing(&quick(Algorithm::Ppo, Strategy::AsyncPs));
         assert!(r.staleness.iter().all(|&s| s <= 3));
     }

@@ -276,12 +276,19 @@ impl Accelerator {
     }
 
     fn complete(&mut self, idx: u64) -> DataSegment {
-        let values = self.buffers.remove(&idx).expect("completing a resident segment");
+        let values = self
+            .buffers
+            .remove(&idx)
+            .expect("completing a resident segment");
         self.resident_bytes -= values.len() * 4;
         let count = self.worker_counts.remove(&idx).unwrap_or(0);
         self.counters.remove(&idx);
         self.stats.segments_emitted += 1;
-        let result = DataSegment { seg: idx, count, values };
+        let result = DataSegment {
+            seg: idx,
+            count,
+            values,
+        };
         self.last_results.insert(idx, result.clone());
         result
     }
@@ -320,7 +327,11 @@ mod tests {
     use super::*;
 
     fn seg(idx: u64, values: Vec<f32>) -> DataSegment {
-        DataSegment { seg: idx, count: 1, values }
+        DataSegment {
+            seg: idx,
+            count: 1,
+            values,
+        }
     }
 
     #[test]
@@ -389,8 +400,16 @@ mod tests {
         // per rack (H = 2 here), but the emitted result's count metadata
         // sums the workers each rack represents.
         let mut core = Accelerator::new(AcceleratorConfig::default(), 1, 2);
-        let rack_a = DataSegment { seg: 0, count: 3, values: vec![30.0] };
-        let rack_b = DataSegment { seg: 0, count: 3, values: vec![12.0] };
+        let rack_a = DataSegment {
+            seg: 0,
+            count: 3,
+            values: vec![30.0],
+        };
+        let rack_b = DataSegment {
+            seg: 0,
+            count: 3,
+            values: vec![12.0],
+        };
         assert!(core.ingest(&rack_a).0.is_none());
         let (done, _) = core.ingest(&rack_b);
         let done = done.expect("both racks arrived");
@@ -434,7 +453,10 @@ mod tests {
     fn window_overflow_drops_new_rounds() {
         // Threshold 2 but only one contribution per segment: every segment
         // stays partial; once the budget is exhausted new rounds drop.
-        let cfg = AcceleratorConfig { buffer_bytes: 2_928, ..AcceleratorConfig::default() };
+        let cfg = AcceleratorConfig {
+            buffer_bytes: 2_928,
+            ..AcceleratorConfig::default()
+        };
         let mut a = Accelerator::new(cfg, 100, 2);
         for i in 0..100 {
             let _ = a.ingest(&seg(i, vec![0.0; 366]));
@@ -451,7 +473,10 @@ mod tests {
     fn window_stays_small_when_segments_complete() {
         // Two interleaved workers: each segment completes right after both
         // contributions, so at most one segment is ever resident.
-        let cfg = AcceleratorConfig { buffer_bytes: 4_096, ..AcceleratorConfig::default() };
+        let cfg = AcceleratorConfig {
+            buffer_bytes: 4_096,
+            ..AcceleratorConfig::default()
+        };
         let mut a = Accelerator::new(cfg, 1_000, 2);
         for i in 0..1_000u64 {
             let _ = a.ingest(&seg(i, vec![0.0; 366]));

@@ -111,7 +111,9 @@ impl MembershipTable {
 
     /// The smallest unused id.
     pub fn next_id(&self) -> u32 {
-        (0..).find(|id| !self.entries.contains_key(id)).expect("ids not exhausted")
+        (0..)
+            .find(|id| !self.entries.contains_key(id))
+            .expect("ids not exhausted")
     }
 }
 

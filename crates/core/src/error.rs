@@ -46,7 +46,9 @@ mod tests {
     fn display_is_lowercase_and_specific() {
         let e = ProtocolError::Truncated { needed: 8, got: 3 };
         assert_eq!(e.to_string(), "truncated packet: needed 8 bytes, got 3");
-        assert!(ProtocolError::UnknownAction(0xFF).to_string().contains("0xff"));
+        assert!(ProtocolError::UnknownAction(0xFF)
+            .to_string()
+            .contains("0xff"));
     }
 
     #[test]

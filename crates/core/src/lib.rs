@@ -54,8 +54,8 @@ pub use protocol::{
     is_iswitch_tos, num_quant_segments, num_segments, quantize_gradient, seg_index, seg_round,
     segment_gradient, segment_gradient_round, tag_round, ControlMessage, DataSegment,
     GradientAssembler, QuantAccelerator, QuantConfig, QuantSegment, FLOATS_PER_SEGMENT,
-    INTS_PER_SEGMENT, ISWITCH_UDP_PORT, MAX_SEG_INDEX, ROUND_SHIFT, SEG_HEADER_BYTES,
-    TOS_CONTROL, TOS_DATA,
+    INTS_PER_SEGMENT, ISWITCH_UDP_PORT, MAX_SEG_INDEX, ROUND_SHIFT, SEG_HEADER_BYTES, TOS_CONTROL,
+    TOS_DATA,
 };
 pub use switch_ext::{
     AggregationMode, AggregationRole, ExtensionConfig, ExtensionStats, IswitchExtension,

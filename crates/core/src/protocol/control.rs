@@ -83,7 +83,10 @@ impl ControlMessage {
         let mut buf = BytesMut::with_capacity(16);
         buf.put_u8(self.action_code());
         match self {
-            ControlMessage::Join { worker_id, grad_len } => {
+            ControlMessage::Join {
+                worker_id,
+                grad_len,
+            } => {
                 buf.put_u32(*worker_id);
                 buf.put_u32(*grad_len);
             }
@@ -110,7 +113,10 @@ impl ControlMessage {
             .ok_or(ProtocolError::Truncated { needed: 1, got: 0 })?;
         let need = |n: usize| {
             if rest.len() < n {
-                Err(ProtocolError::Truncated { needed: n + 1, got: payload.len() })
+                Err(ProtocolError::Truncated {
+                    needed: n + 1,
+                    got: payload.len(),
+                })
             } else {
                 Ok(())
             }
@@ -120,11 +126,16 @@ impl ControlMessage {
         match action {
             code::JOIN => {
                 need(8)?;
-                Ok(ControlMessage::Join { worker_id: u32_at(0), grad_len: u32_at(4) })
+                Ok(ControlMessage::Join {
+                    worker_id: u32_at(0),
+                    grad_len: u32_at(4),
+                })
             }
             code::LEAVE => {
                 need(4)?;
-                Ok(ControlMessage::Leave { worker_id: u32_at(0) })
+                Ok(ControlMessage::Leave {
+                    worker_id: u32_at(0),
+                })
             }
             code::RESET => Ok(ControlMessage::Reset),
             code::SET_H => {
@@ -142,7 +153,10 @@ impl ControlMessage {
             code::HALT => Ok(ControlMessage::Halt),
             code::ACK => {
                 need(2)?;
-                Ok(ControlMessage::Ack { of: rest[0], ok: rest[1] != 0 })
+                Ok(ControlMessage::Ack {
+                    of: rest[0],
+                    ok: rest[1] != 0,
+                })
             }
             other => Err(ProtocolError::UnknownAction(other)),
         }
@@ -155,7 +169,10 @@ mod tests {
 
     fn all_messages() -> Vec<ControlMessage> {
         vec![
-            ControlMessage::Join { worker_id: 3, grad_len: 1_680_343 },
+            ControlMessage::Join {
+                worker_id: 3,
+                grad_len: 1_680_343,
+            },
             ControlMessage::Leave { worker_id: 3 },
             ControlMessage::Reset,
             ControlMessage::SetH { h: 4 },
@@ -163,7 +180,10 @@ mod tests {
             ControlMessage::Help { seg: 7 },
             ControlMessage::Halt,
             ControlMessage::Ack { of: 0x04, ok: true },
-            ControlMessage::Ack { of: 0x01, ok: false },
+            ControlMessage::Ack {
+                of: 0x01,
+                ok: false,
+            },
         ]
     }
 
@@ -196,7 +216,10 @@ mod tests {
 
     #[test]
     fn unknown_action_errors() {
-        assert_eq!(ControlMessage::decode(&[0x7F]), Err(ProtocolError::UnknownAction(0x7F)));
+        assert_eq!(
+            ControlMessage::decode(&[0x7F]),
+            Err(ProtocolError::UnknownAction(0x7F))
+        );
     }
 
     #[test]

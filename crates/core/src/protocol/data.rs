@@ -116,7 +116,11 @@ impl DataSegment {
             .chunks_exact(4)
             .map(|c| f32::from_be_bytes(c.try_into().expect("4 bytes")))
             .collect();
-        Ok(DataSegment { seg: header >> 16, count: (header & 0xFFFF) as u16, values })
+        Ok(DataSegment {
+            seg: header >> 16,
+            count: (header & 0xFFFF) as u16,
+            values,
+        })
     }
 }
 
@@ -262,14 +266,22 @@ mod tests {
 
     #[test]
     fn segment_encode_decode_round_trips() {
-        let seg = DataSegment { seg: 12345, count: 4, values: vec![1.5, -2.25, 0.0, f32::MIN] };
+        let seg = DataSegment {
+            seg: 12345,
+            count: 4,
+            values: vec![1.5, -2.25, 0.0, f32::MIN],
+        };
         let decoded = DataSegment::decode(&seg.encode()).expect("decodes");
         assert_eq!(decoded, seg);
     }
 
     #[test]
     fn full_segment_fits_mtu() {
-        let seg = DataSegment { seg: 0, count: 1, values: vec![0.0; FLOATS_PER_SEGMENT] };
+        let seg = DataSegment {
+            seg: 0,
+            count: 1,
+            values: vec![0.0; FLOATS_PER_SEGMENT],
+        };
         assert!(seg.encode().len() <= MAX_UDP_PAYLOAD);
         assert_eq!(FLOATS_PER_SEGMENT, 366);
     }
@@ -315,10 +327,24 @@ mod tests {
     #[test]
     fn wrong_length_or_index_rejected() {
         let mut asm = GradientAssembler::new(100);
-        let bad_idx = DataSegment { seg: 5, count: 1, values: vec![0.0; 100] };
-        assert_eq!(asm.insert(&bad_idx), Err(ProtocolError::InvalidField("seg")));
-        let bad_len = DataSegment { seg: 0, count: 1, values: vec![0.0; 99] };
-        assert_eq!(asm.insert(&bad_len), Err(ProtocolError::InvalidField("payload length")));
+        let bad_idx = DataSegment {
+            seg: 5,
+            count: 1,
+            values: vec![0.0; 100],
+        };
+        assert_eq!(
+            asm.insert(&bad_idx),
+            Err(ProtocolError::InvalidField("seg"))
+        );
+        let bad_len = DataSegment {
+            seg: 0,
+            count: 1,
+            values: vec![0.0; 99],
+        };
+        assert_eq!(
+            asm.insert(&bad_len),
+            Err(ProtocolError::InvalidField("payload length"))
+        );
     }
 
     #[test]
@@ -327,9 +353,18 @@ mod tests {
             DataSegment::decode(&[0, 1, 2]),
             Err(ProtocolError::Truncated { .. })
         ));
-        let mut payload = DataSegment { seg: 0, count: 1, values: vec![1.0] }.encode().to_vec();
+        let mut payload = DataSegment {
+            seg: 0,
+            count: 1,
+            values: vec![1.0],
+        }
+        .encode()
+        .to_vec();
         payload.push(0xFF);
-        assert_eq!(DataSegment::decode(&payload), Err(ProtocolError::MisalignedPayload(5)));
+        assert_eq!(
+            DataSegment::decode(&payload),
+            Err(ProtocolError::MisalignedPayload(5))
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ impl QuantConfig {
     ///
     /// Panics if `clip` is not positive and finite.
     pub fn new(clip: f32) -> Self {
-        assert!(clip > 0.0 && clip.is_finite(), "clip must be positive and finite");
+        assert!(
+            clip > 0.0 && clip.is_finite(),
+            "clip must be positive and finite"
+        );
         QuantConfig { clip }
     }
 
@@ -102,8 +105,7 @@ impl QuantSegment {
         buf.put_u64((self.seg << 16) | u64::from(self.count));
         buf.put_f32(self.step);
         for &v in &self.values {
-            let narrow =
-                i16::try_from(v).expect("worker contributions stay within i16 range");
+            let narrow = i16::try_from(v).expect("worker contributions stay within i16 range");
             buf.put_i16(narrow);
         }
         buf.freeze()
@@ -275,7 +277,12 @@ mod tests {
         let grad = vec![0.1f32; 10_000];
         let q = quantize_gradient(&grad, QuantConfig::default());
         let f = crate::protocol::segment_gradient(&grad);
-        assert!(q.len() < f.len(), "quantized {} vs f32 {}", q.len(), f.len());
+        assert!(
+            q.len() < f.len(),
+            "quantized {} vs f32 {}",
+            q.len(),
+            f.len()
+        );
     }
 
     #[test]
@@ -283,7 +290,11 @@ mod tests {
         let cfg = QuantConfig::default();
         let n = 4;
         let grads: Vec<Vec<f32>> = (0..n)
-            .map(|w| (0..800).map(|i| ((w * 800 + i) as f32 * 0.013).sin() * 0.6).collect())
+            .map(|w| {
+                (0..800)
+                    .map(|i| ((w * 800 + i) as f32 * 0.013).sin() * 0.6)
+                    .collect()
+            })
             .collect();
         let mut expect = vec![0.0f32; 800];
         for g in &grads {

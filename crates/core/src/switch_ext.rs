@@ -18,10 +18,12 @@
 
 use std::any::Any;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use iswitch_netsim::{
     ExtAction, IpAddr, Packet, PortId, SimDuration, SimTime, SwitchExtension, SwitchServices,
 };
+use iswitch_obs::{Counter, Histogram, Registry};
 
 use crate::accelerator::{Accelerator, AcceleratorConfig};
 use crate::control_plane::{Member, MemberType, MembershipTable};
@@ -179,6 +181,55 @@ enum PendingEmit {
     HelpReply { seg: DataSegment, to: IpAddr },
 }
 
+/// Metric handles registered in the owning simulation's registry.
+///
+/// Resolved lazily on the first callback (the extension is constructed
+/// before it joins a simulation, so the registry is not available in
+/// `new`). Names are prefixed `core.switch.nNNN.` with the switch's node
+/// id, so every switch in a tree exports distinct series.
+struct ExtObs {
+    /// Time from a segment round's first contribution to its threshold-H
+    /// completion, including the accelerator's pipeline latency. This is
+    /// the paper's per-segment aggregation-latency measurement (§5).
+    agg_latency_ns: Arc<Histogram>,
+    /// Segment rounds completed by reaching the threshold `H`.
+    h_hits: Arc<Counter>,
+    /// Data packets ingested by the accelerator.
+    data_ingested: Arc<Counter>,
+    /// `Help` retransmissions served from the result cache.
+    help_served: Arc<Counter>,
+    /// `Help` requests that missed the result cache.
+    help_missed: Arc<Counter>,
+    /// Stale partial rounds flushed by the expiry sweep.
+    stale_flushes: Arc<Counter>,
+    /// Result packets broadcast downward.
+    broadcasts: Arc<Counter>,
+    /// Aggregates forwarded up the hierarchy.
+    upward_forwards: Arc<Counter>,
+    /// Control messages handled.
+    control_handled: Arc<Counter>,
+    /// Non-iSwitch packets passed through to regular forwarding.
+    passed_through: Arc<Counter>,
+}
+
+impl ExtObs {
+    fn resolve(registry: &Registry, node_index: usize) -> Self {
+        let name = |metric: &str| format!("core.switch.n{node_index:03}.{metric}");
+        ExtObs {
+            agg_latency_ns: registry.histogram(&name("agg_latency_ns")),
+            h_hits: registry.counter(&name("h_hits")),
+            data_ingested: registry.counter(&name("data_ingested")),
+            help_served: registry.counter(&name("help_served")),
+            help_missed: registry.counter(&name("help_missed")),
+            stale_flushes: registry.counter(&name("stale_flushes")),
+            broadcasts: registry.counter(&name("broadcasts")),
+            upward_forwards: registry.counter(&name("upward_forwards")),
+            control_handled: registry.counter(&name("control_handled")),
+            passed_through: registry.counter(&name("passed_through")),
+        }
+    }
+}
+
 /// The in-switch aggregation extension.
 /// Timer token reserved for the stale-partial sweep.
 const SWEEP_TOKEN: u64 = u64::MAX;
@@ -197,6 +248,10 @@ pub struct IswitchExtension {
     /// whole round is resident.
     held: Vec<DataSegment>,
     stats: ExtensionStats,
+    /// First contribution time of each in-flight segment round, for the
+    /// aggregation-latency histogram.
+    round_open: HashMap<usize, SimTime>,
+    obs: Option<ExtObs>,
 }
 
 impl IswitchExtension {
@@ -207,10 +262,16 @@ impl IswitchExtension {
     /// Panics if the configuration is degenerate (no children, zero-length
     /// gradient) or the model does not fit the accelerator's buffer budget.
     pub fn new(cfg: ExtensionConfig) -> Self {
-        assert!(!cfg.child_ports.is_empty(), "a switch needs at least one child");
+        assert!(
+            !cfg.child_ports.is_empty(),
+            "a switch needs at least one child"
+        );
         assert!(cfg.grad_len > 0, "gradient length must be positive");
-        let accel =
-            Accelerator::new(cfg.accel.clone(), num_segments(cfg.grad_len), cfg.threshold.max(1));
+        let accel = Accelerator::new(
+            cfg.accel.clone(),
+            num_segments(cfg.grad_len),
+            cfg.threshold.max(1),
+        );
         IswitchExtension {
             cfg,
             accel,
@@ -221,7 +282,15 @@ impl IswitchExtension {
             sweep_armed: false,
             held: Vec::new(),
             stats: ExtensionStats::default(),
+            round_open: HashMap::new(),
+            obs: None,
         }
+    }
+
+    /// Resolves the metric handles on first use and returns them.
+    fn obs(&mut self, sw: &SwitchServices<'_, '_>) -> &ExtObs {
+        self.obs
+            .get_or_insert_with(|| ExtObs::resolve(sw.metrics(), sw.node().index()))
     }
 
     /// The underlying accelerator (for inspection in tests/benches).
@@ -247,8 +316,14 @@ impl IswitchExtension {
     }
 
     fn data_packet(&self, dst: IpAddr, seg: &DataSegment) -> Packet {
-        Packet::udp(self.cfg.switch_ip, dst, ISWITCH_UDP_PORT, ISWITCH_UDP_PORT, TOS_DATA)
-            .with_payload(seg.encode())
+        Packet::udp(
+            self.cfg.switch_ip,
+            dst,
+            ISWITCH_UDP_PORT,
+            ISWITCH_UDP_PORT,
+            TOS_DATA,
+        )
+        .with_payload(seg.encode())
     }
 
     fn broadcast_down(&mut self, sw: &mut SwitchServices<'_, '_>, seg: &DataSegment) {
@@ -257,9 +332,17 @@ impl IswitchExtension {
             sw.send_port(port, pkt.clone());
             self.stats.broadcasts += 1;
         }
+        if let Some(obs) = &self.obs {
+            obs.broadcasts.add(self.cfg.child_ports.len() as u64);
+        }
     }
 
-    fn emit_completed(&mut self, sw: &mut SwitchServices<'_, '_>, seg: DataSegment, delay: SimDuration) {
+    fn emit_completed(
+        &mut self,
+        sw: &mut SwitchServices<'_, '_>,
+        seg: DataSegment,
+        delay: SimDuration,
+    ) {
         match self.cfg.mode {
             AggregationMode::OnTheFly => {
                 let emit = match self.cfg.role {
@@ -308,19 +391,29 @@ impl IswitchExtension {
             Err(_) => return,
         };
         let idx = seg.seg as usize;
+        let now = sw.now();
+        self.round_open.entry(idx).or_insert(now);
         let (done, latency) = self.accel.ingest(&seg);
+        let obs = self.obs(sw);
+        obs.data_ingested.inc();
         match done {
             Some(agg) => {
+                // Aggregation latency spans the round's first contribution
+                // to the result leaving the accelerator pipeline.
+                let opened = self.round_open.remove(&idx).unwrap_or(now);
+                let obs = self.obs.as_ref().expect("resolved above");
+                obs.h_hits.inc();
+                obs.agg_latency_ns
+                    .record(now.saturating_duration_since(opened).as_nanos() + latency.as_nanos());
                 self.last_arrival.remove(&idx);
                 self.emit_completed(sw, agg, latency);
             }
             None => {
-                if self.cfg.stale_flush.is_some() {
+                if let Some(age) = self.cfg.stale_flush {
                     self.last_arrival.insert(idx, sw.now());
                     if !self.sweep_armed {
                         self.sweep_armed = true;
-                        let period = self.cfg.stale_flush.expect("checked") / 2;
-                        sw.set_timer(period, SWEEP_TOKEN);
+                        sw.set_timer(age / 2, SWEEP_TOKEN);
                     }
                 }
             }
@@ -343,8 +436,12 @@ impl IswitchExtension {
             .collect();
         for idx in stale {
             self.last_arrival.remove(&idx);
+            self.round_open.remove(&idx);
             if let Some(partial) = self.accel.force_broadcast(idx as u64) {
                 self.stats.stale_flushes += 1;
+                if let Some(obs) = &self.obs {
+                    obs.stale_flushes.inc();
+                }
                 self.emit_completed(sw, partial, SimDuration::from_nanos(0));
             }
         }
@@ -372,10 +469,14 @@ impl IswitchExtension {
             return;
         };
         self.stats.control_handled += 1;
+        self.obs(sw).control_handled.inc();
         let code = msg.action_code();
         let from = pkt.ip.src;
         match msg {
-            ControlMessage::Join { worker_id, grad_len } => {
+            ControlMessage::Join {
+                worker_id,
+                grad_len,
+            } => {
                 let ok = grad_len as usize == self.cfg.grad_len;
                 if ok {
                     self.membership.join(Member {
@@ -386,7 +487,8 @@ impl IswitchExtension {
                         parent: None,
                     });
                     if self.cfg.auto_threshold {
-                        self.accel.set_threshold(self.membership.worker_count().max(1) as u16);
+                        self.accel
+                            .set_threshold(self.membership.worker_count().max(1) as u16);
                     }
                 }
                 self.ack(sw, from, code, ok);
@@ -394,12 +496,14 @@ impl IswitchExtension {
             ControlMessage::Leave { worker_id } => {
                 let ok = self.membership.leave(worker_id).is_some();
                 if ok && self.cfg.auto_threshold && self.membership.worker_count() > 0 {
-                    self.accel.set_threshold(self.membership.worker_count() as u16);
+                    self.accel
+                        .set_threshold(self.membership.worker_count() as u16);
                 }
                 self.ack(sw, from, code, ok);
             }
             ControlMessage::Reset => {
                 self.accel.reset();
+                self.round_open.clear();
                 self.ack(sw, from, code, true);
             }
             ControlMessage::SetH { h } => {
@@ -411,15 +515,22 @@ impl IswitchExtension {
             }
             ControlMessage::FBcast { seg } => {
                 if let Some(partial) = self.accel.force_broadcast(seg) {
+                    self.round_open.remove(&(seg as usize));
                     let latency = SimDuration::from_nanos(0);
                     self.emit_completed(sw, partial, latency);
                 }
             }
             ControlMessage::Help { seg } => {
                 if let Some(cached) = self.accel.last_result(seg) {
-                    let reply = PendingEmit::HelpReply { seg: cached.clone(), to: from };
+                    let reply = PendingEmit::HelpReply {
+                        seg: cached.clone(),
+                        to: from,
+                    };
                     self.stats.help_served += 1;
+                    self.obs(sw).help_served.inc();
                     self.schedule(sw, SimDuration::from_nanos(0), reply);
+                } else {
+                    self.obs(sw).help_missed.inc();
                 }
             }
             ControlMessage::Halt => {
@@ -461,6 +572,7 @@ impl SwitchExtension for IswitchExtension {
             }
             _ => {
                 self.stats.passed_through += 1;
+                self.obs(sw).passed_through.inc();
                 ExtAction::Forward(pkt)
             }
         }
@@ -483,6 +595,7 @@ impl SwitchExtension for IswitchExtension {
                 let pkt = self.data_packet(UPSTREAM_IP, &seg);
                 sw.send_port(uplink, pkt);
                 self.stats.upward_forwards += 1;
+                self.obs(sw).upward_forwards.inc();
             }
             PendingEmit::HelpReply { seg, to } => {
                 let pkt = self.data_packet(to, &seg);

@@ -62,7 +62,9 @@ impl HostApp for ElasticWorker {
             T_PUSH => {
                 if let Some(limit) = self.rounds_before_leave {
                     if self.round >= limit {
-                        let leave = ControlMessage::Leave { worker_id: self.worker_id };
+                        let leave = ControlMessage::Leave {
+                            worker_id: self.worker_id,
+                        };
                         ctx.send(control_packet(ctx.ip(), UPSTREAM_IP, &leave));
                         ctx.set_timer(SimDuration::from_micros(10), T_LEAVE);
                         return;
@@ -96,16 +98,27 @@ fn run_elastic(
     workers: Vec<ElasticWorker>,
     grad_len: usize,
     until_ms: u64,
-) -> (Simulator, Vec<iswitch_netsim::NodeId>, iswitch_netsim::NodeId) {
+) -> (
+    Simulator,
+    Vec<iswitch_netsim::NodeId>,
+    iswitch_netsim::NodeId,
+) {
     let n = workers.len();
     let mut sim = Simulator::new();
-    let apps: Vec<Box<dyn HostApp>> =
-        workers.into_iter().map(|w| Box::new(w) as Box<dyn HostApp>).collect();
+    let apps: Vec<Box<dyn HostApp>> = workers
+        .into_iter()
+        .map(|w| Box::new(w) as Box<dyn HostApp>)
+        .collect();
     let mut cfg = ExtensionConfig::for_star((0..n).map(PortId::new).collect(), grad_len);
     cfg.auto_threshold = true;
     cfg.threshold = 1; // adapts upward as workers join
     let ext = IswitchExtension::new(cfg);
-    let star = build_star(&mut sim, apps, Some(Box::new(ext)), &TopologyConfig::default());
+    let star = build_star(
+        &mut sim,
+        apps,
+        Some(Box::new(ext)),
+        &TopologyConfig::default(),
+    );
     sim.run_until(iswitch_netsim::SimTime::from_nanos(until_ms * 1_000_000));
     (sim, star.hosts, star.switch)
 }
@@ -129,11 +142,19 @@ fn threshold_grows_as_workers_join() {
 
     // Worker 0 saw early single-contributor aggregates and later
     // 3-contributor ones.
-    let w0 = sim.device::<iswitch_netsim::Host>(hosts[0]).app::<ElasticWorker>();
+    let w0 = sim
+        .device::<iswitch_netsim::Host>(hosts[0])
+        .app::<ElasticWorker>();
     assert!(!w0.results.is_empty());
     let counts: Vec<u16> = w0.results.iter().map(|&(_, c)| c).collect();
-    assert!(counts.contains(&1), "solo rounds expected before the others joined");
-    assert!(counts.contains(&3), "full rounds expected after everyone joined");
+    assert!(
+        counts.contains(&1),
+        "solo rounds expected before the others joined"
+    );
+    assert!(
+        counts.contains(&3),
+        "full rounds expected after everyone joined"
+    );
 }
 
 #[test]
@@ -155,9 +176,20 @@ fn leave_shrinks_the_threshold_and_training_continues() {
 
     // The remaining workers keep receiving aggregates after the departure,
     // now with 2 contributors.
-    let w0 = sim.device::<iswitch_netsim::Host>(hosts[0]).app::<ElasticWorker>();
-    let late = w0.results.iter().rev().take(5).map(|&(_, c)| c).collect::<Vec<_>>();
-    assert!(late.iter().all(|&c| c == 2), "post-leave rounds should have 2 contributors: {late:?}");
+    let w0 = sim
+        .device::<iswitch_netsim::Host>(hosts[0])
+        .app::<ElasticWorker>();
+    let late = w0
+        .results
+        .iter()
+        .rev()
+        .take(5)
+        .map(|&(_, c)| c)
+        .collect::<Vec<_>>();
+    assert!(
+        late.iter().all(|&c| c == 2),
+        "post-leave rounds should have 2 contributors: {late:?}"
+    );
     // And earlier rounds had 3.
     assert!(w0.results.iter().any(|&(_, c)| c == 3));
 }

@@ -5,8 +5,8 @@
 use std::any::Any;
 
 use iswitch_core::{
-    control_packet, decode_control, decode_data, gradient_packets, AggregationRole,
-    ControlMessage, ExtensionConfig, GradientAssembler, IswitchExtension,
+    control_packet, decode_control, decode_data, gradient_packets, AggregationRole, ControlMessage,
+    ExtensionConfig, GradientAssembler, IswitchExtension,
 };
 use iswitch_netsim::{
     build_star, build_tree, build_tree3, host_ip, HostApp, HostCtx, LinkSpec, LossModel, Packet,
@@ -61,8 +61,7 @@ impl HostApp for ScriptedWorker {
                         worker_id: self.worker_id,
                         grad_len: self.grad.len() as u32,
                     };
-                    let pkt =
-                        control_packet(ctx.ip(), iswitch_core::UPSTREAM_IP, &join);
+                    let pkt = control_packet(ctx.ip(), iswitch_core::UPSTREAM_IP, &join);
                     ctx.send(pkt);
                 }
                 for pkt in gradient_packets(ctx.ip(), &self.grad) {
@@ -89,10 +88,8 @@ impl HostApp for ScriptedWorker {
     fn on_packet(&mut self, ctx: &mut HostCtx<'_, '_>, pkt: Packet) {
         if let Some(seg) = decode_data(&pkt) {
             if self.result.is_none() && self.assembler.insert(&seg).unwrap_or(false) {
-                let asm = std::mem::replace(
-                    &mut self.assembler,
-                    GradientAssembler::new(self.grad.len()),
-                );
+                let asm =
+                    std::mem::replace(&mut self.assembler, GradientAssembler::new(self.grad.len()));
                 self.result = Some(asm.into_mean());
                 self.result_at = Some(ctx.now());
             }
@@ -110,7 +107,9 @@ impl HostApp for ScriptedWorker {
 }
 
 fn worker_grad(w: usize, len: usize) -> Vec<f32> {
-    (0..len).map(|i| (w + 1) as f32 + (i % 7) as f32 * 0.25).collect()
+    (0..len)
+        .map(|i| (w + 1) as f32 + (i % 7) as f32 * 0.25)
+        .collect()
 }
 
 fn expected_mean(n: usize, len: usize) -> Vec<f32> {
@@ -132,27 +131,37 @@ fn build_star_sim(
     mk_worker: impl Fn(usize) -> ScriptedWorker,
 ) -> (Simulator, iswitch_netsim::Star) {
     let mut sim = Simulator::new();
-    let apps: Vec<Box<dyn HostApp>> =
-        (0..n).map(|w| Box::new(mk_worker(w)) as Box<dyn HostApp>).collect();
+    let apps: Vec<Box<dyn HostApp>> = (0..n)
+        .map(|w| Box::new(mk_worker(w)) as Box<dyn HostApp>)
+        .collect();
     // Ports on the switch are assigned in connect order: worker i -> port i.
     let child_ports: Vec<PortId> = (0..n).map(PortId::new).collect();
     let ext = IswitchExtension::new(ExtensionConfig::for_star(child_ports, len));
-    let star = build_star(&mut sim, apps, Some(Box::new(ext)), &TopologyConfig::default());
+    let star = build_star(
+        &mut sim,
+        apps,
+        Some(Box::new(ext)),
+        &TopologyConfig::default(),
+    );
     (sim, star)
 }
 
 #[test]
 fn star_aggregates_and_broadcasts_to_all_workers() {
     let (n, len) = (4, 1000);
-    let (mut sim, star) =
-        build_star_sim(n, len, |w| {
-            ScriptedWorker::new(worker_grad(w, len), SimDuration::from_micros(w as u64 * 3))
-        });
+    let (mut sim, star) = build_star_sim(n, len, |w| {
+        ScriptedWorker::new(worker_grad(w, len), SimDuration::from_micros(w as u64 * 3))
+    });
     sim.run_until_idle();
     let expect = expected_mean(n, len);
     for &h in &star.hosts {
-        let worker = sim.device::<iswitch_netsim::Host>(h).app::<ScriptedWorker>();
-        let got = worker.result.as_ref().expect("every worker gets the result");
+        let worker = sim
+            .device::<iswitch_netsim::Host>(h)
+            .app::<ScriptedWorker>();
+        let got = worker
+            .result
+            .as_ref()
+            .expect("every worker gets the result");
         for (a, b) in got.iter().zip(&expect) {
             assert!((a - b).abs() < 1e-4, "aggregate mismatch: {a} vs {b}");
         }
@@ -169,7 +178,9 @@ fn star_aggregation_takes_two_hops_of_time() {
         ScriptedWorker::new(worker_grad(w, len), SimDuration::ZERO)
     });
     sim.run_until_idle();
-    let worker = sim.device::<iswitch_netsim::Host>(star.hosts[0]).app::<ScriptedWorker>();
+    let worker = sim
+        .device::<iswitch_netsim::Host>(star.hosts[0])
+        .app::<ScriptedWorker>();
     let done = worker.result_at.expect("finished");
     assert!(
         done < SimTime::from_nanos(100_000),
@@ -182,11 +193,14 @@ fn interleaved_packet_arrivals_still_sum_correctly() {
     // Workers start at identical times so their packets interleave at the
     // switch; on-the-fly aggregation must be order-insensitive.
     let (n, len) = (4, 5000);
-    let (mut sim, star) =
-        build_star_sim(n, len, |w| ScriptedWorker::new(worker_grad(w, len), SimDuration::ZERO));
+    let (mut sim, star) = build_star_sim(n, len, |w| {
+        ScriptedWorker::new(worker_grad(w, len), SimDuration::ZERO)
+    });
     sim.run_until_idle();
     let expect = expected_mean(n, len);
-    let worker = sim.device::<iswitch_netsim::Host>(star.hosts[3]).app::<ScriptedWorker>();
+    let worker = sim
+        .device::<iswitch_netsim::Host>(star.hosts[3])
+        .app::<ScriptedWorker>();
     let got = worker.result.as_ref().expect("result");
     for (a, b) in got.iter().zip(&expect) {
         assert!((a - b).abs() < 1e-3);
@@ -218,7 +232,9 @@ fn tree_hierarchical_aggregation_equals_flat_sum() {
             SwitchRole::Tor(_) => {
                 // ToR ports: workers 0..per_rack, then the uplink.
                 IswitchExtension::new(ExtensionConfig::for_tree_level(
-                    AggregationRole::Intermediate { uplink: PortId::new(per_rack) },
+                    AggregationRole::Intermediate {
+                        uplink: PortId::new(per_rack),
+                    },
                     (0..per_rack).map(PortId::new).collect(),
                     len,
                 ))
@@ -237,7 +253,9 @@ fn tree_hierarchical_aggregation_equals_flat_sum() {
 
     let expect = expected_mean(racks * per_rack, len);
     for h in tree.all_hosts() {
-        let worker = sim.device::<iswitch_netsim::Host>(h).app::<ScriptedWorker>();
+        let worker = sim
+            .device::<iswitch_netsim::Host>(h)
+            .app::<ScriptedWorker>();
         let got = worker.result.as_ref().expect("every worker converges");
         for (a, b) in got.iter().zip(&expect) {
             assert!((a - b).abs() < 1e-3, "hierarchical sum mismatch");
@@ -246,7 +264,10 @@ fn tree_hierarchical_aggregation_equals_flat_sum() {
     // The core switch must have aggregated exactly rack-count contributions.
     let core_sw = sim.device_mut::<Switch>(tree.core);
     let ext = core_sw.extension::<IswitchExtension>();
-    assert_eq!(ext.accelerator().stats().packets_in as usize, racks * iswitch_core::num_segments(len));
+    assert_eq!(
+        ext.accelerator().stats().packets_in as usize,
+        racks * iswitch_core::num_segments(len)
+    );
 }
 
 #[test]
@@ -280,27 +301,35 @@ fn three_level_hierarchy_aggregates_correctly() {
     let mut mk_ext = |role: SwitchRole| -> Option<Box<dyn iswitch_netsim::SwitchExtension>> {
         let (agg_role, children) = match role {
             SwitchRole::Tor(_) => (
-                AggregationRole::Intermediate { uplink: PortId::new(per_rack) },
+                AggregationRole::Intermediate {
+                    uplink: PortId::new(per_rack),
+                },
                 per_rack,
             ),
             SwitchRole::Agg(_) => (
-                AggregationRole::Intermediate { uplink: PortId::new(tors_per_agg) },
+                AggregationRole::Intermediate {
+                    uplink: PortId::new(tors_per_agg),
+                },
                 tors_per_agg,
             ),
             SwitchRole::Core => (AggregationRole::Root, aggs),
         };
-        Some(Box::new(IswitchExtension::new(ExtensionConfig::for_tree_level(
-            agg_role,
-            (0..children).map(PortId::new).collect(),
-            len,
-        ))))
+        Some(Box::new(IswitchExtension::new(
+            ExtensionConfig::for_tree_level(
+                agg_role,
+                (0..children).map(PortId::new).collect(),
+                len,
+            ),
+        )))
     };
     let tree = build_tree3(&mut sim, apps, &mut mk_ext, &TopologyConfig::default());
     sim.run_until_idle();
 
     let expect = expected_mean(total, len);
     for h in tree.all_hosts() {
-        let worker = sim.device::<iswitch_netsim::Host>(h).app::<ScriptedWorker>();
+        let worker = sim
+            .device::<iswitch_netsim::Host>(h)
+            .app::<ScriptedWorker>();
         let got = worker.result.as_ref().expect("all 12 workers converge");
         for (a, b) in got.iter().zip(&expect) {
             assert!((a - b).abs() < 1e-3, "3-level hierarchical sum mismatch");
@@ -319,17 +348,21 @@ fn three_level_hierarchy_aggregates_correctly() {
 fn join_and_set_h_are_acknowledged() {
     let len = 100;
     let (mut sim, star) = build_star_sim(2, len, |w| {
-        let mut worker =
-            ScriptedWorker::new(worker_grad(w, len), SimDuration::from_micros(5));
+        let mut worker = ScriptedWorker::new(worker_grad(w, len), SimDuration::from_micros(5));
         worker.join_first = true;
         worker.worker_id = w as u32;
         worker
     });
     sim.run_until_idle();
     for &h in &star.hosts {
-        let worker = sim.device::<iswitch_netsim::Host>(h).app::<ScriptedWorker>();
+        let worker = sim
+            .device::<iswitch_netsim::Host>(h)
+            .app::<ScriptedWorker>();
         assert!(
-            worker.acks.iter().any(|m| matches!(m, ControlMessage::Ack { of: 0x01, ok: true })),
+            worker
+                .acks
+                .iter()
+                .any(|m| matches!(m, ControlMessage::Ack { of: 0x01, ok: true })),
             "join should be acked"
         );
         assert!(worker.result.is_some());
@@ -357,11 +390,17 @@ fn lost_result_recovered_via_help() {
     // 800 floats -> 3 segments. Worker 0's link: drop one downward packet.
     // Sequence numbers count both directions on the link; worker 0 sends
     // 3 data packets (seq 0..2), then the three results come down (3..5).
-    let cfg = TopologyConfig { edge: LinkSpec::ten_gbe(), ..TopologyConfig::default() };
+    let cfg = TopologyConfig {
+        edge: LinkSpec::ten_gbe(),
+        ..TopologyConfig::default()
+    };
     let star = {
         // Build with per-link loss: hand-wire instead of build_star.
         let switch = sim.add_node(
-            Box::new(Switch::with_extension(iswitch_netsim::RouteTable::new(), Box::new(ext))),
+            Box::new(Switch::with_extension(
+                iswitch_netsim::RouteTable::new(),
+                Box::new(ext),
+            )),
             iswitch_netsim::NodeOpts::new("switch").with_rx_overhead(cfg.switch_latency),
         );
         let mut routes = iswitch_netsim::RouteTable::new();
@@ -388,8 +427,13 @@ fn lost_result_recovered_via_help() {
     };
     sim.run_until_idle();
     for &h in &star {
-        let worker = sim.device::<iswitch_netsim::Host>(h).app::<ScriptedWorker>();
-        assert!(worker.result.is_some(), "worker recovered despite the lost result");
+        let worker = sim
+            .device::<iswitch_netsim::Host>(h)
+            .app::<ScriptedWorker>();
+        assert!(
+            worker.result.is_some(),
+            "worker recovered despite the lost result"
+        );
     }
     assert!(sim.stats().packets_dropped >= 1);
 }
@@ -416,7 +460,10 @@ fn stale_partial_rounds_expire_and_broadcast() {
     // uplink sequence number 1).
     let cfg = TopologyConfig::default();
     let switch = sim.add_node(
-        Box::new(Switch::with_extension(iswitch_netsim::RouteTable::new(), Box::new(ext))),
+        Box::new(Switch::with_extension(
+            iswitch_netsim::RouteTable::new(),
+            Box::new(ext),
+        )),
         iswitch_netsim::NodeOpts::new("switch").with_rx_overhead(cfg.switch_latency),
     );
     let mut routes = iswitch_netsim::RouteTable::new();
@@ -443,16 +490,19 @@ fn stale_partial_rounds_expire_and_broadcast() {
 
     // Every worker completes: segment 0 averaged over 3, segment 1 over 2.
     for &h in &hosts {
-        let worker = sim.device::<iswitch_netsim::Host>(h).app::<ScriptedWorker>();
-        let got = worker.result.as_ref().expect("partial flush completes the round");
+        let worker = sim
+            .device::<iswitch_netsim::Host>(h)
+            .app::<ScriptedWorker>();
+        let got = worker
+            .result
+            .as_ref()
+            .expect("partial flush completes the round");
         // Segment 0 (first 366 elements): mean of workers 0,1,2.
-        let full_mean: f32 = (worker_grad(0, len)[0] + worker_grad(1, len)[0]
-            + worker_grad(2, len)[0])
-            / 3.0;
+        let full_mean: f32 =
+            (worker_grad(0, len)[0] + worker_grad(1, len)[0] + worker_grad(2, len)[0]) / 3.0;
         assert!((got[0] - full_mean).abs() < 1e-4);
         // Segment 1: worker 0's packet was dropped -> mean of workers 1,2.
-        let partial_mean: f32 =
-            (worker_grad(1, len)[400] + worker_grad(2, len)[400]) / 2.0;
+        let partial_mean: f32 = (worker_grad(1, len)[400] + worker_grad(2, len)[400]) / 2.0;
         assert!(
             (got[400] - partial_mean).abs() < 1e-4,
             "expected partial mean {partial_mean}, got {}",
@@ -496,17 +546,30 @@ fn halt_is_relayed_to_every_worker() {
     }
     let mut sim = Simulator::new();
     let apps: Vec<Box<dyn HostApp>> = (0..3)
-        .map(|i| Box::new(HaltSender { send_halt: i == 0, halts_seen: 0 }) as Box<dyn HostApp>)
+        .map(|i| {
+            Box::new(HaltSender {
+                send_halt: i == 0,
+                halts_seen: 0,
+            }) as Box<dyn HostApp>
+        })
         .collect();
     let ext = IswitchExtension::new(ExtensionConfig::for_star(
         (0..3).map(PortId::new).collect(),
         len,
     ));
-    let star = build_star(&mut sim, apps, Some(Box::new(ext)), &TopologyConfig::default());
+    let star = build_star(
+        &mut sim,
+        apps,
+        Some(Box::new(ext)),
+        &TopologyConfig::default(),
+    );
     sim.run_until_idle();
     for &h in &star.hosts {
         let w = sim.device::<iswitch_netsim::Host>(h).app::<HaltSender>();
-        assert_eq!(w.halts_seen, 1, "every worker (including the sender) gets the relay");
+        assert_eq!(
+            w.halts_seen, 1,
+            "every worker (including the sender) gets the relay"
+        );
     }
 }
 
@@ -565,10 +628,8 @@ fn reset_clears_in_flight_aggregation() {
         fn on_packet(&mut self, _ctx: &mut HostCtx<'_, '_>, pkt: Packet) {
             if let Some(seg) = decode_data(&pkt) {
                 if self.result.is_none() && self.asm.insert(&seg).unwrap_or(false) {
-                    let asm = std::mem::replace(
-                        &mut self.asm,
-                        GradientAssembler::new(self.grad.len()),
-                    );
+                    let asm =
+                        std::mem::replace(&mut self.asm, GradientAssembler::new(self.grad.len()));
                     self.result = Some(asm.into_mean());
                 }
             }
@@ -599,12 +660,19 @@ fn reset_clears_in_flight_aggregation() {
     let ext = IswitchExtension::new(
         ExtensionConfig::for_star((0..3).map(PortId::new).collect(), len).with_threshold(2),
     );
-    let star = build_star(&mut sim, apps, Some(Box::new(ext)), &TopologyConfig::default());
+    let star = build_star(
+        &mut sim,
+        apps,
+        Some(Box::new(ext)),
+        &TopologyConfig::default(),
+    );
     sim.run_until_idle();
     // Without the reset, worker 0's poisoned half-round would absorb
     // worker 1's clean 200 µs contribution (summing 1000 + 2); with it,
     // the first completed round is fully clean: mean (1 + 2) / 2 = 1.5.
-    let w0 = sim.device::<iswitch_netsim::Host>(star.hosts[0]).app::<EagerThenFull>();
+    let w0 = sim
+        .device::<iswitch_netsim::Host>(star.hosts[0])
+        .app::<EagerThenFull>();
     let got = w0.result.as_ref().expect("clean round completes");
     assert!(
         got.iter().all(|&v| (v - 1.5).abs() < 1e-5),
@@ -624,8 +692,7 @@ fn non_iswitch_traffic_passes_through_untouched() {
     }
     impl HostApp for PlainSender {
         fn on_start(&mut self, ctx: &mut HostCtx<'_, '_>) {
-            let pkt = Packet::udp(ctx.ip(), self.peer, 5000, 5000, 0)
-                .with_payload(vec![42u8; 64]);
+            let pkt = Packet::udp(ctx.ip(), self.peer, 5000, 5000, 0).with_payload(vec![42u8; 64]);
             ctx.send(pkt);
         }
         fn on_packet(&mut self, _ctx: &mut HostCtx<'_, '_>, pkt: Packet) {
@@ -642,17 +709,33 @@ fn non_iswitch_traffic_passes_through_untouched() {
     }
 
     let apps: Vec<Box<dyn HostApp>> = vec![
-        Box::new(PlainSender { peer: host_ip(0, 1), got_plain: 0 }),
-        Box::new(PlainSender { peer: host_ip(0, 0), got_plain: 0 }),
+        Box::new(PlainSender {
+            peer: host_ip(0, 1),
+            got_plain: 0,
+        }),
+        Box::new(PlainSender {
+            peer: host_ip(0, 0),
+            got_plain: 0,
+        }),
     ];
     let ext = IswitchExtension::new(ExtensionConfig::for_star(
         vec![PortId::new(0), PortId::new(1)],
         len,
     ));
-    let star = build_star(&mut sim, apps, Some(Box::new(ext)), &TopologyConfig::default());
+    let star = build_star(
+        &mut sim,
+        apps,
+        Some(Box::new(ext)),
+        &TopologyConfig::default(),
+    );
     sim.run_until_idle();
     for &h in &star.hosts {
-        assert_eq!(sim.device::<iswitch_netsim::Host>(h).app::<PlainSender>().got_plain, 1);
+        assert_eq!(
+            sim.device::<iswitch_netsim::Host>(h)
+                .app::<PlainSender>()
+                .got_plain,
+            1
+        );
     }
     let sw = sim.device_mut::<Switch>(star.switch);
     assert_eq!(sw.extension::<IswitchExtension>().stats().passed_through, 2);

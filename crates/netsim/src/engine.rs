@@ -9,9 +9,13 @@
 use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
+use std::sync::Arc;
+
+use iswitch_obs::{JsonValue, Registry};
 
 use crate::ids::{LinkId, NodeId, PortId, TimerId};
 use crate::link::{Link, LinkDir, LinkEnd, LinkSpec};
+use crate::obs::EngineObs;
 use crate::packet::{IpAddr, Packet};
 use crate::stats::SimStats;
 use crate::time::{SimDuration, SimTime};
@@ -90,9 +94,19 @@ struct ScheduledEvent {
 }
 
 enum EventKind {
-    Start { node: NodeId },
-    Deliver { node: NodeId, port: PortId, pkt: Packet },
-    Timer { node: NodeId, id: TimerId, token: u64 },
+    Start {
+        node: NodeId,
+    },
+    Deliver {
+        node: NodeId,
+        port: PortId,
+        pkt: Packet,
+    },
+    Timer {
+        node: NodeId,
+        id: TimerId,
+        token: u64,
+    },
 }
 
 impl PartialEq for ScheduledEvent {
@@ -125,6 +139,7 @@ pub(crate) struct SimCore {
     /// Aggregate statistics.
     pub stats: SimStats,
     flows: FlowTracker,
+    obs: EngineObs,
 }
 
 impl SimCore {
@@ -133,6 +148,7 @@ impl SimCore {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.queue.push(Reverse(ScheduledEvent { at, seq, kind }));
+        self.obs.queue_depth.set(self.queue.len() as i64);
     }
 
     /// Transmits a packet out of `port` of `node`, modelling FIFO
@@ -159,16 +175,30 @@ impl SimCore {
         if backlog > self.stats.max_link_backlog {
             self.stats.max_link_backlog = backlog;
         }
+        let link_obs = &self.obs.links[link_id.index()][dir];
+        link_obs.backlog_ns.record(backlog.as_nanos());
+        link_obs.tx_packets.inc();
+        link_obs.tx_bytes.add(wire as u64);
+        let link = &mut self.links[link_id.index()];
         if link.roll_drop() {
             self.stats.packets_dropped += 1;
+            self.obs.links[link_id.index()][dir].drops.inc();
             self.flows.record_drop(pkt.ip.src, pkt.ip.dst);
             return;
         }
+        self.obs.links[link_id.index()][dir].inflight.inc();
         let dest = link.dest(dir);
         let arrive = depart + link.spec.propagation + self.node_opts[dest.node.index()].rx_overhead;
         self.flows
             .record_delivery(pkt.ip.src, pkt.ip.dst, wire, self.now, arrive);
-        self.schedule(arrive, EventKind::Deliver { node: dest.node, port: dest.port, pkt });
+        self.schedule(
+            arrive,
+            EventKind::Deliver {
+                node: dest.node,
+                port: dest.port,
+                pkt,
+            },
+        );
     }
 }
 
@@ -204,7 +234,14 @@ impl<'a> Context<'a> {
         let id = TimerId(self.core.next_timer);
         self.core.next_timer += 1;
         let at = self.core.now + delay;
-        self.core.schedule(at, EventKind::Timer { node: self.node, id, token });
+        self.core.schedule(
+            at,
+            EventKind::Timer {
+                node: self.node,
+                id,
+                token,
+            },
+        );
         id
     }
 
@@ -216,6 +253,12 @@ impl<'a> Context<'a> {
     /// Read access to the running statistics.
     pub fn stats(&self) -> &SimStats {
         &self.core.stats
+    }
+
+    /// The simulation-wide metrics registry. Devices register their own
+    /// counters/histograms here so one export covers the whole run.
+    pub fn metrics(&self) -> &Arc<Registry> {
+        self.core.obs.registry()
     }
 
     /// Number of ports connected on this node.
@@ -273,6 +316,7 @@ impl Simulator {
                 node_ports: Vec::new(),
                 stats: SimStats::default(),
                 flows: FlowTracker::default(),
+                obs: EngineObs::new(),
             },
             nodes: Vec::new(),
             started: false,
@@ -289,18 +333,28 @@ impl Simulator {
     /// Adds a node and returns its id. `on_start` runs at time zero when the
     /// simulation first runs.
     pub fn add_node(&mut self, device: Box<dyn Device>, opts: NodeOpts) -> NodeId {
-        assert!(!self.started, "nodes must be added before the simulation runs");
+        assert!(
+            !self.started,
+            "nodes must be added before the simulation runs"
+        );
         let id = NodeId(self.nodes.len());
         self.core.node_opts.push(opts.clone());
         self.core.node_ports.push(Vec::new());
-        self.nodes.push(NodeSlot { device: Some(device), opts, ports: Vec::new() });
+        self.nodes.push(NodeSlot {
+            device: Some(device),
+            opts,
+            ports: Vec::new(),
+        });
         id
     }
 
     /// Connects the next free port of `a` to the next free port of `b` with
     /// a link described by `spec`. Returns `(link, port on a, port on b)`.
     pub fn connect(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> (LinkId, PortId, PortId) {
-        assert!(!self.started, "links must be added before the simulation runs");
+        assert!(
+            !self.started,
+            "links must be added before the simulation runs"
+        );
         assert_ne!(a, b, "self-links are not supported");
         let link_id = LinkId(self.core.links.len());
         // Decorrelate per-link loss streams: links built from one cloned
@@ -308,7 +362,10 @@ impl Simulator {
         let mut spec = spec;
         if let crate::link::LossModel::Random { probability, seed } = spec.loss {
             let mixed = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(link_id.0 as u64 + 1);
-            spec.loss = crate::link::LossModel::Random { probability, seed: mixed };
+            spec.loss = crate::link::LossModel::Random {
+                probability,
+                seed: mixed,
+            };
         }
         let pa = PortId(self.nodes[a.index()].ports.len());
         let pb = PortId(self.nodes[b.index()].ports.len());
@@ -318,6 +375,11 @@ impl Simulator {
             LinkEnd { node: b, port: pb },
         );
         self.core.links.push(link);
+        let (label_a, label_b) = (
+            self.nodes[a.index()].opts.label.clone(),
+            self.nodes[b.index()].opts.label.clone(),
+        );
+        self.core.obs.add_link(link_id.index(), &label_a, &label_b);
         self.nodes[a.index()].ports.push((link_id, 0));
         self.nodes[b.index()].ports.push((link_id, 1));
         self.core.node_ports[a.index()].push((link_id, 0));
@@ -333,6 +395,36 @@ impl Simulator {
     /// Aggregate statistics so far.
     pub fn stats(&self) -> &SimStats {
         &self.core.stats
+    }
+
+    /// The simulation-wide metrics registry (engine + device metrics).
+    pub fn metrics(&self) -> &Arc<Registry> {
+        self.core.obs.registry()
+    }
+
+    /// Deterministic JSON snapshot of every metric plus an engine summary
+    /// (simulated time, event counts, event-loop throughput in events per
+    /// simulated second).
+    pub fn metrics_json(&self) -> JsonValue {
+        let mut engine = JsonValue::empty_object();
+        engine.insert("sim_time_ns", JsonValue::UInt(self.core.now.as_nanos()));
+        engine.insert(
+            "events_processed",
+            JsonValue::UInt(self.core.stats.events_processed),
+        );
+        let secs = self.core.now.as_secs_f64();
+        let throughput = if secs > 0.0 {
+            self.core.stats.events_processed as f64 / secs
+        } else {
+            0.0
+        };
+        engine.insert("events_per_sim_sec", JsonValue::Float(throughput));
+        engine.insert("links", JsonValue::UInt(self.core.links.len() as u64));
+        engine.insert("nodes", JsonValue::UInt(self.nodes.len() as u64));
+        let mut root = JsonValue::empty_object();
+        root.insert("engine", engine);
+        root.insert("metrics", self.core.obs.registry().to_json());
+        root
     }
 
     /// Turns on per-flow (src IP, dst IP) delivery tracking. Off by
@@ -351,7 +443,7 @@ impl Simulator {
 
     /// Aggregate statistics over all flows destined to `dst`.
     pub fn flows_into(&self, dst: IpAddr) -> FlowStats {
-        self.core.flows.into_dst(dst)
+        self.core.flows.toward_dst(dst)
     }
 
     /// Whether per-flow tracking is on.
@@ -403,7 +495,8 @@ impl Simulator {
         if !self.started {
             self.started = true;
             for i in 0..self.nodes.len() {
-                self.core.schedule(SimTime::ZERO, EventKind::Start { node: NodeId(i) });
+                self.core
+                    .schedule(SimTime::ZERO, EventKind::Start { node: NodeId(i) });
             }
         }
     }
@@ -421,14 +514,28 @@ impl Simulator {
             "event limit {} exceeded — runaway simulation?",
             self.event_limit
         );
+        self.core.obs.queue_depth.set(self.core.queue.len() as i64);
         match ev.kind {
-            EventKind::Start { node } => self.dispatch(node, |dev, ctx| dev.on_start(ctx)),
+            EventKind::Start { node } => {
+                self.core.obs.ev_start.inc();
+                self.dispatch(node, |dev, ctx| dev.on_start(ctx));
+            }
             EventKind::Deliver { node, port, pkt } => {
                 self.core.stats.packets_delivered += 1;
+                self.core.obs.ev_deliver.inc();
+                // The port's stored direction is for *transmitting* out of
+                // it; an arriving packet travelled the opposite direction.
+                let (link_id, tx_dir) = self.core.node_ports[node.index()][port.index()];
+                self.core.obs.links[link_id.index()][1 - tx_dir]
+                    .inflight
+                    .dec();
                 self.dispatch(node, |dev, ctx| dev.on_packet(ctx, port, pkt));
             }
             EventKind::Timer { node, id, token } => {
-                if !self.core.cancelled.remove(&id.0) {
+                if self.core.cancelled.remove(&id.0) {
+                    self.core.obs.ev_timer_cancelled.inc();
+                } else {
+                    self.core.obs.ev_timer.inc();
                     self.dispatch(node, |dev, ctx| dev.on_timer(ctx, token));
                 }
             }
@@ -441,7 +548,10 @@ impl Simulator {
             .device
             .take()
             .expect("device re-entrancy is impossible in a single-threaded engine");
-        let mut ctx = Context { core: &mut self.core, node };
+        let mut ctx = Context {
+            core: &mut self.core,
+            node,
+        };
         f(device.as_mut(), &mut ctx);
         self.nodes[node.index()].device = Some(device);
     }
@@ -523,7 +633,11 @@ mod tests {
     fn ping_sim(n: usize, spec: LinkSpec) -> (Simulator, NodeId) {
         let mut sim = Simulator::new();
         let p = sim.add_node(
-            Box::new(Pinger { n, sent_at: vec![], rtts: vec![] }),
+            Box::new(Pinger {
+                n,
+                sent_at: vec![],
+                rtts: vec![],
+            }),
             NodeOpts::new("pinger"),
         );
         let e = sim.add_node(Box::new(Echo), NodeOpts::new("echo"));
@@ -556,7 +670,11 @@ mod tests {
     fn overheads_are_charged() {
         let mut sim = Simulator::new();
         let p = sim.add_node(
-            Box::new(Pinger { n: 1, sent_at: vec![], rtts: vec![] }),
+            Box::new(Pinger {
+                n: 1,
+                sent_at: vec![],
+                rtts: vec![],
+            }),
             NodeOpts::new("pinger")
                 .with_tx_overhead(SimDuration::from_micros(2))
                 .with_rx_overhead(SimDuration::from_micros(3)),
@@ -571,7 +689,10 @@ mod tests {
         };
         let rtt = sim.device::<Pinger>(p).rtts[0];
         // tx overhead once (pinger->echo), rx overhead once (echo reply back in).
-        assert_eq!(rtt, base + SimDuration::from_micros(2) + SimDuration::from_micros(3));
+        assert_eq!(
+            rtt,
+            base + SimDuration::from_micros(2) + SimDuration::from_micros(3)
+        );
     }
 
     #[test]
@@ -622,7 +743,10 @@ mod tests {
         }
         let mut sim = Simulator::new();
         let n = sim.add_node(
-            Box::new(TimerDev { fired: vec![], cancel_me: None }),
+            Box::new(TimerDev {
+                fired: vec![],
+                cancel_me: None,
+            }),
             NodeOpts::new("timers"),
         );
         sim.run_until_idle();

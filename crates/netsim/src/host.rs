@@ -86,7 +86,10 @@ impl Host {
     ///
     /// Panics if the app is not a `T`.
     pub fn app<T: HostApp>(&self) -> &T {
-        self.app.as_any().downcast_ref::<T>().expect("host app type mismatch")
+        self.app
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("host app type mismatch")
     }
 
     /// Mutably borrows the app as concrete type `T`.
@@ -95,7 +98,10 @@ impl Host {
     ///
     /// Panics if the app is not a `T`.
     pub fn app_mut<T: HostApp>(&mut self) -> &mut T {
-        self.app.as_any_mut().downcast_mut::<T>().expect("host app type mismatch")
+        self.app
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("host app type mismatch")
     }
 }
 
@@ -162,7 +168,11 @@ mod tests {
         let a = sim.add_node(
             Box::new(Host::new(
                 ip_a,
-                Box::new(Chatter { peer: ip_b, inbox: vec![], start_delay: SimDuration::ZERO }),
+                Box::new(Chatter {
+                    peer: ip_b,
+                    inbox: vec![],
+                    start_delay: SimDuration::ZERO,
+                }),
             )),
             NodeOpts::new("a"),
         );

@@ -55,6 +55,7 @@ mod engine;
 mod host;
 mod ids;
 mod link;
+mod obs;
 mod packet;
 mod stats;
 mod switch;
@@ -71,9 +72,9 @@ pub use packet::{
     MAX_UDP_PAYLOAD, UDP_HEADER,
 };
 pub use stats::SimStats;
-pub use trace::FlowStats;
 pub use switch::{ExtAction, RouteTable, Switch, SwitchExtension, SwitchServices};
 pub use time::{SimDuration, SimTime};
 pub use topology::{
     build_star, build_tree, build_tree3, host_ip, Star, SwitchRole, TopologyConfig, Tree, Tree3,
 };
+pub use trace::FlowStats;

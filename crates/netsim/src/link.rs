@@ -54,7 +54,11 @@ pub struct LinkSpec {
 impl LinkSpec {
     /// A new link spec with the given rate and propagation delay and no loss.
     pub fn new(bandwidth_bps: u64, propagation: SimDuration) -> Self {
-        LinkSpec { bandwidth_bps, propagation, loss: LossModel::None }
+        LinkSpec {
+            bandwidth_bps,
+            propagation,
+            loss: LossModel::None,
+        }
     }
 
     /// 10 Gb/s edge link with 1 µs propagation — the paper's worker links.
@@ -110,7 +114,14 @@ impl Link {
             LossModel::Random { seed, .. } => Some(StdRng::seed_from_u64(seed)),
             _ => None,
         };
-        Link { spec, a, b, busy_until: [SimTime::ZERO; 2], seq: 0, rng }
+        Link {
+            spec,
+            a,
+            b,
+            busy_until: [SimTime::ZERO; 2],
+            seq: 0,
+            rng,
+        }
     }
 
     /// The receiving end for a given direction.
@@ -142,7 +153,10 @@ mod tests {
     use super::*;
 
     fn end(n: usize, p: usize) -> LinkEnd {
-        LinkEnd { node: NodeId(n), port: PortId(p) }
+        LinkEnd {
+            node: NodeId(n),
+            port: PortId(p),
+        }
     }
 
     #[test]
@@ -163,8 +177,10 @@ mod tests {
     #[test]
     fn random_loss_is_deterministic_per_seed() {
         let mk = || {
-            let spec = LinkSpec::ten_gbe()
-                .with_loss(LossModel::Random { probability: 0.5, seed: 42 });
+            let spec = LinkSpec::ten_gbe().with_loss(LossModel::Random {
+                probability: 0.5,
+                seed: 42,
+            });
             let mut l = Link::new(spec, end(0, 0), end(1, 0));
             (0..64).map(|_| l.roll_drop()).collect::<Vec<_>>()
         };

@@ -1,0 +1,96 @@
+//! Engine-level observability: per-link metrics and event-loop counters.
+//!
+//! Every [`crate::Simulator`] owns an [`iswitch_obs::Registry`]; the engine
+//! records into pre-resolved handles on the hot path (one atomic op per
+//! record), and devices — switch extensions, host apps — can register their
+//! own metrics into the same registry through
+//! [`crate::Context::metrics`]. One export therefore captures the whole
+//! stack of a run.
+//!
+//! Naming scheme (sorted exports keep it diffable):
+//!
+//! * `netsim.events.{start,deliver,timer,timer_cancelled}` — counters per
+//!   event kind, the event-loop throughput numerator.
+//! * `netsim.queue.depth` — gauge of the scheduler's pending-event count
+//!   (watermark = peak outstanding events).
+//! * `netsim.link.NNN.{a->b|b->a}.backlog_ns` — histogram of the queueing
+//!   backlog (time until this packet departs) sampled at each transmit;
+//!   this is the paper's PS-downlink congestion signal (§5.2).
+//! * `netsim.link.NNN.{dir}.inflight` — gauge of packets queued or on the
+//!   wire per directed link (watermark = peak per-port queue depth).
+//! * `netsim.link.NNN.{dir}.{tx_packets,tx_bytes,drops}` — counters.
+
+use std::sync::Arc;
+
+use iswitch_obs::{Counter, Gauge, Histogram, Registry};
+
+/// Pre-resolved metric handles for one direction of one link.
+#[derive(Debug, Clone)]
+pub(crate) struct LinkDirObs {
+    /// Queueing backlog (ns until departure) sampled at each transmit.
+    pub backlog_ns: Arc<Histogram>,
+    /// Packets queued or propagating on this directed link right now.
+    pub inflight: Arc<Gauge>,
+    /// Packets handed to this directed link.
+    pub tx_packets: Arc<Counter>,
+    /// Wire bytes handed to this directed link.
+    pub tx_bytes: Arc<Counter>,
+    /// Packets dropped by the loss model on this directed link.
+    pub drops: Arc<Counter>,
+}
+
+/// Engine-wide metric handles, resolved once at construction/connect time.
+#[derive(Debug)]
+pub(crate) struct EngineObs {
+    registry: Arc<Registry>,
+    /// Start events dispatched.
+    pub ev_start: Arc<Counter>,
+    /// Deliver events dispatched.
+    pub ev_deliver: Arc<Counter>,
+    /// Timer events dispatched (fired, not cancelled).
+    pub ev_timer: Arc<Counter>,
+    /// Timer events suppressed by cancellation.
+    pub ev_timer_cancelled: Arc<Counter>,
+    /// Scheduler queue depth; watermark is the peak outstanding event count.
+    pub queue_depth: Arc<Gauge>,
+    /// Indexed by `links[link][direction]`.
+    pub links: Vec<[LinkDirObs; 2]>,
+}
+
+impl EngineObs {
+    pub(crate) fn new() -> Self {
+        let registry = Arc::new(Registry::new());
+        EngineObs {
+            ev_start: registry.counter("netsim.events.start"),
+            ev_deliver: registry.counter("netsim.events.deliver"),
+            ev_timer: registry.counter("netsim.events.timer"),
+            ev_timer_cancelled: registry.counter("netsim.events.timer_cancelled"),
+            queue_depth: registry.gauge("netsim.queue.depth"),
+            links: Vec::new(),
+            registry,
+        }
+    }
+
+    /// The registry all engine metrics live in.
+    pub(crate) fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Registers the metric set for a new link. `a_label`/`b_label` are the
+    /// endpoint node labels; direction 0 carries a→b traffic.
+    pub(crate) fn add_link(&mut self, link_index: usize, a_label: &str, b_label: &str) {
+        let dir_obs = |src: &str, dst: &str| {
+            let base = format!("netsim.link.{link_index:03}.{src}->{dst}");
+            LinkDirObs {
+                backlog_ns: self.registry.histogram(&format!("{base}.backlog_ns")),
+                inflight: self.registry.gauge(&format!("{base}.inflight")),
+                tx_packets: self.registry.counter(&format!("{base}.tx_packets")),
+                tx_bytes: self.registry.counter(&format!("{base}.tx_bytes")),
+                drops: self.registry.counter(&format!("{base}.drops")),
+            }
+        };
+        debug_assert_eq!(link_index, self.links.len(), "links register in id order");
+        self.links
+            .push([dir_obs(a_label, b_label), dir_obs(b_label, a_label)]);
+    }
+}

@@ -180,7 +180,10 @@ mod tests {
     fn frame_accounting_includes_headers() {
         let pkt = Packet::udp(IpAddr::new(10, 0, 0, 1), IpAddr::new(10, 0, 0, 2), 1, 2, 0)
             .with_payload(vec![0u8; 1000]);
-        assert_eq!(pkt.frame_bytes(), 1000 + ETH_OVERHEAD + IPV4_HEADER + UDP_HEADER);
+        assert_eq!(
+            pkt.frame_bytes(),
+            1000 + ETH_OVERHEAD + IPV4_HEADER + UDP_HEADER
+        );
         assert_eq!(pkt.wire_bytes(), pkt.frame_bytes() + ETH_PREAMBLE_IFG);
     }
 

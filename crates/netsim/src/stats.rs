@@ -47,7 +47,11 @@ mod tests {
 
     #[test]
     fn drop_rate_divides() {
-        let s = SimStats { packets_sent: 10, packets_dropped: 2, ..Default::default() };
+        let s = SimStats {
+            packets_sent: 10,
+            packets_dropped: 2,
+            ..Default::default()
+        };
         assert!((s.drop_rate() - 0.2).abs() < 1e-12);
     }
 }

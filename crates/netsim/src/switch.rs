@@ -10,9 +10,12 @@
 
 use std::any::Any;
 use std::collections::HashMap;
+use std::sync::Arc;
+
+use iswitch_obs::Registry;
 
 use crate::engine::{Context, Device};
-use crate::ids::{PortId, TimerId};
+use crate::ids::{NodeId, PortId, TimerId};
 use crate::packet::{IpAddr, Packet};
 use crate::time::{SimDuration, SimTime};
 
@@ -119,6 +122,17 @@ impl<'a, 'b> SwitchServices<'a, 'b> {
     pub fn port_count(&self) -> usize {
         self.ctx.port_count()
     }
+
+    /// The node this switch occupies (useful as a stable metric-name prefix).
+    pub fn node(&self) -> NodeId {
+        self.ctx.node()
+    }
+
+    /// Metrics registry of the owning simulation. Extensions register their
+    /// own counters and histograms here so one export covers the whole run.
+    pub fn metrics(&self) -> &Arc<Registry> {
+        self.ctx.metrics()
+    }
 }
 
 /// In-switch packet processing plugged into a [`Switch`].
@@ -128,7 +142,12 @@ pub trait SwitchExtension: 'static {
     /// Inspects an incoming packet. Return [`ExtAction::Forward`] to let the
     /// switch route it normally, or [`ExtAction::Consumed`] after handling
     /// it (possibly emitting new packets via `sw`).
-    fn on_packet(&mut self, sw: &mut SwitchServices<'_, '_>, in_port: PortId, pkt: Packet) -> ExtAction;
+    fn on_packet(
+        &mut self,
+        sw: &mut SwitchServices<'_, '_>,
+        in_port: PortId,
+        pkt: Packet,
+    ) -> ExtAction;
 
     /// A timer set through [`SwitchServices::set_timer`] fired.
     fn on_timer(&mut self, _sw: &mut SwitchServices<'_, '_>, _token: u64) {}
@@ -154,12 +173,20 @@ pub struct Switch {
 impl Switch {
     /// A switch with the given routes and no extension.
     pub fn new(routes: RouteTable) -> Self {
-        Switch { routes, ext: None, unroutable: 0 }
+        Switch {
+            routes,
+            ext: None,
+            unroutable: 0,
+        }
     }
 
     /// A switch with the given routes and an extension.
     pub fn with_extension(routes: RouteTable, ext: Box<dyn SwitchExtension>) -> Self {
-        Switch { routes, ext: Some(ext), unroutable: 0 }
+        Switch {
+            routes,
+            ext: Some(ext),
+            unroutable: 0,
+        }
     }
 
     /// Read access to the routing table.
@@ -212,7 +239,10 @@ impl Device for Switch {
     fn on_packet(&mut self, ctx: &mut Context<'_>, port: PortId, pkt: Packet) {
         let action = match self.ext.as_mut() {
             Some(ext) => {
-                let mut sw = SwitchServices { ctx, routes: &self.routes };
+                let mut sw = SwitchServices {
+                    ctx,
+                    routes: &self.routes,
+                };
                 ext.on_packet(&mut sw, port, pkt)
             }
             None => ExtAction::Forward(pkt),
@@ -224,7 +254,10 @@ impl Device for Switch {
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
         if let Some(ext) = self.ext.as_mut() {
-            let mut sw = SwitchServices { ctx, routes: &self.routes };
+            let mut sw = SwitchServices {
+                ctx,
+                routes: &self.routes,
+            };
             ext.on_timer(&mut sw, token);
         }
     }
@@ -266,7 +299,10 @@ mod tests {
     }
 
     fn recorder(announce: Option<Packet>) -> Box<Recorder> {
-        Box::new(Recorder { got: vec![], announce })
+        Box::new(Recorder {
+            got: vec![],
+            announce,
+        })
     }
 
     #[test]
@@ -277,7 +313,10 @@ mod tests {
 
         let mut sim = Simulator::new();
         let mut routes = RouteTable::new();
-        let sw = sim.add_node(Box::new(Switch::new(RouteTable::new())), NodeOpts::new("sw"));
+        let sw = sim.add_node(
+            Box::new(Switch::new(RouteTable::new())),
+            NodeOpts::new("sw"),
+        );
         let a = sim.add_node(recorder(Some(pkt)), NodeOpts::new("a"));
         let b = sim.add_node(recorder(None), NodeOpts::new("b"));
         let (_, _, pa) = sim.connect(a, sw, LinkSpec::ten_gbe());
@@ -296,7 +335,10 @@ mod tests {
     fn unroutable_packets_are_counted_and_dropped() {
         let pkt = Packet::udp(IpAddr::new(10, 0, 0, 1), IpAddr::new(10, 9, 9, 9), 5, 5, 0);
         let mut sim = Simulator::new();
-        let sw = sim.add_node(Box::new(Switch::new(RouteTable::new())), NodeOpts::new("sw"));
+        let sw = sim.add_node(
+            Box::new(Switch::new(RouteTable::new())),
+            NodeOpts::new("sw"),
+        );
         let a = sim.add_node(recorder(Some(pkt)), NodeOpts::new("a"));
         sim.connect(a, sw, LinkSpec::ten_gbe());
         sim.run_until_idle();
@@ -342,7 +384,10 @@ mod tests {
 
         let mut sim = Simulator::new();
         let sw = sim.add_node(
-            Box::new(Switch::with_extension(RouteTable::new(), Box::new(Reflector { seen: 0 }))),
+            Box::new(Switch::with_extension(
+                RouteTable::new(),
+                Box::new(Reflector { seen: 0 }),
+            )),
             NodeOpts::new("sw"),
         );
         let a = sim.add_node(recorder(Some(hit)), NodeOpts::new("a"));
@@ -358,6 +403,9 @@ mod tests {
         // Reflected back to a; b saw nothing.
         assert_eq!(sim.device::<Recorder>(a).got.len(), 1);
         assert!(sim.device::<Recorder>(b).got.is_empty());
-        assert_eq!(sim.device_mut::<Switch>(sw).extension::<Reflector>().seen, 1);
+        assert_eq!(
+            sim.device_mut::<Switch>(sw).extension::<Reflector>().seen,
+            1
+        );
     }
 }

@@ -19,7 +19,9 @@ use serde::{Deserialize, Serialize};
 /// let t = SimTime::ZERO + SimDuration::from_micros(3);
 /// assert_eq!(t.as_nanos(), 3_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulation time, in nanoseconds.
@@ -32,7 +34,9 @@ pub struct SimTime(u64);
 /// let d = SimDuration::from_millis(2) + SimDuration::from_micros(500);
 /// assert_eq!(d.as_nanos(), 2_500_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -110,7 +114,10 @@ impl SimDuration {
     ///
     /// Panics if `s` is negative or not finite.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "duration must be finite and non-negative"
+        );
         SimDuration((s * 1e9).round() as u64)
     }
 
@@ -253,7 +260,10 @@ mod tests {
         assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1_000));
         assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1_000));
         assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1_000));
-        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.5),
+            SimDuration::from_millis(500)
+        );
     }
 
     #[test]

@@ -47,7 +47,10 @@ impl Default for TopologyConfig {
 
 /// The IP of host `host` in rack `rack` (rack 0 for star topologies).
 pub fn host_ip(rack: usize, host: usize) -> IpAddr {
-    assert!(rack < 255 && host < 254, "rack/host index out of addressing range");
+    assert!(
+        rack < 255 && host < 254,
+        "rack/host index out of addressing range"
+    );
     IpAddr::new(10, 0, rack as u8, host as u8 + 1)
 }
 
@@ -101,7 +104,12 @@ pub fn build_star(
         switch_ports.push(sw_port);
     }
     *sim.device_mut::<Switch>(switch).routes_mut() = routes;
-    Star { switch, hosts, host_ips, switch_ports }
+    Star {
+        switch,
+        hosts,
+        host_ips,
+        switch_ports,
+    }
 }
 
 /// Which switch an extension is being created for in [`build_tree`] /
@@ -208,7 +216,14 @@ pub fn build_tree(
         core_downlink.push(core_down);
     }
     *sim.device_mut::<Switch>(core).routes_mut() = core_routes;
-    Tree { core, tors, hosts, host_ips, tor_uplink, core_downlink }
+    Tree {
+        core,
+        tors,
+        hosts,
+        host_ips,
+        tor_uplink,
+        core_downlink,
+    }
 }
 
 /// Handles to a three-level ToR/AGG/Core tree built by [`build_tree3`]
@@ -272,8 +287,7 @@ pub fn build_tree3(
         for tor_apps in agg_apps {
             let tor = sim.add_node(
                 Box::new(mk_switch(mk_ext(SwitchRole::Tor(global_rack)))),
-                NodeOpts::new(format!("tor{global_rack}"))
-                    .with_rx_overhead(cfg.switch_latency),
+                NodeOpts::new(format!("tor{global_rack}")).with_rx_overhead(cfg.switch_latency),
             );
             let mut tor_routes = RouteTable::new();
             let mut rack_hosts = Vec::new();
@@ -316,7 +330,13 @@ pub fn build_tree3(
         host_ips.push(agg_ips);
     }
     *sim.device_mut::<Switch>(core).routes_mut() = core_routes;
-    Tree3 { core, aggs, tors, hosts, host_ips }
+    Tree3 {
+        core,
+        aggs,
+        tors,
+        hosts,
+        host_ips,
+    }
 }
 
 #[cfg(test)]
@@ -353,9 +373,18 @@ mod tests {
     fn star_delivers_between_any_pair() {
         let mut sim = Simulator::new();
         let apps: Vec<Box<dyn HostApp>> = vec![
-            Box::new(OneShot { dst: Some(host_ip(0, 2)), got: vec![] }),
-            Box::new(OneShot { dst: None, got: vec![] }),
-            Box::new(OneShot { dst: Some(host_ip(0, 1)), got: vec![] }),
+            Box::new(OneShot {
+                dst: Some(host_ip(0, 2)),
+                got: vec![],
+            }),
+            Box::new(OneShot {
+                dst: None,
+                got: vec![],
+            }),
+            Box::new(OneShot {
+                dst: Some(host_ip(0, 1)),
+                got: vec![],
+            }),
         ];
         let star = build_star(&mut sim, apps, None, &TopologyConfig::default());
         sim.run_until_idle();
@@ -369,8 +398,14 @@ mod tests {
     fn tree_routes_across_racks() {
         let mut sim = Simulator::new();
         let racks: Vec<Vec<Box<dyn HostApp>>> = vec![
-            vec![Box::new(OneShot { dst: Some(host_ip(1, 0)), got: vec![] })],
-            vec![Box::new(OneShot { dst: None, got: vec![] })],
+            vec![Box::new(OneShot {
+                dst: Some(host_ip(1, 0)),
+                got: vec![],
+            })],
+            vec![Box::new(OneShot {
+                dst: None,
+                got: vec![],
+            })],
         ];
         let tree = build_tree(&mut sim, racks, &mut |_| None, &TopologyConfig::default());
         sim.run_until_idle();
@@ -382,8 +417,14 @@ mod tests {
     fn tree_routes_within_rack_stay_local() {
         let mut sim = Simulator::new();
         let racks: Vec<Vec<Box<dyn HostApp>>> = vec![vec![
-            Box::new(OneShot { dst: Some(host_ip(0, 1)), got: vec![] }),
-            Box::new(OneShot { dst: None, got: vec![] }),
+            Box::new(OneShot {
+                dst: Some(host_ip(0, 1)),
+                got: vec![],
+            }),
+            Box::new(OneShot {
+                dst: None,
+                got: vec![],
+            }),
         ]];
         let tree = build_tree(&mut sim, racks, &mut |_| None, &TopologyConfig::default());
         sim.run_until_idle();
@@ -406,8 +447,14 @@ mod tests {
         // down.
         let mut sim = Simulator::new();
         let apps: Vec<Vec<Vec<Box<dyn HostApp>>>> = vec![
-            vec![vec![Box::new(OneShot { dst: Some(host_ip(1, 0)), got: vec![] })]],
-            vec![vec![Box::new(OneShot { dst: None, got: vec![] })]],
+            vec![vec![Box::new(OneShot {
+                dst: Some(host_ip(1, 0)),
+                got: vec![],
+            })]],
+            vec![vec![Box::new(OneShot {
+                dst: None,
+                got: vec![],
+            })]],
         ];
         let tree = build_tree3(&mut sim, apps, &mut |_| None, &TopologyConfig::default());
         sim.run_until_idle();

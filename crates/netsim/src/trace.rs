@@ -32,7 +32,9 @@ impl FlowStats {
             return None;
         }
         let sum: u64 = self.latencies_ns.iter().sum();
-        Some(SimDuration::from_nanos(sum / self.latencies_ns.len() as u64))
+        Some(SimDuration::from_nanos(
+            sum / self.latencies_ns.len() as u64,
+        ))
     }
 
     /// The `p`-th percentile latency (`0 < p <= 100`).
@@ -48,12 +50,17 @@ impl FlowStats {
         let mut sorted = self.latencies_ns.clone();
         sorted.sort_unstable();
         let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-        Some(SimDuration::from_nanos(sorted[rank.saturating_sub(1).min(sorted.len() - 1)]))
+        Some(SimDuration::from_nanos(
+            sorted[rank.saturating_sub(1).min(sorted.len() - 1)],
+        ))
     }
 
     /// Maximum observed latency.
     pub fn max_latency(&self) -> Option<SimDuration> {
-        self.latencies_ns.iter().max().map(|&ns| SimDuration::from_nanos(ns))
+        self.latencies_ns
+            .iter()
+            .max()
+            .map(|&ns| SimDuration::from_nanos(ns))
     }
 }
 
@@ -87,7 +94,9 @@ impl FlowTracker {
         let stats = self.flows.entry((src, dst)).or_default();
         stats.packets += 1;
         stats.bytes += wire_bytes as u64;
-        stats.latencies_ns.push(delivered_at.duration_since(sent_at).as_nanos());
+        stats
+            .latencies_ns
+            .push(delivered_at.duration_since(sent_at).as_nanos());
     }
 
     pub fn record_drop(&mut self, src: IpAddr, dst: IpAddr) {
@@ -106,7 +115,7 @@ impl FlowTracker {
     }
 
     /// Aggregate over all flows *into* `dst`.
-    pub fn into_dst(&self, dst: IpAddr) -> FlowStats {
+    pub fn toward_dst(&self, dst: IpAddr) -> FlowStats {
         let mut out = FlowStats::default();
         for ((_, d), stats) in &self.flows {
             if *d == dst {
@@ -152,13 +161,13 @@ mod tests {
     }
 
     #[test]
-    fn into_dst_merges_sources() {
+    fn toward_dst_merges_sources() {
         let mut t = FlowTracker::default();
         t.enable();
         t.record_delivery(ip(1), ip(9), 64, SimTime::ZERO, SimTime::from_nanos(10));
         t.record_delivery(ip(2), ip(9), 64, SimTime::ZERO, SimTime::from_nanos(30));
         t.record_drop(ip(3), ip(9));
-        let agg = t.into_dst(ip(9));
+        let agg = t.toward_dst(ip(9));
         assert_eq!(agg.packets, 2);
         assert_eq!(agg.dropped, 1);
         assert_eq!(agg.mean_latency().unwrap().as_nanos(), 20);

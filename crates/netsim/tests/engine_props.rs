@@ -3,9 +3,7 @@
 
 use std::any::Any;
 
-use iswitch_netsim::{
-    Context, Device, NodeOpts, Packet, PortId, SimDuration, SimTime, Simulator,
-};
+use iswitch_netsim::{Context, Device, NodeOpts, Packet, PortId, SimDuration, SimTime, Simulator};
 use proptest::prelude::*;
 
 /// Schedules a batch of timers at arbitrary delays and records firing

@@ -17,8 +17,7 @@ struct Blaster {
 impl HostApp for Blaster {
     fn on_start(&mut self, ctx: &mut HostCtx<'_, '_>) {
         for _ in 0..self.n {
-            let pkt =
-                Packet::udp(ctx.ip(), self.dst, 9, 9, 0).with_payload(vec![0u8; 1_000]);
+            let pkt = Packet::udp(ctx.ip(), self.dst, 9, 9, 0).with_payload(vec![0u8; 1_000]);
             ctx.send(pkt);
         }
     }
@@ -39,10 +38,22 @@ fn congested_sink_flow_shows_higher_latency() {
     sim.enable_flow_tracking();
     let server = host_ip(0, 3);
     let apps: Vec<Box<dyn HostApp>> = vec![
-        Box::new(Blaster { dst: server, n: 200 }),
-        Box::new(Blaster { dst: server, n: 200 }),
-        Box::new(Blaster { dst: server, n: 200 }),
-        Box::new(Blaster { dst: host_ip(0, 0), n: 5 }),
+        Box::new(Blaster {
+            dst: server,
+            n: 200,
+        }),
+        Box::new(Blaster {
+            dst: server,
+            n: 200,
+        }),
+        Box::new(Blaster {
+            dst: server,
+            n: 200,
+        }),
+        Box::new(Blaster {
+            dst: host_ip(0, 0),
+            n: 5,
+        }),
     ];
     build_star(&mut sim, apps, None, &TopologyConfig::default());
     sim.run_until_idle();
@@ -51,10 +62,14 @@ fn congested_sink_flow_shows_higher_latency() {
     // growing as three senders share one downlink.
     let into_server = sim.flows_into(server);
     assert_eq!(into_server.packets, 600 * 2, "each packet crosses two hops");
-    let server_p99 = into_server.percentile_latency(99.0).expect("latencies recorded");
+    let server_p99 = into_server
+        .percentile_latency(99.0)
+        .expect("latencies recorded");
 
     let into_h0 = sim.flows_into(host_ip(0, 0));
-    let h0_p99 = into_h0.percentile_latency(99.0).expect("latencies recorded");
+    let h0_p99 = into_h0
+        .percentile_latency(99.0)
+        .expect("latencies recorded");
     assert!(
         server_p99 > h0_p99 * 3,
         "congested flow p99 {server_p99} should dwarf idle flow p99 {h0_p99}"
@@ -67,8 +82,16 @@ fn congested_sink_flow_shows_higher_latency() {
 #[test]
 fn tracking_disabled_by_default() {
     let mut sim = Simulator::new();
-    let apps: Vec<Box<dyn HostApp>> =
-        vec![Box::new(Blaster { dst: host_ip(0, 1), n: 3 }), Box::new(Blaster { dst: host_ip(0, 0), n: 0 })];
+    let apps: Vec<Box<dyn HostApp>> = vec![
+        Box::new(Blaster {
+            dst: host_ip(0, 1),
+            n: 3,
+        }),
+        Box::new(Blaster {
+            dst: host_ip(0, 0),
+            n: 0,
+        }),
+    ];
     build_star(&mut sim, apps, None, &TopologyConfig::default());
     sim.run_until_idle();
     assert!(sim.flow_stats(host_ip(0, 0), host_ip(0, 1)).is_none());

@@ -1,0 +1,32 @@
+//! Observability layer for the iSwitch reproduction.
+//!
+//! The paper's evaluation (Fig. 12–15) is built entirely on *measurements*:
+//! per-iteration latency breakdowns across the LGC/GA/LWU pipeline stages
+//! (Fig. 11), aggregation-round completion times on the switch, and queue
+//! buildup on the parameter-server downlink. This crate provides the
+//! instrumentation those measurements need, with three design constraints:
+//!
+//! 1. **No external dependencies.** Counters, gauges, and histograms are
+//!    hand-rolled on `std::sync::atomic`; JSON is emitted (and parsed, for
+//!    tests) by a small built-in codec.
+//! 2. **Determinism.** Exports never consult wall-clock time or hash-map
+//!    iteration order; two identical seeded simulation runs produce
+//!    byte-identical artifacts. Timestamps are simulated nanoseconds.
+//! 3. **Cheap when ignored.** Recording a metric is an atomic add; the
+//!    expensive work (JSON assembly) happens only at export.
+//!
+//! The pieces:
+//!
+//! - [`metrics`]: [`Counter`], [`Gauge`], [`Histogram`], and a string-keyed
+//!   [`Registry`] that owns shared handles and exports a sorted snapshot.
+//! - [`json`]: [`JsonValue`], a deterministic writer, and a strict parser.
+//! - [`trace`]: [`Trace`], an append-only structured event log exported as
+//!   JSON Lines (one event object per line).
+
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use json::{JsonError, JsonValue};
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use trace::{Trace, TraceEvent};

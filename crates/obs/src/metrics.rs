@@ -1,0 +1,365 @@
+//! Metric primitives and the registry that exports them.
+//!
+//! All primitives use relaxed atomics: the simulator is single-threaded per
+//! run, and the experiment sweeps only share metrics within one run. Values
+//! saturate instead of wrapping so long campaigns cannot silently overflow
+//! into nonsense.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::JsonValue;
+
+/// A monotonically increasing event count. Saturates at `u64::MAX`.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`, saturating at `u64::MAX` instead of wrapping.
+    pub fn add(&self, n: u64) {
+        let _ = self
+            .value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_add(n))
+            });
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous level (queue depth, in-flight packets) with a running
+/// high-watermark.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+    watermark: AtomicI64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the level to `v`.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.watermark.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Moves the level by `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        let now = self.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.watermark.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Raises the level by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Lowers the level by one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest level ever observed (at least zero).
+    pub fn watermark(&self) -> i64 {
+        self.watermark.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one for zero plus one per power of two.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples (latencies in nanoseconds,
+/// backlog durations, segment sizes).
+///
+/// Bucket 0 holds exactly the value 0; bucket `k` (1 ≤ k ≤ 64) holds values
+/// in `[2^(k-1), 2^k - 1]`. Bucket boundaries are fixed, so histograms from
+/// different runs are directly comparable and exports are deterministic.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// The bucket index a value falls into.
+    pub fn bucket_index(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// The inclusive `[lo, hi]` range of values a bucket covers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= HISTOGRAM_BUCKETS`.
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        assert!(index < HISTOGRAM_BUCKETS, "bucket index out of range");
+        if index == 0 {
+            (0, 0)
+        } else if index == 64 {
+            (1u64 << 63, u64::MAX)
+        } else {
+            (1u64 << (index - 1), (1u64 << index) - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        let _ = self
+            .count
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_add(1))
+            });
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_add(value))
+            });
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample, or 0 when empty.
+    pub fn max_value(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Per-bucket sample counts, indexed by bucket.
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// String-keyed home for metrics shared between a component and the
+/// exporter. Handles are `Arc`s: a component resolves its metrics once and
+/// records through them with no name lookups on the hot path.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns the counter named `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("counter map lock");
+        Arc::clone(map.entry(name.to_owned()).or_default())
+    }
+
+    /// Returns the gauge named `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("gauge map lock");
+        Arc::clone(map.entry(name.to_owned()).or_default())
+    }
+
+    /// Returns the histogram named `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("histogram map lock");
+        Arc::clone(map.entry(name.to_owned()).or_default())
+    }
+
+    /// Snapshots every metric into a deterministic JSON object:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`,
+    /// each section sorted by metric name.
+    pub fn to_json(&self) -> JsonValue {
+        let mut counters = JsonValue::empty_object();
+        for (name, c) in self.counters.lock().expect("counter map lock").iter() {
+            counters.insert(name, JsonValue::UInt(c.get()));
+        }
+        let mut gauges = JsonValue::empty_object();
+        for (name, g) in self.gauges.lock().expect("gauge map lock").iter() {
+            let mut entry = JsonValue::empty_object();
+            entry.insert("value", JsonValue::Int(g.get()));
+            entry.insert("watermark", JsonValue::Int(g.watermark()));
+            gauges.insert(name, entry);
+        }
+        let mut histograms = JsonValue::empty_object();
+        for (name, h) in self.histograms.lock().expect("histogram map lock").iter() {
+            histograms.insert(name, histogram_to_json(h));
+        }
+        let mut root = JsonValue::empty_object();
+        root.insert("counters", counters);
+        root.insert("gauges", gauges);
+        root.insert("histograms", histograms);
+        root
+    }
+}
+
+/// Renders one histogram as JSON, listing only non-empty buckets:
+/// `{"count": n, "sum": s, "max": m, "buckets": [{"lo":..,"hi":..,"n":..}]}`.
+pub fn histogram_to_json(h: &Histogram) -> JsonValue {
+    let mut buckets = Vec::new();
+    for (i, n) in h.bucket_counts().iter().enumerate() {
+        if *n > 0 {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            let mut b = JsonValue::empty_object();
+            b.insert("lo", JsonValue::UInt(lo));
+            b.insert("hi", JsonValue::UInt(hi));
+            b.insert("n", JsonValue::UInt(*n));
+            buckets.push(b);
+        }
+    }
+    let mut out = JsonValue::empty_object();
+    out.insert("count", JsonValue::UInt(h.count()));
+    out.insert("sum", JsonValue::UInt(h.sum()));
+    out.insert("max", JsonValue::UInt(h.max_value()));
+    out.insert("buckets", JsonValue::Array(buckets));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts_and_saturates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.add(u64::MAX);
+        assert_eq!(c.get(), u64::MAX, "counter must saturate, not wrap");
+        c.inc();
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // Bucket 0 holds exactly 0; bucket k holds [2^(k-1), 2^k - 1].
+        assert_eq!(Histogram::bucket_index(0), 0);
+        for k in 1..=63usize {
+            let (lo, hi) = Histogram::bucket_bounds(k);
+            assert_eq!(lo, 1u64 << (k - 1));
+            assert_eq!(hi, (1u64 << k) - 1);
+            assert_eq!(Histogram::bucket_index(lo), k, "low edge of bucket {k}");
+            assert_eq!(Histogram::bucket_index(hi), k, "high edge of bucket {k}");
+            assert_eq!(Histogram::bucket_index(lo - 1), k - 1, "below bucket {k}");
+        }
+        assert_eq!(Histogram::bucket_bounds(64), (1u64 << 63, u64::MAX));
+        assert_eq!(Histogram::bucket_index(1u64 << 63), 64);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_records_into_expected_buckets() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1024, u64::MAX] {
+            h.record(v);
+        }
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 1, "exactly one zero sample");
+        assert_eq!(counts[1], 1, "value 1");
+        assert_eq!(counts[2], 2, "values 2 and 3");
+        assert_eq!(counts[3], 1, "value 4");
+        assert_eq!(counts[11], 1, "value 1024");
+        assert_eq!(counts[64], 1, "u64::MAX");
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.max_value(), u64::MAX);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates instead of wrapping");
+    }
+
+    #[test]
+    fn gauge_tracks_watermark() {
+        let g = Gauge::new();
+        g.add(3);
+        g.add(4);
+        assert_eq!(g.get(), 7);
+        g.add(-5);
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.watermark(), 7);
+        g.set(100);
+        assert_eq!(g.watermark(), 100);
+        g.set(-10);
+        assert_eq!(g.get(), -10);
+        assert_eq!(g.watermark(), 100);
+    }
+
+    #[test]
+    fn registry_handles_are_shared() {
+        let reg = Registry::new();
+        let a = reg.counter("events");
+        let b = reg.counter("events");
+        a.inc();
+        b.inc();
+        assert_eq!(reg.counter("events").get(), 2);
+    }
+
+    #[test]
+    fn registry_export_is_sorted() {
+        let reg = Registry::new();
+        reg.counter("zebra").inc();
+        reg.counter("alpha").inc();
+        let json = reg.to_json().render();
+        let alpha = json.find("alpha").unwrap();
+        let zebra = json.find("zebra").unwrap();
+        assert!(alpha < zebra, "export must sort keys");
+    }
+}

@@ -1,0 +1,148 @@
+//! Structured event tracing exported as JSON Lines.
+//!
+//! A [`Trace`] is an append-only log of [`TraceEvent`]s, each stamped with
+//! simulated time. One event renders as one JSON object per line, so the
+//! artifact streams into any log tooling and diffs cleanly between runs —
+//! the determinism tests compare these exports byte for byte.
+
+use std::sync::Mutex;
+
+use crate::json::JsonValue;
+
+/// One structured event at a point in simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Simulated timestamp in nanoseconds.
+    pub t_ns: u64,
+    /// Event kind, e.g. `"iteration"` or `"aggregation_round"`.
+    pub kind: String,
+    /// Additional fields, rendered in insertion order.
+    pub fields: Vec<(String, JsonValue)>,
+}
+
+impl TraceEvent {
+    /// Starts an event of `kind` at simulated time `t_ns`.
+    pub fn new(t_ns: u64, kind: &str) -> Self {
+        TraceEvent {
+            t_ns,
+            kind: kind.to_owned(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Adds a field (builder style).
+    pub fn with(mut self, key: &str, value: JsonValue) -> Self {
+        self.fields.push((key.to_owned(), value));
+        self
+    }
+
+    /// Adds an unsigned integer field (builder style).
+    pub fn with_u64(self, key: &str, value: u64) -> Self {
+        self.with(key, JsonValue::UInt(value))
+    }
+
+    /// Adds a float field (builder style).
+    pub fn with_f64(self, key: &str, value: f64) -> Self {
+        self.with(key, JsonValue::Float(value))
+    }
+
+    /// Adds a string field (builder style).
+    pub fn with_str(self, key: &str, value: &str) -> Self {
+        self.with(key, JsonValue::Str(value.to_owned()))
+    }
+
+    /// Renders the event as a single JSON object:
+    /// `{"t_ns":...,"kind":"...",...fields}`.
+    pub fn to_json(&self) -> JsonValue {
+        let mut obj = JsonValue::empty_object();
+        obj.insert("t_ns", JsonValue::UInt(self.t_ns));
+        obj.insert("kind", JsonValue::Str(self.kind.clone()));
+        for (key, value) in &self.fields {
+            obj.insert(key, value.clone());
+        }
+        obj
+    }
+}
+
+/// An append-only, thread-safe event log.
+#[derive(Debug, Default)]
+pub struct Trace {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends one event.
+    pub fn record(&self, event: TraceEvent) {
+        self.events.lock().expect("trace lock").push(event);
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace lock").len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all events in record order.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("trace lock").clone()
+    }
+
+    /// Renders the whole trace as JSON Lines: one event object per line,
+    /// each line terminated by `\n`.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in self.events.lock().expect("trace lock").iter() {
+            out.push_str(&event.to_json().render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_render_one_per_line() {
+        let trace = Trace::new();
+        trace.record(TraceEvent::new(10, "start").with_str("phase", "warmup"));
+        trace.record(
+            TraceEvent::new(25, "iteration")
+                .with_u64("iter", 0)
+                .with_f64("ms", 1.5),
+        );
+        let jsonl = trace.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], r#"{"t_ns":10,"kind":"start","phase":"warmup"}"#);
+        assert_eq!(
+            lines[1],
+            r#"{"t_ns":25,"kind":"iteration","iter":0,"ms":1.5}"#
+        );
+        assert_eq!(trace.len(), 2);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn every_line_parses_back() {
+        let trace = Trace::new();
+        for i in 0..5u64 {
+            trace.record(TraceEvent::new(i * 100, "tick").with_u64("i", i));
+        }
+        for line in trace.to_jsonl().lines() {
+            let doc = crate::JsonValue::parse(line).expect("line parses");
+            assert!(doc.get("t_ns").is_some());
+            assert_eq!(doc.get("kind").and_then(|k| k.as_str()), Some("tick"));
+        }
+    }
+}

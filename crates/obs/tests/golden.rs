@@ -1,0 +1,57 @@
+//! Golden-file test for the JSONL trace export format.
+//!
+//! The golden file pins the exact byte-level wire format: key order,
+//! number rendering, and line framing. Downstream tooling parses these
+//! lines, so format drift must be a conscious decision — if you change
+//! the renderer, update `data/trace.golden.jsonl` in the same commit and
+//! call the change out in the PR description.
+
+use iswitch_obs::{JsonValue, Trace, TraceEvent};
+
+const GOLDEN: &str = include_str!("data/trace.golden.jsonl");
+
+fn sample_trace() -> Trace {
+    let trace = Trace::new();
+    trace.record(
+        TraceEvent::new(0, "start")
+            .with_str("strategy", "iSW")
+            .with_u64("workers", 4),
+    );
+    trace.record(
+        TraceEvent::new(10_135_758, "iteration")
+            .with_u64("worker", 0)
+            .with_u64("iter", 0)
+            .with_str("phase", "warmup")
+            .with_u64("lgc_ns", 8_253_379)
+            .with_u64("ga_ns", 874_193)
+            .with_u64("lwu_ns", 1_008_186)
+            .with_u64("total_ns", 10_135_758),
+    );
+    trace.record(
+        TraceEvent::new(20_271_516, "update")
+            .with_u64("index", 1)
+            .with_str("phase", "measure")
+            .with_f64("interval_ms", 1.5)
+            .with_f64("share", 2.0),
+    );
+    trace
+}
+
+#[test]
+fn trace_export_matches_golden_file() {
+    assert_eq!(
+        sample_trace().to_jsonl(),
+        GOLDEN,
+        "JSONL wire format drifted from tests/data/trace.golden.jsonl"
+    );
+}
+
+#[test]
+fn golden_file_lines_parse() {
+    for (i, line) in GOLDEN.lines().enumerate() {
+        let doc = JsonValue::parse(line)
+            .unwrap_or_else(|e| panic!("golden line {} does not parse: {e}", i + 1));
+        assert!(doc.get("t_ns").is_some(), "line {} lacks t_ns", i + 1);
+        assert!(doc.get("kind").is_some(), "line {} lacks kind", i + 1);
+    }
+}

@@ -5,22 +5,45 @@
 //! is hard" when working on the PPO machinery.
 //!
 //! Usage: `cargo run --release -p iswitch-rl --example ppo_bandit`
-use iswitch_rl::{Action, ActionSpace, Environment, PpoAgent, PpoConfig, StepOutcome, Agent};
+use iswitch_rl::{Action, ActionSpace, Agent, Environment, PpoAgent, PpoConfig, StepOutcome};
 
 struct Bandit;
 impl Environment for Bandit {
-    fn obs_dim(&self) -> usize { 1 }
-    fn action_space(&self) -> ActionSpace { ActionSpace::Continuous { dim: 1, low: -5.0, high: 5.0 } }
-    fn reset(&mut self) -> Vec<f32> { vec![0.0] }
+    fn obs_dim(&self) -> usize {
+        1
+    }
+    fn action_space(&self) -> ActionSpace {
+        ActionSpace::Continuous {
+            dim: 1,
+            low: -5.0,
+            high: 5.0,
+        }
+    }
+    fn reset(&mut self) -> Vec<f32> {
+        vec![0.0]
+    }
     fn step(&mut self, a: &Action) -> StepOutcome {
         let x = a.continuous()[0];
-        StepOutcome { obs: vec![0.0], reward: -(x - 1.0) * (x - 1.0), done: true }
+        StepOutcome {
+            obs: vec![0.0],
+            reward: -(x - 1.0) * (x - 1.0),
+            done: true,
+        }
     }
-    fn name(&self) -> &'static str { "Bandit" }
+    fn name(&self) -> &'static str {
+        "Bandit"
+    }
 }
 
 fn main() {
-    let cfg = PpoConfig { horizon: 64, epochs: 4, gamma: 0.0, lam: 1.0, lr: 1e-2, ..PpoConfig::default() };
+    let cfg = PpoConfig {
+        horizon: 64,
+        epochs: 4,
+        gamma: 0.0,
+        lam: 1.0,
+        lr: 1e-2,
+        ..PpoConfig::default()
+    };
     let mut agent = PpoAgent::new(Box::new(Bandit), cfg, 0);
     let mut opt = agent.make_optimizer();
     let mut params = agent.params();

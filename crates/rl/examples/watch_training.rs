@@ -13,7 +13,10 @@ fn main() {
         Some("ddpg") => Algorithm::Ddpg,
         _ => Algorithm::Ppo,
     };
-    let iters: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(2_000);
+    let iters: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
     let mut agent = make_lite_agent(alg, 5);
     let mut opt = agent.make_optimizer();
     let mut params = agent.params();

@@ -5,8 +5,8 @@
 //! returns with the critic, and produces one combined policy+value gradient.
 
 use iswitch_tensor::{
-    grad_vec, mlp, mse, param_vec, set_param_vec, softmax, softmax_entropy, zero_grads,
-    Activation, Adam, Conv2d, Linear, Module, Optimizer, ReLU, Sequential, Tanh, Tensor,
+    grad_vec, mlp, mse, param_vec, set_param_vec, softmax, softmax_entropy, zero_grads, Activation,
+    Adam, Conv2d, Linear, Module, Optimizer, ReLU, Sequential, Tanh, Tensor,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -54,12 +54,7 @@ impl Default for A2cConfig {
 }
 
 /// Builds an A2C head: optional conv front end, Tanh MLP body.
-fn build_a2c_net(
-    obs_dim: usize,
-    outputs: usize,
-    cfg: &A2cConfig,
-    rng: &mut StdRng,
-) -> Sequential {
+fn build_a2c_net(obs_dim: usize, outputs: usize, cfg: &A2cConfig, rng: &mut StdRng) -> Sequential {
     match &cfg.conv {
         None => {
             let mut sizes = vec![obs_dim];
@@ -164,7 +159,11 @@ impl Agent for A2cAgent {
     }
 
     fn set_params(&mut self, params: &[f32]) {
-        assert_eq!(params.len(), self.param_count(), "flat parameter length mismatch");
+        assert_eq!(
+            params.len(),
+            self.param_count(),
+            "flat parameter length mismatch"
+        );
         let split = self.policy.param_count();
         set_param_vec(&mut self.policy, &params[..split]);
         set_param_vec(&mut self.value, &params[split..]);
@@ -247,7 +246,11 @@ mod tests {
     use crate::envs::GridWorld;
 
     fn quick_agent(seed: u64) -> A2cAgent {
-        A2cAgent::new(Box::new(GridWorld::standard(seed)), A2cConfig::default(), seed)
+        A2cAgent::new(
+            Box::new(GridWorld::standard(seed)),
+            A2cConfig::default(),
+            seed,
+        )
     }
 
     #[test]
@@ -314,6 +317,9 @@ mod tests {
             "expected improvement: early {early:.2} vs late {late:.2}"
         );
         // A good policy reaches the goal with modest step cost.
-        assert!(late > 0.0, "final policy should reach the goal, got {late:.2}");
+        assert!(
+            late > 0.0,
+            "final policy should reach the goal, got {late:.2}"
+        );
     }
 }

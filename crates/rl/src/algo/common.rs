@@ -129,7 +129,11 @@ impl SplitOptimizer {
 impl Optimizer for SplitOptimizer {
     fn step(&mut self, params: &mut [f32], grads: &[f32]) {
         let total: usize = self.parts.iter().map(|(n, _)| n).sum();
-        assert_eq!(params.len(), total, "SplitOptimizer ranges must cover all params");
+        assert_eq!(
+            params.len(),
+            total,
+            "SplitOptimizer ranges must cover all params"
+        );
         assert_eq!(params.len(), grads.len());
         let mut off = 0;
         for (n, opt) in &mut self.parts {

@@ -8,8 +8,8 @@
 //! vector concatenates both networks.
 
 use iswitch_tensor::{
-    grad_vec, mlp, mse, param_vec, set_param_vec, zero_grads, Activation, Adam, Module,
-    Optimizer, Sequential, Tensor,
+    grad_vec, mlp, mse, param_vec, set_param_vec, zero_grads, Activation, Adam, Module, Optimizer,
+    Sequential, Tensor,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -179,7 +179,11 @@ impl Agent for DdpgAgent {
     }
 
     fn set_params(&mut self, params: &[f32]) {
-        assert_eq!(params.len(), self.param_count(), "flat parameter length mismatch");
+        assert_eq!(
+            params.len(),
+            self.param_count(),
+            "flat parameter length mismatch"
+        );
         let split = self.actor.param_count();
         set_param_vec(&mut self.actor, &params[..split]);
         set_param_vec(&mut self.critic, &params[split..]);
@@ -209,16 +213,15 @@ impl Agent for DdpgAgent {
 
         // Critic target: y = r + γ(1-d)·Q'(s', μ'(s')).
         let next_a = self.target_actor.forward(&next_obs_t);
-        let next_in = Self::concat_obs_actions(
-            next_obs_t.data(),
-            obs_dim,
-            &next_a,
-            self.act_high,
-        );
+        let next_in = Self::concat_obs_actions(next_obs_t.data(), obs_dim, &next_a, self.act_high);
         let next_q = self.target_critic.forward(&next_in);
         let mut y = Vec::with_capacity(b);
         for i in 0..b {
-            let boot = if dones[i] { 0.0 } else { self.cfg.gamma * next_q.data()[i] };
+            let boot = if dones[i] {
+                0.0
+            } else {
+                self.cfg.gamma * next_q.data()[i]
+            };
             y.push(rewards[i] + boot);
         }
 
@@ -245,8 +248,7 @@ impl Agent for DdpgAgent {
         let mut da = Tensor::zeros(&[b, self.act_dim]);
         for r in 0..b {
             for j in 0..self.act_dim {
-                da.data_mut()[r * self.act_dim + j] =
-                    dinput.at(r, obs_dim + j) * self.act_high;
+                da.data_mut()[r * self.act_dim + j] = dinput.at(r, obs_dim + j) * self.act_high;
             }
         }
         self.actor.backward(&da);
@@ -257,8 +259,14 @@ impl Agent for DdpgAgent {
 
     fn make_optimizer(&self) -> Box<dyn Optimizer + Send> {
         Box::new(SplitOptimizer::new(vec![
-            (self.actor.param_count(), Box::new(Adam::new(self.cfg.actor_lr))),
-            (self.critic.param_count(), Box::new(Adam::new(self.cfg.critic_lr))),
+            (
+                self.actor.param_count(),
+                Box::new(Adam::new(self.cfg.actor_lr)),
+            ),
+            (
+                self.critic.param_count(),
+                Box::new(Adam::new(self.cfg.critic_lr)),
+            ),
         ]))
     }
 
@@ -287,7 +295,10 @@ mod tests {
     use crate::envs::{CheetahLite, Pendulum};
 
     fn pendulum_agent(seed: u64) -> DdpgAgent {
-        let cfg = DdpgConfig { learn_start: 200, ..DdpgConfig::default() };
+        let cfg = DdpgConfig {
+            learn_start: 200,
+            ..DdpgConfig::default()
+        };
         DdpgAgent::new(Box::new(Pendulum::new(seed)), cfg, seed)
     }
 
@@ -333,7 +344,10 @@ mod tests {
     fn works_on_cheetah_lite_action_arity() {
         let mut agent = DdpgAgent::new(
             Box::new(CheetahLite::new(0)),
-            DdpgConfig { learn_start: 50, ..DdpgConfig::default() },
+            DdpgConfig {
+                learn_start: 50,
+                ..DdpgConfig::default()
+            },
             0,
         );
         for _ in 0..60 {

@@ -6,8 +6,8 @@
 //! one distributed-training iteration.
 
 use iswitch_tensor::{
-    grad_vec, huber, mlp, param_vec, set_param_vec, zero_grads, Activation, Adam, Conv2d,
-    Linear, Module, Optimizer, ReLU, Sequential, Tensor,
+    grad_vec, huber, mlp, param_vec, set_param_vec, zero_grads, Activation, Adam, Conv2d, Linear,
+    Module, Optimizer, ReLU, Sequential, Tensor,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -91,12 +91,7 @@ impl Default for DqnConfig {
 }
 
 /// Builds the Q-network: an optional conv front end followed by the MLP.
-fn build_q_net(
-    obs_dim: usize,
-    n_actions: usize,
-    cfg: &DqnConfig,
-    rng: &mut StdRng,
-) -> Sequential {
+fn build_q_net(obs_dim: usize, n_actions: usize, cfg: &DqnConfig, rng: &mut StdRng) -> Sequential {
     match &cfg.conv {
         None => {
             let mut sizes = vec![obs_dim];
@@ -274,9 +269,17 @@ impl Agent for DqnAgent {
                         .expect("non-empty row");
                     next_q.at(i, a_star)
                 }
-                None => next_q.row(i).iter().cloned().fold(f32::NEG_INFINITY, f32::max),
+                None => next_q
+                    .row(i)
+                    .iter()
+                    .cloned()
+                    .fold(f32::NEG_INFINITY, f32::max),
             };
-            let bootstrap = if dones[i] { 0.0 } else { self.cfg.gamma * max_next };
+            let bootstrap = if dones[i] {
+                0.0
+            } else {
+                self.cfg.gamma * max_next
+            };
             targets.push(rewards[i] + bootstrap);
         }
 
@@ -287,8 +290,7 @@ impl Agent for DqnAgent {
         for (i, &a) in actions.iter().enumerate() {
             chosen.push(q.at(i, a));
         }
-        let (_, dchosen) =
-            huber(&Tensor::from_vec(chosen), &Tensor::from_vec(targets), 1.0);
+        let (_, dchosen) = huber(&Tensor::from_vec(chosen), &Tensor::from_vec(targets), 1.0);
         let mut dq = Tensor::zeros(&[b, self.n_actions]);
         for (i, &a) in actions.iter().enumerate() {
             dq.data_mut()[i * self.n_actions + a] = dchosen.data()[i];
@@ -392,10 +394,18 @@ mod tests {
                 ..DqnConfig::default()
             };
             let mut a = DqnAgent::new(Box::new(CartPole::new(3)), cfg, 3);
-            // Desynchronize online vs target nets.
+            // Desynchronize online vs target nets. The perturbation must be
+            // heterogeneous: adding one constant to every weight shifts both
+            // actions' Q-values by (almost) the same amount, so the online
+            // and target argmax can coincide on every sampled state and the
+            // two target rules collapse to the same gradient.
             let mut w = a.params();
-            for x in w.iter_mut() {
-                *x += 0.25;
+            for (i, x) in w.iter_mut().enumerate() {
+                // Cheap position hash in [-0.4, 0.4]: any periodic pattern
+                // (constant, alternating) repeats across a layer's rows and
+                // collapses back into a common shift.
+                let h = (i as u32).wrapping_mul(2_654_435_761) >> 16;
+                *x += 0.8 * (h as f32 / 65_535.0) - 0.4;
             }
             a.set_params(&w);
             let mut g = Vec::new();
@@ -442,7 +452,10 @@ mod tests {
         };
         let mut agent = DqnAgent::new(Box::new(MiniPong::new(0)), cfg, 0);
         // Conv(1->4,k4,s2) on 12x12 -> 4 x 5 x 5 = 100 features.
-        assert_eq!(agent.param_count(), (4 * 16 + 4) + (100 * 32 + 32) + (32 * 3 + 3));
+        assert_eq!(
+            agent.param_count(),
+            (4 * 16 + 4) + (100 * 32 + 32) + (32 * 3 + 3)
+        );
         let mut g = Vec::new();
         for _ in 0..40 {
             g = agent.compute_gradient();
@@ -480,8 +493,7 @@ mod tests {
     fn single_worker_training_improves_reward() {
         // A compact end-to-end sanity check that the learning loop learns,
         // using the default (experiment) configuration.
-        let mut agent =
-            DqnAgent::new(Box::new(CartPole::new(5)), DqnConfig::default(), 5 + 0x9e37);
+        let mut agent = DqnAgent::new(Box::new(CartPole::new(5)), DqnConfig::default(), 5 + 0x9e37);
         let mut opt = agent.make_optimizer();
         let mut params = agent.params();
         for _ in 0..2500 {

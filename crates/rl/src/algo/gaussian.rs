@@ -63,7 +63,11 @@ impl GaussianPolicy {
     ///
     /// Panics on length mismatch.
     pub fn set_params(&mut self, flat: &[f32]) {
-        assert_eq!(flat.len(), self.param_count(), "flat parameter length mismatch");
+        assert_eq!(
+            flat.len(),
+            self.param_count(),
+            "flat parameter length mismatch"
+        );
         let split = self.net.param_count();
         set_param_vec(&mut self.net, &flat[..split]);
         self.log_std.copy_from_slice(&flat[split..]);
@@ -99,7 +103,11 @@ impl GaussianPolicy {
 
     /// Log-density of each row's action under the row's Gaussian.
     pub fn log_prob(&self, means: &Tensor, actions: &Tensor) -> Vec<f32> {
-        assert_eq!(means.shape(), actions.shape(), "means/actions shape mismatch");
+        assert_eq!(
+            means.shape(),
+            actions.shape(),
+            "means/actions shape mismatch"
+        );
         let d = self.act_dim;
         let mut out = Vec::with_capacity(means.rows());
         for r in 0..means.rows() {
@@ -138,7 +146,10 @@ impl GaussianPolicy {
     /// Policy entropy (state-independent for a fixed-std Gaussian) and its
     /// gradient contribution: `dH/d log_std_j = 1`.
     pub fn entropy(&self) -> f32 {
-        self.log_std.iter().map(|ls| ls + 0.5 * (LOG_2PI + 1.0)).sum()
+        self.log_std
+            .iter()
+            .map(|ls| ls + 0.5 * (LOG_2PI + 1.0))
+            .sum()
     }
 
     /// Adds `coeff` to every log-std gradient — the entropy-bonus gradient.

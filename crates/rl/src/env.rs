@@ -108,7 +108,12 @@ mod tests {
     fn policy_outputs_by_space() {
         assert_eq!(ActionSpace::Discrete(4).policy_outputs(), 4);
         assert_eq!(
-            ActionSpace::Continuous { dim: 2, low: -1.0, high: 1.0 }.policy_outputs(),
+            ActionSpace::Continuous {
+                dim: 2,
+                low: -1.0,
+                high: 1.0
+            }
+            .policy_outputs(),
             2
         );
     }

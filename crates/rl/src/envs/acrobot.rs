@@ -73,18 +73,14 @@ impl Acrobot {
             let lc = LINK_COM;
             let i = LINK_MOI;
             let g = GRAVITY;
-            let d1 = m * lc * lc
-                + m * (l1 * l1 + lc * lc + 2.0 * l1 * lc * t2.cos())
-                + 2.0 * i;
+            let d1 = m * lc * lc + m * (l1 * l1 + lc * lc + 2.0 * l1 * lc * t2.cos()) + 2.0 * i;
             let d2 = m * (lc * lc + l1 * lc * t2.cos()) + i;
             let phi2 = m * lc * g * (t1 + t2 - std::f32::consts::FRAC_PI_2).cos();
             let phi1 = -m * l1 * lc * d2v * d2v * t2.sin()
                 - 2.0 * m * l1 * lc * d2v * d1v * t2.sin()
                 + (m * lc + m * l1) * g * (t1 - std::f32::consts::FRAC_PI_2).cos()
                 + phi2;
-            let ddtheta2 = (torque + d2 / d1 * phi1
-                - m * l1 * lc * d1v * d1v * t2.sin()
-                - phi2)
+            let ddtheta2 = (torque + d2 / d1 * phi1 - m * l1 * lc * d1v * d1v * t2.sin() - phi2)
                 / (m * lc * lc + i - d2 * d2 / d1);
             let ddtheta1 = -(d2 * ddtheta2 + phi1) / d1;
             self.dtheta1 = (d1v + ddtheta1 * DT / 2.0).clamp(-MAX_VEL_1, MAX_VEL_1);
@@ -122,7 +118,11 @@ impl Environment for Acrobot {
         self.steps += 1;
         let at_goal = self.tip_height() > 1.0;
         self.done = at_goal || self.steps >= MAX_STEPS;
-        StepOutcome { obs: self.observe(), reward: -1.0, done: self.done }
+        StepOutcome {
+            obs: self.observe(),
+            reward: -1.0,
+            done: self.done,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -138,7 +138,11 @@ mod tests {
     fn starts_hanging_below_the_bar() {
         let mut env = Acrobot::new(0);
         env.reset();
-        assert!(env.tip_height() < 0.0, "initial tip height {}", env.tip_height());
+        assert!(
+            env.tip_height() < 0.0,
+            "initial tip height {}",
+            env.tip_height()
+        );
     }
 
     #[test]
@@ -171,7 +175,10 @@ mod tests {
                 break;
             }
         }
-        assert!(steps < MAX_STEPS, "energy pumping should reach the goal, took {steps}");
+        assert!(
+            steps < MAX_STEPS,
+            "energy pumping should reach the goal, took {steps}"
+        );
     }
 
     #[test]

@@ -36,7 +36,12 @@ pub struct CartPole {
 impl CartPole {
     /// A new CartPole with its own seeded RNG for initial-state jitter.
     pub fn new(seed: u64) -> Self {
-        CartPole { state: [0.0; 4], steps: 0, done: true, rng: StdRng::seed_from_u64(seed) }
+        CartPole {
+            state: [0.0; 4],
+            steps: 0,
+            done: true,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -79,7 +84,11 @@ impl Environment for CartPole {
         self.steps += 1;
         let fell = self.state[0].abs() > X_LIMIT || self.state[2].abs() > THETA_LIMIT;
         self.done = fell || self.steps >= MAX_STEPS;
-        StepOutcome { obs: self.state.to_vec(), reward: 1.0, done: self.done }
+        StepOutcome {
+            obs: self.state.to_vec(),
+            reward: 1.0,
+            done: self.done,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -110,7 +119,10 @@ mod tests {
     #[test]
     fn constant_push_fails_quickly() {
         let (reward, steps) = run_policy(|_| 1, 0);
-        assert!(steps < 100, "constant force should topple the pole, took {steps}");
+        assert!(
+            steps < 100,
+            "constant force should topple the pole, took {steps}"
+        );
         assert_eq!(reward, steps as f32);
     }
 
@@ -125,8 +137,7 @@ mod tests {
     #[test]
     fn episode_caps_at_500() {
         // The feedback policy balances essentially forever; the cap kicks in.
-        let (reward, steps) =
-            run_policy(|obs| if obs[2] + 0.1 * obs[3] > 0.0 { 1 } else { 0 }, 3);
+        let (reward, steps) = run_policy(|obs| if obs[2] + 0.1 * obs[3] > 0.0 { 1 } else { 0 }, 3);
         assert!(steps <= 500);
         assert_eq!(reward, steps as f32);
     }

@@ -51,7 +51,14 @@ impl CheetahLite {
     }
 
     fn observe(&self) -> Vec<f32> {
-        vec![self.v, self.q[0], self.q[1], self.dq[0], self.dq[1], self.phase.sin()]
+        vec![
+            self.v,
+            self.q[0],
+            self.q[1],
+            self.dq[0],
+            self.dq[1],
+            self.phase.sin(),
+        ]
     }
 }
 
@@ -61,7 +68,11 @@ impl Environment for CheetahLite {
     }
 
     fn action_space(&self) -> ActionSpace {
-        ActionSpace::Continuous { dim: 2, low: -MAX_ACTION, high: MAX_ACTION }
+        ActionSpace::Continuous {
+            dim: 2,
+            low: -MAX_ACTION,
+            high: MAX_ACTION,
+        }
     }
 
     fn reset(&mut self) -> Vec<f32> {
@@ -82,7 +93,10 @@ impl Environment for CheetahLite {
         assert!(!self.done, "step() after done without reset()");
         let act = action.continuous();
         assert_eq!(act.len(), 2, "cheetah-lite expects 2 action dims");
-        let u = [act[0].clamp(-MAX_ACTION, MAX_ACTION), act[1].clamp(-MAX_ACTION, MAX_ACTION)];
+        let u = [
+            act[0].clamp(-MAX_ACTION, MAX_ACTION),
+            act[1].clamp(-MAX_ACTION, MAX_ACTION),
+        ];
         // Joint dynamics: torque, spring restoring force, damping.
         for (i, &torque) in u.iter().enumerate() {
             let acc = 8.0 * torque - 4.0 * self.q[i] - 0.5 * self.dq[i];
@@ -96,7 +110,11 @@ impl Environment for CheetahLite {
         self.steps += 1;
         self.done = self.steps >= MAX_STEPS;
         let reward = self.v - 0.1 * (u[0] * u[0] + u[1] * u[1]);
-        StepOutcome { obs: self.observe(), reward, done: self.done }
+        StepOutcome {
+            obs: self.observe(),
+            reward,
+            done: self.done,
+        }
     }
 
     fn name(&self) -> &'static str {

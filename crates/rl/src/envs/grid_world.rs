@@ -33,7 +33,15 @@ impl GridWorld {
     pub fn new(n: usize, slip: f32, seed: u64) -> Self {
         assert!(n >= 2, "grid must be at least 2x2");
         assert!((0.0..1.0).contains(&slip), "slip must be in [0,1)");
-        GridWorld { n, slip, x: 0, y: 0, steps: 0, done: true, rng: StdRng::seed_from_u64(seed) }
+        GridWorld {
+            n,
+            slip,
+            x: 0,
+            y: 0,
+            steps: 0,
+            done: true,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The default configuration used in the experiments: 5×5, 10% slip.
@@ -165,7 +173,9 @@ mod tests {
         let run = |seed| {
             let mut env = GridWorld::new(5, 0.5, seed);
             env.reset();
-            (0..20).map(|_| env.step(&Action::Discrete(3)).obs[0].to_bits()).collect::<Vec<_>>()
+            (0..20)
+                .map(|_| env.step(&Action::Discrete(3)).obs[0].to_bits())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(1), run(1));
         assert_ne!(run(1), run(2));

@@ -95,8 +95,8 @@ impl Environment for MiniPong {
         assert!(!self.done, "step() after done without reset()");
         let a = action.discrete();
         assert!(a < 3, "mini-pong action out of range");
-        self.paddle_x = (self.paddle_x + a as isize - 1)
-            .clamp(PADDLE_HALF, SIZE as isize - 1 - PADDLE_HALF);
+        self.paddle_x =
+            (self.paddle_x + a as isize - 1).clamp(PADDLE_HALF, SIZE as isize - 1 - PADDLE_HALF);
 
         // Advance the ball with wall bounces.
         let mut reward = 0.0;
@@ -125,7 +125,11 @@ impl Environment for MiniPong {
         if self.steps >= MAX_STEPS {
             self.done = true;
         }
-        StepOutcome { obs: self.frame(), reward, done: self.done }
+        StepOutcome {
+            obs: self.frame(),
+            reward,
+            done: self.done,
+        }
     }
 
     fn name(&self) -> &'static str {

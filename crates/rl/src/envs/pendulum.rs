@@ -52,7 +52,11 @@ impl Pendulum {
     }
 
     fn observe(&self) -> Vec<f32> {
-        vec![self.theta.cos(), self.theta.sin(), self.theta_dot / MAX_SPEED]
+        vec![
+            self.theta.cos(),
+            self.theta.sin(),
+            self.theta_dot / MAX_SPEED,
+        ]
     }
 }
 
@@ -72,7 +76,11 @@ impl Environment for Pendulum {
     }
 
     fn action_space(&self) -> ActionSpace {
-        ActionSpace::Continuous { dim: 1, low: -MAX_TORQUE, high: MAX_TORQUE }
+        ActionSpace::Continuous {
+            dim: 1,
+            low: -MAX_TORQUE,
+            high: MAX_TORQUE,
+        }
     }
 
     fn reset(&mut self) -> Vec<f32> {
@@ -80,7 +88,9 @@ impl Environment for Pendulum {
             self.theta = self.rng.gen_range(-0.8..0.8);
             self.theta_dot = self.rng.gen_range(-0.5..0.5);
         } else {
-            self.theta = self.rng.gen_range(-std::f32::consts::PI..std::f32::consts::PI);
+            self.theta = self
+                .rng
+                .gen_range(-std::f32::consts::PI..std::f32::consts::PI);
             self.theta_dot = self.rng.gen_range(-1.0..1.0);
         }
         self.steps = 0;
@@ -93,13 +103,16 @@ impl Environment for Pendulum {
         let u = action.continuous()[0].clamp(-MAX_TORQUE, MAX_TORQUE);
         let theta = wrap_angle(self.theta);
         let cost = theta * theta + 0.1 * self.theta_dot * self.theta_dot + 0.001 * u * u;
-        let acc = 3.0 * GRAVITY / (2.0 * LENGTH) * theta.sin()
-            + 3.0 / (MASS * LENGTH * LENGTH) * u;
+        let acc = 3.0 * GRAVITY / (2.0 * LENGTH) * theta.sin() + 3.0 / (MASS * LENGTH * LENGTH) * u;
         self.theta_dot = (self.theta_dot + acc * DT).clamp(-MAX_SPEED, MAX_SPEED);
         self.theta += self.theta_dot * DT;
         self.steps += 1;
         self.done = self.steps >= MAX_STEPS;
-        StepOutcome { obs: self.observe(), reward: -cost, done: self.done }
+        StepOutcome {
+            obs: self.observe(),
+            reward: -cost,
+            done: self.done,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -155,27 +168,41 @@ mod tests {
     fn swing_up_policy_outscores_zero_policy() {
         // Energy pumping below the horizon plus PD stabilization near the
         // top is the classic hand-crafted swing-up controller.
+        // Average several episodes: both policies see the same seeded
+        // initial-state sequence, and a single unlucky start (e.g. arriving
+        // at the top too fast for the PD catch) cannot dominate the
+        // comparison.
+        const EPISODES: usize = 6;
         type Policy = Box<dyn FnMut(&[f32]) -> f32>;
         let total = |mut policy: Policy| {
             let mut env = Pendulum::new(5);
-            let mut obs = env.reset();
-            let mut total = 0.0;
-            loop {
-                let out = env.step(&Action::Continuous(vec![policy(&obs)]));
-                total += out.reward;
-                obs = out.obs;
-                if out.done {
-                    return total;
+            let mut sum = 0.0;
+            for _ in 0..EPISODES {
+                let mut obs = env.reset();
+                loop {
+                    let out = env.step(&Action::Continuous(vec![policy(&obs)]));
+                    sum += out.reward;
+                    obs = out.obs;
+                    if out.done {
+                        break;
+                    }
                 }
             }
+            sum / EPISODES as f32
         };
         let swing_up = |o: &[f32]| {
             let theta = o[1].atan2(o[0]);
             let theta_dot = o[2] * MAX_SPEED;
-            if o[0] > 0.85 {
+            // Energy shaping: with θ̈ = 15·sin θ + 3u the mechanical energy
+            // is E = ½·θ_dot² + 15·cos θ (upright rest: E = 15), and
+            // dE/dt = 3·u·θ_dot — so torque along θ_dot scaled by the
+            // energy deficit regulates E to the homoclinic orbit and the
+            // pendulum arrives at the top slowly enough for the PD catch.
+            let energy = 0.5 * theta_dot * theta_dot + 15.0 * theta.cos();
+            if o[0] > 0.95 && theta_dot.abs() < 2.5 {
                 (-12.0 * theta - 2.0 * theta_dot).clamp(-MAX_TORQUE, MAX_TORQUE)
             } else {
-                MAX_TORQUE * theta_dot.signum()
+                (0.6 * (15.0 - energy) * theta_dot.signum()).clamp(-MAX_TORQUE, MAX_TORQUE)
             }
         };
         let smart = total(Box::new(swing_up));

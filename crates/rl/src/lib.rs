@@ -42,15 +42,13 @@ mod model_zoo;
 mod replay;
 
 pub use algo::{
-    discounted_returns, gae, normalize, A2cAgent, A2cConfig, Agent, DdpgAgent, DdpgConfig,
-    standard_normal, ConvFront, DqnAgent, DqnConfig, GaussianPolicy, PpoAgent, PpoConfig,
-    RewardTracker,
+    discounted_returns, gae, normalize, standard_normal, A2cAgent, A2cConfig, Agent, ConvFront,
+    DdpgAgent, DdpgConfig, DqnAgent, DqnConfig, GaussianPolicy, PpoAgent, PpoConfig, RewardTracker,
     SplitOptimizer,
 };
 pub use env::{Action, ActionSpace, Environment, StepOutcome};
 pub use model_zoo::{
-    all_paper_models, hidden_for_target, make_lite_agent, make_lite_agent_scaled,
-    mlp_param_count, paper_a2c, paper_ddpg,
-    paper_dqn, paper_model, paper_ppo, Algorithm, ModelSpec,
+    all_paper_models, hidden_for_target, make_lite_agent, make_lite_agent_scaled, mlp_param_count,
+    paper_a2c, paper_ddpg, paper_dqn, paper_model, paper_ppo, Algorithm, ModelSpec,
 };
 pub use replay::{ReplayBuffer, Transition};

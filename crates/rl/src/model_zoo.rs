@@ -15,7 +15,9 @@
 //! wire have the same length as the paper's. The lite specs are the small
 //! networks used when real convergence must be measured on a laptop.
 
-use crate::algo::{A2cAgent, A2cConfig, Agent, DdpgAgent, DdpgConfig, DqnAgent, DqnConfig, PpoAgent, PpoConfig};
+use crate::algo::{
+    A2cAgent, A2cConfig, Agent, DdpgAgent, DdpgConfig, DqnAgent, DqnConfig, PpoAgent, PpoConfig,
+};
 use crate::envs::{CartPole, CheetahLite, GridWorld, Pendulum};
 
 /// One of the paper's four benchmark algorithms.
@@ -33,7 +35,12 @@ pub enum Algorithm {
 
 impl Algorithm {
     /// All four, in the paper's order.
-    pub const ALL: [Algorithm; 4] = [Algorithm::Dqn, Algorithm::A2c, Algorithm::Ppo, Algorithm::Ddpg];
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::Dqn,
+        Algorithm::A2c,
+        Algorithm::Ppo,
+        Algorithm::Ddpg,
+    ];
 
     /// Display name as used in the paper.
     pub fn name(self) -> &'static str {
@@ -70,7 +77,10 @@ pub struct ModelSpec {
 impl ModelSpec {
     /// Total scalar parameters across all networks.
     pub fn param_count(&self) -> usize {
-        self.networks.iter().map(|sizes| mlp_param_count(sizes)).sum()
+        self.networks
+            .iter()
+            .map(|sizes| mlp_param_count(sizes))
+            .sum()
     }
 
     /// Model size in bytes (4 bytes per f32 parameter).
@@ -96,7 +106,10 @@ pub fn hidden_for_target(target: usize, input: usize, output: usize) -> usize {
     let b = (input + output + 2) as f64;
     let c = output as f64 - target as f64;
     let h = (-b + (b * b - 4.0 * c).sqrt()) / 2.0;
-    assert!(h >= 1.0, "target {target} too small for input {input} / output {output}");
+    assert!(
+        h >= 1.0,
+        "target {target} too small for input {input} / output {output}"
+    );
     h.round() as usize
 }
 

@@ -55,7 +55,11 @@ impl ReplayBuffer {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "replay capacity must be positive");
-        ReplayBuffer { capacity, data: Vec::new(), write: 0 }
+        ReplayBuffer {
+            capacity,
+            data: Vec::new(),
+            write: 0,
+        }
     }
 
     /// Appends a transition, evicting the oldest once full.
@@ -84,8 +88,13 @@ impl ReplayBuffer {
     ///
     /// Panics if the buffer is empty.
     pub fn sample(&self, batch: usize, rng: &mut StdRng) -> Vec<&Transition> {
-        assert!(!self.data.is_empty(), "cannot sample an empty replay buffer");
-        (0..batch).map(|_| &self.data[rng.gen_range(0..self.data.len())]).collect()
+        assert!(
+            !self.data.is_empty(),
+            "cannot sample an empty replay buffer"
+        );
+        (0..batch)
+            .map(|_| &self.data[rng.gen_range(0..self.data.len())])
+            .collect()
     }
 }
 
@@ -126,7 +135,10 @@ mod tests {
         }
         let draw = |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
-            buf.sample(5, &mut rng).iter().map(|t| t.reward).collect::<Vec<_>>()
+            buf.sample(5, &mut rng)
+                .iter()
+                .map(|t| t.reward)
+                .collect::<Vec<_>>()
         };
         assert_eq!(draw(1), draw(1));
     }

@@ -132,7 +132,11 @@ impl Module for Conv2d {
         let input = self.cached_input.take().expect("backward before forward");
         let batch = input.rows();
         let (oh, ow) = (self.out_h(), self.out_w());
-        assert_eq!(grad_out.cols(), self.out_len(), "Conv2d grad width mismatch");
+        assert_eq!(
+            grad_out.cols(),
+            self.out_len(),
+            "Conv2d grad width mismatch"
+        );
         let mut grad_in = Tensor::zeros(&[batch, self.in_len()]);
         for n in 0..batch {
             let row = input.row(n).to_vec();
@@ -225,7 +229,9 @@ mod tests {
             .push(crate::Linear::new(2 * 9, 2, &mut rng));
         let x = Tensor::from_shape_vec(
             &[2, 25],
-            (0..50).map(|i| ((i * 37) % 11) as f32 / 11.0 - 0.5).collect(),
+            (0..50)
+                .map(|i| ((i * 37) % 11) as f32 / 11.0 - 0.5)
+                .collect(),
         );
         let target = Tensor::from_rows(vec![vec![1.0, -0.5], vec![0.2, 0.8]]);
 

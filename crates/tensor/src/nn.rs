@@ -81,7 +81,11 @@ impl Linear {
 
 impl Module for Linear {
     fn forward(&mut self, input: &Tensor) -> Tensor {
-        assert_eq!(input.cols(), self.in_features(), "Linear input width mismatch");
+        assert_eq!(
+            input.cols(),
+            self.in_features(),
+            "Linear input width mismatch"
+        );
         let out = input.matmul_t(&self.w).add_row_broadcast(&self.b);
         self.cached_input = Some(input.clone());
         out
@@ -163,7 +167,10 @@ impl Module for Tanh {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let y = self.cached_output.as_ref().expect("backward before forward");
+        let y = self
+            .cached_output
+            .as_ref()
+            .expect("backward before forward");
         grad_out.zip_with(y, |g, yi| g * (1.0 - yi * yi))
     }
 
@@ -261,11 +268,18 @@ pub fn mlp(
     output: Option<Activation>,
     rng: &mut StdRng,
 ) -> Sequential {
-    assert!(sizes.len() >= 2, "mlp needs at least input and output sizes");
+    assert!(
+        sizes.len() >= 2,
+        "mlp needs at least input and output sizes"
+    );
     let mut seq = Sequential::new();
     for i in 0..sizes.len() - 1 {
         seq = seq.push(Linear::new(sizes[i], sizes[i + 1], rng));
-        let act = if i + 2 == sizes.len() { output.unwrap_or(Activation::Identity) } else { hidden };
+        let act = if i + 2 == sizes.len() {
+            output.unwrap_or(Activation::Identity)
+        } else {
+            hidden
+        };
         seq = match act {
             Activation::ReLU => seq.push(ReLU::new()),
             Activation::Tanh => seq.push(Tanh::new()),
@@ -288,7 +302,11 @@ pub fn param_vec(m: &mut dyn Module) -> Vec<f32> {
 ///
 /// Panics if `flat.len() != m.param_count()`.
 pub fn set_param_vec(m: &mut dyn Module, flat: &[f32]) {
-    assert_eq!(flat.len(), m.param_count(), "flat parameter length mismatch");
+    assert_eq!(
+        flat.len(),
+        m.param_count(),
+        "flat parameter length mismatch"
+    );
     let mut off = 0;
     m.visit_params(&mut |p, _| {
         p.copy_from_slice(&flat[off..off + p.len()]);
@@ -388,7 +406,10 @@ mod tests {
         net.backward(&g);
         let twice = grad_vec(&mut net);
         for (a, b) in once.iter().zip(&twice) {
-            assert!((b - 2.0 * a).abs() < 1e-4, "accumulation broken: {a} vs {b}");
+            assert!(
+                (b - 2.0 * a).abs() < 1e-4,
+                "accumulation broken: {a} vs {b}"
+            );
         }
     }
 
@@ -422,7 +443,12 @@ mod tests {
     #[test]
     fn mlp_output_activation_applies() {
         let mut rng = StdRng::seed_from_u64(0);
-        let mut net = mlp(&[2, 4, 3], Activation::ReLU, Some(Activation::Tanh), &mut rng);
+        let mut net = mlp(
+            &[2, 4, 3],
+            Activation::ReLU,
+            Some(Activation::Tanh),
+            &mut rng,
+        );
         let y = net.forward(&Tensor::from_rows(vec![vec![10.0, -10.0]]));
         assert!(y.data().iter().all(|v| v.abs() <= 1.0));
     }

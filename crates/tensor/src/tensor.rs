@@ -41,7 +41,10 @@ impl Tensor {
             shape.len() == 1 || shape.len() == 2,
             "only rank-1/2 tensors are supported, got shape {shape:?}"
         );
-        Tensor { shape: shape.to_vec(), data: vec![0.0; shape.iter().product()] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape.iter().product()],
+        }
     }
 
     /// A tensor filled with `value`.
@@ -62,7 +65,10 @@ impl Tensor {
 
     /// A rank-1 tensor from a vector of values.
     pub fn from_vec(data: Vec<f32>) -> Self {
-        Tensor { shape: vec![data.len()], data }
+        Tensor {
+            shape: vec![data.len()],
+            data,
+        }
     }
 
     /// A rank-2 tensor from rows.
@@ -75,7 +81,10 @@ impl Tensor {
         let cols = rows[0].len();
         assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
         let data: Vec<f32> = rows.into_iter().flatten().collect();
-        Tensor { shape: vec![data.len() / cols, cols], data }
+        Tensor {
+            shape: vec![data.len() / cols, cols],
+            data,
+        }
     }
 
     /// A rank-2 tensor wrapping existing data.
@@ -90,8 +99,14 @@ impl Tensor {
             "shape {shape:?} does not match data length {}",
             data.len()
         );
-        assert!(shape.len() == 1 || shape.len() == 2, "only rank-1/2 supported");
-        Tensor { shape: shape.to_vec(), data }
+        assert!(
+            shape.len() == 1 || shape.len() == 2,
+            "only rank-1/2 supported"
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// The tensor's shape.
@@ -145,13 +160,20 @@ impl Tensor {
     /// Panics if `r` is out of bounds.
     pub fn row(&self, r: usize) -> &[f32] {
         let c = self.cols();
-        assert!(r < self.rows(), "row {r} out of bounds ({} rows)", self.rows());
+        assert!(
+            r < self.rows(),
+            "row {r} out of bounds ({} rows)",
+            self.rows()
+        );
         &self.data[r * c..(r + 1) * c]
     }
 
     /// Element at `(r, c)` of a rank-2 tensor.
     pub fn at(&self, r: usize, c: usize) -> f32 {
-        assert!(r < self.rows() && c < self.cols(), "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows() && c < self.cols(),
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols() + c]
     }
 
@@ -272,14 +294,29 @@ impl Tensor {
 
     /// Elementwise combination of two same-shaped tensors.
     pub fn zip_with(&self, other: &Tensor, mut f: impl FnMut(f32, f32) -> f32) -> Tensor {
-        assert_eq!(self.shape, other.shape, "shape mismatch: {:?} vs {:?}", self.shape, other.shape);
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
-        Tensor { shape: self.shape.clone(), data }
+        assert_eq!(
+            self.shape, other.shape,
+            "shape mismatch: {:?} vs {:?}",
+            self.shape, other.shape
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// Elementwise map.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Multiplies every element by `s`.
@@ -293,7 +330,11 @@ impl Tensor {
     ///
     /// Panics if `bias.len() != self.cols()`.
     pub fn add_row_broadcast(&self, bias: &Tensor) -> Tensor {
-        assert_eq!(bias.len(), self.cols(), "bias length must equal column count");
+        assert_eq!(
+            bias.len(),
+            self.cols(),
+            "bias length must equal column count"
+        );
         let mut out = self.clone();
         let c = self.cols();
         for row in out.data.chunks_mut(c) {

@@ -33,7 +33,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Algorithm", "Model", "PS", "AR", "iSW", "iSW vs PS", "Ranking"],
+            &[
+                "Algorithm",
+                "Model",
+                "PS",
+                "AR",
+                "iSW",
+                "iSW vs PS",
+                "Ranking"
+            ],
             &rows
         )
     );

@@ -6,8 +6,8 @@
 //! Run with: `cargo run --release --example async_pipeline`
 
 use iswitch::cluster::{
-    run_convergence, run_timing, AggregationSemantics, ConvergenceConfig,
-    StalenessDistribution, Strategy, TimingConfig,
+    run_convergence, run_timing, AggregationSemantics, ConvergenceConfig, StalenessDistribution,
+    Strategy, TimingConfig,
 };
 use iswitch::rl::Algorithm;
 
@@ -23,7 +23,10 @@ fn main() {
     isw_cfg.iterations = 25;
     let isw = run_timing(&isw_cfg);
 
-    println!("update interval   : Async PS {}  vs  Async iSW {}", ps.per_iteration, isw.per_iteration);
+    println!(
+        "update interval   : Async PS {}  vs  Async iSW {}",
+        ps.per_iteration, isw.per_iteration
+    );
     println!(
         "gradient staleness: Async PS {:.2}  vs  Async iSW {:.2}  (mean)",
         ps.mean_staleness().unwrap_or(0.0),
@@ -40,11 +43,17 @@ fn main() {
         ..ConvergenceConfig::sync_main(alg)
     };
     let conv_ps = run_convergence(&ConvergenceConfig {
-        semantics: AggregationSemantics::AsyncSingle { staleness: d_ps, bound: 3 },
+        semantics: AggregationSemantics::AsyncSingle {
+            staleness: d_ps,
+            bound: 3,
+        },
         ..base.clone()
     });
     let conv_isw = run_convergence(&ConvergenceConfig {
-        semantics: AggregationSemantics::AsyncAggregated { staleness: d_isw, bound: 3 },
+        semantics: AggregationSemantics::AsyncAggregated {
+            staleness: d_isw,
+            bound: 3,
+        },
         ..base
     });
     println!(

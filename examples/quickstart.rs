@@ -35,8 +35,14 @@ fn main() {
     // --- 2. The systems claim: fewer network hops, lower latency. --------
     // Simulate one PPO training iteration at packet level for the PS
     // baseline and for iSwitch on the paper's 4-worker cluster.
-    let ps = run_timing(&TimingConfig::main_cluster(Algorithm::Ppo, Strategy::SyncPs));
-    let isw = run_timing(&TimingConfig::main_cluster(Algorithm::Ppo, Strategy::SyncIsw));
+    let ps = run_timing(&TimingConfig::main_cluster(
+        Algorithm::Ppo,
+        Strategy::SyncPs,
+    ));
+    let isw = run_timing(&TimingConfig::main_cluster(
+        Algorithm::Ppo,
+        Strategy::SyncIsw,
+    ));
     println!("PPO per-iteration time (packet-level simulation, 4 workers):");
     println!("  parameter server : {}", ps.per_iteration);
     println!("  iSwitch          : {}", isw.per_iteration);

@@ -32,10 +32,9 @@ fn main() {
         }
         rows.push(cells);
     }
-    let headers: Vec<String> =
-        std::iter::once("Strategy".to_string())
-            .chain(worker_counts.iter().map(|n| format!("N={n}")))
-            .collect();
+    let headers: Vec<String> = std::iter::once("Strategy".to_string())
+        .chain(worker_counts.iter().map(|n| format!("N={n}")))
+        .collect();
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     println!("{}", render_table(&header_refs, &rows));
     println!("Per-iteration time (end-to-end speedup vs each strategy's N=4).");

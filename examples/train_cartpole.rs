@@ -28,7 +28,11 @@ fn main() {
     }
     println!(
         "\n{} after {} iterations (final average reward {:.1})",
-        if result.reached_target { "reached the target" } else { "hit the iteration cap" },
+        if result.reached_target {
+            "reached the target"
+        } else {
+            "hit the iteration cap"
+        },
         result.iterations,
         result.final_average_reward
     );

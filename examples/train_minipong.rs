@@ -25,7 +25,13 @@ fn main() {
         ..DqnConfig::default()
     };
     let mut agents: Vec<DqnAgent> = (0..workers)
-        .map(|w| DqnAgent::new(Box::new(MiniPong::new(w as u64)), cfg.clone(), w as u64 + 99))
+        .map(|w| {
+            DqnAgent::new(
+                Box::new(MiniPong::new(w as u64)),
+                cfg.clone(),
+                w as u64 + 99,
+            )
+        })
         .collect();
     let mut params = agents[0].params();
     for a in agents.iter_mut() {
@@ -59,7 +65,10 @@ fn main() {
                         .map_or("-".to_string(), |r| format!("{r:5.1}"))
                 })
                 .collect();
-            println!("iter {iter:>5}  per-worker avg10 rewards: {}", rewards.join("  "));
+            println!(
+                "iter {iter:>5}  per-worker avg10 rewards: {}",
+                rewards.join("  ")
+            );
         }
     }
     let pooled: f32 = agents

@@ -7,11 +7,12 @@
 //! $ iswitch-sim scalability --algorithm ppo
 //! ```
 
+use std::path::Path;
 use std::process::exit;
 
 use iswitch::cluster::experiments::{fig15, Scale};
 use iswitch::cluster::{
-    run_convergence, run_timing, ConvergenceConfig, Strategy, TimingConfig,
+    run_convergence, run_timing, run_timing_observed, ConvergenceConfig, Strategy, TimingConfig,
 };
 use iswitch::rl::Algorithm;
 
@@ -38,10 +39,17 @@ OPTIONS:
     --iterations <N>                   timing iterations (default: 20)
     --max-iterations <N>               convergence cap (default: per-algorithm)
     --seed <N>                         RNG seed (default: 42)
+    --metrics-out <PATH>               write the observability report (stage
+                                       timings + full metrics registry) as
+                                       JSON to PATH (timing only)
+    --trace-out <PATH>                 write the per-iteration stage trace
+                                       as JSON Lines to PATH (timing only)
 ";
 
 fn parse_flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn parse_algorithm(args: &[String]) -> Algorithm {
@@ -80,6 +88,21 @@ fn parse_usize(args: &[String], name: &str) -> Option<usize> {
     })
 }
 
+fn write_artifact(path: &str, contents: &str) {
+    if let Some(parent) = Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).unwrap_or_else(|e| {
+                eprintln!("cannot create {}: {e}", parent.display());
+                exit(1);
+            });
+        }
+    }
+    std::fs::write(path, contents).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        exit(1);
+    });
+}
+
 fn cmd_timing(args: &[String]) {
     let alg = parse_algorithm(args);
     let strategy = parse_strategy(args);
@@ -95,13 +118,36 @@ fn cmd_timing(args: &[String]) {
     if let Some(s) = parse_usize(args, "--seed") {
         cfg.seed = s as u64;
     }
-    println!("simulating {} / {} with {} workers…", alg, strategy.label(), cfg.workers);
-    let r = run_timing(&cfg);
+    println!(
+        "simulating {} / {} with {} workers…",
+        alg,
+        strategy.label(),
+        cfg.workers
+    );
+    let metrics_out = parse_flag(args, "--metrics-out");
+    let trace_out = parse_flag(args, "--trace-out");
+    let r = if metrics_out.is_some() || trace_out.is_some() {
+        let obs = run_timing_observed(&cfg);
+        if let Some(path) = &metrics_out {
+            write_artifact(path, &format!("{}\n", obs.report_json().render()));
+            println!("metrics written to {path}");
+        }
+        if let Some(path) = &trace_out {
+            write_artifact(path, &obs.trace.to_jsonl());
+            println!("trace written to {path}");
+        }
+        obs.result
+    } else {
+        run_timing(&cfg)
+    };
     println!("per-iteration time : {}", r.per_iteration);
     println!("  compute          : {}", r.breakdown.compute);
     println!("  aggregation      : {}", r.breakdown.aggregation);
     println!("  weight update    : {}", r.breakdown.update);
-    println!("  aggregation share: {:.1}%", r.breakdown.aggregation_share() * 100.0);
+    println!(
+        "  aggregation share: {:.1}%",
+        r.breakdown.aggregation_share() * 100.0
+    );
     if let Some(s) = r.mean_staleness() {
         println!("  mean staleness   : {s:.2}");
     }
@@ -130,7 +176,11 @@ fn cmd_convergence(args: &[String]) {
     }
     println!(
         "{} after {} iterations; final average reward {:.1}",
-        if r.reached_target { "converged" } else { "hit the cap" },
+        if r.reached_target {
+            "converged"
+        } else {
+            "hit the cap"
+        },
         r.iterations,
         r.final_average_reward
     );
@@ -138,7 +188,10 @@ fn cmd_convergence(args: &[String]) {
 
 fn cmd_scalability(args: &[String]) {
     let alg = parse_algorithm(args);
-    let scale = Scale { scalability_workers: vec![4, 6, 9, 12], ..Scale::quick() };
+    let scale = Scale {
+        scalability_workers: vec![4, 6, 9, 12],
+        ..Scale::quick()
+    };
     println!("scalability of {alg} (sync), 3 workers per rack…");
     let series = fig15(
         alg,

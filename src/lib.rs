@@ -14,7 +14,8 @@
 //! * [`tensor`] — dense tensors, MLPs with manual backprop, optimizers;
 //! * [`rl`] — environments and the four training algorithms;
 //! * [`core`] — the iSwitch protocol, accelerator, and switch extension;
-//! * [`cluster`] — distributed-training strategies and experiment runners.
+//! * [`cluster`] — distributed-training strategies and experiment runners;
+//! * [`obs`] — metrics registry, JSON rendering, and structured tracing.
 //!
 //! ## Quickstart
 //!
@@ -36,5 +37,6 @@
 pub use iswitch_cluster as cluster;
 pub use iswitch_core as core;
 pub use iswitch_netsim as netsim;
+pub use iswitch_obs as obs;
 pub use iswitch_rl as rl;
 pub use iswitch_tensor as tensor;

@@ -12,7 +12,11 @@ fn four_worker_sync_a2c_converges() {
         max_iterations: 10_000,
         ..ConvergenceConfig::sync_main(Algorithm::A2c)
     });
-    assert!(r.reached_target, "reward {} after {} iters", r.final_average_reward, r.iterations);
+    assert!(
+        r.reached_target,
+        "reward {} after {} iters",
+        r.final_average_reward, r.iterations
+    );
 }
 
 #[test]
@@ -21,7 +25,11 @@ fn four_worker_sync_dqn_converges() {
         max_iterations: 8_000,
         ..ConvergenceConfig::sync_main(Algorithm::Dqn)
     });
-    assert!(r.reached_target, "reward {} after {} iters", r.final_average_reward, r.iterations);
+    assert!(
+        r.reached_target,
+        "reward {} after {} iters",
+        r.final_average_reward, r.iterations
+    );
 }
 
 #[test]
@@ -108,5 +116,8 @@ fn curves_track_convergence_progress() {
     let early: f32 = r.curve[..mid].iter().map(|(_, v)| v).sum::<f32>() / mid as f32;
     let late: f32 =
         r.curve[mid..].iter().map(|(_, v)| v).sum::<f32>() / (r.curve.len() - mid) as f32;
-    assert!(late > early, "no learning trend: early {early:.2} vs late {late:.2}");
+    assert!(
+        late > early,
+        "no learning trend: early {early:.2} vs late {late:.2}"
+    );
 }

@@ -1,0 +1,88 @@
+//! End-to-end checks on the observability layer: a seeded timing run must
+//! export a byte-identical metrics report and trace across repeats (the
+//! property CI relies on to diff artifacts between commits), and the
+//! report must carry the paper's measurement decomposition — per-stage
+//! LGC/GA/LWU timings (Fig. 11) and per-link backlog histograms.
+
+use iswitch::cluster::{run_timing_observed, Strategy, TimingConfig};
+use iswitch::obs::JsonValue;
+use iswitch::rl::Algorithm;
+
+fn tiny_config(strategy: Strategy) -> TimingConfig {
+    let mut cfg = TimingConfig::main_cluster(Algorithm::Ppo, strategy);
+    cfg.workers = 2;
+    cfg.iterations = 3;
+    cfg.warmup = 1;
+    cfg
+}
+
+#[test]
+fn seeded_runs_export_identical_artifacts() {
+    for strategy in [Strategy::SyncIsw, Strategy::AsyncIsw] {
+        let cfg = tiny_config(strategy);
+        let a = run_timing_observed(&cfg);
+        let b = run_timing_observed(&cfg);
+        assert_eq!(
+            a.report_json().render(),
+            b.report_json().render(),
+            "{strategy:?}: metrics report must be byte-identical across seeded runs"
+        );
+        assert_eq!(
+            a.trace.to_jsonl(),
+            b.trace.to_jsonl(),
+            "{strategy:?}: trace must be byte-identical across seeded runs"
+        );
+    }
+}
+
+#[test]
+fn report_carries_stage_timings_and_link_histograms() {
+    let obs = run_timing_observed(&tiny_config(Strategy::SyncIsw));
+    let report = obs.report_json();
+
+    let stages = report.get("stages").expect("report has a stages section");
+    for stage in ["lgc_ns", "ga_ns", "lwu_ns"] {
+        let v = stages
+            .get(stage)
+            .unwrap_or_else(|| panic!("stages section lacks {stage}"))
+            .as_u64()
+            .unwrap_or_else(|| panic!("{stage} is not an unsigned integer"));
+        assert!(v > 0, "{stage} must be positive on a real run");
+    }
+
+    let metrics = report.get("metrics").expect("report embeds the registry");
+    let rendered = metrics.render();
+    assert!(
+        rendered.contains("backlog_ns"),
+        "registry must export per-link backlog histograms"
+    );
+    assert!(
+        rendered.contains("core.switch.n000.h_hits"),
+        "registry must export the switch's threshold-H hit counter"
+    );
+
+    // The whole report must round-trip through the parser, so downstream
+    // tooling can consume it without a real JSON library.
+    let reparsed = JsonValue::parse(&report.render()).expect("report parses back");
+    assert!(reparsed.get("summary").is_some());
+}
+
+#[test]
+fn trace_records_every_measured_iteration() {
+    let cfg = tiny_config(Strategy::SyncIsw);
+    let obs = run_timing_observed(&cfg);
+    let per_worker = cfg.warmup + cfg.iterations;
+    let lines: Vec<String> = obs.trace.to_jsonl().lines().map(str::to_owned).collect();
+    assert_eq!(
+        lines.len(),
+        cfg.workers * per_worker,
+        "one iteration event per worker per iteration (warmup included)"
+    );
+    for line in &lines {
+        let doc = JsonValue::parse(line).expect("trace line parses");
+        assert_eq!(doc.get("kind").and_then(|k| k.as_str()), Some("iteration"));
+        for field in ["worker", "iter", "lgc_ns", "ga_ns", "lwu_ns", "total_ns"] {
+            assert!(doc.get(field).is_some(), "iteration event lacks {field}");
+        }
+    }
+}

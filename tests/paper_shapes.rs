@@ -19,8 +19,8 @@ fn isw_reduces_aggregation_time_by_a_large_factor() {
     for alg in [Algorithm::Dqn, Algorithm::A2c] {
         let ps = run_timing(&quick(alg, Strategy::SyncPs));
         let isw = run_timing(&quick(alg, Strategy::SyncIsw));
-        let reduction = 1.0
-            - isw.breakdown.aggregation.as_secs_f64() / ps.breakdown.aggregation.as_secs_f64();
+        let reduction =
+            1.0 - isw.breakdown.aggregation.as_secs_f64() / ps.breakdown.aggregation.as_secs_f64();
         assert!(
             reduction > 0.7,
             "{alg}: aggregation reduction only {:.0}%",
@@ -50,15 +50,19 @@ fn sync_speedup_factors_are_in_paper_territory() {
     // Paper Table 3 (sync iSW over PS): 3.66x (DQN) down to 1.72x (PPO).
     let dqn_ps = run_timing(&quick(Algorithm::Dqn, Strategy::SyncPs));
     let dqn_isw = run_timing(&quick(Algorithm::Dqn, Strategy::SyncIsw));
-    let dqn_speedup =
-        dqn_ps.per_iteration.as_secs_f64() / dqn_isw.per_iteration.as_secs_f64();
-    assert!((2.0..5.0).contains(&dqn_speedup), "DQN iSW speedup {dqn_speedup:.2}");
+    let dqn_speedup = dqn_ps.per_iteration.as_secs_f64() / dqn_isw.per_iteration.as_secs_f64();
+    assert!(
+        (2.0..5.0).contains(&dqn_speedup),
+        "DQN iSW speedup {dqn_speedup:.2}"
+    );
 
     let ppo_ps = run_timing(&quick(Algorithm::Ppo, Strategy::SyncPs));
     let ppo_isw = run_timing(&quick(Algorithm::Ppo, Strategy::SyncIsw));
-    let ppo_speedup =
-        ppo_ps.per_iteration.as_secs_f64() / ppo_isw.per_iteration.as_secs_f64();
-    assert!((1.1..2.5).contains(&ppo_speedup), "PPO iSW speedup {ppo_speedup:.2}");
+    let ppo_speedup = ppo_ps.per_iteration.as_secs_f64() / ppo_isw.per_iteration.as_secs_f64();
+    assert!(
+        (1.1..2.5).contains(&ppo_speedup),
+        "PPO iSW speedup {ppo_speedup:.2}"
+    );
     // Larger models gain more (the paper's DQN > PPO ordering).
     assert!(dqn_speedup > ppo_speedup);
 }
@@ -72,7 +76,10 @@ fn ar_ps_crossover_matches_model_size() {
         let ar = run_timing(&quick(alg, Strategy::SyncAr));
         ps.per_iteration.as_secs_f64() / ar.per_iteration.as_secs_f64()
     };
-    assert!(speedup(Algorithm::Dqn) > 1.3, "AR should clearly win on DQN");
+    assert!(
+        speedup(Algorithm::Dqn) > 1.3,
+        "AR should clearly win on DQN"
+    );
     assert!(speedup(Algorithm::Ppo) < 1.05, "AR should not win on PPO");
     assert!(speedup(Algorithm::Ddpg) < 1.05, "AR should not win on DDPG");
 }
@@ -95,7 +102,10 @@ fn async_isw_has_lower_staleness_than_async_ps() {
 #[test]
 fn scalability_ranking_matches_fig15() {
     // Paper Fig. 15: at rack scale, iSW > PS > AR for synchronous PPO.
-    let scale = Scale { scalability_workers: vec![4, 12], ..Scale::quick() };
+    let scale = Scale {
+        scalability_workers: vec![4, 12],
+        ..Scale::quick()
+    };
     let series = fig15(
         Algorithm::Ppo,
         &[Strategy::SyncPs, Strategy::SyncAr, Strategy::SyncIsw],
@@ -111,7 +121,10 @@ fn scalability_ranking_matches_fig15() {
     let (ps, ar, isw) = (at12("PS"), at12("AR"), at12("iSW"));
     assert!(isw > ps, "iSW {isw:.2} should out-scale PS {ps:.2}");
     assert!(ps > ar, "PS {ps:.2} should out-scale AR {ar:.2}");
-    assert!(isw > 2.0, "iSW should stay near the ideal 3.0x at 12 workers, got {isw:.2}");
+    assert!(
+        isw > 2.0,
+        "iSW should stay near the ideal 3.0x at 12 workers, got {isw:.2}"
+    );
 }
 
 #[test]

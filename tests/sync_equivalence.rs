@@ -25,7 +25,12 @@ struct OneShotWorker {
 impl OneShotWorker {
     fn new(grad: Vec<f32>, delay_us: u64) -> Self {
         let asm = GradientAssembler::new(grad.len());
-        OneShotWorker { grad, delay_us, asm, result: None }
+        OneShotWorker {
+            grad,
+            delay_us,
+            asm,
+            result: None,
+        }
     }
 }
 
@@ -41,8 +46,7 @@ impl HostApp for OneShotWorker {
     fn on_packet(&mut self, _ctx: &mut HostCtx<'_, '_>, pkt: Packet) {
         if let Some(seg) = decode_data(&pkt) {
             if self.result.is_none() && self.asm.insert(&seg).unwrap_or(false) {
-                let asm =
-                    std::mem::replace(&mut self.asm, GradientAssembler::new(self.grad.len()));
+                let asm = std::mem::replace(&mut self.asm, GradientAssembler::new(self.grad.len()));
                 self.result = Some(asm.into_mean());
             }
         }
@@ -91,11 +95,18 @@ fn assert_switch_matches_local_mean(alg: Algorithm) {
         (0..n).map(PortId::new).collect(),
         len,
     ));
-    let star = build_star(&mut sim, apps, Some(Box::new(ext)), &TopologyConfig::default());
+    let star = build_star(
+        &mut sim,
+        apps,
+        Some(Box::new(ext)),
+        &TopologyConfig::default(),
+    );
     sim.run_until_idle();
 
     for &h in &star.hosts {
-        let worker = sim.device::<iswitch::netsim::Host>(h).app::<OneShotWorker>();
+        let worker = sim
+            .device::<iswitch::netsim::Host>(h)
+            .app::<OneShotWorker>();
         let got = worker.result.as_ref().expect("aggregation completed");
         assert_eq!(got.len(), expect.len());
         let mut worst = 0.0f32;

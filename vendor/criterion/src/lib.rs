@@ -1,0 +1,230 @@
+//! Vendored, dependency-free subset of the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! criterion API surface the workspace's benches use — `criterion_group!` /
+//! `criterion_main!`, benchmark groups, `iter` / `iter_batched`, throughput
+//! annotations — backed by a simple mean-of-N timer instead of criterion's
+//! statistical machinery. Good enough to spot order-of-magnitude regressions
+//! and to keep `cargo bench` / `clippy --all-targets` compiling offline.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let samples = self.sample_size;
+        run_one(id, None, samples, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Declares the amount of work per iteration for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(&full, self.throughput, samples, &mut f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    id: &str,
+    throughput: Option<Throughput>,
+    samples: usize,
+    f: &mut impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    for _ in 0..samples {
+        f(&mut bencher);
+    }
+    let iters = bencher.iters.max(1);
+    let mean_ns = bencher.elapsed.as_nanos() as f64 / iters as f64;
+    let rate = throughput
+        .map(|t| match t {
+            Throughput::Bytes(b) => {
+                format!(
+                    "  {:>10.1} MiB/s",
+                    b as f64 / mean_ns * 1e9 / (1024.0 * 1024.0)
+                )
+            }
+            Throughput::Elements(e) => {
+                format!("  {:>10.1} Melem/s", e as f64 / mean_ns * 1e9 / 1e6)
+            }
+        })
+        .unwrap_or_default();
+    println!("{id:<48} {mean_ns:>14.1} ns/iter{rate}");
+}
+
+/// Work-per-iteration annotation used to report rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing hints for [`Bencher::iter_batched`]; all treated alike here.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Timer handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, accumulating one sample.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        std::hint::black_box(out);
+    }
+
+    /// Times `routine` on a fresh input from `setup`; setup is untimed.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let start = Instant::now();
+        let out = routine(input);
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        std::hint::black_box(out);
+    }
+}
+
+/// Opaque-to-the-optimizer value passthrough.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(2);
+        targets = sample_bench
+    }
+
+    #[test]
+    fn group_runner_executes() {
+        benches();
+    }
+
+    #[test]
+    fn bench_function_on_criterion_runs() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("direct", |b| b.iter(|| 1 + 1));
+    }
+}

@@ -1,0 +1,14 @@
+//! Vendored, dependency-free subset of the `serde` facade.
+//!
+//! Re-exports the no-op derive macros so `#[derive(Serialize, Deserialize)]`
+//! keeps compiling without crates.io access. The marker traits exist so the
+//! names also resolve in trait position; no code in this workspace relies on
+//! serde's actual serialization machinery.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching the name of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait matching the name of `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,22 @@
+//! Vendored no-op implementations of serde's derive macros.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config and stats types
+//! for downstream consumers, but nothing in-tree serializes through serde
+//! (the observability layer writes its own deterministic JSON). These derives
+//! therefore expand to nothing: the types still compile with the derive
+//! attributes intact, and a future switch back to real serde is source
+//! compatible.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
