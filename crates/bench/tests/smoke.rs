@@ -49,6 +49,11 @@ fn table1_writes_parseable_metrics() {
 }
 
 #[test]
+fn fidelity_writes_parseable_metrics() {
+    smoke("fidelity", env!("CARGO_BIN_EXE_fidelity"), "fidelity");
+}
+
+#[test]
 fn bins_run_without_flags() {
     for (bin, exe) in [
         ("fig8", env!("CARGO_BIN_EXE_fig8")),

@@ -5,50 +5,143 @@
 //! neighbors through the switch. Every step costs two network hops, giving
 //! the paper's `4N - 4` hops per aggregation, linear in the cluster size.
 
-use std::any::Any;
 use std::collections::HashSet;
 
-use iswitch_netsim::{HostApp, HostCtx, IpAddr, Packet};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use iswitch_netsim::{IpAddr, Packet, SimDuration};
 
-use crate::apps::common::{blob_packets, BlobAssembler, IterLog};
+use crate::apps::common::{blob_packets, BlobAssembler};
+use crate::apps::runtime::{
+    Pacing, ProtoEvent, RoundOutcome, Rt, StrategyProtocol, StrategyRuntime, WorkerCore, PROTO_BASE,
+};
 use crate::compute_model::{CommCosts, ComputeModel};
+use crate::gradient_source::SyntheticGradients;
 
 /// Blob tag for ring chunks.
 pub const TAG_RING: u32 = 4;
 
-const T_COMPUTE: u64 = 1;
-const T_STEP_DONE: u64 = 3;
-const T_UPDATE: u64 = 4;
+const P_STEP_DONE: u64 = PROTO_BASE;
 /// Send timers encode the chunk's msg id so a send scheduled for step `s`
 /// still carries step `s` even if the state machine advanced meanwhile.
-const T_SEND_BASE: u64 = 1_000;
+const P_SEND_BASE: u64 = 1_000;
 
-/// One Ring-AllReduce worker.
-pub struct RingWorker {
-    /// This worker's position in the ring.
+/// Protocol half of the Ring-AllReduce worker: the `2(N-1)`-step chunk
+/// rotation within one iteration.
+pub struct RingProto {
+    /// This worker's position in the ring (kept for debugging dumps).
     index: usize,
     n: usize,
     next: IpAddr,
     model_bytes: u64,
-    /// Collectives per iteration (dual-model DDPG runs two AllReduces).
-    messages: u64,
-    iterations: usize,
-    compute: ComputeModel,
-    comm: CommCosts,
-    rng: StdRng,
-    asm: BlobAssembler,
     iter: u32,
     step: u32,
     waiting: bool,
+    asm: BlobAssembler,
     arrived: HashSet<u32>,
-    /// Per-iteration span log.
-    pub log: IterLog,
 }
 
+// `index` participates in ring-position reasoning for debugging dumps.
+impl std::fmt::Debug for RingProto {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RingProto")
+            .field("index", &self.index)
+            .field("iter", &self.iter)
+            .field("step", &self.step)
+            .finish()
+    }
+}
+
+impl RingProto {
+    fn steps_per_iter(&self) -> u32 {
+        2 * (self.n as u32 - 1)
+    }
+
+    fn chunk_bytes(&self) -> u64 {
+        self.model_bytes.div_ceil(self.n as u64)
+    }
+
+    fn msg_id(&self, iter: u32, step: u32) -> u32 {
+        iter * 256 + step
+    }
+
+    fn begin_step(&mut self, rt: &mut Rt<'_, '_, '_>) {
+        // Send this step's chunk to the next neighbor, then wait for the
+        // matching chunk from the previous neighbor.
+        let id = self.msg_id(self.iter, self.step);
+        rt.set_timer(rt.phase_send_cost(), P_SEND_BASE + u64::from(id));
+        self.waiting = true;
+        self.check_arrival(rt);
+    }
+
+    fn check_arrival(&mut self, rt: &mut Rt<'_, '_, '_>) {
+        let want = self.msg_id(self.iter, self.step);
+        if self.waiting && self.arrived.remove(&want) {
+            self.waiting = false;
+            // Receiver-side cost; reduce steps (the first N-1) also pay the
+            // chunk summation.
+            let mut d = rt.phase_recv_cost();
+            if self.step < self.n as u32 - 1 {
+                d += rt.sum_time(1, self.chunk_bytes() as usize);
+            }
+            rt.set_timer(d, P_STEP_DONE);
+        }
+    }
+}
+
+impl StrategyProtocol for RingProto {
+    fn begin_round(&mut self, iter: u32) {
+        self.iter = iter;
+        self.step = 0;
+    }
+
+    fn start_round(&mut self, rt: &mut Rt<'_, '_, '_>) {
+        self.begin_step(rt);
+    }
+
+    fn on_timer(&mut self, rt: &mut Rt<'_, '_, '_>, token: u64) -> ProtoEvent {
+        match token {
+            P_STEP_DONE => {
+                self.step += 1;
+                if self.step < self.steps_per_iter() {
+                    self.begin_step(rt);
+                    ProtoEvent::None
+                } else {
+                    let update_tail = rt.draw_weight_update();
+                    ProtoEvent::Complete(RoundOutcome {
+                        aggregate: None,
+                        agg_delay: SimDuration::ZERO,
+                        update_tail,
+                    })
+                }
+            }
+            id if id >= P_SEND_BASE => {
+                let id = (id - P_SEND_BASE) as u32;
+                for pkt in blob_packets(rt.ip(), self.next, TAG_RING, id, self.chunk_bytes()) {
+                    rt.send(pkt);
+                }
+                ProtoEvent::None
+            }
+            _ => ProtoEvent::None,
+        }
+    }
+
+    fn on_packet(&mut self, rt: &mut Rt<'_, '_, '_>, pkt: Packet) -> ProtoEvent {
+        if let Some(done) = self.asm.on_packet(&pkt) {
+            if done.tag == TAG_RING {
+                self.arrived.insert(done.msg_id);
+                self.check_arrival(rt);
+            }
+        }
+        ProtoEvent::None
+    }
+}
+
+/// One Ring-AllReduce worker: the unified runtime over [`RingProto`].
+pub type RingWorker = StrategyRuntime<RingProto>;
+
 impl RingWorker {
-    /// A worker at ring position `index` of `n`, sending to `next`.
+    /// A worker at ring position `index` of `n`, sending to `next`,
+    /// aggregating `messages` collectives per iteration (dual-model DDPG
+    /// runs two AllReduces).
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         index: usize,
@@ -62,133 +155,23 @@ impl RingWorker {
         seed: u64,
     ) -> Self {
         assert!(n >= 2, "a ring needs at least two workers");
-        RingWorker {
+        let core = WorkerCore::new(compute, comm, messages, seed, Pacing::Sync { iterations });
+        let proto = RingProto {
             index,
             n,
             next,
             model_bytes,
-            messages: messages.max(1),
-            iterations,
-            compute,
-            comm,
-            rng: StdRng::seed_from_u64(seed),
-            asm: BlobAssembler::new(),
             iter: 0,
             step: 0,
             waiting: false,
+            asm: BlobAssembler::new(),
             arrived: HashSet::new(),
-            log: IterLog::new(),
-        }
+        };
+        StrategyRuntime::from_parts(core, proto, Box::new(SyntheticGradients::new(0)))
     }
 
-    fn steps_per_iter(&self) -> u32 {
-        2 * (self.n as u32 - 1)
-    }
-
-    fn chunk_bytes(&self) -> u64 {
-        self.model_bytes.div_ceil(self.n as u64)
-    }
-
-    fn msg_id(&self, iter: u32, step: u32) -> u32 {
-        iter * 256 + step
-    }
-
-    fn begin_iteration(&mut self, ctx: &mut HostCtx<'_, '_>) {
-        self.log.start(ctx.now());
-        self.step = 0;
-        let d = self.compute.sample_local_compute(&mut self.rng);
-        ctx.set_timer(d, T_COMPUTE);
-    }
-
-    fn begin_step(&mut self, ctx: &mut HostCtx<'_, '_>) {
-        // Send this step's chunk to the next neighbor, then wait for the
-        // matching chunk from the previous neighbor.
-        let id = self.msg_id(self.iter, self.step);
-        ctx.set_timer(
-            self.comm.phase_send() * self.messages,
-            T_SEND_BASE + u64::from(id),
-        );
-        self.waiting = true;
-        self.check_arrival(ctx);
-    }
-
-    fn check_arrival(&mut self, ctx: &mut HostCtx<'_, '_>) {
-        let want = self.msg_id(self.iter, self.step);
-        if self.waiting && self.arrived.remove(&want) {
-            self.waiting = false;
-            // Receiver-side cost; reduce steps (the first N-1) also pay the
-            // chunk summation.
-            let mut d = self.comm.phase_recv() * self.messages;
-            if self.step < self.n as u32 - 1 {
-                d += self.comm.sum_time(1, self.chunk_bytes() as usize);
-            }
-            ctx.set_timer(d, T_STEP_DONE);
-        }
-    }
-}
-
-impl HostApp for RingWorker {
-    fn on_start(&mut self, ctx: &mut HostCtx<'_, '_>) {
-        self.begin_iteration(ctx);
-    }
-
-    fn on_timer(&mut self, ctx: &mut HostCtx<'_, '_>, token: u64) {
-        match token {
-            T_COMPUTE => {
-                self.log.compute_done(ctx.now());
-                self.begin_step(ctx);
-            }
-            T_STEP_DONE => {
-                self.step += 1;
-                if self.step < self.steps_per_iter() {
-                    self.begin_step(ctx);
-                } else {
-                    self.log.aggregation_done(ctx.now());
-                    let d = self.compute.sample_weight_update(&mut self.rng);
-                    ctx.set_timer(d, T_UPDATE);
-                }
-            }
-            T_UPDATE => {
-                self.log.finish(ctx.now());
-                self.iter += 1;
-                if (self.iter as usize) < self.iterations {
-                    self.begin_iteration(ctx);
-                }
-            }
-            id if id >= T_SEND_BASE => {
-                let id = (id - T_SEND_BASE) as u32;
-                for pkt in blob_packets(ctx.ip(), self.next, TAG_RING, id, self.chunk_bytes()) {
-                    ctx.send(pkt);
-                }
-            }
-            _ => {}
-        }
-    }
-
-    fn on_packet(&mut self, ctx: &mut HostCtx<'_, '_>, pkt: Packet) {
-        if let Some(done) = self.asm.on_packet(&pkt) {
-            if done.tag == TAG_RING {
-                self.arrived.insert(done.msg_id);
-                self.check_arrival(ctx);
-            }
-        }
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
-    }
-}
-
-// `index` participates in ring-position reasoning for debugging dumps.
-impl std::fmt::Debug for RingWorker {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RingWorker")
-            .field("index", &self.index)
-            .field("iter", &self.iter)
-            .field("step", &self.step)
-            .finish()
+    /// This worker's position in the ring.
+    pub fn ring_index(&self) -> usize {
+        self.protocol().index
     }
 }

@@ -56,10 +56,46 @@ pub struct BlobDone {
     pub msg_id: u32,
 }
 
+/// Progress of one in-flight blob: how many full-sized chunks and whether
+/// the (single, shorter) tail chunk have arrived.
+#[derive(Debug)]
+struct BlobProgress {
+    full_expected: u64,
+    full_got: u64,
+    tail_bytes: u64,
+    needs_tail: bool,
+    tail_got: bool,
+}
+
+impl BlobProgress {
+    fn new(total: u64) -> Self {
+        let tail = total % BLOB_CHUNK as u64;
+        BlobProgress {
+            full_expected: total / BLOB_CHUNK as u64,
+            full_got: 0,
+            tail_bytes: tail,
+            // Zero-length blobs (pull requests) are a single empty packet.
+            needs_tail: tail > 0 || total == 0,
+            tail_got: false,
+        }
+    }
+
+    fn complete(&self) -> bool {
+        self.full_got == self.full_expected && (!self.needs_tail || self.tail_got)
+    }
+}
+
 /// Reassembles blob messages from interleaved packet arrivals.
+///
+/// Progress is tracked per chunk class (full-sized chunks counted up to
+/// the expected number, the shorter tail chunk as a flag) rather than by
+/// summed bytes, so duplicated deliveries neither complete a blob early
+/// nor strand bytes: one train plus any partial duplication completes
+/// exactly once. On a clean stream completion still lands on the train's
+/// final packet, so timing is unchanged.
 #[derive(Debug, Default)]
 pub struct BlobAssembler {
-    pending: HashMap<(IpAddr, u32, u32), (u64, u64)>,
+    pending: HashMap<(IpAddr, u32, u32), BlobProgress>,
 }
 
 impl BlobAssembler {
@@ -79,10 +115,17 @@ impl BlobAssembler {
         let total = u64::from_be_bytes(pkt.payload[8..16].try_into().expect("8 bytes"));
         let data = (pkt.payload.len() - BLOB_HEADER) as u64;
         let key = (pkt.ip.src, tag, msg_id);
-        let entry = self.pending.entry(key).or_insert((0, total));
-        entry.0 += data;
-        // Zero-length blobs (pull requests) complete on their first packet.
-        if entry.0 >= entry.1 {
+        let entry = self
+            .pending
+            .entry(key)
+            .or_insert_with(|| BlobProgress::new(total));
+        if data == BLOB_CHUNK as u64 {
+            // Extra full chunks past the expected count are duplicates.
+            entry.full_got = (entry.full_got + 1).min(entry.full_expected);
+        } else if entry.needs_tail && data == entry.tail_bytes {
+            entry.tail_got = true;
+        }
+        if entry.complete() {
             self.pending.remove(&key);
             Some(BlobDone {
                 src: pkt.ip.src,
@@ -97,6 +140,67 @@ impl BlobAssembler {
     /// Number of in-flight messages.
     pub fn in_flight(&self) -> usize {
         self.pending.len()
+    }
+}
+
+/// Maps retry timers to the iteration (or round) that armed them, so a
+/// stale timer left over from a completed round is recognized and ignored.
+/// Shared by the iSwitch loss-recovery workers.
+#[derive(Debug, Clone, Copy)]
+pub struct IterationTokens {
+    base: u64,
+}
+
+impl IterationTokens {
+    /// Tokens `base + iter`; `base` must sit above every other token the
+    /// app uses.
+    pub const fn new(base: u64) -> Self {
+        IterationTokens { base }
+    }
+
+    /// The timer token carrying iteration `iter`.
+    pub fn arm(&self, iter: u32) -> u64 {
+        self.base + u64::from(iter)
+    }
+
+    /// Whether `token` is a retry timer armed by the *current* iteration
+    /// `iter`. Tokens from earlier (completed) iterations are stale.
+    pub fn accept(&self, token: u64, iter: u32) -> bool {
+        token >= self.base && token - self.base == u64::from(iter)
+    }
+}
+
+/// Progress marker across retries: counts consecutive no-progress retries
+/// so recovery only escalates (e.g. from `Help` to `FBcast`) when a round
+/// is genuinely stuck, not merely still streaming.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StallTracker {
+    last_progress: usize,
+    stalled: u32,
+}
+
+impl StallTracker {
+    /// A fresh tracker.
+    pub fn new() -> Self {
+        StallTracker::default()
+    }
+
+    /// Resets at the start of a round (first retry timer armed).
+    pub fn rearm(&mut self) {
+        self.last_progress = 0;
+        self.stalled = 0;
+    }
+
+    /// Records the progress seen at a retry; returns the number of
+    /// consecutive retries without progress (0 when progress was made).
+    pub fn observe(&mut self, progress: usize) -> u32 {
+        if progress != self.last_progress {
+            self.last_progress = progress;
+            self.stalled = 0;
+        } else {
+            self.stalled += 1;
+        }
+        self.stalled
     }
 }
 
@@ -283,6 +387,114 @@ mod tests {
     fn blob_packets_fit_the_mtu() {
         for pkt in blob_packets(ip(1), ip(2), 0, 0, 100_000) {
             assert!(pkt.payload.len() <= MAX_UDP_PAYLOAD);
+        }
+    }
+
+    #[test]
+    fn duplicated_packets_complete_a_blob_exactly_once() {
+        let pkts = blob_packets(ip(4), ip(9), 2, 5, 4_000);
+        assert!(pkts.len() >= 2);
+        let mut asm = BlobAssembler::new();
+        let mut done = 0;
+        // Deliver everything except the last packet twice, then the last.
+        for p in &pkts[..pkts.len() - 1] {
+            done += usize::from(asm.on_packet(p).is_some());
+            done += usize::from(asm.on_packet(p).is_some());
+        }
+        done += usize::from(asm.on_packet(&pkts[pkts.len() - 1]).is_some());
+        assert_eq!(done, 1);
+        assert_eq!(asm.in_flight(), 0);
+    }
+
+    #[test]
+    fn stale_retry_timers_are_rejected() {
+        let tokens = IterationTokens::new(1_000);
+        let armed_at_iter_3 = tokens.arm(3);
+        // Current while iteration 3 is still waiting…
+        assert!(tokens.accept(armed_at_iter_3, 3));
+        // …stale once the worker moved on, and never confused with other
+        // token ranges.
+        assert!(!tokens.accept(armed_at_iter_3, 4));
+        assert!(!tokens.accept(999, 3));
+        assert!(!tokens.accept(tokens.arm(4), 3));
+    }
+
+    #[test]
+    fn stall_tracker_escalates_only_without_progress() {
+        let mut stall = StallTracker::new();
+        stall.rearm();
+        assert_eq!(stall.observe(5), 0); // progress: 0 → 5
+        assert_eq!(stall.observe(5), 1); // stuck
+        assert_eq!(stall.observe(5), 2); // stuck again → escalation level
+        assert_eq!(stall.observe(6), 0); // progress resets the count
+        stall.rearm();
+        assert_eq!(stall.observe(0), 1); // rearm at 0: no progress seen
+    }
+}
+
+#[cfg(test)]
+mod blob_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ip(x: u8) -> IpAddr {
+        IpAddr::new(10, 0, 0, x)
+    }
+
+    /// SplitMix64 — a tiny deterministic shuffler for the property input.
+    fn next(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Reordered, duplicated, interleaved packet arrivals across
+        /// concurrent blob identities yield exactly one `BlobDone` each.
+        #[test]
+        fn concurrent_blobs_complete_exactly_once(
+            sizes in prop::collection::vec(1u64..20_000, 2..5),
+            seed in any::<u64>(),
+        ) {
+            // One blob per identity; distinct (src, tag, msg_id) keys.
+            let mut arrivals: Vec<(usize, Packet)> = Vec::new();
+            for (i, &size) in sizes.iter().enumerate() {
+                let train = blob_packets(ip(i as u8), ip(99), 1 + (i as u32 % 2), i as u32, size);
+                let mut state = seed ^ (i as u64);
+                for pkt in train.iter().take(train.len() - 1) {
+                    arrivals.push((i, pkt.clone()));
+                    // Duplicate a random strict subset of the train.
+                    if next(&mut state) % 2 == 0 {
+                        arrivals.push((i, pkt.clone()));
+                    }
+                }
+                // The final packet stays unique so leftover duplicates can
+                // never assemble into a second full train.
+                arrivals.push((i, train[train.len() - 1].clone()));
+            }
+            // Fisher–Yates with the deterministic generator: reorder and
+            // interleave the identities arbitrarily.
+            let mut state = seed;
+            for i in (1..arrivals.len()).rev() {
+                let j = (next(&mut state) % (i as u64 + 1)) as usize;
+                arrivals.swap(i, j);
+            }
+
+            let mut asm = BlobAssembler::new();
+            let mut done_per_id = vec![0usize; sizes.len()];
+            for (id, pkt) in &arrivals {
+                if let Some(done) = asm.on_packet(pkt) {
+                    prop_assert_eq!(done.src, ip(*id as u8));
+                    done_per_id[*id] += 1;
+                }
+            }
+            for (id, &count) in done_per_id.iter().enumerate() {
+                prop_assert_eq!(count, 1, "blob {} completed {} times", id, count);
+            }
         }
     }
 }

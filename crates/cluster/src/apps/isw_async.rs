@@ -10,49 +10,91 @@
 //! * **LWU** — on each broadcast, every worker applies the same update to
 //!   its decentralized weight replica.
 
-use std::any::Any;
+use iswitch_core::{gradient_packets, num_segments, RoundAssembler, RoundInsert, TOS_DATA};
+use iswitch_netsim::{Packet, SimDuration, SimTime};
 
-use iswitch_core::{gradient_packets, num_segments, TOS_DATA};
-use iswitch_netsim::{HostApp, HostCtx, Packet, SimTime};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
+use crate::apps::runtime::{
+    Pacing, ProtoEvent, RoundOutcome, Rt, StrategyProtocol, StrategyRuntime, WorkerCore,
+};
 use crate::compute_model::{CommCosts, ComputeModel};
+use crate::gradient_source::{GradientSource, SyntheticGradients};
 
-const T_COMPUTE: u64 = 1;
-const T_COMMIT: u64 = 2;
-const T_UPDATE: u64 = 3;
-
-/// An asynchronous iSwitch worker with the three-stage pipeline.
-pub struct IswAsyncWorker {
-    grad_len: usize,
-    /// Collectives per iteration (dual-model DDPG pushes two vectors).
-    messages: u64,
-    compute: ComputeModel,
-    comm: CommCosts,
-    staleness_bound: u32,
-    rng: StdRng,
-    /// Local weight version `ts` (count of applied global updates).
-    version: u32,
-    /// Version the in-flight gradient was computed from (`tw`).
-    compute_from: u32,
-    segs_received: usize,
-    template: Option<Vec<Packet>>,
-    deadline: Option<SimTime>,
-    stopped: bool,
-    /// Completion time of every local weight update (LWU stage).
-    pub update_times: Vec<SimTime>,
-    /// Staleness (`ts - tw`) of every committed gradient.
-    pub staleness: Vec<u32>,
-    /// Gradients skipped for exceeding the bound (Alg. 1 line 11).
-    pub skipped: u64,
-    /// Gradients committed to the switch.
-    pub commits: u64,
+/// How broadcast arrivals are recognized as complete aggregates.
+enum BcastTracker {
+    /// Timing mode: a pure packet counter. The switch broadcasts exactly
+    /// one full vector's worth of segments per aggregation round, so a
+    /// count suffices — and counting (rather than deduplicating) is part
+    /// of the timing contract.
+    Count(usize),
+    /// Co-sim mode: reassemble the broadcast f32 values, index-deduped.
+    Values(RoundAssembler),
 }
+
+/// Protocol half of the asynchronous iSwitch worker: untagged segment
+/// commits and broadcast-driven weight updates.
+pub struct IswAsyncProto {
+    grad_len: usize,
+    tracker: BcastTracker,
+}
+
+impl StrategyProtocol for IswAsyncProto {
+    fn on_start(&mut self, rt: &mut Rt<'_, '_, '_>) {
+        if rt.source.wants_values() {
+            let mut asm = RoundAssembler::new(self.grad_len, true);
+            asm.begin_round(None);
+            self.tracker = BcastTracker::Values(asm);
+        }
+    }
+
+    fn commit(&mut self, rt: &mut Rt<'_, '_, '_>) {
+        let pkts = gradient_packets(rt.ip(), rt.source.gradient());
+        for pkt in pkts {
+            rt.send(pkt);
+        }
+    }
+
+    fn on_packet(&mut self, rt: &mut Rt<'_, '_, '_>, pkt: Packet) -> ProtoEvent {
+        if pkt.ip.tos != TOS_DATA {
+            return ProtoEvent::None;
+        }
+        let aggregate = match &mut self.tracker {
+            BcastTracker::Count(seen) => {
+                *seen += 1;
+                if *seen < num_segments(self.grad_len) {
+                    return ProtoEvent::None;
+                }
+                *seen = 0;
+                None
+            }
+            BcastTracker::Values(asm) => {
+                let Some(seg) = iswitch_core::decode_data(&pkt) else {
+                    return ProtoEvent::None;
+                };
+                if !matches!(asm.insert(&seg), RoundInsert::Completed) {
+                    return ProtoEvent::None;
+                }
+                let mean = asm.take_mean();
+                asm.begin_round(None);
+                mean
+            }
+        };
+        let update_tail = rt.phase_recv_cost() + rt.draw_weight_update();
+        ProtoEvent::Complete(RoundOutcome {
+            aggregate,
+            agg_delay: SimDuration::ZERO,
+            update_tail,
+        })
+    }
+}
+
+/// An asynchronous iSwitch worker: the unified runtime over
+/// [`IswAsyncProto`].
+pub type IswAsyncWorker = StrategyRuntime<IswAsyncProto>;
 
 impl IswAsyncWorker {
     /// A worker pushing gradients of `grad_len` f32 elements until
-    /// `deadline` (if given).
+    /// `deadline` (if given), committing `messages` collectives per
+    /// iteration (dual-model DDPG pushes two vectors).
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         grad_len: usize,
@@ -63,94 +105,42 @@ impl IswAsyncWorker {
         seed: u64,
         deadline: Option<SimTime>,
     ) -> Self {
-        IswAsyncWorker {
-            grad_len,
-            messages: messages.max(1),
+        IswAsyncWorker::with_source(
+            Box::new(SyntheticGradients::new(grad_len)),
+            messages,
             compute,
             comm,
             staleness_bound,
-            rng: StdRng::seed_from_u64(seed),
-            version: 0,
-            compute_from: 0,
-            segs_received: 0,
-            template: None,
+            seed,
             deadline,
-            stopped: false,
-            update_times: Vec::new(),
-            staleness: Vec::new(),
-            skipped: 0,
-            commits: 0,
-        }
+        )
     }
 
-    fn begin_compute(&mut self, ctx: &mut HostCtx<'_, '_>) {
-        if let Some(d) = self.deadline {
-            if ctx.now() >= d {
-                self.stopped = true;
-                return;
-            }
-        }
-        // Alg. 1: copy the iteration index and weights, then interact.
-        self.compute_from = self.version;
-        let d = self.compute.sample_local_compute(&mut self.rng);
-        ctx.set_timer(d, T_COMPUTE);
-    }
-}
-
-impl HostApp for IswAsyncWorker {
-    fn on_start(&mut self, ctx: &mut HostCtx<'_, '_>) {
-        let grad = vec![1.0f32; self.grad_len];
-        self.template = Some(gradient_packets(ctx.ip(), &grad));
-        self.begin_compute(ctx);
-    }
-
-    fn on_timer(&mut self, ctx: &mut HostCtx<'_, '_>, token: u64) {
-        match token {
-            T_COMPUTE => {
-                // Staleness check before commit (Alg. 1 line 8).
-                let staleness = self.version.saturating_sub(self.compute_from);
-                if staleness <= self.staleness_bound {
-                    self.staleness.push(staleness);
-                    ctx.set_timer(self.comm.phase_send() * self.messages, T_COMMIT);
-                } else {
-                    self.skipped += 1;
-                    // Discard and restart from fresher weights.
-                    self.begin_compute(ctx);
-                }
-            }
-            T_COMMIT => {
-                for pkt in self.template.as_ref().expect("built at start").clone() {
-                    ctx.send(pkt);
-                }
-                self.commits += 1;
-                // Non-blocking send: the LGC stage continues immediately.
-                self.begin_compute(ctx);
-            }
-            T_UPDATE => {
-                self.version += 1;
-                self.update_times.push(ctx.now());
-            }
-            _ => {}
-        }
-    }
-
-    fn on_packet(&mut self, ctx: &mut HostCtx<'_, '_>, pkt: Packet) {
-        if pkt.ip.tos != TOS_DATA {
-            return;
-        }
-        self.segs_received += 1;
-        if self.segs_received == num_segments(self.grad_len) {
-            self.segs_received = 0;
-            let d = self.comm.phase_recv() * self.messages
-                + self.compute.sample_weight_update(&mut self.rng);
-            ctx.set_timer(d, T_UPDATE);
-        }
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
+    /// A worker backed by an arbitrary gradient source (co-simulation).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_source(
+        source: Box<dyn GradientSource>,
+        messages: u64,
+        compute: ComputeModel,
+        comm: CommCosts,
+        staleness_bound: u32,
+        seed: u64,
+        deadline: Option<SimTime>,
+    ) -> Self {
+        let core = WorkerCore::new(
+            compute,
+            comm,
+            messages,
+            seed,
+            Pacing::Pipelined {
+                staleness_bound,
+                deadline,
+            },
+        );
+        let proto = IswAsyncProto {
+            grad_len: source.grad_len(),
+            tracker: BcastTracker::Count(0),
+        };
+        StrategyRuntime::from_parts(core, proto, source)
     }
 }

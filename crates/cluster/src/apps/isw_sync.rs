@@ -1,53 +1,137 @@
-//! Synchronous iSwitch worker (paper Fig. 1c): push tagged gradient
+//! Synchronous iSwitch strategy (paper Fig. 1c): push tagged gradient
 //! packets, receive the broadcast aggregate — two network hops, with
 //! aggregation happening on the fly inside the switch.
 
-use std::any::Any;
-
 use iswitch_core::{
-    control_packet, decode_data, gradient_packets_round, num_segments, seg_index, seg_round,
-    tag_round, ControlMessage, UPSTREAM_IP,
+    control_packet, gradient_packets_round, tag_round, ControlMessage, RoundAssembler, RoundInsert,
+    UPSTREAM_IP,
 };
-use iswitch_netsim::{HostApp, HostCtx, Packet, SimDuration};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use iswitch_netsim::{Packet, SimDuration};
 
-use crate::apps::common::IterLog;
+use crate::apps::common::{IterationTokens, StallTracker};
+use crate::apps::runtime::{
+    Pacing, ProtoEvent, RoundOutcome, Rt, StrategyProtocol, StrategyRuntime, WorkerCore,
+};
 use crate::compute_model::{CommCosts, ComputeModel};
+use crate::gradient_source::{GradientSource, SyntheticGradients};
 
-const T_COMPUTE: u64 = 1;
-const T_SEND: u64 = 2;
-const T_UPDATE: u64 = 3;
+const P_SEND: u64 = crate::apps::runtime::PROTO_BASE;
 /// Retry timers encode the iteration so a stale timer from a completed
 /// iteration is ignored.
 const T_RETRY_BASE: u64 = 1_000;
 
-/// A synchronous iSwitch worker pushing synthetic gradient vectors.
-pub struct IswSyncWorker {
+/// Protocol half of the synchronous iSwitch worker: round-tagged segment
+/// push, broadcast-result reassembly, and `Help`/`FBcast` loss recovery.
+pub struct IswSyncProto {
     grad_len: usize,
-    /// Collectives per iteration (dual-model DDPG pushes two vectors).
-    messages: u64,
-    iterations: usize,
-    compute: ComputeModel,
-    comm: CommCosts,
-    rng: StdRng,
-    iter: u32,
-    received: Vec<bool>,
-    segs_received: usize,
-    grad: Vec<f32>,
+    asm: RoundAssembler,
     /// Timeout before asking the switch to recover missing result
     /// segments via `Help` (and flush stuck rounds via `FBcast`).
     help_timeout: Option<SimDuration>,
-    /// Progress marker at the last retry, plus consecutive no-progress
-    /// retries — `FBcast` only fires after repeated stalls, because
-    /// flushing a round that is merely still streaming would split it.
-    last_progress: usize,
-    stalled_retries: u32,
+    retry: IterationTokens,
+    stall: StallTracker,
     /// `Help` requests issued (loss-recovery activity).
     pub help_requests: u64,
-    /// Per-iteration span log.
-    pub log: IterLog,
 }
+
+impl IswSyncProto {
+    fn new(grad_len: usize) -> Self {
+        IswSyncProto {
+            grad_len,
+            asm: RoundAssembler::new(grad_len, false),
+            help_timeout: None,
+            retry: IterationTokens::new(T_RETRY_BASE),
+            stall: StallTracker::new(),
+            help_requests: 0,
+        }
+    }
+}
+
+impl StrategyProtocol for IswSyncProto {
+    fn on_start(&mut self, rt: &mut Rt<'_, '_, '_>) {
+        // Co-sim sources need the broadcast *values*; timing sources only
+        // need completion tracking.
+        self.asm = RoundAssembler::new(self.grad_len, rt.source.wants_values());
+    }
+
+    fn begin_round(&mut self, iter: u32) {
+        self.asm.begin_round(Some(iter));
+    }
+
+    fn start_round(&mut self, rt: &mut Rt<'_, '_, '_>) {
+        rt.set_timer(rt.phase_send_cost(), P_SEND);
+    }
+
+    fn on_timer(&mut self, rt: &mut Rt<'_, '_, '_>, token: u64) -> ProtoEvent {
+        if token == P_SEND {
+            // Tag every segment with the iteration so stale re-broadcasts
+            // and expired partial flushes of earlier rounds cannot satisfy
+            // this one.
+            let pkts = gradient_packets_round(rt.ip(), rt.source.gradient(), rt.iter());
+            for pkt in pkts {
+                rt.send(pkt);
+            }
+            if let Some(timeout) = self.help_timeout {
+                self.stall.rearm();
+                rt.set_timer(timeout, self.retry.arm(rt.iter()));
+            }
+            return ProtoEvent::None;
+        }
+        // Only act if the iteration that armed this timer is still waiting
+        // on its result.
+        if !self.retry.accept(token, rt.iter()) || self.asm.is_done() {
+            return ProtoEvent::None;
+        }
+        // A lost *result* is recovered from the switch's cache (Help). A
+        // lost *contribution* leaves the round stuck: only after two
+        // stalled retries — i.e. genuinely no progress — flush it with a
+        // partial broadcast. The batch is capped so a retry can never
+        // re-request a vector's worth of traffic (a premature timeout
+        // would otherwise trigger a retransmission storm).
+        const HELP_BATCH: u64 = 64;
+        let escalate = self.stall.observe(self.asm.received_count()) >= 2;
+        let mut budget = HELP_BATCH;
+        for seg in self.asm.missing() {
+            if budget == 0 {
+                break;
+            }
+            budget -= 1;
+            self.help_requests += 1;
+            let seg = tag_round(seg, rt.iter());
+            let help = control_packet(rt.ip(), UPSTREAM_IP, &ControlMessage::Help { seg });
+            rt.send(help);
+            if escalate {
+                let flush = control_packet(rt.ip(), UPSTREAM_IP, &ControlMessage::FBcast { seg });
+                rt.send(flush);
+            }
+        }
+        if let Some(timeout) = self.help_timeout {
+            rt.set_timer(timeout, self.retry.arm(rt.iter()));
+        }
+        ProtoEvent::None
+    }
+
+    fn on_packet(&mut self, rt: &mut Rt<'_, '_, '_>, pkt: Packet) -> ProtoEvent {
+        let Some(seg) = iswitch_core::decode_data(&pkt) else {
+            return ProtoEvent::None;
+        };
+        match self.asm.insert(&seg) {
+            RoundInsert::Completed => {
+                let update_tail = rt.phase_recv_cost() + rt.draw_weight_update();
+                ProtoEvent::Complete(RoundOutcome {
+                    aggregate: self.asm.take_mean(),
+                    agg_delay: SimDuration::ZERO,
+                    update_tail,
+                })
+            }
+            _ => ProtoEvent::None,
+        }
+    }
+}
+
+/// A synchronous iSwitch worker: the unified runtime over
+/// [`IswSyncProto`].
+pub type IswSyncWorker = StrategyRuntime<IswSyncProto>;
 
 impl IswSyncWorker {
     /// A worker pushing gradients of `grad_len` f32 elements in
@@ -60,23 +144,28 @@ impl IswSyncWorker {
         comm: CommCosts,
         seed: u64,
     ) -> Self {
-        IswSyncWorker {
-            grad_len,
-            messages: messages.max(1),
+        IswSyncWorker::with_source(
+            Box::new(SyntheticGradients::new(grad_len)),
+            messages,
             iterations,
             compute,
             comm,
-            rng: StdRng::seed_from_u64(seed),
-            iter: 0,
-            received: vec![false; num_segments(grad_len)],
-            segs_received: 0,
-            grad: Vec::new(),
-            help_timeout: None,
-            last_progress: 0,
-            stalled_retries: 0,
-            help_requests: 0,
-            log: IterLog::new(),
-        }
+            seed,
+        )
+    }
+
+    /// A worker backed by an arbitrary gradient source (co-simulation).
+    pub fn with_source(
+        source: Box<dyn GradientSource>,
+        messages: u64,
+        iterations: usize,
+        compute: ComputeModel,
+        comm: CommCosts,
+        seed: u64,
+    ) -> Self {
+        let core = WorkerCore::new(compute, comm, messages, seed, Pacing::Sync { iterations });
+        let proto = IswSyncProto::new(source.grad_len());
+        StrategyRuntime::from_parts(core, proto, source)
     }
 
     /// Enables loss recovery: after `timeout` without a complete result,
@@ -84,133 +173,12 @@ impl IswSyncWorker {
     /// result packets from the switch's cache) and `FBcast` (flushing
     /// rounds stuck on a lost contribution).
     pub fn with_help_timeout(mut self, timeout: SimDuration) -> Self {
-        self.help_timeout = Some(timeout);
+        self.protocol_mut().help_timeout = Some(timeout);
         self
     }
 
-    fn begin_iteration(&mut self, ctx: &mut HostCtx<'_, '_>) {
-        self.log.start(ctx.now());
-        self.segs_received = 0;
-        self.received.fill(false);
-        let d = self.compute.sample_local_compute(&mut self.rng);
-        ctx.set_timer(d, T_COMPUTE);
-    }
-
-    fn complete(&self) -> bool {
-        self.segs_received == num_segments(self.grad_len)
-    }
-}
-
-impl HostApp for IswSyncWorker {
-    fn on_start(&mut self, ctx: &mut HostCtx<'_, '_>) {
-        // Packet contents don't affect timing; keep one synthetic vector.
-        self.grad = vec![1.0f32; self.grad_len];
-        self.begin_iteration(ctx);
-    }
-
-    fn on_timer(&mut self, ctx: &mut HostCtx<'_, '_>, token: u64) {
-        match token {
-            T_COMPUTE => {
-                self.log.compute_done(ctx.now());
-                ctx.set_timer(self.comm.phase_send() * self.messages, T_SEND);
-            }
-            T_SEND => {
-                // Tag every segment with the iteration so stale
-                // re-broadcasts and expired partial flushes of earlier
-                // rounds cannot satisfy this one.
-                for pkt in gradient_packets_round(ctx.ip(), &self.grad, self.iter) {
-                    ctx.send(pkt);
-                }
-                if let Some(timeout) = self.help_timeout {
-                    self.last_progress = 0;
-                    self.stalled_retries = 0;
-                    ctx.set_timer(timeout, T_RETRY_BASE + u64::from(self.iter));
-                }
-            }
-            T_UPDATE => {
-                self.log.finish(ctx.now());
-                self.iter += 1;
-                if (self.iter as usize) < self.iterations {
-                    self.begin_iteration(ctx);
-                }
-            }
-            // Only act if the iteration that armed this timer is still
-            // waiting on its result.
-            token
-                if token >= T_RETRY_BASE
-                    && token - T_RETRY_BASE == u64::from(self.iter)
-                    && !self.complete() =>
-            {
-                if self.segs_received != self.last_progress {
-                    self.last_progress = self.segs_received;
-                    self.stalled_retries = 0;
-                } else {
-                    self.stalled_retries += 1;
-                }
-                // A lost *result* is recovered from the switch's cache
-                // (Help). A lost *contribution* leaves the round stuck:
-                // only after two stalled retries — i.e. genuinely no
-                // progress — flush it with a partial broadcast. The
-                // batch is capped so a retry can never re-request a
-                // vector's worth of traffic (a premature timeout would
-                // otherwise trigger a retransmission storm).
-                const HELP_BATCH: u64 = 64;
-                let escalate = self.stalled_retries >= 2;
-                let mut budget = HELP_BATCH;
-                for (seg, got) in self.received.iter().enumerate() {
-                    if !got {
-                        if budget == 0 {
-                            break;
-                        }
-                        budget -= 1;
-                        self.help_requests += 1;
-                        let seg = tag_round(seg as u64, self.iter);
-                        let help =
-                            control_packet(ctx.ip(), UPSTREAM_IP, &ControlMessage::Help { seg });
-                        ctx.send(help);
-                        if escalate {
-                            let flush = control_packet(
-                                ctx.ip(),
-                                UPSTREAM_IP,
-                                &ControlMessage::FBcast { seg },
-                            );
-                            ctx.send(flush);
-                        }
-                    }
-                }
-                if let Some(timeout) = self.help_timeout {
-                    ctx.set_timer(timeout, T_RETRY_BASE + u64::from(self.iter));
-                }
-            }
-            _ => {}
-        }
-    }
-
-    fn on_packet(&mut self, ctx: &mut HostCtx<'_, '_>, pkt: Packet) {
-        let Some(seg) = decode_data(&pkt) else {
-            return;
-        };
-        if seg_round(seg.seg) != self.iter & 0xFFFF {
-            return; // stale round (expired flush or duplicate Help reply)
-        }
-        let idx = seg_index(seg.seg) as usize;
-        if idx >= self.received.len() || self.received[idx] || self.complete() {
-            return; // duplicate (Help retransmission)
-        }
-        self.received[idx] = true;
-        self.segs_received += 1;
-        if self.complete() {
-            self.log.aggregation_done(ctx.now());
-            let d = self.comm.phase_recv() * self.messages
-                + self.compute.sample_weight_update(&mut self.rng);
-            ctx.set_timer(d, T_UPDATE);
-        }
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
+    /// `Help` requests issued (loss-recovery activity).
+    pub fn help_requests(&self) -> u64 {
+        self.protocol().help_requests
     }
 }

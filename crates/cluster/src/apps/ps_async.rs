@@ -16,28 +16,86 @@ use rand::SeedableRng;
 
 use crate::apps::common::{blob_packets, BlobAssembler};
 use crate::apps::ps_sync::{TAG_GRAD, TAG_PULL, TAG_WEIGHTS};
+use crate::apps::runtime::{
+    Pacing, ProtoEvent, Rt, StrategyProtocol, StrategyRuntime, WorkerCore, PROTO_BASE,
+};
 use crate::compute_model::{CommCosts, ComputeModel};
+use crate::gradient_source::SyntheticGradients;
 
-const T_COMPUTE: u64 = 1;
-const T_PUSH: u64 = 2;
-const T_PULL: u64 = 3;
+const P_COMPUTE: u64 = PROTO_BASE;
+const P_PUSH: u64 = PROTO_BASE + 1;
+const P_PULL: u64 = PROTO_BASE + 2;
 
-/// An asynchronous PS worker: pull → compute → push, forever.
-pub struct AsyncPsWorker {
+/// Protocol half of the asynchronous PS worker: the self-driven
+/// pull → compute → push cycle.
+pub struct PsAsyncProto {
     server: IpAddr,
     model_bytes: u64,
-    messages: u64,
-    compute: ComputeModel,
-    comm: CommCosts,
-    rng: StdRng,
     asm: BlobAssembler,
     pull_seq: u32,
     weight_version: u32,
-    stopped: bool,
-    /// Iterations this worker completed (gradients pushed).
-    pub pushes: u64,
-    deadline: Option<SimTime>,
 }
+
+impl PsAsyncProto {
+    fn pull(&mut self, rt: &mut Rt<'_, '_, '_>) {
+        if rt.deadline_reached() {
+            rt.core.stopped = true;
+            return;
+        }
+        self.pull_seq += 1;
+        for pkt in blob_packets(rt.ip(), self.server, TAG_PULL, self.pull_seq, 0) {
+            rt.send(pkt);
+        }
+    }
+}
+
+impl StrategyProtocol for PsAsyncProto {
+    fn on_start(&mut self, rt: &mut Rt<'_, '_, '_>) {
+        self.pull(rt);
+    }
+
+    fn on_timer(&mut self, rt: &mut Rt<'_, '_, '_>, token: u64) -> ProtoEvent {
+        match token {
+            P_COMPUTE => {
+                rt.set_timer(rt.phase_send_cost(), P_PUSH);
+            }
+            P_PUSH => {
+                // Push the gradient stamped with the weight version it was
+                // computed from, then immediately pull again.
+                for pkt in blob_packets(
+                    rt.ip(),
+                    self.server,
+                    TAG_GRAD,
+                    self.weight_version,
+                    self.model_bytes,
+                ) {
+                    rt.send(pkt);
+                }
+                rt.core.commits += 1;
+                self.pull(rt);
+            }
+            P_PULL => {
+                let d = rt.draw_compute();
+                rt.set_timer(d, P_COMPUTE);
+            }
+            _ => {}
+        }
+        ProtoEvent::None
+    }
+
+    fn on_packet(&mut self, rt: &mut Rt<'_, '_, '_>, pkt: Packet) -> ProtoEvent {
+        if let Some(done) = self.asm.on_packet(&pkt) {
+            if done.tag == TAG_WEIGHTS {
+                self.weight_version = done.msg_id;
+                rt.set_timer(rt.phase_recv_cost(), P_PULL);
+            }
+        }
+        ProtoEvent::None
+    }
+}
+
+/// An asynchronous PS worker: the unified runtime over [`PsAsyncProto`].
+pub type AsyncPsWorker = StrategyRuntime<PsAsyncProto>;
 
 impl AsyncPsWorker {
     /// A worker that keeps iterating until `deadline` (if given).
@@ -51,86 +109,20 @@ impl AsyncPsWorker {
         seed: u64,
         deadline: Option<SimTime>,
     ) -> Self {
-        AsyncPsWorker {
+        let core = WorkerCore::new(compute, comm, messages, seed, Pacing::Driven { deadline });
+        let proto = PsAsyncProto {
             server,
             model_bytes,
-            messages: messages.max(1),
-            compute,
-            comm,
-            rng: StdRng::seed_from_u64(seed),
             asm: BlobAssembler::new(),
             pull_seq: 0,
             weight_version: 0,
-            stopped: false,
-            pushes: 0,
-            deadline,
-        }
+        };
+        StrategyRuntime::from_parts(core, proto, Box::new(SyntheticGradients::new(0)))
     }
 
-    fn pull(&mut self, ctx: &mut HostCtx<'_, '_>) {
-        if let Some(d) = self.deadline {
-            if ctx.now() >= d {
-                self.stopped = true;
-                return;
-            }
-        }
-        self.pull_seq += 1;
-        for pkt in blob_packets(ctx.ip(), self.server, TAG_PULL, self.pull_seq, 0) {
-            ctx.send(pkt);
-        }
-    }
-}
-
-impl HostApp for AsyncPsWorker {
-    fn on_start(&mut self, ctx: &mut HostCtx<'_, '_>) {
-        self.pull(ctx);
-    }
-
-    fn on_timer(&mut self, ctx: &mut HostCtx<'_, '_>, token: u64) {
-        match token {
-            T_COMPUTE => {
-                ctx.set_timer(self.comm.phase_send() * self.messages, T_PUSH);
-            }
-            T_PUSH => {
-                // Push the gradient stamped with the weight version it was
-                // computed from, then immediately pull again.
-                for pkt in blob_packets(
-                    ctx.ip(),
-                    self.server,
-                    TAG_GRAD,
-                    self.weight_version,
-                    self.model_bytes,
-                ) {
-                    ctx.send(pkt);
-                }
-                self.pushes += 1;
-                self.pull(ctx);
-            }
-            T_PULL => {
-                let d = self.compute.sample_local_compute(&mut self.rng);
-                ctx.set_timer(d, T_COMPUTE);
-            }
-            _ => {}
-        }
-    }
-
-    fn on_packet(&mut self, ctx: &mut HostCtx<'_, '_>, pkt: Packet) {
-        if self.stopped {
-            return;
-        }
-        if let Some(done) = self.asm.on_packet(&pkt) {
-            if done.tag == TAG_WEIGHTS {
-                self.weight_version = done.msg_id;
-                ctx.set_timer(self.comm.phase_recv() * self.messages, T_PULL);
-            }
-        }
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
+    /// Iterations this worker completed (gradients pushed).
+    pub fn pushes(&self) -> u64 {
+        self.commits()
     }
 }
 

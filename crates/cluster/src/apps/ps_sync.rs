@@ -9,12 +9,16 @@
 use std::any::Any;
 use std::collections::HashMap;
 
-use iswitch_netsim::{HostApp, HostCtx, IpAddr, Packet, SimTime};
+use iswitch_netsim::{HostApp, HostCtx, IpAddr, Packet, SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::apps::common::{blob_packets, BlobAssembler, IterLog};
+use crate::apps::common::{blob_packets, BlobAssembler};
+use crate::apps::runtime::{
+    Pacing, ProtoEvent, RoundOutcome, Rt, StrategyProtocol, StrategyRuntime, WorkerCore, PROTO_BASE,
+};
 use crate::compute_model::{CommCosts, ComputeModel};
+use crate::gradient_source::SyntheticGradients;
 
 /// Blob tag for worker→server gradient pushes.
 pub const TAG_GRAD: u32 = 1;
@@ -23,30 +27,55 @@ pub const TAG_WEIGHTS: u32 = 2;
 /// Blob tag for async pull requests.
 pub const TAG_PULL: u32 = 3;
 
-const T_COMPUTE: u64 = 1;
-const T_SEND: u64 = 2;
-const T_RECV: u64 = 3;
+const P_SEND: u64 = PROTO_BASE;
 
-/// A synchronous PS worker.
-pub struct SyncPsWorker {
+/// Protocol half of the synchronous PS worker: blob push to the server,
+/// weight blob back. The weight update itself lives on the server; the
+/// worker's receive cost covers installing the pushed weights.
+pub struct PsSyncProto {
     server: IpAddr,
     model_bytes: u64,
-    /// Collectives per iteration (DDPG's dual model aggregates actor and
-    /// critic separately, doubling the per-phase software costs).
-    messages: u64,
-    iterations: usize,
-    compute: ComputeModel,
-    comm: CommCosts,
-    rng: StdRng,
-    iter: u32,
     asm: BlobAssembler,
-    /// Per-iteration span log.
-    pub log: IterLog,
 }
+
+impl StrategyProtocol for PsSyncProto {
+    fn start_round(&mut self, rt: &mut Rt<'_, '_, '_>) {
+        rt.set_timer(rt.phase_send_cost(), P_SEND);
+    }
+
+    fn on_timer(&mut self, rt: &mut Rt<'_, '_, '_>, token: u64) -> ProtoEvent {
+        if token == P_SEND {
+            for pkt in blob_packets(rt.ip(), self.server, TAG_GRAD, rt.iter(), self.model_bytes) {
+                rt.send(pkt);
+            }
+        }
+        ProtoEvent::None
+    }
+
+    fn on_packet(&mut self, rt: &mut Rt<'_, '_, '_>, pkt: Packet) -> ProtoEvent {
+        if let Some(done) = self.asm.on_packet(&pkt) {
+            if done.tag == TAG_WEIGHTS && done.msg_id == rt.iter() {
+                // PS keeps the weight update on the server; the worker just
+                // installs the received weights (cost inside phase_recv).
+                return ProtoEvent::Complete(RoundOutcome {
+                    aggregate: None,
+                    agg_delay: rt.phase_recv_cost(),
+                    update_tail: SimDuration::ZERO,
+                });
+            }
+        }
+        ProtoEvent::None
+    }
+}
+
+/// A synchronous PS worker: the unified runtime over [`PsSyncProto`].
+pub type SyncPsWorker = StrategyRuntime<PsSyncProto>;
 
 impl SyncPsWorker {
     /// A worker that will run `iterations` iterations against `server`,
-    /// aggregating `messages` collectives per iteration.
+    /// aggregating `messages` collectives per iteration (DDPG's dual model
+    /// aggregates actor and critic separately, doubling the per-phase
+    /// software costs).
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         server: IpAddr,
@@ -57,72 +86,16 @@ impl SyncPsWorker {
         comm: CommCosts,
         seed: u64,
     ) -> Self {
-        SyncPsWorker {
+        let core = WorkerCore::new(compute, comm, messages, seed, Pacing::Sync { iterations });
+        let proto = PsSyncProto {
             server,
             model_bytes,
-            messages: messages.max(1),
-            iterations,
-            compute,
-            comm,
-            rng: StdRng::seed_from_u64(seed),
-            iter: 0,
             asm: BlobAssembler::new(),
-            log: IterLog::new(),
-        }
-    }
-
-    fn begin_iteration(&mut self, ctx: &mut HostCtx<'_, '_>) {
-        self.log.start(ctx.now());
-        let d = self.compute.sample_local_compute(&mut self.rng);
-        ctx.set_timer(d, T_COMPUTE);
-    }
-}
-
-impl HostApp for SyncPsWorker {
-    fn on_start(&mut self, ctx: &mut HostCtx<'_, '_>) {
-        self.begin_iteration(ctx);
-    }
-
-    fn on_timer(&mut self, ctx: &mut HostCtx<'_, '_>, token: u64) {
-        match token {
-            T_COMPUTE => {
-                self.log.compute_done(ctx.now());
-                ctx.set_timer(self.comm.phase_send() * self.messages, T_SEND);
-            }
-            T_SEND => {
-                for pkt in
-                    blob_packets(ctx.ip(), self.server, TAG_GRAD, self.iter, self.model_bytes)
-                {
-                    ctx.send(pkt);
-                }
-            }
-            T_RECV => {
-                // PS keeps the weight update on the server; the worker just
-                // installs the received weights (cost inside phase_recv).
-                self.log.aggregation_done(ctx.now());
-                self.log.finish(ctx.now());
-                self.iter += 1;
-                if (self.iter as usize) < self.iterations {
-                    self.begin_iteration(ctx);
-                }
-            }
-            _ => {}
-        }
-    }
-
-    fn on_packet(&mut self, ctx: &mut HostCtx<'_, '_>, pkt: Packet) {
-        if let Some(done) = self.asm.on_packet(&pkt) {
-            if done.tag == TAG_WEIGHTS && done.msg_id == self.iter {
-                ctx.set_timer(self.comm.phase_recv() * self.messages, T_RECV);
-            }
-        }
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
+        };
+        // Timing-only strategy: the PS worker never sees an aggregate to
+        // apply locally, so the synthetic payload is just sized bytes.
+        let source = Box::new(SyntheticGradients::new(0));
+        StrategyRuntime::from_parts(core, proto, source)
     }
 }
 

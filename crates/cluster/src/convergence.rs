@@ -9,12 +9,16 @@
 //! staleness distributions measured in timing mode are replayed here while
 //! training for real.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use iswitch_core::QuantConfig;
-use iswitch_rl::{make_lite_agent_scaled, Agent, Algorithm};
+use iswitch_rl::{make_lite_agent_scaled, Algorithm, LocalReplica};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+use crate::gradient_source::{GradientSource, ReplayGradients, ReplaySchedule};
 use crate::staleness::StalenessDistribution;
 
 /// How gradients reach the weights, per strategy.
@@ -125,12 +129,12 @@ pub fn default_max_iterations(alg: Algorithm) -> usize {
     }
 }
 
-fn pooled_reward(agents: &[Box<dyn Agent>]) -> Option<f32> {
-    let rewards: Vec<f32> = agents
+fn pooled_reward(workers: &[ReplayGradients]) -> Option<f32> {
+    let rewards: Vec<f32> = workers
         .iter()
-        .filter_map(|a| a.final_average_reward())
+        .filter_map(|w| w.final_average_reward())
         .collect();
-    if rewards.len() < agents.len() {
+    if rewards.len() < workers.len() {
         return None; // not all workers have completed episodes yet
     }
     Some(rewards.iter().sum::<f32>() / rewards.len() as f32)
@@ -174,24 +178,49 @@ fn mean_gradient(grads: &[Vec<f32>], quantize: Option<f32>) -> Vec<f32> {
 pub fn run_convergence(cfg: &ConvergenceConfig) -> ConvergenceResult {
     assert!(cfg.workers >= 1, "need at least one worker");
     assert!(cfg.check_every >= 1, "check_every must be positive");
-    let mut agents: Vec<Box<dyn Agent>> = (0..cfg.workers)
-        .map(|w| make_lite_agent_scaled(cfg.algorithm, cfg.seed + w as u64, cfg.lr_scale))
-        .collect();
-    // Identical initial weights everywhere (decentralized weight storage).
-    let mut params = agents[0].params();
-    for a in agents.iter_mut() {
-        a.set_params(&params);
-    }
-    let mut opt = agents[0].make_optimizer();
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xA5A5);
+    let rng = Rc::new(RefCell::new(StdRng::seed_from_u64(cfg.seed ^ 0xA5A5)));
 
-    // Parameter history for staleness replay: history[0] is current.
+    // Parameter history for staleness replay: history[0] is current. The
+    // driver owns the ring; `ReplayGradients` workers read through it.
     let history_depth = match &cfg.semantics {
         AggregationSemantics::Synchronous => 1,
         AggregationSemantics::AsyncAggregated { bound, .. }
         | AggregationSemantics::AsyncSingle { bound, .. } => *bound as usize + 2,
     };
-    let mut history: Vec<Vec<f32>> = vec![params.clone(); history_depth];
+
+    let schedule_for = |_w: usize| match &cfg.semantics {
+        // Synchronous gradients always see the current weights, so no
+        // staleness draw happens — the RNG stream stays untouched.
+        AggregationSemantics::Synchronous => None,
+        AggregationSemantics::AsyncAggregated { staleness, bound }
+        | AggregationSemantics::AsyncSingle { staleness, bound } => Some(ReplaySchedule::new(
+            staleness.clone(),
+            *bound,
+            Rc::clone(&rng),
+        )),
+    };
+
+    let replicas: Vec<LocalReplica> = (0..cfg.workers)
+        .map(|w| {
+            LocalReplica::new(make_lite_agent_scaled(
+                cfg.algorithm,
+                cfg.seed + w as u64,
+                cfg.lr_scale,
+            ))
+        })
+        .collect();
+    // Identical initial weights everywhere (decentralized weight storage).
+    let mut params = replicas[0].params().to_vec();
+    let mut opt = replicas[0].agent().make_optimizer();
+    let history = Rc::new(RefCell::new(vec![params.clone(); history_depth]));
+    let mut workers: Vec<ReplayGradients> = replicas
+        .into_iter()
+        .enumerate()
+        .map(|(w, r)| ReplayGradients::new(r, Rc::clone(&history), schedule_for(w)))
+        .collect();
+    for w in workers.iter_mut() {
+        w.load_params(&params);
+    }
 
     let mut curve = Vec::new();
     let mut reached = false;
@@ -200,36 +229,24 @@ pub fn run_convergence(cfg: &ConvergenceConfig) -> ConvergenceResult {
     for t in 0..cfg.max_iterations {
         iterations = t + 1;
         match &cfg.semantics {
-            AggregationSemantics::Synchronous => {
-                let grads: Vec<Vec<f32>> = agents
+            // Staleness draws happen inside `ReplayGradients::compute`, in
+            // worker order — the same stream the loop used when it sampled
+            // inline.
+            AggregationSemantics::Synchronous | AggregationSemantics::AsyncAggregated { .. } => {
+                let grads: Vec<Vec<f32>> = workers
                     .iter_mut()
-                    .map(|a| {
-                        a.set_params(&params);
-                        a.compute_gradient()
+                    .map(|w| {
+                        w.compute();
+                        w.gradient().to_vec()
                     })
                     .collect();
                 let mean = mean_gradient(&grads, cfg.quantize_clip);
                 opt.step(&mut params, &mean);
             }
-            AggregationSemantics::AsyncAggregated { staleness, bound } => {
-                let grads: Vec<Vec<f32>> = agents
-                    .iter_mut()
-                    .map(|a| {
-                        let k = staleness.sample(&mut rng).min(*bound) as usize;
-                        let stale = &history[k.min(history.len() - 1)];
-                        a.set_params(stale);
-                        a.compute_gradient()
-                    })
-                    .collect();
-                let mean = mean_gradient(&grads, cfg.quantize_clip);
-                opt.step(&mut params, &mean);
-            }
-            AggregationSemantics::AsyncSingle { staleness, bound } => {
+            AggregationSemantics::AsyncSingle { .. } => {
                 let w = t % cfg.workers;
-                let k = staleness.sample(&mut rng).min(*bound) as usize;
-                let stale = history[k.min(history.len() - 1)].clone();
-                agents[w].set_params(&stale);
-                let mut grad = agents[w].compute_gradient();
+                workers[w].compute();
+                let mut grad = workers[w].gradient().to_vec();
                 // A single worker's gradient is applied per update; scale by
                 // 1/N so N sequential updates match one synchronous mean
                 // step (the standard async-SGD learning-rate correction).
@@ -241,22 +258,24 @@ pub fn run_convergence(cfg: &ConvergenceConfig) -> ConvergenceResult {
             }
         }
         // Shift history and install the new weights everywhere.
-        if history_depth > 1 {
-            history.rotate_right(1);
+        {
+            let mut h = history.borrow_mut();
+            if history_depth > 1 {
+                h.rotate_right(1);
+            }
+            h[0] = params.clone();
         }
-        history[0] = params.clone();
-        for a in agents.iter_mut() {
-            a.set_params(&params);
-            a.on_weights_updated();
+        for w in workers.iter_mut() {
+            w.install_params(&params);
         }
 
         if cfg.curve_every > 0 && t % cfg.curve_every == 0 {
-            if let Some(r) = pooled_reward(&agents) {
+            if let Some(r) = pooled_reward(&workers) {
                 curve.push((t, r));
             }
         }
         if t % cfg.check_every == 0 {
-            if let (Some(target), Some(r)) = (cfg.target_reward, pooled_reward(&agents)) {
+            if let (Some(target), Some(r)) = (cfg.target_reward, pooled_reward(&workers)) {
                 if r >= target {
                     reached = true;
                     break;
@@ -265,7 +284,7 @@ pub fn run_convergence(cfg: &ConvergenceConfig) -> ConvergenceResult {
         }
     }
 
-    let final_average_reward = pooled_reward(&agents).unwrap_or(f32::NEG_INFINITY);
+    let final_average_reward = pooled_reward(&workers).unwrap_or(f32::NEG_INFINITY);
     ConvergenceResult {
         iterations,
         reached_target: reached,

@@ -1,0 +1,291 @@
+//! Co-simulation: real RL agents trained *through* the in-switch
+//! datapath.
+//!
+//! Timing mode ships synthetic bytes; convergence mode trains without a
+//! network. Co-sim closes the loop: each worker hosts a live
+//! [`iswitch_rl::LocalReplica`] whose gradient tensors are packetized into
+//! f32 segments, summed by the simulated in-switch accelerator, broadcast,
+//! reassembled, and applied — producing the reward curve *and* the
+//! per-iteration timing from one simulation run. Only the iSwitch
+//! strategies are co-simulated: they are the ones whose arithmetic happens
+//! in the network.
+
+use std::collections::BTreeMap;
+
+use iswitch_netsim::{Host, HostApp, SimDuration, SimTime, Simulator};
+use iswitch_rl::{make_lite_agent_scaled, Algorithm, LocalReplica};
+
+use crate::apps::{IswAsyncWorker, IswSyncWorker};
+use crate::compute_model::ComputeModel;
+use crate::convergence::default_target;
+use crate::gradient_source::AgentGradients;
+use crate::timing_runner::{build_isw_topology, Strategy, TimingConfig};
+
+/// Configuration of one co-simulation run.
+#[derive(Debug, Clone)]
+pub struct CosimConfig {
+    /// Benchmark algorithm (fixes the lite workload and compute model).
+    pub algorithm: Algorithm,
+    /// Strategy under test — [`Strategy::SyncIsw`] or
+    /// [`Strategy::AsyncIsw`].
+    pub strategy: Strategy,
+    /// Number of workers.
+    pub workers: usize,
+    /// Iteration budget: synchronous iterations, or asynchronous weight
+    /// updates observed at worker 0.
+    pub iterations: usize,
+    /// Stop once the pooled average reward reaches this level.
+    pub target_reward: Option<f32>,
+    /// Staleness bound `S` (asynchronous strategy only).
+    pub staleness_bound: u32,
+    /// Base seed: worker `w` seeds its agent and its timing jitter with
+    /// `seed.wrapping_add(w)`.
+    pub seed: u64,
+    /// Learning-rate multiplier (matches convergence mode's knob).
+    pub lr_scale: f32,
+}
+
+impl CosimConfig {
+    /// The co-sim lite shape: 3 workers on one switch training the lite
+    /// workload toward the algorithm's default target.
+    pub fn lite(algorithm: Algorithm, strategy: Strategy) -> Self {
+        CosimConfig {
+            algorithm,
+            strategy,
+            workers: 3,
+            iterations: 6_000,
+            target_reward: Some(default_target(algorithm)),
+            staleness_bound: 3,
+            seed: 42,
+            lr_scale: 1.0,
+        }
+    }
+}
+
+/// Result of one co-simulation run.
+#[derive(Debug, Clone)]
+pub struct CosimResult {
+    /// Iterations executed at worker 0 (sync: completed iterations; async:
+    /// weight updates).
+    pub iterations: usize,
+    /// Aggregated weight updates applied by worker 0.
+    pub updates: u64,
+    /// Whether the target reward was reached before the budget.
+    pub reached_target: bool,
+    /// Pooled final average reward (mean over workers' last-10-episode
+    /// averages).
+    pub final_average_reward: f32,
+    /// `(update_count, pooled reward)` curve: points where every worker
+    /// had completed episodes.
+    pub curve: Vec<(u64, f32)>,
+    /// Mean wall-clock (simulated) time per iteration/update.
+    pub per_iteration: SimDuration,
+    /// Worker 0's final weight replica.
+    pub params: Vec<f32>,
+}
+
+/// Per-worker probe state pulled out of the simulator between slices.
+struct Probe {
+    reward: Option<f32>,
+    progress: usize,
+}
+
+fn probe(sim: &mut Simulator, node: iswitch_netsim::NodeId, strategy: Strategy) -> Probe {
+    match strategy {
+        Strategy::SyncIsw => {
+            let app = sim.device::<Host>(node).app::<IswSyncWorker>();
+            Probe {
+                reward: app.source().final_average_reward(),
+                progress: app.log().len(),
+            }
+        }
+        Strategy::AsyncIsw => {
+            let app = sim.device::<Host>(node).app::<IswAsyncWorker>();
+            Probe {
+                reward: app.source().final_average_reward(),
+                progress: app.update_times().len(),
+            }
+        }
+        _ => unreachable!("co-sim is iSwitch-only"),
+    }
+}
+
+fn pooled(probes: &[Probe]) -> Option<f32> {
+    let rewards: Vec<f32> = probes.iter().filter_map(|p| p.reward).collect();
+    if rewards.len() < probes.len() {
+        return None;
+    }
+    Some(rewards.iter().sum::<f32>() / rewards.len() as f32)
+}
+
+/// Runs one co-simulation.
+///
+/// # Panics
+///
+/// Panics on non-iSwitch strategies, degenerate worker counts, and
+/// simulations that stall short of the iteration budget.
+pub fn run_cosim(cfg: &CosimConfig) -> CosimResult {
+    assert!(
+        matches!(cfg.strategy, Strategy::SyncIsw | Strategy::AsyncIsw),
+        "co-sim drives gradients through the in-switch datapath; use \
+         convergence mode for host-side strategies"
+    );
+    assert!(cfg.workers >= 1, "need at least one worker");
+
+    // Live replicas with identical initial weights (decentralized storage).
+    let mut replicas: Vec<LocalReplica> = (0..cfg.workers)
+        .map(|w| {
+            LocalReplica::new(make_lite_agent_scaled(
+                cfg.algorithm,
+                cfg.seed.wrapping_add(w as u64),
+                cfg.lr_scale,
+            ))
+        })
+        .collect();
+    let init = replicas[0].params().to_vec();
+    for r in replicas.iter_mut().skip(1) {
+        r.load_params(&init);
+    }
+    let len = replicas[0].param_count();
+
+    // The network is the paper's main-cluster shape; only the payload
+    // (real f32 gradients, lite-model sized) differs from timing mode.
+    let mut tcfg = TimingConfig::main_cluster(cfg.algorithm, cfg.strategy);
+    tcfg.workers = cfg.workers;
+    tcfg.seed = cfg.seed;
+    tcfg.staleness_bound = cfg.staleness_bound;
+    let model = ComputeModel::for_algorithm(cfg.algorithm);
+
+    let mut sim = Simulator::new();
+    let worker_apps: Vec<Box<dyn HostApp>> = replicas
+        .into_iter()
+        .enumerate()
+        .map(|(w, replica)| {
+            let source = Box::new(AgentGradients::new(replica));
+            let seed = cfg.seed.wrapping_add(w as u64);
+            match cfg.strategy {
+                Strategy::SyncIsw => Box::new(IswSyncWorker::with_source(
+                    source,
+                    1,
+                    cfg.iterations,
+                    model.clone(),
+                    tcfg.comm.clone(),
+                    seed,
+                )) as Box<dyn HostApp>,
+                Strategy::AsyncIsw => Box::new(IswAsyncWorker::with_source(
+                    source,
+                    1,
+                    model.clone(),
+                    tcfg.comm.clone(),
+                    cfg.staleness_bound,
+                    seed,
+                    None,
+                )) as Box<dyn HostApp>,
+                _ => unreachable!(),
+            }
+        })
+        .collect();
+    let workers = build_isw_topology(&mut sim, worker_apps, &tcfg, len);
+
+    // Advance in slices, checking the reward target and the iteration
+    // budget between them (mirrors timing mode's async driver).
+    let slice = SimDuration::from_millis(200);
+    let mut t = SimTime::ZERO;
+    let mut reached = false;
+    let mut done = false;
+    for _ in 0..1_000_000 {
+        t += slice;
+        sim.run_until(t);
+        let probes: Vec<Probe> = workers
+            .iter()
+            .map(|&w| probe(&mut sim, w, cfg.strategy))
+            .collect();
+        if let (Some(target), Some(r)) = (cfg.target_reward, pooled(&probes)) {
+            if r >= target {
+                reached = true;
+                break;
+            }
+        }
+        if probes[0].progress >= cfg.iterations {
+            done = true;
+            break;
+        }
+    }
+    assert!(
+        reached || done,
+        "co-sim stalled before reaching {} iterations",
+        cfg.iterations
+    );
+
+    // Harvest results.
+    let mut curve_acc: BTreeMap<u64, (f32, usize)> = BTreeMap::new();
+    let mut pool_curve = |points: &[(u64, f32)]| {
+        for &(u, r) in points {
+            let e = curve_acc.entry(u).or_insert((0.0, 0));
+            e.0 += r;
+            e.1 += 1;
+        }
+    };
+    let mut rewards = Vec::new();
+    for &w in &workers {
+        let src = match cfg.strategy {
+            Strategy::SyncIsw => sim.device::<Host>(w).app::<IswSyncWorker>().source(),
+            Strategy::AsyncIsw => sim.device::<Host>(w).app::<IswAsyncWorker>().source(),
+            _ => unreachable!(),
+        };
+        pool_curve(src.reward_curve());
+        rewards.push(src.final_average_reward());
+    }
+    let n = cfg.workers;
+    let curve: Vec<(u64, f32)> = curve_acc
+        .into_iter()
+        .filter(|(_, (_, k))| *k == n)
+        .map(|(u, (sum, k))| (u, sum / k as f32))
+        .collect();
+    let final_average_reward = if rewards.iter().all(Option::is_some) {
+        rewards.iter().map(|r| r.expect("checked")).sum::<f32>() / n as f32
+    } else {
+        f32::NEG_INFINITY
+    };
+
+    let (iterations, updates, per_iteration, params) = match cfg.strategy {
+        Strategy::SyncIsw => {
+            let app = sim.device::<Host>(workers[0]).app::<IswSyncWorker>();
+            let iters = app.log().len();
+            let per = if iters > 0 {
+                app.log().mean_after(0).total()
+            } else {
+                SimDuration::ZERO
+            };
+            let src = app.source();
+            (iters, src.updates_applied(), per, src.params().to_vec())
+        }
+        Strategy::AsyncIsw => {
+            let app = sim.device::<Host>(workers[0]).app::<IswAsyncWorker>();
+            let times = app.update_times();
+            let per = if times.len() >= 2 {
+                times.last().expect("non-empty").duration_since(times[0]) / (times.len() as u64 - 1)
+            } else {
+                SimDuration::ZERO
+            };
+            let src = app.source();
+            (
+                times.len(),
+                src.updates_applied(),
+                per,
+                src.params().to_vec(),
+            )
+        }
+        _ => unreachable!(),
+    };
+
+    CosimResult {
+        iterations,
+        updates,
+        reached_target: reached,
+        final_average_reward,
+        curve,
+        per_iteration,
+        params,
+    }
+}

@@ -20,7 +20,10 @@ use crate::timing_runner::{run_timing, Strategy, TimingConfig};
 
 /// Runs one closure per item on scoped worker threads, preserving input
 /// order. Experiment cells are independent, so the sweeps in this module
-/// fan out across cores.
+/// fan out across cores — but no wider: a fixed pool of
+/// `available_parallelism` threads drains a shared work queue, so a
+/// 40-cell sweep doesn't oversubscribe the machine with 40 simulator
+/// instances at once.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -28,13 +31,19 @@ where
     F: Fn(T) -> R + Sync,
 {
     let n = items.len();
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let pool = cores.min(n).max(1);
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let queue: Mutex<std::collections::VecDeque<(usize, T)>> =
+        Mutex::new(items.into_iter().enumerate().collect());
     std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(n);
-        for (i, item) in items.into_iter().enumerate() {
-            let results = &results;
-            let f = &f;
-            handles.push(scope.spawn(move || {
+        let mut handles = Vec::with_capacity(pool);
+        for _ in 0..pool {
+            let (results, queue, f) = (&results, &queue, &f);
+            handles.push(scope.spawn(move || loop {
+                let Some((i, item)) = queue.lock().expect("queue lock").pop_front() else {
+                    return;
+                };
                 let r = f(item);
                 results.lock().expect("results lock")[i] = Some(r);
             }));

@@ -32,7 +32,9 @@
 pub mod apps;
 mod compute_model;
 mod convergence;
+mod cosim;
 pub mod experiments;
+mod gradient_source;
 pub mod report;
 mod staleness;
 mod timing_runner;
@@ -41,6 +43,10 @@ pub use compute_model::{CommCosts, Component, ComputeModel};
 pub use convergence::{
     default_max_iterations, default_target, run_convergence, AggregationSemantics,
     ConvergenceConfig, ConvergenceResult,
+};
+pub use cosim::{run_cosim, CosimConfig, CosimResult};
+pub use gradient_source::{
+    AgentGradients, GradientSource, ReplayGradients, ReplaySchedule, SyntheticGradients,
 };
 pub use staleness::StalenessDistribution;
 pub use timing_runner::{

@@ -440,7 +440,7 @@ fn run_sync_ps(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResult
     let (workers, _server) = build_plain_topology(&mut sim, worker_apps, Some(server), cfg);
     sim.run_until_idle();
     capture_metrics(&sim, &mut obs);
-    collect_sync_result::<SyncPsWorker>(&mut sim, &workers, cfg.warmup, obs, |a| &a.log)
+    collect_sync_result::<SyncPsWorker>(&mut sim, &workers, cfg.warmup, obs, |a| a.log())
 }
 
 /// Worker IPs in flattened order for the current layout.
@@ -484,12 +484,12 @@ fn run_sync_ar(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResult
     let (workers, _) = build_plain_topology(&mut sim, worker_apps, None, cfg);
     sim.run_until_idle();
     capture_metrics(&sim, &mut obs);
-    collect_sync_result::<RingWorker>(&mut sim, &workers, cfg.warmup, obs, |a| &a.log)
+    collect_sync_result::<RingWorker>(&mut sim, &workers, cfg.warmup, obs, |a| a.log())
 }
 
 /// Builds the iSwitch topology (star or tree with accelerators installed)
 /// over the given worker apps.
-fn build_isw_topology(
+pub(crate) fn build_isw_topology(
     sim: &mut Simulator,
     worker_apps: Vec<Box<dyn HostApp>>,
     cfg: &TimingConfig,
@@ -652,7 +652,7 @@ fn run_sync_isw(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResul
     let workers = build_isw_topology(&mut sim, worker_apps, &cfg, len);
     sim.run_until_idle();
     capture_metrics(&sim, &mut obs);
-    collect_sync_result::<IswSyncWorker>(&mut sim, &workers, cfg.warmup, obs, |a| &a.log)
+    collect_sync_result::<IswSyncWorker>(&mut sim, &workers, cfg.warmup, obs, |a| a.log())
 }
 
 /// Mean interval between consecutive update timestamps after warmup.
@@ -782,17 +782,17 @@ fn run_async_isw(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResu
     run_async_until(&mut sim, target, |sim| {
         sim.device::<Host>(probe)
             .app::<IswAsyncWorker>()
-            .update_times
+            .update_times()
             .len()
     });
     capture_metrics(&sim, &mut obs);
     let mut staleness = Vec::new();
     for &w in &workers {
-        staleness.extend_from_slice(&sim.device::<Host>(w).app::<IswAsyncWorker>().staleness);
+        staleness.extend_from_slice(sim.device::<Host>(w).app::<IswAsyncWorker>().staleness());
     }
     let app = sim.device::<Host>(probe).app::<IswAsyncWorker>();
-    trace_updates(&mut obs, &app.update_times, cfg.warmup);
-    let (per_iteration, measured) = mean_update_interval(&app.update_times, cfg.warmup);
+    trace_updates(&mut obs, app.update_times(), cfg.warmup);
+    let (per_iteration, measured) = mean_update_interval(app.update_times(), cfg.warmup);
     TimingResult {
         per_iteration,
         breakdown: Breakdown {

@@ -1,0 +1,98 @@
+//! Co-simulation fidelity: gradients that ride the simulated in-switch
+//! datapath must train the same way a single-process mean-gradient loop
+//! does, up to f32 summation-order effects.
+
+use iswitch_cluster::{run_cosim, CosimConfig, Strategy};
+use iswitch_rl::{make_lite_agent_scaled, Algorithm};
+
+fn lite(strategy: Strategy) -> CosimConfig {
+    CosimConfig::lite(Algorithm::A2c, strategy)
+}
+
+#[test]
+fn one_step_matches_single_process_mean_gradient() {
+    let mut cfg = lite(Strategy::SyncIsw);
+    cfg.iterations = 1;
+    cfg.target_reward = None;
+    let cosim = run_cosim(&cfg);
+    assert_eq!(cosim.iterations, 1);
+    assert_eq!(cosim.updates, 1);
+
+    // Single-process reference: same agents, same shared initial weights,
+    // mean gradient applied through the same optimizer.
+    let mut agents: Vec<_> = (0..cfg.workers)
+        .map(|w| make_lite_agent_scaled(cfg.algorithm, cfg.seed.wrapping_add(w as u64), 1.0))
+        .collect();
+    let mut params = agents[0].params();
+    for a in agents.iter_mut().skip(1) {
+        a.set_params(&params);
+    }
+    let grads: Vec<Vec<f32>> = agents.iter_mut().map(|a| a.compute_gradient()).collect();
+    let n = grads.len() as f32;
+    let mean: Vec<f32> = (0..params.len())
+        .map(|i| grads.iter().map(|g| g[i]).sum::<f32>() / n)
+        .collect();
+    let mut opt = agents[0].make_optimizer();
+    opt.step(&mut params, &mean);
+
+    assert_eq!(cosim.params.len(), params.len());
+    let worst = cosim
+        .params
+        .iter()
+        .zip(&params)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    // The switch sums segment-by-segment in arrival order; the reference
+    // sums worker-by-worker. Only f32 rounding may differ.
+    assert!(
+        worst <= 1e-4,
+        "co-sim weights diverged from the mean-gradient reference: {worst}"
+    );
+    let moved = cosim
+        .params
+        .iter()
+        .zip(&agents[0].params())
+        .any(|(a, b)| a != b);
+    assert!(moved, "one aggregated step must change the weights");
+}
+
+#[test]
+fn cosim_is_deterministic() {
+    let mut cfg = lite(Strategy::SyncIsw);
+    cfg.iterations = 40;
+    cfg.target_reward = None;
+    let a = run_cosim(&cfg);
+    let b = run_cosim(&cfg);
+    assert_eq!(a.params, b.params);
+    assert_eq!(a.curve, b.curve);
+    assert_eq!(a.per_iteration, b.per_iteration);
+}
+
+#[test]
+fn sync_cosim_reaches_grid_world_target() {
+    // The acceptance bar: A2C on the lite grid world, three workers,
+    // synchronous iSwitch — real gradients through the datapath reach the
+    // same target convergence mode reaches.
+    let r = run_cosim(&lite(Strategy::SyncIsw));
+    assert!(
+        r.reached_target,
+        "co-sim A2C should reach {} (got {} after {} iterations)",
+        0.2, r.final_average_reward, r.iterations
+    );
+    assert!(!r.curve.is_empty(), "reward curve should be recorded");
+    assert!(
+        r.per_iteration > iswitch_netsim::SimDuration::ZERO,
+        "timing falls out of the same run"
+    );
+}
+
+#[test]
+fn async_cosim_applies_partial_aggregates() {
+    let mut cfg = lite(Strategy::AsyncIsw);
+    cfg.iterations = 30;
+    cfg.target_reward = None;
+    let r = run_cosim(&cfg);
+    assert!(r.iterations >= 30, "worker 0 should observe 30 updates");
+    assert!(r.updates >= 30);
+    assert!(!r.params.is_empty());
+}

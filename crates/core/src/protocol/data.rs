@@ -260,6 +260,137 @@ impl GradientAssembler {
     }
 }
 
+/// Outcome of feeding one segment to a [`RoundAssembler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundInsert {
+    /// Segment belongs to a different round (or is malformed); ignored.
+    Stale,
+    /// Segment index already received this round (or the round already
+    /// completed); ignored.
+    Duplicate,
+    /// Segment accepted; the round is still missing others.
+    Accepted,
+    /// Segment accepted and the round is now complete.
+    Completed,
+}
+
+/// Round-scoped reassembly of broadcast aggregation results.
+///
+/// Wraps the bookkeeping every iSwitch worker needs around incoming result
+/// segments: filtering stale rounds (expired flushes, duplicate `Help`
+/// replies), deduplicating re-broadcast segments, tracking which indices
+/// are still missing for loss recovery — and, when constructed with
+/// `store_values`, buffering the actual aggregated f32 values so the mean
+/// gradient can be recovered (the co-simulation fidelity path). Timing-mode
+/// workers skip value storage: arrival bookkeeping alone determines when an
+/// iteration completes.
+#[derive(Debug, Clone)]
+pub struct RoundAssembler {
+    grad_len: usize,
+    /// `Some(r)`: accept only segments tagged with round `r` (mod 2^16).
+    /// `None`: accept any round tag (the asynchronous pipeline, where
+    /// contributions are not round-aligned).
+    round: Option<u32>,
+    values: Option<GradientAssembler>,
+    store_values: bool,
+    received: Vec<bool>,
+    pending: usize,
+    done: bool,
+}
+
+impl RoundAssembler {
+    /// An assembler for `grad_len`-element vectors. With `store_values`,
+    /// aggregated values are buffered and [`RoundAssembler::take_mean`]
+    /// yields the count-weighted mean after completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad_len` is zero.
+    pub fn new(grad_len: usize, store_values: bool) -> Self {
+        assert!(grad_len > 0, "gradient length must be positive");
+        let n = num_segments(grad_len);
+        RoundAssembler {
+            grad_len,
+            round: None,
+            values: store_values.then(|| GradientAssembler::new(grad_len)),
+            store_values,
+            received: vec![false; n],
+            pending: n,
+            done: false,
+        }
+    }
+
+    /// Resets for a new round. `round` of `None` accepts any round tag.
+    pub fn begin_round(&mut self, round: Option<u32>) {
+        self.round = round;
+        self.received.fill(false);
+        self.pending = self.received.len();
+        self.done = false;
+        if self.store_values {
+            self.values = Some(GradientAssembler::new(self.grad_len));
+        }
+    }
+
+    /// Whether the current round has completed.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Segments received so far this round.
+    pub fn received_count(&self) -> usize {
+        self.received.len() - self.pending
+    }
+
+    /// Spatial indices of segments not yet received this round.
+    pub fn missing(&self) -> Vec<u64> {
+        self.received
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !**r)
+            .map(|(i, _)| i as u64)
+            .collect()
+    }
+
+    /// Feeds one received segment.
+    pub fn insert(&mut self, seg: &DataSegment) -> RoundInsert {
+        if let Some(round) = self.round {
+            if seg_round(seg.seg) != round & 0xFFFF {
+                return RoundInsert::Stale;
+            }
+        }
+        let idx = seg_index(seg.seg) as usize;
+        if idx >= self.received.len() {
+            return RoundInsert::Stale;
+        }
+        if self.done || self.received[idx] {
+            return RoundInsert::Duplicate;
+        }
+        if let Some(asm) = &mut self.values {
+            if asm.insert(seg).is_err() {
+                return RoundInsert::Stale; // malformed payload length
+            }
+        }
+        self.received[idx] = true;
+        self.pending -= 1;
+        if self.pending == 0 {
+            self.done = true;
+            RoundInsert::Completed
+        } else {
+            RoundInsert::Accepted
+        }
+    }
+
+    /// Takes the count-weighted mean of the completed round, when values
+    /// were stored. Returns `None` for bookkeeping-only assemblers or
+    /// incomplete rounds.
+    pub fn take_mean(&mut self) -> Option<Vec<f32>> {
+        if !self.done {
+            return None;
+        }
+        self.values.take().map(GradientAssembler::into_mean)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -393,5 +524,62 @@ mod tests {
             asm.insert(s).unwrap();
         }
         assert_eq!(asm.into_mean(), grad);
+    }
+
+    #[test]
+    fn round_assembler_filters_stale_rounds_and_duplicates() {
+        let len = FLOATS_PER_SEGMENT * 2 + 10;
+        let grad = vec![1.0f32; len];
+        let mut asm = RoundAssembler::new(len, false);
+        asm.begin_round(Some(5));
+
+        // A segment from round 4 is stale.
+        let stale = &segment_gradient_round(&grad, 4)[0];
+        assert_eq!(asm.insert(stale), RoundInsert::Stale);
+        assert_eq!(asm.received_count(), 0);
+
+        let segs = segment_gradient_round(&grad, 5);
+        assert_eq!(asm.insert(&segs[0]), RoundInsert::Accepted);
+        assert_eq!(asm.insert(&segs[0]), RoundInsert::Duplicate);
+        assert_eq!(asm.missing(), vec![1, 2]);
+        assert_eq!(asm.insert(&segs[1]), RoundInsert::Accepted);
+        assert_eq!(asm.insert(&segs[2]), RoundInsert::Completed);
+        assert!(asm.is_done());
+        // Everything after completion is a duplicate until the next round.
+        assert_eq!(asm.insert(&segs[1]), RoundInsert::Duplicate);
+        // Bookkeeping-only assembler has no values to return.
+        assert_eq!(asm.take_mean(), None);
+
+        asm.begin_round(Some(6));
+        assert!(!asm.is_done());
+        assert_eq!(asm.received_count(), 0);
+    }
+
+    #[test]
+    fn round_assembler_recovers_count_weighted_mean() {
+        let len = FLOATS_PER_SEGMENT + 3;
+        let summed = vec![6.0f32; len];
+        let mut asm = RoundAssembler::new(len, true);
+        asm.begin_round(Some(0));
+        for mut seg in segment_gradient_round(&summed, 0) {
+            seg.count = 3; // aggregated over three workers
+            asm.insert(&seg);
+        }
+        let mean = asm.take_mean().expect("complete with values");
+        assert!(mean.iter().all(|&v| (v - 2.0).abs() < 1e-6));
+        // The mean is consumed; a new round stores fresh values.
+        assert_eq!(asm.take_mean(), None);
+    }
+
+    #[test]
+    fn round_assembler_any_round_mode_accepts_mixed_tags() {
+        let len = FLOATS_PER_SEGMENT + 1;
+        let grad = vec![1.0f32; len];
+        let mut asm = RoundAssembler::new(len, false);
+        asm.begin_round(None);
+        let r0 = segment_gradient_round(&grad, 0);
+        let r7 = segment_gradient_round(&grad, 7);
+        assert_eq!(asm.insert(&r0[0]), RoundInsert::Accepted);
+        assert_eq!(asm.insert(&r7[1]), RoundInsert::Completed);
     }
 }

@@ -40,6 +40,7 @@ mod env;
 pub mod envs;
 mod model_zoo;
 mod replay;
+mod replica;
 
 pub use algo::{
     discounted_returns, gae, normalize, standard_normal, A2cAgent, A2cConfig, Agent, ConvFront,
@@ -52,3 +53,4 @@ pub use model_zoo::{
     paper_a2c, paper_ddpg, paper_dqn, paper_model, paper_ppo, Algorithm, ModelSpec,
 };
 pub use replay::{ReplayBuffer, Transition};
+pub use replica::LocalReplica;

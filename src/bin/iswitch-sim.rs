@@ -12,8 +12,10 @@ use std::process::exit;
 
 use iswitch::cluster::experiments::{fig15, Scale};
 use iswitch::cluster::{
-    run_convergence, run_timing, run_timing_observed, ConvergenceConfig, Strategy, TimingConfig,
+    run_convergence, run_cosim, run_timing, run_timing_observed, ConvergenceConfig, CosimConfig,
+    Strategy, TimingConfig,
 };
+use iswitch::obs::JsonValue;
 use iswitch::rl::Algorithm;
 
 const USAGE: &str = "\
@@ -36,6 +38,11 @@ OPTIONS:
                                        per rack (default: single switch)
     --per-agg <F>                      with --per-rack, group F racks per
                                        aggregation switch (3-level tree)
+    --fidelity <timing|cosim>          timing: synthetic payloads, timing
+                                       only (default); cosim: real agent
+                                       gradients summed by the simulated
+                                       switch — reward curve AND timing
+                                       from one run (isw strategies only)
     --iterations <N>                   timing iterations (default: 20)
     --max-iterations <N>               convergence cap (default: per-algorithm)
     --seed <N>                         RNG seed (default: 42)
@@ -103,9 +110,100 @@ fn write_artifact(path: &str, contents: &str) {
     });
 }
 
+fn cmd_cosim(args: &[String], alg: Algorithm, strategy: Strategy) {
+    if !matches!(strategy, Strategy::SyncIsw | Strategy::AsyncIsw) {
+        eprintln!(
+            "--fidelity cosim drives gradients through the in-switch \
+             datapath; pick --strategy isw or async-isw"
+        );
+        exit(2);
+    }
+    let mut cfg = CosimConfig::lite(alg, strategy);
+    if let Some(w) = parse_usize(args, "--workers") {
+        cfg.workers = w;
+    }
+    if let Some(n) = parse_usize(args, "--iterations") {
+        cfg.iterations = n;
+    }
+    if let Some(s) = parse_usize(args, "--seed") {
+        cfg.seed = s as u64;
+    }
+    println!(
+        "co-simulating {} / {} with {} workers (target reward {:?})…",
+        alg,
+        strategy.label(),
+        cfg.workers,
+        cfg.target_reward
+    );
+    let r = run_cosim(&cfg);
+    let stride = (r.curve.len() / 20).max(1);
+    for (i, (update, reward)) in r.curve.iter().enumerate() {
+        if i % stride == 0 || i + 1 == r.curve.len() {
+            println!("  update {update:>6}  reward {reward:>9.3}");
+        }
+    }
+    println!(
+        "{} after {} iterations ({} updates); final average reward {:.3}",
+        if r.reached_target {
+            "reached target"
+        } else {
+            "hit the budget"
+        },
+        r.iterations,
+        r.updates,
+        r.final_average_reward
+    );
+    println!("per-iteration time : {}", r.per_iteration);
+    if let Some(path) = parse_flag(args, "--metrics-out") {
+        let mut doc = JsonValue::empty_object();
+        doc.insert("artifact", JsonValue::Str("cosim".to_owned()));
+        doc.insert("algorithm", JsonValue::Str(alg.to_string()));
+        doc.insert("strategy", JsonValue::Str(strategy.label().to_owned()));
+        doc.insert("workers", JsonValue::UInt(cfg.workers as u64));
+        doc.insert("iterations", JsonValue::UInt(r.iterations as u64));
+        doc.insert("updates", JsonValue::UInt(r.updates));
+        doc.insert("reached_target", JsonValue::Bool(r.reached_target));
+        doc.insert(
+            "final_average_reward",
+            JsonValue::Float(f64::from(r.final_average_reward)),
+        );
+        doc.insert(
+            "per_iteration_ns",
+            JsonValue::UInt(r.per_iteration.as_nanos()),
+        );
+        doc.insert(
+            "curve",
+            JsonValue::Array(
+                r.curve
+                    .iter()
+                    .map(|&(u, reward)| {
+                        let mut pt = JsonValue::empty_object();
+                        pt.insert("update", JsonValue::UInt(u));
+                        pt.insert("reward", JsonValue::Float(f64::from(reward)));
+                        pt
+                    })
+                    .collect(),
+            ),
+        );
+        write_artifact(&path, &format!("{}\n", doc.render()));
+        println!("metrics written to {path}");
+    }
+}
+
 fn cmd_timing(args: &[String]) {
     let alg = parse_algorithm(args);
     let strategy = parse_strategy(args);
+    match parse_flag(args, "--fidelity").as_deref() {
+        None | Some("timing") => {}
+        Some("cosim") => {
+            cmd_cosim(args, alg, strategy);
+            return;
+        }
+        Some(other) => {
+            eprintln!("unknown fidelity `{other}` (expected `timing` or `cosim`)");
+            exit(2);
+        }
+    }
     let mut cfg = TimingConfig::main_cluster(alg, strategy);
     if let Some(w) = parse_usize(args, "--workers") {
         cfg.workers = w;
