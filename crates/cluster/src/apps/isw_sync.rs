@@ -30,8 +30,19 @@ pub struct IswSyncProto {
     help_timeout: Option<SimDuration>,
     retry: IterationTokens,
     stall: StallTracker,
+    /// Whether this round's contribution has been pushed yet. A partial
+    /// flush can complete the round *before* we push (other workers plus
+    /// the switch's stale-flush sweep); the completion is then held until
+    /// the send fires so the iteration phases stay well-formed.
+    sent: bool,
     /// `Help` requests issued (loss-recovery activity).
     pub help_requests: u64,
+    /// Deliberately-broken recovery mode for the chaos harness: on retry,
+    /// blindly re-push the whole gradient instead of asking the switch for
+    /// `Help`. The accelerator counts *packets*, not sources, so a
+    /// retransmitted contribution double-counts — the gradient-conservation
+    /// invariant must catch this.
+    naive_retransmit: bool,
 }
 
 impl IswSyncProto {
@@ -42,8 +53,20 @@ impl IswSyncProto {
             help_timeout: None,
             retry: IterationTokens::new(T_RETRY_BASE),
             stall: StallTracker::new(),
+            sent: false,
             help_requests: 0,
+            naive_retransmit: false,
         }
+    }
+
+    /// The completed round's outcome (aggregate + timing tail).
+    fn outcome(&mut self, rt: &mut Rt<'_, '_, '_>) -> ProtoEvent {
+        let update_tail = rt.phase_recv_cost() + rt.draw_weight_update();
+        ProtoEvent::Complete(RoundOutcome {
+            aggregate: self.asm.take_mean(),
+            agg_delay: SimDuration::ZERO,
+            update_tail,
+        })
     }
 }
 
@@ -56,6 +79,7 @@ impl StrategyProtocol for IswSyncProto {
 
     fn begin_round(&mut self, iter: u32) {
         self.asm.begin_round(Some(iter));
+        self.sent = false;
     }
 
     fn start_round(&mut self, rt: &mut Rt<'_, '_, '_>) {
@@ -71,6 +95,15 @@ impl StrategyProtocol for IswSyncProto {
             for pkt in pkts {
                 rt.send(pkt);
             }
+            self.sent = true;
+            // The round may already be complete: a partial flush of the
+            // other workers' contributions can land while we were still
+            // computing. Emit the held completion now that the phases line
+            // up (our late contribution is harmless — round tags keep it
+            // out of newer rounds).
+            if self.asm.is_done() {
+                return self.outcome(rt);
+            }
             if let Some(timeout) = self.help_timeout {
                 self.stall.rearm();
                 rt.set_timer(timeout, self.retry.arm(rt.iter()));
@@ -80,6 +113,19 @@ impl StrategyProtocol for IswSyncProto {
         // Only act if the iteration that armed this timer is still waiting
         // on its result.
         if !self.retry.accept(token, rt.iter()) || self.asm.is_done() {
+            return ProtoEvent::None;
+        }
+        if self.naive_retransmit {
+            // The "obvious" recovery a reader might reach for — and exactly
+            // what the paper's Help/FBcast design avoids: the switch cannot
+            // tell a retransmission from a fresh contribution.
+            let pkts = gradient_packets_round(rt.ip(), rt.source.gradient(), rt.iter());
+            for pkt in pkts {
+                rt.send(pkt);
+            }
+            if let Some(timeout) = self.help_timeout {
+                rt.set_timer(timeout, self.retry.arm(rt.iter()));
+            }
             return ProtoEvent::None;
         }
         // A lost *result* is recovered from the switch's cache (Help). A
@@ -116,14 +162,9 @@ impl StrategyProtocol for IswSyncProto {
             return ProtoEvent::None;
         };
         match self.asm.insert(&seg) {
-            RoundInsert::Completed => {
-                let update_tail = rt.phase_recv_cost() + rt.draw_weight_update();
-                ProtoEvent::Complete(RoundOutcome {
-                    aggregate: self.asm.take_mean(),
-                    agg_delay: SimDuration::ZERO,
-                    update_tail,
-                })
-            }
+            // A round that completes before our own push (a partial flush
+            // while we were computing) is held; `P_SEND` emits it.
+            RoundInsert::Completed if self.sent => self.outcome(rt),
             _ => ProtoEvent::None,
         }
     }
@@ -180,5 +221,16 @@ impl IswSyncWorker {
     /// `Help` requests issued (loss-recovery activity).
     pub fn help_requests(&self) -> u64 {
         self.protocol().help_requests
+    }
+
+    /// **Chaos-harness only**: replaces `Help`/`FBcast` loss recovery with
+    /// naive whole-gradient retransmission. This is deliberately wrong —
+    /// the in-switch accelerator counts packets, not sources, so a
+    /// retransmitted contribution is double-counted. Used to prove the
+    /// gradient-conservation invariant actually trips on a real protocol
+    /// bug.
+    pub fn with_naive_retransmit(mut self) -> Self {
+        self.protocol_mut().naive_retransmit = true;
+        self
     }
 }

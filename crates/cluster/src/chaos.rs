@@ -1,0 +1,1066 @@
+//! Chaos harness: seeded random fault schedules driven through the
+//! fault-injection subsystem, with protocol invariants checked over the
+//! recorded run.
+//!
+//! A [`ChaosSchedule`] is a worker-indexed list of timed fault windows —
+//! edge-link outages, loss-rate windows, latency spikes. [`run_chaos`]
+//! resolves it against the built topology into a netsim
+//! [`FaultPlan`](iswitch_netsim::FaultPlan), runs the strategy under it,
+//! and then checks:
+//!
+//! * **I1 gradient conservation** (`SyncIsw`, value-level): every segment
+//!   of every aggregate a worker applied for round `r` equals the mean of
+//!   some non-empty subset of the workers' round-`r` gradients over that
+//!   segment, each worker counted at most once. (Per segment, because the
+//!   accelerator aggregates — and partially flushes — at segment
+//!   granularity; different segments of one round may complete with
+//!   different contributor subsets.) Partial flushes pass; double-counted
+//!   retransmissions fail.
+//! * **I2 sync barrier**: every synchronous worker completes exactly the
+//!   configured number of iterations — faults cost latency, not rounds.
+//! * **I3 staleness bound**: no asynchronous gradient commits at staleness
+//!   above `S`.
+//! * **I4 update consistency** (`SyncIsw`): each worker applies exactly one
+//!   aggregate per completed iteration — none lost, none duplicated.
+//! * **I5 determinism**: the rendered [`ChaosReport`] is a pure function
+//!   of the config — two runs with the same seeds are byte-identical
+//!   (asserted by callers comparing two runs' reports).
+//!
+//! Schedules are strategy-aware: only the synchronous iSwitch strategy has
+//! the paper's `Help`/`FBcast` loss recovery, so only its schedule draws
+//! link-down and loss windows; the other strategies (and the async
+//! pipeline, which has no retransmission path) get latency spikes, which
+//! every protocol must absorb.
+
+use std::any::Any;
+
+use iswitch_core::FLOATS_PER_SEGMENT;
+use iswitch_netsim::{
+    build_star, host_ip, FaultAction, FaultPlan, Host, HostApp, LinkId, LossModel, SimDuration,
+    SimTime, Simulator,
+};
+use iswitch_obs::JsonValue;
+use iswitch_rl::{make_lite_agent_scaled, paper_model, Algorithm, LocalReplica};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::apps::{
+    AsyncPsServer, AsyncPsWorker, IswAsyncWorker, IswSyncWorker, RingWorker, SyncPsServer,
+    SyncPsWorker,
+};
+use crate::compute_model::ComputeModel;
+use crate::gradient_source::{AgentGradients, GradientSource};
+use crate::timing_runner::{build_isw_topology, Strategy, TimingConfig};
+
+/// One timed fault window targeting a worker's access link.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosFault {
+    /// The worker's edge link goes down for `duration` (host
+    /// crash/partition); every packet in either direction is dropped.
+    EdgeDown {
+        /// Worker index.
+        worker: usize,
+        /// Window start.
+        at: SimDuration,
+        /// Window length.
+        duration: SimDuration,
+    },
+    /// The worker's edge link drops packets with `probability` for
+    /// `duration`.
+    EdgeLoss {
+        /// Worker index.
+        worker: usize,
+        /// Window start.
+        at: SimDuration,
+        /// Window length.
+        duration: SimDuration,
+        /// Per-packet drop probability inside the window.
+        probability: f64,
+    },
+    /// The worker's edge link gains `extra` one-way delay for `duration`.
+    DelaySpike {
+        /// Worker index.
+        worker: usize,
+        /// Window start.
+        at: SimDuration,
+        /// Window length.
+        duration: SimDuration,
+        /// Extra per-packet delay inside the window.
+        extra: SimDuration,
+    },
+}
+
+impl ChaosFault {
+    fn worker(&self) -> usize {
+        match *self {
+            ChaosFault::EdgeDown { worker, .. }
+            | ChaosFault::EdgeLoss { worker, .. }
+            | ChaosFault::DelaySpike { worker, .. } => worker,
+        }
+    }
+}
+
+/// A worker-indexed fault schedule — the user-facing form of a fault plan,
+/// resolved to concrete link ids only after the topology is built.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChaosSchedule {
+    /// Fault windows, applied in order of their start times.
+    pub faults: Vec<ChaosFault>,
+}
+
+impl ChaosSchedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        ChaosSchedule::default()
+    }
+
+    /// Serializes the schedule as a deterministic JSON document:
+    ///
+    /// ```json
+    /// {"faults":[
+    ///   {"kind":"edge_down","worker":0,"at_ns":1000,"duration_ns":500},
+    ///   {"kind":"edge_loss","worker":1,"at_ns":2000,"duration_ns":500,
+    ///    "probability":0.5},
+    ///   {"kind":"delay_spike","worker":2,"at_ns":3000,"duration_ns":500,
+    ///    "extra_ns":100}
+    /// ]}
+    /// ```
+    pub fn to_json(&self) -> JsonValue {
+        let faults = self
+            .faults
+            .iter()
+            .map(|f| {
+                let mut o = JsonValue::empty_object();
+                match *f {
+                    ChaosFault::EdgeDown {
+                        worker,
+                        at,
+                        duration,
+                    } => {
+                        o.insert("kind", JsonValue::Str("edge_down".into()));
+                        o.insert("worker", JsonValue::UInt(worker as u64));
+                        o.insert("at_ns", JsonValue::UInt(at.as_nanos()));
+                        o.insert("duration_ns", JsonValue::UInt(duration.as_nanos()));
+                    }
+                    ChaosFault::EdgeLoss {
+                        worker,
+                        at,
+                        duration,
+                        probability,
+                    } => {
+                        o.insert("kind", JsonValue::Str("edge_loss".into()));
+                        o.insert("worker", JsonValue::UInt(worker as u64));
+                        o.insert("at_ns", JsonValue::UInt(at.as_nanos()));
+                        o.insert("duration_ns", JsonValue::UInt(duration.as_nanos()));
+                        o.insert("probability", JsonValue::Float(probability));
+                    }
+                    ChaosFault::DelaySpike {
+                        worker,
+                        at,
+                        duration,
+                        extra,
+                    } => {
+                        o.insert("kind", JsonValue::Str("delay_spike".into()));
+                        o.insert("worker", JsonValue::UInt(worker as u64));
+                        o.insert("at_ns", JsonValue::UInt(at.as_nanos()));
+                        o.insert("duration_ns", JsonValue::UInt(duration.as_nanos()));
+                        o.insert("extra_ns", JsonValue::UInt(extra.as_nanos()));
+                    }
+                }
+                o
+            })
+            .collect();
+        let mut root = JsonValue::empty_object();
+        root.insert("faults", JsonValue::Array(faults));
+        root
+    }
+
+    /// Parses a schedule from the JSON produced by
+    /// [`ChaosSchedule::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string on malformed JSON or unknown/incomplete
+    /// fault kinds.
+    pub fn from_json(text: &str) -> Result<ChaosSchedule, String> {
+        let doc = JsonValue::parse(text).map_err(|e| e.to_string())?;
+        let faults = doc
+            .get("faults")
+            .and_then(JsonValue::as_array)
+            .ok_or("chaos schedule needs a \"faults\" array")?;
+        let mut out = ChaosSchedule::new();
+        for (i, f) in faults.iter().enumerate() {
+            let field = |name: &str| -> Result<u64, String> {
+                f.get(name)
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| format!("fault {i}: missing {name:?}"))
+            };
+            let worker = field("worker")? as usize;
+            let at = SimDuration::from_nanos(field("at_ns")?);
+            let duration = SimDuration::from_nanos(field("duration_ns")?);
+            let fault = match f.get("kind").and_then(JsonValue::as_str) {
+                Some("edge_down") => ChaosFault::EdgeDown {
+                    worker,
+                    at,
+                    duration,
+                },
+                Some("edge_loss") => ChaosFault::EdgeLoss {
+                    worker,
+                    at,
+                    duration,
+                    probability: f
+                        .get("probability")
+                        .and_then(JsonValue::as_f64)
+                        .ok_or_else(|| format!("fault {i}: missing \"probability\""))?,
+                },
+                Some("delay_spike") => ChaosFault::DelaySpike {
+                    worker,
+                    at,
+                    duration,
+                    extra: SimDuration::from_nanos(field("extra_ns")?),
+                },
+                other => return Err(format!("fault {i}: unknown kind {other:?}")),
+            };
+            out.faults.push(fault);
+        }
+        Ok(out)
+    }
+
+    /// Resolves worker indices to link ids, producing the engine-level
+    /// fault plan. Each window becomes an apply/restore action pair.
+    fn resolve(&self, worker_links: &[LinkId], loss_seed: u64) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        for (i, f) in self.faults.iter().enumerate() {
+            let link = worker_links[f.worker()];
+            match *f {
+                ChaosFault::EdgeDown { at, duration, .. } => {
+                    plan.push(SimTime::ZERO + at, FaultAction::LinkDown { link });
+                    plan.push(SimTime::ZERO + at + duration, FaultAction::LinkUp { link });
+                }
+                ChaosFault::EdgeLoss {
+                    at,
+                    duration,
+                    probability,
+                    ..
+                } => {
+                    plan.push(
+                        SimTime::ZERO + at,
+                        FaultAction::SetLinkLoss {
+                            link,
+                            loss: LossModel::Random {
+                                probability,
+                                seed: loss_seed.wrapping_add(i as u64),
+                            },
+                        },
+                    );
+                    plan.push(
+                        SimTime::ZERO + at + duration,
+                        FaultAction::SetLinkLoss {
+                            link,
+                            loss: LossModel::None,
+                        },
+                    );
+                }
+                ChaosFault::DelaySpike {
+                    at,
+                    duration,
+                    extra,
+                    ..
+                } => {
+                    plan.push(SimTime::ZERO + at, FaultAction::DelaySpike { link, extra });
+                    plan.push(
+                        SimTime::ZERO + at + duration,
+                        FaultAction::ClearDelaySpike { link },
+                    );
+                }
+            }
+        }
+        plan
+    }
+}
+
+/// Generates the seeded random schedule for one strategy: a pure function
+/// of `(strategy, workers, horizon, chaos_seed)`. Only `SyncIsw` draws
+/// outage and loss windows (it has the paper's recovery machinery); every
+/// other strategy gets latency spikes.
+pub fn generate_schedule(
+    strategy: Strategy,
+    workers: usize,
+    horizon: SimDuration,
+    chaos_seed: u64,
+) -> ChaosSchedule {
+    assert!(workers > 0, "need at least one worker to torment");
+    let mut rng = StdRng::seed_from_u64(chaos_seed ^ 0xC4A0_5EED);
+    let span = horizon.as_nanos().max(1_000_000);
+    let n_faults = rng.gen_range(4..7);
+    let mut schedule = ChaosSchedule::new();
+    for _ in 0..n_faults {
+        let worker = rng.gen_range(0..workers);
+        let at = SimDuration::from_nanos(rng.gen_range(span / 20..span / 2));
+        let duration = SimDuration::from_nanos(rng.gen_range(span / 100..span / 10));
+        let spike = |rng: &mut StdRng| SimDuration::from_micros(rng.gen_range(50..2_000));
+        let fault = if strategy == Strategy::SyncIsw {
+            match rng.gen_range(0..3u32) {
+                0 => ChaosFault::EdgeDown {
+                    worker,
+                    at,
+                    duration,
+                },
+                1 => ChaosFault::EdgeLoss {
+                    worker,
+                    at,
+                    duration,
+                    probability: rng.gen_range(0.2..0.8),
+                },
+                _ => ChaosFault::DelaySpike {
+                    worker,
+                    at,
+                    duration,
+                    extra: spike(&mut rng),
+                },
+            }
+        } else {
+            ChaosFault::DelaySpike {
+                worker,
+                at,
+                duration,
+                extra: spike(&mut rng),
+            }
+        };
+        schedule.faults.push(fault);
+    }
+    schedule.faults.sort_by_key(|f| match *f {
+        ChaosFault::EdgeDown { at, .. }
+        | ChaosFault::EdgeLoss { at, .. }
+        | ChaosFault::DelaySpike { at, .. } => at,
+    });
+    schedule
+}
+
+/// Configuration of one chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Benchmark algorithm (fixes the model and compute costs).
+    pub algorithm: Algorithm,
+    /// Strategy under test — any of the five.
+    pub strategy: Strategy,
+    /// Number of workers.
+    pub workers: usize,
+    /// Iteration budget (sync: iterations per worker; async: weight
+    /// updates observed at the probe).
+    pub iterations: usize,
+    /// Staleness bound `S` for asynchronous strategies.
+    pub staleness_bound: u32,
+    /// Base seed for agents and timing jitter.
+    pub seed: u64,
+    /// Seed driving the generated fault schedule (and any loss-window
+    /// RNGs).
+    pub chaos_seed: u64,
+    /// Horizon the generated schedule spreads its windows over.
+    pub horizon: SimDuration,
+    /// Explicit schedule; `None` generates one from `chaos_seed`.
+    pub schedule: Option<ChaosSchedule>,
+    /// **Deliberately broken** recovery for the harness self-test: sync
+    /// iSwitch workers re-push their whole gradient on retry instead of
+    /// sending `Help`. The conservation invariant must trip on this.
+    pub naive_retransmit: bool,
+}
+
+impl ChaosConfig {
+    /// A small chaos run: 3 workers, 10 iterations, schedule from
+    /// `chaos_seed`.
+    pub fn new(algorithm: Algorithm, strategy: Strategy, chaos_seed: u64) -> Self {
+        ChaosConfig {
+            algorithm,
+            strategy,
+            workers: 3,
+            iterations: 10,
+            staleness_bound: 3,
+            seed: 0xC4A05,
+            chaos_seed,
+            horizon: SimDuration::from_millis(400),
+            schedule: None,
+            naive_retransmit: false,
+        }
+    }
+}
+
+/// Outcome of one chaos run: what happened, and every invariant violation
+/// found. Rendering [`ChaosReport::to_json`] is deterministic — the
+/// same-seed byte-identity artifact.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Strategy label.
+    pub strategy: Strategy,
+    /// Schedule seed.
+    pub chaos_seed: u64,
+    /// The schedule that ran (generated or explicit).
+    pub schedule: ChaosSchedule,
+    /// Fault actions the engine applied.
+    pub faults_applied: u64,
+    /// Iterations (sync) or updates (async) completed per worker.
+    pub completed: Vec<usize>,
+    /// Rounds value-checked against the conservation invariant.
+    pub rounds_checked: usize,
+    /// `Help` recovery requests issued across workers (sync iSwitch).
+    pub help_requests: u64,
+    /// FNV-1a fingerprint of worker 0's final weights (iSwitch co-sim
+    /// strategies; 0 otherwise).
+    pub params_fingerprint: u64,
+    /// Invariant violations, in deterministic order. Empty means the run
+    /// passed.
+    pub violations: Vec<String>,
+}
+
+impl ChaosReport {
+    /// Whether every invariant held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders the report as one deterministic JSON document.
+    pub fn to_json(&self) -> JsonValue {
+        let mut root = JsonValue::empty_object();
+        root.insert("strategy", JsonValue::Str(self.strategy.label().into()));
+        root.insert("chaos_seed", JsonValue::UInt(self.chaos_seed));
+        root.insert("schedule", self.schedule.to_json());
+        root.insert("faults_applied", JsonValue::UInt(self.faults_applied));
+        root.insert(
+            "completed",
+            JsonValue::Array(
+                self.completed
+                    .iter()
+                    .map(|&c| JsonValue::UInt(c as u64))
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "rounds_checked",
+            JsonValue::UInt(self.rounds_checked as u64),
+        );
+        root.insert("help_requests", JsonValue::UInt(self.help_requests));
+        root.insert(
+            "params_fingerprint",
+            JsonValue::UInt(self.params_fingerprint),
+        );
+        root.insert(
+            "violations",
+            JsonValue::Array(
+                self.violations
+                    .iter()
+                    .map(|v| JsonValue::Str(v.clone()))
+                    .collect(),
+            ),
+        );
+        root.insert("passed", JsonValue::Bool(self.passed()));
+        root
+    }
+}
+
+/// Wraps a co-sim gradient source, recording every gradient the worker
+/// computed and every aggregate it applied — the evidence the conservation
+/// invariant is checked against.
+struct RecordingSource {
+    inner: Box<dyn GradientSource>,
+    /// `computed[i]` is the gradient of iteration `i`.
+    computed: Vec<Vec<f32>>,
+    /// `applied[r]` is the aggregate applied for round `r`.
+    applied: Vec<Vec<f32>>,
+}
+
+impl RecordingSource {
+    fn new(inner: Box<dyn GradientSource>) -> Self {
+        RecordingSource {
+            inner,
+            computed: Vec::new(),
+            applied: Vec::new(),
+        }
+    }
+}
+
+impl GradientSource for RecordingSource {
+    fn grad_len(&self) -> usize {
+        self.inner.grad_len()
+    }
+
+    fn wants_values(&self) -> bool {
+        self.inner.wants_values()
+    }
+
+    fn compute(&mut self) {
+        self.inner.compute();
+        self.computed.push(self.inner.gradient().to_vec());
+    }
+
+    fn gradient(&self) -> &[f32] {
+        self.inner.gradient()
+    }
+
+    fn apply_aggregate(&mut self, mean: &[f32]) {
+        self.applied.push(mean.to_vec());
+        self.inner.apply_aggregate(mean);
+    }
+
+    fn params(&self) -> &[f32] {
+        self.inner.params()
+    }
+
+    fn updates_applied(&self) -> u64 {
+        self.inner.updates_applied()
+    }
+
+    fn reward_curve(&self) -> &[(u64, f32)] {
+        self.inner.reward_curve()
+    }
+
+    fn final_average_reward(&self) -> Option<f32> {
+        self.inner.final_average_reward()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Does `applied` equal the mean of some non-empty subset of `candidates`
+/// (each counted at most once)? Sums are f32 like the accelerator's.
+fn matches_some_subset(applied: &[f32], candidates: &[&[f32]]) -> bool {
+    let n = candidates.len();
+    debug_assert!(n <= 16, "subset enumeration is exponential");
+    'mask: for mask in 1u32..(1u32 << n) {
+        let k = mask.count_ones() as f32;
+        for (i, &a) in applied.iter().enumerate() {
+            let mut sum = 0.0f32;
+            for (j, g) in candidates.iter().enumerate() {
+                if mask & (1 << j) != 0 {
+                    sum += g[i];
+                }
+            }
+            let mean = sum / k;
+            if (a - mean).abs() > 1e-3 + 1e-3 * mean.abs() {
+                continue 'mask;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over the bit patterns of a weight vector.
+fn fingerprint(params: &[f32]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for p in params {
+        for b in p.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+/// The schedule a run will use: explicit if given, generated otherwise.
+fn schedule_for(cfg: &ChaosConfig) -> ChaosSchedule {
+    cfg.schedule.clone().unwrap_or_else(|| {
+        generate_schedule(cfg.strategy, cfg.workers, cfg.horizon, cfg.chaos_seed)
+    })
+}
+
+/// Runs one chaos experiment: build the strategy's deployment, install the
+/// fault plan, run to completion, check invariants.
+///
+/// # Panics
+///
+/// Panics on degenerate configurations (zero workers/iterations) and on
+/// schedules naming workers outside the cluster.
+pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
+    assert!(cfg.workers >= 2, "chaos needs at least two workers");
+    assert!(cfg.iterations > 0, "need at least one iteration");
+    let schedule = schedule_for(cfg);
+    for f in &schedule.faults {
+        assert!(
+            f.worker() < cfg.workers,
+            "schedule targets worker {} of {}",
+            f.worker(),
+            cfg.workers
+        );
+    }
+    match cfg.strategy {
+        Strategy::SyncIsw | Strategy::AsyncIsw => run_chaos_isw(cfg, schedule),
+        Strategy::SyncPs | Strategy::SyncAr | Strategy::AsyncPs => run_chaos_plain(cfg, schedule),
+    }
+}
+
+/// iSwitch strategies: co-sim fidelity (live replicas through the in-switch
+/// datapath) so conservation can be checked on actual values.
+fn run_chaos_isw(cfg: &ChaosConfig, schedule: ChaosSchedule) -> ChaosReport {
+    // Identical initial weights, like co-sim mode.
+    let mut replicas: Vec<LocalReplica> = (0..cfg.workers)
+        .map(|w| {
+            LocalReplica::new(make_lite_agent_scaled(
+                cfg.algorithm,
+                cfg.seed.wrapping_add(w as u64),
+                1.0,
+            ))
+        })
+        .collect();
+    let init = replicas[0].params().to_vec();
+    for r in replicas.iter_mut().skip(1) {
+        r.load_params(&init);
+    }
+    let len = replicas[0].param_count();
+
+    let mut tcfg = TimingConfig::main_cluster(cfg.algorithm, cfg.strategy);
+    tcfg.workers = cfg.workers;
+    tcfg.seed = cfg.seed;
+    tcfg.staleness_bound = cfg.staleness_bound;
+    if cfg.strategy == Strategy::SyncIsw {
+        // Arms the switches' stale-flush sweep (partial-round expiry)
+        // without adding any ambient random loss — all loss comes from the
+        // fault plan. The async pipeline sees no loss (delay-only
+        // schedule), so it keeps the sweep off.
+        tcfg.edge_loss = f64::MIN_POSITIVE;
+    }
+    let model = ComputeModel::for_algorithm(cfg.algorithm);
+    let help_timeout = if cfg.naive_retransmit {
+        // The broken-recovery self-test retries aggressively so its
+        // retransmissions land before the switch's stale-flush sweep can
+        // paper over them — the double-count must actually reach an
+        // aggregate.
+        SimDuration::from_micros(500)
+    } else {
+        SimDuration::serialization(len * 4, tcfg.topo.edge.bandwidth_bps) * 3
+            + SimDuration::from_millis(3)
+    };
+
+    let mut sim = Simulator::new();
+    let worker_apps: Vec<Box<dyn HostApp>> = replicas
+        .into_iter()
+        .enumerate()
+        .map(|(w, replica)| {
+            let source = Box::new(RecordingSource::new(Box::new(AgentGradients::new(replica))));
+            let seed = cfg.seed.wrapping_add(w as u64);
+            match cfg.strategy {
+                Strategy::SyncIsw => {
+                    let mut worker = IswSyncWorker::with_source(
+                        source,
+                        1,
+                        cfg.iterations,
+                        model.clone(),
+                        tcfg.comm.clone(),
+                        seed,
+                    )
+                    .with_help_timeout(help_timeout);
+                    if cfg.naive_retransmit {
+                        worker = worker.with_naive_retransmit();
+                    }
+                    Box::new(worker) as Box<dyn HostApp>
+                }
+                Strategy::AsyncIsw => Box::new(IswAsyncWorker::with_source(
+                    source,
+                    1,
+                    model.clone(),
+                    tcfg.comm.clone(),
+                    cfg.staleness_bound,
+                    seed,
+                    None,
+                )) as Box<dyn HostApp>,
+                _ => unreachable!("handled by run_chaos_plain"),
+            }
+        })
+        .collect();
+    let topo = build_isw_topology(&mut sim, worker_apps, &tcfg, len);
+    let plan = schedule.resolve(&topo.worker_links, cfg.chaos_seed);
+    sim.install_fault_plan(&plan);
+
+    // Advance in slices until every worker reaches the budget (sync) or
+    // the probe has seen enough updates (async).
+    let slice = SimDuration::from_millis(200);
+    let mut t = SimTime::ZERO;
+    let mut stalled = true;
+    let progress = |sim: &mut Simulator, node| -> usize {
+        match cfg.strategy {
+            Strategy::SyncIsw => sim.device::<Host>(node).app::<IswSyncWorker>().log().len(),
+            Strategy::AsyncIsw => sim
+                .device::<Host>(node)
+                .app::<IswAsyncWorker>()
+                .update_times()
+                .len(),
+            _ => unreachable!(),
+        }
+    };
+    for _ in 0..10_000 {
+        t += slice;
+        sim.run_until(t);
+        let done = match cfg.strategy {
+            // Sync lockstep: wait for the *slowest* worker so the barrier
+            // invariant is checked at quiescence.
+            Strategy::SyncIsw => topo
+                .workers
+                .iter()
+                .all(|&w| progress(&mut sim, w) >= cfg.iterations),
+            Strategy::AsyncIsw => progress(&mut sim, topo.workers[0]) >= cfg.iterations,
+            _ => unreachable!(),
+        };
+        if done {
+            stalled = false;
+            break;
+        }
+    }
+
+    let mut violations = Vec::new();
+    if stalled {
+        violations.push(format!(
+            "progress: run stalled before {} iterations (reached {:?})",
+            cfg.iterations,
+            topo.workers
+                .iter()
+                .map(|&w| progress(&mut sim, w))
+                .collect::<Vec<_>>()
+        ));
+    }
+
+    let mut completed = Vec::new();
+    let mut rounds_checked = 0;
+    let mut help_requests = 0;
+    match cfg.strategy {
+        Strategy::SyncIsw => {
+            // Pull each worker's recorded evidence out of the simulator.
+            let mut all_computed: Vec<Vec<Vec<f32>>> = Vec::new();
+            let mut all_applied: Vec<Vec<Vec<f32>>> = Vec::new();
+            for &w in &topo.workers {
+                let app = sim.device::<Host>(w).app::<IswSyncWorker>();
+                completed.push(app.log().len());
+                help_requests += app.help_requests();
+                let rec = app
+                    .source()
+                    .as_any()
+                    .downcast_ref::<RecordingSource>()
+                    .expect("chaos workers use RecordingSource");
+                all_computed.push(rec.computed.clone());
+                all_applied.push(rec.applied.clone());
+            }
+            // I2: barrier — every worker completed every iteration.
+            for (w, &c) in completed.iter().enumerate() {
+                if c != cfg.iterations {
+                    violations.push(format!(
+                        "I2 barrier: worker {w} completed {c} of {} iterations",
+                        cfg.iterations
+                    ));
+                }
+            }
+            // I4: one aggregate applied per completed iteration.
+            for (w, applied) in all_applied.iter().enumerate() {
+                if applied.len() != completed[w] {
+                    violations.push(format!(
+                        "I4 updates: worker {w} applied {} aggregates over {} iterations",
+                        applied.len(),
+                        completed[w]
+                    ));
+                }
+            }
+            // I1: conservation — every segment of each applied aggregate
+            // is the mean of a non-empty subset of that round's gradients
+            // over that segment (the accelerator aggregates and flushes at
+            // segment granularity).
+            for (w, applied) in all_applied.iter().enumerate() {
+                for (r, agg) in applied.iter().enumerate() {
+                    let candidates: Vec<&[f32]> = all_computed
+                        .iter()
+                        .filter(|c| c.len() > r)
+                        .map(|c| c[r].as_slice())
+                        .collect();
+                    rounds_checked += 1;
+                    if candidates.is_empty() {
+                        violations.push(format!(
+                            "I1 conservation: worker {w} round {r} applied an aggregate \
+                             no worker computed a gradient for"
+                        ));
+                        continue;
+                    }
+                    for (s, chunk) in agg.chunks(FLOATS_PER_SEGMENT).enumerate() {
+                        let lo = s * FLOATS_PER_SEGMENT;
+                        let seg_cands: Vec<&[f32]> = candidates
+                            .iter()
+                            .map(|c| &c[lo..lo + chunk.len()])
+                            .collect();
+                        if !matches_some_subset(chunk, &seg_cands) {
+                            violations.push(format!(
+                                "I1 conservation: worker {w} round {r} segment {s} applied \
+                                 an aggregate matching no subset of that round's gradients"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Strategy::AsyncIsw => {
+            for &w in &topo.workers {
+                let app = sim.device::<Host>(w).app::<IswAsyncWorker>();
+                completed.push(app.update_times().len());
+                // I3: staleness bound.
+                for (i, &s) in app.staleness().iter().enumerate() {
+                    if s > cfg.staleness_bound {
+                        violations.push(format!(
+                            "I3 staleness: worker commit {i} at staleness {s} > bound {}",
+                            cfg.staleness_bound
+                        ));
+                    }
+                }
+                // I4: the pipeline keeps applying aggregates.
+                if app.source().updates_applied() == 0 {
+                    violations.push("I4 updates: a worker applied no aggregates".into());
+                }
+            }
+        }
+        _ => unreachable!(),
+    }
+
+    let params_fingerprint = {
+        let node = topo.workers[0];
+        let params = match cfg.strategy {
+            Strategy::SyncIsw => sim.device::<Host>(node).app::<IswSyncWorker>().source(),
+            Strategy::AsyncIsw => sim.device::<Host>(node).app::<IswAsyncWorker>().source(),
+            _ => unreachable!(),
+        }
+        .params()
+        .to_vec();
+        fingerprint(&params)
+    };
+    ChaosReport {
+        strategy: cfg.strategy,
+        chaos_seed: cfg.chaos_seed,
+        schedule,
+        faults_applied: sim.stats().faults_applied,
+        completed,
+        rounds_checked,
+        help_requests,
+        params_fingerprint,
+        violations,
+    }
+}
+
+/// Baseline strategies (PS, AR, async PS): timing fidelity on a star, with
+/// latency-spike schedules — these protocols have no loss recovery, so the
+/// harness probes their tolerance to degradation, not loss.
+fn run_chaos_plain(cfg: &ChaosConfig, schedule: ChaosSchedule) -> ChaosReport {
+    let model = paper_model(cfg.algorithm);
+    let bytes = model.bytes() as u64;
+    let messages = model.networks.len() as u64;
+    let compute = ComputeModel::for_algorithm(cfg.algorithm);
+    let tcfg = TimingConfig::main_cluster(cfg.algorithm, cfg.strategy);
+    let srv_ip = host_ip(0, cfg.workers);
+    let worker_ips: Vec<_> = (0..cfg.workers).map(|i| host_ip(0, i)).collect();
+
+    let mut sim = Simulator::new();
+    let mut apps: Vec<Box<dyn HostApp>> = Vec::new();
+    for w in 0..cfg.workers {
+        let seed = cfg.seed.wrapping_add(w as u64);
+        let app: Box<dyn HostApp> = match cfg.strategy {
+            Strategy::SyncPs => Box::new(SyncPsWorker::new(
+                srv_ip,
+                bytes,
+                messages,
+                cfg.iterations,
+                compute.clone(),
+                tcfg.comm.clone(),
+                seed,
+            )),
+            Strategy::SyncAr => Box::new(RingWorker::new(
+                w,
+                cfg.workers,
+                worker_ips[(w + 1) % cfg.workers],
+                bytes,
+                messages,
+                cfg.iterations,
+                compute.clone(),
+                tcfg.comm.clone(),
+                seed,
+            )),
+            Strategy::AsyncPs => Box::new(AsyncPsWorker::new(
+                srv_ip,
+                bytes,
+                messages,
+                compute.clone(),
+                tcfg.comm.clone(),
+                seed,
+                None,
+            )),
+            _ => unreachable!("handled by run_chaos_isw"),
+        };
+        apps.push(app);
+    }
+    let has_server = matches!(cfg.strategy, Strategy::SyncPs | Strategy::AsyncPs);
+    if has_server {
+        let server_seed = cfg.seed.wrapping_add(0xFF);
+        let server: Box<dyn HostApp> = match cfg.strategy {
+            Strategy::SyncPs => Box::new(SyncPsServer::new(
+                worker_ips.clone(),
+                bytes,
+                messages,
+                compute.clone(),
+                tcfg.comm.clone(),
+                server_seed,
+            )),
+            Strategy::AsyncPs => Box::new(AsyncPsServer::new(
+                bytes,
+                messages,
+                compute.clone(),
+                tcfg.comm.clone(),
+                cfg.staleness_bound,
+                server_seed,
+            )),
+            _ => unreachable!(),
+        };
+        apps.push(server);
+    }
+    let star = build_star(&mut sim, apps, None, &tcfg.topo);
+    let plan = schedule.resolve(&star.host_links[..cfg.workers], cfg.chaos_seed);
+    sim.install_fault_plan(&plan);
+
+    let mut violations = Vec::new();
+    let mut completed = Vec::new();
+    match cfg.strategy {
+        Strategy::SyncPs | Strategy::SyncAr => {
+            sim.run_until_idle();
+            for (w, &node) in star.hosts[..cfg.workers].iter().enumerate() {
+                let c = match cfg.strategy {
+                    Strategy::SyncPs => sim.device::<Host>(node).app::<SyncPsWorker>().log().len(),
+                    Strategy::SyncAr => sim.device::<Host>(node).app::<RingWorker>().log().len(),
+                    _ => unreachable!(),
+                };
+                completed.push(c);
+                // I2: barrier.
+                if c != cfg.iterations {
+                    violations.push(format!(
+                        "I2 barrier: worker {w} completed {c} of {} iterations",
+                        cfg.iterations
+                    ));
+                }
+            }
+        }
+        Strategy::AsyncPs => {
+            let server = *star.hosts.last().expect("server present");
+            let slice = SimDuration::from_millis(200);
+            let mut t = SimTime::ZERO;
+            let target = cfg.iterations + 1;
+            let mut stalled = true;
+            for _ in 0..10_000 {
+                t += slice;
+                sim.run_until(t);
+                let n = sim
+                    .device::<Host>(server)
+                    .app::<AsyncPsServer>()
+                    .update_times
+                    .len();
+                if n >= target {
+                    stalled = false;
+                    break;
+                }
+            }
+            let app = sim.device::<Host>(server).app::<AsyncPsServer>();
+            completed.push(app.update_times.len());
+            if stalled {
+                violations.push(format!(
+                    "progress: server saw {} of {target} updates",
+                    app.update_times.len()
+                ));
+            }
+            // I3: staleness bound.
+            for (i, &s) in app.staleness.iter().enumerate() {
+                if s > cfg.staleness_bound {
+                    violations.push(format!(
+                        "I3 staleness: commit {i} at staleness {s} > bound {}",
+                        cfg.staleness_bound
+                    ));
+                }
+            }
+        }
+        _ => unreachable!(),
+    }
+
+    ChaosReport {
+        strategy: cfg.strategy,
+        chaos_seed: cfg.chaos_seed,
+        schedule,
+        faults_applied: sim.stats().faults_applied,
+        completed,
+        rounds_checked: 0,
+        help_requests: 0,
+        params_fingerprint: 0,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_json_round_trips() {
+        let s = ChaosSchedule {
+            faults: vec![
+                ChaosFault::EdgeDown {
+                    worker: 0,
+                    at: SimDuration::from_millis(5),
+                    duration: SimDuration::from_millis(20),
+                },
+                ChaosFault::EdgeLoss {
+                    worker: 1,
+                    at: SimDuration::from_millis(30),
+                    duration: SimDuration::from_millis(10),
+                    probability: 0.5,
+                },
+                ChaosFault::DelaySpike {
+                    worker: 2,
+                    at: SimDuration::from_millis(50),
+                    duration: SimDuration::from_millis(5),
+                    extra: SimDuration::from_micros(400),
+                },
+            ],
+        };
+        let text = s.to_json().render();
+        assert_eq!(ChaosSchedule::from_json(&text).unwrap(), s);
+        assert!(ChaosSchedule::from_json(r#"{"faults":[{"kind":"gremlin"}]}"#).is_err());
+    }
+
+    #[test]
+    fn generated_schedules_are_seed_deterministic_and_strategy_aware() {
+        let h = SimDuration::from_millis(400);
+        let a = generate_schedule(Strategy::SyncIsw, 3, h, 7);
+        let b = generate_schedule(Strategy::SyncIsw, 3, h, 7);
+        assert_eq!(a, b);
+        let c = generate_schedule(Strategy::SyncIsw, 3, h, 8);
+        assert_ne!(a, c, "different seeds should differ");
+        // Non-recovering strategies only get latency spikes.
+        for strategy in [Strategy::SyncPs, Strategy::SyncAr, Strategy::AsyncPs] {
+            let s = generate_schedule(strategy, 3, h, 7);
+            assert!(s
+                .faults
+                .iter()
+                .all(|f| matches!(f, ChaosFault::DelaySpike { .. })));
+        }
+    }
+
+    #[test]
+    fn subset_matching_accepts_partials_and_rejects_duplicates() {
+        let g0 = vec![1.0f32, 2.0];
+        let g1 = vec![3.0f32, 4.0];
+        let g2 = vec![5.0f32, 6.0];
+        let cands: Vec<&[f32]> = vec![&g0, &g1, &g2];
+        // Full mean.
+        assert!(matches_some_subset(&[3.0, 4.0], &cands));
+        // Partial flush {g1, g2}.
+        assert!(matches_some_subset(&[4.0, 5.0], &cands));
+        // Double-counted g0: (2*g0 + g1)/3.
+        assert!(!matches_some_subset(&[5.0 / 3.0, 8.0 / 3.0], &cands));
+    }
+
+    #[test]
+    fn fingerprint_is_order_and_value_sensitive() {
+        assert_ne!(fingerprint(&[1.0, 2.0]), fingerprint(&[2.0, 1.0]));
+        assert_eq!(fingerprint(&[1.0, 2.0]), fingerprint(&[1.0, 2.0]));
+    }
+}

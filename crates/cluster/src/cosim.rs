@@ -185,7 +185,7 @@ pub fn run_cosim(cfg: &CosimConfig) -> CosimResult {
             }
         })
         .collect();
-    let workers = build_isw_topology(&mut sim, worker_apps, &tcfg, len);
+    let workers = build_isw_topology(&mut sim, worker_apps, &tcfg, len).workers;
 
     // Advance in slices, checking the reward target and the iteration
     // budget between them (mirrors timing mode's async driver).

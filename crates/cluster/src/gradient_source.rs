@@ -16,6 +16,7 @@
 //!   at historically versioned weights (staleness replay), with the
 //!   central driver owning the optimizer step.
 
+use std::any::Any;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -70,6 +71,10 @@ pub trait GradientSource: 'static {
     fn final_average_reward(&self) -> Option<f32> {
         None
     }
+
+    /// Downcast support: harnesses that wrap a source (e.g. the chaos
+    /// recorder) recover the concrete type after a run through this.
+    fn as_any(&self) -> &dyn Any;
 }
 
 /// Timing-mode source: a fixed synthetic vector. Packet sizes and counts
@@ -95,6 +100,10 @@ impl GradientSource for SyntheticGradients {
 
     fn gradient(&self) -> &[f32] {
         &self.template
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
     }
 }
 
@@ -166,6 +175,10 @@ impl GradientSource for AgentGradients {
 
     fn final_average_reward(&self) -> Option<f32> {
         self.replica.final_average_reward()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
     }
 }
 
@@ -268,6 +281,10 @@ impl GradientSource for ReplayGradients {
 
     fn final_average_reward(&self) -> Option<f32> {
         self.replica.final_average_reward()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
     }
 }
 

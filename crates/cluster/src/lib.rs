@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod apps;
+mod chaos;
 mod compute_model;
 mod convergence;
 mod cosim;
@@ -39,6 +40,9 @@ pub mod report;
 mod staleness;
 mod timing_runner;
 
+pub use chaos::{
+    generate_schedule, run_chaos, ChaosConfig, ChaosFault, ChaosReport, ChaosSchedule,
+};
 pub use compute_model::{CommCosts, Component, ComputeModel};
 pub use convergence::{
     default_max_iterations, default_target, run_convergence, AggregationSemantics,

@@ -4,8 +4,8 @@
 
 use iswitch_core::{AggregationMode, AggregationRole, ExtensionConfig, IswitchExtension};
 use iswitch_netsim::{
-    build_star, build_tree, build_tree3, host_ip, Host, HostApp, LossModel, PortId, SimDuration,
-    SimTime, Simulator, SwitchExtension, SwitchRole, TopologyConfig,
+    build_star, build_tree, build_tree3, host_ip, Host, HostApp, LinkId, LossModel, NodeId, PortId,
+    SimDuration, SimTime, Simulator, SwitchExtension, SwitchRole, TopologyConfig,
 };
 use iswitch_obs::{JsonValue, Trace, TraceEvent};
 use iswitch_rl::{paper_model, Algorithm};
@@ -487,6 +487,15 @@ fn run_sync_ar(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResult
     collect_sync_result::<RingWorker>(&mut sim, &workers, cfg.warmup, obs, |a| a.log())
 }
 
+/// What [`build_isw_topology`] produced: the worker nodes plus the
+/// fault-plan targets of the deployment (worker edge links).
+pub(crate) struct IswTopology {
+    /// Worker host nodes in flattened order.
+    pub workers: Vec<NodeId>,
+    /// Edge link of each worker, index-aligned with `workers`.
+    pub worker_links: Vec<LinkId>,
+}
+
 /// Builds the iSwitch topology (star or tree with accelerators installed)
 /// over the given worker apps.
 pub(crate) fn build_isw_topology(
@@ -494,7 +503,7 @@ pub(crate) fn build_isw_topology(
     worker_apps: Vec<Box<dyn HostApp>>,
     cfg: &TimingConfig,
     len: usize,
-) -> Vec<iswitch_netsim::NodeId> {
+) -> IswTopology {
     let tune = |mut ext_cfg: ExtensionConfig, cfg: &TimingConfig| {
         ext_cfg.mode = cfg.aggregation_mode;
         if let Some(h) = cfg.threshold_override {
@@ -514,7 +523,11 @@ pub(crate) fn build_isw_topology(
             let n = worker_apps.len();
             let child_ports: Vec<PortId> = (0..n).map(PortId::new).collect();
             let ext = IswitchExtension::new(tune(ExtensionConfig::for_star(child_ports, len), cfg));
-            build_star(sim, worker_apps, Some(Box::new(ext)), &cfg.topo).hosts
+            let star = build_star(sim, worker_apps, Some(Box::new(ext)), &cfg.topo);
+            IswTopology {
+                workers: star.hosts,
+                worker_links: star.host_links,
+            }
         }
         Some(per_rack) => {
             let sizes = rack_sizes(cfg.workers, per_rack);
@@ -555,7 +568,10 @@ pub(crate) fn build_isw_topology(
                         Some(Box::new(ext))
                     };
                     let tree = build_tree(sim, racks, &mut mk_ext, &cfg.topo);
-                    tree.hosts.into_iter().flatten().collect()
+                    IswTopology {
+                        workers: tree.hosts.into_iter().flatten().collect(),
+                        worker_links: tree.host_links.into_iter().flatten().collect(),
+                    }
                 }
                 Some(fanout) => {
                     let fanout = fanout.max(1);
@@ -601,7 +617,10 @@ pub(crate) fn build_isw_topology(
                         Some(Box::new(ext))
                     };
                     let tree3 = build_tree3(sim, grouped, &mut mk_ext, &cfg.topo);
-                    tree3.hosts.into_iter().flatten().flatten().collect()
+                    IswTopology {
+                        workers: tree3.hosts.into_iter().flatten().flatten().collect(),
+                        worker_links: tree3.host_links.into_iter().flatten().flatten().collect(),
+                    }
                 }
             }
         }
@@ -649,7 +668,7 @@ fn run_sync_isw(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResul
             Box::new(worker) as Box<dyn HostApp>
         })
         .collect();
-    let workers = build_isw_topology(&mut sim, worker_apps, &cfg, len);
+    let workers = build_isw_topology(&mut sim, worker_apps, &cfg, len).workers;
     sim.run_until_idle();
     capture_metrics(&sim, &mut obs);
     collect_sync_result::<IswSyncWorker>(&mut sim, &workers, cfg.warmup, obs, |a| a.log())
@@ -776,7 +795,7 @@ fn run_async_isw(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResu
             )) as Box<dyn HostApp>
         })
         .collect();
-    let workers = build_isw_topology(&mut sim, worker_apps, cfg, len);
+    let workers = build_isw_topology(&mut sim, worker_apps, cfg, len).workers;
     let probe = workers[0];
     let target = cfg.warmup + cfg.iterations + 1;
     run_async_until(&mut sim, target, |sim| {

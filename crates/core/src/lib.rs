@@ -59,7 +59,7 @@ pub use protocol::{
 };
 pub use switch_ext::{
     AggregationMode, AggregationRole, ExtensionConfig, ExtensionStats, IswitchExtension,
-    RESULT_BROADCAST_IP, UPSTREAM_IP,
+    FAULT_RESET_TOKEN, RESULT_BROADCAST_IP, UPSTREAM_IP,
 };
 pub use worker::{
     control_packet, data_packet, decode_control, decode_data, gradient_packets,

@@ -173,6 +173,8 @@ pub struct ExtensionStats {
     pub stale_flushes: u64,
     /// Non-iSwitch packets passed through to regular forwarding.
     pub passed_through: u64,
+    /// Injected accelerator restarts ([`FAULT_RESET_TOKEN`]).
+    pub fault_resets: u64,
 }
 
 enum PendingEmit {
@@ -233,6 +235,13 @@ impl ExtObs {
 /// The in-switch aggregation extension.
 /// Timer token reserved for the stale-partial sweep.
 const SWEEP_TOKEN: u64 = u64::MAX;
+
+/// Timer token reserved for fault injection: delivered to the extension
+/// (via `iswitch-netsim`'s `FaultAction::InjectTimer`) it models a switch
+/// restart — the accelerator loses every piece of volatile state: partial
+/// sums, counters, the result cache, and any scheduled emissions. Workers
+/// recover through the ordinary `Help`/`FBcast`/retransmission paths.
+pub const FAULT_RESET_TOKEN: u64 = u64::MAX - 1;
 
 /// The in-switch aggregation extension (data plane + control plane).
 pub struct IswitchExtension {
@@ -428,12 +437,15 @@ impl IswitchExtension {
             return;
         };
         let now = sw.now();
-        let stale: Vec<usize> = self
+        let mut stale: Vec<usize> = self
             .last_arrival
             .iter()
             .filter(|(_, &at)| now.saturating_duration_since(at) >= age)
             .map(|(&idx, _)| idx)
             .collect();
+        // HashMap iteration order varies between processes; flush in
+        // segment order so same-seed runs replay byte-identically.
+        stale.sort_unstable();
         for idx in stale {
             self.last_arrival.remove(&idx);
             self.round_open.remove(&idx);
@@ -581,6 +593,17 @@ impl SwitchExtension for IswitchExtension {
     fn on_timer(&mut self, sw: &mut SwitchServices<'_, '_>, token: u64) {
         if token == SWEEP_TOKEN {
             self.sweep_stale(sw);
+            return;
+        }
+        if token == FAULT_RESET_TOKEN {
+            self.accel.reset();
+            self.round_open.clear();
+            self.last_arrival.clear();
+            self.held.clear();
+            self.pending.clear();
+            // `sweep_armed` stays as-is: an in-flight sweep timer cannot be
+            // recalled, and letting it run keeps a single sweep chain alive.
+            self.stats.fault_resets += 1;
             return;
         }
         let Some(emit) = self.pending.remove(&token) else {

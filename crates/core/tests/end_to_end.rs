@@ -6,11 +6,12 @@ use std::any::Any;
 
 use iswitch_core::{
     control_packet, decode_control, decode_data, gradient_packets, AggregationRole, ControlMessage,
-    ExtensionConfig, GradientAssembler, IswitchExtension,
+    ExtensionConfig, GradientAssembler, IswitchExtension, FAULT_RESET_TOKEN,
 };
 use iswitch_netsim::{
-    build_star, build_tree, build_tree3, host_ip, HostApp, HostCtx, LinkSpec, LossModel, Packet,
-    PortId, SimDuration, SimTime, Simulator, Switch, SwitchRole, TopologyConfig,
+    build_star, build_tree, build_tree3, host_ip, FaultAction, FaultPlan, HostApp, HostCtx,
+    LinkSpec, LossModel, Packet, PortId, SimDuration, SimTime, Simulator, Switch, SwitchRole,
+    TopologyConfig,
 };
 
 /// A scripted worker: joins (optionally), pushes one gradient vector after
@@ -22,6 +23,10 @@ struct ScriptedWorker {
     join_first: bool,
     worker_id: u32,
     help_timeout: Option<SimDuration>,
+    /// On timeout, re-push the whole gradient instead of asking for Help —
+    /// the recovery a worker needs when the *switch* lost its state (a
+    /// restart wipes partial sums, so there is nothing to Help-serve).
+    retransmit_on_timeout: bool,
     assembler: GradientAssembler,
     result: Option<Vec<f32>>,
     result_at: Option<SimTime>,
@@ -40,6 +45,7 @@ impl ScriptedWorker {
             join_first: false,
             worker_id: 0,
             help_timeout: None,
+            retransmit_on_timeout: false,
             assembler,
             result: None,
             result_at: None,
@@ -69,6 +75,11 @@ impl HostApp for ScriptedWorker {
                 }
                 if let Some(timeout) = self.help_timeout {
                     ctx.set_timer(timeout, TIMER_HELP);
+                }
+            }
+            TIMER_HELP if self.result.is_none() && self.retransmit_on_timeout => {
+                for pkt in gradient_packets(ctx.ip(), &self.grad) {
+                    ctx.send(pkt);
                 }
             }
             TIMER_HELP if self.result.is_none() => {
@@ -511,6 +522,136 @@ fn stale_partial_rounds_expire_and_broadcast() {
     }
     let sw = sim.device_mut::<Switch>(switch);
     assert_eq!(sw.extension::<IswitchExtension>().stats().stale_flushes, 1);
+}
+
+#[test]
+fn fault_plan_exact_drop_is_recovered_by_partial_flush() {
+    // Same loss scenario as `stale_partial_rounds_expire_and_broadcast`,
+    // but injected through a FaultPlan against a stock `build_star`
+    // topology: at t=0 worker 0's edge link gets an Exact loss model that
+    // drops its second data packet (link sequence number 1). The stale
+    // sweep flushes the stuck segment and every worker still completes
+    // with the correct (per-segment count-weighted) mean.
+    let (n, len) = (3, 500); // 2 segments
+    let mut sim = Simulator::new();
+    let apps: Vec<Box<dyn HostApp>> = (0..n)
+        .map(|w| {
+            let mut worker = ScriptedWorker::new(worker_grad(w, len), SimDuration::ZERO);
+            worker.help_timeout = Some(SimDuration::from_millis(4));
+            Box::new(worker) as Box<dyn HostApp>
+        })
+        .collect();
+    let ext = IswitchExtension::new(
+        ExtensionConfig::for_star((0..n).map(PortId::new).collect(), len)
+            .with_stale_flush(SimDuration::from_millis(1)),
+    );
+    let star = build_star(
+        &mut sim,
+        apps,
+        Some(Box::new(ext)),
+        &TopologyConfig::default(),
+    );
+    let mut plan = FaultPlan::new();
+    plan.push(
+        SimTime::ZERO,
+        FaultAction::SetLinkLoss {
+            link: star.host_links[0],
+            loss: LossModel::Exact { drops: vec![1] },
+        },
+    );
+    sim.install_fault_plan(&plan);
+    sim.run_until_idle();
+
+    for &h in &star.hosts {
+        let worker = sim
+            .device::<iswitch_netsim::Host>(h)
+            .app::<ScriptedWorker>();
+        let got = worker
+            .result
+            .as_ref()
+            .expect("partial flush completes the round");
+        // Segment 0: all three contributions arrived.
+        let full_mean =
+            (worker_grad(0, len)[0] + worker_grad(1, len)[0] + worker_grad(2, len)[0]) / 3.0;
+        assert!((got[0] - full_mean).abs() < 1e-4);
+        // Segment 1: worker 0's packet was dropped by the injected loss
+        // model -> mean over workers 1 and 2 only.
+        let partial_mean = (worker_grad(1, len)[400] + worker_grad(2, len)[400]) / 2.0;
+        assert!(
+            (got[400] - partial_mean).abs() < 1e-4,
+            "expected partial mean {partial_mean}, got {}",
+            got[400]
+        );
+    }
+    assert_eq!(sim.stats().faults_applied, 1);
+    assert_eq!(sim.stats().packets_dropped, 1);
+    let sw = sim.device_mut::<Switch>(star.switch);
+    assert_eq!(sw.extension::<IswitchExtension>().stats().stale_flushes, 1);
+}
+
+#[test]
+fn injected_switch_restart_is_recovered_by_retransmission() {
+    // A FaultPlan fires the reserved fault-reset timer on the switch after
+    // two of three contributions arrived: the accelerator loses all
+    // volatile state (partial sums, counters, result cache). The two wiped
+    // workers re-push on timeout and the round completes with the full
+    // three-way mean — nothing double-counted, nothing lost.
+    let (n, len) = (3, 400);
+    let mut sim = Simulator::new();
+    // Workers 0 and 1 push immediately (wiped by the restart); worker 2
+    // pushes after the restart. Staggered timeouts keep the recovery
+    // deterministic: by the time worker 2's timer could fire, the round
+    // has completed and the guard sees the result.
+    let timeouts = [1_000u64, 1_200, 5_000];
+    let apps: Vec<Box<dyn HostApp>> = (0..n)
+        .map(|w| {
+            let delay = if w == 2 {
+                SimDuration::from_micros(100)
+            } else {
+                SimDuration::ZERO
+            };
+            let mut worker = ScriptedWorker::new(worker_grad(w, len), delay);
+            worker.help_timeout = Some(SimDuration::from_micros(timeouts[w]));
+            worker.retransmit_on_timeout = true;
+            Box::new(worker) as Box<dyn HostApp>
+        })
+        .collect();
+    let ext = IswitchExtension::new(ExtensionConfig::for_star(
+        (0..n).map(PortId::new).collect(),
+        len,
+    ));
+    let star = build_star(
+        &mut sim,
+        apps,
+        Some(Box::new(ext)),
+        &TopologyConfig::default(),
+    );
+    let mut plan = FaultPlan::new();
+    plan.push(
+        SimTime::from_nanos(50_000),
+        FaultAction::InjectTimer {
+            node: star.switch,
+            token: FAULT_RESET_TOKEN,
+        },
+    );
+    sim.install_fault_plan(&plan);
+    sim.run_until_idle();
+
+    let expect = expected_mean(n, len);
+    for &h in &star.hosts {
+        let worker = sim
+            .device::<iswitch_netsim::Host>(h)
+            .app::<ScriptedWorker>();
+        let got = worker
+            .result
+            .as_ref()
+            .expect("every worker recovers from the switch restart");
+        for (a, b) in got.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-4, "post-restart mismatch: {a} vs {b}");
+        }
+    }
+    let sw = sim.device_mut::<Switch>(star.switch);
+    assert_eq!(sw.extension::<IswitchExtension>().stats().fault_resets, 1);
 }
 
 #[test]

@@ -1,0 +1,399 @@
+//! Deterministic fault injection: timed schedules of link and node events
+//! executed by the event engine.
+//!
+//! A [`FaultPlan`] is a list of `(time, action)` pairs installed on a
+//! [`Simulator`](crate::Simulator) before (or during) a run via
+//! [`Simulator::install_fault_plan`](crate::Simulator::install_fault_plan).
+//! Each action becomes an ordinary scheduled event, so faults interleave
+//! with packet deliveries and timers through the same `(time, sequence)`
+//! total order — two runs with the same plan and seeds are byte-identical.
+//!
+//! Actions cover the failure modes of the paper's §3.3 control plane
+//! discussion: link failures ([`FaultAction::LinkDown`]/[`FaultAction::LinkUp`],
+//! which also model host crash/rejoin — a host whose access link is down is
+//! unreachable), loss-rate changes ([`FaultAction::SetLinkLoss`]), latency
+//! degradation ([`FaultAction::DelaySpike`]), and device-directed triggers
+//! ([`FaultAction::InjectTimer`], used e.g. to reset a switch's aggregation
+//! accelerator mid-run via `iswitch-core`'s fault-reset timer token).
+
+use iswitch_obs::{JsonError, JsonValue};
+
+use crate::ids::{LinkId, NodeId};
+use crate::link::LossModel;
+use crate::time::{SimDuration, SimTime};
+
+/// One fault to apply to the simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultAction {
+    /// Takes a link down: every packet handed to either direction is
+    /// discarded until a matching [`FaultAction::LinkUp`].
+    LinkDown {
+        /// The link to fail.
+        link: LinkId,
+    },
+    /// Restores a downed link.
+    LinkUp {
+        /// The link to restore.
+        link: LinkId,
+    },
+    /// Replaces a link's loss model (both directions share one model). The
+    /// per-link sequence counter keeps running; a fresh `Random` model is
+    /// reseeded from its own seed.
+    SetLinkLoss {
+        /// The link to modify.
+        link: LinkId,
+        /// The new loss behaviour.
+        loss: LossModel,
+    },
+    /// Adds a fixed extra one-way delay to every delivery on a link (both
+    /// directions) — a congestion/BER latency spike.
+    DelaySpike {
+        /// The link to slow down.
+        link: LinkId,
+        /// Extra per-packet delay.
+        extra: SimDuration,
+    },
+    /// Clears a previous [`FaultAction::DelaySpike`].
+    ClearDelaySpike {
+        /// The link to restore.
+        link: LinkId,
+    },
+    /// Fires `on_timer(token)` on a node's device, as if a timer had been
+    /// scheduled for this instant. This is the generic device-directed
+    /// fault hook: `iswitch-core` reserves a token that makes its switch
+    /// extension reset the aggregation accelerator (a switch restart).
+    InjectTimer {
+        /// The node whose device receives the callback.
+        node: NodeId,
+        /// Token passed to `on_timer`.
+        token: u64,
+    },
+}
+
+impl FaultAction {
+    /// The link this action targets, if any.
+    pub fn link(&self) -> Option<LinkId> {
+        match *self {
+            FaultAction::LinkDown { link }
+            | FaultAction::LinkUp { link }
+            | FaultAction::SetLinkLoss { link, .. }
+            | FaultAction::DelaySpike { link, .. }
+            | FaultAction::ClearDelaySpike { link } => Some(link),
+            FaultAction::InjectTimer { .. } => None,
+        }
+    }
+
+    /// The node this action targets, if any.
+    pub fn node(&self) -> Option<NodeId> {
+        match *self {
+            FaultAction::InjectTimer { node, .. } => Some(node),
+            _ => None,
+        }
+    }
+}
+
+/// One timed fault in a [`FaultPlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// Absolute simulation time at which to apply the action.
+    pub at: SimTime,
+    /// The action to apply.
+    pub action: FaultAction,
+}
+
+/// A schedule of timed faults.
+///
+/// # Examples
+///
+/// ```
+/// use iswitch_netsim::{FaultAction, FaultPlan, SimDuration, SimTime};
+///
+/// let mut plan = FaultPlan::new();
+/// // (Link/node ids come from the topology builders in real use.)
+/// assert!(plan.is_empty());
+/// let text = plan.to_json().render();
+/// assert_eq!(FaultPlan::from_json(&text).unwrap(), plan);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The scheduled faults, in no particular order (the engine orders by
+    /// time, then by position in this list).
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Appends a fault at `at`.
+    pub fn push(&mut self, at: SimTime, action: FaultAction) {
+        self.events.push(FaultEvent { at, action });
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan has no faults.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serializes the plan as a deterministic JSON document:
+    ///
+    /// ```json
+    /// {"events":[
+    ///   {"at_ns":1000,"action":"link_down","link":3},
+    ///   {"at_ns":5000,"action":"set_link_loss","link":0,
+    ///    "loss":{"kind":"random","probability":0.01,"seed":7}},
+    ///   {"at_ns":9000,"action":"inject_timer","node":1,"token":42}
+    /// ]}
+    /// ```
+    pub fn to_json(&self) -> JsonValue {
+        let events = self
+            .events
+            .iter()
+            .map(|ev| {
+                let mut o = JsonValue::empty_object();
+                o.insert("at_ns", JsonValue::UInt(ev.at.as_nanos()));
+                match &ev.action {
+                    FaultAction::LinkDown { link } => {
+                        o.insert("action", JsonValue::Str("link_down".into()));
+                        o.insert("link", JsonValue::UInt(link.index() as u64));
+                    }
+                    FaultAction::LinkUp { link } => {
+                        o.insert("action", JsonValue::Str("link_up".into()));
+                        o.insert("link", JsonValue::UInt(link.index() as u64));
+                    }
+                    FaultAction::SetLinkLoss { link, loss } => {
+                        o.insert("action", JsonValue::Str("set_link_loss".into()));
+                        o.insert("link", JsonValue::UInt(link.index() as u64));
+                        o.insert("loss", loss_to_json(loss));
+                    }
+                    FaultAction::DelaySpike { link, extra } => {
+                        o.insert("action", JsonValue::Str("delay_spike".into()));
+                        o.insert("link", JsonValue::UInt(link.index() as u64));
+                        o.insert("extra_ns", JsonValue::UInt(extra.as_nanos()));
+                    }
+                    FaultAction::ClearDelaySpike { link } => {
+                        o.insert("action", JsonValue::Str("clear_delay_spike".into()));
+                        o.insert("link", JsonValue::UInt(link.index() as u64));
+                    }
+                    FaultAction::InjectTimer { node, token } => {
+                        o.insert("action", JsonValue::Str("inject_timer".into()));
+                        o.insert("node", JsonValue::UInt(node.index() as u64));
+                        o.insert("token", JsonValue::UInt(*token));
+                    }
+                }
+                o
+            })
+            .collect();
+        let mut root = JsonValue::empty_object();
+        root.insert("events", JsonValue::Array(events));
+        root
+    }
+
+    /// Parses a plan from the JSON produced by [`FaultPlan::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string on malformed JSON or unknown/incomplete
+    /// actions.
+    pub fn from_json(text: &str) -> Result<FaultPlan, String> {
+        let doc = JsonValue::parse(text).map_err(|e: JsonError| e.to_string())?;
+        let events = doc
+            .get("events")
+            .and_then(JsonValue::as_array)
+            .ok_or("fault plan needs an \"events\" array")?;
+        let mut plan = FaultPlan::new();
+        for (i, ev) in events.iter().enumerate() {
+            let at = ev
+                .get("at_ns")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("event {i}: missing \"at_ns\""))?;
+            let kind = ev
+                .get("action")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("event {i}: missing \"action\""))?;
+            let link = || -> Result<LinkId, String> {
+                ev.get("link")
+                    .and_then(JsonValue::as_u64)
+                    .map(|v| LinkId(v as usize))
+                    .ok_or_else(|| format!("event {i}: missing \"link\""))
+            };
+            let action = match kind {
+                "link_down" => FaultAction::LinkDown { link: link()? },
+                "link_up" => FaultAction::LinkUp { link: link()? },
+                "set_link_loss" => FaultAction::SetLinkLoss {
+                    link: link()?,
+                    loss: loss_from_json(
+                        ev.get("loss")
+                            .ok_or_else(|| format!("event {i}: missing \"loss\""))?,
+                    )
+                    .map_err(|e| format!("event {i}: {e}"))?,
+                },
+                "delay_spike" => FaultAction::DelaySpike {
+                    link: link()?,
+                    extra: SimDuration::from_nanos(
+                        ev.get("extra_ns")
+                            .and_then(JsonValue::as_u64)
+                            .ok_or_else(|| format!("event {i}: missing \"extra_ns\""))?,
+                    ),
+                },
+                "clear_delay_spike" => FaultAction::ClearDelaySpike { link: link()? },
+                "inject_timer" => FaultAction::InjectTimer {
+                    node: NodeId(
+                        ev.get("node")
+                            .and_then(JsonValue::as_u64)
+                            .ok_or_else(|| format!("event {i}: missing \"node\""))?
+                            as usize,
+                    ),
+                    token: ev
+                        .get("token")
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| format!("event {i}: missing \"token\""))?,
+                },
+                other => return Err(format!("event {i}: unknown action {other:?}")),
+            };
+            plan.push(SimTime::from_nanos(at), action);
+        }
+        Ok(plan)
+    }
+}
+
+fn loss_to_json(loss: &LossModel) -> JsonValue {
+    let mut o = JsonValue::empty_object();
+    match loss {
+        LossModel::None => o.insert("kind", JsonValue::Str("none".into())),
+        LossModel::Random { probability, seed } => {
+            o.insert("kind", JsonValue::Str("random".into()));
+            o.insert("probability", JsonValue::Float(*probability));
+            o.insert("seed", JsonValue::UInt(*seed));
+        }
+        LossModel::Exact { drops } => {
+            o.insert("kind", JsonValue::Str("exact".into()));
+            o.insert(
+                "drops",
+                JsonValue::Array(drops.iter().map(|&d| JsonValue::UInt(d)).collect()),
+            );
+        }
+    }
+    o
+}
+
+fn loss_from_json(v: &JsonValue) -> Result<LossModel, String> {
+    match v.get("kind").and_then(JsonValue::as_str) {
+        Some("none") => Ok(LossModel::None),
+        Some("random") => Ok(LossModel::Random {
+            probability: v
+                .get("probability")
+                .and_then(JsonValue::as_f64)
+                .ok_or("random loss needs \"probability\"")?,
+            seed: v
+                .get("seed")
+                .and_then(JsonValue::as_u64)
+                .ok_or("random loss needs \"seed\"")?,
+        }),
+        Some("exact") => Ok(LossModel::Exact {
+            drops: v
+                .get("drops")
+                .and_then(JsonValue::as_array)
+                .ok_or("exact loss needs \"drops\"")?
+                .iter()
+                .map(|d| d.as_u64().ok_or_else(|| "non-integer drop".to_string()))
+                .collect::<Result<Vec<u64>, String>>()?,
+        }),
+        _ => Err("loss model needs a \"kind\" of none|random|exact".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plan() -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        plan.push(
+            SimTime::from_nanos(1_000),
+            FaultAction::LinkDown { link: LinkId(3) },
+        );
+        plan.push(
+            SimTime::from_nanos(2_000),
+            FaultAction::LinkUp { link: LinkId(3) },
+        );
+        plan.push(
+            SimTime::from_nanos(3_000),
+            FaultAction::SetLinkLoss {
+                link: LinkId(0),
+                loss: LossModel::Random {
+                    probability: 0.25,
+                    seed: 7,
+                },
+            },
+        );
+        plan.push(
+            SimTime::from_nanos(3_500),
+            FaultAction::SetLinkLoss {
+                link: LinkId(1),
+                loss: LossModel::Exact {
+                    drops: vec![4, 9, 12],
+                },
+            },
+        );
+        plan.push(
+            SimTime::from_nanos(4_000),
+            FaultAction::DelaySpike {
+                link: LinkId(2),
+                extra: SimDuration::from_micros(50),
+            },
+        );
+        plan.push(
+            SimTime::from_nanos(5_000),
+            FaultAction::ClearDelaySpike { link: LinkId(2) },
+        );
+        plan.push(
+            SimTime::from_nanos(6_000),
+            FaultAction::InjectTimer {
+                node: NodeId(1),
+                token: u64::MAX - 1,
+            },
+        );
+        plan
+    }
+
+    #[test]
+    fn json_round_trips_every_action() {
+        let plan = sample_plan();
+        let text = plan.to_json().render();
+        let back = FaultPlan::from_json(&text).expect("parses");
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn json_render_is_deterministic() {
+        assert_eq!(
+            sample_plan().to_json().render(),
+            sample_plan().to_json().render()
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_actions_and_missing_fields() {
+        assert!(FaultPlan::from_json(r#"{"events":[{"at_ns":1,"action":"meteor"}]}"#).is_err());
+        assert!(FaultPlan::from_json(r#"{"events":[{"action":"link_down","link":0}]}"#).is_err());
+        assert!(FaultPlan::from_json(r#"{"events":[{"at_ns":1,"action":"link_down"}]}"#).is_err());
+        assert!(FaultPlan::from_json(r#"{"nope":[]}"#).is_err());
+    }
+
+    #[test]
+    fn accessors_expose_targets() {
+        let plan = sample_plan();
+        assert_eq!(plan.events[0].action.link(), Some(LinkId(3)));
+        assert_eq!(plan.events[0].action.node(), None);
+        assert_eq!(plan.events[6].action.node(), Some(NodeId(1)));
+        assert_eq!(plan.events[6].action.link(), None);
+    }
+}

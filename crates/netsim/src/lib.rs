@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod fault;
 mod host;
 mod ids;
 mod link;
@@ -64,6 +65,7 @@ mod topology;
 mod trace;
 
 pub use engine::{Context, Device, NodeOpts, Simulator};
+pub use fault::{FaultAction, FaultEvent, FaultPlan};
 pub use host::{Host, HostApp, HostCtx};
 pub use ids::{LinkId, NodeId, PortId, TimerId};
 pub use link::{LinkSpec, LossModel};

@@ -9,7 +9,7 @@ use crate::ids::{NodeId, PortId};
 use crate::time::{SimDuration, SimTime};
 
 /// Loss behaviour of a link, for failure-injection experiments.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub enum LossModel {
     /// Deliver every packet (the default; clusters rarely drop — paper §3.3).
     #[default]
@@ -102,6 +102,16 @@ pub(crate) struct Link {
     pub busy_until: [SimTime; 2],
     /// Packets charged to each direction so far (for loss sequencing/stats).
     pub seq: u64,
+    /// Administrative state: a downed link discards everything handed to it
+    /// (fault injection; see [`crate::FaultAction::LinkDown`]).
+    pub up: bool,
+    /// Extra one-way delay added to every delivery (fault injection; see
+    /// [`crate::FaultAction::DelaySpike`]).
+    pub extra_delay: SimDuration,
+    /// Position in the sorted `Exact` drop list of the first entry not yet
+    /// passed by `seq` — makes per-packet lookup amortized O(1) instead of
+    /// a linear scan of the whole list.
+    drop_cursor: usize,
     rng: Option<StdRng>,
 }
 
@@ -110,18 +120,19 @@ pub(crate) type LinkDir = usize;
 
 impl Link {
     pub fn new(spec: LinkSpec, a: LinkEnd, b: LinkEnd) -> Self {
-        let rng = match spec.loss {
-            LossModel::Random { seed, .. } => Some(StdRng::seed_from_u64(seed)),
-            _ => None,
-        };
-        Link {
-            spec,
+        let mut link = Link {
+            spec: spec.clone(),
             a,
             b,
             busy_until: [SimTime::ZERO; 2],
             seq: 0,
-            rng,
-        }
+            up: true,
+            extra_delay: SimDuration::ZERO,
+            drop_cursor: 0,
+            rng: None,
+        };
+        link.set_loss(spec.loss);
+        link
     }
 
     /// The receiving end for a given direction.
@@ -131,6 +142,27 @@ impl Link {
         } else {
             self.a
         }
+    }
+
+    /// Installs a loss model, normalizing `Exact` drop lists (sorted,
+    /// deduplicated) and reseeding the RNG for `Random`. The per-link
+    /// sequence counter keeps running, so an `Exact` list installed mid-run
+    /// still addresses absolute sequence numbers.
+    pub fn set_loss(&mut self, loss: LossModel) {
+        let loss = match loss {
+            LossModel::Exact { mut drops } => {
+                drops.sort_unstable();
+                drops.dedup();
+                LossModel::Exact { drops }
+            }
+            other => other,
+        };
+        self.rng = match loss {
+            LossModel::Random { seed, .. } => Some(StdRng::seed_from_u64(seed)),
+            _ => None,
+        };
+        self.drop_cursor = 0;
+        self.spec.loss = loss;
     }
 
     /// Decides whether the next packet is dropped, advancing loss state.
@@ -143,7 +175,14 @@ impl Link {
                 let rng = self.rng.as_mut().expect("random loss model has rng");
                 rng.gen::<f64>() < *probability
             }
-            LossModel::Exact { drops } => drops.contains(&seq),
+            LossModel::Exact { drops } => {
+                // `seq` is strictly increasing between `set_loss` calls, so
+                // the cursor only ever moves forward over the sorted list.
+                while self.drop_cursor < drops.len() && drops[self.drop_cursor] < seq {
+                    self.drop_cursor += 1;
+                }
+                self.drop_cursor < drops.len() && drops[self.drop_cursor] == seq
+            }
         }
     }
 }
@@ -193,5 +232,53 @@ mod tests {
     fn no_loss_never_drops() {
         let mut l = Link::new(LinkSpec::ten_gbe(), end(0, 0), end(1, 0));
         assert!((0..100).all(|_| !l.roll_drop()));
+    }
+
+    #[test]
+    fn exact_loss_accepts_unsorted_duplicated_lists() {
+        let spec = LinkSpec::ten_gbe().with_loss(LossModel::Exact {
+            drops: vec![3, 1, 3, 1],
+        });
+        let mut l = Link::new(spec, end(0, 0), end(1, 0));
+        let rolls: Vec<bool> = (0..5).map(|_| l.roll_drop()).collect();
+        assert_eq!(rolls, vec![false, true, false, true, false]);
+    }
+
+    #[test]
+    fn exact_loss_cursor_handles_large_drop_lists() {
+        // Regression: the per-packet lookup used to scan the whole list.
+        // A 100k-entry list over 200k packets must both stay correct and
+        // finish promptly (a linear scan would be ~10^10 comparisons).
+        let n: u64 = 100_000;
+        let drops: Vec<u64> = (0..n).rev().map(|i| i * 2).collect(); // unsorted on purpose
+        let spec = LinkSpec::ten_gbe().with_loss(LossModel::Exact { drops });
+        let mut l = Link::new(spec, end(0, 0), end(1, 0));
+        let mut dropped = 0u64;
+        for seq in 0..2 * n {
+            let hit = l.roll_drop();
+            assert_eq!(hit, seq % 2 == 0, "wrong verdict at seq {seq}");
+            dropped += hit as u64;
+        }
+        assert_eq!(dropped, n);
+    }
+
+    #[test]
+    fn set_loss_mid_run_addresses_absolute_sequence_numbers() {
+        let mut l = Link::new(LinkSpec::ten_gbe(), end(0, 0), end(1, 0));
+        assert!((0..5).all(|_| !l.roll_drop()));
+        // Install drops for seqs {2 (already past), 6} at seq 5.
+        l.set_loss(LossModel::Exact { drops: vec![6, 2] });
+        let rolls: Vec<bool> = (5..8).map(|_| l.roll_drop()).collect();
+        assert_eq!(rolls, vec![false, true, false]);
+        // Back to lossless.
+        l.set_loss(LossModel::None);
+        assert!((0..5).all(|_| !l.roll_drop()));
+    }
+
+    #[test]
+    fn links_start_up_with_no_extra_delay() {
+        let l = Link::new(LinkSpec::ten_gbe(), end(0, 0), end(1, 0));
+        assert!(l.up);
+        assert_eq!(l.extra_delay, SimDuration::ZERO);
     }
 }

@@ -51,6 +51,8 @@ pub(crate) struct EngineObs {
     pub ev_timer: Arc<Counter>,
     /// Timer events suppressed by cancellation.
     pub ev_timer_cancelled: Arc<Counter>,
+    /// Fault-plan actions applied.
+    pub ev_fault: Arc<Counter>,
     /// Scheduler queue depth; watermark is the peak outstanding event count.
     pub queue_depth: Arc<Gauge>,
     /// Indexed by `links[link][direction]`.
@@ -65,6 +67,7 @@ impl EngineObs {
             ev_deliver: registry.counter("netsim.events.deliver"),
             ev_timer: registry.counter("netsim.events.timer"),
             ev_timer_cancelled: registry.counter("netsim.events.timer_cancelled"),
+            ev_fault: registry.counter("netsim.events.fault"),
             queue_depth: registry.gauge("netsim.queue.depth"),
             links: Vec::new(),
             registry,

@@ -17,6 +17,11 @@ pub struct SimStats {
     pub packets_delivered: u64,
     /// Packets discarded by link loss models.
     pub packets_dropped: u64,
+    /// Of the dropped packets, those discarded because their link was
+    /// administratively down (fault injection).
+    pub packets_dropped_link_down: u64,
+    /// Fault-plan actions applied by the engine.
+    pub faults_applied: u64,
     /// Total events processed by the engine.
     pub events_processed: u64,
     /// Worst transmit backlog observed on any link direction — the longest

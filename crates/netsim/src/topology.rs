@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::engine::{NodeOpts, Simulator};
 use crate::host::{Host, HostApp};
-use crate::ids::{NodeId, PortId};
+use crate::ids::{LinkId, NodeId, PortId};
 use crate::link::LinkSpec;
 use crate::packet::IpAddr;
 use crate::switch::{RouteTable, Switch, SwitchExtension};
@@ -65,6 +65,9 @@ pub struct Star {
     pub host_ips: Vec<IpAddr>,
     /// Switch port facing each host.
     pub switch_ports: Vec<PortId>,
+    /// Edge link of each host (index-aligned with `hosts`) — fault-plan
+    /// targets.
+    pub host_links: Vec<LinkId>,
 }
 
 /// Builds a star: one switch with `apps.len()` hosts attached by edge links.
@@ -88,6 +91,7 @@ pub fn build_star(
     let mut hosts = Vec::new();
     let mut host_ips = Vec::new();
     let mut switch_ports = Vec::new();
+    let mut host_links = Vec::new();
     let mut routes = RouteTable::new();
     for (i, app) in apps.into_iter().enumerate() {
         let ip = host_ip(0, i);
@@ -97,11 +101,12 @@ pub fn build_star(
                 .with_tx_overhead(cfg.host_tx_overhead)
                 .with_rx_overhead(cfg.host_rx_overhead),
         );
-        let (_, _, sw_port) = sim.connect(node, switch, cfg.edge.clone());
+        let (link, _, sw_port) = sim.connect(node, switch, cfg.edge.clone());
         routes.add(ip, sw_port);
         hosts.push(node);
         host_ips.push(ip);
         switch_ports.push(sw_port);
+        host_links.push(link);
     }
     *sim.device_mut::<Switch>(switch).routes_mut() = routes;
     Star {
@@ -109,6 +114,7 @@ pub fn build_star(
         hosts,
         host_ips,
         switch_ports,
+        host_links,
     }
 }
 
@@ -139,6 +145,10 @@ pub struct Tree {
     pub tor_uplink: Vec<PortId>,
     /// On the core, the port facing each ToR.
     pub core_downlink: Vec<PortId>,
+    /// Edge link of each host, per rack (fault-plan targets).
+    pub host_links: Vec<Vec<LinkId>>,
+    /// ToR-to-core uplink per rack (fault-plan targets).
+    pub uplink_links: Vec<LinkId>,
 }
 
 impl Tree {
@@ -175,6 +185,8 @@ pub fn build_tree(
     let mut host_ips = Vec::new();
     let mut tor_uplink = Vec::new();
     let mut core_downlink = Vec::new();
+    let mut host_links = Vec::new();
+    let mut uplink_links = Vec::new();
     let mut core_routes = RouteTable::new();
 
     for (r, apps) in rack_apps.into_iter().enumerate() {
@@ -189,6 +201,7 @@ pub fn build_tree(
         let mut tor_routes = RouteTable::new();
         let mut rack_hosts = Vec::new();
         let mut rack_ips = Vec::new();
+        let mut rack_links = Vec::new();
         for (i, app) in apps.into_iter().enumerate() {
             let ip = host_ip(r, i);
             let node = sim.add_node(
@@ -197,13 +210,14 @@ pub fn build_tree(
                     .with_tx_overhead(cfg.host_tx_overhead)
                     .with_rx_overhead(cfg.host_rx_overhead),
             );
-            let (_, _, tor_port) = sim.connect(node, tor, cfg.edge.clone());
+            let (link, _, tor_port) = sim.connect(node, tor, cfg.edge.clone());
             tor_routes.add(ip, tor_port);
             rack_hosts.push(node);
             rack_ips.push(ip);
+            rack_links.push(link);
         }
         // Uplink after host ports so host i <-> ToR port i.
-        let (_, tor_up, core_down) = sim.connect(tor, core, cfg.uplink.clone());
+        let (up_link, tor_up, core_down) = sim.connect(tor, core, cfg.uplink.clone());
         tor_routes.set_default(tor_up);
         for ip in &rack_ips {
             core_routes.add(*ip, core_down);
@@ -214,6 +228,8 @@ pub fn build_tree(
         host_ips.push(rack_ips);
         tor_uplink.push(tor_up);
         core_downlink.push(core_down);
+        host_links.push(rack_links);
+        uplink_links.push(up_link);
     }
     *sim.device_mut::<Switch>(core).routes_mut() = core_routes;
     Tree {
@@ -223,6 +239,8 @@ pub fn build_tree(
         host_ips,
         tor_uplink,
         core_downlink,
+        host_links,
+        uplink_links,
     }
 }
 
@@ -240,6 +258,12 @@ pub struct Tree3 {
     pub hosts: Vec<Vec<Vec<NodeId>>>,
     /// Host IPs per (agg, tor).
     pub host_ips: Vec<Vec<Vec<IpAddr>>>,
+    /// Edge link of each host, per (agg, tor) — fault-plan targets.
+    pub host_links: Vec<Vec<Vec<LinkId>>>,
+    /// ToR-to-AGG uplinks per AGG (fault-plan targets).
+    pub tor_uplinks: Vec<Vec<LinkId>>,
+    /// AGG-to-core uplinks (fault-plan targets).
+    pub agg_uplinks: Vec<LinkId>,
 }
 
 impl Tree3 {
@@ -273,6 +297,9 @@ pub fn build_tree3(
     let mut tors = Vec::new();
     let mut hosts = Vec::new();
     let mut host_ips = Vec::new();
+    let mut host_links = Vec::new();
+    let mut tor_uplinks = Vec::new();
+    let mut agg_uplinks = Vec::new();
     let mut global_rack = 0usize;
 
     for (a, agg_apps) in apps.into_iter().enumerate() {
@@ -284,6 +311,8 @@ pub fn build_tree3(
         let mut agg_tors = Vec::new();
         let mut agg_hosts = Vec::new();
         let mut agg_ips = Vec::new();
+        let mut agg_host_links = Vec::new();
+        let mut agg_tor_uplinks = Vec::new();
         for tor_apps in agg_apps {
             let tor = sim.add_node(
                 Box::new(mk_switch(mk_ext(SwitchRole::Tor(global_rack)))),
@@ -292,6 +321,7 @@ pub fn build_tree3(
             let mut tor_routes = RouteTable::new();
             let mut rack_hosts = Vec::new();
             let mut rack_ips = Vec::new();
+            let mut rack_links = Vec::new();
             for (i, app) in tor_apps.into_iter().enumerate() {
                 let ip = host_ip(global_rack, i);
                 let node = sim.add_node(
@@ -300,12 +330,13 @@ pub fn build_tree3(
                         .with_tx_overhead(cfg.host_tx_overhead)
                         .with_rx_overhead(cfg.host_rx_overhead),
                 );
-                let (_, _, tor_port) = sim.connect(node, tor, cfg.edge.clone());
+                let (link, _, tor_port) = sim.connect(node, tor, cfg.edge.clone());
                 tor_routes.add(ip, tor_port);
                 rack_hosts.push(node);
                 rack_ips.push(ip);
+                rack_links.push(link);
             }
-            let (_, tor_up, agg_down) = sim.connect(tor, agg, cfg.uplink.clone());
+            let (tor_up_link, tor_up, agg_down) = sim.connect(tor, agg, cfg.uplink.clone());
             tor_routes.set_default(tor_up);
             for ip in &rack_ips {
                 agg_routes.add(*ip, agg_down);
@@ -314,9 +345,11 @@ pub fn build_tree3(
             agg_tors.push(tor);
             agg_hosts.push(rack_hosts);
             agg_ips.push(rack_ips);
+            agg_host_links.push(rack_links);
+            agg_tor_uplinks.push(tor_up_link);
             global_rack += 1;
         }
-        let (_, agg_up, core_down) = sim.connect(agg, core, cfg.uplink.clone());
+        let (agg_up_link, agg_up, core_down) = sim.connect(agg, core, cfg.uplink.clone());
         agg_routes.set_default(agg_up);
         for rack in &agg_ips {
             for ip in rack {
@@ -328,6 +361,9 @@ pub fn build_tree3(
         tors.push(agg_tors);
         hosts.push(agg_hosts);
         host_ips.push(agg_ips);
+        host_links.push(agg_host_links);
+        tor_uplinks.push(agg_tor_uplinks);
+        agg_uplinks.push(agg_up_link);
     }
     *sim.device_mut::<Switch>(core).routes_mut() = core_routes;
     Tree3 {
@@ -336,6 +372,9 @@ pub fn build_tree3(
         tors,
         hosts,
         host_ips,
+        host_links,
+        tor_uplinks,
+        agg_uplinks,
     }
 }
 

@@ -12,8 +12,8 @@ use std::process::exit;
 
 use iswitch::cluster::experiments::{fig15, Scale};
 use iswitch::cluster::{
-    run_convergence, run_cosim, run_timing, run_timing_observed, ConvergenceConfig, CosimConfig,
-    Strategy, TimingConfig,
+    run_chaos, run_convergence, run_cosim, run_timing, run_timing_observed, ChaosConfig,
+    ChaosSchedule, ConvergenceConfig, CosimConfig, Strategy, TimingConfig,
 };
 use iswitch::obs::JsonValue;
 use iswitch::rl::Algorithm;
@@ -28,6 +28,10 @@ COMMANDS:
     timing        per-iteration time of one strategy (packet simulation)
     convergence   distributed RL training to a target reward
     scalability   end-to-end speedup across cluster sizes (Fig. 15)
+    chaos         seeded fault injection (link outages, loss windows,
+                  delay spikes) with protocol invariants checked:
+                  gradient conservation, sync barrier, staleness bound,
+                  membership/update consistency, determinism
 
 OPTIONS:
     --algorithm <dqn|a2c|ppo|ddpg>     benchmark (default: ppo)
@@ -46,6 +50,18 @@ OPTIONS:
     --iterations <N>                   timing iterations (default: 20)
     --max-iterations <N>               convergence cap (default: per-algorithm)
     --seed <N>                         RNG seed (default: 42)
+    --edge-loss <P>                    random per-packet loss probability on
+                                       every worker edge link (timing only;
+                                       exercises Help/FBcast recovery)
+    --chaos-seed <N>                   fault-schedule seed (chaos only;
+                                       default: 1). Same seed => the same
+                                       schedule and a byte-identical report
+    --faults <PATH>                    run an explicit fault schedule from a
+                                       JSON file instead of generating one
+                                       (chaos only; see DESIGN.md for the
+                                       schema)
+    --report-out <PATH>                write chaos reports as JSON Lines to
+                                       PATH (chaos only)
     --metrics-out <PATH>               write the observability report (stage
                                        timings + full metrics registry) as
                                        JSON to PATH (timing only)
@@ -87,6 +103,15 @@ fn parse_strategy(args: &[String]) -> Strategy {
 }
 
 fn parse_usize(args: &[String], name: &str) -> Option<usize> {
+    parse_flag(args, name).map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("{name} expects a number, got `{v}`");
+            exit(2);
+        })
+    })
+}
+
+fn parse_f64(args: &[String], name: &str) -> Option<f64> {
     parse_flag(args, name).map(|v| {
         v.parse().unwrap_or_else(|_| {
             eprintln!("{name} expects a number, got `{v}`");
@@ -216,6 +241,13 @@ fn cmd_timing(args: &[String]) {
     if let Some(s) = parse_usize(args, "--seed") {
         cfg.seed = s as u64;
     }
+    if let Some(p) = parse_f64(args, "--edge-loss") {
+        if !(0.0..1.0).contains(&p) {
+            eprintln!("--edge-loss expects a probability in [0, 1), got {p}");
+            exit(2);
+        }
+        cfg.edge_loss = p;
+    }
     println!(
         "simulating {} / {} with {} workers…",
         alg,
@@ -307,12 +339,76 @@ fn cmd_scalability(args: &[String]) {
     }
 }
 
+fn cmd_chaos(args: &[String]) {
+    let alg = parse_algorithm(args);
+    let strategies: Vec<Strategy> = if parse_flag(args, "--strategy").is_some() {
+        vec![parse_strategy(args)]
+    } else {
+        vec![
+            Strategy::SyncPs,
+            Strategy::SyncAr,
+            Strategy::SyncIsw,
+            Strategy::AsyncPs,
+            Strategy::AsyncIsw,
+        ]
+    };
+    let chaos_seed = parse_usize(args, "--chaos-seed").unwrap_or(1) as u64;
+    let schedule = parse_flag(args, "--faults").map(|path| {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(1);
+        });
+        ChaosSchedule::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            exit(2);
+        })
+    });
+    let mut reports = Vec::new();
+    let mut failed = false;
+    for strategy in strategies {
+        let mut cfg = ChaosConfig::new(alg, strategy, chaos_seed);
+        if let Some(w) = parse_usize(args, "--workers") {
+            cfg.workers = w;
+        }
+        if let Some(n) = parse_usize(args, "--iterations") {
+            cfg.iterations = n;
+        }
+        if let Some(s) = parse_usize(args, "--seed") {
+            cfg.seed = s as u64;
+        }
+        cfg.schedule = schedule.clone();
+        let report = run_chaos(&cfg);
+        println!(
+            "{:<9} faults={:<2} completed={:?} rounds_checked={} help={} — {}",
+            strategy.label(),
+            report.faults_applied,
+            report.completed,
+            report.rounds_checked,
+            report.help_requests,
+            if report.passed() { "ok" } else { "VIOLATED" }
+        );
+        for v in &report.violations {
+            println!("    {v}");
+        }
+        failed |= !report.passed();
+        reports.push(report.to_json().render());
+    }
+    if let Some(path) = parse_flag(args, "--report-out") {
+        write_artifact(&path, &(reports.join("\n") + "\n"));
+        println!("reports written to {path}");
+    }
+    if failed {
+        exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("timing") => cmd_timing(&args[1..]),
         Some("convergence") => cmd_convergence(&args[1..]),
         Some("scalability") => cmd_scalability(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         Some("--help" | "-h") | None => {
             print!("{USAGE}");
         }
