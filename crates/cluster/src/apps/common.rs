@@ -4,7 +4,7 @@
 
 use std::collections::HashMap;
 
-use iswitch_netsim::{IpAddr, Packet, SimDuration, SimTime, MAX_UDP_PAYLOAD};
+use iswitch_netsim::{CausalKey, IpAddr, Packet, SimDuration, SimTime, MAX_UDP_PAYLOAD};
 
 /// Bytes of blob header per packet: tag (4), msg id (4), total length (8).
 pub const BLOB_HEADER: usize = 16;
@@ -35,12 +35,23 @@ pub fn blob_packets(
     let n_packets = total_bytes.div_ceil(BLOB_CHUNK as u64).max(1);
     let mut out = Vec::with_capacity(n_packets as usize);
     let mut remaining = total_bytes;
-    for _ in 0..n_packets {
+    for chunk in 0..n_packets {
         let data = (remaining as usize).min(BLOB_CHUNK);
         remaining -= data as u64;
         let mut payload = header.clone();
         payload.resize(BLOB_HEADER + data, 0);
-        out.push(Packet::udp(src, dst, BASELINE_PORT, BASELINE_PORT, 0).with_payload(payload));
+        out.push(
+            Packet::udp(src, dst, BASELINE_PORT, BASELINE_PORT, 0)
+                .with_payload(payload)
+                // Causal identity for tracing: the msg id names the round,
+                // the chunk index stands in for the segment, and the sender
+                // address identifies the producer.
+                .with_cause(CausalKey {
+                    round: u64::from(msg_id),
+                    segment: chunk,
+                    worker: u64::from(src.as_u32()),
+                }),
+        );
     }
     out
 }

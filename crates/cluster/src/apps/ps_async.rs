@@ -11,6 +11,7 @@ use std::any::Any;
 use std::collections::VecDeque;
 
 use iswitch_netsim::{HostApp, HostCtx, IpAddr, Packet, SimTime};
+use iswitch_obs::Span;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -34,6 +35,7 @@ pub struct PsAsyncProto {
     asm: BlobAssembler,
     pull_seq: u32,
     weight_version: u32,
+    phase_start: SimTime,
 }
 
 impl PsAsyncProto {
@@ -57,9 +59,12 @@ impl StrategyProtocol for PsAsyncProto {
     fn on_timer(&mut self, rt: &mut Rt<'_, '_, '_>, token: u64) -> ProtoEvent {
         match token {
             P_COMPUTE => {
+                rt.emit_phase("worker.compute", self.phase_start, rt.core.commits);
+                self.phase_start = rt.now();
                 rt.set_timer(rt.phase_send_cost(), P_PUSH);
             }
             P_PUSH => {
+                rt.emit_phase("worker.commit", self.phase_start, rt.core.commits);
                 // Push the gradient stamped with the weight version it was
                 // computed from, then immediately pull again.
                 for pkt in blob_packets(
@@ -75,6 +80,7 @@ impl StrategyProtocol for PsAsyncProto {
                 self.pull(rt);
             }
             P_PULL => {
+                self.phase_start = rt.now();
                 let d = rt.draw_compute();
                 rt.set_timer(d, P_COMPUTE);
             }
@@ -116,6 +122,7 @@ impl AsyncPsWorker {
             asm: BlobAssembler::new(),
             pull_seq: 0,
             weight_version: 0,
+            phase_start: SimTime::ZERO,
         };
         StrategyRuntime::from_parts(core, proto, Box::new(SyntheticGradients::new(0)))
     }
@@ -140,6 +147,7 @@ pub struct AsyncPsServer {
     version: u32,
     applying: bool,
     apply_queue: VecDeque<u32>,
+    apply_started: SimTime,
     /// Completion time of every weight update.
     pub update_times: Vec<SimTime>,
     /// Staleness of every *applied* gradient.
@@ -169,6 +177,7 @@ impl AsyncPsServer {
             version: 0,
             applying: false,
             apply_queue: VecDeque::new(),
+            apply_started: SimTime::ZERO,
             update_times: Vec::new(),
             staleness: Vec::new(),
             discarded: 0,
@@ -187,6 +196,7 @@ impl AsyncPsServer {
             }
             self.staleness.push(staleness);
             self.applying = true;
+            self.apply_started = ctx.now();
             let d = self.comm.phase_recv() * self.messages
                 + self.compute.sample_weight_update(&mut self.rng);
             ctx.set_timer(d, T_APPLY_DONE);
@@ -222,6 +232,17 @@ impl HostApp for AsyncPsServer {
         if token == T_APPLY_DONE {
             self.version += 1;
             self.update_times.push(ctx.now());
+            if let Some(trace) = ctx.trace() {
+                Span::begin(
+                    trace.alloc_span_id(),
+                    "worker.update",
+                    self.apply_started.as_nanos(),
+                )
+                .attr_u64("worker", u64::from(ctx.ip().as_u32()))
+                .attr_u64("iter", u64::from(self.version))
+                .end(ctx.now().as_nanos())
+                .emit(trace);
+            }
             self.applying = false;
             self.maybe_apply(ctx);
         }

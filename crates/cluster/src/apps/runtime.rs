@@ -26,6 +26,7 @@ use std::any::Any;
 use std::collections::VecDeque;
 
 use iswitch_netsim::{HostApp, HostCtx, IpAddr, Packet, SimDuration, SimTime};
+use iswitch_obs::Span;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -95,6 +96,8 @@ pub struct WorkerCore {
     /// Gradients committed to the network (async pushes).
     pub commits: u64,
     pacing: Pacing,
+    /// Start of the current phase, for span emission.
+    phase_start: SimTime,
 }
 
 impl WorkerCore {
@@ -121,7 +124,23 @@ impl WorkerCore {
             skipped: 0,
             commits: 0,
             pacing,
+            phase_start: SimTime::ZERO,
         }
+    }
+}
+
+/// Records a closed `[start_ns, now]` phase span for the worker at
+/// `ctx.ip()` when the simulation trace is enabled. `seq` is the iteration
+/// (sync pacing) or commit/update sequence number (async pacing); the
+/// `worker` attribute carries the host's IPv4 address as `u32`, matching
+/// the producer identity on packet lifecycle events.
+fn emit_phase(ctx: &HostCtx<'_, '_>, name: &str, start_ns: u64, seq: u64) {
+    if let Some(trace) = ctx.trace() {
+        Span::begin(trace.alloc_span_id(), name, start_ns)
+            .attr_u64("worker", u64::from(ctx.ip().as_u32()))
+            .attr_u64("iter", seq)
+            .end(ctx.now().as_nanos())
+            .emit(trace);
     }
 }
 
@@ -206,6 +225,13 @@ impl Rt<'_, '_, '_> {
     /// Draws one weight-update span.
     pub fn draw_weight_update(&mut self) -> SimDuration {
         self.core.compute.sample_weight_update(&mut self.core.rng)
+    }
+
+    /// Records a phase span `[start, now]` for this worker when tracing is
+    /// enabled (no-op otherwise). Protocols that drive their own loop use
+    /// this to report compute/push phases the runtime cannot see.
+    pub fn emit_phase(&self, name: &str, start: SimTime, seq: u64) {
+        emit_phase(self.ctx, name, start.as_nanos(), seq);
     }
 
     /// Whether the pacing deadline (if any) has passed.
@@ -329,6 +355,7 @@ impl<P: StrategyProtocol> StrategyRuntime<P> {
     /// Sync: top of an iteration — span start, round reset, compute draw.
     fn begin_iteration(&mut self, ctx: &mut HostCtx<'_, '_>) {
         self.core.log.start(ctx.now());
+        self.core.phase_start = ctx.now();
         self.proto.begin_round(self.core.iter);
         let d = self.core.compute.sample_local_compute(&mut self.core.rng);
         ctx.set_timer(d, T_COMPUTE);
@@ -348,6 +375,7 @@ impl<P: StrategyProtocol> StrategyRuntime<P> {
         }
         // Alg. 1: copy the iteration index and weights, then interact.
         self.core.compute_from = self.core.version;
+        self.core.phase_start = ctx.now();
         self.source.compute();
         let d = self.core.compute.sample_local_compute(&mut self.core.rng);
         ctx.set_timer(d, T_COMPUTE);
@@ -357,6 +385,13 @@ impl<P: StrategyProtocol> StrategyRuntime<P> {
     /// immediate finish when the tail is empty).
     fn aggregation_done(&mut self, ctx: &mut HostCtx<'_, '_>) {
         self.core.log.aggregation_done(ctx.now());
+        emit_phase(
+            ctx,
+            "worker.aggregation",
+            self.core.phase_start.as_nanos(),
+            u64::from(self.core.iter),
+        );
+        self.core.phase_start = ctx.now();
         let tail = self
             .pending
             .front()
@@ -376,6 +411,12 @@ impl<P: StrategyProtocol> StrategyRuntime<P> {
             self.source.apply_aggregate(&mean);
         }
         self.core.log.finish(ctx.now());
+        emit_phase(
+            ctx,
+            "worker.update",
+            self.core.phase_start.as_nanos(),
+            u64::from(self.core.iter),
+        );
         self.core.iter += 1;
         let iterations = match self.core.pacing {
             Pacing::Sync { iterations } => iterations,
@@ -428,6 +469,13 @@ impl<P: StrategyProtocol> HostApp for StrategyRuntime<P> {
         match (self.core.pacing, token) {
             (Pacing::Sync { .. }, T_COMPUTE) => {
                 self.core.log.compute_done(ctx.now());
+                emit_phase(
+                    ctx,
+                    "worker.compute",
+                    self.core.phase_start.as_nanos(),
+                    u64::from(self.core.iter),
+                );
+                self.core.phase_start = ctx.now();
                 self.source.compute();
                 self.rt_call(ctx, |p, rt| p.start_round(rt));
             }
@@ -439,6 +487,13 @@ impl<P: StrategyProtocol> HostApp for StrategyRuntime<P> {
                 },
                 T_COMPUTE,
             ) => {
+                emit_phase(
+                    ctx,
+                    "worker.compute",
+                    self.core.phase_start.as_nanos(),
+                    self.core.commits,
+                );
+                self.core.phase_start = ctx.now();
                 // Staleness check before commit (Alg. 1 line 8).
                 let bound = staleness_bound;
                 let staleness = self.core.version.saturating_sub(self.core.compute_from);
@@ -452,6 +507,12 @@ impl<P: StrategyProtocol> HostApp for StrategyRuntime<P> {
                 }
             }
             (Pacing::Pipelined { .. }, T_COMMIT) => {
+                emit_phase(
+                    ctx,
+                    "worker.commit",
+                    self.core.phase_start.as_nanos(),
+                    self.core.commits,
+                );
                 self.rt_call(ctx, |p, rt| p.commit(rt));
                 self.core.commits += 1;
                 // Non-blocking send: the LGC stage continues immediately.
@@ -461,6 +522,11 @@ impl<P: StrategyProtocol> HostApp for StrategyRuntime<P> {
                 self.core.version += 1;
                 self.core.update_times.push(ctx.now());
                 let outcome = self.pending.pop_front().expect("update had a round");
+                let start = ctx
+                    .now()
+                    .as_nanos()
+                    .saturating_sub(outcome.update_tail.as_nanos());
+                emit_phase(ctx, "worker.update", start, u64::from(self.core.version));
                 if let Some(mean) = outcome.aggregate {
                     self.source.apply_aggregate(&mean);
                 }

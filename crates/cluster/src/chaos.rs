@@ -33,13 +33,15 @@
 //! every protocol must absorb.
 
 use std::any::Any;
+use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use iswitch_core::FLOATS_PER_SEGMENT;
 use iswitch_netsim::{
     build_star, host_ip, FaultAction, FaultPlan, Host, HostApp, LinkId, LossModel, SimDuration,
     SimTime, Simulator,
 };
-use iswitch_obs::JsonValue;
+use iswitch_obs::{JsonValue, Trace};
 use iswitch_rl::{make_lite_agent_scaled, paper_model, Algorithm, LocalReplica};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -410,6 +412,11 @@ pub struct ChaosReport {
     /// Invariant violations, in deterministic order. Empty means the run
     /// passed.
     pub violations: Vec<String>,
+    /// For every round named by a violation: that round's span timeline
+    /// (worker phases and switch aggregation windows, in trace order),
+    /// extracted from the run's causal trace. One
+    /// `{"round":r,"spans":[…]}` object per offending round.
+    pub violation_timelines: Vec<JsonValue>,
 }
 
 impl ChaosReport {
@@ -451,6 +458,10 @@ impl ChaosReport {
                     .map(|v| JsonValue::Str(v.clone()))
                     .collect(),
             ),
+        );
+        root.insert(
+            "violation_timelines",
+            JsonValue::Array(self.violation_timelines.clone()),
         );
         root.insert("passed", JsonValue::Bool(self.passed()));
         root
@@ -561,6 +572,39 @@ fn fingerprint(params: &[f32]) -> u64 {
     h
 }
 
+/// Event capacity of the bounded trace a chaos run records into. Chaos
+/// clusters are small (a handful of workers, tens of iterations), so this
+/// comfortably holds the whole run; if a pathological schedule overflows
+/// it, drop-oldest sacrifices early packet events first and the report's
+/// timelines degrade to partial rather than growing without bound.
+const CHAOS_TRACE_EVENTS: usize = 1 << 16;
+
+/// The span timeline of one round: every span touching round `round`
+/// (switch spans carry a `round` attribute; worker phase spans key the
+/// same quantity as `iter`), in trace order.
+fn round_timeline(trace: &Trace, round: u64) -> JsonValue {
+    let mut spans = Vec::new();
+    for line in trace.to_jsonl().lines() {
+        let Ok(doc) = JsonValue::parse(line) else {
+            continue;
+        };
+        if doc.get("kind").and_then(JsonValue::as_str) != Some("span") {
+            continue;
+        }
+        let in_round = match doc.get("round").and_then(JsonValue::as_u64) {
+            Some(r) => r == round,
+            None => doc.get("iter").and_then(JsonValue::as_u64) == Some(round),
+        };
+        if in_round {
+            spans.push(doc);
+        }
+    }
+    let mut o = JsonValue::empty_object();
+    o.insert("round", JsonValue::UInt(round));
+    o.insert("spans", JsonValue::Array(spans));
+    o
+}
+
 /// The schedule a run will use: explicit if given, generated otherwise.
 fn schedule_for(cfg: &ChaosConfig) -> ChaosSchedule {
     cfg.schedule.clone().unwrap_or_else(|| {
@@ -636,6 +680,8 @@ fn run_chaos_isw(cfg: &ChaosConfig, schedule: ChaosSchedule) -> ChaosReport {
     };
 
     let mut sim = Simulator::new();
+    let trace = Arc::new(Trace::bounded(CHAOS_TRACE_EVENTS));
+    sim.set_trace(Arc::clone(&trace));
     let worker_apps: Vec<Box<dyn HostApp>> = replicas
         .into_iter()
         .enumerate()
@@ -725,6 +771,7 @@ fn run_chaos_isw(cfg: &ChaosConfig, schedule: ChaosSchedule) -> ChaosReport {
     let mut completed = Vec::new();
     let mut rounds_checked = 0;
     let mut help_requests = 0;
+    let mut offending_rounds: BTreeSet<u64> = BTreeSet::new();
     match cfg.strategy {
         Strategy::SyncIsw => {
             // Pull each worker's recorded evidence out of the simulator.
@@ -778,6 +825,7 @@ fn run_chaos_isw(cfg: &ChaosConfig, schedule: ChaosSchedule) -> ChaosReport {
                             "I1 conservation: worker {w} round {r} applied an aggregate \
                              no worker computed a gradient for"
                         ));
+                        offending_rounds.insert(r as u64);
                         continue;
                     }
                     for (s, chunk) in agg.chunks(FLOATS_PER_SEGMENT).enumerate() {
@@ -791,6 +839,7 @@ fn run_chaos_isw(cfg: &ChaosConfig, schedule: ChaosSchedule) -> ChaosReport {
                                 "I1 conservation: worker {w} round {r} segment {s} applied \
                                  an aggregate matching no subset of that round's gradients"
                             ));
+                            offending_rounds.insert(r as u64);
                         }
                     }
                 }
@@ -829,6 +878,10 @@ fn run_chaos_isw(cfg: &ChaosConfig, schedule: ChaosSchedule) -> ChaosReport {
         .to_vec();
         fingerprint(&params)
     };
+    let violation_timelines = offending_rounds
+        .iter()
+        .map(|&r| round_timeline(&trace, r))
+        .collect();
     ChaosReport {
         strategy: cfg.strategy,
         chaos_seed: cfg.chaos_seed,
@@ -839,6 +892,7 @@ fn run_chaos_isw(cfg: &ChaosConfig, schedule: ChaosSchedule) -> ChaosReport {
         help_requests,
         params_fingerprint,
         violations,
+        violation_timelines,
     }
 }
 
@@ -991,6 +1045,7 @@ fn run_chaos_plain(cfg: &ChaosConfig, schedule: ChaosSchedule) -> ChaosReport {
         help_requests: 0,
         params_fingerprint: 0,
         violations,
+        violation_timelines: Vec::new(),
     }
 }
 

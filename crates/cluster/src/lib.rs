@@ -29,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod apps;
 mod chaos;
 mod compute_model;
@@ -54,8 +55,8 @@ pub use gradient_source::{
 };
 pub use staleness::StalenessDistribution;
 pub use timing_runner::{
-    run_timing, run_timing_observed, Breakdown, Strategy, TimingConfig, TimingObservation,
-    TimingResult,
+    run_timing, run_timing_observed, run_timing_observed_with, Breakdown, Strategy, TimingConfig,
+    TimingObservation, TimingResult, TraceOptions,
 };
 
 pub use iswitch_core::AggregationMode;

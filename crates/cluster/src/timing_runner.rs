@@ -2,6 +2,9 @@
 //! packet-level simulator, measuring steady-state per-iteration time and
 //! its component breakdown for every strategy of the paper's evaluation.
 
+use std::io::Write;
+use std::sync::Arc;
+
 use iswitch_core::{AggregationMode, AggregationRole, ExtensionConfig, IswitchExtension};
 use iswitch_netsim::{
     build_star, build_tree, build_tree3, host_ip, Host, HostApp, LinkId, LossModel, NodeId, PortId,
@@ -172,16 +175,32 @@ impl TimingResult {
 }
 
 /// Observability capture accumulated while a timing run executes.
-#[derive(Default)]
 struct RunObs {
     metrics: Option<JsonValue>,
-    trace: Trace,
+    trace: Arc<Trace>,
+}
+
+/// How the trace of an observed run is captured.
+///
+/// The default keeps every event in memory (fine for test-sized runs).
+/// Long runs should bound the buffer and/or stream to a sink so memory
+/// stays flat; the streaming sink sees every event even when the in-memory
+/// buffer drops its oldest.
+#[derive(Default)]
+pub struct TraceOptions {
+    /// Maximum events retained in memory (`None` = unbounded). Overflow
+    /// evicts the oldest event and bumps the trace's `dropped` counter.
+    pub capacity: Option<usize>,
+    /// Streaming JSONL sink receiving every event as it is recorded.
+    pub stream: Option<Box<dyn Write + Send>>,
 }
 
 /// Machine-readable capture of one timing run: the summary result plus the
-/// simulation's full metrics snapshot and a per-iteration stage trace
+/// simulation's full metrics snapshot and the causal trace — run/worker
+/// metadata, per-hop packet lifecycle events, worker phase spans
 /// (LGC = local gradient computing, GA = gradient aggregation, LWU = local
-/// weight update — the paper's Fig. 11 decomposition).
+/// weight update — the paper's Fig. 11 decomposition), switch aggregation
+/// windows, and one `iteration`/`update` summary event per iteration.
 pub struct TimingObservation {
     /// The summary [`run_timing`] would have returned.
     pub result: TimingResult,
@@ -189,10 +208,9 @@ pub struct TimingObservation {
     /// ([`Simulator::metrics_json`]): link backlog histograms, queue
     /// depths, aggregation latencies, Help/flush counters.
     pub metrics: JsonValue,
-    /// One `iteration` event per worker iteration (sync strategies) or one
-    /// `update` event per observed weight update (async strategies),
-    /// stamped with simulated time. Export with [`Trace::to_jsonl`].
-    pub trace: Trace,
+    /// The causal trace. Export with [`Trace::to_jsonl`]; events appear in
+    /// record order, not sorted by timestamp.
+    pub trace: Arc<Trace>,
 }
 
 impl TimingObservation {
@@ -224,9 +242,14 @@ impl TimingObservation {
         if let Some(s) = self.result.mean_staleness() {
             summary.insert("mean_staleness", JsonValue::Float(s));
         }
+        let mut trace_stats = JsonValue::empty_object();
+        trace_stats.insert("recorded", JsonValue::UInt(self.trace.recorded()));
+        trace_stats.insert("dropped", JsonValue::UInt(self.trace.dropped()));
+        trace_stats.insert("write_errors", JsonValue::UInt(self.trace.write_errors()));
         let mut root = JsonValue::empty_object();
         root.insert("summary", summary);
         root.insert("stages", stages);
+        root.insert("trace", trace_stats);
         root.insert("metrics", self.metrics.clone());
         root
     }
@@ -275,8 +298,29 @@ pub fn run_timing(cfg: &TimingConfig) -> TimingResult {
 ///
 /// Panics on degenerate configurations (zero workers/iterations).
 pub fn run_timing_observed(cfg: &TimingConfig) -> TimingObservation {
-    let mut obs = RunObs::default();
+    run_timing_observed_with(cfg, TraceOptions::default())
+}
+
+/// Like [`run_timing_observed`] with explicit control over trace capture:
+/// bound the in-memory buffer and/or stream every event to a JSONL sink.
+///
+/// # Panics
+///
+/// Panics on degenerate configurations (zero workers/iterations).
+pub fn run_timing_observed_with(cfg: &TimingConfig, opts: TraceOptions) -> TimingObservation {
+    let mut trace = match opts.capacity {
+        Some(cap) => Trace::bounded(cap),
+        None => Trace::new(),
+    };
+    if let Some(sink) = opts.stream {
+        trace = trace.with_writer(sink);
+    }
+    let mut obs = RunObs {
+        metrics: None,
+        trace: Arc::new(trace),
+    };
     let result = dispatch(cfg, Some(&mut obs));
+    obs.trace.flush();
     TimingObservation {
         result,
         metrics: obs.metrics.unwrap_or_else(JsonValue::empty_object),
@@ -284,12 +328,13 @@ pub fn run_timing_observed(cfg: &TimingConfig) -> TimingObservation {
     }
 }
 
-fn dispatch(cfg: &TimingConfig, obs: Option<&mut RunObs>) -> TimingResult {
+fn dispatch(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResult {
     assert!(
         cfg.workers >= 2,
         "distributed training needs at least two workers"
     );
     assert!(cfg.iterations > 0, "must measure at least one iteration");
+    emit_run_meta(cfg, &mut obs);
     match cfg.strategy {
         Strategy::SyncPs => run_sync_ps(cfg, obs),
         Strategy::SyncAr => run_sync_ar(cfg, obs),
@@ -409,11 +454,56 @@ fn capture_metrics(sim: &Simulator, obs: &mut Option<&mut RunObs>) {
     }
 }
 
+/// Hands the capture's trace to the simulator so hosts, links, and
+/// switches record causal events as the run executes.
+fn attach_trace(sim: &mut Simulator, obs: &Option<&mut RunObs>) {
+    if let Some(obs) = obs.as_deref() {
+        sim.set_trace(Arc::clone(&obs.trace));
+    }
+}
+
+/// Records run-level metadata at the head of the trace: the experiment
+/// shape (one `run` event) and the worker index ↔ IPv4 mapping (one
+/// `worker` event each) that analyzers use to resolve the `worker`
+/// attribute causal events carry (the address as `u32`).
+fn emit_run_meta(cfg: &TimingConfig, obs: &mut Option<&mut RunObs>) {
+    let Some(obs) = obs.as_deref_mut() else {
+        return;
+    };
+    obs.trace.record(
+        TraceEvent::new(0, "run")
+            .with_str("strategy", cfg.strategy.label())
+            .with_str("algorithm", &cfg.algorithm.to_string())
+            .with_u64("workers", cfg.workers as u64)
+            .with_u64("iterations", cfg.iterations as u64)
+            .with_u64("warmup", cfg.warmup as u64)
+            .with_u64("seed", cfg.seed),
+    );
+    for (i, ip) in worker_ips(cfg).iter().enumerate() {
+        obs.trace.record(
+            TraceEvent::new(0, "worker")
+                .with_u64("index", i as u64)
+                .with_u64("addr", u64::from(ip.as_u32()))
+                .with_str("ip", &ip.to_string()),
+        );
+    }
+    if matches!(cfg.strategy, Strategy::SyncPs | Strategy::AsyncPs) {
+        let ip = server_ip(cfg);
+        obs.trace.record(
+            TraceEvent::new(0, "host")
+                .with_str("role", "server")
+                .with_u64("addr", u64::from(ip.as_u32()))
+                .with_str("ip", &ip.to_string()),
+        );
+    }
+}
+
 fn run_sync_ps(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResult {
     let bytes = model_bytes(cfg.algorithm);
     let model = ComputeModel::for_algorithm(cfg.algorithm);
     let total_iters = cfg.warmup + cfg.iterations;
     let mut sim = Simulator::new();
+    attach_trace(&mut sim, &obs);
     let srv_ip = server_ip(cfg);
     let worker_apps: Vec<Box<dyn HostApp>> = (0..cfg.workers)
         .map(|w| {
@@ -466,6 +556,7 @@ fn run_sync_ar(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResult
     let total_iters = cfg.warmup + cfg.iterations;
     let ips = worker_ips(cfg);
     let mut sim = Simulator::new();
+    attach_trace(&mut sim, &obs);
     let worker_apps: Vec<Box<dyn HostApp>> = (0..cfg.workers)
         .map(|w| {
             Box::new(RingWorker::new(
@@ -651,6 +742,7 @@ fn run_sync_isw(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResul
         };
     }
     let mut sim = Simulator::new();
+    attach_trace(&mut sim, &obs);
     apply_event_limit(&mut sim, &cfg);
     let worker_apps: Vec<Box<dyn HostApp>> = (0..cfg.workers)
         .map(|w| {
@@ -725,6 +817,7 @@ fn run_async_ps(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResul
     let bytes = model_bytes(cfg.algorithm);
     let model = ComputeModel::for_algorithm(cfg.algorithm);
     let mut sim = Simulator::new();
+    attach_trace(&mut sim, &obs);
     let srv_ip = server_ip(cfg);
     let worker_apps: Vec<Box<dyn HostApp>> = (0..cfg.workers)
         .map(|w| {
@@ -782,6 +875,7 @@ fn run_async_isw(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResu
     let len = grad_len(cfg.algorithm);
     let model = ComputeModel::for_algorithm(cfg.algorithm);
     let mut sim = Simulator::new();
+    attach_trace(&mut sim, &obs);
     let worker_apps: Vec<Box<dyn HostApp>> = (0..cfg.workers)
         .map(|w| {
             Box::new(IswAsyncWorker::new(

@@ -87,6 +87,18 @@ fn naive_retransmission_trips_the_conservation_invariant() {
         "naive retransmission must double-count into some aggregate; got {:?}",
         broken.violations
     );
+    // Satellite: a violation report embeds the offending round's span
+    // timeline, so the causal history (worker phases, switch aggregation
+    // windows) ships with the verdict.
+    assert!(
+        !broken.violation_timelines.is_empty(),
+        "violations must carry round timelines"
+    );
+    let rendered = broken.to_json().render();
+    assert!(
+        rendered.contains("violation_timelines") && rendered.contains("switch.agg_window"),
+        "report JSON must embed the offending round's spans"
+    );
 
     cfg.naive_retransmit = false;
     let fixed = run_chaos(&cfg);

@@ -23,12 +23,13 @@ use std::sync::Arc;
 use iswitch_netsim::{
     ExtAction, IpAddr, Packet, PortId, SimDuration, SimTime, SwitchExtension, SwitchServices,
 };
-use iswitch_obs::{Counter, Histogram, Registry};
+use iswitch_obs::{Counter, Histogram, Registry, Span, TraceEvent};
 
 use crate::accelerator::{Accelerator, AcceleratorConfig};
 use crate::control_plane::{Member, MemberType, MembershipTable};
 use crate::protocol::{
-    num_segments, ControlMessage, DataSegment, ISWITCH_UDP_PORT, TOS_CONTROL, TOS_DATA,
+    num_segments, seg_index, seg_round, ControlMessage, DataSegment, ISWITCH_UDP_PORT, TOS_CONTROL,
+    TOS_DATA,
 };
 
 /// Destination IP carried by downward result broadcasts. Worker apps accept
@@ -325,14 +326,9 @@ impl IswitchExtension {
     }
 
     fn data_packet(&self, dst: IpAddr, seg: &DataSegment) -> Packet {
-        Packet::udp(
-            self.cfg.switch_ip,
-            dst,
-            ISWITCH_UDP_PORT,
-            ISWITCH_UDP_PORT,
-            TOS_DATA,
-        )
-        .with_payload(seg.encode())
+        // Reuses the worker-side factory so switch-emitted results carry
+        // the same causal key shape as worker contributions.
+        crate::worker::data_packet(self.cfg.switch_ip, dst, seg)
     }
 
     fn broadcast_down(&mut self, sw: &mut SwitchServices<'_, '_>, seg: &DataSegment) {
@@ -415,6 +411,20 @@ impl IswitchExtension {
                 obs.agg_latency_ns
                     .record(now.saturating_duration_since(opened).as_nanos() + latency.as_nanos());
                 self.last_arrival.remove(&idx);
+                if let Some(trace) = sw.trace() {
+                    // The contribution that crossed the threshold is the one
+                    // that gated this window — name it for straggler
+                    // attribution.
+                    let id = trace.alloc_span_id();
+                    Span::begin(id, "switch.agg_window", opened.as_nanos())
+                        .attr_u64("round", u64::from(seg_round(seg.seg)))
+                        .attr_u64("seg", seg_index(seg.seg))
+                        .attr_u64("last_src", u64::from(pkt.ip.src.as_u32()))
+                        .attr_str("last_src_ip", &pkt.ip.src.to_string())
+                        .attr_u64("node", sw.node().index() as u64)
+                        .end((now + latency).as_nanos())
+                        .emit(trace);
+                }
                 self.emit_completed(sw, agg, latency);
             }
             None => {
@@ -453,6 +463,16 @@ impl IswitchExtension {
                 self.stats.stale_flushes += 1;
                 if let Some(obs) = &self.obs {
                     obs.stale_flushes.inc();
+                }
+                if let Some(trace) = sw.trace() {
+                    trace.record(
+                        TraceEvent::new(now.as_nanos(), "switch.flush")
+                            .with_u64("round", u64::from(seg_round(idx as u64)))
+                            .with_u64("seg", seg_index(idx as u64))
+                            .with_u64("count", u64::from(partial.count))
+                            .with_str("reason", "stale")
+                            .with_u64("node", sw.node().index() as u64),
+                    );
                 }
                 self.emit_completed(sw, partial, SimDuration::from_nanos(0));
             }
@@ -528,12 +548,23 @@ impl IswitchExtension {
             ControlMessage::FBcast { seg } => {
                 if let Some(partial) = self.accel.force_broadcast(seg) {
                     self.round_open.remove(&(seg as usize));
+                    if let Some(trace) = sw.trace() {
+                        trace.record(
+                            TraceEvent::new(sw.now().as_nanos(), "switch.flush")
+                                .with_u64("round", u64::from(seg_round(seg)))
+                                .with_u64("seg", seg_index(seg))
+                                .with_u64("count", u64::from(partial.count))
+                                .with_str("reason", "fbcast")
+                                .with_str("from", &from.to_string())
+                                .with_u64("node", sw.node().index() as u64),
+                        );
+                    }
                     let latency = SimDuration::from_nanos(0);
                     self.emit_completed(sw, partial, latency);
                 }
             }
             ControlMessage::Help { seg } => {
-                if let Some(cached) = self.accel.last_result(seg) {
+                let served = if let Some(cached) = self.accel.last_result(seg) {
                     let reply = PendingEmit::HelpReply {
                         seg: cached.clone(),
                         to: from,
@@ -541,8 +572,20 @@ impl IswitchExtension {
                     self.stats.help_served += 1;
                     self.obs(sw).help_served.inc();
                     self.schedule(sw, SimDuration::from_nanos(0), reply);
+                    true
                 } else {
                     self.obs(sw).help_missed.inc();
+                    false
+                };
+                if let Some(trace) = sw.trace() {
+                    trace.record(
+                        TraceEvent::new(sw.now().as_nanos(), "switch.help")
+                            .with_u64("round", u64::from(seg_round(seg)))
+                            .with_u64("seg", seg_index(seg))
+                            .with_str("from", &from.to_string())
+                            .with_u64("served", u64::from(served))
+                            .with_u64("node", sw.node().index() as u64),
+                    );
                 }
             }
             ControlMessage::Halt => {
@@ -604,6 +647,12 @@ impl SwitchExtension for IswitchExtension {
             // `sweep_armed` stays as-is: an in-flight sweep timer cannot be
             // recalled, and letting it run keeps a single sweep chain alive.
             self.stats.fault_resets += 1;
+            if let Some(trace) = sw.trace() {
+                trace.record(
+                    TraceEvent::new(sw.now().as_nanos(), "switch.fault_reset")
+                        .with_u64("node", sw.node().index() as u64),
+                );
+            }
             return;
         }
         let Some(emit) = self.pending.remove(&token) else {

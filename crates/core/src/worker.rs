@@ -1,10 +1,11 @@
 //! Worker-side packet helpers: building gradient/control packets and
 //! parsing what comes back from the switch.
 
-use iswitch_netsim::{IpAddr, Packet};
+use iswitch_netsim::{CausalKey, IpAddr, Packet};
 
 use crate::protocol::{
-    segment_gradient_round, ControlMessage, DataSegment, ISWITCH_UDP_PORT, TOS_CONTROL, TOS_DATA,
+    seg_index, seg_round, segment_gradient_round, ControlMessage, DataSegment, ISWITCH_UDP_PORT,
+    TOS_CONTROL, TOS_DATA,
 };
 use crate::switch_ext::UPSTREAM_IP;
 
@@ -29,8 +30,19 @@ pub fn gradient_packets_round(src: IpAddr, grad: &[f32], round: u32) -> Vec<Pack
 }
 
 /// Builds a single data packet carrying `seg`.
+///
+/// The packet is stamped with a [`CausalKey`] derived from the tagged `Seg`
+/// field (round and spatial segment index) plus the sender's address as the
+/// producer identity, so per-hop trace events can be tied back to the unit
+/// of training work the packet carries.
 pub fn data_packet(src: IpAddr, dst: IpAddr, seg: &DataSegment) -> Packet {
-    Packet::udp(src, dst, ISWITCH_UDP_PORT, ISWITCH_UDP_PORT, TOS_DATA).with_payload(seg.encode())
+    Packet::udp(src, dst, ISWITCH_UDP_PORT, ISWITCH_UDP_PORT, TOS_DATA)
+        .with_payload(seg.encode())
+        .with_cause(CausalKey {
+            round: u64::from(seg_round(seg.seg)),
+            segment: seg_index(seg.seg),
+            worker: u64::from(src.as_u32()),
+        })
 }
 
 /// Builds a control packet carrying `msg` from `src` to `dst`.

@@ -11,7 +11,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 use std::sync::Arc;
 
-use iswitch_obs::{JsonValue, Registry};
+use iswitch_obs::{JsonValue, Registry, Trace, TraceEvent};
 
 use crate::fault::{FaultAction, FaultPlan};
 use crate::ids::{LinkId, NodeId, PortId, TimerId};
@@ -144,9 +144,34 @@ pub(crate) struct SimCore {
     pub stats: SimStats,
     flows: FlowTracker,
     obs: EngineObs,
+    /// Causal trace sink; `None` (the default) keeps the packet hot path
+    /// free of any tracing cost.
+    trace: Option<Arc<Trace>>,
 }
 
 impl SimCore {
+    /// Builds the common prefix of a packet lifecycle trace event — kind,
+    /// causal key, endpoints — or `None` when the packet is untagged or
+    /// tracing is off. Field order is fixed so exports are byte-stable.
+    fn pkt_event(&self, kind: &str, pkt: &Packet) -> Option<TraceEvent> {
+        let cause = pkt.cause?;
+        self.trace.as_ref()?;
+        Some(
+            TraceEvent::new(self.now.as_nanos(), kind)
+                .with_u64("round", cause.round)
+                .with_u64("seg", cause.segment)
+                .with_u64("worker", cause.worker)
+                .with_str("src", &pkt.ip.src.to_string())
+                .with_str("dst", &pkt.ip.dst.to_string()),
+        )
+    }
+
+    fn record(&self, event: TraceEvent) {
+        if let Some(trace) = self.trace.as_ref() {
+            trace.record(event);
+        }
+    }
+
     fn schedule(&mut self, at: SimTime, kind: EventKind) {
         debug_assert!(at >= self.now, "cannot schedule into the past");
         let seq = self.next_seq;
@@ -177,6 +202,12 @@ impl SimCore {
             self.stats.packets_dropped_link_down += 1;
             self.obs.links[link_id.index()][dir].drops.inc();
             self.flows.record_drop(pkt.ip.src, pkt.ip.dst);
+            if let Some(ev) = self.pkt_event("pkt.drop", &pkt) {
+                self.record(
+                    ev.with_u64("link", link_id.index() as u64)
+                        .with_str("reason", "link_down"),
+                );
+            }
             return;
         }
         let ser = SimDuration::serialization(wire, link.spec.bandwidth_bps);
@@ -198,6 +229,12 @@ impl SimCore {
             self.stats.packets_dropped += 1;
             self.obs.links[link_id.index()][dir].drops.inc();
             self.flows.record_drop(pkt.ip.src, pkt.ip.dst);
+            if let Some(ev) = self.pkt_event("pkt.drop", &pkt) {
+                self.record(
+                    ev.with_u64("link", link_id.index() as u64)
+                        .with_str("reason", "loss"),
+                );
+            }
             return;
         }
         self.obs.links[link_id.index()][dir].inflight.inc();
@@ -208,6 +245,14 @@ impl SimCore {
             + self.node_opts[dest.node.index()].rx_overhead;
         self.flows
             .record_delivery(pkt.ip.src, pkt.ip.dst, wire, self.now, arrive);
+        if let Some(ev) = self.pkt_event("pkt.tx", &pkt) {
+            self.record(
+                ev.with_u64("link", link_id.index() as u64)
+                    .with_u64("backlog_ns", backlog.as_nanos())
+                    .with_u64("depart_ns", depart.as_nanos())
+                    .with_u64("arrive_ns", arrive.as_nanos()),
+            );
+        }
         self.schedule(
             arrive,
             EventKind::Deliver {
@@ -278,6 +323,14 @@ impl<'a> Context<'a> {
         self.core.obs.registry()
     }
 
+    /// The causal trace sink, if tracing was enabled via
+    /// [`Simulator::set_trace`]. Devices use this to emit their own spans
+    /// and events into the same timeline as the engine's packet lifecycle
+    /// events.
+    pub fn trace(&self) -> Option<&Arc<Trace>> {
+        self.core.trace.as_ref()
+    }
+
     /// Number of ports connected on this node.
     pub fn port_count(&self) -> usize {
         self.core.node_ports[self.node.index()].len()
@@ -334,6 +387,7 @@ impl Simulator {
                 stats: SimStats::default(),
                 flows: FlowTracker::default(),
                 obs: EngineObs::new(),
+                trace: None,
             },
             nodes: Vec::new(),
             started: false,
@@ -442,6 +496,15 @@ impl Simulator {
         root.insert("engine", engine);
         root.insert("metrics", self.core.obs.registry().to_json());
         root
+    }
+
+    /// Installs a causal trace sink. From then on the engine stamps per-hop
+    /// lifecycle events (`pkt.tx`, `pkt.rx`, `pkt.drop`) for every packet
+    /// carrying a [`crate::packet::CausalKey`], and devices can reach the
+    /// same sink through [`Context::trace`]. Off by default: untraced runs
+    /// skip all event assembly.
+    pub fn set_trace(&mut self, trace: Arc<Trace>) {
+        self.core.trace = Some(trace);
     }
 
     /// Turns on per-flow (src IP, dst IP) delivery tracking. Off by
@@ -587,6 +650,13 @@ impl Simulator {
                 self.core.obs.links[link_id.index()][1 - tx_dir]
                     .inflight
                     .dec();
+                if let Some(ev) = self.core.pkt_event("pkt.rx", &pkt) {
+                    let label = &self.core.node_opts[node.index()].label;
+                    self.core.record(
+                        ev.with_u64("link", link_id.index() as u64)
+                            .with_str("node", label),
+                    );
+                }
                 self.dispatch(node, |dev, ctx| dev.on_packet(ctx, port, pkt));
             }
             EventKind::Timer { node, id, token } => {
@@ -1031,6 +1101,90 @@ mod tests {
         assert_eq!(
             metrics_a, metrics_b,
             "same plan must replay byte-identically"
+        );
+    }
+
+    #[test]
+    fn tagged_packets_leave_lifecycle_events() {
+        use crate::packet::CausalKey;
+
+        struct Tagged;
+        impl Device for Tagged {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                let pkt = Packet::udp(IpAddr::new(10, 0, 0, 1), IpAddr::new(10, 0, 0, 2), 9, 9, 0)
+                    .with_payload(vec![0u8; 100])
+                    .with_cause(CausalKey {
+                        round: 3,
+                        segment: 7,
+                        worker: 1,
+                    });
+                ctx.send(PortId(0), pkt);
+                // An untagged packet must leave no trace events.
+                let quiet =
+                    Packet::udp(IpAddr::new(10, 0, 0, 1), IpAddr::new(10, 0, 0, 2), 9, 9, 0);
+                ctx.send(PortId(0), quiet);
+            }
+            fn on_packet(&mut self, _: &mut Context<'_>, _: PortId, _: Packet) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+
+        let run = || {
+            let trace = Arc::new(iswitch_obs::Trace::new());
+            let mut sim = Simulator::new();
+            sim.set_trace(Arc::clone(&trace));
+            let t = sim.add_node(Box::new(Tagged), NodeOpts::new("tx"));
+            let s = sim.add_node(Box::new(Sink { got: 0 }), NodeOpts::new("rx"));
+            sim.connect(t, s, LinkSpec::ten_gbe());
+            sim.run_until_idle();
+            trace.to_jsonl()
+        };
+        let jsonl = run();
+        let kinds: Vec<String> = jsonl
+            .lines()
+            .map(|l| {
+                iswitch_obs::JsonValue::parse(l)
+                    .unwrap()
+                    .get("kind")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_owned()
+            })
+            .collect();
+        assert_eq!(kinds, vec!["pkt.tx", "pkt.rx"], "one tx and one rx hop");
+        let tx = iswitch_obs::JsonValue::parse(jsonl.lines().next().unwrap()).unwrap();
+        assert_eq!(tx.get("round").and_then(|v| v.as_u64()), Some(3));
+        assert_eq!(tx.get("seg").and_then(|v| v.as_u64()), Some(7));
+        assert_eq!(tx.get("worker").and_then(|v| v.as_u64()), Some(1));
+        assert!(tx.get("backlog_ns").is_some());
+        assert_eq!(jsonl, run(), "trace must be byte-identical across runs");
+    }
+
+    #[test]
+    fn dropped_tagged_packets_trace_the_drop_reason() {
+        let trace = Arc::new(iswitch_obs::Trace::new());
+        let spec = LinkSpec::ten_gbe().with_loss(crate::link::LossModel::Exact { drops: vec![0] });
+        let (mut sim, p) = ping_sim(0, spec);
+        sim.set_trace(Arc::clone(&trace));
+        let pkt = Packet::udp(IpAddr::new(10, 0, 0, 1), IpAddr::new(10, 0, 0, 2), 7, 9, 0)
+            .with_cause(crate::packet::CausalKey {
+                round: 0,
+                segment: 0,
+                worker: 0,
+            });
+        sim.run_until_idle();
+        sim.core.transmit(p, PortId(0), pkt);
+        let events = trace.snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, "pkt.drop");
+        assert_eq!(
+            events[0].field("reason").and_then(|v| v.as_str()),
+            Some("loss")
         );
     }
 

@@ -1,6 +1,9 @@
 //! Hosts: single-port endpoints driven by application state machines.
 
 use std::any::Any;
+use std::sync::Arc;
+
+use iswitch_obs::Trace;
 
 use crate::engine::{Context, Device};
 use crate::ids::{PortId, TimerId};
@@ -37,6 +40,11 @@ impl<'a, 'b> HostCtx<'a, 'b> {
     /// Cancels a pending timer.
     pub fn cancel_timer(&mut self, id: TimerId) {
         self.ctx.cancel_timer(id);
+    }
+
+    /// The causal trace sink, if tracing is enabled for this simulation.
+    pub fn trace(&self) -> Option<&Arc<Trace>> {
+        self.ctx.trace()
     }
 }
 

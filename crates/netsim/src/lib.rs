@@ -70,8 +70,8 @@ pub use host::{Host, HostApp, HostCtx};
 pub use ids::{LinkId, NodeId, PortId, TimerId};
 pub use link::{LinkSpec, LossModel};
 pub use packet::{
-    IpAddr, Ipv4Header, Packet, UdpHeader, ETH_OVERHEAD, ETH_PREAMBLE_IFG, IPV4_HEADER, MAX_FRAME,
-    MAX_UDP_PAYLOAD, UDP_HEADER,
+    CausalKey, IpAddr, Ipv4Header, Packet, UdpHeader, ETH_OVERHEAD, ETH_PREAMBLE_IFG, IPV4_HEADER,
+    MAX_FRAME, MAX_UDP_PAYLOAD, UDP_HEADER,
 };
 pub use stats::SimStats;
 pub use switch::{ExtAction, RouteTable, Switch, SwitchExtension, SwitchServices};

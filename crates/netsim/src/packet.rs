@@ -77,6 +77,26 @@ impl From<[u8; 4]> for IpAddr {
     }
 }
 
+/// Causal identity a sender can stamp on a packet so tracing can follow it
+/// across hops.
+///
+/// The key names the unit of training work the packet carries: which
+/// aggregation `round`, which gradient `segment` within the round, and
+/// which `worker` produced it. The simulator never interprets the key — it
+/// only copies it into per-hop trace events (`pkt.tx` / `pkt.rx` /
+/// `pkt.drop`) when tracing is enabled, so untraced runs pay nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CausalKey {
+    /// Aggregation round / iteration index.
+    pub round: u64,
+    /// Gradient segment index within the round.
+    pub segment: u64,
+    /// Producer identity. The reproduction stamps the sender's IPv4
+    /// address as `u32`; analyzers map it back to a worker index through
+    /// run-metadata events.
+    pub worker: u64,
+}
+
 /// IPv4 header fields the simulator cares about.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Ipv4Header {
@@ -122,6 +142,9 @@ pub struct Packet {
     pub udp: UdpHeader,
     /// UDP payload bytes.
     pub payload: Bytes,
+    /// Optional causal identity for tracing (not a wire field; carries no
+    /// bytes).
+    pub cause: Option<CausalKey>,
 }
 
 impl Packet {
@@ -131,7 +154,14 @@ impl Packet {
             ip: Ipv4Header { src, dst, tos },
             udp: UdpHeader { src_port, dst_port },
             payload: Bytes::new(),
+            cause: None,
         }
+    }
+
+    /// Stamps a causal identity on the packet (builder style).
+    pub fn with_cause(mut self, cause: CausalKey) -> Self {
+        self.cause = Some(cause);
+        self
     }
 
     /// Replaces the payload, consuming and returning the packet.

@@ -12,7 +12,7 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use iswitch_obs::Registry;
+use iswitch_obs::{Registry, Trace};
 
 use crate::engine::{Context, Device};
 use crate::ids::{NodeId, PortId, TimerId};
@@ -132,6 +132,11 @@ impl<'a, 'b> SwitchServices<'a, 'b> {
     /// own counters and histograms here so one export covers the whole run.
     pub fn metrics(&self) -> &Arc<Registry> {
         self.ctx.metrics()
+    }
+
+    /// The causal trace sink, if tracing is enabled for this simulation.
+    pub fn trace(&self) -> Option<&Arc<Trace>> {
+        self.ctx.trace()
     }
 }
 

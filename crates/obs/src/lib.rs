@@ -21,12 +21,18 @@
 //!   [`Registry`] that owns shared handles and exports a sorted snapshot.
 //! - [`json`]: [`JsonValue`], a deterministic writer, and a strict parser.
 //! - [`trace`]: [`Trace`], an append-only structured event log exported as
-//!   JSON Lines (one event object per line).
+//!   JSON Lines (one event object per line), optionally capacity-bounded
+//!   and/or streamed to a sink as events are recorded.
+//! - [`span`]: [`Span`], named intervals of simulated time with
+//!   deterministic IDs and parent/child links, rendered as ordinary trace
+//!   events so one JSONL artifact carries the full causal timeline.
 
 pub mod json;
 pub mod metrics;
+pub mod span;
 pub mod trace;
 
 pub use json::{JsonError, JsonValue};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use span::Span;
 pub use trace::{Trace, TraceEvent};

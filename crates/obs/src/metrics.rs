@@ -190,6 +190,56 @@ impl Histogram {
     pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
         std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
     }
+
+    /// Estimates the `q`-quantile (`0.0 ≤ q ≤ 1.0`) from the log2 buckets.
+    ///
+    /// The target rank is located in the cumulative bucket counts, then the
+    /// value is linearly interpolated across the hit bucket's `[lo, hi]`
+    /// range (samples are assumed uniform within a bucket). Exact for
+    /// single-value buckets (0 and 1); within a factor of two otherwise.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the sample that sits at quantile q.
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, bn) in self.bucket_counts().iter().enumerate() {
+            if *bn == 0 {
+                continue;
+            }
+            if seen + *bn >= rank {
+                let (lo, hi) = Self::bucket_bounds(i);
+                let into = rank - seen; // 1..=bn
+                let frac = if *bn == 1 {
+                    0.5
+                } else {
+                    (into - 1) as f64 / (*bn - 1) as f64
+                };
+                return lo + ((hi - lo) as f64 * frac).round() as u64;
+            }
+            seen += *bn;
+        }
+        self.max_value()
+    }
+
+    /// Median estimate (see [`Histogram::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate (see [`Histogram::quantile`]).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate (see [`Histogram::quantile`]).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
 }
 
 /// String-keyed home for metrics shared between a component and the
@@ -254,7 +304,8 @@ impl Registry {
 }
 
 /// Renders one histogram as JSON, listing only non-empty buckets:
-/// `{"count": n, "sum": s, "max": m, "buckets": [{"lo":..,"hi":..,"n":..}]}`.
+/// `{"count": n, "sum": s, "max": m, "p50": .., "p95": .., "p99": ..,
+/// "buckets": [{"lo":..,"hi":..,"n":..}]}`.
 pub fn histogram_to_json(h: &Histogram) -> JsonValue {
     let mut buckets = Vec::new();
     for (i, n) in h.bucket_counts().iter().enumerate() {
@@ -271,6 +322,9 @@ pub fn histogram_to_json(h: &Histogram) -> JsonValue {
     out.insert("count", JsonValue::UInt(h.count()));
     out.insert("sum", JsonValue::UInt(h.sum()));
     out.insert("max", JsonValue::UInt(h.max_value()));
+    out.insert("p50", JsonValue::UInt(h.p50()));
+    out.insert("p95", JsonValue::UInt(h.p95()));
+    out.insert("p99", JsonValue::UInt(h.p99()));
     out.insert("buckets", JsonValue::Array(buckets));
     out
 }
@@ -324,6 +378,71 @@ mod tests {
         assert_eq!(h.count(), 7);
         assert_eq!(h.max_value(), u64::MAX);
         assert_eq!(h.sum(), u64::MAX, "sum saturates instead of wrapping");
+    }
+
+    #[test]
+    fn quantiles_exact_on_singleton_buckets() {
+        // Buckets 0 and 1 each hold exactly one value, so interpolation
+        // cannot smear: 50 zeros + 50 ones has p50 = 0, p95 = p99 = 1.
+        let h = Histogram::new();
+        for _ in 0..50 {
+            h.record(0);
+            h.record(1);
+        }
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p95(), 1);
+        assert_eq!(h.p99(), 1);
+    }
+
+    #[test]
+    fn quantiles_exact_on_uniform_bucket() {
+        // Every value of bucket 11 ([1024, 2047]) recorded exactly once:
+        // samples are uniform within the bucket, so linear interpolation
+        // reproduces the exact order statistics.
+        let h = Histogram::new();
+        for v in 1024..=2047u64 {
+            h.record(v);
+        }
+        assert_eq!(h.p50(), 1535, "512th of 1024..=2047");
+        assert_eq!(h.p95(), 1996, "973rd of 1024..=2047");
+        assert_eq!(h.p99(), 2037, "1014th of 1024..=2047");
+        assert_eq!(h.quantile(0.0), 1024);
+        assert_eq!(h.quantile(1.0), 2047);
+    }
+
+    #[test]
+    fn quantiles_on_edge_cases() {
+        let empty = Histogram::new();
+        assert_eq!(empty.p50(), 0);
+        assert_eq!(empty.p99(), 0);
+
+        // A lone sample lands mid-bucket: 7 is in [4, 7], midpoint ≈ 6.
+        let one = Histogram::new();
+        one.record(7);
+        assert_eq!(one.p50(), 6);
+        assert_eq!(one.p99(), 6);
+
+        // Quantiles never decrease as q grows.
+        let h = Histogram::new();
+        for v in [1u64, 10, 100, 1000, 10_000, 100_000] {
+            h.record(v);
+        }
+        let qs: Vec<u64> = (0..=20).map(|i| h.quantile(i as f64 / 20.0)).collect();
+        for w in qs.windows(2) {
+            assert!(w[0] <= w[1], "quantile must be monotone: {qs:?}");
+        }
+    }
+
+    #[test]
+    fn histogram_json_includes_quantiles() {
+        let h = Histogram::new();
+        for v in 1024..=2047u64 {
+            h.record(v);
+        }
+        let json = histogram_to_json(&h);
+        assert_eq!(json.get("p50").and_then(|v| v.as_u64()), Some(1535));
+        assert_eq!(json.get("p95").and_then(|v| v.as_u64()), Some(1996));
+        assert_eq!(json.get("p99").and_then(|v| v.as_u64()), Some(2037));
     }
 
     #[test]

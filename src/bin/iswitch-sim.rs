@@ -7,13 +7,15 @@
 //! $ iswitch-sim scalability --algorithm ppo
 //! ```
 
+use std::io::BufWriter;
 use std::path::Path;
 use std::process::exit;
 
+use iswitch::cluster::analyze::TraceAnalysis;
 use iswitch::cluster::experiments::{fig15, Scale};
 use iswitch::cluster::{
-    run_chaos, run_convergence, run_cosim, run_timing, run_timing_observed, ChaosConfig,
-    ChaosSchedule, ConvergenceConfig, CosimConfig, Strategy, TimingConfig,
+    run_chaos, run_convergence, run_cosim, run_timing, run_timing_observed_with, ChaosConfig,
+    ChaosSchedule, ConvergenceConfig, CosimConfig, Strategy, TimingConfig, TraceOptions,
 };
 use iswitch::obs::JsonValue;
 use iswitch::rl::Algorithm;
@@ -32,6 +34,10 @@ COMMANDS:
                   delay spikes) with protocol invariants checked:
                   gradient conservation, sync barrier, staleness bound,
                   membership/update consistency, determinism
+    analyze       analyze a causal trace (from `timing --trace-out`):
+                  per-round critical path with straggler attribution,
+                  stage occupancy, aggregation-latency percentiles, and
+                  a Chrome trace-event (Perfetto) export
 
 OPTIONS:
     --algorithm <dqn|a2c|ppo|ddpg>     benchmark (default: ppo)
@@ -65,8 +71,18 @@ OPTIONS:
     --metrics-out <PATH>               write the observability report (stage
                                        timings + full metrics registry) as
                                        JSON to PATH (timing only)
-    --trace-out <PATH>                 write the per-iteration stage trace
-                                       as JSON Lines to PATH (timing only)
+    --trace-out <PATH>                 stream the causal trace (packet
+                                       lifecycle events, worker/switch
+                                       spans, iteration summaries) as JSON
+                                       Lines to PATH while the simulation
+                                       runs (timing only); memory stays
+                                       bounded regardless of run length
+    --trace <PATH>                     trace file to analyze (analyze only)
+    --out <PATH>                       write the analysis report as JSON to
+                                       PATH (analyze only)
+    --chrome-out <PATH>                write a Chrome trace-event JSON
+                                       (Perfetto-loadable) to PATH
+                                       (analyze only)
 ";
 
 fn parse_flag(args: &[String], name: &str) -> Option<String> {
@@ -257,14 +273,34 @@ fn cmd_timing(args: &[String]) {
     let metrics_out = parse_flag(args, "--metrics-out");
     let trace_out = parse_flag(args, "--trace-out");
     let r = if metrics_out.is_some() || trace_out.is_some() {
-        let obs = run_timing_observed(&cfg);
+        // Stream the trace to disk as the run executes and keep only a
+        // bounded window in memory, so long runs stay flat.
+        let mut opts = TraceOptions {
+            capacity: Some(65_536),
+            stream: None,
+        };
+        if let Some(path) = &trace_out {
+            if let Some(parent) = Path::new(path).parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent).unwrap_or_else(|e| {
+                        eprintln!("cannot create {}: {e}", parent.display());
+                        exit(1);
+                    });
+                }
+            }
+            let file = std::fs::File::create(path).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                exit(1);
+            });
+            opts.stream = Some(Box::new(BufWriter::new(file)));
+        }
+        let obs = run_timing_observed_with(&cfg, opts);
         if let Some(path) = &metrics_out {
             write_artifact(path, &format!("{}\n", obs.report_json().render()));
             println!("metrics written to {path}");
         }
         if let Some(path) = &trace_out {
-            write_artifact(path, &obs.trace.to_jsonl());
-            println!("trace written to {path}");
+            println!("trace streamed to {path} ({} events)", obs.trace.recorded());
         }
         obs.result
     } else {
@@ -402,10 +438,35 @@ fn cmd_chaos(args: &[String]) {
     }
 }
 
+fn cmd_analyze(args: &[String]) {
+    let Some(path) = parse_flag(args, "--trace") else {
+        eprintln!("analyze needs --trace <PATH> (a JSONL trace from `timing --trace-out`)");
+        exit(2);
+    };
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    let analysis = TraceAnalysis::from_jsonl(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        exit(2);
+    });
+    print!("{}", analysis.summary_text());
+    if let Some(out) = parse_flag(args, "--out") {
+        write_artifact(&out, &format!("{}\n", analysis.report_json().render()));
+        println!("report written to {out}");
+    }
+    if let Some(out) = parse_flag(args, "--chrome-out") {
+        write_artifact(&out, &format!("{}\n", analysis.chrome_trace().render()));
+        println!("chrome trace written to {out}");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("timing") => cmd_timing(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
         Some("convergence") => cmd_convergence(&args[1..]),
         Some("scalability") => cmd_scalability(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),

@@ -72,17 +72,54 @@ fn trace_records_every_measured_iteration() {
     let cfg = tiny_config(Strategy::SyncIsw);
     let obs = run_timing_observed(&cfg);
     let per_worker = cfg.warmup + cfg.iterations;
-    let lines: Vec<String> = obs.trace.to_jsonl().lines().map(str::to_owned).collect();
+    let docs: Vec<JsonValue> = obs
+        .trace
+        .to_jsonl()
+        .lines()
+        .map(|line| JsonValue::parse(line).expect("trace line parses"))
+        .collect();
+    let kind_count = |kind: &str| {
+        docs.iter()
+            .filter(|d| d.get("kind").and_then(|k| k.as_str()) == Some(kind))
+            .count()
+    };
     assert_eq!(
-        lines.len(),
+        kind_count("iteration"),
         cfg.workers * per_worker,
         "one iteration event per worker per iteration (warmup included)"
     );
-    for line in &lines {
-        let doc = JsonValue::parse(line).expect("trace line parses");
-        assert_eq!(doc.get("kind").and_then(|k| k.as_str()), Some("iteration"));
+    for doc in &docs {
+        if doc.get("kind").and_then(|k| k.as_str()) != Some("iteration") {
+            continue;
+        }
         for field in ["worker", "iter", "lgc_ns", "ga_ns", "lwu_ns", "total_ns"] {
             assert!(doc.get(field).is_some(), "iteration event lacks {field}");
         }
+    }
+    // The causal layer rides in the same trace: run/worker metadata, packet
+    // lifecycle events, and worker/switch spans.
+    assert_eq!(kind_count("run"), 1, "one run-metadata event");
+    assert_eq!(
+        kind_count("worker"),
+        cfg.workers,
+        "worker IP mapping events"
+    );
+    assert!(kind_count("pkt.tx") > 0, "packet lifecycle events present");
+    assert!(kind_count("pkt.rx") > 0, "packet lifecycle events present");
+    let span_names: Vec<&str> = docs
+        .iter()
+        .filter(|d| d.get("kind").and_then(|k| k.as_str()) == Some("span"))
+        .filter_map(|d| d.get("name").and_then(|n| n.as_str()))
+        .collect();
+    for expected in [
+        "worker.compute",
+        "worker.aggregation",
+        "worker.update",
+        "switch.agg_window",
+    ] {
+        assert!(
+            span_names.contains(&expected),
+            "trace lacks {expected} spans (got {span_names:?})"
+        );
     }
 }
