@@ -1,0 +1,378 @@
+//! `perfgate` — the repo's performance benchmark gate.
+//!
+//! Runs a pinned matrix of timing experiments (3 topologies × 5 strategies
+//! × fixed seeds) with tracing disabled, and reports per-cell engine
+//! throughput (events/sec), the simulated-to-wall time ratio, and peak
+//! process RSS as one deterministic JSON document (`BENCH_perf.json`).
+//!
+//! Throughput is computed from **process CPU time**
+//! (`CLOCK_PROCESS_CPUTIME_ID`), not wall time: the gate must hold up on
+//! shared, single-core CI runners where wall-clock noise from neighbours
+//! routinely exceeds the regression threshold. Wall time is still
+//! reported per cell for the sim/wall ratio.
+//!
+//! Two kinds of checks run against the checked-in baseline
+//! (`crates/bench/baselines/perfgate.json`):
+//!
+//! * **workload fingerprints** (always): each cell's event/packet counts
+//!   and final simulated clock must match the baseline exactly. These are
+//!   seeded-simulation outputs, identical on every machine — a mismatch
+//!   means the simulation's behaviour changed, which must be an explicit,
+//!   baseline-updating decision, never an accident.
+//! * **throughput regression** (skipped under `--stable`): aggregate
+//!   events per CPU-second must stay within `--threshold` (default 0.35)
+//!   of the baseline's recorded value. CPU-time numbers are still
+//!   machine-dependent, so this check is for developer machines; CI uses
+//!   `--stable`, which also omits all measured fields from the JSON so
+//!   two runs are byte-identical.
+//!
+//! Flags: `--quick` (reduced matrix: first seed only), `--stable` (omit
+//! measured fields; skip the throughput gate), `--out <path>` (default
+//! `BENCH_perf.json`), `--baseline <path>`, `--threshold <f>`,
+//! `--update-baseline` (rewrite the baseline from this run).
+
+use std::path::PathBuf;
+use std::process::exit;
+use std::time::Instant;
+
+use iswitch_bench::{banner, write_metrics};
+use iswitch_cluster::{run_timing_perf, PerfSample, Strategy, TimingConfig};
+use iswitch_obs::JsonValue;
+use iswitch_rl::Algorithm;
+
+/// Matrix seeds: the repo-wide experiment seed plus one decorrelated seed.
+const SEEDS: [u64; 2] = [0x5117c4, 7];
+
+const STRATEGIES: [(Strategy, &str); 5] = [
+    (Strategy::SyncPs, "ps"),
+    (Strategy::SyncAr, "ar"),
+    (Strategy::SyncIsw, "isw"),
+    (Strategy::AsyncPs, "async-ps"),
+    (Strategy::AsyncIsw, "async-isw"),
+];
+
+/// A topology shape of the pinned matrix.
+struct Topo {
+    name: &'static str,
+    workers: usize,
+    workers_per_rack: Option<usize>,
+    racks_per_agg: Option<usize>,
+}
+
+const TOPOLOGIES: [Topo; 3] = [
+    Topo {
+        name: "star",
+        workers: 4,
+        workers_per_rack: None,
+        racks_per_agg: None,
+    },
+    Topo {
+        name: "tree",
+        workers: 6,
+        workers_per_rack: Some(3),
+        racks_per_agg: None,
+    },
+    Topo {
+        name: "tree3",
+        workers: 8,
+        workers_per_rack: Some(2),
+        racks_per_agg: Some(2),
+    },
+];
+
+struct Cell {
+    id: String,
+    sample: PerfSample,
+    per_iteration_ns: u64,
+    wall_ns: u64,
+    cpu_ns: u64,
+}
+
+#[repr(C)]
+struct Timespec {
+    tv_sec: i64,
+    tv_nsec: i64,
+}
+
+extern "C" {
+    fn clock_gettime(clockid: i32, tp: *mut Timespec) -> i32;
+}
+
+/// CPU time consumed by this process, in nanoseconds. Unlike wall time it
+/// is insensitive to the process being descheduled, which is what makes
+/// the throughput gate usable on busy shared machines. Falls back to 0 if
+/// the clock is unavailable (callers then see wall-only data).
+fn process_cpu_ns() -> u64 {
+    const CLOCK_PROCESS_CPUTIME_ID: i32 = 2;
+    let mut ts = Timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
+    // SAFETY: clock_gettime writes the given timespec and nothing else.
+    let rc = unsafe { clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &mut ts) };
+    if rc != 0 {
+        return 0;
+    }
+    ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64
+}
+
+fn cell_config(topo: &Topo, strategy: Strategy, seed: u64) -> TimingConfig {
+    let mut cfg = TimingConfig::main_cluster(Algorithm::Ppo, strategy);
+    cfg.workers = topo.workers;
+    cfg.workers_per_rack = topo.workers_per_rack;
+    cfg.racks_per_agg = topo.racks_per_agg;
+    cfg.iterations = 10;
+    cfg.warmup = 2;
+    cfg.seed = seed;
+    cfg
+}
+
+fn run_matrix(quick: bool) -> Vec<Cell> {
+    let seeds: &[u64] = if quick { &SEEDS[..1] } else { &SEEDS };
+    let mut cells = Vec::new();
+    for topo in &TOPOLOGIES {
+        for &(strategy, label) in &STRATEGIES {
+            for &seed in seeds {
+                let cfg = cell_config(topo, strategy, seed);
+                let start = Instant::now();
+                let cpu_start = process_cpu_ns();
+                let (result, sample) = run_timing_perf(&cfg);
+                let cpu_ns = process_cpu_ns().saturating_sub(cpu_start);
+                let wall_ns = start.elapsed().as_nanos() as u64;
+                println!(
+                    "  {:<24} {:>9} events  sim {:>12} ns  cpu {:>7.1} ms  {:>8.0} kev/s",
+                    format!("{}/{label}/s{seed:x}", topo.name),
+                    sample.events,
+                    sample.sim_ns,
+                    cpu_ns as f64 / 1e6,
+                    sample.events as f64 / (cpu_ns.max(1) as f64 / 1e9) / 1e3,
+                );
+                cells.push(Cell {
+                    id: format!("{}/{label}/s{seed:x}", topo.name),
+                    sample,
+                    per_iteration_ns: result.per_iteration.as_nanos(),
+                    wall_ns,
+                    cpu_ns,
+                });
+            }
+        }
+    }
+    cells
+}
+
+fn report_json(cells: &[Cell], quick: bool, stable: bool, peak_rss: Option<u64>) -> JsonValue {
+    let mut rows = Vec::new();
+    for c in cells {
+        let mut row = JsonValue::empty_object();
+        row.insert("id", JsonValue::Str(c.id.clone()));
+        row.insert("events", JsonValue::UInt(c.sample.events));
+        row.insert("packets_sent", JsonValue::UInt(c.sample.packets_sent));
+        row.insert(
+            "packets_delivered",
+            JsonValue::UInt(c.sample.packets_delivered),
+        );
+        row.insert("sim_ns", JsonValue::UInt(c.sample.sim_ns));
+        row.insert("per_iteration_ns", JsonValue::UInt(c.per_iteration_ns));
+        if !stable {
+            row.insert("wall_ns", JsonValue::UInt(c.wall_ns));
+            row.insert("cpu_ns", JsonValue::UInt(c.cpu_ns));
+            row.insert(
+                "events_per_sec",
+                JsonValue::Float(c.sample.events as f64 / (c.cpu_ns.max(1) as f64 / 1e9)),
+            );
+            row.insert(
+                "sim_wall_ratio",
+                JsonValue::Float(c.sample.sim_ns as f64 / c.wall_ns as f64),
+            );
+        }
+        rows.push(row);
+    }
+    let total_events: u64 = cells.iter().map(|c| c.sample.events).sum();
+    let total_sim: u64 = cells.iter().map(|c| c.sample.sim_ns).sum();
+    let mut totals = JsonValue::empty_object();
+    totals.insert("events", JsonValue::UInt(total_events));
+    totals.insert("sim_ns", JsonValue::UInt(total_sim));
+    if !stable {
+        let total_wall: u64 = cells.iter().map(|c| c.wall_ns).sum();
+        let total_cpu: u64 = cells.iter().map(|c| c.cpu_ns).sum();
+        totals.insert("wall_ns", JsonValue::UInt(total_wall));
+        totals.insert("cpu_ns", JsonValue::UInt(total_cpu));
+        totals.insert(
+            "events_per_sec",
+            JsonValue::Float(total_events as f64 / (total_cpu.max(1) as f64 / 1e9)),
+        );
+        totals.insert(
+            "sim_wall_ratio",
+            JsonValue::Float(total_sim as f64 / total_wall as f64),
+        );
+        if let Some(rss) = peak_rss {
+            totals.insert("peak_rss_bytes", JsonValue::UInt(rss));
+        }
+    }
+    let mut doc = JsonValue::empty_object();
+    doc.insert("artifact", JsonValue::Str("perfgate".to_owned()));
+    doc.insert(
+        "matrix",
+        JsonValue::Str(if quick { "quick" } else { "full" }.to_owned()),
+    );
+    doc.insert("cells", JsonValue::Array(rows));
+    doc.insert("totals", totals);
+    doc
+}
+
+/// Peak resident-set size of this process in bytes (`VmHWM`), if the
+/// platform exposes it (Linux procfs).
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+fn cell_map(doc: &JsonValue) -> Vec<(String, JsonValue)> {
+    let Some(cells) = doc.get("cells").and_then(|c| c.as_array()) else {
+        return Vec::new();
+    };
+    cells
+        .iter()
+        .filter_map(|c| {
+            let id = c.get("id")?.as_str()?.to_owned();
+            Some((id, c.clone()))
+        })
+        .collect()
+}
+
+/// Compares this run's deterministic workload fingerprints against the
+/// baseline's. Returns human-readable mismatch descriptions.
+fn fingerprint_mismatches(current: &JsonValue, baseline: &JsonValue) -> Vec<String> {
+    const DETERMINISTIC: [&str; 5] = [
+        "events",
+        "packets_sent",
+        "packets_delivered",
+        "sim_ns",
+        "per_iteration_ns",
+    ];
+    let base = cell_map(baseline);
+    let mut out = Vec::new();
+    for (id, cell) in cell_map(current) {
+        let Some((_, b)) = base.iter().find(|(bid, _)| *bid == id) else {
+            out.push(format!("{id}: cell missing from baseline"));
+            continue;
+        };
+        for field in DETERMINISTIC {
+            let cur = cell.get(field).and_then(|v| v.as_u64());
+            let was = b.get(field).and_then(|v| v.as_u64());
+            if cur != was {
+                out.push(format!("{id}: {field} {was:?} -> {cur:?}"));
+            }
+        }
+    }
+    out
+}
+
+fn parse_flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let stable = args.iter().any(|a| a == "--stable");
+    let update_baseline = args.iter().any(|a| a == "--update-baseline");
+    let out = parse_flag(&args, "--out").unwrap_or_else(|| "BENCH_perf.json".to_owned());
+    let baseline_path = parse_flag(&args, "--baseline")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("crates/bench/baselines/perfgate.json"));
+    let threshold: f64 = parse_flag(&args, "--threshold")
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--threshold expects a number, got `{v}`");
+                exit(2);
+            })
+        })
+        .unwrap_or(0.35);
+
+    banner(
+        "perfgate",
+        "engine throughput gate (pinned topology x strategy matrix)",
+    );
+    let cells = run_matrix(quick);
+    let doc = report_json(&cells, quick, stable, peak_rss_bytes());
+    write_metrics(std::path::Path::new(&out), &doc).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        exit(1);
+    });
+    println!("report written to {out}");
+
+    if update_baseline {
+        // The baseline always records the full measured document (the
+        // throughput gate needs events_per_sec even when later runs are
+        // --stable), so refuse to write one from a stable/quick run.
+        if stable || quick {
+            eprintln!("--update-baseline needs a full, non-stable run");
+            exit(2);
+        }
+        write_metrics(&baseline_path, &doc).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", baseline_path.display());
+            exit(1);
+        });
+        println!("baseline updated at {}", baseline_path.display());
+        return;
+    }
+
+    let Ok(baseline_text) = std::fs::read_to_string(&baseline_path) else {
+        eprintln!(
+            "no baseline at {} — run with --update-baseline to create one",
+            baseline_path.display()
+        );
+        exit(1);
+    };
+    let baseline = JsonValue::parse(&baseline_text).unwrap_or_else(|e| {
+        eprintln!("{}: {e}", baseline_path.display());
+        exit(2);
+    });
+
+    let mismatches = fingerprint_mismatches(&doc, &baseline);
+    if !mismatches.is_empty() {
+        eprintln!("workload fingerprints diverged from the baseline:");
+        for m in &mismatches {
+            eprintln!("  {m}");
+        }
+        eprintln!(
+            "(seeded-simulation outputs changed — if intentional, refresh \
+             the baseline with --update-baseline; see BENCHMARKS.md)"
+        );
+        exit(1);
+    }
+    println!(
+        "workload fingerprints match the baseline ({} cells)",
+        cells.len()
+    );
+
+    if !stable {
+        let current = doc
+            .get("totals")
+            .and_then(|t| t.get("events_per_sec"))
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        let base = baseline
+            .get("totals")
+            .and_then(|t| t.get("events_per_sec"))
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        let floor = base * (1.0 - threshold);
+        println!(
+            "throughput: {:.0} events per cpu-sec (baseline {:.0}, floor {:.0})",
+            current, base, floor
+        );
+        if base > 0.0 && current < floor {
+            eprintln!(
+                "REGRESSION: events/sec fell more than {:.0}% below the baseline",
+                threshold * 100.0
+            );
+            exit(1);
+        }
+    }
+}

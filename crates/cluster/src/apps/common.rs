@@ -38,8 +38,11 @@ pub fn blob_packets(
     for chunk in 0..n_packets {
         let data = (remaining as usize).min(BLOB_CHUNK);
         remaining -= data as u64;
-        let mut payload = header.clone();
-        payload.resize(BLOB_HEADER + data, 0);
+        // Exact-size zeroed allocation up front (alloc_zeroed), rather than
+        // cloning the header and growing — resize from a 16-byte buffer
+        // reallocates every packet.
+        let mut payload = vec![0u8; BLOB_HEADER + data];
+        payload[..BLOB_HEADER].copy_from_slice(&header);
         out.push(
             Packet::udp(src, dst, BASELINE_PORT, BASELINE_PORT, 0)
                 .with_payload(payload)

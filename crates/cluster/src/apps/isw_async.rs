@@ -10,7 +10,9 @@
 //! * **LWU** — on each broadcast, every worker applies the same update to
 //!   its decentralized weight replica.
 
-use iswitch_core::{gradient_packets, num_segments, RoundAssembler, RoundInsert, TOS_DATA};
+use iswitch_core::{
+    gradient_packets, num_segments, EncodedGradient, RoundAssembler, RoundInsert, TOS_DATA,
+};
 use iswitch_netsim::{Packet, SimDuration, SimTime};
 
 use crate::apps::runtime::{
@@ -35,6 +37,10 @@ enum BcastTracker {
 pub struct IswAsyncProto {
     grad_len: usize,
     tracker: BcastTracker,
+    /// Pre-encoded contribution payloads for static (timing-mode) sources.
+    /// Async commits are untagged (round 0), so every commit reuses the
+    /// cached [`bytes::Bytes`] outright — no per-iteration serialization.
+    enc: Option<EncodedGradient>,
 }
 
 impl StrategyProtocol for IswAsyncProto {
@@ -44,10 +50,17 @@ impl StrategyProtocol for IswAsyncProto {
             asm.begin_round(None);
             self.tracker = BcastTracker::Values(asm);
         }
+        self.enc = rt
+            .source
+            .is_static()
+            .then(|| EncodedGradient::new(rt.ip(), rt.source.gradient()));
     }
 
     fn commit(&mut self, rt: &mut Rt<'_, '_, '_>) {
-        let pkts = gradient_packets(rt.ip(), rt.source.gradient());
+        let pkts = match &self.enc {
+            Some(enc) => enc.packets_round(0),
+            None => gradient_packets(rt.ip(), rt.source.gradient()),
+        };
         for pkt in pkts {
             rt.send(pkt);
         }
@@ -67,10 +80,7 @@ impl StrategyProtocol for IswAsyncProto {
                 None
             }
             BcastTracker::Values(asm) => {
-                let Some(seg) = iswitch_core::decode_data(&pkt) else {
-                    return ProtoEvent::None;
-                };
-                if !matches!(asm.insert(&seg), RoundInsert::Completed) {
+                if !matches!(asm.insert_wire(&pkt.payload), RoundInsert::Completed) {
                     return ProtoEvent::None;
                 }
                 let mean = asm.take_mean();
@@ -140,6 +150,7 @@ impl IswAsyncWorker {
         let proto = IswAsyncProto {
             grad_len: source.grad_len(),
             tracker: BcastTracker::Count(0),
+            enc: None,
         };
         StrategyRuntime::from_parts(core, proto, source)
     }

@@ -3,8 +3,8 @@
 //! aggregation happening on the fly inside the switch.
 
 use iswitch_core::{
-    control_packet, gradient_packets_round, tag_round, ControlMessage, RoundAssembler, RoundInsert,
-    UPSTREAM_IP,
+    control_packet, gradient_packets_round, tag_round, ControlMessage, EncodedGradient,
+    RoundAssembler, RoundInsert, UPSTREAM_IP,
 };
 use iswitch_netsim::{Packet, SimDuration};
 
@@ -37,6 +37,10 @@ pub struct IswSyncProto {
     sent: bool,
     /// `Help` requests issued (loss-recovery activity).
     pub help_requests: u64,
+    /// Pre-encoded contribution payloads, populated at start when the
+    /// gradient source is static (timing mode) — see
+    /// [`EncodedGradient`].
+    enc: Option<EncodedGradient>,
     /// Deliberately-broken recovery mode for the chaos harness: on retry,
     /// blindly re-push the whole gradient instead of asking the switch for
     /// `Help`. The accelerator counts *packets*, not sources, so a
@@ -55,7 +59,17 @@ impl IswSyncProto {
             stall: StallTracker::new(),
             sent: false,
             help_requests: 0,
+            enc: None,
             naive_retransmit: false,
+        }
+    }
+
+    /// This round's contribution packets: from the pre-encoded cache for
+    /// static sources, re-serialized from the live gradient otherwise.
+    fn contribution_packets(&self, rt: &Rt<'_, '_, '_>) -> Vec<Packet> {
+        match &self.enc {
+            Some(enc) => enc.packets_round(rt.iter()),
+            None => gradient_packets_round(rt.ip(), rt.source.gradient(), rt.iter()),
         }
     }
 
@@ -75,6 +89,10 @@ impl StrategyProtocol for IswSyncProto {
         // Co-sim sources need the broadcast *values*; timing sources only
         // need completion tracking.
         self.asm = RoundAssembler::new(self.grad_len, rt.source.wants_values());
+        self.enc = rt
+            .source
+            .is_static()
+            .then(|| EncodedGradient::new(rt.ip(), rt.source.gradient()));
     }
 
     fn begin_round(&mut self, iter: u32) {
@@ -91,7 +109,7 @@ impl StrategyProtocol for IswSyncProto {
             // Tag every segment with the iteration so stale re-broadcasts
             // and expired partial flushes of earlier rounds cannot satisfy
             // this one.
-            let pkts = gradient_packets_round(rt.ip(), rt.source.gradient(), rt.iter());
+            let pkts = self.contribution_packets(rt);
             for pkt in pkts {
                 rt.send(pkt);
             }
@@ -119,7 +137,7 @@ impl StrategyProtocol for IswSyncProto {
             // The "obvious" recovery a reader might reach for — and exactly
             // what the paper's Help/FBcast design avoids: the switch cannot
             // tell a retransmission from a fresh contribution.
-            let pkts = gradient_packets_round(rt.ip(), rt.source.gradient(), rt.iter());
+            let pkts = self.contribution_packets(rt);
             for pkt in pkts {
                 rt.send(pkt);
             }
@@ -158,10 +176,12 @@ impl StrategyProtocol for IswSyncProto {
     }
 
     fn on_packet(&mut self, rt: &mut Rt<'_, '_, '_>, pkt: Packet) -> ProtoEvent {
-        let Some(seg) = iswitch_core::decode_data(&pkt) else {
+        if pkt.ip.tos != iswitch_core::TOS_DATA {
             return ProtoEvent::None;
-        };
-        match self.asm.insert(&seg) {
+        }
+        // Bookkeeping straight off the wire: a timing-mode assembler never
+        // materializes the payload's floats (see `RoundAssembler::insert_wire`).
+        match self.asm.insert_wire(&pkt.payload) {
             // A round that completes before our own push (a partial flush
             // while we were computing) is held; `P_SEND` emits it.
             RoundInsert::Completed if self.sent => self.outcome(rt),

@@ -42,6 +42,14 @@ pub trait GradientSource: 'static {
         false
     }
 
+    /// Whether [`GradientSource::gradient`] returns the same contents every
+    /// iteration. Static sources let the worker pre-encode its contribution
+    /// payloads once (see [`iswitch_core::EncodedGradient`]) instead of
+    /// re-serializing identical floats every round.
+    fn is_static(&self) -> bool {
+        false
+    }
+
     /// Produces a fresh gradient at the current local weights (LGC).
     fn compute(&mut self) {}
 
@@ -96,6 +104,10 @@ impl SyntheticGradients {
 impl GradientSource for SyntheticGradients {
     fn grad_len(&self) -> usize {
         self.template.len()
+    }
+
+    fn is_static(&self) -> bool {
+        true
     }
 
     fn gradient(&self) -> &[f32] {

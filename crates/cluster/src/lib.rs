@@ -55,8 +55,8 @@ pub use gradient_source::{
 };
 pub use staleness::StalenessDistribution;
 pub use timing_runner::{
-    run_timing, run_timing_observed, run_timing_observed_with, Breakdown, Strategy, TimingConfig,
-    TimingObservation, TimingResult, TraceOptions,
+    run_timing, run_timing_observed, run_timing_observed_with, run_timing_perf, Breakdown,
+    PerfSample, Strategy, TimingConfig, TimingObservation, TimingResult, TraceOptions,
 };
 
 pub use iswitch_core::AggregationMode;

@@ -175,9 +175,31 @@ impl TimingResult {
 }
 
 /// Observability capture accumulated while a timing run executes.
+///
+/// `trace` is `None` for perf-sampling runs ([`run_timing_perf`]): leaving
+/// the simulator's trace sink unset keeps the packet hot path free of any
+/// event-assembly cost, so wall-clock measurements reflect the engine, not
+/// the instrumentation.
 struct RunObs {
     metrics: Option<JsonValue>,
-    trace: Arc<Trace>,
+    want_metrics: bool,
+    trace: Option<Arc<Trace>>,
+    perf: Option<PerfSample>,
+}
+
+/// Raw engine-side counters of one timing run, captured for benchmark
+/// harnesses (`perfgate`). All fields are deterministic for a fixed
+/// [`TimingConfig`]: they come from the seeded simulation, not the host.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PerfSample {
+    /// Discrete events processed by the simulator.
+    pub events: u64,
+    /// Packets handed to links (includes packets dropped by loss/faults).
+    pub packets_sent: u64,
+    /// Packets delivered to a device callback.
+    pub packets_delivered: u64,
+    /// Final simulation clock in nanoseconds.
+    pub sim_ns: u64,
 }
 
 /// How the trace of an observed run is captured.
@@ -317,15 +339,39 @@ pub fn run_timing_observed_with(cfg: &TimingConfig, opts: TraceOptions) -> Timin
     }
     let mut obs = RunObs {
         metrics: None,
-        trace: Arc::new(trace),
+        want_metrics: true,
+        trace: Some(Arc::new(trace)),
+        perf: None,
     };
     let result = dispatch(cfg, Some(&mut obs));
-    obs.trace.flush();
+    let trace = obs.trace.expect("observed runs keep their trace");
+    trace.flush();
     TimingObservation {
         result,
         metrics: obs.metrics.unwrap_or_else(JsonValue::empty_object),
-        trace: obs.trace,
+        trace,
     }
+}
+
+/// Runs one timing experiment and returns the engine's raw event/packet
+/// counters alongside the summary, with **no tracing attached**: the packet
+/// hot path runs exactly as in [`run_timing`], so wall-clock time measured
+/// around this call is an honest engine benchmark. Used by the `perfgate`
+/// benchmark gate.
+///
+/// # Panics
+///
+/// Panics on degenerate configurations (zero workers/iterations).
+pub fn run_timing_perf(cfg: &TimingConfig) -> (TimingResult, PerfSample) {
+    let mut obs = RunObs {
+        metrics: None,
+        want_metrics: false,
+        trace: None,
+        perf: None,
+    };
+    let result = dispatch(cfg, Some(&mut obs));
+    let perf = obs.perf.expect("every strategy captures a perf sample");
+    (result, perf)
 }
 
 fn dispatch(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResult {
@@ -412,9 +458,9 @@ fn collect_sync_result<T: HostApp>(
     for (widx, &w) in workers.iter().enumerate() {
         let app = sim.device::<Host>(w).app::<T>();
         let log = log_of(app);
-        if let Some(obs) = obs.as_deref_mut() {
+        if let Some(trace) = obs.as_deref_mut().and_then(|o| o.trace.as_deref()) {
             for (i, (span, end)) in log.spans().iter().zip(log.end_times()).enumerate() {
-                obs.trace.record(
+                trace.record(
                     TraceEvent::new(end.as_nanos(), "iteration")
                         .with_u64("worker", widx as u64)
                         .with_u64("iter", i as u64)
@@ -447,18 +493,28 @@ fn collect_sync_result<T: HostApp>(
     }
 }
 
-/// Snapshots the simulation's metrics registry into the capture, if any.
+/// Snapshots the simulation's metrics registry and raw engine counters
+/// into the capture, if any.
 fn capture_metrics(sim: &Simulator, obs: &mut Option<&mut RunObs>) {
     if let Some(obs) = obs.as_deref_mut() {
-        obs.metrics = Some(sim.metrics_json());
+        if obs.want_metrics {
+            obs.metrics = Some(sim.metrics_json());
+        }
+        let stats = sim.stats();
+        obs.perf = Some(PerfSample {
+            events: stats.events_processed,
+            packets_sent: stats.packets_sent,
+            packets_delivered: stats.packets_delivered,
+            sim_ns: sim.now().as_nanos(),
+        });
     }
 }
 
-/// Hands the capture's trace to the simulator so hosts, links, and
-/// switches record causal events as the run executes.
+/// Hands the capture's trace (if one is wanted) to the simulator so hosts,
+/// links, and switches record causal events as the run executes.
 fn attach_trace(sim: &mut Simulator, obs: &Option<&mut RunObs>) {
-    if let Some(obs) = obs.as_deref() {
-        sim.set_trace(Arc::clone(&obs.trace));
+    if let Some(trace) = obs.as_deref().and_then(|o| o.trace.as_ref()) {
+        sim.set_trace(Arc::clone(trace));
     }
 }
 
@@ -467,10 +523,10 @@ fn attach_trace(sim: &mut Simulator, obs: &Option<&mut RunObs>) {
 /// `worker` event each) that analyzers use to resolve the `worker`
 /// attribute causal events carry (the address as `u32`).
 fn emit_run_meta(cfg: &TimingConfig, obs: &mut Option<&mut RunObs>) {
-    let Some(obs) = obs.as_deref_mut() else {
+    let Some(trace) = obs.as_deref_mut().and_then(|o| o.trace.as_deref()) else {
         return;
     };
-    obs.trace.record(
+    trace.record(
         TraceEvent::new(0, "run")
             .with_str("strategy", cfg.strategy.label())
             .with_str("algorithm", &cfg.algorithm.to_string())
@@ -480,7 +536,7 @@ fn emit_run_meta(cfg: &TimingConfig, obs: &mut Option<&mut RunObs>) {
             .with_u64("seed", cfg.seed),
     );
     for (i, ip) in worker_ips(cfg).iter().enumerate() {
-        obs.trace.record(
+        trace.record(
             TraceEvent::new(0, "worker")
                 .with_u64("index", i as u64)
                 .with_u64("addr", u64::from(ip.as_u32()))
@@ -489,7 +545,7 @@ fn emit_run_meta(cfg: &TimingConfig, obs: &mut Option<&mut RunObs>) {
     }
     if matches!(cfg.strategy, Strategy::SyncPs | Strategy::AsyncPs) {
         let ip = server_ip(cfg);
-        obs.trace.record(
+        trace.record(
             TraceEvent::new(0, "host")
                 .with_str("role", "server")
                 .with_u64("addr", u64::from(ip.as_u32()))
@@ -800,7 +856,7 @@ fn run_async_until(
 
 /// Emits one `update` event per observed weight-update timestamp.
 fn trace_updates(obs: &mut Option<&mut RunObs>, times: &[SimTime], warmup: usize) {
-    if let Some(obs) = obs.as_deref_mut() {
+    if let Some(trace) = obs.as_deref_mut().and_then(|o| o.trace.as_deref()) {
         for (i, t) in times.iter().enumerate() {
             let mut ev = TraceEvent::new(t.as_nanos(), "update")
                 .with_u64("index", i as u64)
@@ -808,7 +864,7 @@ fn trace_updates(obs: &mut Option<&mut RunObs>, times: &[SimTime], warmup: usize
             if i > 0 {
                 ev = ev.with_u64("interval_ns", t.duration_since(times[i - 1]).as_nanos());
             }
-            obs.trace.record(ev);
+            trace.record(ev);
         }
     }
 }

@@ -19,7 +19,7 @@ use std::collections::HashMap;
 use iswitch_netsim::SimDuration;
 use serde::{Deserialize, Serialize};
 
-use crate::protocol::{DataSegment, FLOATS_PER_SEGMENT};
+use crate::protocol::{DataSegment, SegmentMeta, FLOATS_PER_SEGMENT, SEG_HEADER_BYTES};
 
 /// Hardware parameters of the accelerator (defaults follow §3.5).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -120,25 +120,98 @@ pub struct Accelerator {
     cfg: AcceleratorConfig,
     threshold: u16,
     num_segments: usize,
-    /// Partial-segment buffers keyed by the full (round-tagged) `Seg`
-    /// value, resident only between a round's first contribution and its
-    /// completion. On-the-fly aggregation frees each buffer the moment its
-    /// aggregate is emitted, so the BRAM footprint tracks the *arrival
-    /// skew window*, not the full gradient vector — that is how a 6.41 MB
-    /// DQN model fits the switch's ~3 MB of BRAM.
-    buffers: HashMap<u64, Vec<f32>>,
+    /// Maps the full (round-tagged) `Seg` value of each open round to its
+    /// dense slot in `slots` — the SwitchML-style pool layout: one hash
+    /// lookup per packet resolves buffer, contribution counter, and worker
+    /// count together, instead of the three parallel maps this replaced.
+    index: HashMap<u64, u32>,
+    /// Aggregation state for open rounds, indexed by the dense slot ids in
+    /// `index`/`free`. A slot is resident only between a round's first
+    /// contribution and its completion. On-the-fly aggregation frees each
+    /// slot the moment its aggregate is emitted, so the BRAM footprint
+    /// tracks the *arrival skew window*, not the full gradient vector —
+    /// that is how a 6.41 MB DQN model fits the switch's ~3 MB of BRAM.
+    slots: Vec<Slot>,
+    /// Recycled slot ids (LIFO, so the most recently touched — and thus
+    /// cache-warm — slot is reused first).
+    free: Vec<u32>,
     resident_bytes: usize,
-    /// Contributions (packets) received per open round — compared against
-    /// `H`.
-    counters: HashMap<u64, u16>,
-    /// Total workers represented per open round (sums the incoming `count`
-    /// fields) — becomes the emitted result's `count` metadata.
-    worker_counts: HashMap<u64, u16>,
     /// Cache of the last emitted aggregate per `Seg`, serving `Help`
     /// retransmission requests for lost result packets. Held in the switch
     /// CPU's DRAM (control plane), not BRAM.
     last_results: HashMap<u64, DataSegment>,
     stats: AcceleratorStats,
+}
+
+/// Per-open-round aggregation state: the BRAM buffer plus the hardware's
+/// per-segment counters, kept together so one packet touches one slot.
+#[derive(Debug, Clone, Default)]
+struct Slot {
+    /// Partial sums for this round.
+    values: Vec<f32>,
+    /// Contributions (packets) received — compared against `H`.
+    contributions: u16,
+    /// Total workers represented (sums the incoming `count` fields) —
+    /// becomes the emitted result's `count` metadata.
+    workers: u16,
+}
+
+/// Adds `src` into `acc` element-wise, chunked to the datapath's eight
+/// parallel f32 adders (one 256-bit AXI bus beat) so the compiler emits
+/// vector adds. Lanes are independent — no reassociation — so results are
+/// bit-identical to the scalar loop.
+fn accumulate(acc: &mut [f32], src: &[f32]) {
+    const LANES: usize = 8;
+    let mut acc_chunks = acc.chunks_exact_mut(LANES);
+    let mut src_chunks = src.chunks_exact(LANES);
+    for (a, s) in acc_chunks.by_ref().zip(src_chunks.by_ref()) {
+        for i in 0..LANES {
+            a[i] += s[i];
+        }
+    }
+    for (a, s) in acc_chunks
+        .into_remainder()
+        .iter_mut()
+        .zip(src_chunks.remainder())
+    {
+        *a += s;
+    }
+}
+
+/// Adds big-endian f32 wire data into `acc` element-wise, without first
+/// materializing a decoded `Vec<f32>`. Element order matches [`accumulate`]
+/// exactly, so sums are bit-identical to the decode-then-accumulate path.
+fn accumulate_wire(acc: &mut [f32], bytes: &[u8]) {
+    debug_assert_eq!(acc.len() * 4, bytes.len());
+    for (a, c) in acc.iter_mut().zip(bytes.chunks_exact(4)) {
+        *a += f32::from_be_bytes(c.try_into().expect("4 bytes"));
+    }
+}
+
+/// One arriving contribution, either as decoded floats or as raw wire
+/// bytes. Keeping the two behind one ingest path guarantees both charge
+/// identical latency and produce bit-identical sums.
+enum Contribution<'a> {
+    /// Decoded f32 values (the owned [`DataSegment`] path).
+    Floats(&'a [f32]),
+    /// Big-endian f32 wire data, header already stripped.
+    Wire(&'a [u8]),
+}
+
+impl Contribution<'_> {
+    fn len(&self) -> usize {
+        match self {
+            Contribution::Floats(src) => src.len(),
+            Contribution::Wire(bytes) => bytes.len() / 4,
+        }
+    }
+
+    fn accumulate_into(&self, acc: &mut [f32]) {
+        match self {
+            Contribution::Floats(src) => accumulate(acc, src),
+            Contribution::Wire(bytes) => accumulate_wire(acc, bytes),
+        }
+    }
 }
 
 impl Accelerator {
@@ -162,10 +235,10 @@ impl Accelerator {
             cfg,
             threshold,
             num_segments,
-            buffers: HashMap::new(),
+            index: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             resident_bytes: 0,
-            counters: HashMap::new(),
-            worker_counts: HashMap::new(),
             last_results: HashMap::new(),
             stats: AcceleratorStats::default(),
         }
@@ -195,7 +268,7 @@ impl Accelerator {
 
     /// `Seg` values (round-tagged) currently holding a partial round.
     pub fn partial_segments(&self) -> Vec<u64> {
-        let mut out: Vec<u64> = self.buffers.keys().copied().collect();
+        let mut out: Vec<u64> = self.index.keys().copied().collect();
         out.sort_unstable();
         out
     }
@@ -232,43 +305,93 @@ impl Accelerator {
     /// Panics if the segment index is out of range or a segment arrives
     /// with an inconsistent length.
     pub fn ingest(&mut self, seg: &DataSegment) -> (Option<DataSegment>, SimDuration) {
-        let idx = seg.seg;
-        self.stats.packets_in += 1;
-        let latency = self.charge(seg.values.len() * 4 + 8);
+        self.ingest_inner(seg.seg, seg.count, Contribution::Floats(&seg.values))
+    }
 
-        // Opening a new round requires BRAM for its buffer; when the
-        // window is full the packet is dropped, exactly as the hardware
-        // would. (This genuinely happens when loss desynchronizes workers
-        // by an iteration: N-1 full vectors may contend for a buffer that
-        // holds less than one.)
-        if !self.buffers.contains_key(&idx)
-            && self.resident_bytes + seg.values.len() * 4 > self.cfg.buffer_bytes
-        {
-            self.stats.bram_drops += 1;
-            return (None, latency);
-        }
-        let buffer = self.buffers.entry(idx).or_insert_with(|| {
-            self.resident_bytes += seg.values.len() * 4;
-            vec![0.0; seg.values.len()]
-        });
+    /// Ingests one contribution straight from its encoded UDP payload
+    /// (`meta` from [`DataSegment::decode_meta`], `payload` the full wire
+    /// payload including the `Seg` header).
+    ///
+    /// Semantically identical to decoding into a [`DataSegment`] and
+    /// calling [`Accelerator::ingest`] — same latency charge, bit-identical
+    /// sums — but the per-packet value vector is never materialized, which
+    /// is what the hardware does too: adders read bus beats, not heap
+    /// allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Accelerator::ingest`].
+    pub fn ingest_wire(
+        &mut self,
+        meta: SegmentMeta,
+        payload: &[u8],
+    ) -> (Option<DataSegment>, SimDuration) {
+        self.ingest_inner(
+            meta.seg,
+            meta.count,
+            Contribution::Wire(&payload[SEG_HEADER_BYTES..]),
+        )
+    }
+
+    fn ingest_inner(
+        &mut self,
+        idx: u64,
+        count: u16,
+        values: Contribution<'_>,
+    ) -> (Option<DataSegment>, SimDuration) {
+        let len = values.len();
+        self.stats.packets_in += 1;
+        let latency = self.charge(len * 4 + 8);
+
+        let slot_id = match self.index.get(&idx) {
+            Some(&slot_id) => slot_id,
+            None => {
+                // Opening a new round requires BRAM for its buffer; when
+                // the window is full the packet is dropped, exactly as the
+                // hardware would. (This genuinely happens when loss
+                // desynchronizes workers by an iteration: N-1 full vectors
+                // may contend for a buffer that holds less than one.)
+                if self.resident_bytes + len * 4 > self.cfg.buffer_bytes {
+                    self.stats.bram_drops += 1;
+                    return (None, latency);
+                }
+                self.resident_bytes += len * 4;
+                let slot_id = match self.free.pop() {
+                    Some(recycled) => {
+                        let slot = &mut self.slots[recycled as usize];
+                        slot.values.clear();
+                        slot.values.resize(len, 0.0);
+                        slot.contributions = 0;
+                        slot.workers = 0;
+                        recycled
+                    }
+                    None => {
+                        self.slots.push(Slot {
+                            values: vec![0.0; len],
+                            contributions: 0,
+                            workers: 0,
+                        });
+                        (self.slots.len() - 1) as u32
+                    }
+                };
+                self.index.insert(idx, slot_id);
+                slot_id
+            }
+        };
+        let slot = &mut self.slots[slot_id as usize];
         assert_eq!(
-            buffer.len(),
-            seg.values.len(),
+            slot.values.len(),
+            len,
             "segment {idx:#x} length changed between contributions"
         );
-        for (acc, v) in buffer.iter_mut().zip(&seg.values) {
-            *acc += v;
-        }
+        values.accumulate_into(&mut slot.values);
         if self.resident_bytes > self.stats.peak_buffer_bytes {
             self.stats.peak_buffer_bytes = self.resident_bytes;
         }
-        let contributions = self.counters.entry(idx).or_insert(0);
-        *contributions = contributions.saturating_add(1);
-        let reached = *contributions >= self.threshold;
-        let workers = self.worker_counts.entry(idx).or_insert(0);
-        *workers = workers.saturating_add(seg.count.max(1));
+        slot.contributions = slot.contributions.saturating_add(1);
+        slot.workers = slot.workers.saturating_add(count.max(1));
 
-        if reached {
+        if slot.contributions >= self.threshold {
             (Some(self.complete(idx)), latency)
         } else {
             (None, latency)
@@ -276,13 +399,15 @@ impl Accelerator {
     }
 
     fn complete(&mut self, idx: u64) -> DataSegment {
-        let values = self
-            .buffers
+        let slot_id = self
+            .index
             .remove(&idx)
             .expect("completing a resident segment");
+        let slot = &mut self.slots[slot_id as usize];
+        let values = std::mem::take(&mut slot.values);
+        let count = slot.workers;
+        self.free.push(slot_id);
         self.resident_bytes -= values.len() * 4;
-        let count = self.worker_counts.remove(&idx).unwrap_or(0);
-        self.counters.remove(&idx);
         self.stats.segments_emitted += 1;
         let result = DataSegment {
             seg: idx,
@@ -297,9 +422,9 @@ impl Accelerator {
     /// action), if any contributions have arrived. The buffer and counter
     /// reset either way.
     pub fn force_broadcast(&mut self, seg: u64) -> Option<DataSegment> {
-        if self.counters.get(&seg).copied().unwrap_or(0) == 0 {
-            return None;
-        }
+        // A resident slot always holds at least one contribution (slots are
+        // created by the ingest that first contributes).
+        self.index.get(&seg)?;
         self.stats.forced_broadcasts += 1;
         Some(self.complete(seg))
     }
@@ -313,10 +438,10 @@ impl Accelerator {
     /// Clears all buffers, counters, and result caches (the `Reset`
     /// control action).
     pub fn reset(&mut self) {
-        self.buffers.clear();
+        self.index.clear();
+        self.slots.clear();
+        self.free.clear();
         self.resident_bytes = 0;
-        self.counters.clear();
-        self.worker_counts.clear();
         self.last_results.clear();
         self.stats.resets += 1;
     }

@@ -54,14 +54,14 @@ pub use protocol::{
     is_iswitch_tos, num_quant_segments, num_segments, quantize_gradient, seg_index, seg_round,
     segment_gradient, segment_gradient_round, tag_round, ControlMessage, DataSegment,
     GradientAssembler, QuantAccelerator, QuantConfig, QuantSegment, RoundAssembler, RoundInsert,
-    FLOATS_PER_SEGMENT, INTS_PER_SEGMENT, ISWITCH_UDP_PORT, MAX_SEG_INDEX, ROUND_SHIFT,
-    SEG_HEADER_BYTES, TOS_CONTROL, TOS_DATA,
+    SegmentMeta, FLOATS_PER_SEGMENT, INTS_PER_SEGMENT, ISWITCH_UDP_PORT, MAX_SEG_INDEX,
+    ROUND_SHIFT, SEG_HEADER_BYTES, TOS_CONTROL, TOS_DATA,
 };
 pub use switch_ext::{
     AggregationMode, AggregationRole, ExtensionConfig, ExtensionStats, IswitchExtension,
     FAULT_RESET_TOKEN, RESULT_BROADCAST_IP, UPSTREAM_IP,
 };
 pub use worker::{
-    control_packet, data_packet, decode_control, decode_data, gradient_packets,
-    gradient_packets_round,
+    control_packet, data_packet, data_packet_wire, decode_control, decode_data, decode_data_meta,
+    gradient_packets, gradient_packets_round, EncodedGradient,
 };

@@ -12,7 +12,7 @@
 //! number of gradient vectors summed in, which lets workers average
 //! correctly when a partial aggregate is force-broadcast (`FBcast`).
 
-use bytes::{BufMut, Bytes, BytesMut};
+use bytes::Bytes;
 use iswitch_netsim::MAX_UDP_PAYLOAD;
 
 use crate::error::ProtocolError;
@@ -71,6 +71,46 @@ pub struct DataSegment {
     pub values: Vec<f32>,
 }
 
+/// Header-only view of an encoded data payload: everything
+/// [`DataSegment::decode`] yields except the values themselves.
+///
+/// The hot paths that only need arrival bookkeeping (timing-mode workers)
+/// or that consume values straight off the wire (the accelerator's
+/// [`ingest_wire`](crate::Accelerator::ingest_wire)) use this to skip
+/// materializing a fresh `Vec<f32>` per packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// Wire `Seg` field (round-tagged segment index).
+    pub seg: u64,
+    /// Number of gradient vectors summed into the payload.
+    pub count: u16,
+    /// Number of f32 values carried in the payload.
+    pub len: usize,
+}
+
+/// Serializes a segment header plus value slice to a UDP payload without
+/// requiring an owned [`DataSegment`] (the worker packetization path feeds
+/// gradient chunks here directly).
+pub(crate) fn encode_segment(seg: u64, count: u16, values: &[f32]) -> Bytes {
+    assert!(seg <= MAX_SEG_INDEX, "segment index exceeds 48 bits");
+    assert!(
+        values.len() <= FLOATS_PER_SEGMENT,
+        "segment of {} floats exceeds the MTU budget of {}",
+        values.len(),
+        FLOATS_PER_SEGMENT
+    );
+    // Write into an exact-size byte vector: the fixed 4-byte copies below
+    // inline and autovectorize, where per-element `BufMut::put_f32` calls
+    // would each go through a capacity check and an outlined extend.
+    let mut buf = vec![0u8; SEG_HEADER_BYTES + values.len() * 4];
+    let header = (seg << 16) | u64::from(count);
+    buf[..SEG_HEADER_BYTES].copy_from_slice(&header.to_be_bytes());
+    for (dst, v) in buf[SEG_HEADER_BYTES..].chunks_exact_mut(4).zip(values) {
+        dst.copy_from_slice(&v.to_be_bytes());
+    }
+    Bytes::from(buf)
+}
+
 impl DataSegment {
     /// Serializes to a UDP payload.
     ///
@@ -79,19 +119,33 @@ impl DataSegment {
     /// Panics if the segment exceeds the MTU budget or the index exceeds
     /// [`MAX_SEG_INDEX`].
     pub fn encode(&self) -> Bytes {
-        assert!(self.seg <= MAX_SEG_INDEX, "segment index exceeds 48 bits");
-        assert!(
-            self.values.len() <= FLOATS_PER_SEGMENT,
-            "segment of {} floats exceeds the MTU budget of {}",
-            self.values.len(),
-            FLOATS_PER_SEGMENT
-        );
-        let mut buf = BytesMut::with_capacity(SEG_HEADER_BYTES + self.values.len() * 4);
-        buf.put_u64((self.seg << 16) | u64::from(self.count));
-        for v in &self.values {
-            buf.put_f32(*v);
+        encode_segment(self.seg, self.count, &self.values)
+    }
+
+    /// Parses just the header and length of a UDP payload, without
+    /// materializing the value vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] under exactly the same conditions as
+    /// [`DataSegment::decode`].
+    pub fn decode_meta(payload: &[u8]) -> Result<SegmentMeta, ProtocolError> {
+        if payload.len() < SEG_HEADER_BYTES {
+            return Err(ProtocolError::Truncated {
+                needed: SEG_HEADER_BYTES,
+                got: payload.len(),
+            });
         }
-        buf.freeze()
+        let header = u64::from_be_bytes(payload[..8].try_into().expect("8 bytes"));
+        let data_len = payload.len() - SEG_HEADER_BYTES;
+        if !data_len.is_multiple_of(4) {
+            return Err(ProtocolError::MisalignedPayload(data_len));
+        }
+        Ok(SegmentMeta {
+            seg: header >> 16,
+            count: (header & 0xFFFF) as u16,
+            len: data_len / 4,
+        })
     }
 
     /// Parses a UDP payload.
@@ -353,23 +407,68 @@ impl RoundAssembler {
 
     /// Feeds one received segment.
     pub fn insert(&mut self, seg: &DataSegment) -> RoundInsert {
+        match self.admit(seg.seg) {
+            Ok(idx) => {
+                if let Some(asm) = &mut self.values {
+                    if asm.insert(seg).is_err() {
+                        return RoundInsert::Stale; // malformed payload length
+                    }
+                }
+                self.mark_received(idx)
+            }
+            Err(verdict) => verdict,
+        }
+    }
+
+    /// Feeds one received segment straight from its encoded wire payload.
+    ///
+    /// Equivalent to [`DataSegment::decode`] followed by
+    /// [`RoundAssembler::insert`], except that bookkeeping-only assemblers
+    /// (timing mode) never materialize the value vector — the hot path for
+    /// broadcast results fanned out to every worker. Malformed payloads
+    /// report [`RoundInsert::Stale`].
+    pub fn insert_wire(&mut self, payload: &[u8]) -> RoundInsert {
+        let Ok(meta) = DataSegment::decode_meta(payload) else {
+            return RoundInsert::Stale;
+        };
+        match self.admit(meta.seg) {
+            Ok(idx) => {
+                if let Some(asm) = self.values.as_mut() {
+                    // Co-simulation keeps the aggregate values: fall back to
+                    // the full decode (checks run only once — `admit` already
+                    // filtered stale rounds and duplicates).
+                    let Ok(seg) = DataSegment::decode(payload) else {
+                        return RoundInsert::Stale;
+                    };
+                    if asm.insert(&seg).is_err() {
+                        return RoundInsert::Stale; // malformed payload length
+                    }
+                }
+                self.mark_received(idx)
+            }
+            Err(verdict) => verdict,
+        }
+    }
+
+    /// Round/range/duplicate filtering shared by the owned and wire insert
+    /// paths; `Ok` holds the spatial index of an admissible segment.
+    fn admit(&self, tagged: u64) -> Result<usize, RoundInsert> {
         if let Some(round) = self.round {
-            if seg_round(seg.seg) != round & 0xFFFF {
-                return RoundInsert::Stale;
+            if seg_round(tagged) != round & 0xFFFF {
+                return Err(RoundInsert::Stale);
             }
         }
-        let idx = seg_index(seg.seg) as usize;
+        let idx = seg_index(tagged) as usize;
         if idx >= self.received.len() {
-            return RoundInsert::Stale;
+            return Err(RoundInsert::Stale);
         }
         if self.done || self.received[idx] {
-            return RoundInsert::Duplicate;
+            return Err(RoundInsert::Duplicate);
         }
-        if let Some(asm) = &mut self.values {
-            if asm.insert(seg).is_err() {
-                return RoundInsert::Stale; // malformed payload length
-            }
-        }
+        Ok(idx)
+    }
+
+    fn mark_received(&mut self, idx: usize) -> RoundInsert {
         self.received[idx] = true;
         self.pending -= 1;
         if self.pending == 0 {

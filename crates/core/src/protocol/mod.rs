@@ -7,10 +7,11 @@ mod quant;
 mod tos;
 
 pub use control::ControlMessage;
+pub(crate) use data::encode_segment;
 pub use data::{
     num_segments, seg_index, seg_round, segment_gradient, segment_gradient_round, tag_round,
-    DataSegment, GradientAssembler, RoundAssembler, RoundInsert, FLOATS_PER_SEGMENT, MAX_SEG_INDEX,
-    ROUND_SHIFT, SEG_HEADER_BYTES,
+    DataSegment, GradientAssembler, RoundAssembler, RoundInsert, SegmentMeta, FLOATS_PER_SEGMENT,
+    MAX_SEG_INDEX, ROUND_SHIFT, SEG_HEADER_BYTES,
 };
 pub use quant::{
     num_quant_segments, quantize_gradient, QuantAccelerator, QuantConfig, QuantSegment,

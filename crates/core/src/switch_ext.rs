@@ -333,10 +333,23 @@ impl IswitchExtension {
 
     fn broadcast_down(&mut self, sw: &mut SwitchServices<'_, '_>, seg: &DataSegment) {
         let pkt = self.data_packet(RESULT_BROADCAST_IP, seg);
-        for &port in &self.cfg.child_ports {
+        self.fanout_down(sw, pkt);
+    }
+
+    /// Fans a result packet out to every child port.
+    fn fanout_down(&mut self, sw: &mut SwitchServices<'_, '_>, pkt: Packet) {
+        // Clone for all children but the last, which takes the packet by
+        // value — one fewer refcount round-trip per broadcast.
+        let (last, rest) = self
+            .cfg
+            .child_ports
+            .split_last()
+            .expect("asserted non-empty in new()");
+        for &port in rest {
             sw.send_port(port, pkt.clone());
-            self.stats.broadcasts += 1;
         }
+        sw.send_port(*last, pkt);
+        self.stats.broadcasts += self.cfg.child_ports.len() as u64;
         if let Some(obs) = &self.obs {
             obs.broadcasts.add(self.cfg.child_ports.len() as u64);
         }
@@ -384,21 +397,29 @@ impl IswitchExtension {
         if let AggregationRole::Intermediate { uplink } = self.cfg.role {
             if in_port == uplink {
                 // Globally aggregated result coming down: fan out unchanged.
-                let seg = DataSegment::decode(&pkt.payload)
+                // The payload is already the exact bytes the children expect,
+                // so relay it zero-copy instead of decode + re-encode.
+                let meta = DataSegment::decode_meta(&pkt.payload)
                     .expect("malformed result packet from parent switch");
-                self.broadcast_down(sw, &seg);
+                let relay = crate::worker::data_packet_wire(
+                    self.cfg.switch_ip,
+                    RESULT_BROADCAST_IP,
+                    meta,
+                    pkt.payload.clone(),
+                );
+                self.fanout_down(sw, relay);
                 return;
             }
         }
-        let seg = match DataSegment::decode(&pkt.payload) {
-            Ok(seg) => seg,
+        let meta = match DataSegment::decode_meta(&pkt.payload) {
+            Ok(meta) => meta,
             // Malformed data packets are dropped, as real hardware would.
             Err(_) => return,
         };
-        let idx = seg.seg as usize;
+        let idx = meta.seg as usize;
         let now = sw.now();
         self.round_open.entry(idx).or_insert(now);
-        let (done, latency) = self.accel.ingest(&seg);
+        let (done, latency) = self.accel.ingest_wire(meta, &pkt.payload);
         let obs = self.obs(sw);
         obs.data_ingested.inc();
         match done {
@@ -417,8 +438,8 @@ impl IswitchExtension {
                     // attribution.
                     let id = trace.alloc_span_id();
                     Span::begin(id, "switch.agg_window", opened.as_nanos())
-                        .attr_u64("round", u64::from(seg_round(seg.seg)))
-                        .attr_u64("seg", seg_index(seg.seg))
+                        .attr_u64("round", u64::from(seg_round(meta.seg)))
+                        .attr_u64("seg", seg_index(meta.seg))
                         .attr_u64("last_src", u64::from(pkt.ip.src.as_u32()))
                         .attr_str("last_src_ip", &pkt.ip.src.to_string())
                         .attr_u64("node", sw.node().index() as u64)
@@ -598,9 +619,15 @@ impl IswitchExtension {
                     TOS_CONTROL,
                 )
                 .with_payload(ControlMessage::Halt.encode());
-                for &port in &self.cfg.child_ports {
+                let (last, rest) = self
+                    .cfg
+                    .child_ports
+                    .split_last()
+                    .expect("asserted non-empty in new()");
+                for &port in rest {
                     sw.send_port(port, pkt.clone());
                 }
+                sw.send_port(*last, pkt);
             }
             ControlMessage::Ack { .. } => {
                 // Acks terminate at the switch.

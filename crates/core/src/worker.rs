@@ -1,11 +1,12 @@
 //! Worker-side packet helpers: building gradient/control packets and
 //! parsing what comes back from the switch.
 
+use bytes::Bytes;
 use iswitch_netsim::{CausalKey, IpAddr, Packet};
 
 use crate::protocol::{
-    seg_index, seg_round, segment_gradient_round, ControlMessage, DataSegment, ISWITCH_UDP_PORT,
-    TOS_CONTROL, TOS_DATA,
+    encode_segment, seg_index, seg_round, tag_round, ControlMessage, DataSegment, SegmentMeta,
+    FLOATS_PER_SEGMENT, ISWITCH_UDP_PORT, SEG_HEADER_BYTES, TOS_CONTROL, TOS_DATA,
 };
 use crate::switch_ext::UPSTREAM_IP;
 
@@ -23,10 +24,68 @@ pub fn gradient_packets(src: IpAddr, grad: &[f32]) -> Vec<Packet> {
 /// `Seg` field (see [`crate::tag_round`]); receivers use the tag to ignore
 /// stale re-broadcasts.
 pub fn gradient_packets_round(src: IpAddr, grad: &[f32], round: u32) -> Vec<Packet> {
-    segment_gradient_round(grad, round)
-        .iter()
-        .map(|seg| data_packet(src, UPSTREAM_IP, seg))
+    // Encode each chunk of the gradient straight into its payload — no
+    // intermediate owned `DataSegment` per packet (this runs once per
+    // worker per iteration on the hot path).
+    grad.chunks(FLOATS_PER_SEGMENT)
+        .enumerate()
+        .map(|(i, chunk)| {
+            let seg = tag_round(i as u64, round);
+            sealed_data_packet(src, UPSTREAM_IP, seg, encode_segment(seg, 1, chunk))
+        })
         .collect()
+}
+
+/// Pre-encoded contribution payloads for a gradient vector whose contents
+/// do not change between iterations (timing-mode synthetic gradients).
+///
+/// [`gradient_packets_round`] re-reads and byteswaps every f32 each
+/// iteration even though only the 8-byte round-tagged header differs
+/// between rounds. This cache encodes the vector once; per iteration,
+/// round 0 packets reuse the stored [`Bytes`] outright (refcount clone),
+/// and other rounds pay one memcpy plus an 8-byte header patch per packet.
+/// Output is byte-for-byte identical to [`gradient_packets_round`].
+pub struct EncodedGradient {
+    src: IpAddr,
+    /// Encoded payloads tagged with round 0 (identity tag).
+    round0: Vec<Bytes>,
+}
+
+impl EncodedGradient {
+    /// Encodes `grad` once as worker contributions (count = 1).
+    pub fn new(src: IpAddr, grad: &[f32]) -> Self {
+        EncodedGradient {
+            src,
+            round0: grad
+                .chunks(FLOATS_PER_SEGMENT)
+                .enumerate()
+                .map(|(i, chunk)| encode_segment(tag_round(i as u64, 0), 1, chunk))
+                .collect(),
+        }
+    }
+
+    /// Builds the packet sequence for `round` — the cached-template
+    /// equivalent of [`gradient_packets_round`].
+    pub fn packets_round(&self, round: u32) -> Vec<Packet> {
+        self.round0
+            .iter()
+            .enumerate()
+            .map(|(i, template)| {
+                let seg = tag_round(i as u64, round);
+                let header = (seg << 16) | 1;
+                let payload = if template[..SEG_HEADER_BYTES] == header.to_be_bytes() {
+                    // Header already matches (segment 0 of round 0, and any
+                    // template whose patch would be a no-op): share storage.
+                    template.clone()
+                } else {
+                    let mut buf = template.to_vec();
+                    buf[..SEG_HEADER_BYTES].copy_from_slice(&header.to_be_bytes());
+                    Bytes::from(buf)
+                };
+                sealed_data_packet(self.src, UPSTREAM_IP, seg, payload)
+            })
+            .collect()
+    }
 }
 
 /// Builds a single data packet carrying `seg`.
@@ -36,11 +95,25 @@ pub fn gradient_packets_round(src: IpAddr, grad: &[f32], round: u32) -> Vec<Pack
 /// producer identity, so per-hop trace events can be tied back to the unit
 /// of training work the packet carries.
 pub fn data_packet(src: IpAddr, dst: IpAddr, seg: &DataSegment) -> Packet {
+    sealed_data_packet(src, dst, seg.seg, seg.encode())
+}
+
+/// Re-wraps an already-encoded data payload into a packet from `src` —
+/// the zero-copy relay path: an intermediate switch fanning out a result
+/// from its parent forwards the payload [`Bytes`] as-is, no decode or
+/// re-encode (`meta` comes from [`decode_data_meta`] on the way in).
+pub fn data_packet_wire(src: IpAddr, dst: IpAddr, meta: SegmentMeta, payload: Bytes) -> Packet {
+    sealed_data_packet(src, dst, meta.seg, payload)
+}
+
+/// Wraps an encoded payload whose `Seg` field is `seg` into a data packet
+/// with the standard causal stamp.
+fn sealed_data_packet(src: IpAddr, dst: IpAddr, seg: u64, payload: Bytes) -> Packet {
     Packet::udp(src, dst, ISWITCH_UDP_PORT, ISWITCH_UDP_PORT, TOS_DATA)
-        .with_payload(seg.encode())
+        .with_payload(payload)
         .with_cause(CausalKey {
-            round: u64::from(seg_round(seg.seg)),
-            segment: seg_index(seg.seg),
+            round: u64::from(seg_round(seg)),
+            segment: seg_index(seg),
             worker: u64::from(src.as_u32()),
         })
 }
@@ -58,6 +131,16 @@ pub fn decode_data(pkt: &Packet) -> Option<DataSegment> {
         return None;
     }
     DataSegment::decode(&pkt.payload).ok()
+}
+
+/// Parses just the header of an iSwitch data packet — the cheap peek for
+/// consumers that do not need the values materialized (arrival bookkeeping,
+/// [`crate::Accelerator::ingest_wire`]).
+pub fn decode_data_meta(pkt: &Packet) -> Option<SegmentMeta> {
+    if pkt.ip.tos != TOS_DATA {
+        return None;
+    }
+    DataSegment::decode_meta(&pkt.payload).ok()
 }
 
 /// Parses an iSwitch control packet, returning `None` for anything else.

@@ -429,7 +429,7 @@ fn lost_result_recovered_via_help() {
             } else {
                 LinkSpec::ten_gbe()
             };
-            let (_, _, sw_port) = sim.connect(node, switch, spec);
+            let (_, _, sw_port) = sim.connect(node, switch, &spec);
             routes.add(ip, sw_port);
             hosts.push(node);
         }
@@ -492,7 +492,7 @@ fn stale_partial_rounds_expire_and_broadcast() {
         } else {
             LinkSpec::ten_gbe()
         };
-        let (_, _, sw_port) = sim.connect(node, switch, spec);
+        let (_, _, sw_port) = sim.connect(node, switch, &spec);
         routes.add(ip, sw_port);
         hosts.push(node);
     }

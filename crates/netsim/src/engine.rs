@@ -7,8 +7,7 @@
 //! time are broken by scheduling order.
 
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::HashSet;
 use std::sync::Arc;
 
 use iswitch_obs::{JsonValue, Registry, Trace, TraceEvent};
@@ -21,6 +20,7 @@ use crate::packet::{IpAddr, Packet};
 use crate::stats::SimStats;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{FlowStats, FlowTracker};
+use crate::wheel::TimingWheel;
 
 /// A simulated node: a host, a switch, or anything else that terminates
 /// links.
@@ -83,15 +83,8 @@ impl NodeOpts {
 
 struct NodeSlot {
     device: Option<Box<dyn Device>>,
-    opts: NodeOpts,
     /// Port index -> (link, direction-of-travel when transmitting out of it).
     ports: Vec<(LinkId, LinkDir)>,
-}
-
-struct ScheduledEvent {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
 }
 
 enum EventKind {
@@ -113,27 +106,10 @@ enum EventKind {
     },
 }
 
-impl PartialEq for ScheduledEvent {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for ScheduledEvent {}
-impl PartialOrd for ScheduledEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for ScheduledEvent {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
 /// Engine internals shared between the run loop and device callbacks.
 pub(crate) struct SimCore {
     now: SimTime,
-    queue: BinaryHeap<Reverse<ScheduledEvent>>,
+    queue: TimingWheel<EventKind>,
     next_seq: u64,
     next_timer: u64,
     cancelled: HashSet<u64>,
@@ -176,7 +152,7 @@ impl SimCore {
         debug_assert!(at >= self.now, "cannot schedule into the past");
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(Reverse(ScheduledEvent { at, seq, kind }));
+        self.queue.push(at.as_nanos(), seq, kind);
         self.obs.queue_depth.set(self.queue.len() as i64);
     }
 
@@ -210,7 +186,7 @@ impl SimCore {
             }
             return;
         }
-        let ser = SimDuration::serialization(wire, link.spec.bandwidth_bps);
+        let ser = SimDuration::serialization(wire, link.bandwidth_bps);
         let start = link.busy_until[dir].max(self.now);
         let depart = start + tx_over + ser;
         link.busy_until[dir] = depart;
@@ -240,7 +216,7 @@ impl SimCore {
         self.obs.links[link_id.index()][dir].inflight.inc();
         let dest = link.dest(dir);
         let arrive = depart
-            + link.spec.propagation
+            + link.propagation
             + link.extra_delay
             + self.node_opts[dest.node.index()].rx_overhead;
         self.flows
@@ -377,7 +353,7 @@ impl Simulator {
         Simulator {
             core: SimCore {
                 now: SimTime::ZERO,
-                queue: BinaryHeap::new(),
+                queue: TimingWheel::new(),
                 next_seq: 0,
                 next_timer: 0,
                 cancelled: HashSet::new(),
@@ -409,48 +385,48 @@ impl Simulator {
             "nodes must be added before the simulation runs"
         );
         let id = NodeId(self.nodes.len());
-        self.core.node_opts.push(opts.clone());
+        self.core.node_opts.push(opts);
         self.core.node_ports.push(Vec::new());
         self.nodes.push(NodeSlot {
             device: Some(device),
-            opts,
             ports: Vec::new(),
         });
         id
     }
 
     /// Connects the next free port of `a` to the next free port of `b` with
-    /// a link described by `spec`. Returns `(link, port on a, port on b)`.
-    pub fn connect(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> (LinkId, PortId, PortId) {
+    /// a link described by `spec`. The spec is only read — one spec can wire
+    /// any number of links. Returns `(link, port on a, port on b)`.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, spec: &LinkSpec) -> (LinkId, PortId, PortId) {
         assert!(
             !self.started,
             "links must be added before the simulation runs"
         );
         assert_ne!(a, b, "self-links are not supported");
         let link_id = LinkId(self.core.links.len());
-        // Decorrelate per-link loss streams: links built from one cloned
-        // spec must not drop the same sequence positions.
-        let mut spec = spec;
-        if let crate::link::LossModel::Random { probability, seed } = spec.loss {
-            let mixed = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(link_id.0 as u64 + 1);
-            spec.loss = crate::link::LossModel::Random {
-                probability,
-                seed: mixed,
-            };
-        }
         let pa = PortId(self.nodes[a.index()].ports.len());
         let pb = PortId(self.nodes[b.index()].ports.len());
-        let link = Link::new(
+        let mut link = Link::new(
             spec,
             LinkEnd { node: a, port: pa },
             LinkEnd { node: b, port: pb },
         );
+        // Decorrelate per-link loss streams: links built from one shared
+        // spec must not drop the same sequence positions.
+        if let crate::link::LossModel::Random { probability, seed } = spec.loss {
+            let mixed = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(link_id.0 as u64 + 1);
+            link.set_loss(crate::link::LossModel::Random {
+                probability,
+                seed: mixed,
+            });
+        }
         self.core.links.push(link);
-        let (label_a, label_b) = (
-            self.nodes[a.index()].opts.label.clone(),
-            self.nodes[b.index()].opts.label.clone(),
+        let core = &mut self.core;
+        core.obs.add_link(
+            link_id.index(),
+            &core.node_opts[a.index()].label,
+            &core.node_opts[b.index()].label,
         );
-        self.core.obs.add_link(link_id.index(), &label_a, &label_b);
         self.nodes[a.index()].ports.push((link_id, 0));
         self.nodes[b.index()].ports.push((link_id, 1));
         self.core.node_ports[a.index()].push((link_id, 0));
@@ -568,7 +544,7 @@ impl Simulator {
 
     /// The label a node was created with.
     pub fn node_label(&self, node: NodeId) -> &str {
-        &self.nodes[node.index()].opts.label
+        &self.core.node_opts[node.index()].label
     }
 
     /// Schedules a single fault action at absolute time `at`.
@@ -625,10 +601,10 @@ impl Simulator {
     /// Processes a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         self.ensure_started();
-        let Some(Reverse(ev)) = self.core.queue.pop() else {
+        let Some((at, _seq, kind)) = self.core.queue.pop() else {
             return false;
         };
-        self.core.now = ev.at;
+        self.core.now = SimTime::from_nanos(at);
         self.core.stats.events_processed += 1;
         assert!(
             self.core.stats.events_processed <= self.event_limit,
@@ -636,7 +612,7 @@ impl Simulator {
             self.event_limit
         );
         self.core.obs.queue_depth.set(self.core.queue.len() as i64);
-        match ev.kind {
+        match kind {
             EventKind::Start { node } => {
                 self.core.obs.ev_start.inc();
                 self.dispatch(node, |dev, ctx| dev.on_start(ctx));
@@ -660,7 +636,9 @@ impl Simulator {
                 self.dispatch(node, |dev, ctx| dev.on_packet(ctx, port, pkt));
             }
             EventKind::Timer { node, id, token } => {
-                if self.core.cancelled.remove(&id.0) {
+                // Fast path: most runs never cancel a timer, so skip the
+                // hash lookup entirely while the set is empty.
+                if !self.core.cancelled.is_empty() && self.core.cancelled.remove(&id.0) {
                     self.core.obs.ev_timer_cancelled.inc();
                 } else {
                     self.core.obs.ev_timer.inc();
@@ -719,8 +697,8 @@ impl Simulator {
     pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
         self.ensure_started();
         loop {
-            match self.core.queue.peek() {
-                Some(Reverse(ev)) if ev.at <= deadline => {
+            match self.core.queue.next_at() {
+                Some(at) if at <= deadline.as_nanos() => {
                     self.step();
                 }
                 _ => break,
@@ -793,7 +771,7 @@ mod tests {
             NodeOpts::new("pinger"),
         );
         let e = sim.add_node(Box::new(Echo), NodeOpts::new("echo"));
-        sim.connect(p, e, spec);
+        sim.connect(p, e, &spec);
         (sim, p)
     }
 
@@ -832,7 +810,7 @@ mod tests {
                 .with_rx_overhead(SimDuration::from_micros(3)),
         );
         let e = sim.add_node(Box::new(Echo), NodeOpts::new("echo"));
-        sim.connect(p, e, LinkSpec::ten_gbe());
+        sim.connect(p, e, &LinkSpec::ten_gbe());
         sim.run_until_idle();
         let base = {
             let (mut sim2, p2) = ping_sim(1, LinkSpec::ten_gbe());
@@ -953,7 +931,7 @@ mod tests {
         let mut sim = Simulator::new();
         let d = sim.add_node(Box::new(Drip { n, period, sent: 0 }), NodeOpts::new("drip"));
         let s = sim.add_node(Box::new(Sink { got: 0 }), NodeOpts::new("sink"));
-        let (link, _, _) = sim.connect(d, s, LinkSpec::ten_gbe());
+        let (link, _, _) = sim.connect(d, s, &LinkSpec::ten_gbe());
         (sim, link, s)
     }
 
@@ -1139,7 +1117,7 @@ mod tests {
             sim.set_trace(Arc::clone(&trace));
             let t = sim.add_node(Box::new(Tagged), NodeOpts::new("tx"));
             let s = sim.add_node(Box::new(Sink { got: 0 }), NodeOpts::new("rx"));
-            sim.connect(t, s, LinkSpec::ten_gbe());
+            sim.connect(t, s, &LinkSpec::ten_gbe());
             sim.run_until_idle();
             trace.to_jsonl()
         };

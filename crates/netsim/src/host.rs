@@ -195,7 +195,7 @@ mod tests {
             )),
             NodeOpts::new("b"),
         );
-        sim.connect(a, b, LinkSpec::ten_gbe());
+        sim.connect(a, b, &LinkSpec::ten_gbe());
         sim.run_until_idle();
         assert_eq!(sim.device::<Host>(a).app::<Chatter>().inbox.len(), 1);
         assert_eq!(sim.device::<Host>(b).app::<Chatter>().inbox.len(), 1);

@@ -63,6 +63,7 @@ mod switch;
 mod time;
 mod topology;
 mod trace;
+mod wheel;
 
 pub use engine::{Context, Device, NodeOpts, Simulator};
 pub use fault::{FaultAction, FaultEvent, FaultPlan};

@@ -93,9 +93,17 @@ pub(crate) struct LinkEnd {
 }
 
 /// Runtime state of an instantiated link.
+///
+/// The wiring-time [`LinkSpec`] is unpacked into plain fields here — the
+/// forwarding hot path reads `bandwidth_bps`/`propagation` per packet, and
+/// keeping them inline avoids both an indirection and any need to clone
+/// specs when many links share one.
 #[derive(Debug)]
 pub(crate) struct Link {
-    pub spec: LinkSpec,
+    /// Line rate in bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way propagation delay.
+    pub propagation: SimDuration,
     pub a: LinkEnd,
     pub b: LinkEnd,
     /// Time until which each direction's transmitter is busy (a->b, b->a).
@@ -108,6 +116,8 @@ pub(crate) struct Link {
     /// Extra one-way delay added to every delivery (fault injection; see
     /// [`crate::FaultAction::DelaySpike`]).
     pub extra_delay: SimDuration,
+    /// Active loss model, normalized by [`Link::set_loss`].
+    loss: LossModel,
     /// Position in the sorted `Exact` drop list of the first entry not yet
     /// passed by `seq` — makes per-packet lookup amortized O(1) instead of
     /// a linear scan of the whole list.
@@ -119,19 +129,21 @@ pub(crate) struct Link {
 pub(crate) type LinkDir = usize;
 
 impl Link {
-    pub fn new(spec: LinkSpec, a: LinkEnd, b: LinkEnd) -> Self {
+    pub fn new(spec: &LinkSpec, a: LinkEnd, b: LinkEnd) -> Self {
         let mut link = Link {
-            spec: spec.clone(),
+            bandwidth_bps: spec.bandwidth_bps,
+            propagation: spec.propagation,
             a,
             b,
             busy_until: [SimTime::ZERO; 2],
             seq: 0,
             up: true,
             extra_delay: SimDuration::ZERO,
+            loss: LossModel::None,
             drop_cursor: 0,
             rng: None,
         };
-        link.set_loss(spec.loss);
+        link.set_loss(spec.loss.clone());
         link
     }
 
@@ -162,14 +174,14 @@ impl Link {
             _ => None,
         };
         self.drop_cursor = 0;
-        self.spec.loss = loss;
+        self.loss = loss;
     }
 
     /// Decides whether the next packet is dropped, advancing loss state.
     pub fn roll_drop(&mut self) -> bool {
         let seq = self.seq;
         self.seq += 1;
-        match &self.spec.loss {
+        match &self.loss {
             LossModel::None => false,
             LossModel::Random { probability, .. } => {
                 let rng = self.rng.as_mut().expect("random loss model has rng");
@@ -200,7 +212,7 @@ mod tests {
 
     #[test]
     fn dest_follows_direction() {
-        let l = Link::new(LinkSpec::ten_gbe(), end(0, 1), end(2, 3));
+        let l = Link::new(&LinkSpec::ten_gbe(), end(0, 1), end(2, 3));
         assert_eq!(l.dest(0).node, NodeId(2));
         assert_eq!(l.dest(1).node, NodeId(0));
     }
@@ -208,7 +220,7 @@ mod tests {
     #[test]
     fn exact_loss_hits_listed_sequence_numbers() {
         let spec = LinkSpec::ten_gbe().with_loss(LossModel::Exact { drops: vec![1, 3] });
-        let mut l = Link::new(spec, end(0, 0), end(1, 0));
+        let mut l = Link::new(&spec, end(0, 0), end(1, 0));
         let rolls: Vec<bool> = (0..5).map(|_| l.roll_drop()).collect();
         assert_eq!(rolls, vec![false, true, false, true, false]);
     }
@@ -220,7 +232,7 @@ mod tests {
                 probability: 0.5,
                 seed: 42,
             });
-            let mut l = Link::new(spec, end(0, 0), end(1, 0));
+            let mut l = Link::new(&spec, end(0, 0), end(1, 0));
             (0..64).map(|_| l.roll_drop()).collect::<Vec<_>>()
         };
         assert_eq!(mk(), mk());
@@ -230,7 +242,7 @@ mod tests {
 
     #[test]
     fn no_loss_never_drops() {
-        let mut l = Link::new(LinkSpec::ten_gbe(), end(0, 0), end(1, 0));
+        let mut l = Link::new(&LinkSpec::ten_gbe(), end(0, 0), end(1, 0));
         assert!((0..100).all(|_| !l.roll_drop()));
     }
 
@@ -239,7 +251,7 @@ mod tests {
         let spec = LinkSpec::ten_gbe().with_loss(LossModel::Exact {
             drops: vec![3, 1, 3, 1],
         });
-        let mut l = Link::new(spec, end(0, 0), end(1, 0));
+        let mut l = Link::new(&spec, end(0, 0), end(1, 0));
         let rolls: Vec<bool> = (0..5).map(|_| l.roll_drop()).collect();
         assert_eq!(rolls, vec![false, true, false, true, false]);
     }
@@ -252,7 +264,7 @@ mod tests {
         let n: u64 = 100_000;
         let drops: Vec<u64> = (0..n).rev().map(|i| i * 2).collect(); // unsorted on purpose
         let spec = LinkSpec::ten_gbe().with_loss(LossModel::Exact { drops });
-        let mut l = Link::new(spec, end(0, 0), end(1, 0));
+        let mut l = Link::new(&spec, end(0, 0), end(1, 0));
         let mut dropped = 0u64;
         for seq in 0..2 * n {
             let hit = l.roll_drop();
@@ -264,7 +276,7 @@ mod tests {
 
     #[test]
     fn set_loss_mid_run_addresses_absolute_sequence_numbers() {
-        let mut l = Link::new(LinkSpec::ten_gbe(), end(0, 0), end(1, 0));
+        let mut l = Link::new(&LinkSpec::ten_gbe(), end(0, 0), end(1, 0));
         assert!((0..5).all(|_| !l.roll_drop()));
         // Install drops for seqs {2 (already past), 6} at seq 5.
         l.set_loss(LossModel::Exact { drops: vec![6, 2] });
@@ -277,7 +289,7 @@ mod tests {
 
     #[test]
     fn links_start_up_with_no_extra_delay() {
-        let l = Link::new(LinkSpec::ten_gbe(), end(0, 0), end(1, 0));
+        let l = Link::new(&LinkSpec::ten_gbe(), end(0, 0), end(1, 0));
         assert!(l.up);
         assert_eq!(l.extra_delay, SimDuration::ZERO);
     }

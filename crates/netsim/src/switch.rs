@@ -324,8 +324,8 @@ mod tests {
         );
         let a = sim.add_node(recorder(Some(pkt)), NodeOpts::new("a"));
         let b = sim.add_node(recorder(None), NodeOpts::new("b"));
-        let (_, _, pa) = sim.connect(a, sw, LinkSpec::ten_gbe());
-        let (_, _, pb) = sim.connect(b, sw, LinkSpec::ten_gbe());
+        let (_, _, pa) = sim.connect(a, sw, &LinkSpec::ten_gbe());
+        let (_, _, pb) = sim.connect(b, sw, &LinkSpec::ten_gbe());
         routes.add(a_ip, pa);
         routes.add(b_ip, pb);
         *sim.device_mut::<Switch>(sw).routes_mut() = routes;
@@ -345,7 +345,7 @@ mod tests {
             NodeOpts::new("sw"),
         );
         let a = sim.add_node(recorder(Some(pkt)), NodeOpts::new("a"));
-        sim.connect(a, sw, LinkSpec::ten_gbe());
+        sim.connect(a, sw, &LinkSpec::ten_gbe());
         sim.run_until_idle();
         assert_eq!(sim.device::<Switch>(sw).unroutable, 1);
     }
@@ -397,8 +397,8 @@ mod tests {
         );
         let a = sim.add_node(recorder(Some(hit)), NodeOpts::new("a"));
         let b = sim.add_node(recorder(None), NodeOpts::new("b"));
-        let (_, _, pa) = sim.connect(a, sw, LinkSpec::ten_gbe());
-        let (_, _, pb) = sim.connect(b, sw, LinkSpec::ten_gbe());
+        let (_, _, pa) = sim.connect(a, sw, &LinkSpec::ten_gbe());
+        let (_, _, pb) = sim.connect(b, sw, &LinkSpec::ten_gbe());
         let mut routes = RouteTable::new();
         routes.add(a_ip, pa);
         routes.add(b_ip, pb);

@@ -101,7 +101,7 @@ pub fn build_star(
                 .with_tx_overhead(cfg.host_tx_overhead)
                 .with_rx_overhead(cfg.host_rx_overhead),
         );
-        let (link, _, sw_port) = sim.connect(node, switch, cfg.edge.clone());
+        let (link, _, sw_port) = sim.connect(node, switch, &cfg.edge);
         routes.add(ip, sw_port);
         hosts.push(node);
         host_ips.push(ip);
@@ -210,14 +210,14 @@ pub fn build_tree(
                     .with_tx_overhead(cfg.host_tx_overhead)
                     .with_rx_overhead(cfg.host_rx_overhead),
             );
-            let (link, _, tor_port) = sim.connect(node, tor, cfg.edge.clone());
+            let (link, _, tor_port) = sim.connect(node, tor, &cfg.edge);
             tor_routes.add(ip, tor_port);
             rack_hosts.push(node);
             rack_ips.push(ip);
             rack_links.push(link);
         }
         // Uplink after host ports so host i <-> ToR port i.
-        let (up_link, tor_up, core_down) = sim.connect(tor, core, cfg.uplink.clone());
+        let (up_link, tor_up, core_down) = sim.connect(tor, core, &cfg.uplink);
         tor_routes.set_default(tor_up);
         for ip in &rack_ips {
             core_routes.add(*ip, core_down);
@@ -330,13 +330,13 @@ pub fn build_tree3(
                         .with_tx_overhead(cfg.host_tx_overhead)
                         .with_rx_overhead(cfg.host_rx_overhead),
                 );
-                let (link, _, tor_port) = sim.connect(node, tor, cfg.edge.clone());
+                let (link, _, tor_port) = sim.connect(node, tor, &cfg.edge);
                 tor_routes.add(ip, tor_port);
                 rack_hosts.push(node);
                 rack_ips.push(ip);
                 rack_links.push(link);
             }
-            let (tor_up_link, tor_up, agg_down) = sim.connect(tor, agg, cfg.uplink.clone());
+            let (tor_up_link, tor_up, agg_down) = sim.connect(tor, agg, &cfg.uplink);
             tor_routes.set_default(tor_up);
             for ip in &rack_ips {
                 agg_routes.add(*ip, agg_down);
@@ -349,7 +349,7 @@ pub fn build_tree3(
             agg_tor_uplinks.push(tor_up_link);
             global_rack += 1;
         }
-        let (agg_up_link, agg_up, core_down) = sim.connect(agg, core, cfg.uplink.clone());
+        let (agg_up_link, agg_up, core_down) = sim.connect(agg, core, &cfg.uplink);
         agg_routes.set_default(agg_up);
         for rack in &agg_ips {
             for ip in rack {

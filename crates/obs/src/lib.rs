@@ -27,6 +27,8 @@
 //!   deterministic IDs and parent/child links, rendered as ordinary trace
 //!   events so one JSONL artifact carries the full causal timeline.
 
+#![warn(missing_docs)]
+
 pub mod json;
 pub mod metrics;
 pub mod span;

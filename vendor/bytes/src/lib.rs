@@ -8,32 +8,39 @@ use std::ops::Deref;
 use std::sync::Arc;
 
 /// A cheaply clonable, immutable byte buffer.
+///
+/// Backed by `Arc<Vec<u8>>` rather than `Arc<[u8]>` so that freezing an
+/// encoded buffer **moves** the allocation into the handle instead of
+/// copying it (`Arc<[u8]>::from(Vec)` re-allocates and memcpys — a full
+/// extra pass over every packet payload on the encode hot path).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
 }
 
 impl Bytes {
     /// Creates an empty buffer.
+    #[inline]
     pub fn new() -> Self {
-        Bytes {
-            data: Arc::from(&[][..]),
-        }
+        Bytes::default()
     }
 
     /// Copies a static slice into a buffer.
+    #[inline]
     pub fn copy_from_slice(data: &[u8]) -> Self {
         Bytes {
-            data: Arc::from(data),
+            data: Arc::new(data.to_vec()),
         }
     }
 
     /// Number of bytes in the buffer.
+    #[inline]
     pub fn len(&self) -> usize {
         self.data.len()
     }
 
     /// Whether the buffer is empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }
@@ -42,20 +49,24 @@ impl Bytes {
 impl Deref for Bytes {
     type Target = [u8];
 
+    #[inline]
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.data.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
+    #[inline]
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.data.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Takes ownership of the vector — no byte copy.
+    #[inline]
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v) }
+        Bytes { data: Arc::new(v) }
     }
 }
 
@@ -79,11 +90,13 @@ pub struct BytesMut {
 
 impl BytesMut {
     /// Creates an empty buffer.
+    #[inline]
     pub fn new() -> Self {
         BytesMut { data: Vec::new() }
     }
 
     /// Creates an empty buffer with `cap` bytes preallocated.
+    #[inline]
     pub fn with_capacity(cap: usize) -> Self {
         BytesMut {
             data: Vec::with_capacity(cap),
@@ -91,6 +104,7 @@ impl BytesMut {
     }
 
     /// Number of bytes written so far.
+    #[inline]
     pub fn len(&self) -> usize {
         self.data.len()
     }
@@ -101,11 +115,14 @@ impl BytesMut {
     }
 
     /// Appends a slice to the buffer.
+    #[inline]
     pub fn extend_from_slice(&mut self, src: &[u8]) {
         self.data.extend_from_slice(src);
     }
 
-    /// Converts the accumulated bytes into an immutable [`Bytes`].
+    /// Converts the accumulated bytes into an immutable [`Bytes`],
+    /// reusing the allocation.
+    #[inline]
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
     }
@@ -125,42 +142,50 @@ pub trait BufMut {
     fn put_slice(&mut self, src: &[u8]);
 
     /// Appends one byte.
+    #[inline]
     fn put_u8(&mut self, v: u8) {
         self.put_slice(&[v]);
     }
 
     /// Appends a big-endian `u16`.
+    #[inline]
     fn put_u16(&mut self, v: u16) {
         self.put_slice(&v.to_be_bytes());
     }
 
     /// Appends a big-endian `u32`.
+    #[inline]
     fn put_u32(&mut self, v: u32) {
         self.put_slice(&v.to_be_bytes());
     }
 
     /// Appends a big-endian `u64`.
+    #[inline]
     fn put_u64(&mut self, v: u64) {
         self.put_slice(&v.to_be_bytes());
     }
 
     /// Appends a big-endian `i16`.
+    #[inline]
     fn put_i16(&mut self, v: i16) {
         self.put_slice(&v.to_be_bytes());
     }
 
     /// Appends a big-endian IEEE-754 `f32`.
+    #[inline]
     fn put_f32(&mut self, v: f32) {
         self.put_slice(&v.to_be_bytes());
     }
 
     /// Appends a big-endian IEEE-754 `f64`.
+    #[inline]
     fn put_f64(&mut self, v: f64) {
         self.put_slice(&v.to_be_bytes());
     }
 }
 
 impl BufMut for BytesMut {
+    #[inline]
     fn put_slice(&mut self, src: &[u8]) {
         self.data.extend_from_slice(src);
     }
