@@ -27,10 +27,13 @@
 //! that order exactly — see the `matches_reference_heap` property test —
 //! because (a) `ready` is kept sorted by `(at, seq)`, slot drains sort
 //! before appending, and late pushes into an already-drained time range
-//! binary-insert into their ordered position; and (b) a cascade whose start
-//! coincides with the earliest level-0 slot runs *first* (higher level wins
-//! ties), so events it redistributes into that slot's range are drained
-//! together with the slot's existing events, never after them.
+//! binary-insert into their ordered position; and (b) on equal start times
+//! the highest-level cascade runs *first*, then every lower level's slot
+//! sitting exactly at the new cursor's position is cascaded in turn
+//! (level-1 starts can tie with a level-2 or level-3 cascade, not just
+//! level-0 ones), so all tied sources merge into one sorted batch and no
+//! slot is ever left occupied at the cursor — where `first_occupied` would
+//! skip it and mis-order its events by a full rotation.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -226,8 +229,9 @@ impl<T> TimingWheel<T> {
 
     /// Refills `ready` (which must be empty) with the next due batch of
     /// events, sorted descending by `(at, seq)`. Cascades higher-level
-    /// slots whose start time has arrived; on equal start times the higher
-    /// level is processed first so its events merge into — rather than
+    /// slots whose start time has arrived; on equal start times the highest
+    /// level is processed first, then every lower level's slot at the new
+    /// cursor position, so all tied sources merge into — rather than
     /// trail — the level-0 slot they belong to.
     fn advance(&mut self) {
         debug_assert!(self.ready.is_empty());
@@ -270,9 +274,29 @@ impl<T> TimingWheel<T> {
                     self.place_in_wheel(e);
                 }
             }
-            // A pre-existing level-0 slot may sit exactly at the new cursor
-            // (its start tied with this cascade); drain it into the same
-            // batch so the sort below interleaves both sources correctly.
+            // Pre-existing lower-level slots may sit exactly at the new
+            // cursor's position (their start tied with this cascade's).
+            // `first_occupied` never looks at the cursor's own position, so
+            // leaving one occupied would mis-order its events by a full
+            // rotation. Cascade them too — a tied slot's events fit the
+            // level-0 window from the new cursor, so each spill lands in
+            // level 0 or `ready`, never in another tied slot — then drain
+            // the tied level-0 slot, so the sort below interleaves every
+            // source correctly.
+            for lvl in (1..level).rev() {
+                let idx_l = (self.cursor >> (BITS * lvl as u32)) as usize & (SLOTS - 1);
+                if self.occupied[lvl][idx_l >> 6] & (1 << (idx_l & 63)) != 0 {
+                    let tied = std::mem::take(&mut self.levels[lvl][idx_l]);
+                    self.occupied[lvl][idx_l >> 6] &= !(1 << (idx_l & 63));
+                    for e in tied {
+                        if e.at >> SHIFT <= self.cursor {
+                            self.ready.push(e);
+                        } else {
+                            self.place_in_wheel(e);
+                        }
+                    }
+                }
+            }
             let idx0 = self.cursor as usize & (SLOTS - 1);
             if self.occupied[0][idx0 >> 6] & (1 << (idx0 & 63)) != 0 {
                 let extra = std::mem::take(&mut self.levels[0][idx0]);
@@ -388,6 +412,111 @@ mod tests {
         // Tiny delays: many same-slot and same-timestamp events.
         for seed in 200..208 {
             check_stream(seed, 4_000, 3);
+        }
+    }
+
+    #[test]
+    fn level1_slot_tying_with_level2_cascade_is_not_skipped() {
+        // Regression: a level-1 slot whose start coincides with a level-2
+        // cascade's start sits exactly at the new cursor's level-1 position.
+        // `first_occupied` never inspects the cursor's own position, so the
+        // slot used to be skipped and its events mis-ordered by a full
+        // rotation (C below popped before B, simulated time going
+        // backwards).
+        let mut wheel = TimingWheel::new();
+        // Advance the cursor to level-0 slot 65280 (= 0xFF00).
+        wheel.push(65_280 << SHIFT, 0, 0u32);
+        assert_eq!(wheel.pop(), Some((65_280 << SHIFT, 0, 0)));
+        // B: level-1 slot with start 65536 (vslot 256, distance 1).
+        wheel.push(65_536 << SHIFT, 1, 1u32);
+        // C: level-2 slot with the same start 65536 (vslot 1, distance 1).
+        wheel.push(511u64 << 18, 2, 2u32);
+        assert_eq!(wheel.pop(), Some((65_536 << SHIFT, 1, 1)));
+        assert_eq!(wheel.pop(), Some((511u64 << 18, 2, 2)));
+        assert_eq!(wheel.pop(), None);
+    }
+
+    #[test]
+    fn level1_and_level2_slots_tying_with_level3_cascade() {
+        // Same shape one level up: a level-3 cascade whose start ties with
+        // occupied level-2 AND level-1 slots must drain all of them into
+        // the same batch.
+        let mut wheel = TimingWheel::new();
+        // Cursor to level-0 slot 2^24 - 256, one level-1 slot shy of the
+        // level-3 boundary at 2^24.
+        wheel.push(((1u64 << (3 * BITS)) - 256) << SHIFT, 0, 0u32);
+        assert_eq!(wheel.pop().map(|(_, s, _)| s), Some(0));
+        // B: level-1 slot (vslot 2^16, distance 1), start 2^24.
+        let b_at = 1u64 << (SHIFT + 3 * BITS);
+        wheel.push(b_at, 1, 1u32);
+        // C: level-2 slot (vslot 2^8, distance 1), same start 2^24.
+        let c_at = ((1u64 << (3 * BITS)) + (255 << BITS)) << SHIFT;
+        wheel.push(c_at, 2, 2u32);
+        // D: level-3 slot (vslot 1, distance 1), same start 2^24.
+        let d_at = 511u64 << (SHIFT + 2 * BITS);
+        wheel.push(d_at, 3, 3u32);
+        assert!(b_at < c_at && c_at < d_at);
+        assert_eq!(wheel.pop(), Some((b_at, 1, 1)));
+        assert_eq!(wheel.pop(), Some((c_at, 2, 2)));
+        assert_eq!(wheel.pop(), Some((d_at, 3, 3)));
+        assert_eq!(wheel.pop(), None);
+    }
+
+    /// Like `check_stream`, but biases timestamps onto level-1/2/3 slot
+    /// boundaries so cascade starts frequently tie with occupied
+    /// lower-level slots — the alignment the uniform streams almost never
+    /// produce.
+    fn check_aligned_stream(seed: u64, ops: usize) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut wheel = TimingWheel::new();
+        let mut reference = RefHeap::new();
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        for op in 0..ops {
+            let push = rng.gen_range(0..5u32) < 3;
+            if push || wheel.len() == 0 {
+                // Snap to a random level's slot boundary a few slots ahead,
+                // with occasional sub-slot jitter so slots hold mixed times.
+                let level = rng.gen_range(1..LEVELS as u32);
+                let span = 1u64 << (SHIFT + BITS * level);
+                let k = rng.gen_range(1..4u64);
+                let jitter = if rng.gen_range(0..4u32) == 0 {
+                    rng.gen_range(0..1u64 << SHIFT)
+                } else {
+                    0
+                };
+                let at = ((now / span) + k) * span + jitter;
+                wheel.push(at, seq, op as u32);
+                reference.push(at, seq, op as u32);
+                seq += 1;
+            } else {
+                let got = wheel.pop();
+                let want = reference.pop();
+                assert_eq!(
+                    got, want,
+                    "pop #{op} diverged from the reference heap (seed {seed})"
+                );
+                if let Some((at, _, _)) = got {
+                    assert!(at >= now, "time went backwards");
+                    now = at;
+                }
+            }
+        }
+        loop {
+            let got = wheel.pop();
+            let want = reference.pop();
+            assert_eq!(got, want, "drain diverged (seed {seed})");
+            if got.is_none() {
+                assert_eq!(wheel.len(), 0);
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_heap_boundary_aligned() {
+        for seed in 300..310 {
+            check_aligned_stream(seed, 3_000);
         }
     }
 
