@@ -37,11 +37,28 @@ use std::time::Instant;
 
 use iswitch_bench::{banner, write_metrics};
 use iswitch_cluster::{run_timing_perf, PerfSample, Strategy, TimingConfig};
+use iswitch_netsim::FattreeShape;
 use iswitch_obs::JsonValue;
 use iswitch_rl::Algorithm;
 
 /// Matrix seeds: the repo-wide experiment seed plus one decorrelated seed.
 const SEEDS: [u64; 2] = [0x5117c4, 7];
+
+/// The sharded fat-tree scaling shape: 4 pods of 2 racks of 2 hosts — 16
+/// workers across 5 engine domains (one per pod plus the core).
+const FATTREE_SHAPE: FattreeShape = FattreeShape {
+    aggs: 4,
+    racks_per_agg: 2,
+    hosts_per_rack: 2,
+};
+
+/// Thread counts of the scaling cells. All three must produce identical
+/// workload fingerprints (checked in-gate, no baseline needed).
+const FATTREE_THREADS: [usize; 3] = [1, 2, 4];
+
+/// Minimum events/wall-sec speedup of the 4-thread fattree cell over the
+/// 1-thread cell, enforced only on hosts with at least 4 cores.
+const SCALING_FLOOR: f64 = 1.6;
 
 const STRATEGIES: [(Strategy, &str); 5] = [
     (Strategy::SyncPs, "ps"),
@@ -127,6 +144,45 @@ fn cell_config(topo: &Topo, strategy: Strategy, seed: u64) -> TimingConfig {
     cfg
 }
 
+/// The fat-tree scaling cell at the given thread count: same seed and
+/// shape for every entry of [`FATTREE_THREADS`], so the only degree of
+/// freedom is how many threads execute the run. DQN (the largest paper
+/// model) keeps each parallel epoch dense with packet events, so the
+/// measurement reflects engine throughput rather than barrier overhead.
+fn fattree_config(threads: usize, seed: u64) -> TimingConfig {
+    let mut cfg = TimingConfig::main_cluster(Algorithm::Dqn, Strategy::SyncIsw);
+    cfg.fattree = Some(FATTREE_SHAPE);
+    cfg.workers = FATTREE_SHAPE.workers();
+    cfg.threads = threads;
+    cfg.iterations = 3;
+    cfg.warmup = 1;
+    cfg.seed = seed;
+    cfg
+}
+
+fn run_one(id: String, cfg: &TimingConfig) -> Cell {
+    let start = Instant::now();
+    let cpu_start = process_cpu_ns();
+    let (result, sample) = run_timing_perf(cfg);
+    let cpu_ns = process_cpu_ns().saturating_sub(cpu_start);
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    println!(
+        "  {:<24} {:>9} events  sim {:>12} ns  cpu {:>7.1} ms  {:>8.0} kev/s",
+        id,
+        sample.events,
+        sample.sim_ns,
+        cpu_ns as f64 / 1e6,
+        sample.events as f64 / (cpu_ns.max(1) as f64 / 1e9) / 1e3,
+    );
+    Cell {
+        id,
+        sample,
+        per_iteration_ns: result.per_iteration.as_nanos(),
+        wall_ns,
+        cpu_ns,
+    }
+}
+
 fn run_matrix(quick: bool) -> Vec<Cell> {
     let seeds: &[u64] = if quick { &SEEDS[..1] } else { &SEEDS };
     let mut cells = Vec::new();
@@ -134,28 +190,16 @@ fn run_matrix(quick: bool) -> Vec<Cell> {
         for &(strategy, label) in &STRATEGIES {
             for &seed in seeds {
                 let cfg = cell_config(topo, strategy, seed);
-                let start = Instant::now();
-                let cpu_start = process_cpu_ns();
-                let (result, sample) = run_timing_perf(&cfg);
-                let cpu_ns = process_cpu_ns().saturating_sub(cpu_start);
-                let wall_ns = start.elapsed().as_nanos() as u64;
-                println!(
-                    "  {:<24} {:>9} events  sim {:>12} ns  cpu {:>7.1} ms  {:>8.0} kev/s",
-                    format!("{}/{label}/s{seed:x}", topo.name),
-                    sample.events,
-                    sample.sim_ns,
-                    cpu_ns as f64 / 1e6,
-                    sample.events as f64 / (cpu_ns.max(1) as f64 / 1e9) / 1e3,
-                );
-                cells.push(Cell {
-                    id: format!("{}/{label}/s{seed:x}", topo.name),
-                    sample,
-                    per_iteration_ns: result.per_iteration.as_nanos(),
-                    wall_ns,
-                    cpu_ns,
-                });
+                cells.push(run_one(format!("{}/{label}/s{seed:x}", topo.name), &cfg));
             }
         }
+    }
+    // Scaling cells: the sharded fat-tree at 1/2/4 threads, first seed
+    // only (the thread count is the swept variable, not the workload).
+    for &threads in &FATTREE_THREADS {
+        let seed = SEEDS[0];
+        let cfg = fattree_config(threads, seed);
+        cells.push(run_one(format!("fattree/isw-t{threads}/s{seed:x}"), &cfg));
     }
     cells
 }
@@ -270,6 +314,77 @@ fn fingerprint_mismatches(current: &JsonValue, baseline: &JsonValue) -> Vec<Stri
     out
 }
 
+/// The sharded engine's determinism claim, checked in-gate without a
+/// baseline: every deterministic fingerprint field of the fat-tree scaling
+/// cells must be identical across thread counts. Runs on every invocation
+/// (including `--stable` and `--quick`) — a divergence here means the
+/// parallel engine's merge order leaked into results, which no baseline
+/// refresh may paper over.
+fn scaling_identity_mismatches(cells: &[Cell]) -> Vec<String> {
+    let scaling: Vec<&Cell> = cells
+        .iter()
+        .filter(|c| c.id.starts_with("fattree/"))
+        .collect();
+    let fingerprint = |c: &Cell| {
+        (
+            c.sample.events,
+            c.sample.packets_sent,
+            c.sample.packets_delivered,
+            c.sample.sim_ns,
+            c.per_iteration_ns,
+        )
+    };
+    let mut out = Vec::new();
+    if let Some((first, rest)) = scaling.split_first() {
+        for c in rest {
+            if fingerprint(c) != fingerprint(first) {
+                out.push(format!(
+                    "{}: {:?} differs from {}: {:?}",
+                    c.id,
+                    fingerprint(c),
+                    first.id,
+                    fingerprint(first)
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Per-cell before/after throughput comparison against the baseline:
+/// events per CPU-second, then and now, with the relative change. Rendered
+/// whenever the gate fails (so a regression names its victims) and when
+/// the baseline is refreshed (so the commit shows what moved).
+fn comparison_table(cells: &[Cell], baseline: &JsonValue) -> String {
+    let base = cell_map(baseline);
+    let mut s = format!(
+        "  {:<26} {:>15} {:>15} {:>8}\n",
+        "cell", "base ev/cpu-s", "now ev/cpu-s", "delta"
+    );
+    for c in cells {
+        let now = c.sample.events as f64 / (c.cpu_ns.max(1) as f64 / 1e9);
+        let was = base
+            .iter()
+            .find(|(id, _)| *id == c.id)
+            .and_then(|(_, v)| v.get("events_per_sec"))
+            .and_then(|v| v.as_f64());
+        match was {
+            Some(b) if b > 0.0 => s.push_str(&format!(
+                "  {:<26} {:>15.0} {:>15.0} {:>+7.1}%\n",
+                c.id,
+                b,
+                now,
+                (now / b - 1.0) * 100.0
+            )),
+            _ => s.push_str(&format!(
+                "  {:<26} {:>15} {:>15.0} {:>8}\n",
+                c.id, "-", now, "new"
+            )),
+        }
+    }
+    s
+}
+
 fn parse_flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
         .position(|a| a == name)
@@ -306,6 +421,43 @@ fn main() {
     });
     println!("report written to {out}");
 
+    // Thread-count invariance of the sharded engine: baseline-free, always
+    // enforced — this is a correctness property, not a performance one.
+    let identity = scaling_identity_mismatches(&cells);
+    if !identity.is_empty() {
+        eprintln!("sharded-engine fingerprints depend on the thread count:");
+        for m in &identity {
+            eprintln!("  {m}");
+        }
+        exit(1);
+    }
+    println!("scaling cells are thread-count invariant ({FATTREE_THREADS:?} threads)");
+
+    // Parallel speedup of the 4-thread fattree cell over 1-thread, on
+    // wall-clock throughput (process CPU time can only grow with threads;
+    // wall time is what sharding buys). Enforced only where 4 cores exist
+    // and measurements are wanted — single-core CI uses --stable.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let wall_of = |threads: usize| {
+        cells
+            .iter()
+            .find(|c| c.id.starts_with(&format!("fattree/isw-t{threads}/")))
+            .map(|c| c.wall_ns.max(1))
+    };
+    if let (Some(w1), Some(w4)) = (wall_of(1), wall_of(4)) {
+        let speedup = w1 as f64 / w4 as f64;
+        println!(
+            "fattree scaling: {speedup:.2}x events/wall-sec at 4 threads vs 1 ({cores} cores)"
+        );
+        if !stable && cores >= 4 && speedup < SCALING_FLOOR {
+            eprintln!(
+                "SCALING REGRESSION: 4-thread fattree speedup {speedup:.2}x \
+                 is below the {SCALING_FLOOR}x floor"
+            );
+            exit(1);
+        }
+    }
+
     if update_baseline {
         // The baseline always records the full measured document (the
         // throughput gate needs events_per_sec even when later runs are
@@ -313,6 +465,12 @@ fn main() {
         if stable || quick {
             eprintln!("--update-baseline needs a full, non-stable run");
             exit(2);
+        }
+        if let Ok(old) = std::fs::read_to_string(&baseline_path) {
+            if let Ok(old) = JsonValue::parse(&old) {
+                println!("per-cell throughput vs the outgoing baseline:");
+                print!("{}", comparison_table(&cells, &old));
+            }
         }
         write_metrics(&baseline_path, &doc).unwrap_or_else(|e| {
             eprintln!("cannot write {}: {e}", baseline_path.display());
@@ -340,6 +498,8 @@ fn main() {
         for m in &mismatches {
             eprintln!("  {m}");
         }
+        eprintln!("per-cell throughput vs the baseline:");
+        eprint!("{}", comparison_table(&cells, &baseline));
         eprintln!(
             "(seeded-simulation outputs changed — if intentional, refresh \
              the baseline with --update-baseline; see BENCHMARKS.md)"
@@ -372,6 +532,8 @@ fn main() {
                 "REGRESSION: events/sec fell more than {:.0}% below the baseline",
                 threshold * 100.0
             );
+            eprintln!("per-cell throughput vs the baseline:");
+            eprint!("{}", comparison_table(&cells, &baseline));
             exit(1);
         }
     }

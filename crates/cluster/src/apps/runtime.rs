@@ -248,7 +248,7 @@ impl Rt<'_, '_, '_> {
 ///
 /// Default implementations are no-ops so each protocol implements only the
 /// hooks its pacing uses.
-pub trait StrategyProtocol: 'static {
+pub trait StrategyProtocol: Send + 'static {
     /// Called once at simulation start, before the first iteration.
     fn on_start(&mut self, _rt: &mut Rt<'_, '_, '_>) {}
 

@@ -9,8 +9,7 @@
 //! staleness distributions measured in timing mode are replayed here while
 //! training for real.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use iswitch_core::QuantConfig;
 use iswitch_rl::{make_lite_agent_scaled, Algorithm, LocalReplica};
@@ -178,7 +177,7 @@ fn mean_gradient(grads: &[Vec<f32>], quantize: Option<f32>) -> Vec<f32> {
 pub fn run_convergence(cfg: &ConvergenceConfig) -> ConvergenceResult {
     assert!(cfg.workers >= 1, "need at least one worker");
     assert!(cfg.check_every >= 1, "check_every must be positive");
-    let rng = Rc::new(RefCell::new(StdRng::seed_from_u64(cfg.seed ^ 0xA5A5)));
+    let rng = Arc::new(Mutex::new(StdRng::seed_from_u64(cfg.seed ^ 0xA5A5)));
 
     // Parameter history for staleness replay: history[0] is current. The
     // driver owns the ring; `ReplayGradients` workers read through it.
@@ -196,7 +195,7 @@ pub fn run_convergence(cfg: &ConvergenceConfig) -> ConvergenceResult {
         | AggregationSemantics::AsyncSingle { staleness, bound } => Some(ReplaySchedule::new(
             staleness.clone(),
             *bound,
-            Rc::clone(&rng),
+            Arc::clone(&rng),
         )),
     };
 
@@ -212,11 +211,11 @@ pub fn run_convergence(cfg: &ConvergenceConfig) -> ConvergenceResult {
     // Identical initial weights everywhere (decentralized weight storage).
     let mut params = replicas[0].params().to_vec();
     let mut opt = replicas[0].agent().make_optimizer();
-    let history = Rc::new(RefCell::new(vec![params.clone(); history_depth]));
+    let history = Arc::new(Mutex::new(vec![params.clone(); history_depth]));
     let mut workers: Vec<ReplayGradients> = replicas
         .into_iter()
         .enumerate()
-        .map(|(w, r)| ReplayGradients::new(r, Rc::clone(&history), schedule_for(w)))
+        .map(|(w, r)| ReplayGradients::new(r, Arc::clone(&history), schedule_for(w)))
         .collect();
     for w in workers.iter_mut() {
         w.load_params(&params);
@@ -259,7 +258,7 @@ pub fn run_convergence(cfg: &ConvergenceConfig) -> ConvergenceResult {
         }
         // Shift history and install the new weights everywhere.
         {
-            let mut h = history.borrow_mut();
+            let mut h = history.lock().expect("shared state lock");
             if history_depth > 1 {
                 h.rotate_right(1);
             }

@@ -17,8 +17,7 @@
 //!   central driver owning the optimizer step.
 
 use std::any::Any;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use iswitch_rl::LocalReplica;
 use rand::rngs::StdRng;
@@ -32,7 +31,7 @@ use crate::staleness::StalenessDistribution;
 /// [`GradientSource::gradient`], and hands the reassembled aggregate to
 /// [`GradientSource::apply_aggregate`] when the local weight update (LWU)
 /// span closes.
-pub trait GradientSource: 'static {
+pub trait GradientSource: Send + 'static {
     /// Gradient length in f32 elements.
     fn grad_len(&self) -> usize;
 
@@ -200,13 +199,13 @@ impl GradientSource for AgentGradients {
 pub struct ReplaySchedule {
     staleness: StalenessDistribution,
     bound: u32,
-    rng: Rc<RefCell<StdRng>>,
+    rng: Arc<Mutex<StdRng>>,
 }
 
 impl ReplaySchedule {
     /// A schedule drawing from `staleness` clamped to `bound`, using the
     /// shared `rng`.
-    pub fn new(staleness: StalenessDistribution, bound: u32, rng: Rc<RefCell<StdRng>>) -> Self {
+    pub fn new(staleness: StalenessDistribution, bound: u32, rng: Arc<Mutex<StdRng>>) -> Self {
         ReplaySchedule {
             staleness,
             bound,
@@ -221,7 +220,7 @@ impl ReplaySchedule {
 pub struct ReplayGradients {
     replica: LocalReplica,
     grad: Vec<f32>,
-    history: Rc<RefCell<Vec<Vec<f32>>>>,
+    history: Arc<Mutex<Vec<Vec<f32>>>>,
     schedule: Option<ReplaySchedule>,
 }
 
@@ -232,7 +231,7 @@ impl ReplayGradients {
     /// gradient.
     pub fn new(
         replica: LocalReplica,
-        history: Rc<RefCell<Vec<Vec<f32>>>>,
+        history: Arc<Mutex<Vec<Vec<f32>>>>,
         schedule: Option<ReplaySchedule>,
     ) -> Self {
         let len = replica.param_count();
@@ -273,10 +272,13 @@ impl GradientSource for ReplayGradients {
     fn compute(&mut self) {
         let k = match &self.schedule {
             None => 0,
-            Some(s) => s.staleness.sample(&mut s.rng.borrow_mut()).min(s.bound) as usize,
+            Some(s) => s
+                .staleness
+                .sample(&mut s.rng.lock().expect("shared state lock"))
+                .min(s.bound) as usize,
         };
         {
-            let h = self.history.borrow();
+            let h = self.history.lock().expect("shared state lock");
             let stale = &h[k.min(h.len() - 1)];
             self.replica.load_params(stale);
         }
@@ -332,10 +334,10 @@ mod tests {
     fn replay_source_samples_history_depth() {
         let replica = LocalReplica::new(make_lite_agent(Algorithm::A2c, 0));
         let params = replica.params().to_vec();
-        let history = Rc::new(RefCell::new(vec![params.clone(); 3]));
-        let rng = Rc::new(RefCell::new(StdRng::seed_from_u64(1)));
+        let history = Arc::new(Mutex::new(vec![params.clone(); 3]));
+        let rng = Arc::new(Mutex::new(StdRng::seed_from_u64(1)));
         let schedule = ReplaySchedule::new(StalenessDistribution::constant(7), 2, rng);
-        let mut s = ReplayGradients::new(replica, Rc::clone(&history), Some(schedule));
+        let mut s = ReplayGradients::new(replica, Arc::clone(&history), Some(schedule));
         // Staleness 7 clamps to the bound, then to the history depth.
         s.compute();
         assert_eq!(s.gradient().len(), s.grad_len());

@@ -7,8 +7,9 @@ use std::sync::Arc;
 
 use iswitch_core::{AggregationMode, AggregationRole, ExtensionConfig, IswitchExtension};
 use iswitch_netsim::{
-    build_star, build_tree, build_tree3, host_ip, Host, HostApp, LinkId, LossModel, NodeId, PortId,
-    SimDuration, SimTime, Simulator, SwitchExtension, SwitchRole, TopologyConfig,
+    build_fattree, build_star, build_tree, build_tree3, host_ip, Fattree, FattreeShape, Host,
+    HostApp, LinkId, LinkSpec, LossModel, NodeId, PortId, ShardedSim, SimDuration, SimTime,
+    Simulator, SwitchExtension, SwitchRole, TopologyConfig,
 };
 use iswitch_obs::{JsonValue, Trace, TraceEvent};
 use iswitch_rl::{paper_model, Algorithm};
@@ -86,6 +87,18 @@ pub struct TimingConfig {
     /// Overrides the aggregation threshold `H` on iSwitch switches (the
     /// `SetH` partial-aggregation ablation). `None` keeps `H` = children.
     pub threshold_override: Option<u16>,
+    /// `Some(shape)` builds the *sharded* fat-tree instead of the
+    /// single-simulator topologies: one simulation domain per AGG subtree
+    /// plus one for the core, connected by cross-domain AGG↔Core uplinks
+    /// (see [`iswitch_netsim::ShardedSim`]). `workers` must equal
+    /// `shape.workers()` and the strategy must be [`Strategy::SyncIsw`].
+    /// `workers_per_rack`/`racks_per_agg` are ignored — the shape already
+    /// fixes the hierarchy.
+    pub fattree: Option<FattreeShape>,
+    /// Worker threads driving a sharded (`fattree`) run. Results are
+    /// byte-identical for every value; threads > 1 only changes wall-clock
+    /// time. Ignored by the single-simulator topologies.
+    pub threads: usize,
     /// Per-packet random loss probability on edge links (failure
     /// injection). iSwitch workers recover via `Help`/`FBcast`.
     pub edge_loss: f64,
@@ -113,6 +126,8 @@ impl TimingConfig {
             staleness_bound: 3,
             aggregation_mode: AggregationMode::OnTheFly,
             threshold_override: None,
+            fattree: None,
+            threads: 1,
             edge_loss: 0.0,
             event_limit: None,
             seed: 0x5117c4,
@@ -380,6 +395,21 @@ fn dispatch(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResult {
         "distributed training needs at least two workers"
     );
     assert!(cfg.iterations > 0, "must measure at least one iteration");
+    if let Some(shape) = cfg.fattree {
+        assert_eq!(
+            cfg.workers,
+            shape.workers(),
+            "fat-tree runs derive the worker count from the shape: set \
+             workers = aggs * racks_per_agg * hosts_per_rack"
+        );
+        assert_eq!(
+            cfg.strategy,
+            Strategy::SyncIsw,
+            "the sharded fat-tree currently runs only the SyncIsw strategy"
+        );
+        emit_run_meta(cfg, &mut obs);
+        return run_sync_isw_sharded(cfg, obs);
+    }
     emit_run_meta(cfg, &mut obs);
     match cfg.strategy {
         Strategy::SyncPs => run_sync_ps(cfg, obs),
@@ -450,14 +480,42 @@ fn collect_sync_result<T: HostApp>(
     sim: &mut Simulator,
     workers: &[iswitch_netsim::NodeId],
     warmup: usize,
-    mut obs: Option<&mut RunObs>,
+    obs: Option<&mut RunObs>,
     log_of: impl Fn(&T) -> &crate::apps::IterLog,
+) -> TimingResult {
+    let logs: Vec<&crate::apps::IterLog> = workers
+        .iter()
+        .map(|&w| log_of(sim.device::<Host>(w).app::<T>()))
+        .collect();
+    summarize_sync_logs(&logs, warmup, obs)
+}
+
+/// Like [`collect_sync_result`] for a sharded fat-tree: workers live in
+/// per-pod domains, in the same flattened (pod-major) order.
+fn collect_sync_result_sharded<T: HostApp>(
+    sharded: &ShardedSim,
+    ft: &Fattree,
+    warmup: usize,
+    obs: Option<&mut RunObs>,
+    log_of: impl Fn(&T) -> &crate::apps::IterLog,
+) -> TimingResult {
+    let logs: Vec<&crate::apps::IterLog> = ft
+        .all_hosts()
+        .map(|(d, n)| log_of(sharded.domain(d).device::<Host>(n).app::<T>()))
+        .collect();
+    summarize_sync_logs(&logs, warmup, obs)
+}
+
+/// Folds per-worker iteration logs into the mean breakdown, emitting one
+/// `iteration` trace event per logged iteration when a trace is attached.
+fn summarize_sync_logs(
+    logs: &[&crate::apps::IterLog],
+    warmup: usize,
+    mut obs: Option<&mut RunObs>,
 ) -> TimingResult {
     let mut spans: Vec<IterSpans> = Vec::new();
     let mut measured = 0;
-    for (widx, &w) in workers.iter().enumerate() {
-        let app = sim.device::<Host>(w).app::<T>();
-        let log = log_of(app);
+    for (widx, log) in logs.iter().enumerate() {
         if let Some(trace) = obs.as_deref_mut().and_then(|o| o.trace.as_deref()) {
             for (i, (span, end)) in log.spans().iter().zip(log.end_times()).enumerate() {
                 trace.record(
@@ -510,6 +568,23 @@ fn capture_metrics(sim: &Simulator, obs: &mut Option<&mut RunObs>) {
     }
 }
 
+/// [`capture_metrics`] for a sharded run: merged registry, summed engine
+/// counters, and the maximum domain clock.
+fn capture_metrics_sharded(sharded: &ShardedSim, obs: &mut Option<&mut RunObs>) {
+    if let Some(obs) = obs.as_deref_mut() {
+        if obs.want_metrics {
+            obs.metrics = Some(sharded.metrics_json());
+        }
+        let stats = sharded.stats();
+        obs.perf = Some(PerfSample {
+            events: stats.events_processed,
+            packets_sent: stats.packets_sent,
+            packets_delivered: stats.packets_delivered,
+            sim_ns: sharded.now().as_nanos(),
+        });
+    }
+}
+
 /// Hands the capture's trace (if one is wanted) to the simulator so hosts,
 /// links, and switches record causal events as the run executes.
 fn attach_trace(sim: &mut Simulator, obs: &Option<&mut RunObs>) {
@@ -526,15 +601,23 @@ fn emit_run_meta(cfg: &TimingConfig, obs: &mut Option<&mut RunObs>) {
     let Some(trace) = obs.as_deref_mut().and_then(|o| o.trace.as_deref()) else {
         return;
     };
-    trace.record(
-        TraceEvent::new(0, "run")
-            .with_str("strategy", cfg.strategy.label())
-            .with_str("algorithm", &cfg.algorithm.to_string())
-            .with_u64("workers", cfg.workers as u64)
-            .with_u64("iterations", cfg.iterations as u64)
-            .with_u64("warmup", cfg.warmup as u64)
-            .with_u64("seed", cfg.seed),
-    );
+    let mut run_ev = TraceEvent::new(0, "run")
+        .with_str("strategy", cfg.strategy.label())
+        .with_str("algorithm", &cfg.algorithm.to_string())
+        .with_u64("workers", cfg.workers as u64)
+        .with_u64("iterations", cfg.iterations as u64)
+        .with_u64("warmup", cfg.warmup as u64)
+        .with_u64("seed", cfg.seed);
+    if let Some(shape) = cfg.fattree {
+        // Sharded runs only: existing (non-fattree) traces keep their exact
+        // byte layout. `threads` is deliberately omitted — artifacts must
+        // not depend on how many threads executed the run.
+        run_ev = run_ev
+            .with_u64("pods", shape.aggs as u64)
+            .with_u64("racks_per_pod", shape.racks_per_agg as u64)
+            .with_u64("hosts_per_rack", shape.hosts_per_rack as u64);
+    }
+    trace.record(run_ev);
     for (i, ip) in worker_ips(cfg).iter().enumerate() {
         trace.record(
             TraceEvent::new(0, "worker")
@@ -591,6 +674,12 @@ fn run_sync_ps(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResult
 
 /// Worker IPs in flattened order for the current layout.
 fn worker_ips(cfg: &TimingConfig) -> Vec<iswitch_netsim::IpAddr> {
+    if let Some(shape) = cfg.fattree {
+        // Pod-major global racks, exactly like build_tree3/build_fattree.
+        return (0..shape.racks())
+            .flat_map(|r| (0..shape.hosts_per_rack).map(move |i| host_ip(r, i)))
+            .collect();
+    }
     match cfg.workers_per_rack {
         None => (0..cfg.workers).map(|i| host_ip(0, i)).collect(),
         Some(per_rack) => {
@@ -820,6 +909,114 @@ fn run_sync_isw(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResul
     sim.run_until_idle();
     capture_metrics(&sim, &mut obs);
     collect_sync_result::<IswSyncWorker>(&mut sim, &workers, cfg.warmup, obs, |a| a.log())
+}
+
+/// The AGG↔Core links of the sharded fat-tree: uplink bandwidth with the
+/// longer propagation of inter-pod fibre runs (paper §3.4 scales beyond a
+/// single rack). The propagation is also the conservative lookahead bound
+/// of the sharded engine, so the longer fibre directly widens the parallel
+/// epochs.
+fn core_uplink_spec(topo: &TopologyConfig) -> LinkSpec {
+    let mut spec = topo.uplink.clone();
+    spec.propagation = spec.propagation.max(SimDuration::from_micros(5));
+    spec
+}
+
+/// [`run_sync_isw`] over the sharded fat-tree: one simulation domain per
+/// AGG subtree plus the core, executed by `cfg.threads` workers. The
+/// switch extensions and port layout match [`build_isw_topology`]'s
+/// three-level tree exactly; only the execution is partitioned.
+fn run_sync_isw_sharded(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResult {
+    let shape = cfg.fattree.expect("sharded runs carry a fat-tree shape");
+    let len = grad_len(cfg.algorithm);
+    let model = ComputeModel::for_algorithm(cfg.algorithm);
+    let total_iters = cfg.warmup + cfg.iterations;
+    let mut cfg = cfg.clone();
+    let help_timeout = SimDuration::serialization(len * 4, cfg.topo.edge.bandwidth_bps) * 3
+        + SimDuration::from_millis(3);
+    if cfg.edge_loss > 0.0 {
+        cfg.topo.edge.loss = LossModel::Random {
+            probability: cfg.edge_loss,
+            seed: cfg.seed,
+        };
+    }
+    // Flat worker apps in pod-major order, then grouped into (pod, rack).
+    let mut flat: Vec<Box<dyn HostApp>> = (0..shape.workers())
+        .map(|w| {
+            let mut worker = IswSyncWorker::new(
+                len,
+                messages(cfg.algorithm),
+                total_iters,
+                model.clone(),
+                cfg.comm.clone(),
+                cfg.seed.wrapping_add(w as u64),
+            );
+            if cfg.edge_loss > 0.0 {
+                worker = worker.with_help_timeout(help_timeout);
+            }
+            Box::new(worker) as Box<dyn HostApp>
+        })
+        .collect();
+    let mut apps: Vec<Vec<Vec<Box<dyn HostApp>>>> = Vec::with_capacity(shape.aggs);
+    let mut rest = flat.drain(..);
+    for _ in 0..shape.aggs {
+        let mut pod = Vec::with_capacity(shape.racks_per_agg);
+        for _ in 0..shape.racks_per_agg {
+            pod.push((&mut rest).take(shape.hosts_per_rack).collect());
+        }
+        apps.push(pod);
+    }
+    drop(rest);
+    let tune = |mut ext_cfg: ExtensionConfig| {
+        ext_cfg.mode = cfg.aggregation_mode;
+        if cfg.edge_loss > 0.0 {
+            let age = SimDuration::serialization(len * 4, cfg.topo.edge.bandwidth_bps)
+                + SimDuration::from_millis(2);
+            ext_cfg.stale_flush = Some(age);
+        }
+        ext_cfg
+    };
+    let mut mk_ext = |role: SwitchRole| -> Option<Box<dyn SwitchExtension>> {
+        let ext = match role {
+            SwitchRole::Tor(_) => IswitchExtension::new(tune(ExtensionConfig::for_tree_level(
+                AggregationRole::Intermediate {
+                    uplink: PortId::new(shape.hosts_per_rack),
+                },
+                (0..shape.hosts_per_rack).map(PortId::new).collect(),
+                len,
+            ))),
+            SwitchRole::Agg(_) => IswitchExtension::new(tune(ExtensionConfig::for_tree_level(
+                AggregationRole::Intermediate {
+                    uplink: PortId::new(shape.racks_per_agg),
+                },
+                (0..shape.racks_per_agg).map(PortId::new).collect(),
+                len,
+            ))),
+            SwitchRole::Core => IswitchExtension::new(tune(ExtensionConfig::for_tree_level(
+                AggregationRole::Root,
+                (0..shape.aggs).map(PortId::new).collect(),
+                len,
+            ))),
+        };
+        Some(Box::new(ext))
+    };
+    let mut sharded = ShardedSim::new();
+    let ft = build_fattree(
+        &mut sharded,
+        apps,
+        &mut mk_ext,
+        &cfg.topo,
+        &core_uplink_spec(&cfg.topo),
+    );
+    if let Some(limit) = cfg.event_limit {
+        sharded.set_event_limit(limit);
+    }
+    if let Some(trace) = obs.as_deref().and_then(|o| o.trace.as_ref()) {
+        sharded.set_trace(Arc::clone(trace));
+    }
+    sharded.run(cfg.threads);
+    capture_metrics_sharded(&sharded, &mut obs);
+    collect_sync_result_sharded::<IswSyncWorker>(&sharded, &ft, cfg.warmup, obs, |a| a.log())
 }
 
 /// Mean interval between consecutive update timestamps after warmup.
@@ -1169,6 +1366,62 @@ mod tests {
             three.per_iteration,
             two.per_iteration
         );
+    }
+
+    #[test]
+    fn sharded_fattree_is_thread_count_invariant() {
+        // The tentpole determinism claim at the runner level: the full
+        // observability export (summary + merged metrics + merged trace)
+        // is byte-identical no matter how many threads executed the run.
+        let shape = FattreeShape {
+            aggs: 2,
+            racks_per_agg: 2,
+            hosts_per_rack: 2,
+        };
+        let mut cfg = quick(Algorithm::Ppo, Strategy::SyncIsw);
+        cfg.workers = shape.workers();
+        cfg.fattree = Some(shape);
+        let mut exports = Vec::new();
+        for threads in [1, 2, 4] {
+            cfg.threads = threads;
+            let obs = run_timing_observed(&cfg);
+            assert!(obs.result.per_iteration > SimDuration::ZERO);
+            exports.push((obs.report_json().render(), obs.trace.to_jsonl()));
+        }
+        assert_eq!(exports[0], exports[1], "threads=1 vs threads=2 differ");
+        assert_eq!(exports[0], exports[2], "threads=1 vs threads=4 differ");
+    }
+
+    #[test]
+    fn sharded_fattree_matches_tree3_iteration_scale() {
+        // Same hierarchy, different execution: the sharded fat-tree only
+        // lengthens the AGG↔Core fibre (5 µs vs 1 µs propagation), so its
+        // per-iteration time must sit within a few percent of the
+        // single-simulator three-level tree.
+        let shape = FattreeShape {
+            aggs: 2,
+            racks_per_agg: 2,
+            hosts_per_rack: 3,
+        };
+        let mut sharded = quick(Algorithm::Ppo, Strategy::SyncIsw);
+        sharded.workers = shape.workers();
+        sharded.fattree = Some(shape);
+        let s = run_timing(&sharded);
+
+        let mut tree3 = quick(Algorithm::Ppo, Strategy::SyncIsw);
+        tree3.workers = shape.workers();
+        tree3.workers_per_rack = Some(shape.hosts_per_rack);
+        tree3.racks_per_agg = Some(shape.racks_per_agg);
+        let t = run_timing(&tree3);
+
+        let ratio = s.per_iteration.as_secs_f64() / t.per_iteration.as_secs_f64();
+        assert!(
+            (1.0..1.10).contains(&ratio),
+            "sharded {} vs tree3 {} (ratio {ratio:.3})",
+            s.per_iteration,
+            t.per_iteration
+        );
+        assert_eq!(s.iterations_measured, t.iterations_measured);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::ids::{LinkId, NodeId, PortId, TimerId};
 use crate::link::{Link, LinkDir, LinkEnd, LinkSpec};
 use crate::obs::EngineObs;
 use crate::packet::{IpAddr, Packet};
+use crate::shard::{CrossDst, CrossMsg};
 use crate::stats::SimStats;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{FlowStats, FlowTracker};
@@ -28,7 +29,11 @@ use crate::wheel::TimingWheel;
 /// Implementations must provide [`Device::as_any_mut`] (and `as_any`) so the
 /// simulator can hand back concrete types after a run; the body is always
 /// `self`.
-pub trait Device: 'static {
+///
+/// Devices are `Send` so a domain (and every device in it) can run on a
+/// worker thread under [`crate::ShardedSim`]; each domain is still
+/// single-threaded internally, so no device needs `Sync`.
+pub trait Device: Send + 'static {
     /// Called once at simulation start (time zero), in node-creation order.
     fn on_start(&mut self, _ctx: &mut Context<'_>) {}
 
@@ -104,6 +109,14 @@ enum EventKind {
     Fault {
         action: FaultAction,
     },
+    /// A packet arriving from another domain (see [`crate::ShardedSim`]).
+    /// Distinct from `Deliver` because the carrying half-link's in-flight
+    /// accounting lives in the *sending* domain.
+    CrossDeliver {
+        node: NodeId,
+        port: PortId,
+        pkt: Packet,
+    },
 }
 
 /// Engine internals shared between the run loop and device callbacks.
@@ -114,6 +127,14 @@ pub(crate) struct SimCore {
     next_timer: u64,
     cancelled: HashSet<u64>,
     links: Vec<Link>,
+    /// Remote destination for each link, indexed by link id. `Some` marks a
+    /// cross-domain half-link: packets transmitted on it are parked in
+    /// `outbox` instead of being scheduled locally.
+    cross_dst: Vec<Option<CrossDst>>,
+    /// Packets headed to other domains, drained at each epoch barrier in
+    /// generation order (which is the per-domain component of the
+    /// deterministic merge key).
+    outbox: Vec<CrossMsg>,
     node_opts: Vec<NodeOpts>,
     node_ports: Vec<Vec<(LinkId, LinkDir)>>,
     /// Aggregate statistics.
@@ -213,7 +234,35 @@ impl SimCore {
             }
             return;
         }
+        if let Some(remote) = &self.cross_dst[link_id.index()] {
+            // Cross-domain half-link: the arrival timestamp is computed here
+            // (the remote rx overhead was captured at wiring time) and the
+            // packet is parked in the outbox for the next epoch barrier. The
+            // in-flight gauge is skipped — delivery happens in a domain that
+            // has no handle on this link's metrics.
+            let arrive = depart + link.propagation + link.extra_delay + remote.rx_overhead;
+            let msg = CrossMsg {
+                arrive,
+                dst_domain: remote.domain,
+                dst_node: remote.node,
+                dst_port: remote.port,
+                pkt,
+            };
+            self.flows
+                .record_delivery(msg.pkt.ip.src, msg.pkt.ip.dst, wire, self.now, arrive);
+            if let Some(ev) = self.pkt_event("pkt.tx", &msg.pkt) {
+                self.record(
+                    ev.with_u64("link", link_id.index() as u64)
+                        .with_u64("backlog_ns", backlog.as_nanos())
+                        .with_u64("depart_ns", depart.as_nanos())
+                        .with_u64("arrive_ns", arrive.as_nanos()),
+                );
+            }
+            self.outbox.push(msg);
+            return;
+        }
         self.obs.links[link_id.index()][dir].inflight.inc();
+        let link = &self.links[link_id.index()];
         let dest = link.dest(dir);
         let arrive = depart
             + link.propagation
@@ -358,6 +407,8 @@ impl Simulator {
                 next_timer: 0,
                 cancelled: HashSet::new(),
                 links: Vec::new(),
+                cross_dst: Vec::new(),
+                outbox: Vec::new(),
                 node_opts: Vec::new(),
                 node_ports: Vec::new(),
                 stats: SimStats::default(),
@@ -421,6 +472,7 @@ impl Simulator {
             });
         }
         self.core.links.push(link);
+        self.core.cross_dst.push(None);
         let core = &mut self.core;
         core.obs.add_link(
             link_id.index(),
@@ -432,6 +484,55 @@ impl Simulator {
         self.core.node_ports[a.index()].push((link_id, 0));
         self.core.node_ports[b.index()].push((link_id, 1));
         (link_id, pa, pb)
+    }
+
+    /// Connects the next free port of `node` to a node in *another* domain
+    /// via a cross-domain half-link: this simulator owns the outbound
+    /// direction (FIFO serialization, loss state, metrics); the reverse
+    /// direction is a separate half-link owned by the peer domain. Packets
+    /// transmitted here are parked in the outbox for the epoch barrier
+    /// instead of being scheduled locally. Called by
+    /// [`crate::ShardedSim::connect_cross`], which pairs up both halves.
+    pub(crate) fn connect_remote(
+        &mut self,
+        node: NodeId,
+        spec: &LinkSpec,
+        remote_label: &str,
+        dst: CrossDst,
+    ) -> (LinkId, PortId) {
+        assert!(
+            !self.started,
+            "links must be added before the simulation runs"
+        );
+        let link_id = LinkId(self.core.links.len());
+        let port = PortId(self.nodes[node.index()].ports.len());
+        let end = LinkEnd { node, port };
+        // Both ends carry the local attachment: the `b` end is a
+        // placeholder that is never resolved (transmit branches to the
+        // outbox before looking at it).
+        let mut link = Link::new(spec, end, end);
+        // Same per-link loss decorrelation as `connect`. The local link id
+        // is deterministic given the construction order, and each direction
+        // of a cross link gets its own stream — which a shared two-ended
+        // link could not provide across domains anyway.
+        if let crate::link::LossModel::Random { probability, seed } = spec.loss {
+            let mixed = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(link_id.0 as u64 + 1);
+            link.set_loss(crate::link::LossModel::Random {
+                probability,
+                seed: mixed,
+            });
+        }
+        self.core.links.push(link);
+        self.core.cross_dst.push(Some(dst));
+        let core = &mut self.core;
+        core.obs.add_link_oneway(
+            link_id.index(),
+            &core.node_opts[node.index()].label,
+            remote_label,
+        );
+        self.nodes[node.index()].ports.push((link_id, 0));
+        self.core.node_ports[node.index()].push((link_id, 0));
+        (link_id, port)
     }
 
     /// The current simulation time.
@@ -645,6 +746,23 @@ impl Simulator {
                     self.dispatch(node, |dev, ctx| dev.on_timer(ctx, token));
                 }
             }
+            EventKind::CrossDeliver { node, port, pkt } => {
+                self.core.stats.packets_delivered += 1;
+                self.core.obs.ev_deliver.inc();
+                // No in-flight gauge update: the carrying half-link's
+                // accounting lives in the sending domain. The rx event is
+                // stamped with the *local* half-link (the reverse direction
+                // of the same logical link), which is deterministic.
+                if let Some(ev) = self.core.pkt_event("pkt.rx", &pkt) {
+                    let (link_id, _) = self.core.node_ports[node.index()][port.index()];
+                    let label = &self.core.node_opts[node.index()].label;
+                    self.core.record(
+                        ev.with_u64("link", link_id.index() as u64)
+                            .with_str("node", label),
+                    );
+                }
+                self.dispatch(node, |dev, ctx| dev.on_packet(ctx, port, pkt));
+            }
             EventKind::Fault { action } => {
                 self.core.obs.ev_fault.inc();
                 self.core.stats.faults_applied += 1;
@@ -706,6 +824,65 @@ impl Simulator {
         }
         self.core.now = self.core.now.max(deadline.min(self.core.now));
         self.core.now
+    }
+
+    // ---- sharded-execution support (see `crate::ShardedSim`) -------------
+
+    /// Timestamp of the earliest pending event, scheduling `Start` events
+    /// first if the simulation has not begun. `None` when idle.
+    pub(crate) fn next_event_at(&mut self) -> Option<u64> {
+        self.ensure_started();
+        self.core.queue.next_at()
+    }
+
+    /// Processes every event with timestamp *strictly before* `horizon_ns`.
+    /// The strict bound is what makes conservative parallel epochs safe: a
+    /// cross-domain packet can arrive exactly *at* the horizon, and it must
+    /// then be merged before the event at the horizon is processed.
+    pub(crate) fn run_until_before(&mut self, horizon_ns: u64) {
+        self.ensure_started();
+        while let Some(at) = self.core.queue.next_at() {
+            if at >= horizon_ns {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Drains the packets queued for other domains, in generation order.
+    pub(crate) fn take_outbox(&mut self) -> Vec<CrossMsg> {
+        std::mem::take(&mut self.core.outbox)
+    }
+
+    /// Enqueues a packet arriving from another domain. Called only at epoch
+    /// barriers, in the global deterministic merge order — the fresh local
+    /// sequence number assigned here is what serializes boundary arrivals
+    /// against local events at the same timestamp.
+    pub(crate) fn push_cross(&mut self, arrive: SimTime, node: NodeId, port: PortId, pkt: Packet) {
+        self.core
+            .schedule(arrive, EventKind::CrossDeliver { node, port, pkt });
+    }
+
+    /// A node's receive-side overhead (captured by peers at cross-link
+    /// wiring time).
+    pub(crate) fn node_rx_overhead(&self, node: NodeId) -> SimDuration {
+        self.core.node_opts[node.index()].rx_overhead
+    }
+
+    /// Number of ports currently bound on `node`.
+    pub(crate) fn port_count_of(&self, node: NodeId) -> usize {
+        self.nodes[node.index()].ports.len()
+    }
+
+    /// Number of nodes in this simulator.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links (including cross-domain half-links) in this
+    /// simulator.
+    pub fn link_count(&self) -> usize {
+        self.core.links.len()
     }
 }
 

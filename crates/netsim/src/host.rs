@@ -54,7 +54,7 @@ impl<'a, 'b> HostCtx<'a, 'b> {
 /// callback at time zero, packet callbacks, and timer callbacks. Long local
 /// computation is modelled by setting a timer for the compute duration
 /// rather than blocking.
-pub trait HostApp: 'static {
+pub trait HostApp: Send + 'static {
     /// Called once at simulation start.
     fn on_start(&mut self, _ctx: &mut HostCtx<'_, '_>) {}
 

@@ -58,6 +58,7 @@ mod ids;
 mod link;
 mod obs;
 mod packet;
+mod shard;
 mod stats;
 mod switch;
 mod time;
@@ -74,10 +75,12 @@ pub use packet::{
     CausalKey, IpAddr, Ipv4Header, Packet, UdpHeader, ETH_OVERHEAD, ETH_PREAMBLE_IFG, IPV4_HEADER,
     MAX_FRAME, MAX_UDP_PAYLOAD, UDP_HEADER,
 };
+pub use shard::{CrossAttach, ShardedSim};
 pub use stats::SimStats;
 pub use switch::{ExtAction, RouteTable, Switch, SwitchExtension, SwitchServices};
 pub use time::{SimDuration, SimTime};
 pub use topology::{
-    build_star, build_tree, build_tree3, host_ip, Star, SwitchRole, TopologyConfig, Tree, Tree3,
+    build_fattree, build_star, build_tree, build_tree3, host_ip, Fattree, FattreeShape, Star,
+    SwitchRole, TopologyConfig, Tree, Tree3,
 };
 pub use trace::FlowStats;

@@ -96,4 +96,22 @@ impl EngineObs {
         self.links
             .push([dir_obs(a_label, b_label), dir_obs(b_label, a_label)]);
     }
+
+    /// Registers the metric set for a cross-domain half-link: only the
+    /// outbound `src->dst` direction exists here (the reverse direction is
+    /// a separate half-link in the peer domain), so no reverse-direction
+    /// names pollute the export. The unused direction slot aliases the
+    /// forward handles to keep the `[link][dir]` indexing shape.
+    pub(crate) fn add_link_oneway(&mut self, link_index: usize, src_label: &str, dst_label: &str) {
+        let base = format!("netsim.link.{link_index:03}.{src_label}->{dst_label}");
+        let fwd = LinkDirObs {
+            backlog_ns: self.registry.histogram(&format!("{base}.backlog_ns")),
+            inflight: self.registry.gauge(&format!("{base}.inflight")),
+            tx_packets: self.registry.counter(&format!("{base}.tx_packets")),
+            tx_bytes: self.registry.counter(&format!("{base}.tx_bytes")),
+            drops: self.registry.counter(&format!("{base}.drops")),
+        };
+        debug_assert_eq!(link_index, self.links.len(), "links register in id order");
+        self.links.push([fwd.clone(), fwd]);
+    }
 }

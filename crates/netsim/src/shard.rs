@@ -1,0 +1,515 @@
+//! Conservative parallel simulation: domains, lookahead, deterministic merge.
+//!
+//! A [`ShardedSim`] partitions a topology into *domains* — disjoint
+//! [`Simulator`] instances (e.g. one per rack or AGG subtree) — joined only
+//! by *cross-domain links*. Each domain runs its own timing wheel; packets
+//! that cross a boundary are exchanged at epoch barriers under conservative
+//! lookahead (the classic Chandy–Misra–Bryant null-message bound, here
+//! realised as a barrier protocol):
+//!
+//! 1. Every domain reports the time of its earliest pending event; the
+//!    global minimum `t_min` plus the *lookahead bound* `L` — the minimum
+//!    over all cross-domain links of propagation delay + receiver overhead —
+//!    defines the epoch horizon `H = t_min + L`.
+//! 2. Each domain independently processes every event strictly before `H`.
+//!    Any packet it sends across a boundary departs at or after its local
+//!    clock, so it *arrives* at or after `t_min + L = H`: no domain can
+//!    receive a message dated inside the epoch it is already simulating,
+//!    which is exactly why processing `[t_min, H)` in parallel is safe. A
+//!    packet arriving *exactly at* `H` is the boundary case: it is handed
+//!    over at the barrier and processed in a later epoch.
+//! 3. At the barrier, all boundary packets are merged in the deterministic
+//!    order `(arrival time, source domain, per-domain send order)` and
+//!    enqueued into their destination domains with fresh local sequence
+//!    numbers assigned in that global order.
+//!
+//! Determinism is *by partition, not by thread count*: every quantity above
+//! (`t_min`, `H`, each domain's event order, the merge order) is a pure
+//! function of the domain partition and the workload. Threads only decide
+//! which core executes a domain's epoch, never what the epoch computes, so
+//! metrics, traces, stats and fingerprints are byte-identical at any
+//! `--threads` value. The flip side is that a sharded run is *not* expected
+//! to be event-for-event identical to an unsharded run of the same topology:
+//! tie-breaking sequence numbers are per-domain. Behaviour (deliveries,
+//! timings, final application state) still matches, which the property tests
+//! in `tests/shard_props.rs` assert.
+//!
+//! Cross-domain links are built as *half-links*: each direction is a
+//! separate [`crate::link::Link`] owned by the sending domain, carrying its
+//! own FIFO serialization state, loss RNG and sequence counter, with a
+//! [`CrossDst`] record naming the remote endpoint. The packet itself is
+//! moved, never copied — its payload stays one reference-counted buffer all
+//! the way across the boundary.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+
+use iswitch_obs::{JsonValue, Registry, Trace, TraceEvent};
+
+use crate::engine::Simulator;
+use crate::ids::{LinkId, NodeId, PortId};
+use crate::link::LinkSpec;
+use crate::packet::Packet;
+use crate::stats::SimStats;
+use crate::time::{SimDuration, SimTime};
+
+/// Remote endpoint of a cross-domain half-link, captured at wiring time so
+/// the sending domain can compute the full arrival timestamp (including the
+/// receiver's rx overhead) without touching the destination domain.
+#[derive(Debug, Clone)]
+pub(crate) struct CrossDst {
+    /// Destination domain index within the owning [`ShardedSim`].
+    pub domain: usize,
+    /// Destination node within that domain.
+    pub node: NodeId,
+    /// Destination port — the port bound to the *reverse* half-link, so
+    /// replies flow back over the same logical link.
+    pub port: PortId,
+    /// Receiver-side per-packet overhead, folded into the arrival time.
+    pub rx_overhead: SimDuration,
+}
+
+/// A packet in flight across a domain boundary, parked in the sending
+/// domain's outbox until the next epoch barrier.
+#[derive(Debug)]
+pub(crate) struct CrossMsg {
+    /// Absolute arrival time at the destination device.
+    pub arrive: SimTime,
+    /// Destination domain index.
+    pub dst_domain: usize,
+    /// Destination node within that domain.
+    pub dst_node: NodeId,
+    /// Destination port (for the device callback and rx accounting).
+    pub dst_port: PortId,
+    /// The packet, moved (payload is never copied on the boundary path).
+    pub pkt: Packet,
+}
+
+/// Span-ID stride separating per-domain trace namespaces: domain `d`
+/// allocates span IDs from `(d + 1) << 40`, leaving IDs below `1 << 40` for
+/// the caller's own trace.
+const SPAN_ID_STRIDE: u64 = 1 << 40;
+
+/// One half of a cross-domain link pair as seen by one side:
+/// the link id and local port bound on that side's node.
+pub type CrossAttach = (LinkId, PortId);
+
+/// A parallel discrete-event simulation composed of sharded domains.
+///
+/// Build domains with [`ShardedSim::add_domain`], populate each through
+/// [`ShardedSim::domain_mut`] exactly like a standalone [`Simulator`], join
+/// them with [`ShardedSim::connect_cross`], then [`ShardedSim::run`] with
+/// any thread count — results are byte-identical regardless.
+pub struct ShardedSim {
+    domains: Vec<Simulator>,
+    /// Minimum cross-link latency (propagation + receiver overhead); the
+    /// conservative lookahead bound. `None` until the first cross link.
+    lookahead: Option<SimDuration>,
+    /// Per-domain in-memory traces (same length as `domains`) when tracing;
+    /// merged into `user_trace` when the run completes.
+    domain_traces: Vec<Arc<Trace>>,
+    user_trace: Option<Arc<Trace>>,
+}
+
+impl Default for ShardedSim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShardedSim {
+    /// Creates an empty sharded simulation with no domains.
+    pub fn new() -> Self {
+        ShardedSim {
+            domains: Vec::new(),
+            lookahead: None,
+            domain_traces: Vec::new(),
+            user_trace: None,
+        }
+    }
+
+    /// Adds an empty domain and returns its index.
+    pub fn add_domain(&mut self) -> usize {
+        self.domains.push(Simulator::new());
+        self.domains.len() - 1
+    }
+
+    /// Number of domains.
+    pub fn domain_count(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Borrows a domain's simulator (to read devices or stats after a run).
+    pub fn domain(&self, d: usize) -> &Simulator {
+        &self.domains[d]
+    }
+
+    /// Mutably borrows a domain's simulator (to add nodes and local links).
+    pub fn domain_mut(&mut self, d: usize) -> &mut Simulator {
+        &mut self.domains[d]
+    }
+
+    /// The conservative lookahead bound, once at least one cross-domain
+    /// link exists.
+    pub fn lookahead(&self) -> Option<SimDuration> {
+        self.lookahead
+    }
+
+    /// Connects node `a` in one domain to node `b` in another with a
+    /// bidirectional cross-domain link described by `spec`. Internally this
+    /// creates one half-link per direction, each owned by its sending
+    /// domain with independent FIFO and loss state. Returns the
+    /// `(link, port)` attachment on each side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both ends are in the same domain (use
+    /// [`Simulator::connect`] there) or the spec's latency floor is zero —
+    /// a zero-lookahead link would collapse every epoch to a single event.
+    pub fn connect_cross(
+        &mut self,
+        a: (usize, NodeId),
+        b: (usize, NodeId),
+        spec: &LinkSpec,
+    ) -> (CrossAttach, CrossAttach) {
+        let (da, na) = a;
+        let (db, nb) = b;
+        assert_ne!(
+            da, db,
+            "connect_cross joins two different domains; use Simulator::connect within one"
+        );
+        let latency_a = spec.propagation + self.domains[db].node_rx_overhead(nb);
+        let latency_b = spec.propagation + self.domains[da].node_rx_overhead(na);
+        let min_latency = latency_a.min(latency_b);
+        assert!(
+            min_latency > SimDuration::ZERO,
+            "cross-domain links need positive propagation + rx overhead (lookahead bound)"
+        );
+        self.lookahead = Some(match self.lookahead {
+            Some(l) => l.min(min_latency),
+            None => min_latency,
+        });
+        // The ports bound on each side must reference each other, and a
+        // half-link occupies the next free port on its node — so both sides'
+        // port numbers are known before either half-link exists.
+        let pa = PortId::new(self.domains[da].port_count_of(na));
+        let pb = PortId::new(self.domains[db].port_count_of(nb));
+        let label_a = self.domains[da].node_label(na).to_owned();
+        let label_b = self.domains[db].node_label(nb).to_owned();
+        let rx_a = self.domains[da].node_rx_overhead(na);
+        let rx_b = self.domains[db].node_rx_overhead(nb);
+        let (la, pa_actual) = self.domains[da].connect_remote(
+            na,
+            spec,
+            &label_b,
+            CrossDst {
+                domain: db,
+                node: nb,
+                port: pb,
+                rx_overhead: rx_b,
+            },
+        );
+        let (lb, pb_actual) = self.domains[db].connect_remote(
+            nb,
+            spec,
+            &label_a,
+            CrossDst {
+                domain: da,
+                node: na,
+                port: pa,
+                rx_overhead: rx_a,
+            },
+        );
+        debug_assert_eq!(pa, pa_actual);
+        debug_assert_eq!(pb, pb_actual);
+        ((la, pa), (lb, pb))
+    }
+
+    /// Installs a causal trace sink for the whole sharded run.
+    ///
+    /// Each domain records into a private in-memory buffer during the run
+    /// (streaming directly to a shared sink would interleave domains
+    /// nondeterministically); when [`ShardedSim::run`] completes, the
+    /// buffers are merged into `trace` in `(time, domain)` order, which
+    /// preserves streaming/bounding behaviour the caller configured on it.
+    /// Span IDs are disjoint per domain (see `SPAN_ID_STRIDE`).
+    ///
+    /// Call after every domain has been added and before the first `run`.
+    pub fn set_trace(&mut self, trace: Arc<Trace>) {
+        self.domain_traces = (0..self.domains.len())
+            .map(|d| Arc::new(Trace::new().with_span_start((d as u64 + 1) * SPAN_ID_STRIDE)))
+            .collect();
+        for (sim, t) in self.domains.iter_mut().zip(&self.domain_traces) {
+            sim.set_trace(Arc::clone(t));
+        }
+        self.user_trace = Some(trace);
+    }
+
+    /// Caps the number of events each domain may process; exceeding it
+    /// panics. The cap is per-domain, mirroring
+    /// [`Simulator::set_event_limit`].
+    pub fn set_event_limit(&mut self, limit: u64) {
+        for sim in &mut self.domains {
+            sim.set_event_limit(limit);
+        }
+    }
+
+    /// The global simulation clock: the furthest any domain has advanced.
+    pub fn now(&self) -> SimTime {
+        self.domains
+            .iter()
+            .map(|s| s.now())
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Aggregate statistics summed across domains (`max_link_backlog` takes
+    /// the maximum — no single link ever saw the sum).
+    pub fn stats(&self) -> SimStats {
+        let mut total = SimStats::default();
+        for sim in &self.domains {
+            total.merge_from(sim.stats());
+        }
+        total
+    }
+
+    /// One registry holding every domain's metrics, merged deterministically
+    /// (see [`Registry::merge_from`]).
+    pub fn merged_metrics(&self) -> Registry {
+        let merged = Registry::new();
+        for sim in &self.domains {
+            merged.merge_from(sim.metrics());
+        }
+        merged
+    }
+
+    /// Deterministic JSON snapshot mirroring [`Simulator::metrics_json`]:
+    /// engine summary (global clock, summed event counts, total links and
+    /// nodes, plus the domain and thread-independence metadata) and the
+    /// merged metric registry.
+    pub fn metrics_json(&self) -> JsonValue {
+        let now = self.now();
+        let stats = self.stats();
+        let mut engine = JsonValue::empty_object();
+        engine.insert("sim_time_ns", JsonValue::UInt(now.as_nanos()));
+        engine.insert("events_processed", JsonValue::UInt(stats.events_processed));
+        let secs = now.as_secs_f64();
+        let throughput = if secs > 0.0 {
+            stats.events_processed as f64 / secs
+        } else {
+            0.0
+        };
+        engine.insert("events_per_sim_sec", JsonValue::Float(throughput));
+        engine.insert(
+            "links",
+            JsonValue::UInt(self.domains.iter().map(|s| s.link_count() as u64).sum()),
+        );
+        engine.insert(
+            "nodes",
+            JsonValue::UInt(self.domains.iter().map(|s| s.node_count() as u64).sum()),
+        );
+        engine.insert("domains", JsonValue::UInt(self.domains.len() as u64));
+        engine.insert(
+            "lookahead_ns",
+            JsonValue::UInt(self.lookahead.map_or(0, |l| l.as_nanos())),
+        );
+        let mut root = JsonValue::empty_object();
+        root.insert("engine", engine);
+        root.insert("metrics", self.merged_metrics().to_json());
+        root
+    }
+
+    /// Runs every domain to quiescence using up to `threads` worker
+    /// threads, then merges per-domain traces into the caller's sink.
+    /// Returns the final global clock.
+    ///
+    /// The thread count caps actual parallelism at the domain count and is
+    /// *never* part of the simulation semantics — see the module docs for
+    /// the determinism argument.
+    pub fn run(&mut self, threads: usize) -> SimTime {
+        assert!(threads >= 1, "need at least one worker thread");
+        if !self.domains.is_empty() {
+            let lookahead = self
+                .lookahead
+                .map_or(u64::MAX, |l| l.as_nanos().max(1))
+                .max(1);
+            let threads = threads.min(self.domains.len());
+            if threads == 1 {
+                self.run_epochs_sequential(lookahead);
+            } else {
+                self.run_epochs_parallel(lookahead, threads);
+            }
+        }
+        self.merge_traces();
+        self.now()
+    }
+
+    /// Single-threaded epoch loop: the reference semantics the parallel
+    /// path must (and does) reproduce exactly.
+    fn run_epochs_sequential(&mut self, lookahead: u64) {
+        loop {
+            let t_min = self
+                .domains
+                .iter_mut()
+                .filter_map(|s| s.next_event_at())
+                .min();
+            let Some(t_min) = t_min else { break };
+            let horizon = t_min.saturating_add(lookahead);
+            let mut crossings: Vec<(u64, usize, CrossMsg)> = Vec::new();
+            for (d, sim) in self.domains.iter_mut().enumerate() {
+                sim.run_until_before(horizon);
+                crossings.extend(
+                    sim.take_outbox()
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, m)| (i as u64, d, m)),
+                );
+            }
+            deliver_crossings(&mut self.domains, crossings);
+        }
+    }
+
+    /// Barrier-synchronised parallel epoch loop. Domains are assigned to
+    /// workers in contiguous chunks; every worker independently computes the
+    /// same `t_min`/horizon from shared per-worker minima, runs its own
+    /// domains, and applies the (globally sorted) boundary merge to its own
+    /// domains only — so no value anywhere depends on which worker ran
+    /// first.
+    fn run_epochs_parallel(&mut self, lookahead: u64, threads: usize) {
+        let n = self.domains.len();
+        // Contiguous balanced chunks: first `n % threads` workers get one
+        // extra domain. The assignment affects load balance only.
+        let base = n / threads;
+        let extra = n % threads;
+        let mut bounds = Vec::with_capacity(threads + 1);
+        bounds.push(0usize);
+        for w in 0..threads {
+            bounds.push(bounds[w] + base + usize::from(w < extra));
+        }
+        // One slot per worker: the crossings its chunk emitted this epoch,
+        // as `(arrival_ns, global domain index, claimable message)`.
+        type OutboxSlot = Mutex<Vec<(u64, usize, Option<CrossMsg>)>>;
+        let mins: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(u64::MAX)).collect();
+        let outboxes: Vec<OutboxSlot> = (0..threads).map(|_| Mutex::new(Vec::new())).collect();
+        let barrier = Barrier::new(threads);
+
+        let mut chunks: Vec<(usize, &mut [Simulator])> = Vec::with_capacity(threads);
+        let mut rest = self.domains.as_mut_slice();
+        for w in 0..threads {
+            let (chunk, tail) = rest.split_at_mut(bounds[w + 1] - bounds[w]);
+            chunks.push((bounds[w], chunk));
+            rest = tail;
+        }
+
+        std::thread::scope(|scope| {
+            for (w, (chunk_base, chunk)) in chunks.into_iter().enumerate() {
+                let mins = &mins;
+                let outboxes = &outboxes;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let chunk_base = chunk_base;
+                    let chunk_len = chunk.len();
+                    loop {
+                        let local_min = chunk
+                            .iter_mut()
+                            .filter_map(|s| s.next_event_at())
+                            .min()
+                            .unwrap_or(u64::MAX);
+                        mins[w].store(local_min, Ordering::Relaxed);
+                        barrier.wait();
+                        let t_min = mins
+                            .iter()
+                            .map(|m| m.load(Ordering::Relaxed))
+                            .min()
+                            .expect("at least one worker");
+                        if t_min == u64::MAX {
+                            break;
+                        }
+                        let horizon = t_min.saturating_add(lookahead);
+                        let mut sent = Vec::new();
+                        for (i, sim) in chunk.iter_mut().enumerate() {
+                            sim.run_until_before(horizon);
+                            let d = chunk_base + i;
+                            sent.extend(
+                                sim.take_outbox()
+                                    .into_iter()
+                                    .enumerate()
+                                    .map(|(j, m)| (j as u64, d, Some(m))),
+                            );
+                        }
+                        *outboxes[w].lock().expect("outbox lock") = sent;
+                        barrier.wait();
+                        // Claim the crossings destined for this worker's
+                        // domains. Each message has exactly one destination,
+                        // so ownership transfer is race-free under the
+                        // per-slot locks; sorting afterwards restores the
+                        // global deterministic order.
+                        let mut mine: Vec<(u64, usize, CrossMsg)> = Vec::new();
+                        for slot in outboxes.iter() {
+                            let mut slot = slot.lock().expect("outbox lock");
+                            for (j, d, m) in slot.iter_mut() {
+                                let dst = m.as_ref().map(|m| m.dst_domain);
+                                if let Some(dst) = dst {
+                                    if dst >= chunk_base && dst < chunk_base + chunk_len {
+                                        mine.push((*j, *d, m.take().expect("unclaimed message")));
+                                    }
+                                }
+                            }
+                        }
+                        deliver_crossings_offset(&mut *chunk, chunk_base, mine);
+                        // Third barrier: nobody may overwrite an outbox slot
+                        // for the next epoch while another worker still
+                        // scans it.
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+    }
+
+    /// Merges per-domain trace buffers into the user's sink in
+    /// `(time, domain, per-domain order)` order. Within a domain the buffer
+    /// is already time-sorted (each domain's clock is monotone), so a
+    /// stable k-way merge by timestamp with the domain index as tiebreak
+    /// yields one deterministic, time-sorted stream.
+    fn merge_traces(&mut self) {
+        let Some(user) = self.user_trace.as_ref() else {
+            return;
+        };
+        let buffers: Vec<Vec<TraceEvent>> =
+            self.domain_traces.iter().map(|t| t.snapshot()).collect();
+        let mut cursors = vec![0usize; buffers.len()];
+        loop {
+            let mut best: Option<(u64, usize)> = None;
+            for (d, buf) in buffers.iter().enumerate() {
+                if let Some(ev) = buf.get(cursors[d]) {
+                    if best.is_none_or(|(t, _)| ev.t_ns < t) {
+                        best = Some((ev.t_ns, d));
+                    }
+                }
+            }
+            let Some((_, d)) = best else { break };
+            user.record(buffers[d][cursors[d]].clone());
+            cursors[d] += 1;
+        }
+    }
+}
+
+/// Applies a batch of boundary crossings to `domains` in the global
+/// deterministic order `(arrival, source domain, per-domain send index)`.
+fn deliver_crossings(domains: &mut [Simulator], crossings: Vec<(u64, usize, CrossMsg)>) {
+    deliver_crossings_offset(domains, 0, crossings)
+}
+
+/// Same as [`deliver_crossings`], for a contiguous chunk of domains
+/// starting at global index `base`. Messages outside the chunk are a bug.
+fn deliver_crossings_offset(
+    domains: &mut [Simulator],
+    base: usize,
+    mut crossings: Vec<(u64, usize, CrossMsg)>,
+) {
+    crossings.sort_by_key(|(idx, src, m)| (m.arrive, *src, *idx));
+    for (_, _, m) in crossings {
+        domains[m.dst_domain - base].push_cross(m.arrive, m.dst_node, m.dst_port, m.pkt);
+    }
+}

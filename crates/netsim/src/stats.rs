@@ -31,6 +31,20 @@ pub struct SimStats {
 }
 
 impl SimStats {
+    /// Folds another domain's statistics into this one: every counter adds;
+    /// `max_link_backlog` takes the maximum, since no single link direction
+    /// ever saw the sum. Used by [`crate::ShardedSim::stats`].
+    pub fn merge_from(&mut self, other: &SimStats) {
+        self.packets_sent += other.packets_sent;
+        self.bytes_sent += other.bytes_sent;
+        self.packets_delivered += other.packets_delivered;
+        self.packets_dropped += other.packets_dropped;
+        self.packets_dropped_link_down += other.packets_dropped_link_down;
+        self.faults_applied += other.faults_applied;
+        self.events_processed += other.events_processed;
+        self.max_link_backlog = self.max_link_backlog.max(other.max_link_backlog);
+    }
+
     /// Fraction of sent packets that were dropped, or 0 when nothing sent.
     pub fn drop_rate(&self) -> f64 {
         if self.packets_sent == 0 {

@@ -143,7 +143,7 @@ impl<'a, 'b> SwitchServices<'a, 'b> {
 /// In-switch packet processing plugged into a [`Switch`].
 ///
 /// Implementations see every packet before regular forwarding.
-pub trait SwitchExtension: 'static {
+pub trait SwitchExtension: Send + 'static {
     /// Inspects an incoming packet. Return [`ExtAction::Forward`] to let the
     /// switch route it normally, or [`ExtAction::Consumed`] after handling
     /// it (possibly emitting new packets via `sw`).

@@ -14,6 +14,7 @@ use crate::host::{Host, HostApp};
 use crate::ids::{LinkId, NodeId, PortId};
 use crate::link::LinkSpec;
 use crate::packet::IpAddr;
+use crate::shard::ShardedSim;
 use crate::switch::{RouteTable, Switch, SwitchExtension};
 use crate::time::SimDuration;
 
@@ -68,6 +69,17 @@ pub struct Star {
     /// Edge link of each host (index-aligned with `hosts`) — fault-plan
     /// targets.
     pub host_links: Vec<LinkId>,
+}
+
+impl Star {
+    /// The (trivial) domain partition: a star has no inter-switch link to
+    /// cut, so the whole topology is one domain. Metadata only; see
+    /// [`Tree::domain_partition`].
+    pub fn domain_partition(&self) -> Vec<Vec<NodeId>> {
+        let mut all = vec![self.switch];
+        all.extend_from_slice(&self.hosts);
+        vec![all]
+    }
 }
 
 /// Builds a star: one switch with `apps.len()` hosts attached by edge links.
@@ -155,6 +167,20 @@ impl Tree {
     /// All host node ids, rack-major.
     pub fn all_hosts(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.hosts.iter().flatten().copied()
+    }
+
+    /// The natural domain partition for sharded execution: one domain per
+    /// rack subtree (ToR + its hosts) plus one for the core. Metadata only —
+    /// nodes of one [`Simulator`] cannot be re-sharded after construction;
+    /// [`build_fattree`] builds the sharded equivalent directly.
+    pub fn domain_partition(&self) -> Vec<Vec<NodeId>> {
+        let mut parts = vec![vec![self.core]];
+        for (tor, rack) in self.tors.iter().zip(&self.hosts) {
+            let mut p = vec![*tor];
+            p.extend_from_slice(rack);
+            parts.push(p);
+        }
+        parts
     }
 }
 
@@ -271,6 +297,21 @@ impl Tree3 {
     pub fn all_hosts(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.hosts.iter().flatten().flatten().copied()
     }
+
+    /// The natural domain partition for sharded execution: one domain per
+    /// AGG subtree (AGG + its ToRs + their hosts) plus one for the core —
+    /// the cut [`build_fattree`] realises as actual sharded domains.
+    /// Metadata only; see [`Tree::domain_partition`].
+    pub fn domain_partition(&self) -> Vec<Vec<NodeId>> {
+        let mut parts = vec![vec![self.core]];
+        for (a, agg) in self.aggs.iter().enumerate() {
+            let mut p = vec![*agg];
+            p.extend(self.tors[a].iter().copied());
+            p.extend(self.hosts[a].iter().flatten().copied());
+            parts.push(p);
+        }
+        parts
+    }
 }
 
 /// Builds a three-level tree: a core switch over AGG switches, each over
@@ -375,6 +416,199 @@ pub fn build_tree3(
         host_links,
         tor_uplinks,
         agg_uplinks,
+    }
+}
+
+/// Shape of a sharded fat-tree built by [`build_fattree`]: `aggs` AGG
+/// subtrees (pods) of `racks_per_agg` racks of `hosts_per_rack` workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FattreeShape {
+    /// Number of AGG subtrees — also the number of worker domains (the
+    /// core switch forms one more).
+    pub aggs: usize,
+    /// Racks (ToR switches) under each AGG.
+    pub racks_per_agg: usize,
+    /// Worker hosts under each ToR.
+    pub hosts_per_rack: usize,
+}
+
+impl FattreeShape {
+    /// Total worker count.
+    pub fn workers(&self) -> usize {
+        self.aggs * self.racks_per_agg * self.hosts_per_rack
+    }
+
+    /// Total rack (ToR) count.
+    pub fn racks(&self) -> usize {
+        self.aggs * self.racks_per_agg
+    }
+
+    /// Total node count: workers + ToRs + AGGs + the core.
+    pub fn nodes(&self) -> usize {
+        self.workers() + self.racks() + self.aggs + 1
+    }
+
+    /// Number of simulation domains: one per AGG subtree plus the core.
+    pub fn domains(&self) -> usize {
+        self.aggs + 1
+    }
+}
+
+/// Handles to a sharded fat-tree built by [`build_fattree`]. Domain 0 holds
+/// the core switch; domain `a + 1` holds AGG subtree `a` (the AGG, its
+/// ToRs, and their hosts).
+#[derive(Debug)]
+pub struct Fattree {
+    /// The shape the tree was built from.
+    pub shape: FattreeShape,
+    /// Root switch (lives in domain [`Fattree::CORE_DOMAIN`]).
+    pub core: NodeId,
+    /// AGG switch of each pod (in that pod's domain).
+    pub aggs: Vec<NodeId>,
+    /// ToR switches per pod.
+    pub tors: Vec<Vec<NodeId>>,
+    /// Hosts per (pod, rack).
+    pub hosts: Vec<Vec<Vec<NodeId>>>,
+    /// Host IPs per (pod, rack); global rack indices run pod-major, exactly
+    /// like [`build_tree3`].
+    pub host_ips: Vec<Vec<Vec<IpAddr>>>,
+}
+
+impl Fattree {
+    /// The domain holding the core switch.
+    pub const CORE_DOMAIN: usize = 0;
+
+    /// The domain holding AGG subtree `a`.
+    pub fn pod_domain(a: usize) -> usize {
+        a + 1
+    }
+
+    /// All `(domain, host node)` pairs, pod-major then rack-major — the
+    /// same worker order as [`Tree3::all_hosts`].
+    pub fn all_hosts(&self) -> impl Iterator<Item = (usize, NodeId)> + '_ {
+        self.hosts
+            .iter()
+            .enumerate()
+            .flat_map(|(a, pod)| pod.iter().flatten().map(move |h| (Self::pod_domain(a), *h)))
+    }
+}
+
+/// Builds a fat-tree as *sharded domains* of a [`ShardedSim`]: structurally
+/// the same three-level ToR/AGG/Core hierarchy as [`build_tree3`] (same
+/// labels, IPs, per-switch port layout, and route tables), but each AGG
+/// subtree is its own simulation domain and the AGG↔Core uplinks are
+/// cross-domain links described by `core_uplink`. The lookahead bound is
+/// therefore `core_uplink.propagation + switch_latency` — pick a
+/// propagation matching the longer inter-pod fibre runs of a full-scale
+/// deployment (paper §3.4), which also widens the parallel epochs.
+///
+/// `apps[a][t]` holds the worker apps of ToR `t` in pod `a`; `mk_ext` is
+/// invoked once per switch exactly as in [`build_tree3`] (port numbering is
+/// identical, so the same extension configs apply).
+pub fn build_fattree(
+    sharded: &mut ShardedSim,
+    apps: Vec<Vec<Vec<Box<dyn HostApp>>>>,
+    mk_ext: &mut dyn FnMut(SwitchRole) -> Option<Box<dyn SwitchExtension>>,
+    cfg: &TopologyConfig,
+    core_uplink: &LinkSpec,
+) -> Fattree {
+    let shape = FattreeShape {
+        aggs: apps.len(),
+        racks_per_agg: apps.first().map_or(0, |a| a.len()),
+        hosts_per_rack: apps.first().and_then(|a| a.first()).map_or(0, |t| t.len()),
+    };
+    let mk_switch = |ext: Option<Box<dyn SwitchExtension>>| match ext {
+        Some(e) => Switch::with_extension(RouteTable::new(), e),
+        None => Switch::new(RouteTable::new()),
+    };
+    let core_domain = sharded.add_domain();
+    debug_assert_eq!(core_domain, Fattree::CORE_DOMAIN);
+    let core = sharded.domain_mut(core_domain).add_node(
+        Box::new(mk_switch(mk_ext(SwitchRole::Core))),
+        NodeOpts::new("core").with_rx_overhead(cfg.switch_latency),
+    );
+    let mut core_routes = RouteTable::new();
+    let mut aggs = Vec::new();
+    let mut tors = Vec::new();
+    let mut hosts = Vec::new();
+    let mut host_ips = Vec::new();
+    let mut global_rack = 0usize;
+
+    for (a, agg_apps) in apps.into_iter().enumerate() {
+        let d = sharded.add_domain();
+        debug_assert_eq!(d, Fattree::pod_domain(a));
+        let sim = sharded.domain_mut(d);
+        let agg = sim.add_node(
+            Box::new(mk_switch(mk_ext(SwitchRole::Agg(a)))),
+            NodeOpts::new(format!("agg{a}")).with_rx_overhead(cfg.switch_latency),
+        );
+        let mut agg_routes = RouteTable::new();
+        let mut agg_tors = Vec::new();
+        let mut agg_hosts = Vec::new();
+        let mut agg_ips = Vec::new();
+        for tor_apps in agg_apps {
+            let tor = sim.add_node(
+                Box::new(mk_switch(mk_ext(SwitchRole::Tor(global_rack)))),
+                NodeOpts::new(format!("tor{global_rack}")).with_rx_overhead(cfg.switch_latency),
+            );
+            let mut tor_routes = RouteTable::new();
+            let mut rack_hosts = Vec::new();
+            let mut rack_ips = Vec::new();
+            for (i, app) in tor_apps.into_iter().enumerate() {
+                let ip = host_ip(global_rack, i);
+                let node = sim.add_node(
+                    Box::new(Host::new(ip, app)),
+                    NodeOpts::new(format!("r{global_rack}h{i}"))
+                        .with_tx_overhead(cfg.host_tx_overhead)
+                        .with_rx_overhead(cfg.host_rx_overhead),
+                );
+                let (_, _, tor_port) = sim.connect(node, tor, &cfg.edge);
+                tor_routes.add(ip, tor_port);
+                rack_hosts.push(node);
+                rack_ips.push(ip);
+            }
+            // Uplink after host ports, so host i <-> ToR port i (the
+            // build_tree3 convention extensions rely on).
+            let (_, tor_up, agg_down) = sim.connect(tor, agg, &cfg.uplink);
+            tor_routes.set_default(tor_up);
+            for ip in &rack_ips {
+                agg_routes.add(*ip, agg_down);
+            }
+            *sim.device_mut::<Switch>(tor).routes_mut() = tor_routes;
+            agg_tors.push(tor);
+            agg_hosts.push(rack_hosts);
+            agg_ips.push(rack_ips);
+            global_rack += 1;
+        }
+        // The AGG's cross-domain uplink binds after its ToR downlinks, so
+        // its uplink port equals its child count — again as in build_tree3.
+        // Connecting core-side in pod order makes core port `a` face pod
+        // `a`, matching the tree3 core port layout.
+        let ((_, core_down), (_, agg_up)) =
+            sharded.connect_cross((core_domain, core), (d, agg), core_uplink);
+        agg_routes.set_default(agg_up);
+        for rack in &agg_ips {
+            for ip in rack {
+                core_routes.add(*ip, core_down);
+            }
+        }
+        *sharded.domain_mut(d).device_mut::<Switch>(agg).routes_mut() = agg_routes;
+        aggs.push(agg);
+        tors.push(agg_tors);
+        hosts.push(agg_hosts);
+        host_ips.push(agg_ips);
+    }
+    *sharded
+        .domain_mut(core_domain)
+        .device_mut::<Switch>(core)
+        .routes_mut() = core_routes;
+    Fattree {
+        shape,
+        core,
+        aggs,
+        tors,
+        hosts,
+        host_ips,
     }
 }
 
@@ -501,5 +735,73 @@ mod tests {
         assert_eq!(dst.got, vec![host_ip(0, 0)]);
         // Sibling traffic under the same AGG stays below the core.
         assert_eq!(sim.device::<Switch>(tree.core).unroutable, 0);
+    }
+
+    #[test]
+    fn fattree_routes_across_pods_at_any_thread_count() {
+        // Worker (pod 0) sends to worker (pod 1): the packet crosses two
+        // domain boundaries (pod0 -> core -> pod1). The delivery and the
+        // full metrics export must be identical at 1 and 2 threads.
+        let run = |threads: usize| {
+            let mut sh = ShardedSim::new();
+            let apps: Vec<Vec<Vec<Box<dyn HostApp>>>> = vec![
+                vec![vec![Box::new(OneShot {
+                    dst: Some(host_ip(1, 0)),
+                    got: vec![],
+                })]],
+                vec![vec![Box::new(OneShot {
+                    dst: None,
+                    got: vec![],
+                })]],
+            ];
+            let ft = build_fattree(
+                &mut sh,
+                apps,
+                &mut |_| None,
+                &TopologyConfig::default(),
+                &LinkSpec::forty_gbe(),
+            );
+            sh.run(threads);
+            let got = sh
+                .domain(Fattree::pod_domain(1))
+                .device::<Host>(ft.hosts[1][0][0])
+                .app::<OneShot>()
+                .got
+                .clone();
+            (got, sh.metrics_json().render())
+        };
+        let (got1, m1) = run(1);
+        let (got2, m2) = run(2);
+        assert_eq!(got1, vec![host_ip(0, 0)]);
+        assert_eq!(got1, got2);
+        assert_eq!(m1, m2, "thread count must not change the metrics export");
+    }
+
+    #[test]
+    fn domain_partitions_cover_every_node_once() {
+        let mut sim = Simulator::new();
+        let apps: Vec<Vec<Vec<Box<dyn HostApp>>>> = (0..2)
+            .map(|_| {
+                (0..2)
+                    .map(|_| {
+                        (0..2)
+                            .map(|_| {
+                                Box::new(OneShot {
+                                    dst: None,
+                                    got: vec![],
+                                }) as Box<dyn HostApp>
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let tree = build_tree3(&mut sim, apps, &mut |_| None, &TopologyConfig::default());
+        let parts = tree.domain_partition();
+        assert_eq!(parts.len(), 3, "core + one per AGG subtree");
+        let mut all: Vec<usize> = parts.iter().flatten().map(|n| n.index()).collect();
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..sim.node_count()).collect();
+        assert_eq!(all, expect, "partition covers every node exactly once");
     }
 }

@@ -1,0 +1,370 @@
+//! Property tests on the sharded engine: thread-count invariance and
+//! behavioural equivalence with the single-threaded engine, plus a
+//! regression test for a cross-domain packet landing exactly on the
+//! conservative lookahead horizon.
+
+use std::any::Any;
+
+use iswitch_netsim::{
+    host_ip, Host, HostApp, HostCtx, IpAddr, LinkSpec, NodeOpts, Packet, RouteTable, ShardedSim,
+    SimDuration, Simulator, Switch,
+};
+use proptest::prelude::*;
+
+/// One scheduled transmission: `(delay_ns, destination, payload_bytes)`.
+type Send = (u64, IpAddr, usize);
+
+/// Sends a scripted schedule of UDP packets and records every arrival as
+/// `(t_ns, src_addr, payload_len)`.
+struct ScriptedHost {
+    sends: Vec<Send>,
+    got: Vec<(u64, u32, usize)>,
+}
+
+impl ScriptedHost {
+    fn new(sends: Vec<Send>) -> Self {
+        ScriptedHost { sends, got: vec![] }
+    }
+}
+
+impl HostApp for ScriptedHost {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_, '_>) {
+        for (i, &(delay, _, _)) in self.sends.iter().enumerate() {
+            ctx.set_timer(SimDuration::from_nanos(delay), i as u64);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut HostCtx<'_, '_>, token: u64) {
+        let (_, dst, len) = self.sends[token as usize];
+        let pkt = Packet::udp(ctx.ip(), dst, 7, 7, 0).with_payload(vec![0xAB; len]);
+        ctx.send(pkt);
+    }
+    fn on_packet(&mut self, ctx: &mut HostCtx<'_, '_>, pkt: Packet) {
+        self.got
+            .push((ctx.now().as_nanos(), pkt.ip.src.as_u32(), pkt.payload.len()));
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The random workload of one property case: two racks of scripted hosts
+/// joined rack-to-rack by one inter-switch link.
+#[derive(Clone, Debug)]
+struct Case {
+    hosts: [usize; 2],
+    cross_propagation_ns: u64,
+    /// Flat sends as `(delay_ns, src_sel, dst_sel, payload)`; selectors
+    /// index the global host list modulo its size.
+    sends: Vec<(u64, usize, usize, usize)>,
+}
+
+impl Case {
+    fn ips(&self) -> Vec<IpAddr> {
+        (0..2)
+            .flat_map(|r| (0..self.hosts[r]).map(move |i| host_ip(r, i)))
+            .collect()
+    }
+
+    /// Per-host send schedules in global host order.
+    fn schedules(&self) -> Vec<Vec<Send>> {
+        let ips = self.ips();
+        let mut per_host: Vec<Vec<Send>> = vec![vec![]; ips.len()];
+        for &(delay, src_sel, dst_sel, payload) in &self.sends {
+            let src = src_sel % ips.len();
+            let dst = ips[dst_sel % ips.len()];
+            per_host[src].push((delay, dst, payload));
+        }
+        per_host
+    }
+
+    fn cross_spec(&self) -> LinkSpec {
+        LinkSpec::new(
+            10_000_000_000,
+            SimDuration::from_nanos(self.cross_propagation_ns),
+        )
+    }
+}
+
+/// Decodes one raw 64-bit draw into a `(delay_ns, src_sel, dst_sel,
+/// payload)` send: distinct bit fields keep the four values independent.
+fn decode_send(raw: u64) -> (u64, usize, usize, usize) {
+    (
+        raw % 2_000_000,
+        (raw >> 21) as usize & 0xff,
+        (raw >> 35) as usize & 0xff,
+        ((raw >> 49) % 1400) as usize,
+    )
+}
+
+fn mk_case(hosts_a: usize, hosts_b: usize, cross_propagation_ns: u64, raw: &[u64]) -> Case {
+    Case {
+        hosts: [hosts_a, hosts_b],
+        cross_propagation_ns,
+        sends: raw.iter().copied().map(decode_send).collect(),
+    }
+}
+
+/// What one engine run produced: per-host arrival records (global host
+/// order) and the headline packet counters.
+#[derive(Debug, Clone, PartialEq)]
+struct Outcome {
+    got: Vec<Vec<(u64, u32, usize)>>,
+    packets_sent: u64,
+    bytes_sent: u64,
+    packets_delivered: u64,
+}
+
+/// Builds the two-rack topology as two sharded domains and runs it with
+/// the given thread count. Returns the outcome plus the rendered merged
+/// metrics (for byte-identity assertions).
+fn run_sharded(case: &Case, threads: usize) -> (Outcome, String) {
+    let mut schedules = case.schedules().into_iter();
+    let mut sharded = ShardedSim::new();
+    let mut switches = Vec::new();
+    let mut rack_hosts = Vec::new();
+    for r in 0..2 {
+        let d = sharded.add_domain();
+        let sim = sharded.domain_mut(d);
+        let sw = sim.add_node(
+            Box::new(Switch::new(RouteTable::new())),
+            NodeOpts::new("sw"),
+        );
+        let mut routes = RouteTable::new();
+        let mut nodes = Vec::new();
+        for i in 0..case.hosts[r] {
+            let ip = host_ip(r, i);
+            let app = ScriptedHost::new(schedules.next().expect("one schedule per host"));
+            let node = sim.add_node(
+                Box::new(Host::new(ip, Box::new(app))),
+                NodeOpts::new(format!("h{r}x{i}")),
+            );
+            let (_, _, sw_port) = sim.connect(node, sw, &LinkSpec::ten_gbe());
+            routes.add(ip, sw_port);
+            nodes.push(node);
+        }
+        *sim.device_mut::<Switch>(sw).routes_mut() = routes;
+        switches.push(sw);
+        rack_hosts.push(nodes);
+    }
+    let ((_, p0), (_, p1)) =
+        sharded.connect_cross((0, switches[0]), (1, switches[1]), &case.cross_spec());
+    for (r, &port) in [p0, p1].iter().enumerate() {
+        let sw = switches[r];
+        sharded
+            .domain_mut(r)
+            .device_mut::<Switch>(sw)
+            .routes_mut()
+            .set_default(port);
+    }
+    sharded.run(threads);
+    let stats = sharded.stats();
+    let got = (0..2)
+        .flat_map(|r| {
+            rack_hosts[r]
+                .iter()
+                .map(move |&n| (r, n))
+                .collect::<Vec<_>>()
+        })
+        .map(|(r, n)| {
+            sharded
+                .domain(r)
+                .device::<Host>(n)
+                .app::<ScriptedHost>()
+                .got
+                .clone()
+        })
+        .collect();
+    (
+        Outcome {
+            got,
+            packets_sent: stats.packets_sent,
+            bytes_sent: stats.bytes_sent,
+            packets_delivered: stats.packets_delivered,
+        },
+        sharded.metrics_json().render(),
+    )
+}
+
+/// The same topology in one classic `Simulator`, with the inter-switch
+/// link as a plain local link. Same construction order, same port layout.
+fn run_single(case: &Case) -> Outcome {
+    let mut schedules = case.schedules().into_iter();
+    let mut sim = Simulator::new();
+    let mut switches = Vec::new();
+    let mut rack_hosts = Vec::new();
+    for r in 0..2 {
+        let sw = sim.add_node(
+            Box::new(Switch::new(RouteTable::new())),
+            NodeOpts::new("sw"),
+        );
+        let mut routes = RouteTable::new();
+        let mut nodes = Vec::new();
+        for i in 0..case.hosts[r] {
+            let ip = host_ip(r, i);
+            let app = ScriptedHost::new(schedules.next().expect("one schedule per host"));
+            let node = sim.add_node(
+                Box::new(Host::new(ip, Box::new(app))),
+                NodeOpts::new(format!("h{r}x{i}")),
+            );
+            let (_, _, sw_port) = sim.connect(node, sw, &LinkSpec::ten_gbe());
+            routes.add(ip, sw_port);
+            nodes.push(node);
+        }
+        *sim.device_mut::<Switch>(sw).routes_mut() = routes;
+        switches.push(sw);
+        rack_hosts.push(nodes);
+    }
+    let (_, sw0_up, sw1_up) = sim.connect(switches[0], switches[1], &case.cross_spec());
+    for (r, &port) in [sw0_up, sw1_up].iter().enumerate() {
+        let sw = switches[r];
+        sim.device_mut::<Switch>(sw).routes_mut().set_default(port);
+    }
+    sim.run_until_idle();
+    let stats = sim.stats();
+    let got = rack_hosts
+        .iter()
+        .flatten()
+        .map(|&n| sim.device::<Host>(n).app::<ScriptedHost>().got.clone())
+        .collect();
+    Outcome {
+        got,
+        packets_sent: stats.packets_sent,
+        bytes_sent: stats.bytes_sent,
+        packets_delivered: stats.packets_delivered,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sharded runs are invariant in the thread count: arrival records,
+    /// packet counters, and the full rendered metrics registry are
+    /// identical whether one thread or several execute the domains.
+    #[test]
+    fn sharded_engine_is_thread_count_invariant(
+        hosts_a in 1usize..4,
+        hosts_b in 1usize..4,
+        cross_ns in 100u64..5_000,
+        raw in prop::collection::vec(0u64..u64::MAX, 0..32),
+    ) {
+        let case = mk_case(hosts_a, hosts_b, cross_ns, &raw);
+        let (o1, m1) = run_sharded(&case, 1);
+        let (o2, m2) = run_sharded(&case, 2);
+        let (o3, m3) = run_sharded(&case, 3);
+        prop_assert_eq!(&o1, &o2);
+        prop_assert_eq!(&o1, &o3);
+        prop_assert_eq!(&m1, &m2);
+        prop_assert_eq!(&m1, &m3);
+    }
+
+    /// Sharding is an execution strategy, not a model change: every host
+    /// sees the same packets at the same simulated instants as in one
+    /// classic single-queue simulation of the same network, and the
+    /// headline counters agree. (Per-host arrival records are compared as
+    /// sorted multisets: simultaneous arrivals at one host may interleave
+    /// differently across engines.)
+    #[test]
+    fn sharded_engine_matches_single_engine(
+        hosts_a in 1usize..4,
+        hosts_b in 1usize..4,
+        cross_ns in 100u64..5_000,
+        raw in prop::collection::vec(0u64..u64::MAX, 0..32),
+    ) {
+        let case = mk_case(hosts_a, hosts_b, cross_ns, &raw);
+        let (mut sharded, _) = run_sharded(&case, 2);
+        let mut single = run_single(&case);
+        for got in sharded.got.iter_mut().chain(single.got.iter_mut()) {
+            got.sort_unstable();
+        }
+        prop_assert_eq!(sharded, single);
+    }
+}
+
+/// A cross-domain delivery scheduled exactly on an epoch's lookahead
+/// horizon must be deferred to the next epoch and still delivered exactly
+/// once at the right instant — not dropped by the `>= horizon` cut and not
+/// processed early.
+///
+/// Construction: the second cross link (C↔D, 1 ns propagation) pins the
+/// lookahead at L = 1 ns. A's empty UDP packet (84 wire bytes = 672 bits)
+/// serializes in exactly 1 ns at 672 Gb/s, so its cross delivery at B is
+/// scheduled for t = 0 + 1 + 9 = 10 ns. D's timer at t = 9 ns makes one
+/// epoch open with `t_min = 9`, whose horizon `t_min + L = 10 ns` falls
+/// exactly on that pending delivery.
+#[test]
+fn packet_on_the_lookahead_horizon_is_delivered() {
+    for threads in [1, 2] {
+        let mut sharded = ShardedSim::new();
+        let d0 = sharded.add_domain();
+        let d1 = sharded.add_domain();
+        let a_ip = host_ip(0, 0);
+        let b_ip = host_ip(1, 0);
+        let c_ip = host_ip(0, 1);
+        let d_ip = host_ip(1, 1);
+        let a = sharded.domain_mut(d0).add_node(
+            Box::new(Host::new(
+                a_ip,
+                Box::new(ScriptedHost::new(vec![(0, b_ip, 0)])),
+            )),
+            NodeOpts::new("a"),
+        );
+        let b = sharded.domain_mut(d1).add_node(
+            Box::new(Host::new(b_ip, Box::new(ScriptedHost::new(vec![])))),
+            NodeOpts::new("b"),
+        );
+        let c = sharded.domain_mut(d0).add_node(
+            Box::new(Host::new(c_ip, Box::new(ScriptedHost::new(vec![])))),
+            NodeOpts::new("c"),
+        );
+        let d = sharded.domain_mut(d1).add_node(
+            Box::new(Host::new(
+                d_ip,
+                Box::new(ScriptedHost::new(vec![(9, c_ip, 0)])),
+            )),
+            NodeOpts::new("d"),
+        );
+        // Sending link: 9 ns propagation at 672 Gb/s (1 ns serialization).
+        sharded.connect_cross(
+            (d0, a),
+            (d1, b),
+            &LinkSpec::new(672_000_000_000, SimDuration::from_nanos(9)),
+        );
+        // Lookahead-setting link: 1 ns propagation.
+        sharded.connect_cross(
+            (d0, c),
+            (d1, d),
+            &LinkSpec::new(10_000_000_000, SimDuration::from_nanos(1)),
+        );
+        assert_eq!(
+            sharded.lookahead(),
+            Some(SimDuration::from_nanos(1)),
+            "lookahead is the minimum cross-link latency"
+        );
+        sharded.run(threads);
+        let got_b = &sharded
+            .domain(d1)
+            .device::<Host>(b)
+            .app::<ScriptedHost>()
+            .got;
+        assert_eq!(
+            got_b,
+            &vec![(10, a_ip.as_u32(), 0)],
+            "threads={threads}: horizon-exact delivery must arrive once, at t=10 ns"
+        );
+        // D's t=9 send (84 wire bytes at 10 Gb/s = 68 ns serialization)
+        // crosses the other way and lands at 9 + 68 + 1 = 78 ns.
+        let got_c = &sharded
+            .domain(d0)
+            .device::<Host>(c)
+            .app::<ScriptedHost>()
+            .got;
+        assert_eq!(
+            got_c,
+            &vec![(78, d_ip.as_u32(), 0)],
+            "threads={threads}: reverse crossing must arrive once, at t=78 ns"
+        );
+    }
+}

@@ -41,6 +41,12 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
     }
+
+    /// Folds another counter into this one (saturating add). Used when
+    /// combining per-domain registries into one export.
+    pub fn merge_from(&self, other: &Counter) {
+        self.add(other.get());
+    }
 }
 
 /// An instantaneous level (queue depth, in-flight packets) with a running
@@ -87,6 +93,16 @@ impl Gauge {
     /// Highest level ever observed (at least zero).
     pub fn watermark(&self) -> i64 {
         self.watermark.load(Ordering::Relaxed)
+    }
+
+    /// Folds another gauge into this one: levels add (each domain
+    /// contributes its share of an instantaneous quantity) and watermarks
+    /// take the per-domain maximum. A summed watermark would claim a peak no
+    /// single scheduler ever saw, so the max is the honest combination.
+    pub fn merge_from(&self, other: &Gauge) {
+        self.value.fetch_add(other.get(), Ordering::Relaxed);
+        self.watermark
+            .fetch_max(other.watermark(), Ordering::Relaxed);
     }
 }
 
@@ -240,6 +256,31 @@ impl Histogram {
     pub fn p99(&self) -> u64 {
         self.quantile(0.99)
     }
+
+    /// Folds another histogram into this one: per-bucket counts, the total
+    /// count, and the sum add (saturating); the max takes the larger value.
+    /// Because bucket boundaries are fixed, the merge is exact — the result
+    /// is identical to having recorded both sample streams into one
+    /// histogram, in any order.
+    pub fn merge_from(&self, other: &Histogram) {
+        let theirs = other.bucket_counts();
+        for (bucket, n) in self.buckets.iter().zip(theirs) {
+            if n > 0 {
+                bucket.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        let _ = self
+            .count
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_add(other.count()))
+            });
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_add(other.sum()))
+            });
+        self.max.fetch_max(other.max_value(), Ordering::Relaxed);
+    }
 }
 
 /// String-keyed home for metrics shared between a component and the
@@ -274,6 +315,25 @@ impl Registry {
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         let mut map = self.histograms.lock().expect("histogram map lock");
         Arc::clone(map.entry(name.to_owned()).or_default())
+    }
+
+    /// Folds every metric of `other` into this registry, creating metrics
+    /// that do not exist here yet. Counters and histograms add exactly
+    /// (fixed bucket boundaries make the histogram merge lossless); gauges
+    /// add levels and take the maximum watermark. Metric *names* drive the
+    /// pairing, so the result is independent of the order registries are
+    /// merged in — the property the sharded engine relies on for
+    /// thread-count-invariant exports.
+    pub fn merge_from(&self, other: &Registry) {
+        for (name, theirs) in other.counters.lock().expect("counter map lock").iter() {
+            self.counter(name).merge_from(theirs);
+        }
+        for (name, theirs) in other.gauges.lock().expect("gauge map lock").iter() {
+            self.gauge(name).merge_from(theirs);
+        }
+        for (name, theirs) in other.histograms.lock().expect("histogram map lock").iter() {
+            self.histogram(name).merge_from(theirs);
+        }
     }
 
     /// Snapshots every metric into a deterministic JSON object:
@@ -469,6 +529,52 @@ mod tests {
         a.inc();
         b.inc();
         assert_eq!(reg.counter("events").get(), 2);
+    }
+
+    #[test]
+    fn registry_merge_is_order_independent_and_exact() {
+        let build = |into: &Registry, parts: &[&Registry]| {
+            for p in parts {
+                into.merge_from(p);
+            }
+        };
+        let a = Registry::new();
+        a.counter("pkts").add(3);
+        a.gauge("depth").set(5);
+        a.gauge("depth").set(2);
+        for v in [1u64, 1024] {
+            a.histogram("lat").record(v);
+        }
+        let b = Registry::new();
+        b.counter("pkts").add(4);
+        b.counter("drops").inc();
+        b.gauge("depth").set(4);
+        for v in [0u64, 1024, 7] {
+            b.histogram("lat").record(v);
+        }
+
+        let ab = Registry::new();
+        build(&ab, &[&a, &b]);
+        let ba = Registry::new();
+        build(&ba, &[&b, &a]);
+        assert_eq!(
+            ab.to_json().render(),
+            ba.to_json().render(),
+            "merge must commute"
+        );
+
+        // Exactness: merged histogram equals one that saw both streams.
+        let direct = Registry::new();
+        for v in [1u64, 1024, 0, 1024, 7] {
+            direct.histogram("lat").record(v);
+        }
+        assert_eq!(
+            ab.to_json().get("histograms").unwrap().render(),
+            direct.to_json().get("histograms").unwrap().render()
+        );
+        assert_eq!(ab.counter("pkts").get(), 7);
+        assert_eq!(ab.gauge("depth").get(), 6, "levels add");
+        assert_eq!(ab.gauge("depth").watermark(), 5, "watermark is the max");
     }
 
     #[test]

@@ -169,6 +169,15 @@ impl Trace {
         self
     }
 
+    /// Starts span-ID allocation at `first_id` instead of 1. The sharded
+    /// engine gives each domain's trace a disjoint ID range so spans from
+    /// different domains never collide when their event streams are merged
+    /// into one timeline.
+    pub fn with_span_start(self, first_id: u64) -> Self {
+        self.next_span_id.store(first_id, Ordering::Relaxed);
+        self
+    }
+
     /// Appends one event. If a streaming sink is attached, the event is
     /// written out immediately; if the in-memory buffer is at capacity, the
     /// oldest buffered event is evicted.

@@ -17,6 +17,7 @@ use iswitch::cluster::{
     run_chaos, run_convergence, run_cosim, run_timing, run_timing_observed_with, ChaosConfig,
     ChaosSchedule, ConvergenceConfig, CosimConfig, Strategy, TimingConfig, TraceOptions,
 };
+use iswitch::netsim::FattreeShape;
 use iswitch::obs::JsonValue;
 use iswitch::rl::Algorithm;
 
@@ -48,6 +49,16 @@ OPTIONS:
                                        per rack (default: single switch)
     --per-agg <F>                      with --per-rack, group F racks per
                                        aggregation switch (3-level tree)
+    --fattree <PODS>                   build the sharded fat-tree: PODS AGG
+                                       subtrees (one engine domain each plus
+                                       the core), --per-agg racks per pod
+                                       (default 2), --per-rack hosts per
+                                       rack (default 3); the worker count is
+                                       derived from the shape (timing,
+                                       --strategy isw only)
+    --threads <N>                      worker threads driving a --fattree
+                                       run (default 1); every artifact is
+                                       byte-identical for every N
     --fidelity <timing|cosim>          timing: synthetic payloads, timing
                                        only (default); cosim: real agent
                                        gradients summed by the simulated
@@ -251,6 +262,19 @@ fn cmd_timing(args: &[String]) {
     }
     cfg.workers_per_rack = parse_usize(args, "--per-rack").map(|k| k.max(1));
     cfg.racks_per_agg = parse_usize(args, "--per-agg").map(|f| f.max(1));
+    if let Some(pods) = parse_usize(args, "--fattree") {
+        let shape = FattreeShape {
+            aggs: pods.max(1),
+            racks_per_agg: cfg.racks_per_agg.take().unwrap_or(2),
+            hosts_per_rack: cfg.workers_per_rack.take().unwrap_or(3),
+        };
+        cfg.workers = shape.workers();
+        cfg.fattree = Some(shape);
+        cfg.threads = parse_usize(args, "--threads").unwrap_or(1).max(1);
+    } else if parse_usize(args, "--threads").is_some() {
+        eprintln!("--threads only applies to sharded --fattree runs");
+        exit(2);
+    }
     if let Some(n) = parse_usize(args, "--iterations") {
         cfg.iterations = n;
     }
