@@ -26,17 +26,27 @@
 //!   `--stable`, which also omits all measured fields from the JSON so
 //!   two runs are byte-identical.
 //!
+//! Beyond the clean matrix, incast cells run every [`TransportKind`]
+//! through synchronized flushes into shallow egress queues — on the single
+//! switch (per seed) and as a per-transport thread sweep on the fat-tree,
+//! which the in-gate identity check holds byte-identical across thread
+//! counts.
+//!
+//! When the host kernel reserves isolated CPUs (`isolcpus=`), the gate
+//! pins itself to them before measuring, so cells don't share cores with
+//! ambient load (`--no-pin` opts out).
+//!
 //! Flags: `--quick` (reduced matrix: first seed only), `--stable` (omit
 //! measured fields; skip the throughput gate), `--out <path>` (default
 //! `BENCH_perf.json`), `--baseline <path>`, `--threshold <f>`,
-//! `--update-baseline` (rewrite the baseline from this run).
+//! `--update-baseline` (rewrite the baseline from this run), `--no-pin`.
 
 use std::path::PathBuf;
 use std::process::exit;
 use std::time::Instant;
 
 use iswitch_bench::{banner, write_metrics};
-use iswitch_cluster::{run_timing_perf, PerfSample, Strategy, TimingConfig};
+use iswitch_cluster::{run_timing_perf, PerfSample, Strategy, TimingConfig, TransportKind};
 use iswitch_netsim::FattreeShape;
 use iswitch_obs::JsonValue;
 use iswitch_rl::Algorithm;
@@ -113,6 +123,50 @@ struct Timespec {
 
 extern "C" {
     fn clock_gettime(clockid: i32, tp: *mut Timespec) -> i32;
+    fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u8) -> i32;
+}
+
+/// Parses a kernel CPU list (`"2-5,8"`) into CPU indices.
+fn parse_cpu_list(s: &str) -> Vec<usize> {
+    let mut cpus = Vec::new();
+    for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        match part.split_once('-') {
+            Some((lo, hi)) => {
+                if let (Ok(lo), Ok(hi)) = (lo.parse::<usize>(), hi.parse::<usize>()) {
+                    cpus.extend(lo..=hi);
+                }
+            }
+            None => {
+                if let Ok(c) = part.parse::<usize>() {
+                    cpus.push(c);
+                }
+            }
+        }
+    }
+    cpus
+}
+
+/// Pins this process to the kernel's isolated CPUs (`isolcpus=`) when the
+/// host has any, so the measured cells don't share cores with ambient
+/// load. Returns the CPU list on success; a host without isolated cores
+/// (or without the procfs knob) runs unpinned, as before.
+fn pin_to_isolated_cores() -> Option<String> {
+    let raw = std::fs::read_to_string("/sys/devices/system/cpu/isolated").ok()?;
+    let list = raw.trim();
+    let cpus = parse_cpu_list(list);
+    if cpus.is_empty() {
+        return None;
+    }
+    // Linux cpu_set_t is 1024 bits.
+    let mut mask = [0u8; 128];
+    for &c in &cpus {
+        if c < mask.len() * 8 {
+            mask[c / 8] |= 1 << (c % 8);
+        }
+    }
+    // SAFETY: the mask outlives the call; pid 0 targets this process.
+    let rc = unsafe { sched_setaffinity(0, mask.len(), mask.as_ptr()) };
+    (rc == 0).then(|| list.to_owned())
 }
 
 /// CPU time consumed by this process, in nanoseconds. Unlike wall time it
@@ -151,6 +205,32 @@ fn cell_config(topo: &Topo, strategy: Strategy, seed: u64) -> TimingConfig {
 /// measurement reflects engine throughput rather than barrier overhead.
 fn fattree_config(threads: usize, seed: u64) -> TimingConfig {
     let mut cfg = TimingConfig::main_cluster(Algorithm::Dqn, Strategy::SyncIsw);
+    cfg.fattree = Some(FATTREE_SHAPE);
+    cfg.workers = FATTREE_SHAPE.workers();
+    cfg.threads = threads;
+    cfg.iterations = 3;
+    cfg.warmup = 1;
+    cfg.seed = seed;
+    cfg
+}
+
+/// The single-switch incast cell: every worker flushes simultaneously
+/// (zero compute jitter) through shallow bounded egress queues, with the
+/// given transport absorbing the collision.
+fn incast_config(kind: TransportKind, seed: u64) -> TimingConfig {
+    let mut cfg = TimingConfig::incast(Algorithm::Ppo, Strategy::SyncIsw, kind);
+    cfg.iterations = 10;
+    cfg.warmup = 2;
+    cfg.seed = seed;
+    cfg
+}
+
+/// The incast workload on the sharded fat-tree: the same shape as the
+/// scaling cells, but with shallow queues and synchronized flushes. Each
+/// transport gets its own thread sweep — congestion reactions (ECN echoes,
+/// rate cuts, NACKs) must not leak merge order any more than clean runs do.
+fn incast_fattree_config(kind: TransportKind, threads: usize, seed: u64) -> TimingConfig {
+    let mut cfg = TimingConfig::incast(Algorithm::Dqn, Strategy::SyncIsw, kind);
     cfg.fattree = Some(FATTREE_SHAPE);
     cfg.workers = FATTREE_SHAPE.workers();
     cfg.threads = threads;
@@ -200,6 +280,23 @@ fn run_matrix(quick: bool) -> Vec<Cell> {
         let seed = SEEDS[0];
         let cfg = fattree_config(threads, seed);
         cells.push(run_one(format!("fattree/isw-t{threads}/s{seed:x}"), &cfg));
+    }
+    // Incast cells: synchronized flushes through shallow queues, one cell
+    // per transport on the single switch…
+    for kind in TransportKind::ALL {
+        for &seed in seeds {
+            let cfg = incast_config(kind, seed);
+            cells.push(run_one(format!("incast-star/{kind}/s{seed:x}"), &cfg));
+        }
+    }
+    // …and a thread sweep per transport on the fat-tree, fingerprint-
+    // compared across thread counts by the in-gate identity check.
+    for kind in TransportKind::ALL {
+        for &threads in &FATTREE_THREADS {
+            let seed = SEEDS[0];
+            let cfg = incast_fattree_config(kind, threads, seed);
+            cells.push(run_one(format!("incast/{kind}/t{threads}/s{seed:x}"), &cfg));
+        }
     }
     cells
 }
@@ -315,16 +412,23 @@ fn fingerprint_mismatches(current: &JsonValue, baseline: &JsonValue) -> Vec<Stri
 }
 
 /// The sharded engine's determinism claim, checked in-gate without a
-/// baseline: every deterministic fingerprint field of the fat-tree scaling
-/// cells must be identical across thread counts. Runs on every invocation
+/// baseline: every deterministic fingerprint field of a thread sweep (the
+/// clean fat-tree scaling cells, and each incast transport's fat-tree
+/// sweep) must be identical across thread counts. Runs on every invocation
 /// (including `--stable` and `--quick`) — a divergence here means the
 /// parallel engine's merge order leaked into results, which no baseline
 /// refresh may paper over.
 fn scaling_identity_mismatches(cells: &[Cell]) -> Vec<String> {
-    let scaling: Vec<&Cell> = cells
-        .iter()
-        .filter(|c| c.id.starts_with("fattree/"))
-        .collect();
+    // Cells whose id differs only in thread count form one identity group:
+    // the clean fat-tree sweep, plus one sweep per incast transport.
+    let group_of = |id: &str| -> Option<String> {
+        if id.starts_with("fattree/") {
+            return Some("fattree".to_owned());
+        }
+        id.strip_prefix("incast/")
+            .and_then(|rest| rest.split('/').next())
+            .map(|kind| format!("incast/{kind}"))
+    };
     let fingerprint = |c: &Cell| {
         (
             c.sample.events,
@@ -335,16 +439,27 @@ fn scaling_identity_mismatches(cells: &[Cell]) -> Vec<String> {
         )
     };
     let mut out = Vec::new();
-    if let Some((first, rest)) = scaling.split_first() {
-        for c in rest {
-            if fingerprint(c) != fingerprint(first) {
-                out.push(format!(
-                    "{}: {:?} differs from {}: {:?}",
-                    c.id,
-                    fingerprint(c),
-                    first.id,
-                    fingerprint(first)
-                ));
+    let mut groups: Vec<(String, Vec<&Cell>)> = Vec::new();
+    for c in cells {
+        if let Some(g) = group_of(&c.id) {
+            match groups.iter_mut().find(|(name, _)| *name == g) {
+                Some((_, members)) => members.push(c),
+                None => groups.push((g, vec![c])),
+            }
+        }
+    }
+    for (_, members) in &groups {
+        if let Some((first, rest)) = members.split_first() {
+            for c in rest {
+                if fingerprint(c) != fingerprint(first) {
+                    out.push(format!(
+                        "{}: {:?} differs from {}: {:?}",
+                        c.id,
+                        fingerprint(c),
+                        first.id,
+                        fingerprint(first)
+                    ));
+                }
             }
         }
     }
@@ -413,6 +528,11 @@ fn main() {
         "perfgate",
         "engine throughput gate (pinned topology x strategy matrix)",
     );
+    if !args.iter().any(|a| a == "--no-pin") {
+        if let Some(list) = pin_to_isolated_cores() {
+            println!("pinned to isolated CPUs: {list}");
+        }
+    }
     let cells = run_matrix(quick);
     let doc = report_json(&cells, quick, stable, peak_rss_bytes());
     write_metrics(std::path::Path::new(&out), &doc).unwrap_or_else(|e| {

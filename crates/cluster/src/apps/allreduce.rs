@@ -15,6 +15,7 @@ use crate::apps::runtime::{
 };
 use crate::compute_model::{CommCosts, ComputeModel};
 use crate::gradient_source::SyntheticGradients;
+use crate::transport::{GoBackRetransmit, NoRound, Transport, TransportStats};
 
 /// Blob tag for ring chunks.
 pub const TAG_RING: u32 = 4;
@@ -37,6 +38,9 @@ pub struct RingProto {
     waiting: bool,
     asm: BlobAssembler,
     arrived: HashSet<u32>,
+    /// Wire policy: pacing/ECN reaction for the ring's chunk streams
+    /// (reliability is inert — the ring baseline assumes lossless links).
+    transport: Box<dyn Transport>,
 }
 
 // `index` participates in ring-position reasoning for debugging dumps.
@@ -91,6 +95,7 @@ impl StrategyProtocol for RingProto {
     fn begin_round(&mut self, iter: u32) {
         self.iter = iter;
         self.step = 0;
+        self.transport.begin_round(iter);
     }
 
     fn start_round(&mut self, rt: &mut Rt<'_, '_, '_>) {
@@ -115,16 +120,21 @@ impl StrategyProtocol for RingProto {
             }
             id if id >= P_SEND_BASE => {
                 let id = (id - P_SEND_BASE) as u32;
-                for pkt in blob_packets(rt.ip(), self.next, TAG_RING, id, self.chunk_bytes()) {
-                    rt.send(pkt);
-                }
+                let pkts = blob_packets(rt.ip(), self.next, TAG_RING, id, self.chunk_bytes());
+                let _ = self.transport.send_round(rt, pkts, id);
                 ProtoEvent::None
             }
-            _ => ProtoEvent::None,
+            // The pacing token (and anything else unclaimed) belongs to
+            // the transport.
+            token => {
+                let _ = self.transport.on_timer(rt, token, self.iter, &NoRound);
+                ProtoEvent::None
+            }
         }
     }
 
     fn on_packet(&mut self, rt: &mut Rt<'_, '_, '_>, pkt: Packet) -> ProtoEvent {
+        self.transport.on_data(rt, &pkt, self.iter, &NoRound);
         if let Some(done) = self.asm.on_packet(&pkt) {
             if done.tag == TAG_RING {
                 self.arrived.insert(done.msg_id);
@@ -166,6 +176,7 @@ impl RingWorker {
             waiting: false,
             asm: BlobAssembler::new(),
             arrived: HashSet::new(),
+            transport: Box::new(GoBackRetransmit::new()),
         };
         StrategyRuntime::from_parts(core, proto, Box::new(SyntheticGradients::new(0)))
     }
@@ -173,5 +184,16 @@ impl RingWorker {
     /// This worker's position in the ring.
     pub fn ring_index(&self) -> usize {
         self.protocol().index
+    }
+
+    /// Replaces the wire policy (default: plain unpaced sends).
+    pub fn with_transport(mut self, transport: Box<dyn Transport>) -> Self {
+        self.protocol_mut().transport = transport;
+        self
+    }
+
+    /// Transport activity counters (recovery + congestion control).
+    pub fn transport_stats(&self) -> TransportStats {
+        self.protocol().transport.stats()
     }
 }

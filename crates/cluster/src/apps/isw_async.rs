@@ -20,6 +20,7 @@ use crate::apps::runtime::{
 };
 use crate::compute_model::{CommCosts, ComputeModel};
 use crate::gradient_source::{GradientSource, SyntheticGradients};
+use crate::transport::{GoBackRetransmit, NoRound, Transport, TransportStats};
 
 /// How broadcast arrivals are recognized as complete aggregates.
 enum BcastTracker {
@@ -41,6 +42,11 @@ pub struct IswAsyncProto {
     /// Async commits are untagged (round 0), so every commit reuses the
     /// cached [`bytes::Bytes`] outright — no per-iteration serialization.
     enc: Option<EncodedGradient>,
+    /// The wire policy. Async commits are fire-and-forget (the pipeline
+    /// tolerates loss by design), so only the pacing/ECN side of the
+    /// transport is active here: DCQCN slows the commit stream when the
+    /// broadcast path echoes congestion.
+    transport: Box<dyn Transport>,
 }
 
 impl StrategyProtocol for IswAsyncProto {
@@ -61,15 +67,24 @@ impl StrategyProtocol for IswAsyncProto {
             Some(enc) => enc.packets_round(0),
             None => gradient_packets(rt.ip(), rt.source.gradient()),
         };
-        for pkt in pkts {
-            rt.send(pkt);
-        }
+        // One commit = one transport round (the additive-increase grain
+        // for DCQCN). Outcome is ignored: a paced train drains through
+        // `on_timer` and nothing gates on its completion.
+        let round = rt.core.commits as u32;
+        self.transport.begin_round(round);
+        let _ = self.transport.send_round(rt, pkts, round);
+    }
+
+    fn on_timer(&mut self, rt: &mut Rt<'_, '_, '_>, token: u64) -> ProtoEvent {
+        let _ = self.transport.on_timer(rt, token, 0, &NoRound);
+        ProtoEvent::None
     }
 
     fn on_packet(&mut self, rt: &mut Rt<'_, '_, '_>, pkt: Packet) -> ProtoEvent {
-        if pkt.ip.tos != TOS_DATA {
+        if iswitch_core::dscp(pkt.ip.tos) != TOS_DATA {
             return ProtoEvent::None;
         }
+        self.transport.on_data(rt, &pkt, 0, &NoRound);
         let aggregate = match &mut self.tracker {
             BcastTracker::Count(seen) => {
                 *seen += 1;
@@ -151,7 +166,20 @@ impl IswAsyncWorker {
             grad_len: source.grad_len(),
             tracker: BcastTracker::Count(0),
             enc: None,
+            transport: Box::new(GoBackRetransmit::new()),
         };
         StrategyRuntime::from_parts(core, proto, source)
+    }
+
+    /// Replaces the wire policy (default: [`GoBackRetransmit`], which for
+    /// the async pipeline means plain unpaced sends).
+    pub fn with_transport(mut self, transport: Box<dyn Transport>) -> Self {
+        self.protocol_mut().transport = transport;
+        self
+    }
+
+    /// Transport activity counters (recovery + congestion control).
+    pub fn transport_stats(&self) -> TransportStats {
+        self.protocol().transport.stats()
     }
 }

@@ -1,52 +1,41 @@
 //! Synchronous iSwitch strategy (paper Fig. 1c): push tagged gradient
 //! packets, receive the broadcast aggregate — two network hops, with
 //! aggregation happening on the fly inside the switch.
+//!
+//! Reliability and congestion control live in the pluggable
+//! [`Transport`] layer (see [`crate::transport`]); this protocol only
+//! knows what a round *is* — which packets carry this iteration's
+//! contribution and when the broadcast result is complete.
 
-use iswitch_core::{
-    control_packet, gradient_packets_round, tag_round, ControlMessage, EncodedGradient,
-    RoundAssembler, RoundInsert, UPSTREAM_IP,
-};
+use iswitch_core::{gradient_packets_round, EncodedGradient, RoundAssembler, RoundInsert};
 use iswitch_netsim::{Packet, SimDuration};
 
-use crate::apps::common::{IterationTokens, StallTracker};
 use crate::apps::runtime::{
     Pacing, ProtoEvent, RoundOutcome, Rt, StrategyProtocol, StrategyRuntime, WorkerCore,
 };
 use crate::compute_model::{CommCosts, ComputeModel};
 use crate::gradient_source::{GradientSource, SyntheticGradients};
+use crate::transport::{GoBackRetransmit, SendOutcome, TimerVerdict, Transport, TransportStats};
 
 const P_SEND: u64 = crate::apps::runtime::PROTO_BASE;
-/// Retry timers encode the iteration so a stale timer from a completed
-/// iteration is ignored.
-const T_RETRY_BASE: u64 = 1_000;
 
 /// Protocol half of the synchronous iSwitch worker: round-tagged segment
-/// push, broadcast-result reassembly, and `Help`/`FBcast` loss recovery.
+/// push and broadcast-result reassembly, with loss recovery and pacing
+/// delegated to the configured [`Transport`].
 pub struct IswSyncProto {
     grad_len: usize,
     asm: RoundAssembler,
-    /// Timeout before asking the switch to recover missing result
-    /// segments via `Help` (and flush stuck rounds via `FBcast`).
-    help_timeout: Option<SimDuration>,
-    retry: IterationTokens,
-    stall: StallTracker,
+    /// The wire policy: reliability + congestion control.
+    transport: Box<dyn Transport>,
     /// Whether this round's contribution has been pushed yet. A partial
     /// flush can complete the round *before* we push (other workers plus
     /// the switch's stale-flush sweep); the completion is then held until
     /// the send fires so the iteration phases stay well-formed.
     sent: bool,
-    /// `Help` requests issued (loss-recovery activity).
-    pub help_requests: u64,
     /// Pre-encoded contribution payloads, populated at start when the
     /// gradient source is static (timing mode) — see
     /// [`EncodedGradient`].
     enc: Option<EncodedGradient>,
-    /// Deliberately-broken recovery mode for the chaos harness: on retry,
-    /// blindly re-push the whole gradient instead of asking the switch for
-    /// `Help`. The accelerator counts *packets*, not sources, so a
-    /// retransmitted contribution double-counts — the gradient-conservation
-    /// invariant must catch this.
-    naive_retransmit: bool,
 }
 
 impl IswSyncProto {
@@ -54,13 +43,9 @@ impl IswSyncProto {
         IswSyncProto {
             grad_len,
             asm: RoundAssembler::new(grad_len, false),
-            help_timeout: None,
-            retry: IterationTokens::new(T_RETRY_BASE),
-            stall: StallTracker::new(),
+            transport: Box::new(GoBackRetransmit::new()),
             sent: false,
-            help_requests: 0,
             enc: None,
-            naive_retransmit: false,
         }
     }
 
@@ -82,6 +67,22 @@ impl IswSyncProto {
             update_tail,
         })
     }
+
+    /// Post-send sequence, shared between immediate and paced sends: the
+    /// round may already be complete (a partial flush of the other
+    /// workers' contributions can land while we were still computing) —
+    /// emit the held completion now that the phases line up; otherwise arm
+    /// loss recovery for the outstanding round. Ordering matters for
+    /// replay identity: recovery is never armed for a completed round.
+    fn after_send(&mut self, rt: &mut Rt<'_, '_, '_>) -> ProtoEvent {
+        self.sent = true;
+        if self.asm.is_done() {
+            return self.outcome(rt);
+        }
+        let iter = rt.iter();
+        self.transport.arm_recovery(rt, iter);
+        ProtoEvent::None
+    }
 }
 
 impl StrategyProtocol for IswSyncProto {
@@ -98,6 +99,7 @@ impl StrategyProtocol for IswSyncProto {
     fn begin_round(&mut self, iter: u32) {
         self.asm.begin_round(Some(iter));
         self.sent = false;
+        self.transport.begin_round(iter);
     }
 
     fn start_round(&mut self, rt: &mut Rt<'_, '_, '_>) {
@@ -110,75 +112,27 @@ impl StrategyProtocol for IswSyncProto {
             // and expired partial flushes of earlier rounds cannot satisfy
             // this one.
             let pkts = self.contribution_packets(rt);
-            for pkt in pkts {
-                rt.send(pkt);
-            }
-            self.sent = true;
-            // The round may already be complete: a partial flush of the
-            // other workers' contributions can land while we were still
-            // computing. Emit the held completion now that the phases line
-            // up (our late contribution is harmless — round tags keep it
-            // out of newer rounds).
-            if self.asm.is_done() {
-                return self.outcome(rt);
-            }
-            if let Some(timeout) = self.help_timeout {
-                self.stall.rearm();
-                rt.set_timer(timeout, self.retry.arm(rt.iter()));
-            }
-            return ProtoEvent::None;
+            let iter = rt.iter();
+            return match self.transport.send_round(rt, pkts, iter) {
+                SendOutcome::Complete => self.after_send(rt),
+                SendOutcome::Pacing => ProtoEvent::None,
+            };
         }
-        // Only act if the iteration that armed this timer is still waiting
-        // on its result.
-        if !self.retry.accept(token, rt.iter()) || self.asm.is_done() {
-            return ProtoEvent::None;
+        let iter = rt.iter();
+        match self.transport.on_timer(rt, token, iter, &self.asm) {
+            TimerVerdict::SendComplete => self.after_send(rt),
+            TimerVerdict::Handled | TimerVerdict::NotMine => ProtoEvent::None,
         }
-        if self.naive_retransmit {
-            // The "obvious" recovery a reader might reach for — and exactly
-            // what the paper's Help/FBcast design avoids: the switch cannot
-            // tell a retransmission from a fresh contribution.
-            let pkts = self.contribution_packets(rt);
-            for pkt in pkts {
-                rt.send(pkt);
-            }
-            if let Some(timeout) = self.help_timeout {
-                rt.set_timer(timeout, self.retry.arm(rt.iter()));
-            }
-            return ProtoEvent::None;
-        }
-        // A lost *result* is recovered from the switch's cache (Help). A
-        // lost *contribution* leaves the round stuck: only after two
-        // stalled retries — i.e. genuinely no progress — flush it with a
-        // partial broadcast. The batch is capped so a retry can never
-        // re-request a vector's worth of traffic (a premature timeout
-        // would otherwise trigger a retransmission storm).
-        const HELP_BATCH: u64 = 64;
-        let escalate = self.stall.observe(self.asm.received_count()) >= 2;
-        let mut budget = HELP_BATCH;
-        for seg in self.asm.missing() {
-            if budget == 0 {
-                break;
-            }
-            budget -= 1;
-            self.help_requests += 1;
-            let seg = tag_round(seg, rt.iter());
-            let help = control_packet(rt.ip(), UPSTREAM_IP, &ControlMessage::Help { seg });
-            rt.send(help);
-            if escalate {
-                let flush = control_packet(rt.ip(), UPSTREAM_IP, &ControlMessage::FBcast { seg });
-                rt.send(flush);
-            }
-        }
-        if let Some(timeout) = self.help_timeout {
-            rt.set_timer(timeout, self.retry.arm(rt.iter()));
-        }
-        ProtoEvent::None
     }
 
     fn on_packet(&mut self, rt: &mut Rt<'_, '_, '_>, pkt: Packet) -> ProtoEvent {
-        if pkt.ip.tos != iswitch_core::TOS_DATA {
+        if iswitch_core::dscp(pkt.ip.tos) != iswitch_core::TOS_DATA {
             return ProtoEvent::None;
         }
+        // Transport first: gap detection and ECN echo must see the round
+        // state *before* this arrival is booked.
+        let iter = rt.iter();
+        self.transport.on_data(rt, &pkt, iter, &self.asm);
         // Bookkeeping straight off the wire: a timing-mode assembler never
         // materializes the payload's floats (see `RoundAssembler::insert_wire`).
         match self.asm.insert_wire(&pkt.payload) {
@@ -229,28 +183,38 @@ impl IswSyncWorker {
         StrategyRuntime::from_parts(core, proto, source)
     }
 
+    /// Replaces the wire policy (default: [`GoBackRetransmit`]).
+    pub fn with_transport(mut self, transport: Box<dyn Transport>) -> Self {
+        self.protocol_mut().transport = transport;
+        self
+    }
+
     /// Enables loss recovery: after `timeout` without a complete result,
-    /// the worker sends `Help` for each missing segment (recovering lost
-    /// result packets from the switch's cache) and `FBcast` (flushing
-    /// rounds stuck on a lost contribution).
+    /// the transport recovers missing segments (`Help` for lost result
+    /// packets from the switch's cache, `FBcast` for rounds stuck on a
+    /// lost contribution).
     pub fn with_help_timeout(mut self, timeout: SimDuration) -> Self {
-        self.protocol_mut().help_timeout = Some(timeout);
+        self.protocol_mut().transport.set_recovery_timeout(timeout);
         self
     }
 
     /// `Help` requests issued (loss-recovery activity).
     pub fn help_requests(&self) -> u64 {
-        self.protocol().help_requests
+        self.protocol().transport.stats().help_requests
     }
 
-    /// **Chaos-harness only**: replaces `Help`/`FBcast` loss recovery with
-    /// naive whole-gradient retransmission. This is deliberately wrong —
-    /// the in-switch accelerator counts packets, not sources, so a
-    /// retransmitted contribution is double-counted. Used to prove the
-    /// gradient-conservation invariant actually trips on a real protocol
-    /// bug.
+    /// Transport activity counters (recovery + congestion control).
+    pub fn transport_stats(&self) -> TransportStats {
+        self.protocol().transport.stats()
+    }
+
+    /// **Chaos-harness only**: arms the transport's deliberately-broken
+    /// recovery mode (naive whole-gradient retransmission for go-back,
+    /// whole-train re-push on gaps for NACK). The in-switch accelerator
+    /// counts packets, not sources, so the double-delivery must trip the
+    /// gradient-conservation invariant.
     pub fn with_naive_retransmit(mut self) -> Self {
-        self.protocol_mut().naive_retransmit = true;
+        self.protocol_mut().transport.seed_protocol_bug();
         self
     }
 }

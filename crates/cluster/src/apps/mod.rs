@@ -6,6 +6,7 @@
 //! [`runtime`], the per-strategy modules hold only wire behaviour.
 
 mod allreduce;
+mod background;
 mod common;
 mod isw_async;
 mod isw_sync;
@@ -14,6 +15,7 @@ mod ps_sync;
 pub mod runtime;
 
 pub use allreduce::{RingProto, RingWorker, TAG_RING};
+pub use background::{BackgroundFlow, BACKGROUND_PORT};
 pub use common::{
     blob_packets, BlobAssembler, BlobDone, IterLog, IterSpans, IterationTokens, StallTracker,
     BASELINE_PORT, BLOB_CHUNK, BLOB_HEADER,

@@ -22,6 +22,8 @@ use crate::apps::runtime::{
 };
 use crate::compute_model::{CommCosts, ComputeModel};
 use crate::gradient_source::SyntheticGradients;
+use crate::staleness::StalenessLedger;
+use crate::transport::{GoBackRetransmit, NoRound, Transport, TransportStats};
 
 const P_COMPUTE: u64 = PROTO_BASE;
 const P_PUSH: u64 = PROTO_BASE + 1;
@@ -36,6 +38,9 @@ pub struct PsAsyncProto {
     pull_seq: u32,
     weight_version: u32,
     phase_start: SimTime,
+    /// Wire policy for the gradient pushes (pacing/ECN under DCQCN; the
+    /// pull requests are single tiny packets and stay unpaced).
+    transport: Box<dyn Transport>,
 }
 
 impl PsAsyncProto {
@@ -66,16 +71,18 @@ impl StrategyProtocol for PsAsyncProto {
             P_PUSH => {
                 rt.emit_phase("worker.commit", self.phase_start, rt.core.commits);
                 // Push the gradient stamped with the weight version it was
-                // computed from, then immediately pull again.
-                for pkt in blob_packets(
+                // computed from, then immediately pull again. One push is
+                // one transport round.
+                let pkts = blob_packets(
                     rt.ip(),
                     self.server,
                     TAG_GRAD,
                     self.weight_version,
                     self.model_bytes,
-                ) {
-                    rt.send(pkt);
-                }
+                );
+                let round = rt.core.commits as u32;
+                self.transport.begin_round(round);
+                let _ = self.transport.send_round(rt, pkts, round);
                 rt.core.commits += 1;
                 self.pull(rt);
             }
@@ -84,12 +91,15 @@ impl StrategyProtocol for PsAsyncProto {
                 let d = rt.draw_compute();
                 rt.set_timer(d, P_COMPUTE);
             }
-            _ => {}
+            token => {
+                let _ = self.transport.on_timer(rt, token, 0, &NoRound);
+            }
         }
         ProtoEvent::None
     }
 
     fn on_packet(&mut self, rt: &mut Rt<'_, '_, '_>, pkt: Packet) -> ProtoEvent {
+        self.transport.on_data(rt, &pkt, 0, &NoRound);
         if let Some(done) = self.asm.on_packet(&pkt) {
             if done.tag == TAG_WEIGHTS {
                 self.weight_version = done.msg_id;
@@ -123,13 +133,25 @@ impl AsyncPsWorker {
             pull_seq: 0,
             weight_version: 0,
             phase_start: SimTime::ZERO,
+            transport: Box::new(GoBackRetransmit::new()),
         };
         StrategyRuntime::from_parts(core, proto, Box::new(SyntheticGradients::new(0)))
+    }
+
+    /// Replaces the wire policy (default: plain unpaced sends).
+    pub fn with_transport(mut self, transport: Box<dyn Transport>) -> Self {
+        self.protocol_mut().transport = transport;
+        self
     }
 
     /// Iterations this worker completed (gradients pushed).
     pub fn pushes(&self) -> u64 {
         self.commits()
+    }
+
+    /// Transport activity counters (recovery + congestion control).
+    pub fn transport_stats(&self) -> TransportStats {
+        self.protocol().transport.stats()
     }
 }
 
@@ -141,7 +163,6 @@ pub struct AsyncPsServer {
     messages: u64,
     compute: ComputeModel,
     comm: CommCosts,
-    staleness_bound: u32,
     rng: StdRng,
     asm: BlobAssembler,
     version: u32,
@@ -150,10 +171,9 @@ pub struct AsyncPsServer {
     apply_started: SimTime,
     /// Completion time of every weight update.
     pub update_times: Vec<SimTime>,
-    /// Staleness of every *applied* gradient.
-    pub staleness: Vec<u32>,
-    /// Gradients discarded for exceeding the bound.
-    pub discarded: u64,
+    /// Staleness admission state: applied-gradient staleness plus the
+    /// discard count, behind the same ledger the iSwitch worker uses.
+    ledger: StalenessLedger,
 }
 
 impl AsyncPsServer {
@@ -171,7 +191,6 @@ impl AsyncPsServer {
             messages: messages.max(1),
             compute,
             comm,
-            staleness_bound,
             rng: StdRng::seed_from_u64(seed),
             asm: BlobAssembler::new(),
             version: 0,
@@ -179,9 +198,18 @@ impl AsyncPsServer {
             apply_queue: VecDeque::new(),
             apply_started: SimTime::ZERO,
             update_times: Vec::new(),
-            staleness: Vec::new(),
-            discarded: 0,
+            ledger: StalenessLedger::new(staleness_bound),
         }
+    }
+
+    /// Staleness of every *applied* gradient.
+    pub fn staleness(&self) -> &[u32] {
+        self.ledger.admitted()
+    }
+
+    /// Gradients discarded for exceeding the bound.
+    pub fn discarded(&self) -> u64 {
+        self.ledger.rejected()
     }
 
     fn maybe_apply(&mut self, ctx: &mut HostCtx<'_, '_>) {
@@ -190,11 +218,9 @@ impl AsyncPsServer {
         }
         while let Some(from_version) = self.apply_queue.pop_front() {
             let staleness = self.version.saturating_sub(from_version);
-            if staleness > self.staleness_bound {
-                self.discarded += 1;
+            if !self.ledger.admit(staleness) {
                 continue;
             }
-            self.staleness.push(staleness);
             self.applying = true;
             self.apply_started = ctx.now();
             let d = self.comm.phase_recv() * self.messages

@@ -19,6 +19,7 @@ use crate::apps::runtime::{
 };
 use crate::compute_model::{CommCosts, ComputeModel};
 use crate::gradient_source::SyntheticGradients;
+use crate::transport::{GoBackRetransmit, NoRound, Transport, TransportStats};
 
 /// Blob tag for worker→server gradient pushes.
 pub const TAG_GRAD: u32 = 1;
@@ -36,23 +37,36 @@ pub struct PsSyncProto {
     server: IpAddr,
     model_bytes: u64,
     asm: BlobAssembler,
+    /// Wire policy. The blob protocol has no retransmission to delegate
+    /// (links are lossless in the baseline experiments), so the transport
+    /// only contributes pacing/ECN reaction under DCQCN.
+    transport: Box<dyn Transport>,
 }
 
 impl StrategyProtocol for PsSyncProto {
+    fn begin_round(&mut self, iter: u32) {
+        self.transport.begin_round(iter);
+    }
+
     fn start_round(&mut self, rt: &mut Rt<'_, '_, '_>) {
         rt.set_timer(rt.phase_send_cost(), P_SEND);
     }
 
     fn on_timer(&mut self, rt: &mut Rt<'_, '_, '_>, token: u64) -> ProtoEvent {
         if token == P_SEND {
-            for pkt in blob_packets(rt.ip(), self.server, TAG_GRAD, rt.iter(), self.model_bytes) {
-                rt.send(pkt);
-            }
+            let pkts = blob_packets(rt.ip(), self.server, TAG_GRAD, rt.iter(), self.model_bytes);
+            let iter = rt.iter();
+            let _ = self.transport.send_round(rt, pkts, iter);
+        } else {
+            let iter = rt.iter();
+            let _ = self.transport.on_timer(rt, token, iter, &NoRound);
         }
         ProtoEvent::None
     }
 
     fn on_packet(&mut self, rt: &mut Rt<'_, '_, '_>, pkt: Packet) -> ProtoEvent {
+        let iter = rt.iter();
+        self.transport.on_data(rt, &pkt, iter, &NoRound);
         if let Some(done) = self.asm.on_packet(&pkt) {
             if done.tag == TAG_WEIGHTS && done.msg_id == rt.iter() {
                 // PS keeps the weight update on the server; the worker just
@@ -91,11 +105,23 @@ impl SyncPsWorker {
             server,
             model_bytes,
             asm: BlobAssembler::new(),
+            transport: Box::new(GoBackRetransmit::new()),
         };
         // Timing-only strategy: the PS worker never sees an aggregate to
         // apply locally, so the synthetic payload is just sized bytes.
         let source = Box::new(SyntheticGradients::new(0));
         StrategyRuntime::from_parts(core, proto, source)
+    }
+
+    /// Replaces the wire policy (default: plain unpaced sends).
+    pub fn with_transport(mut self, transport: Box<dyn Transport>) -> Self {
+        self.protocol_mut().transport = transport;
+        self
+    }
+
+    /// Transport activity counters (recovery + congestion control).
+    pub fn transport_stats(&self) -> TransportStats {
+        self.protocol().transport.stats()
     }
 }
 

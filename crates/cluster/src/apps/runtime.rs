@@ -33,6 +33,7 @@ use rand::SeedableRng;
 use crate::apps::common::IterLog;
 use crate::compute_model::{CommCosts, ComputeModel};
 use crate::gradient_source::GradientSource;
+use crate::staleness::StalenessLedger;
 
 /// Runtime-reserved timer tokens live below this; protocol tokens must be
 /// `>= PROTO_BASE`. Token *values* never affect event ordering (ties break
@@ -89,10 +90,9 @@ pub struct WorkerCore {
     pub stopped: bool,
     /// Completion time of every local weight update (async pacing).
     pub update_times: Vec<SimTime>,
-    /// Staleness (`ts - tw`) of every committed gradient.
-    pub staleness: Vec<u32>,
-    /// Gradients skipped for exceeding the bound (Alg. 1 line 11).
-    pub skipped: u64,
+    /// Staleness admission state: records `ts - tw` of every committed
+    /// gradient and counts skips past the bound (Alg. 1 lines 8/11).
+    pub ledger: StalenessLedger,
     /// Gradients committed to the network (async pushes).
     pub commits: u64,
     pacing: Pacing,
@@ -109,6 +109,14 @@ impl WorkerCore {
         seed: u64,
         pacing: Pacing,
     ) -> Self {
+        // Only pipelined pacing gates on staleness; the other modes never
+        // call `admit`, so an unbounded ledger is inert for them.
+        let bound = match pacing {
+            Pacing::Pipelined {
+                staleness_bound, ..
+            } => staleness_bound,
+            _ => u32::MAX,
+        };
         WorkerCore {
             compute,
             comm,
@@ -120,8 +128,7 @@ impl WorkerCore {
             compute_from: 0,
             stopped: false,
             update_times: Vec::new(),
-            staleness: Vec::new(),
-            skipped: 0,
+            ledger: StalenessLedger::new(bound),
             commits: 0,
             pacing,
             phase_start: SimTime::ZERO,
@@ -306,12 +313,12 @@ impl<P: StrategyProtocol> StrategyRuntime<P> {
 
     /// Staleness of every committed gradient (async pacing).
     pub fn staleness(&self) -> &[u32] {
-        &self.core.staleness
+        self.core.ledger.admitted()
     }
 
     /// Gradients skipped for exceeding the staleness bound.
     pub fn skipped(&self) -> u64 {
-        self.core.skipped
+        self.core.ledger.rejected()
     }
 
     /// Gradients committed to the network.
@@ -481,12 +488,7 @@ impl<P: StrategyProtocol> HostApp for StrategyRuntime<P> {
             }
             (Pacing::Sync { .. }, T_AGG) => self.aggregation_done(ctx),
             (Pacing::Sync { .. }, T_UPDATE) => self.finish_iteration(ctx),
-            (
-                Pacing::Pipelined {
-                    staleness_bound, ..
-                },
-                T_COMPUTE,
-            ) => {
+            (Pacing::Pipelined { .. }, T_COMPUTE) => {
                 emit_phase(
                     ctx,
                     "worker.compute",
@@ -494,14 +496,12 @@ impl<P: StrategyProtocol> HostApp for StrategyRuntime<P> {
                     self.core.commits,
                 );
                 self.core.phase_start = ctx.now();
-                // Staleness check before commit (Alg. 1 line 8).
-                let bound = staleness_bound;
+                // Staleness check before commit (Alg. 1 line 8); the
+                // ledger records the admission either way.
                 let staleness = self.core.version.saturating_sub(self.core.compute_from);
-                if staleness <= bound {
-                    self.core.staleness.push(staleness);
+                if self.core.ledger.admit(staleness) {
                     ctx.set_timer(self.core.comm.phase_send() * self.core.messages, T_COMMIT);
                 } else {
-                    self.core.skipped += 1;
                     // Discard and restart from fresher weights.
                     self.begin_compute(ctx);
                 }

@@ -53,6 +53,7 @@ use crate::apps::{
 use crate::compute_model::ComputeModel;
 use crate::gradient_source::{AgentGradients, GradientSource};
 use crate::timing_runner::{build_isw_topology, Strategy, TimingConfig};
+use crate::transport::{make_transport, TransportKind};
 
 /// One timed fault window targeting a worker's access link.
 #[derive(Debug, Clone, PartialEq)]
@@ -362,9 +363,17 @@ pub struct ChaosConfig {
     pub horizon: SimDuration,
     /// Explicit schedule; `None` generates one from `chaos_seed`.
     pub schedule: Option<ChaosSchedule>,
-    /// **Deliberately broken** recovery for the harness self-test: sync
-    /// iSwitch workers re-push their whole gradient on retry instead of
-    /// sending `Help`. The conservation invariant must trip on this.
+    /// Wire policy every worker runs under the fault schedule. The
+    /// invariants are transport-independent: I1–I5 must hold whether
+    /// recovery is switch-assisted (`GoBack`), NACK-driven (`Nack`), or
+    /// rate-controlled (`Dcqcn`).
+    pub transport: TransportKind,
+    /// **Deliberately broken** recovery for the harness self-test: the
+    /// transport's seeded protocol bug (go-back re-pushes the whole
+    /// gradient on retry instead of sending `Help`; NACK re-pushes the
+    /// whole train on a gap — a NACK storm). Either way the
+    /// packet-counting accelerator double-counts, so the conservation
+    /// invariant must trip.
     pub naive_retransmit: bool,
 }
 
@@ -382,6 +391,7 @@ impl ChaosConfig {
             chaos_seed,
             horizon: SimDuration::from_millis(400),
             schedule: None,
+            transport: TransportKind::GoBack,
             naive_retransmit: false,
         }
     }
@@ -690,6 +700,9 @@ fn run_chaos_isw(cfg: &ChaosConfig, schedule: ChaosSchedule) -> ChaosReport {
             let seed = cfg.seed.wrapping_add(w as u64);
             match cfg.strategy {
                 Strategy::SyncIsw => {
+                    // Install the configured transport first: the recovery
+                    // timeout and the seeded bug both land on whatever
+                    // transport is in place.
                     let mut worker = IswSyncWorker::with_source(
                         source,
                         1,
@@ -698,21 +711,25 @@ fn run_chaos_isw(cfg: &ChaosConfig, schedule: ChaosSchedule) -> ChaosReport {
                         tcfg.comm.clone(),
                         seed,
                     )
+                    .with_transport(make_transport(cfg.transport, tcfg.topo.edge.bandwidth_bps))
                     .with_help_timeout(help_timeout);
                     if cfg.naive_retransmit {
                         worker = worker.with_naive_retransmit();
                     }
                     Box::new(worker) as Box<dyn HostApp>
                 }
-                Strategy::AsyncIsw => Box::new(IswAsyncWorker::with_source(
-                    source,
-                    1,
-                    model.clone(),
-                    tcfg.comm.clone(),
-                    cfg.staleness_bound,
-                    seed,
-                    None,
-                )) as Box<dyn HostApp>,
+                Strategy::AsyncIsw => Box::new(
+                    IswAsyncWorker::with_source(
+                        source,
+                        1,
+                        model.clone(),
+                        tcfg.comm.clone(),
+                        cfg.staleness_bound,
+                        seed,
+                        None,
+                    )
+                    .with_transport(make_transport(cfg.transport, tcfg.topo.edge.bandwidth_bps)),
+                ) as Box<dyn HostApp>,
                 _ => unreachable!("handled by run_chaos_plain"),
             }
         })
@@ -912,36 +929,46 @@ fn run_chaos_plain(cfg: &ChaosConfig, schedule: ChaosSchedule) -> ChaosReport {
     let mut apps: Vec<Box<dyn HostApp>> = Vec::new();
     for w in 0..cfg.workers {
         let seed = cfg.seed.wrapping_add(w as u64);
+        let transport = make_transport(cfg.transport, tcfg.topo.edge.bandwidth_bps);
         let app: Box<dyn HostApp> = match cfg.strategy {
-            Strategy::SyncPs => Box::new(SyncPsWorker::new(
-                srv_ip,
-                bytes,
-                messages,
-                cfg.iterations,
-                compute.clone(),
-                tcfg.comm.clone(),
-                seed,
-            )),
-            Strategy::SyncAr => Box::new(RingWorker::new(
-                w,
-                cfg.workers,
-                worker_ips[(w + 1) % cfg.workers],
-                bytes,
-                messages,
-                cfg.iterations,
-                compute.clone(),
-                tcfg.comm.clone(),
-                seed,
-            )),
-            Strategy::AsyncPs => Box::new(AsyncPsWorker::new(
-                srv_ip,
-                bytes,
-                messages,
-                compute.clone(),
-                tcfg.comm.clone(),
-                seed,
-                None,
-            )),
+            Strategy::SyncPs => Box::new(
+                SyncPsWorker::new(
+                    srv_ip,
+                    bytes,
+                    messages,
+                    cfg.iterations,
+                    compute.clone(),
+                    tcfg.comm.clone(),
+                    seed,
+                )
+                .with_transport(transport),
+            ),
+            Strategy::SyncAr => Box::new(
+                RingWorker::new(
+                    w,
+                    cfg.workers,
+                    worker_ips[(w + 1) % cfg.workers],
+                    bytes,
+                    messages,
+                    cfg.iterations,
+                    compute.clone(),
+                    tcfg.comm.clone(),
+                    seed,
+                )
+                .with_transport(transport),
+            ),
+            Strategy::AsyncPs => Box::new(
+                AsyncPsWorker::new(
+                    srv_ip,
+                    bytes,
+                    messages,
+                    compute.clone(),
+                    tcfg.comm.clone(),
+                    seed,
+                    None,
+                )
+                .with_transport(transport),
+            ),
             _ => unreachable!("handled by run_chaos_isw"),
         };
         apps.push(app);
@@ -1023,7 +1050,7 @@ fn run_chaos_plain(cfg: &ChaosConfig, schedule: ChaosSchedule) -> ChaosReport {
                 ));
             }
             // I3: staleness bound.
-            for (i, &s) in app.staleness.iter().enumerate() {
+            for (i, &s) in app.staleness().iter().enumerate() {
                 if s > cfg.staleness_bound {
                     violations.push(format!(
                         "I3 staleness: commit {i} at staleness {s} > bound {}",

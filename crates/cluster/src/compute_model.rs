@@ -161,14 +161,22 @@ impl ComputeModel {
         SimDuration::from_micros(self.weight_update_us)
     }
 
-    /// One jittered sample of the local-compute time.
+    /// One jittered sample of the local-compute time. A zero-jitter model
+    /// (the incast workload) returns the mean without touching the RNG —
+    /// `gen_range` rejects an empty `-0.0..0.0` range.
     pub fn sample_local_compute(&self, rng: &mut StdRng) -> SimDuration {
+        if self.jitter <= 0.0 {
+            return self.local_compute();
+        }
         let factor = 1.0 + rng.gen_range(-self.jitter..self.jitter);
         SimDuration::from_secs_f64(self.local_compute().as_secs_f64() * factor)
     }
 
     /// One jittered sample of the weight-update time.
     pub fn sample_weight_update(&self, rng: &mut StdRng) -> SimDuration {
+        if self.jitter <= 0.0 {
+            return self.weight_update();
+        }
         let factor = 1.0 + rng.gen_range(-self.jitter..self.jitter);
         SimDuration::from_secs_f64(self.weight_update().as_secs_f64() * factor)
     }

@@ -40,6 +40,7 @@ mod gradient_source;
 pub mod report;
 mod staleness;
 mod timing_runner;
+pub mod transport;
 
 pub use chaos::{
     generate_schedule, run_chaos, ChaosConfig, ChaosFault, ChaosReport, ChaosSchedule,
@@ -53,10 +54,13 @@ pub use cosim::{run_cosim, CosimConfig, CosimResult};
 pub use gradient_source::{
     AgentGradients, GradientSource, ReplayGradients, ReplaySchedule, SyntheticGradients,
 };
-pub use staleness::StalenessDistribution;
+pub use staleness::{StalenessDistribution, StalenessLedger};
 pub use timing_runner::{
     run_timing, run_timing_observed, run_timing_observed_with, run_timing_perf, Breakdown,
     PerfSample, Strategy, TimingConfig, TimingObservation, TimingResult, TraceOptions,
+};
+pub use transport::{
+    make_transport, Dcqcn, GoBackRetransmit, NackReliable, Transport, TransportKind, TransportStats,
 };
 
 pub use iswitch_core::AggregationMode;

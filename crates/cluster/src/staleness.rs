@@ -82,10 +82,82 @@ impl StalenessDistribution {
     }
 }
 
+/// The single owner of staleness admission bookkeeping.
+///
+/// Both asynchronous endpoints gate gradients on a staleness bound — the
+/// iSwitch worker before committing (Alg. 1 line 8) and the PS server
+/// before applying (§6.2) — and both historically kept their own
+/// `Vec<u32>` of admitted staleness plus a reject counter. The ledger
+/// owns that state once: `admit` applies the bound, records the outcome,
+/// and tells the caller whether to proceed.
+#[derive(Debug, Clone)]
+pub struct StalenessLedger {
+    bound: u32,
+    admitted: Vec<u32>,
+    rejected: u64,
+}
+
+impl StalenessLedger {
+    /// A ledger enforcing `bound` (gradients at staleness > `bound` are
+    /// rejected).
+    pub fn new(bound: u32) -> Self {
+        StalenessLedger {
+            bound,
+            admitted: Vec::new(),
+            rejected: 0,
+        }
+    }
+
+    /// The enforced bound.
+    pub fn bound(&self) -> u32 {
+        self.bound
+    }
+
+    /// Applies the bound to one observed staleness: records and returns
+    /// `true` if it passes, counts a rejection and returns `false` if not.
+    pub fn admit(&mut self, staleness: u32) -> bool {
+        if staleness <= self.bound {
+            self.admitted.push(staleness);
+            true
+        } else {
+            self.rejected += 1;
+            false
+        }
+    }
+
+    /// Staleness of every admitted gradient, in admission order.
+    pub fn admitted(&self) -> &[u32] {
+        &self.admitted
+    }
+
+    /// Gradients rejected for exceeding the bound.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Total admission decisions (admitted + rejected).
+    pub fn decisions(&self) -> u64 {
+        self.admitted.len() as u64 + self.rejected
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::SeedableRng;
+
+    #[test]
+    fn ledger_admits_within_bound_and_counts_rejects() {
+        let mut l = StalenessLedger::new(2);
+        assert!(l.admit(0));
+        assert!(l.admit(2));
+        assert!(!l.admit(3));
+        assert!(l.admit(1));
+        assert_eq!(l.admitted(), &[0, 2, 1]);
+        assert_eq!(l.rejected(), 1);
+        assert_eq!(l.decisions(), 4);
+        assert_eq!(l.bound(), 2);
+    }
 
     #[test]
     fn from_samples_reconstructs_frequencies() {

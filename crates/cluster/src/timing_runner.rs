@@ -7,19 +7,20 @@ use std::sync::Arc;
 
 use iswitch_core::{AggregationMode, AggregationRole, ExtensionConfig, IswitchExtension};
 use iswitch_netsim::{
-    build_fattree, build_star, build_tree, build_tree3, host_ip, Fattree, FattreeShape, Host,
-    HostApp, LinkId, LinkSpec, LossModel, NodeId, PortId, ShardedSim, SimDuration, SimTime,
-    Simulator, SwitchExtension, SwitchRole, TopologyConfig,
+    build_fattree, build_star, build_tree, build_tree3, host_ip, EgressQueue, Fattree,
+    FattreeShape, Host, HostApp, LinkId, LinkSpec, LossModel, NodeId, PortId, ShardedSim,
+    SimDuration, SimTime, Simulator, SwitchExtension, SwitchRole, TopologyConfig,
 };
 use iswitch_obs::{JsonValue, Trace, TraceEvent};
 use iswitch_rl::{paper_model, Algorithm};
 use serde::{Deserialize, Serialize};
 
 use crate::apps::{
-    AsyncPsServer, AsyncPsWorker, IswAsyncWorker, IswSyncWorker, IterSpans, RingWorker,
-    SyncPsServer, SyncPsWorker,
+    AsyncPsServer, AsyncPsWorker, BackgroundFlow, IswAsyncWorker, IswSyncWorker, IterSpans,
+    RingWorker, SyncPsServer, SyncPsWorker,
 };
 use crate::compute_model::{CommCosts, ComputeModel};
+use crate::transport::{make_transport, TransportKind, TransportStats};
 
 /// A distributed-training strategy from the paper's evaluation (§5.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -106,6 +107,21 @@ pub struct TimingConfig {
     /// `None` = unlimited. Useful when exploring extreme loss regimes
     /// where recovery traffic can compound.
     pub event_limit: Option<u64>,
+    /// Wire policy of every worker: reliability and congestion reaction
+    /// (`GoBack` reproduces the pre-transport behaviour bit-for-bit).
+    pub transport: TransportKind,
+    /// `Some(q)` installs a bounded egress queue (tail-drop + ECN marking)
+    /// on every edge and uplink direction. `None` keeps the legacy
+    /// infinite FIFOs.
+    pub queue: Option<EgressQueue>,
+    /// Incast workload: zeroes compute jitter so all workers flush their
+    /// gradients into the switch simultaneously — the synchronized-burst
+    /// pattern that loads egress queues hardest.
+    pub incast: bool,
+    /// Number of background cross-traffic sources sharing the switch
+    /// (star topology only). Each blasts deterministic bursts at a
+    /// dedicated sink host appended after the protocol hosts.
+    pub background_flows: usize,
     /// Seed for compute-time jitter.
     pub seed: u64,
 }
@@ -130,8 +146,45 @@ impl TimingConfig {
             threads: 1,
             edge_loss: 0.0,
             event_limit: None,
+            transport: TransportKind::GoBack,
+            queue: None,
+            incast: false,
+            background_flows: 0,
             seed: 0x5117c4,
         }
+    }
+
+    /// The paper-style incast setup: `workers` hosts on one switch with
+    /// shallow egress queues, zero compute jitter (all flushes collide),
+    /// and the given transport handling the fallout.
+    pub fn incast(algorithm: Algorithm, strategy: Strategy, transport: TransportKind) -> Self {
+        let mut cfg = TimingConfig::main_cluster(algorithm, strategy);
+        cfg.incast = true;
+        cfg.queue = Some(EgressQueue::shallow());
+        cfg.transport = transport;
+        cfg
+    }
+
+    /// Whether packets can disappear on edge links (random loss or a
+    /// bounded queue that tail-drops), i.e. whether recovery timers and
+    /// stale-round flushes must be armed.
+    pub fn lossy(&self) -> bool {
+        self.edge_loss > 0.0 || self.queue.is_some()
+    }
+
+    /// The compute model for this run: per-algorithm calibration, with
+    /// jitter zeroed under the incast workload.
+    fn compute_model(&self) -> ComputeModel {
+        let mut model = ComputeModel::for_algorithm(self.algorithm);
+        if self.incast {
+            model.jitter = 0.0;
+        }
+        model
+    }
+
+    /// The transport instance every worker of this run gets.
+    fn make_transport(&self) -> Box<dyn crate::transport::Transport> {
+        make_transport(self.transport, self.topo.edge.bandwidth_bps)
     }
 }
 
@@ -174,6 +227,11 @@ pub struct TimingResult {
     pub discard_fraction: f64,
     /// Iterations actually measured.
     pub iterations_measured: usize,
+    /// Transport activity summed over all workers: recovery traffic
+    /// (`Help`s, NACKs, retransmits) and congestion-control reactions
+    /// (ECN echoes seen, rate cuts taken).
+    #[serde(default)]
+    pub transport: TransportStats,
 }
 
 impl TimingResult {
@@ -205,7 +263,7 @@ struct RunObs {
 /// Raw engine-side counters of one timing run, captured for benchmark
 /// harnesses (`perfgate`). All fields are deterministic for a fixed
 /// [`TimingConfig`]: they come from the seeded simulation, not the host.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PerfSample {
     /// Discrete events processed by the simulator.
     pub events: u64,
@@ -395,6 +453,20 @@ fn dispatch(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResult {
         "distributed training needs at least two workers"
     );
     assert!(cfg.iterations > 0, "must measure at least one iteration");
+    assert!(
+        cfg.background_flows == 0 || (cfg.workers_per_rack.is_none() && cfg.fattree.is_none()),
+        "background flows attach to the single-switch star topology"
+    );
+    // Install the configured egress queue on the physical specs once, so
+    // every topology builder below picks it up.
+    let cfg = &{
+        let mut cfg = cfg.clone();
+        if let Some(q) = cfg.queue {
+            cfg.topo.edge.queue = Some(q);
+            cfg.topo.uplink.queue = Some(q);
+        }
+        cfg
+    };
     if let Some(shape) = cfg.fattree {
         assert_eq!(
             cfg.workers,
@@ -435,8 +507,11 @@ fn build_plain_topology(
             if let Some(s) = server_app {
                 worker_apps.push(s);
             }
+            let n_protocol = worker_apps.len();
+            append_background(&mut worker_apps, cfg);
             let star = build_star(sim, worker_apps, None, &cfg.topo);
             let mut nodes = star.hosts;
+            nodes.truncate(n_protocol);
             let server = if has_server { nodes.pop() } else { None };
             (nodes, server)
         }
@@ -467,6 +542,27 @@ fn build_plain_topology(
     }
 }
 
+/// Appends `cfg.background_flows` bursting sources plus one counting sink
+/// to a star topology's app list. Sources stagger deterministically off
+/// the run seed; the burst budget scales with the run length so the
+/// cross traffic spans the measured window yet always drains (the
+/// simulator still reaches idle).
+fn append_background(apps: &mut Vec<Box<dyn HostApp>>, cfg: &TimingConfig) {
+    if cfg.background_flows == 0 {
+        return;
+    }
+    let sink_ip = host_ip(0, apps.len() + cfg.background_flows);
+    let bursts = (cfg.warmup + cfg.iterations) as u64 * 8;
+    for j in 0..cfg.background_flows {
+        apps.push(Box::new(BackgroundFlow::source(
+            sink_ip,
+            cfg.seed.wrapping_add(j as u64),
+            bursts,
+        )));
+    }
+    apps.push(Box::new(BackgroundFlow::sink()));
+}
+
 /// The IP a host at flattened position `i` has (accounting for rack layout
 /// and the optional server slot).
 fn server_ip(cfg: &TimingConfig) -> iswitch_netsim::IpAddr {
@@ -482,12 +578,17 @@ fn collect_sync_result<T: HostApp>(
     warmup: usize,
     obs: Option<&mut RunObs>,
     log_of: impl Fn(&T) -> &crate::apps::IterLog,
+    stats_of: impl Fn(&T) -> TransportStats,
 ) -> TimingResult {
-    let logs: Vec<&crate::apps::IterLog> = workers
+    let apps: Vec<&T> = workers
         .iter()
-        .map(|&w| log_of(sim.device::<Host>(w).app::<T>()))
+        .map(|&w| sim.device::<Host>(w).app::<T>())
         .collect();
-    summarize_sync_logs(&logs, warmup, obs)
+    let logs: Vec<&crate::apps::IterLog> = apps.iter().map(|a| log_of(a)).collect();
+    let transport = apps
+        .iter()
+        .fold(TransportStats::default(), |acc, a| acc.merged(stats_of(a)));
+    summarize_sync_logs(&logs, warmup, obs, transport)
 }
 
 /// Like [`collect_sync_result`] for a sharded fat-tree: workers live in
@@ -498,12 +599,17 @@ fn collect_sync_result_sharded<T: HostApp>(
     warmup: usize,
     obs: Option<&mut RunObs>,
     log_of: impl Fn(&T) -> &crate::apps::IterLog,
+    stats_of: impl Fn(&T) -> TransportStats,
 ) -> TimingResult {
-    let logs: Vec<&crate::apps::IterLog> = ft
+    let apps: Vec<&T> = ft
         .all_hosts()
-        .map(|(d, n)| log_of(sharded.domain(d).device::<Host>(n).app::<T>()))
+        .map(|(d, n)| sharded.domain(d).device::<Host>(n).app::<T>())
         .collect();
-    summarize_sync_logs(&logs, warmup, obs)
+    let logs: Vec<&crate::apps::IterLog> = apps.iter().map(|a| log_of(a)).collect();
+    let transport = apps
+        .iter()
+        .fold(TransportStats::default(), |acc, a| acc.merged(stats_of(a)));
+    summarize_sync_logs(&logs, warmup, obs, transport)
 }
 
 /// Folds per-worker iteration logs into the mean breakdown, emitting one
@@ -512,6 +618,7 @@ fn summarize_sync_logs(
     logs: &[&crate::apps::IterLog],
     warmup: usize,
     mut obs: Option<&mut RunObs>,
+    transport: TransportStats,
 ) -> TimingResult {
     let mut spans: Vec<IterSpans> = Vec::new();
     let mut measured = 0;
@@ -548,6 +655,7 @@ fn summarize_sync_logs(
         staleness: Vec::new(),
         discard_fraction: 0.0,
         iterations_measured: measured,
+        transport,
     }
 }
 
@@ -639,22 +747,25 @@ fn emit_run_meta(cfg: &TimingConfig, obs: &mut Option<&mut RunObs>) {
 
 fn run_sync_ps(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResult {
     let bytes = model_bytes(cfg.algorithm);
-    let model = ComputeModel::for_algorithm(cfg.algorithm);
+    let model = cfg.compute_model();
     let total_iters = cfg.warmup + cfg.iterations;
     let mut sim = Simulator::new();
     attach_trace(&mut sim, &obs);
     let srv_ip = server_ip(cfg);
     let worker_apps: Vec<Box<dyn HostApp>> = (0..cfg.workers)
         .map(|w| {
-            Box::new(SyncPsWorker::new(
-                srv_ip,
-                bytes,
-                messages(cfg.algorithm),
-                total_iters,
-                model.clone(),
-                cfg.comm.clone(),
-                cfg.seed.wrapping_add(w as u64),
-            )) as Box<dyn HostApp>
+            Box::new(
+                SyncPsWorker::new(
+                    srv_ip,
+                    bytes,
+                    messages(cfg.algorithm),
+                    total_iters,
+                    model.clone(),
+                    cfg.comm.clone(),
+                    cfg.seed.wrapping_add(w as u64),
+                )
+                .with_transport(cfg.make_transport()),
+            ) as Box<dyn HostApp>
         })
         .collect();
     let worker_ips: Vec<_> = worker_ips(cfg);
@@ -669,7 +780,14 @@ fn run_sync_ps(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResult
     let (workers, _server) = build_plain_topology(&mut sim, worker_apps, Some(server), cfg);
     sim.run_until_idle();
     capture_metrics(&sim, &mut obs);
-    collect_sync_result::<SyncPsWorker>(&mut sim, &workers, cfg.warmup, obs, |a| a.log())
+    collect_sync_result::<SyncPsWorker>(
+        &mut sim,
+        &workers,
+        cfg.warmup,
+        obs,
+        |a| a.log(),
+        |a| a.transport_stats(),
+    )
 }
 
 /// Worker IPs in flattened order for the current layout.
@@ -697,30 +815,40 @@ fn worker_ips(cfg: &TimingConfig) -> Vec<iswitch_netsim::IpAddr> {
 
 fn run_sync_ar(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResult {
     let bytes = model_bytes(cfg.algorithm);
-    let model = ComputeModel::for_algorithm(cfg.algorithm);
+    let model = cfg.compute_model();
     let total_iters = cfg.warmup + cfg.iterations;
     let ips = worker_ips(cfg);
     let mut sim = Simulator::new();
     attach_trace(&mut sim, &obs);
     let worker_apps: Vec<Box<dyn HostApp>> = (0..cfg.workers)
         .map(|w| {
-            Box::new(RingWorker::new(
-                w,
-                cfg.workers,
-                ips[(w + 1) % cfg.workers],
-                bytes,
-                messages(cfg.algorithm),
-                total_iters,
-                model.clone(),
-                cfg.comm.clone(),
-                cfg.seed.wrapping_add(w as u64),
-            )) as Box<dyn HostApp>
+            Box::new(
+                RingWorker::new(
+                    w,
+                    cfg.workers,
+                    ips[(w + 1) % cfg.workers],
+                    bytes,
+                    messages(cfg.algorithm),
+                    total_iters,
+                    model.clone(),
+                    cfg.comm.clone(),
+                    cfg.seed.wrapping_add(w as u64),
+                )
+                .with_transport(cfg.make_transport()),
+            ) as Box<dyn HostApp>
         })
         .collect();
     let (workers, _) = build_plain_topology(&mut sim, worker_apps, None, cfg);
     sim.run_until_idle();
     capture_metrics(&sim, &mut obs);
-    collect_sync_result::<RingWorker>(&mut sim, &workers, cfg.warmup, obs, |a| a.log())
+    collect_sync_result::<RingWorker>(
+        &mut sim,
+        &workers,
+        cfg.warmup,
+        obs,
+        |a| a.log(),
+        |a| a.transport_stats(),
+    )
 }
 
 /// What [`build_isw_topology`] produced: the worker nodes plus the
@@ -745,7 +873,7 @@ pub(crate) fn build_isw_topology(
         if let Some(h) = cfg.threshold_override {
             ext_cfg.threshold = h;
         }
-        if cfg.edge_loss > 0.0 {
+        if cfg.lossy() {
             // Expire partial rounds stuck on a lost contribution (round
             // tags keep expired flushes from polluting newer rounds).
             let age = SimDuration::serialization(len * 4, cfg.topo.edge.bandwidth_bps)
@@ -756,13 +884,20 @@ pub(crate) fn build_isw_topology(
     };
     match cfg.workers_per_rack {
         None => {
-            let n = worker_apps.len();
+            // Child ports are the *workers* only: background hosts sit on
+            // higher ports and must stay ordinary FIB traffic, never
+            // counted toward the aggregation threshold.
+            let n = cfg.workers;
             let child_ports: Vec<PortId> = (0..n).map(PortId::new).collect();
             let ext = IswitchExtension::new(tune(ExtensionConfig::for_star(child_ports, len), cfg));
             let star = build_star(sim, worker_apps, Some(Box::new(ext)), &cfg.topo);
+            let mut workers = star.hosts;
+            workers.truncate(n);
+            let mut worker_links = star.host_links;
+            worker_links.truncate(n);
             IswTopology {
-                workers: star.hosts,
-                worker_links: star.host_links,
+                workers,
+                worker_links,
             }
         }
         Some(per_rack) => {
@@ -871,7 +1006,7 @@ fn apply_event_limit(sim: &mut Simulator, cfg: &TimingConfig) {
 
 fn run_sync_isw(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResult {
     let len = grad_len(cfg.algorithm);
-    let model = ComputeModel::for_algorithm(cfg.algorithm);
+    let model = cfg.compute_model();
     let total_iters = cfg.warmup + cfg.iterations;
     let mut cfg = cfg.clone();
     // Loss recovery: retry somewhat after a full round would normally
@@ -889,7 +1024,7 @@ fn run_sync_isw(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResul
     let mut sim = Simulator::new();
     attach_trace(&mut sim, &obs);
     apply_event_limit(&mut sim, &cfg);
-    let worker_apps: Vec<Box<dyn HostApp>> = (0..cfg.workers)
+    let mut worker_apps: Vec<Box<dyn HostApp>> = (0..cfg.workers)
         .map(|w| {
             let mut worker = IswSyncWorker::new(
                 len,
@@ -898,17 +1033,26 @@ fn run_sync_isw(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResul
                 model.clone(),
                 cfg.comm.clone(),
                 cfg.seed.wrapping_add(w as u64),
-            );
-            if cfg.edge_loss > 0.0 {
+            )
+            .with_transport(cfg.make_transport());
+            if cfg.lossy() {
                 worker = worker.with_help_timeout(help_timeout);
             }
             Box::new(worker) as Box<dyn HostApp>
         })
         .collect();
+    append_background(&mut worker_apps, &cfg);
     let workers = build_isw_topology(&mut sim, worker_apps, &cfg, len).workers;
     sim.run_until_idle();
     capture_metrics(&sim, &mut obs);
-    collect_sync_result::<IswSyncWorker>(&mut sim, &workers, cfg.warmup, obs, |a| a.log())
+    collect_sync_result::<IswSyncWorker>(
+        &mut sim,
+        &workers,
+        cfg.warmup,
+        obs,
+        |a| a.log(),
+        |a| a.transport_stats(),
+    )
 }
 
 /// The AGG↔Core links of the sharded fat-tree: uplink bandwidth with the
@@ -929,7 +1073,7 @@ fn core_uplink_spec(topo: &TopologyConfig) -> LinkSpec {
 fn run_sync_isw_sharded(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResult {
     let shape = cfg.fattree.expect("sharded runs carry a fat-tree shape");
     let len = grad_len(cfg.algorithm);
-    let model = ComputeModel::for_algorithm(cfg.algorithm);
+    let model = cfg.compute_model();
     let total_iters = cfg.warmup + cfg.iterations;
     let mut cfg = cfg.clone();
     let help_timeout = SimDuration::serialization(len * 4, cfg.topo.edge.bandwidth_bps) * 3
@@ -950,8 +1094,9 @@ fn run_sync_isw_sharded(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> Tim
                 model.clone(),
                 cfg.comm.clone(),
                 cfg.seed.wrapping_add(w as u64),
-            );
-            if cfg.edge_loss > 0.0 {
+            )
+            .with_transport(cfg.make_transport());
+            if cfg.lossy() {
                 worker = worker.with_help_timeout(help_timeout);
             }
             Box::new(worker) as Box<dyn HostApp>
@@ -969,7 +1114,7 @@ fn run_sync_isw_sharded(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> Tim
     drop(rest);
     let tune = |mut ext_cfg: ExtensionConfig| {
         ext_cfg.mode = cfg.aggregation_mode;
-        if cfg.edge_loss > 0.0 {
+        if cfg.lossy() {
             let age = SimDuration::serialization(len * 4, cfg.topo.edge.bandwidth_bps)
                 + SimDuration::from_millis(2);
             ext_cfg.stale_flush = Some(age);
@@ -1016,7 +1161,14 @@ fn run_sync_isw_sharded(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> Tim
     }
     sharded.run(cfg.threads);
     capture_metrics_sharded(&sharded, &mut obs);
-    collect_sync_result_sharded::<IswSyncWorker>(&sharded, &ft, cfg.warmup, obs, |a| a.log())
+    collect_sync_result_sharded::<IswSyncWorker>(
+        &sharded,
+        &ft,
+        cfg.warmup,
+        obs,
+        |a| a.log(),
+        |a| a.transport_stats(),
+    )
 }
 
 /// Mean interval between consecutive update timestamps after warmup.
@@ -1068,21 +1220,24 @@ fn trace_updates(obs: &mut Option<&mut RunObs>, times: &[SimTime], warmup: usize
 
 fn run_async_ps(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResult {
     let bytes = model_bytes(cfg.algorithm);
-    let model = ComputeModel::for_algorithm(cfg.algorithm);
+    let model = cfg.compute_model();
     let mut sim = Simulator::new();
     attach_trace(&mut sim, &obs);
     let srv_ip = server_ip(cfg);
     let worker_apps: Vec<Box<dyn HostApp>> = (0..cfg.workers)
         .map(|w| {
-            Box::new(AsyncPsWorker::new(
-                srv_ip,
-                bytes,
-                messages(cfg.algorithm),
-                model.clone(),
-                cfg.comm.clone(),
-                cfg.seed.wrapping_add(w as u64),
-                None,
-            )) as Box<dyn HostApp>
+            Box::new(
+                AsyncPsWorker::new(
+                    srv_ip,
+                    bytes,
+                    messages(cfg.algorithm),
+                    model.clone(),
+                    cfg.comm.clone(),
+                    cfg.seed.wrapping_add(w as u64),
+                    None,
+                )
+                .with_transport(cfg.make_transport()),
+            ) as Box<dyn HostApp>
         })
         .collect();
     let server = Box::new(AsyncPsServer::new(
@@ -1093,7 +1248,7 @@ fn run_async_ps(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResul
         cfg.staleness_bound,
         cfg.seed.wrapping_add(0xFF),
     ));
-    let (_workers, server_node) = build_plain_topology(&mut sim, worker_apps, Some(server), cfg);
+    let (workers, server_node) = build_plain_topology(&mut sim, worker_apps, Some(server), cfg);
     let server_node = server_node.expect("async PS has a server");
     let target = cfg.warmup + cfg.iterations + 1;
     run_async_until(&mut sim, target, |sim| {
@@ -1103,10 +1258,17 @@ fn run_async_ps(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResul
             .len()
     });
     capture_metrics(&sim, &mut obs);
+    let transport = workers.iter().fold(TransportStats::default(), |acc, &w| {
+        acc.merged(
+            sim.device::<Host>(w)
+                .app::<AsyncPsWorker>()
+                .transport_stats(),
+        )
+    });
     let app = sim.device::<Host>(server_node).app::<AsyncPsServer>();
     trace_updates(&mut obs, &app.update_times, cfg.warmup);
     let (per_iteration, measured) = mean_update_interval(&app.update_times, cfg.warmup);
-    let pushed = app.staleness.len() as f64 + app.discarded as f64;
+    let pushed = app.staleness().len() as f64 + app.discarded() as f64;
     TimingResult {
         per_iteration,
         breakdown: Breakdown {
@@ -1114,34 +1276,39 @@ fn run_async_ps(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResul
             aggregation: per_iteration,
             update: SimDuration::ZERO,
         },
-        staleness: app.staleness.clone(),
+        staleness: app.staleness().to_vec(),
         discard_fraction: if pushed > 0.0 {
-            app.discarded as f64 / pushed
+            app.discarded() as f64 / pushed
         } else {
             0.0
         },
         iterations_measured: measured,
+        transport,
     }
 }
 
 fn run_async_isw(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResult {
     let len = grad_len(cfg.algorithm);
-    let model = ComputeModel::for_algorithm(cfg.algorithm);
+    let model = cfg.compute_model();
     let mut sim = Simulator::new();
     attach_trace(&mut sim, &obs);
-    let worker_apps: Vec<Box<dyn HostApp>> = (0..cfg.workers)
+    let mut worker_apps: Vec<Box<dyn HostApp>> = (0..cfg.workers)
         .map(|w| {
-            Box::new(IswAsyncWorker::new(
-                len,
-                messages(cfg.algorithm),
-                model.clone(),
-                cfg.comm.clone(),
-                cfg.staleness_bound,
-                cfg.seed.wrapping_add(w as u64),
-                None,
-            )) as Box<dyn HostApp>
+            Box::new(
+                IswAsyncWorker::new(
+                    len,
+                    messages(cfg.algorithm),
+                    model.clone(),
+                    cfg.comm.clone(),
+                    cfg.staleness_bound,
+                    cfg.seed.wrapping_add(w as u64),
+                    None,
+                )
+                .with_transport(cfg.make_transport()),
+            ) as Box<dyn HostApp>
         })
         .collect();
+    append_background(&mut worker_apps, cfg);
     let workers = build_isw_topology(&mut sim, worker_apps, cfg, len).workers;
     let probe = workers[0];
     let target = cfg.warmup + cfg.iterations + 1;
@@ -1153,8 +1320,11 @@ fn run_async_isw(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResu
     });
     capture_metrics(&sim, &mut obs);
     let mut staleness = Vec::new();
+    let mut transport = TransportStats::default();
     for &w in &workers {
-        staleness.extend_from_slice(sim.device::<Host>(w).app::<IswAsyncWorker>().staleness());
+        let app = sim.device::<Host>(w).app::<IswAsyncWorker>();
+        staleness.extend_from_slice(app.staleness());
+        transport = transport.merged(app.transport_stats());
     }
     let app = sim.device::<Host>(probe).app::<IswAsyncWorker>();
     trace_updates(&mut obs, app.update_times(), cfg.warmup);
@@ -1169,6 +1339,7 @@ fn run_async_isw(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResu
         staleness,
         discard_fraction: 0.0,
         iterations_measured: measured,
+        transport,
     }
 }
 
@@ -1429,5 +1600,97 @@ mod tests {
         assert_eq!(rack_sizes(12, 3), vec![3, 3, 3, 3]);
         assert_eq!(rack_sizes(7, 3), vec![3, 3, 1]);
         assert_eq!(rack_sizes(2, 3), vec![2]);
+    }
+
+    #[test]
+    fn incast_completes_under_every_transport() {
+        // The incast workload (zero jitter, shallow egress queues) must
+        // finish every iteration under each reliability scheme, and each
+        // run must be deterministic: the same config twice yields a
+        // byte-identical performance sample.
+        for kind in TransportKind::ALL {
+            let mut cfg = TimingConfig::incast(Algorithm::Ppo, Strategy::SyncIsw, kind);
+            cfg.iterations = 4;
+            cfg.warmup = 1;
+            let (result, perf) = run_timing_perf(&cfg);
+            assert!(
+                result.per_iteration > SimDuration::ZERO,
+                "{kind}: incast round never completed"
+            );
+            assert_eq!(
+                result.iterations_measured,
+                cfg.iterations * cfg.workers,
+                "{kind}: lost iterations under incast"
+            );
+            let (_, perf2) = run_timing_perf(&cfg);
+            assert_eq!(perf, perf2, "{kind}: incast run is not deterministic");
+        }
+    }
+
+    #[test]
+    fn ecn_marks_fire_under_incast_queues() {
+        // H workers flushing simultaneously into one shallow egress queue
+        // must push occupancy past the ECN threshold: the switch echoes CE
+        // marks onto the result path and DCQCN's rate controller reacts.
+        let mut cfg = TimingConfig::incast(Algorithm::Ppo, Strategy::SyncIsw, TransportKind::Dcqcn);
+        cfg.iterations = 4;
+        cfg.warmup = 1;
+        let r = run_timing(&cfg);
+        assert!(
+            r.transport.ecn_echoes > 0,
+            "incast onto a shallow queue should produce CE echoes"
+        );
+        assert!(
+            r.transport.rate_cuts > 0,
+            "DCQCN must cut its rate on CE echoes"
+        );
+    }
+
+    #[test]
+    fn background_flows_share_links_without_breaking_aggregation() {
+        // Cross traffic loads the shared egress links but must never be
+        // counted toward the aggregation threshold; the protocol still
+        // completes every iteration, only slower (or equal) than unloaded.
+        let mut clean = quick(Algorithm::Ppo, Strategy::SyncIsw);
+        clean.iterations = 4;
+        clean.warmup = 1;
+        let unloaded = run_timing(&clean);
+
+        let mut cfg = clean.clone();
+        cfg.background_flows = 2;
+        let loaded = run_timing(&cfg);
+        assert_eq!(loaded.iterations_measured, unloaded.iterations_measured);
+        assert!(
+            loaded.per_iteration >= unloaded.per_iteration,
+            "cross traffic cannot speed the protocol up: {} < {}",
+            loaded.per_iteration,
+            unloaded.per_iteration
+        );
+    }
+
+    #[test]
+    fn incast_is_thread_count_invariant() {
+        // The sharded engine with egress queues: occupancy is computed
+        // from sender-side backlog, so the incast workload must stay
+        // byte-identical across worker thread counts.
+        let shape = FattreeShape {
+            aggs: 2,
+            racks_per_agg: 2,
+            hosts_per_rack: 2,
+        };
+        for kind in TransportKind::ALL {
+            let mut cfg = TimingConfig::incast(Algorithm::Ppo, Strategy::SyncIsw, kind);
+            cfg.workers = shape.workers();
+            cfg.fattree = Some(shape);
+            cfg.iterations = 3;
+            cfg.warmup = 1;
+            let mut samples = Vec::new();
+            for threads in [1, 2, 4] {
+                cfg.threads = threads;
+                samples.push(run_timing_perf(&cfg).1);
+            }
+            assert_eq!(samples[0], samples[1], "{kind}: threads=1 vs threads=2");
+            assert_eq!(samples[0], samples[2], "{kind}: threads=1 vs threads=4");
+        }
     }
 }

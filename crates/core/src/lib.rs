@@ -51,8 +51,8 @@ pub use accelerator::{Accelerator, AcceleratorConfig, AcceleratorStats, Resource
 pub use control_plane::{Member, MemberType, MembershipTable};
 pub use error::ProtocolError;
 pub use protocol::{
-    is_iswitch_tos, num_quant_segments, num_segments, quantize_gradient, seg_index, seg_round,
-    segment_gradient, segment_gradient_round, tag_round, ControlMessage, DataSegment,
+    dscp, is_iswitch_tos, num_quant_segments, num_segments, quantize_gradient, seg_index,
+    seg_round, segment_gradient, segment_gradient_round, tag_round, ControlMessage, DataSegment,
     GradientAssembler, QuantAccelerator, QuantConfig, QuantSegment, RoundAssembler, RoundInsert,
     SegmentMeta, FLOATS_PER_SEGMENT, INTS_PER_SEGMENT, ISWITCH_UDP_PORT, MAX_SEG_INDEX,
     ROUND_SHIFT, SEG_HEADER_BYTES, TOS_CONTROL, TOS_DATA,

@@ -17,4 +17,4 @@ pub use quant::{
     num_quant_segments, quantize_gradient, QuantAccelerator, QuantConfig, QuantSegment,
     INTS_PER_SEGMENT,
 };
-pub use tos::{is_iswitch_tos, ISWITCH_UDP_PORT, TOS_CONTROL, TOS_DATA};
+pub use tos::{dscp, is_iswitch_tos, ISWITCH_UDP_PORT, TOS_CONTROL, TOS_DATA};

@@ -15,9 +15,20 @@ pub const TOS_DATA: u8 = 0xBC;
 /// Fig. 9, which registers workers at port 9999).
 pub const ISWITCH_UDP_PORT: u16 = 9999;
 
-/// Whether a ToS value belongs to the iSwitch protocol at all.
+/// The DiffServ bits of a ToS byte: the low two ECN bits masked off.
+///
+/// Egress queues rewrite the ECN field in flight (congestion marking), so
+/// every protocol classification on ToS must compare through this — both
+/// reserved iSwitch values keep their ECN bits clear, making the tags
+/// ECN-transparent.
+pub fn dscp(tos: u8) -> u8 {
+    tos & !iswitch_netsim::ECN_MASK
+}
+
+/// Whether a ToS value belongs to the iSwitch protocol at all, ignoring
+/// in-flight ECN marks.
 pub fn is_iswitch_tos(tos: u8) -> bool {
-    tos == TOS_CONTROL || tos == TOS_DATA
+    dscp(tos) == TOS_CONTROL || dscp(tos) == TOS_DATA
 }
 
 #[cfg(test)]
@@ -31,5 +42,16 @@ mod tests {
         assert!(is_iswitch_tos(TOS_DATA));
         assert!(!is_iswitch_tos(0));
         assert!(!is_iswitch_tos(0x10));
+    }
+
+    #[test]
+    fn classification_is_ecn_transparent() {
+        // Both reserved values keep their ECN bits clear, so a CE-marked
+        // packet still classifies as the same protocol tag.
+        assert_eq!(TOS_CONTROL & iswitch_netsim::ECN_MASK, 0);
+        assert_eq!(TOS_DATA & iswitch_netsim::ECN_MASK, 0);
+        assert!(is_iswitch_tos(TOS_DATA | iswitch_netsim::ECN_CE));
+        assert_eq!(dscp(TOS_DATA | iswitch_netsim::ECN_CE), TOS_DATA);
+        assert_eq!(dscp(0x03), 0);
     }
 }

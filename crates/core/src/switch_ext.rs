@@ -17,7 +17,7 @@
 //!   fanned out to the children.
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use iswitch_netsim::{
@@ -28,8 +28,8 @@ use iswitch_obs::{Counter, Histogram, Registry, Span, TraceEvent};
 use crate::accelerator::{Accelerator, AcceleratorConfig};
 use crate::control_plane::{Member, MemberType, MembershipTable};
 use crate::protocol::{
-    num_segments, seg_index, seg_round, ControlMessage, DataSegment, ISWITCH_UDP_PORT, TOS_CONTROL,
-    TOS_DATA,
+    dscp, num_segments, seg_index, seg_round, ControlMessage, DataSegment, ISWITCH_UDP_PORT,
+    TOS_CONTROL, TOS_DATA,
 };
 
 /// Destination IP carried by downward result broadcasts. Worker apps accept
@@ -176,11 +176,14 @@ pub struct ExtensionStats {
     pub passed_through: u64,
     /// Injected accelerator restarts ([`FAULT_RESET_TOKEN`]).
     pub fault_resets: u64,
+    /// Result emissions that carried an echoed ECN-CE mark (some
+    /// contribution to the segment round arrived CE-marked).
+    pub ecn_echoed: u64,
 }
 
 enum PendingEmit {
-    Broadcast(DataSegment),
-    Upward(DataSegment),
+    Broadcast { seg: DataSegment, ce: bool },
+    Upward { seg: DataSegment, ce: bool },
     HelpReply { seg: DataSegment, to: IpAddr },
 }
 
@@ -255,9 +258,15 @@ pub struct IswitchExtension {
     last_arrival: HashMap<usize, SimTime>,
     sweep_armed: bool,
     /// Completed segments held back in store-and-forward mode until the
-    /// whole round is resident.
-    held: Vec<DataSegment>,
+    /// whole round is resident, with their echoed-CE flag.
+    held: Vec<(DataSegment, bool)>,
     stats: ExtensionStats,
+    /// Segment rounds that saw at least one CE-marked contribution; the
+    /// mark is echoed onto the round's result emission (the congestion
+    /// feedback leg of DCQCN: senders learn of queue build-up from the
+    /// aggregate coming back). Only inserted/removed by segment index, so
+    /// iteration order never matters.
+    ecn_seen: HashSet<usize>,
     /// First contribution time of each in-flight segment round, for the
     /// aggregation-latency histogram.
     round_open: HashMap<usize, SimTime>,
@@ -292,6 +301,7 @@ impl IswitchExtension {
             sweep_armed: false,
             held: Vec::new(),
             stats: ExtensionStats::default(),
+            ecn_seen: HashSet::new(),
             round_open: HashMap::new(),
             obs: None,
         }
@@ -331,8 +341,12 @@ impl IswitchExtension {
         crate::worker::data_packet(self.cfg.switch_ip, dst, seg)
     }
 
-    fn broadcast_down(&mut self, sw: &mut SwitchServices<'_, '_>, seg: &DataSegment) {
-        let pkt = self.data_packet(RESULT_BROADCAST_IP, seg);
+    fn broadcast_down(&mut self, sw: &mut SwitchServices<'_, '_>, seg: &DataSegment, ce: bool) {
+        let mut pkt = self.data_packet(RESULT_BROADCAST_IP, seg);
+        if ce {
+            pkt.mark_ecn_ce();
+            self.stats.ecn_echoed += 1;
+        }
         self.fanout_down(sw, pkt);
     }
 
@@ -361,16 +375,19 @@ impl IswitchExtension {
         seg: DataSegment,
         delay: SimDuration,
     ) {
+        // Consume the round's congestion mark: it rides out on exactly the
+        // emission that closes the round.
+        let ce = self.ecn_seen.remove(&(seg.seg as usize));
         match self.cfg.mode {
             AggregationMode::OnTheFly => {
                 let emit = match self.cfg.role {
-                    AggregationRole::Root => PendingEmit::Broadcast(seg),
-                    AggregationRole::Intermediate { .. } => PendingEmit::Upward(seg),
+                    AggregationRole::Root => PendingEmit::Broadcast { seg, ce },
+                    AggregationRole::Intermediate { .. } => PendingEmit::Upward { seg, ce },
                 };
                 self.schedule(sw, delay, emit);
             }
             AggregationMode::StoreAndForward => {
-                self.held.push(seg);
+                self.held.push((seg, ce));
                 if self.held.len() == self.accel.num_segments() {
                     // The conventional scheme only starts summing once all
                     // vectors are resident: charge one pass of every packet
@@ -380,10 +397,10 @@ impl IswitchExtension {
                         * u64::from(self.accel.threshold())
                         * per_packet.as_nanos();
                     let mut when = SimDuration::from_nanos(total);
-                    for seg in std::mem::take(&mut self.held) {
+                    for (seg, ce) in std::mem::take(&mut self.held) {
                         let emit = match self.cfg.role {
-                            AggregationRole::Root => PendingEmit::Broadcast(seg),
-                            AggregationRole::Intermediate { .. } => PendingEmit::Upward(seg),
+                            AggregationRole::Root => PendingEmit::Broadcast { seg, ce },
+                            AggregationRole::Intermediate { .. } => PendingEmit::Upward { seg, ce },
                         };
                         self.schedule(sw, when, emit);
                         when += per_packet;
@@ -401,12 +418,18 @@ impl IswitchExtension {
                 // so relay it zero-copy instead of decode + re-encode.
                 let meta = DataSegment::decode_meta(&pkt.payload)
                     .expect("malformed result packet from parent switch");
-                let relay = crate::worker::data_packet_wire(
+                let mut relay = crate::worker::data_packet_wire(
                     self.cfg.switch_ip,
                     RESULT_BROADCAST_IP,
                     meta,
                     pkt.payload.clone(),
                 );
+                // Congestion marks on the result path survive the relay so
+                // workers two hops down still see them.
+                if pkt.ecn_ce() {
+                    relay.mark_ecn_ce();
+                    self.stats.ecn_echoed += 1;
+                }
                 self.fanout_down(sw, relay);
                 return;
             }
@@ -417,6 +440,9 @@ impl IswitchExtension {
             Err(_) => return,
         };
         let idx = meta.seg as usize;
+        if pkt.ecn_ce() {
+            self.ecn_seen.insert(idx);
+        }
         let now = sw.now();
         self.round_open.entry(idx).or_insert(now);
         let (done, latency) = self.accel.ingest_wire(meta, &pkt.payload);
@@ -557,6 +583,7 @@ impl IswitchExtension {
             ControlMessage::Reset => {
                 self.accel.reset();
                 self.round_open.clear();
+                self.ecn_seen.clear();
                 self.ack(sw, from, code, true);
             }
             ControlMessage::SetH { h } => {
@@ -643,7 +670,9 @@ impl SwitchExtension for IswitchExtension {
         in_port: PortId,
         pkt: Packet,
     ) -> ExtAction {
-        match pkt.ip.tos {
+        // Classification ignores the ECN bits: an egress queue may have
+        // CE-marked the packet in flight without changing its protocol tag.
+        match dscp(pkt.ip.tos) {
             TOS_DATA => {
                 self.handle_data(sw, in_port, &pkt);
                 ExtAction::Consumed
@@ -671,6 +700,7 @@ impl SwitchExtension for IswitchExtension {
             self.last_arrival.clear();
             self.held.clear();
             self.pending.clear();
+            self.ecn_seen.clear();
             // `sweep_armed` stays as-is: an in-flight sweep timer cannot be
             // recalled, and letting it run keeps a single sweep chain alive.
             self.stats.fault_resets += 1;
@@ -686,12 +716,16 @@ impl SwitchExtension for IswitchExtension {
             return;
         };
         match emit {
-            PendingEmit::Broadcast(seg) => self.broadcast_down(sw, &seg),
-            PendingEmit::Upward(seg) => {
+            PendingEmit::Broadcast { seg, ce } => self.broadcast_down(sw, &seg, ce),
+            PendingEmit::Upward { seg, ce } => {
                 let AggregationRole::Intermediate { uplink } = self.cfg.role else {
                     unreachable!("upward emission only scheduled on intermediates");
                 };
-                let pkt = self.data_packet(UPSTREAM_IP, &seg);
+                let mut pkt = self.data_packet(UPSTREAM_IP, &seg);
+                if ce {
+                    pkt.mark_ecn_ce();
+                    self.stats.ecn_echoed += 1;
+                }
                 sw.send_port(uplink, pkt);
                 self.stats.upward_forwards += 1;
                 self.obs(sw).upward_forwards.inc();

@@ -5,8 +5,8 @@ use bytes::Bytes;
 use iswitch_netsim::{CausalKey, IpAddr, Packet};
 
 use crate::protocol::{
-    encode_segment, seg_index, seg_round, tag_round, ControlMessage, DataSegment, SegmentMeta,
-    FLOATS_PER_SEGMENT, ISWITCH_UDP_PORT, SEG_HEADER_BYTES, TOS_CONTROL, TOS_DATA,
+    dscp, encode_segment, seg_index, seg_round, tag_round, ControlMessage, DataSegment,
+    SegmentMeta, FLOATS_PER_SEGMENT, ISWITCH_UDP_PORT, SEG_HEADER_BYTES, TOS_CONTROL, TOS_DATA,
 };
 use crate::switch_ext::UPSTREAM_IP;
 
@@ -127,7 +127,7 @@ pub fn control_packet(src: IpAddr, dst: IpAddr, msg: &ControlMessage) -> Packet 
 /// Parses an iSwitch data packet, returning `None` for anything else
 /// (wrong ToS or malformed payload).
 pub fn decode_data(pkt: &Packet) -> Option<DataSegment> {
-    if pkt.ip.tos != TOS_DATA {
+    if dscp(pkt.ip.tos) != TOS_DATA {
         return None;
     }
     DataSegment::decode(&pkt.payload).ok()
@@ -137,7 +137,7 @@ pub fn decode_data(pkt: &Packet) -> Option<DataSegment> {
 /// consumers that do not need the values materialized (arrival bookkeeping,
 /// [`crate::Accelerator::ingest_wire`]).
 pub fn decode_data_meta(pkt: &Packet) -> Option<SegmentMeta> {
-    if pkt.ip.tos != TOS_DATA {
+    if dscp(pkt.ip.tos) != TOS_DATA {
         return None;
     }
     DataSegment::decode_meta(&pkt.payload).ok()
@@ -145,7 +145,7 @@ pub fn decode_data_meta(pkt: &Packet) -> Option<SegmentMeta> {
 
 /// Parses an iSwitch control packet, returning `None` for anything else.
 pub fn decode_control(pkt: &Packet) -> Option<ControlMessage> {
-    if pkt.ip.tos != TOS_CONTROL {
+    if dscp(pkt.ip.tos) != TOS_CONTROL {
         return None;
     }
     ControlMessage::decode(&pkt.payload).ok()

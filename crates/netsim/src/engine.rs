@@ -61,6 +61,13 @@ pub struct NodeOpts {
     /// Per-packet receive-side latency (host stack, or switch forwarding
     /// latency) added between wire arrival and the `on_packet` callback.
     pub rx_overhead: SimDuration,
+    /// This node's own egress never tail-drops: a bounded
+    /// [`crate::EgressQueue`] on an attached link still ECN-marks above its
+    /// threshold, but over-capacity packets queue instead of dropping.
+    /// Models a *host* NIC — the transmit ring backpressures the
+    /// application (which owns the data and simply waits), whereas a
+    /// switch port must discard what its buffer cannot hold.
+    pub backpressured: bool,
 }
 
 impl NodeOpts {
@@ -70,6 +77,7 @@ impl NodeOpts {
             label: label.into(),
             tx_overhead: SimDuration::ZERO,
             rx_overhead: SimDuration::ZERO,
+            backpressured: false,
         }
     }
 
@@ -82,6 +90,13 @@ impl NodeOpts {
     /// Sets the receive-side per-packet overhead.
     pub fn with_rx_overhead(mut self, d: SimDuration) -> Self {
         self.rx_overhead = d;
+        self
+    }
+
+    /// Marks this node's egress as backpressured (host semantics): bounded
+    /// queues on attached links ECN-mark but never tail-drop its sends.
+    pub fn with_backpressure(mut self) -> Self {
+        self.backpressured = true;
         self
     }
 }
@@ -179,7 +194,7 @@ impl SimCore {
 
     /// Transmits a packet out of `port` of `node`, modelling FIFO
     /// serialization on the attached link plus sender/receiver overheads.
-    fn transmit(&mut self, node: NodeId, port: PortId, pkt: Packet) {
+    fn transmit(&mut self, node: NodeId, port: PortId, mut pkt: Packet) {
         let ports = &self.node_ports[node.index()];
         let Some(&(link_id, dir)) = ports.get(port.index()) else {
             panic!(
@@ -207,6 +222,39 @@ impl SimCore {
             }
             return;
         }
+        if let Some(q) = link.queue {
+            // Bounded egress: occupancy is the committed backlog in bytes.
+            // Both checks run before any link state mutates, so a
+            // tail-dropped packet consumes neither serialization time nor a
+            // loss-model sequence number. A backpressured transmitter
+            // (host semantics) is exempt from the capacity drop — its
+            // over-budget packets queue behind the NIC — but still takes
+            // the ECN mark, which is what lets a host-side burst signal
+            // congestion without losing its own data.
+            let queued = link.queued_bytes(dir, self.now);
+            if !self.node_opts[node.index()].backpressured
+                && queued + wire as u64 > q.capacity_bytes
+            {
+                self.stats.packets_sent += 1;
+                self.stats.packets_dropped += 1;
+                self.stats.packets_dropped_queue += 1;
+                self.obs.links[link_id.index()][dir].drops.inc();
+                self.flows.record_drop(pkt.ip.src, pkt.ip.dst);
+                if let Some(ev) = self.pkt_event("pkt.drop", &pkt) {
+                    self.record(
+                        ev.with_u64("link", link_id.index() as u64)
+                            .with_u64("queued_bytes", queued)
+                            .with_str("reason", "queue_full"),
+                    );
+                }
+                return;
+            }
+            if queued >= q.ecn_threshold_bytes {
+                pkt.mark_ecn_ce();
+                self.stats.packets_ecn_marked += 1;
+            }
+        }
+        let link = &mut self.links[link_id.index()];
         let ser = SimDuration::serialization(wire, link.bandwidth_bps);
         let start = link.busy_until[dir].max(self.now);
         let depart = start + tx_over + ser;
@@ -1341,6 +1389,138 @@ mod tests {
             events[0].field("reason").and_then(|v| v.as_str()),
             Some("loss")
         );
+    }
+
+    /// Sends `n` 1000-byte packets back to back at time zero.
+    struct Burst {
+        n: usize,
+    }
+    impl Device for Burst {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            for _ in 0..self.n {
+                let pkt = Packet::udp(IpAddr::new(10, 0, 0, 1), IpAddr::new(10, 0, 0, 2), 9, 9, 0)
+                    .with_payload(vec![0u8; 1000]);
+                ctx.send(PortId(0), pkt);
+            }
+        }
+        fn on_packet(&mut self, _: &mut Context<'_>, _: PortId, _: Packet) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Records each arrival's time and ECN-CE bit.
+    struct MarkSink {
+        got: Vec<(SimTime, bool)>,
+    }
+    impl Device for MarkSink {
+        fn on_packet(&mut self, ctx: &mut Context<'_>, _: PortId, pkt: Packet) {
+            self.got.push((ctx.now(), pkt.ecn_ce()));
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn burst_sim(n: usize, spec: &LinkSpec) -> (Simulator, NodeId) {
+        let mut sim = Simulator::new();
+        let b = sim.add_node(Box::new(Burst { n }), NodeOpts::new("burst"));
+        let s = sim.add_node(Box::new(MarkSink { got: vec![] }), NodeOpts::new("sink"));
+        sim.connect(b, s, spec);
+        (sim, s)
+    }
+
+    #[test]
+    fn egress_queue_tail_drops_and_marks() {
+        // 1000-byte payloads occupy 1066 wire bytes. With a 3000-byte queue
+        // a burst of five admits two (0 and ~1066 bytes queued) and
+        // tail-drops three; the 1000-byte ECN threshold marks only the
+        // second admitted packet.
+        let spec = LinkSpec::ten_gbe().with_queue(crate::link::EgressQueue::new(3_000, 1_000));
+        let (mut sim, s) = burst_sim(5, &spec);
+        sim.run_until_idle();
+        let got = &sim.device::<MarkSink>(s).got;
+        assert_eq!(got.len(), 2);
+        assert!(!got[0].1, "first packet sees an empty queue");
+        assert!(got[1].1, "second packet queues past the ECN threshold");
+        assert_eq!(sim.stats().packets_dropped, 3);
+        assert_eq!(sim.stats().packets_dropped_queue, 3);
+        assert_eq!(sim.stats().packets_ecn_marked, 1);
+        assert_eq!(sim.stats().packets_sent, 5);
+    }
+
+    #[test]
+    fn queue_drops_consume_no_loss_model_sequence() {
+        // A tail-dropped packet never reaches the wire, so it must not
+        // advance the loss model's sequence counter: with Exact{drops:[1]}
+        // the second *admitted* packet is the one lost.
+        let spec = LinkSpec::ten_gbe()
+            .with_queue(crate::link::EgressQueue::new(3_000, 3_000))
+            .with_loss(crate::link::LossModel::Exact { drops: vec![1] });
+        let (mut sim, s) = burst_sim(5, &spec);
+        sim.run_until_idle();
+        // Five sent: two admitted by the queue, of which seq 1 is dropped
+        // by the loss model.
+        assert_eq!(sim.stats().packets_dropped_queue, 3);
+        assert_eq!(sim.stats().packets_dropped, 4);
+        assert_eq!(sim.device::<MarkSink>(s).got.len(), 1);
+    }
+
+    #[test]
+    fn unqueued_links_never_mark_or_queue_drop() {
+        let (mut sim, s) = burst_sim(5, &LinkSpec::ten_gbe());
+        sim.run_until_idle();
+        assert_eq!(sim.device::<MarkSink>(s).got.len(), 5);
+        assert!(sim.device::<MarkSink>(s).got.iter().all(|(_, ce)| !ce));
+        assert_eq!(sim.stats().packets_dropped_queue, 0);
+        assert_eq!(sim.stats().packets_ecn_marked, 0);
+    }
+
+    #[test]
+    fn exact_loss_installed_mid_run_hits_absolute_seqs_only() {
+        // Regression for the fault-plan path: sends at 0, 10, ..., 90 µs
+        // (seqs 0..10); at 45 µs — after five packets have flowed — an
+        // `Exact` model listing {2 (already past), 5, 7} is installed. The
+        // cursor must not race the live counter: exactly seqs 5 and 7 drop.
+        let mut sim = Simulator::new();
+        let d = sim.add_node(
+            Box::new(Drip {
+                n: 10,
+                period: SimDuration::from_micros(10),
+                sent: 0,
+            }),
+            NodeOpts::new("drip"),
+        );
+        let s = sim.add_node(Box::new(MarkSink { got: vec![] }), NodeOpts::new("sink"));
+        let (link, _, _) = sim.connect(d, s, &LinkSpec::ten_gbe());
+        sim.schedule_fault(
+            SimTime::from_nanos(45_000),
+            crate::fault::FaultAction::SetLinkLoss {
+                link,
+                loss: crate::link::LossModel::Exact {
+                    drops: vec![7, 2, 5],
+                },
+            },
+        );
+        sim.run_until_idle();
+        let got = &sim.device::<MarkSink>(s).got;
+        assert_eq!(got.len(), 8);
+        assert_eq!(sim.stats().packets_dropped, 2);
+        // Arrival times identify the survivors: send i leaves at 10i µs and
+        // every packet sees an idle link, so arrivals are send-time shifted
+        // by one fixed pipeline delay.
+        let pipeline = got[0].0.saturating_duration_since(SimTime::ZERO);
+        let survivors: Vec<u64> = got
+            .iter()
+            .map(|(at, _)| (at.as_nanos() - pipeline.as_nanos()) / 10_000)
+            .collect();
+        assert_eq!(survivors, vec![0, 1, 2, 3, 4, 6, 8, 9]);
     }
 
     #[test]

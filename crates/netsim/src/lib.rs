@@ -70,10 +70,10 @@ pub use engine::{Context, Device, NodeOpts, Simulator};
 pub use fault::{FaultAction, FaultEvent, FaultPlan};
 pub use host::{Host, HostApp, HostCtx};
 pub use ids::{LinkId, NodeId, PortId, TimerId};
-pub use link::{LinkSpec, LossModel};
+pub use link::{EgressQueue, LinkSpec, LossModel};
 pub use packet::{
-    CausalKey, IpAddr, Ipv4Header, Packet, UdpHeader, ETH_OVERHEAD, ETH_PREAMBLE_IFG, IPV4_HEADER,
-    MAX_FRAME, MAX_UDP_PAYLOAD, UDP_HEADER,
+    CausalKey, IpAddr, Ipv4Header, Packet, UdpHeader, ECN_CE, ECN_MASK, ETH_OVERHEAD,
+    ETH_PREAMBLE_IFG, IPV4_HEADER, MAX_FRAME, MAX_UDP_PAYLOAD, UDP_HEADER,
 };
 pub use shard::{CrossAttach, ShardedSim};
 pub use stats::SimStats;

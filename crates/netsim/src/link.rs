@@ -31,6 +31,45 @@ pub enum LossModel {
     },
 }
 
+/// Bounded egress-queue model for one direction of a link: a byte-budget
+/// FIFO with tail-drop and ECN marking above a threshold.
+///
+/// Queue occupancy is derived from the transmitter's committed backlog
+/// (`busy_until - now` at line rate), so the model adds no per-packet
+/// state beyond what FIFO serialization already tracks — which is also
+/// what keeps sharded runs byte-identical: the occupancy of a cross-domain
+/// half-link is a function of sender-domain state only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EgressQueue {
+    /// Total byte budget; a packet that would push occupancy past this is
+    /// tail-dropped before it touches the wire.
+    pub capacity_bytes: u64,
+    /// Occupancy at or above which admitted packets are ECN-CE marked
+    /// (DCTCP/DCQCN-style single threshold).
+    pub ecn_threshold_bytes: u64,
+}
+
+impl EgressQueue {
+    /// A queue with the given capacity, marking above `ecn_threshold_bytes`.
+    pub fn new(capacity_bytes: u64, ecn_threshold_bytes: u64) -> Self {
+        assert!(
+            ecn_threshold_bytes <= capacity_bytes,
+            "ECN threshold beyond queue capacity never marks"
+        );
+        EgressQueue {
+            capacity_bytes,
+            ecn_threshold_bytes,
+        }
+    }
+
+    /// A shallow switch-port buffer: 64 KiB capacity, marking at 16 KiB —
+    /// deep enough to absorb a handful of full frames, shallow enough that
+    /// an H-worker incast visibly queues, marks, and drops.
+    pub fn shallow() -> Self {
+        EgressQueue::new(64 * 1024, 16 * 1024)
+    }
+}
+
 /// Static description of a link used when wiring a topology.
 ///
 /// # Examples
@@ -49,6 +88,10 @@ pub struct LinkSpec {
     pub propagation: SimDuration,
     /// Loss behaviour.
     pub loss: LossModel,
+    /// Optional bounded egress queue (per direction). `None` keeps the
+    /// legacy infinite-FIFO behaviour.
+    #[serde(default)]
+    pub queue: Option<EgressQueue>,
 }
 
 impl LinkSpec {
@@ -58,6 +101,7 @@ impl LinkSpec {
             bandwidth_bps,
             propagation,
             loss: LossModel::None,
+            queue: None,
         }
     }
 
@@ -75,6 +119,12 @@ impl LinkSpec {
     /// Replaces the loss model, returning the spec.
     pub fn with_loss(mut self, loss: LossModel) -> Self {
         self.loss = loss;
+        self
+    }
+
+    /// Installs a bounded egress queue, returning the spec.
+    pub fn with_queue(mut self, queue: EgressQueue) -> Self {
+        self.queue = Some(queue);
         self
     }
 }
@@ -116,6 +166,8 @@ pub(crate) struct Link {
     /// Extra one-way delay added to every delivery (fault injection; see
     /// [`crate::FaultAction::DelaySpike`]).
     pub extra_delay: SimDuration,
+    /// Bounded egress-queue model, when configured.
+    pub queue: Option<EgressQueue>,
     /// Active loss model, normalized by [`Link::set_loss`].
     loss: LossModel,
     /// Position in the sorted `Exact` drop list of the first entry not yet
@@ -139,12 +191,23 @@ impl Link {
             seq: 0,
             up: true,
             extra_delay: SimDuration::ZERO,
+            queue: spec.queue,
             loss: LossModel::None,
             drop_cursor: 0,
             rng: None,
         };
         link.set_loss(spec.loss.clone());
         link
+    }
+
+    /// Bytes committed to `dir`'s egress but not yet fully serialized onto
+    /// the wire: the transmitter's backlog converted back to bytes at line
+    /// rate. This is the queue occupancy the [`EgressQueue`] model gates on.
+    pub fn queued_bytes(&self, dir: LinkDir, now: SimTime) -> u64 {
+        let backlog_ns = self.busy_until[dir]
+            .saturating_duration_since(now)
+            .as_nanos();
+        ((u128::from(backlog_ns) * u128::from(self.bandwidth_bps)) / 8_000_000_000u128) as u64
     }
 
     /// The receiving end for a given direction.

@@ -26,6 +26,14 @@ pub const MAX_FRAME: usize = 1_522;
 /// `1522 - 18 (eth+fcs) - 4 (vlan) - 20 (ip) - 8 (udp) = 1472`.
 pub const MAX_UDP_PAYLOAD: usize = MAX_FRAME - ETH_OVERHEAD - 4 - IPV4_HEADER - UDP_HEADER;
 
+/// Mask of the two-bit ECN field at the bottom of the IPv4 ToS byte
+/// (RFC 3168). Protocol classification on ToS must ignore these bits —
+/// links rewrite them in flight when an egress queue marks congestion.
+pub const ECN_MASK: u8 = 0b11;
+
+/// ECN "Congestion Experienced" codepoint: both ECN bits set.
+pub const ECN_CE: u8 = 0b11;
+
 /// A 32-bit IPv4-style address used for routing inside the simulation.
 ///
 /// # Examples
@@ -193,6 +201,17 @@ impl Packet {
     pub fn wire_bytes(&self) -> usize {
         self.frame_bytes() + ETH_PREAMBLE_IFG
     }
+
+    /// Whether the ECN field carries the Congestion Experienced codepoint.
+    pub fn ecn_ce(&self) -> bool {
+        self.ip.tos & ECN_MASK == ECN_CE
+    }
+
+    /// Sets the ECN field to Congestion Experienced, leaving the DSCP bits
+    /// (protocol classification) untouched.
+    pub fn mark_ecn_ce(&mut self) {
+        self.ip.tos |= ECN_CE;
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +247,24 @@ mod tests {
         let pkt = Packet::udp(IpAddr::new(10, 0, 0, 1), IpAddr::new(10, 0, 0, 2), 1, 2, 0)
             .with_payload(vec![0u8; MAX_UDP_PAYLOAD]);
         assert!(pkt.frame_bytes() <= MAX_FRAME);
+    }
+
+    #[test]
+    fn ecn_marking_preserves_dscp_bits() {
+        let mut pkt = Packet::udp(
+            IpAddr::new(10, 0, 0, 1),
+            IpAddr::new(10, 0, 0, 2),
+            1,
+            2,
+            0xBC,
+        );
+        assert!(!pkt.ecn_ce());
+        pkt.mark_ecn_ce();
+        assert!(pkt.ecn_ce());
+        assert_eq!(pkt.ip.tos & !ECN_MASK, 0xBC);
+        // Marking is idempotent.
+        pkt.mark_ecn_ce();
+        assert_eq!(pkt.ip.tos, 0xBC | ECN_CE);
     }
 
     #[test]

@@ -20,6 +20,10 @@ pub struct SimStats {
     /// Of the dropped packets, those discarded because their link was
     /// administratively down (fault injection).
     pub packets_dropped_link_down: u64,
+    /// Of the dropped packets, those tail-dropped by a full egress queue.
+    pub packets_dropped_queue: u64,
+    /// Packets ECN-CE marked by an egress queue above its threshold.
+    pub packets_ecn_marked: u64,
     /// Fault-plan actions applied by the engine.
     pub faults_applied: u64,
     /// Total events processed by the engine.
@@ -40,6 +44,8 @@ impl SimStats {
         self.packets_delivered += other.packets_delivered;
         self.packets_dropped += other.packets_dropped;
         self.packets_dropped_link_down += other.packets_dropped_link_down;
+        self.packets_dropped_queue += other.packets_dropped_queue;
+        self.packets_ecn_marked += other.packets_ecn_marked;
         self.faults_applied += other.faults_applied;
         self.events_processed += other.events_processed;
         self.max_link_backlog = self.max_link_backlog.max(other.max_link_backlog);

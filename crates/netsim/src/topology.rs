@@ -111,6 +111,7 @@ pub fn build_star(
             Box::new(Host::new(ip, app)),
             NodeOpts::new(format!("host{i}"))
                 .with_tx_overhead(cfg.host_tx_overhead)
+                .with_backpressure()
                 .with_rx_overhead(cfg.host_rx_overhead),
         );
         let (link, _, sw_port) = sim.connect(node, switch, &cfg.edge);
@@ -234,6 +235,7 @@ pub fn build_tree(
                 Box::new(Host::new(ip, app)),
                 NodeOpts::new(format!("r{r}h{i}"))
                     .with_tx_overhead(cfg.host_tx_overhead)
+                    .with_backpressure()
                     .with_rx_overhead(cfg.host_rx_overhead),
             );
             let (link, _, tor_port) = sim.connect(node, tor, &cfg.edge);
@@ -369,6 +371,7 @@ pub fn build_tree3(
                     Box::new(Host::new(ip, app)),
                     NodeOpts::new(format!("r{global_rack}h{i}"))
                         .with_tx_overhead(cfg.host_tx_overhead)
+                        .with_backpressure()
                         .with_rx_overhead(cfg.host_rx_overhead),
                 );
                 let (link, _, tor_port) = sim.connect(node, tor, &cfg.edge);
@@ -560,6 +563,7 @@ pub fn build_fattree(
                     Box::new(Host::new(ip, app)),
                     NodeOpts::new(format!("r{global_rack}h{i}"))
                         .with_tx_overhead(cfg.host_tx_overhead)
+                        .with_backpressure()
                         .with_rx_overhead(cfg.host_rx_overhead),
                 );
                 let (_, _, tor_port) = sim.connect(node, tor, &cfg.edge);

@@ -16,8 +16,9 @@ use iswitch::cluster::experiments::{fig15, Scale};
 use iswitch::cluster::{
     run_chaos, run_convergence, run_cosim, run_timing, run_timing_observed_with, ChaosConfig,
     ChaosSchedule, ConvergenceConfig, CosimConfig, Strategy, TimingConfig, TraceOptions,
+    TransportKind,
 };
-use iswitch::netsim::FattreeShape;
+use iswitch::netsim::{EgressQueue, FattreeShape};
 use iswitch::obs::JsonValue;
 use iswitch::rl::Algorithm;
 
@@ -70,6 +71,20 @@ OPTIONS:
     --edge-loss <P>                    random per-packet loss probability on
                                        every worker edge link (timing only;
                                        exercises Help/FBcast recovery)
+    --transport <go-back|nack|dcqcn>   reliability/congestion policy on every
+                                       worker (default: go-back). go-back:
+                                       switch-assisted Help/FBcast recovery;
+                                       nack: NACK-on-gap; dcqcn: ECN-echo
+                                       rate control (timing and chaos)
+    --incast                           incast workload: every worker flushes
+                                       simultaneously (zero compute jitter)
+                                       through shallow bounded egress
+                                       queues; composes with --workers and
+                                       --fattree (timing only)
+    --background <K>                   add K bursting background flows that
+                                       share the edge links with the
+                                       training traffic (timing only,
+                                       single-switch star)
     --chaos-seed <N>                   fault-schedule seed (chaos only;
                                        default: 1). Same seed => the same
                                        schedule and a byte-identical report
@@ -288,6 +303,19 @@ fn cmd_timing(args: &[String]) {
         }
         cfg.edge_loss = p;
     }
+    if let Some(t) = parse_flag(args, "--transport") {
+        cfg.transport = t.parse::<TransportKind>().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(2);
+        });
+    }
+    if args.iter().any(|a| a == "--incast") {
+        cfg.incast = true;
+        cfg.queue.get_or_insert(EgressQueue::shallow());
+    }
+    if let Some(k) = parse_usize(args, "--background") {
+        cfg.background_flows = k;
+    }
     println!(
         "simulating {} / {} with {} workers…",
         alg,
@@ -340,6 +368,13 @@ fn cmd_timing(args: &[String]) {
     );
     if let Some(s) = r.mean_staleness() {
         println!("  mean staleness   : {s:.2}");
+    }
+    let t = r.transport;
+    if t != Default::default() {
+        println!(
+            "  transport        : help={} nack={} rexmit={} ecn={} cuts={}",
+            t.help_requests, t.nacks_sent, t.retransmits, t.ecn_echoes, t.rate_cuts
+        );
     }
 }
 
@@ -435,6 +470,12 @@ fn cmd_chaos(args: &[String]) {
         }
         if let Some(s) = parse_usize(args, "--seed") {
             cfg.seed = s as u64;
+        }
+        if let Some(t) = parse_flag(args, "--transport") {
+            cfg.transport = t.parse::<TransportKind>().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                exit(2);
+            });
         }
         cfg.schedule = schedule.clone();
         let report = run_chaos(&cfg);
