@@ -47,6 +47,7 @@ use std::time::Instant;
 
 use iswitch_bench::{banner, write_metrics};
 use iswitch_cluster::{run_timing_perf, PerfSample, Strategy, TimingConfig, TransportKind};
+use iswitch_core::CodecKind;
 use iswitch_netsim::FattreeShape;
 use iswitch_obs::JsonValue;
 use iswitch_rl::Algorithm;
@@ -240,6 +241,16 @@ fn incast_fattree_config(kind: TransportKind, threads: usize, seed: u64) -> Timi
     cfg
 }
 
+/// A quantized-codec cell: the three-level tree with the in-switch
+/// datapath accumulating in the codec's native representation. Smaller
+/// payloads change packet counts and the simulated clock, so each codec
+/// carries its own fingerprint; the f32 cells above stay untouched.
+fn codec_config(codec: CodecKind, seed: u64) -> TimingConfig {
+    let mut cfg = cell_config(&TOPOLOGIES[2], Strategy::SyncIsw, seed);
+    cfg.codec = codec;
+    cfg
+}
+
 fn run_one(id: String, cfg: &TimingConfig) -> Cell {
     let start = Instant::now();
     let cpu_start = process_cpu_ns();
@@ -296,6 +307,15 @@ fn run_matrix(quick: bool) -> Vec<Cell> {
             let seed = SEEDS[0];
             let cfg = incast_fattree_config(kind, threads, seed);
             cells.push(run_one(format!("incast/{kind}/t{threads}/s{seed:x}"), &cfg));
+        }
+    }
+    // Codec cells: the quantized aggregation formats through the same
+    // hierarchy. The `codec/` id prefix keeps them out of the thread-
+    // identity groups (which key on `fattree/` and `incast/`).
+    for codec in [CodecKind::FixedPoint, CodecKind::TopK] {
+        for &seed in seeds {
+            let cfg = codec_config(codec, seed);
+            cells.push(run_one(format!("codec/{codec}/s{seed:x}"), &cfg));
         }
     }
     cells

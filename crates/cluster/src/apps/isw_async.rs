@@ -11,7 +11,7 @@
 //!   its decentralized weight replica.
 
 use iswitch_core::{
-    gradient_packets, num_segments, EncodedGradient, RoundAssembler, RoundInsert, TOS_DATA,
+    gradient_packets_round_codec, CodecKind, EncodedGradient, RoundAssembler, RoundInsert, TOS_DATA,
 };
 use iswitch_netsim::{Packet, SimDuration, SimTime};
 
@@ -47,25 +47,27 @@ pub struct IswAsyncProto {
     /// transport is active here: DCQCN slows the commit stream when the
     /// broadcast path echoes congestion.
     transport: Box<dyn Transport>,
+    /// The job's aggregation format; must match the switches'.
+    codec: CodecKind,
 }
 
 impl StrategyProtocol for IswAsyncProto {
     fn on_start(&mut self, rt: &mut Rt<'_, '_, '_>) {
         if rt.source.wants_values() {
-            let mut asm = RoundAssembler::new(self.grad_len, true);
+            let mut asm = RoundAssembler::with_codec(self.grad_len, true, self.codec);
             asm.begin_round(None);
             self.tracker = BcastTracker::Values(asm);
         }
         self.enc = rt
             .source
             .is_static()
-            .then(|| EncodedGradient::new(rt.ip(), rt.source.gradient()));
+            .then(|| EncodedGradient::with_codec(rt.ip(), rt.source.gradient(), self.codec, 0));
     }
 
     fn commit(&mut self, rt: &mut Rt<'_, '_, '_>) {
         let pkts = match &self.enc {
             Some(enc) => enc.packets_round(0),
-            None => gradient_packets(rt.ip(), rt.source.gradient()),
+            None => gradient_packets_round_codec(rt.ip(), rt.source.gradient(), 0, self.codec, 0),
         };
         // One commit = one transport round (the additive-increase grain
         // for DCQCN). Outcome is ignored: a paced train drains through
@@ -88,7 +90,7 @@ impl StrategyProtocol for IswAsyncProto {
         let aggregate = match &mut self.tracker {
             BcastTracker::Count(seen) => {
                 *seen += 1;
-                if *seen < num_segments(self.grad_len) {
+                if *seen < self.codec.num_segments(self.grad_len) {
                     return ProtoEvent::None;
                 }
                 *seen = 0;
@@ -167,6 +169,7 @@ impl IswAsyncWorker {
             tracker: BcastTracker::Count(0),
             enc: None,
             transport: Box::new(GoBackRetransmit::new()),
+            codec: CodecKind::F32,
         };
         StrategyRuntime::from_parts(core, proto, source)
     }
@@ -175,6 +178,13 @@ impl IswAsyncWorker {
     /// the async pipeline means plain unpaced sends).
     pub fn with_transport(mut self, transport: Box<dyn Transport>) -> Self {
         self.protocol_mut().transport = transport;
+        self
+    }
+
+    /// Sets the job's aggregation codec (default: [`CodecKind::F32`]).
+    /// Must match the switches' configured codec.
+    pub fn with_codec(mut self, codec: CodecKind) -> Self {
+        self.protocol_mut().codec = codec;
         self
     }
 

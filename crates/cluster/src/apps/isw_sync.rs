@@ -7,7 +7,9 @@
 //! knows what a round *is* — which packets carry this iteration's
 //! contribution and when the broadcast result is complete.
 
-use iswitch_core::{gradient_packets_round, EncodedGradient, RoundAssembler, RoundInsert};
+use iswitch_core::{
+    gradient_packets_round_codec, CodecKind, EncodedGradient, RoundAssembler, RoundInsert,
+};
 use iswitch_netsim::{Packet, SimDuration};
 
 use crate::apps::runtime::{
@@ -36,6 +38,11 @@ pub struct IswSyncProto {
     /// gradient source is static (timing mode) — see
     /// [`EncodedGradient`].
     enc: Option<EncodedGradient>,
+    /// The job's aggregation format; must match the switches'.
+    codec: CodecKind,
+    /// Seeded fixed-point exponent-stamp bug (chaos harness); zero in
+    /// correct operation.
+    exp_bias: i8,
 }
 
 impl IswSyncProto {
@@ -46,6 +53,8 @@ impl IswSyncProto {
             transport: Box::new(GoBackRetransmit::new()),
             sent: false,
             enc: None,
+            codec: CodecKind::F32,
+            exp_bias: 0,
         }
     }
 
@@ -54,7 +63,13 @@ impl IswSyncProto {
     fn contribution_packets(&self, rt: &Rt<'_, '_, '_>) -> Vec<Packet> {
         match &self.enc {
             Some(enc) => enc.packets_round(rt.iter()),
-            None => gradient_packets_round(rt.ip(), rt.source.gradient(), rt.iter()),
+            None => gradient_packets_round_codec(
+                rt.ip(),
+                rt.source.gradient(),
+                rt.iter(),
+                self.codec,
+                self.exp_bias,
+            ),
         }
     }
 
@@ -89,11 +104,10 @@ impl StrategyProtocol for IswSyncProto {
     fn on_start(&mut self, rt: &mut Rt<'_, '_, '_>) {
         // Co-sim sources need the broadcast *values*; timing sources only
         // need completion tracking.
-        self.asm = RoundAssembler::new(self.grad_len, rt.source.wants_values());
-        self.enc = rt
-            .source
-            .is_static()
-            .then(|| EncodedGradient::new(rt.ip(), rt.source.gradient()));
+        self.asm = RoundAssembler::with_codec(self.grad_len, rt.source.wants_values(), self.codec);
+        self.enc = rt.source.is_static().then(|| {
+            EncodedGradient::with_codec(rt.ip(), rt.source.gradient(), self.codec, self.exp_bias)
+        });
     }
 
     fn begin_round(&mut self, iter: u32) {
@@ -186,6 +200,23 @@ impl IswSyncWorker {
     /// Replaces the wire policy (default: [`GoBackRetransmit`]).
     pub fn with_transport(mut self, transport: Box<dyn Transport>) -> Self {
         self.protocol_mut().transport = transport;
+        self
+    }
+
+    /// Sets the job's aggregation codec (default: [`CodecKind::F32`]).
+    /// Must match the switches' configured codec.
+    pub fn with_codec(mut self, codec: CodecKind) -> Self {
+        self.protocol_mut().codec = codec;
+        self
+    }
+
+    /// **Chaos-harness only**: seeds the fixed-point exponent-stamp bug —
+    /// mantissas are scaled with the honest exponent but the packet header
+    /// stamps `exponent + bias`, so the switch decodes every contribution
+    /// scaled by `2^bias`. The wire stays well-formed; only the
+    /// conservation invariant can catch it.
+    pub fn with_exponent_bug(mut self, bias: i8) -> Self {
+        self.protocol_mut().exp_bias = bias;
         self
     }
 

@@ -36,7 +36,7 @@ use std::any::Any;
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use iswitch_core::FLOATS_PER_SEGMENT;
+use iswitch_core::CodecKind;
 use iswitch_netsim::{
     build_star, host_ip, FaultAction, FaultPlan, Host, HostApp, LinkId, LossModel, SimDuration,
     SimTime, Simulator,
@@ -52,7 +52,7 @@ use crate::apps::{
 };
 use crate::compute_model::ComputeModel;
 use crate::gradient_source::{AgentGradients, GradientSource};
-use crate::timing_runner::{build_isw_topology, Strategy, TimingConfig};
+use crate::timing_runner::{build_isw_topology, codec_wire_bytes, Strategy, TimingConfig};
 use crate::transport::{make_transport, TransportKind};
 
 /// One timed fault window targeting a worker's access link.
@@ -375,6 +375,19 @@ pub struct ChaosConfig {
     /// packet-counting accelerator double-counts, so the conservation
     /// invariant must trip.
     pub naive_retransmit: bool,
+    /// Aggregation codec workers and switches run (see
+    /// [`TimingConfig::codec`]). The conservation invariant widens its
+    /// tolerance by the codec's quantization error bound, so quantized
+    /// codecs pass I1 honestly rather than by luck.
+    pub codec: CodecKind,
+    /// **Deliberately broken** fixed-point encoding for the harness
+    /// self-test: mantissas are scaled with the honest exponent but the
+    /// packet header stamps `exponent + bias`, so the switch decodes every
+    /// contribution scaled by `2^bias`. The wire stays well-formed and
+    /// every round completes — only the codec-tolerant conservation
+    /// invariant can catch it. Requires [`CodecKind::FixedPoint`] and the
+    /// synchronous strategy; `0` is off.
+    pub exponent_bug: i8,
 }
 
 impl ChaosConfig {
@@ -393,6 +406,8 @@ impl ChaosConfig {
             schedule: None,
             transport: TransportKind::GoBack,
             naive_retransmit: false,
+            codec: CodecKind::F32,
+            exponent_bug: 0,
         }
     }
 }
@@ -545,7 +560,9 @@ impl GradientSource for RecordingSource {
 
 /// Does `applied` equal the mean of some non-empty subset of `candidates`
 /// (each counted at most once)? Sums are f32 like the accelerator's.
-fn matches_some_subset(applied: &[f32], candidates: &[&[f32]]) -> bool {
+/// `codec_tol` widens the base tolerance by the codec's quantization
+/// error bound (zero for f32), so I1 stays exact where the wire is exact.
+fn matches_some_subset(applied: &[f32], candidates: &[&[f32]], codec_tol: f32) -> bool {
     let n = candidates.len();
     debug_assert!(n <= 16, "subset enumeration is exponential");
     'mask: for mask in 1u32..(1u32 << n) {
@@ -558,13 +575,23 @@ fn matches_some_subset(applied: &[f32], candidates: &[&[f32]]) -> bool {
                 }
             }
             let mean = sum / k;
-            if (a - mean).abs() > 1e-3 + 1e-3 * mean.abs() {
+            if (a - mean).abs() > 1e-3 + 1e-3 * mean.abs() + codec_tol {
                 continue 'mask;
             }
         }
         return true;
     }
     false
+}
+
+/// The I1 tolerance slack for one segment's candidate set: the codec's
+/// worst-case decoded-aggregate error given the segment's value range.
+fn codec_tolerance(codec: CodecKind, seg_cands: &[&[f32]]) -> f32 {
+    let max_abs = seg_cands
+        .iter()
+        .flat_map(|c| c.iter())
+        .fold(0.0f32, |m, &v| m.max(v.abs()));
+    codec.codec().error_bound(max_abs, seg_cands.len())
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -650,6 +677,12 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
 /// iSwitch strategies: co-sim fidelity (live replicas through the in-switch
 /// datapath) so conservation can be checked on actual values.
 fn run_chaos_isw(cfg: &ChaosConfig, schedule: ChaosSchedule) -> ChaosReport {
+    assert!(
+        !(cfg.strategy == Strategy::SyncIsw && cfg.codec == CodecKind::TopK),
+        "top-k discards coordinates by design, so the conservation \
+         invariant's subset-mean statement does not apply; chaos-check \
+         the dense codecs"
+    );
     // Identical initial weights, like co-sim mode.
     let mut replicas: Vec<LocalReplica> = (0..cfg.workers)
         .map(|w| {
@@ -670,6 +703,7 @@ fn run_chaos_isw(cfg: &ChaosConfig, schedule: ChaosSchedule) -> ChaosReport {
     tcfg.workers = cfg.workers;
     tcfg.seed = cfg.seed;
     tcfg.staleness_bound = cfg.staleness_bound;
+    tcfg.codec = cfg.codec;
     if cfg.strategy == Strategy::SyncIsw {
         // Arms the switches' stale-flush sweep (partial-round expiry)
         // without adding any ambient random loss — all loss comes from the
@@ -685,7 +719,10 @@ fn run_chaos_isw(cfg: &ChaosConfig, schedule: ChaosSchedule) -> ChaosReport {
         // aggregate.
         SimDuration::from_micros(500)
     } else {
-        SimDuration::serialization(len * 4, tcfg.topo.edge.bandwidth_bps) * 3
+        SimDuration::serialization(
+            codec_wire_bytes(cfg.codec, len),
+            tcfg.topo.edge.bandwidth_bps,
+        ) * 3
             + SimDuration::from_millis(3)
     };
 
@@ -711,10 +748,19 @@ fn run_chaos_isw(cfg: &ChaosConfig, schedule: ChaosSchedule) -> ChaosReport {
                         tcfg.comm.clone(),
                         seed,
                     )
+                    .with_codec(cfg.codec)
                     .with_transport(make_transport(cfg.transport, tcfg.topo.edge.bandwidth_bps))
                     .with_help_timeout(help_timeout);
                     if cfg.naive_retransmit {
                         worker = worker.with_naive_retransmit();
+                    }
+                    if cfg.exponent_bug != 0 {
+                        assert_eq!(
+                            cfg.codec,
+                            CodecKind::FixedPoint,
+                            "the exponent-stamp bug lives in the fixed-point encoder"
+                        );
+                        worker = worker.with_exponent_bug(cfg.exponent_bug);
                     }
                     Box::new(worker) as Box<dyn HostApp>
                 }
@@ -728,6 +774,7 @@ fn run_chaos_isw(cfg: &ChaosConfig, schedule: ChaosSchedule) -> ChaosReport {
                         seed,
                         None,
                     )
+                    .with_codec(cfg.codec)
                     .with_transport(make_transport(cfg.transport, tcfg.topo.edge.bandwidth_bps)),
                 ) as Box<dyn HostApp>,
                 _ => unreachable!("handled by run_chaos_plain"),
@@ -845,13 +892,15 @@ fn run_chaos_isw(cfg: &ChaosConfig, schedule: ChaosSchedule) -> ChaosReport {
                         offending_rounds.insert(r as u64);
                         continue;
                     }
-                    for (s, chunk) in agg.chunks(FLOATS_PER_SEGMENT).enumerate() {
-                        let lo = s * FLOATS_PER_SEGMENT;
+                    let seg_elems = cfg.codec.elems_per_segment();
+                    for (s, chunk) in agg.chunks(seg_elems).enumerate() {
+                        let lo = s * seg_elems;
                         let seg_cands: Vec<&[f32]> = candidates
                             .iter()
                             .map(|c| &c[lo..lo + chunk.len()])
                             .collect();
-                        if !matches_some_subset(chunk, &seg_cands) {
+                        let tol = codec_tolerance(cfg.codec, &seg_cands);
+                        if !matches_some_subset(chunk, &seg_cands, tol) {
                             violations.push(format!(
                                 "I1 conservation: worker {w} round {r} segment {s} applied \
                                  an aggregate matching no subset of that round's gradients"
@@ -1133,11 +1182,15 @@ mod tests {
         let g2 = vec![5.0f32, 6.0];
         let cands: Vec<&[f32]> = vec![&g0, &g1, &g2];
         // Full mean.
-        assert!(matches_some_subset(&[3.0, 4.0], &cands));
+        assert!(matches_some_subset(&[3.0, 4.0], &cands, 0.0));
         // Partial flush {g1, g2}.
-        assert!(matches_some_subset(&[4.0, 5.0], &cands));
+        assert!(matches_some_subset(&[4.0, 5.0], &cands, 0.0));
         // Double-counted g0: (2*g0 + g1)/3.
-        assert!(!matches_some_subset(&[5.0 / 3.0, 8.0 / 3.0], &cands));
+        assert!(!matches_some_subset(&[5.0 / 3.0, 8.0 / 3.0], &cands, 0.0));
+        // A codec tolerance admits quantization-sized error but not the
+        // double-count.
+        assert!(matches_some_subset(&[3.1, 4.1], &cands, 0.2));
+        assert!(!matches_some_subset(&[5.0 / 3.0, 8.0 / 3.0], &cands, 0.2));
     }
 
     #[test]

@@ -10,15 +10,18 @@
 //! strategies are co-simulated: they are the ones whose arithmetic happens
 //! in the network.
 
+use std::any::Any;
 use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
 
+use iswitch_core::CodecKind;
 use iswitch_netsim::{Host, HostApp, SimDuration, SimTime, Simulator};
 use iswitch_rl::{make_lite_agent_scaled, Algorithm, LocalReplica};
 
 use crate::apps::{IswAsyncWorker, IswSyncWorker};
 use crate::compute_model::ComputeModel;
 use crate::convergence::default_target;
-use crate::gradient_source::AgentGradients;
+use crate::gradient_source::{AgentGradients, GradientSource};
 use crate::timing_runner::{build_isw_topology, Strategy, TimingConfig};
 
 /// Configuration of one co-simulation run.
@@ -43,6 +46,10 @@ pub struct CosimConfig {
     pub seed: u64,
     /// Learning-rate multiplier (matches convergence mode's knob).
     pub lr_scale: f32,
+    /// Aggregation codec the workers and switches run (see
+    /// [`TimingConfig::codec`]). Quantized codecs additionally record the
+    /// decoded aggregate's error against the exact host-side mean.
+    pub codec: CodecKind,
 }
 
 impl CosimConfig {
@@ -58,6 +65,7 @@ impl CosimConfig {
             staleness_bound: 3,
             seed: 42,
             lr_scale: 1.0,
+            codec: CodecKind::F32,
         }
     }
 }
@@ -82,6 +90,152 @@ pub struct CosimResult {
     pub per_iteration: SimDuration,
     /// Worker 0's final weight replica.
     pub params: Vec<f32>,
+    /// Mean over rounds of the decoded aggregate's relative error against
+    /// the exact host-side mean of the same contributions (synchronous
+    /// strategy only; `None` for async, whose staleness makes the
+    /// round↔gradient pairing ambiguous).
+    pub ref_error_mean: Option<f64>,
+    /// Worst-round relative error (see [`CosimResult::ref_error_mean`]).
+    pub ref_error_max: Option<f64>,
+}
+
+/// Cross-worker reference state for the aggregate-error probe: per-round
+/// exact `f64` gradient sums, plus the error statistics accumulated as
+/// workers consume their rounds' broadcasts.
+struct RefErrorShared {
+    workers: usize,
+    rounds: BTreeMap<u64, RoundRef>,
+    sum_rel: f64,
+    max_rel: f64,
+    samples: u64,
+}
+
+struct RoundRef {
+    sum: Vec<f64>,
+    contributed: usize,
+    consumed: usize,
+}
+
+impl RefErrorShared {
+    fn new(workers: usize) -> Self {
+        RefErrorShared {
+            workers,
+            rounds: BTreeMap::new(),
+            sum_rel: 0.0,
+            max_rel: 0.0,
+            samples: 0,
+        }
+    }
+}
+
+/// Wraps a co-sim worker's [`AgentGradients`] and measures, per completed
+/// round, how far the decoded in-network aggregate lands from the exact
+/// mean of the contributions that went in — the codec's end-to-end
+/// gradient error. Synchronous strategy only: lock-step rounds make the
+/// `compute` count the round index on every worker.
+struct RefErrorRecorder {
+    inner: AgentGradients,
+    shared: Arc<Mutex<RefErrorShared>>,
+    computes: u64,
+    applies: u64,
+}
+
+impl RefErrorRecorder {
+    fn new(inner: AgentGradients, shared: Arc<Mutex<RefErrorShared>>) -> Self {
+        RefErrorRecorder {
+            inner,
+            shared,
+            computes: 0,
+            applies: 0,
+        }
+    }
+}
+
+impl GradientSource for RefErrorRecorder {
+    fn grad_len(&self) -> usize {
+        self.inner.grad_len()
+    }
+
+    fn wants_values(&self) -> bool {
+        true
+    }
+
+    fn compute(&mut self) {
+        self.inner.compute();
+        let round = self.computes;
+        self.computes += 1;
+        let mut s = self.shared.lock().expect("ref-error lock");
+        let len = self.inner.grad_len();
+        let entry = s.rounds.entry(round).or_insert_with(|| RoundRef {
+            sum: vec![0.0; len],
+            contributed: 0,
+            consumed: 0,
+        });
+        for (acc, &g) in entry.sum.iter_mut().zip(self.inner.gradient()) {
+            *acc += g as f64;
+        }
+        entry.contributed += 1;
+    }
+
+    fn gradient(&self) -> &[f32] {
+        self.inner.gradient()
+    }
+
+    fn apply_aggregate(&mut self, mean: &[f32]) {
+        let round = self.applies;
+        self.applies += 1;
+        let mut s = self.shared.lock().expect("ref-error lock");
+        let workers = s.workers;
+        if let Some(entry) = s.rounds.get_mut(&round) {
+            // A sync round only completes once every worker contributed,
+            // so the reference mean is whole by the time anyone applies.
+            if entry.contributed == workers {
+                let n = workers as f64;
+                let mut max_abs = 0.0f64;
+                let mut max_err = 0.0f64;
+                for (&a, &r) in mean.iter().zip(&entry.sum) {
+                    let reference = r / n;
+                    max_abs = max_abs.max(reference.abs());
+                    max_err = max_err.max((a as f64 - reference).abs());
+                }
+                let rel = if max_abs > 0.0 {
+                    max_err / max_abs
+                } else {
+                    0.0
+                };
+                entry.consumed += 1;
+                let drop_round = entry.consumed == workers;
+                s.sum_rel += rel;
+                s.max_rel = s.max_rel.max(rel);
+                s.samples += 1;
+                if drop_round {
+                    s.rounds.remove(&round);
+                }
+            }
+        }
+        drop(s);
+        self.inner.apply_aggregate(mean);
+    }
+
+    fn params(&self) -> &[f32] {
+        self.inner.params()
+    }
+
+    fn updates_applied(&self) -> u64 {
+        self.inner.updates_applied()
+    }
+
+    fn reward_curve(&self) -> &[(u64, f32)] {
+        self.inner.reward_curve()
+    }
+
+    fn final_average_reward(&self) -> Option<f32> {
+        self.inner.final_average_reward()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
 }
 
 /// Per-worker probe state pulled out of the simulator between slices.
@@ -154,33 +308,49 @@ pub fn run_cosim(cfg: &CosimConfig) -> CosimResult {
     tcfg.workers = cfg.workers;
     tcfg.seed = cfg.seed;
     tcfg.staleness_bound = cfg.staleness_bound;
+    tcfg.codec = cfg.codec;
     let model = ComputeModel::for_algorithm(cfg.algorithm);
+
+    // Aggregate-error probe (sync only: async staleness decouples the
+    // round a broadcast answers from the gradient last computed).
+    let ref_shared = matches!(cfg.strategy, Strategy::SyncIsw)
+        .then(|| Arc::new(Mutex::new(RefErrorShared::new(cfg.workers))));
 
     let mut sim = Simulator::new();
     let worker_apps: Vec<Box<dyn HostApp>> = replicas
         .into_iter()
         .enumerate()
         .map(|(w, replica)| {
-            let source = Box::new(AgentGradients::new(replica));
+            let agent = AgentGradients::new(replica);
+            let source: Box<dyn GradientSource> = match &ref_shared {
+                Some(shared) => Box::new(RefErrorRecorder::new(agent, Arc::clone(shared))),
+                None => Box::new(agent),
+            };
             let seed = cfg.seed.wrapping_add(w as u64);
             match cfg.strategy {
-                Strategy::SyncIsw => Box::new(IswSyncWorker::with_source(
-                    source,
-                    1,
-                    cfg.iterations,
-                    model.clone(),
-                    tcfg.comm.clone(),
-                    seed,
-                )) as Box<dyn HostApp>,
-                Strategy::AsyncIsw => Box::new(IswAsyncWorker::with_source(
-                    source,
-                    1,
-                    model.clone(),
-                    tcfg.comm.clone(),
-                    cfg.staleness_bound,
-                    seed,
-                    None,
-                )) as Box<dyn HostApp>,
+                Strategy::SyncIsw => Box::new(
+                    IswSyncWorker::with_source(
+                        source,
+                        1,
+                        cfg.iterations,
+                        model.clone(),
+                        tcfg.comm.clone(),
+                        seed,
+                    )
+                    .with_codec(cfg.codec),
+                ) as Box<dyn HostApp>,
+                Strategy::AsyncIsw => Box::new(
+                    IswAsyncWorker::with_source(
+                        source,
+                        1,
+                        model.clone(),
+                        tcfg.comm.clone(),
+                        cfg.staleness_bound,
+                        seed,
+                        None,
+                    )
+                    .with_codec(cfg.codec),
+                ) as Box<dyn HostApp>,
                 _ => unreachable!(),
             }
         })
@@ -279,6 +449,18 @@ pub fn run_cosim(cfg: &CosimConfig) -> CosimResult {
         _ => unreachable!(),
     };
 
+    let (ref_error_mean, ref_error_max) = match &ref_shared {
+        Some(shared) => {
+            let s = shared.lock().expect("ref-error lock");
+            if s.samples > 0 {
+                (Some(s.sum_rel / s.samples as f64), Some(s.max_rel))
+            } else {
+                (None, None)
+            }
+        }
+        None => (None, None),
+    };
+
     CosimResult {
         iterations,
         updates,
@@ -287,5 +469,7 @@ pub fn run_cosim(cfg: &CosimConfig) -> CosimResult {
         curve,
         per_iteration,
         params,
+        ref_error_mean,
+        ref_error_max,
     }
 }

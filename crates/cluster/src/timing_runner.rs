@@ -5,7 +5,9 @@
 use std::io::Write;
 use std::sync::Arc;
 
-use iswitch_core::{AggregationMode, AggregationRole, ExtensionConfig, IswitchExtension};
+use iswitch_core::{
+    AggregationMode, AggregationRole, CodecKind, ExtensionConfig, IswitchExtension,
+};
 use iswitch_netsim::{
     build_fattree, build_star, build_tree, build_tree3, host_ip, EgressQueue, Fattree,
     FattreeShape, Host, HostApp, LinkId, LinkSpec, LossModel, NodeId, PortId, ShardedSim,
@@ -122,6 +124,13 @@ pub struct TimingConfig {
     /// (star topology only). Each blasts deterministic bursts at a
     /// dedicated sink host appended after the protocol hosts.
     pub background_flows: usize,
+    /// Aggregation codec of the iSwitch strategies: how gradient values
+    /// are laid out on the wire and summed inside the switch.
+    /// [`CodecKind::F32`] reproduces the legacy format bit-for-bit; the
+    /// quantized codecs shrink contribution packets (and so serialization
+    /// time) at a bounded precision cost. Ignored by the PS/AR baselines,
+    /// which aggregate on hosts.
+    pub codec: CodecKind,
     /// Seed for compute-time jitter.
     pub seed: u64,
 }
@@ -150,6 +159,7 @@ impl TimingConfig {
             queue: None,
             incast: false,
             background_flows: 0,
+            codec: CodecKind::F32,
             seed: 0x5117c4,
         }
     }
@@ -716,6 +726,11 @@ fn emit_run_meta(cfg: &TimingConfig, obs: &mut Option<&mut RunObs>) {
         .with_u64("iterations", cfg.iterations as u64)
         .with_u64("warmup", cfg.warmup as u64)
         .with_u64("seed", cfg.seed);
+    if cfg.codec != CodecKind::F32 {
+        // Only non-default codecs appear: f32 runs keep the exact byte
+        // layout of pre-codec trace artifacts.
+        run_ev = run_ev.with_str("codec", cfg.codec.label());
+    }
     if let Some(shape) = cfg.fattree {
         // Sharded runs only: existing (non-fattree) traces keep their exact
         // byte layout. `threads` is deliberately omitted — artifacts must
@@ -851,6 +866,24 @@ fn run_sync_ar(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResult
     )
 }
 
+/// Bytes one worker pushes per round under `codec` — the serialization
+/// term of the recovery/stale-flush timeout formulas. F32 keeps the
+/// legacy `len * 4` payload bound exactly (timeout values feed replay
+/// identity); the quantized codecs sum their real per-segment packet
+/// sizes, so smaller wire formats get proportionally tighter timers.
+pub(crate) fn codec_wire_bytes(codec: CodecKind, len: usize) -> usize {
+    if codec == CodecKind::F32 {
+        return len * 4;
+    }
+    let elems = codec.elems_per_segment();
+    let c = codec.codec();
+    let mut bytes = (len / elems) * c.contribution_bytes(elems);
+    if !len.is_multiple_of(elems) {
+        bytes += c.contribution_bytes(len % elems);
+    }
+    bytes
+}
+
 /// What [`build_isw_topology`] produced: the worker nodes plus the
 /// fault-plan targets of the deployment (worker edge links).
 pub(crate) struct IswTopology {
@@ -870,14 +903,17 @@ pub(crate) fn build_isw_topology(
 ) -> IswTopology {
     let tune = |mut ext_cfg: ExtensionConfig, cfg: &TimingConfig| {
         ext_cfg.mode = cfg.aggregation_mode;
+        ext_cfg.codec = cfg.codec;
         if let Some(h) = cfg.threshold_override {
             ext_cfg.threshold = h;
         }
         if cfg.lossy() {
             // Expire partial rounds stuck on a lost contribution (round
             // tags keep expired flushes from polluting newer rounds).
-            let age = SimDuration::serialization(len * 4, cfg.topo.edge.bandwidth_bps)
-                + SimDuration::from_millis(2);
+            let age = SimDuration::serialization(
+                codec_wire_bytes(cfg.codec, len),
+                cfg.topo.edge.bandwidth_bps,
+            ) + SimDuration::from_millis(2);
             ext_cfg.stale_flush = Some(age);
         }
         ext_cfg
@@ -916,22 +952,24 @@ pub(crate) fn build_isw_topology(
                         // stay child-counts so every level completes
                         // consistently.
                         let ext = match role {
-                            SwitchRole::Tor(r) => {
-                                IswitchExtension::new(ExtensionConfig::for_tree_level(
+                            SwitchRole::Tor(r) => IswitchExtension::new(
+                                ExtensionConfig::for_tree_level(
                                     AggregationRole::Intermediate {
                                         uplink: PortId::new(sizes[r]),
                                     },
                                     (0..sizes[r]).map(PortId::new).collect(),
                                     len,
-                                ))
-                            }
-                            SwitchRole::Core => {
-                                IswitchExtension::new(ExtensionConfig::for_tree_level(
+                                )
+                                .with_codec(cfg.codec),
+                            ),
+                            SwitchRole::Core => IswitchExtension::new(
+                                ExtensionConfig::for_tree_level(
                                     AggregationRole::Root,
                                     (0..n_racks).map(PortId::new).collect(),
                                     len,
-                                ))
-                            }
+                                )
+                                .with_codec(cfg.codec),
+                            ),
                             SwitchRole::Agg(_) => {
                                 unreachable!("two-level trees have no aggregation layer")
                             }
@@ -959,31 +997,34 @@ pub(crate) fn build_isw_topology(
                     let n_aggs = grouped.len();
                     let mut mk_ext = |role: SwitchRole| -> Option<Box<dyn SwitchExtension>> {
                         let ext = match role {
-                            SwitchRole::Tor(r) => {
-                                IswitchExtension::new(ExtensionConfig::for_tree_level(
+                            SwitchRole::Tor(r) => IswitchExtension::new(
+                                ExtensionConfig::for_tree_level(
                                     AggregationRole::Intermediate {
                                         uplink: PortId::new(sizes[r]),
                                     },
                                     (0..sizes[r]).map(PortId::new).collect(),
                                     len,
-                                ))
-                            }
-                            SwitchRole::Agg(a) => {
-                                IswitchExtension::new(ExtensionConfig::for_tree_level(
+                                )
+                                .with_codec(cfg.codec),
+                            ),
+                            SwitchRole::Agg(a) => IswitchExtension::new(
+                                ExtensionConfig::for_tree_level(
                                     AggregationRole::Intermediate {
                                         uplink: PortId::new(group_sizes[a]),
                                     },
                                     (0..group_sizes[a]).map(PortId::new).collect(),
                                     len,
-                                ))
-                            }
-                            SwitchRole::Core => {
-                                IswitchExtension::new(ExtensionConfig::for_tree_level(
+                                )
+                                .with_codec(cfg.codec),
+                            ),
+                            SwitchRole::Core => IswitchExtension::new(
+                                ExtensionConfig::for_tree_level(
                                     AggregationRole::Root,
                                     (0..n_aggs).map(PortId::new).collect(),
                                     len,
-                                ))
-                            }
+                                )
+                                .with_codec(cfg.codec),
+                            ),
                         };
                         Some(Box::new(ext))
                     };
@@ -1013,7 +1054,10 @@ fn run_sync_isw(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResul
     // complete (serialization up + broadcast down + jitter headroom).
     // Round tags make premature retries harmless and the worker caps each
     // retry's Help batch, so the timeout only trades recovery latency.
-    let help_timeout = SimDuration::serialization(len * 4, cfg.topo.edge.bandwidth_bps) * 3
+    let help_timeout = SimDuration::serialization(
+        codec_wire_bytes(cfg.codec, len),
+        cfg.topo.edge.bandwidth_bps,
+    ) * 3
         + SimDuration::from_millis(3);
     if cfg.edge_loss > 0.0 {
         cfg.topo.edge.loss = LossModel::Random {
@@ -1034,6 +1078,7 @@ fn run_sync_isw(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResul
                 cfg.comm.clone(),
                 cfg.seed.wrapping_add(w as u64),
             )
+            .with_codec(cfg.codec)
             .with_transport(cfg.make_transport());
             if cfg.lossy() {
                 worker = worker.with_help_timeout(help_timeout);
@@ -1076,7 +1121,10 @@ fn run_sync_isw_sharded(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> Tim
     let model = cfg.compute_model();
     let total_iters = cfg.warmup + cfg.iterations;
     let mut cfg = cfg.clone();
-    let help_timeout = SimDuration::serialization(len * 4, cfg.topo.edge.bandwidth_bps) * 3
+    let help_timeout = SimDuration::serialization(
+        codec_wire_bytes(cfg.codec, len),
+        cfg.topo.edge.bandwidth_bps,
+    ) * 3
         + SimDuration::from_millis(3);
     if cfg.edge_loss > 0.0 {
         cfg.topo.edge.loss = LossModel::Random {
@@ -1095,6 +1143,7 @@ fn run_sync_isw_sharded(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> Tim
                 cfg.comm.clone(),
                 cfg.seed.wrapping_add(w as u64),
             )
+            .with_codec(cfg.codec)
             .with_transport(cfg.make_transport());
             if cfg.lossy() {
                 worker = worker.with_help_timeout(help_timeout);
@@ -1114,9 +1163,12 @@ fn run_sync_isw_sharded(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> Tim
     drop(rest);
     let tune = |mut ext_cfg: ExtensionConfig| {
         ext_cfg.mode = cfg.aggregation_mode;
+        ext_cfg.codec = cfg.codec;
         if cfg.lossy() {
-            let age = SimDuration::serialization(len * 4, cfg.topo.edge.bandwidth_bps)
-                + SimDuration::from_millis(2);
+            let age = SimDuration::serialization(
+                codec_wire_bytes(cfg.codec, len),
+                cfg.topo.edge.bandwidth_bps,
+            ) + SimDuration::from_millis(2);
             ext_cfg.stale_flush = Some(age);
         }
         ext_cfg
@@ -1304,6 +1356,7 @@ fn run_async_isw(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResu
                     cfg.seed.wrapping_add(w as u64),
                     None,
                 )
+                .with_codec(cfg.codec)
                 .with_transport(cfg.make_transport()),
             ) as Box<dyn HostApp>
         })

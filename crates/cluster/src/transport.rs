@@ -477,10 +477,13 @@ impl Transport for NackReliable {
     }
 
     fn on_data(&mut self, rt: &mut Rt<'_, '_, '_>, pkt: &Packet, iter: u32, round: &dyn RoundInfo) {
-        let Ok(meta) = iswitch_core::DataSegment::decode_meta(&pkt.payload) else {
+        // Header-only parse: gap detection needs just the `Seg` field,
+        // which every codec layout shares, so NACK transports work under
+        // any aggregation format.
+        let Ok(seg_field) = iswitch_core::decode_seg_field(&pkt.payload) else {
             return;
         };
-        let arrived = iswitch_core::seg_index(meta.seg);
+        let arrived = iswitch_core::seg_index(seg_field);
         // Everything still missing *below* the arrival is a proven gap.
         let gaps: Vec<u64> = round
             .missing()

@@ -4,6 +4,7 @@
 //! path.
 
 use iswitch_cluster::{run_chaos, ChaosConfig, ChaosFault, ChaosSchedule, Strategy, TransportKind};
+use iswitch_core::CodecKind;
 use iswitch_netsim::SimDuration;
 use iswitch_rl::Algorithm;
 
@@ -91,6 +92,89 @@ fn different_chaos_seeds_change_the_schedule() {
         "seeds should produce distinct fault schedules"
     );
     assert!(a.passed() && b.passed());
+}
+
+/// The codec axis of the matrix: fault-schedule seeds × strategies ×
+/// {f32, fixed-point}. I2–I5 are value-independent and must hold exactly;
+/// I1 (gradient conservation) runs with the codec-aware tolerance — wide
+/// enough for honest quantization error, tight enough that a corrupted
+/// aggregate still trips (see the exponent-stamp test below).
+#[test]
+fn invariants_hold_across_the_codec_axis() {
+    for codec in [CodecKind::F32, CodecKind::FixedPoint] {
+        for chaos_seed in [1, 2, 0xC4A05] {
+            for strategy in ALL {
+                let mut cfg = ChaosConfig::new(Algorithm::Ppo, strategy, chaos_seed);
+                cfg.codec = codec;
+                let report = run_chaos(&cfg);
+                assert!(
+                    report.passed(),
+                    "{strategy:?}/{codec} seed {chaos_seed} violated invariants: {:?}",
+                    report.violations
+                );
+                assert!(
+                    report.faults_applied > 0,
+                    "{strategy:?}/{codec}: the schedule should actually fire"
+                );
+                assert!(report.completed.iter().all(|&c| c >= cfg.iterations));
+                if strategy == Strategy::SyncIsw {
+                    assert!(
+                        report.rounds_checked >= cfg.iterations * cfg.workers,
+                        "{codec}: conservation should be value-checked on every round"
+                    );
+                }
+            }
+        }
+    }
+    // I5 on the quantized path: exponent reconciliation happens in arrival
+    // order, so replay identity is checked where an order leak would
+    // actually move mantissa bits.
+    let mut cfg = ChaosConfig::new(Algorithm::Ppo, Strategy::SyncIsw, 7);
+    cfg.codec = CodecKind::FixedPoint;
+    let a = run_chaos(&cfg).to_json().render();
+    let b = run_chaos(&cfg).to_json().render();
+    assert_eq!(a, b, "fixed-point chaos must replay byte-identically");
+}
+
+/// The tolerant I1 must still have teeth: seed the fixed-point encoder
+/// bug that scales mantissas with the honest exponent but stamps
+/// `exp + bias` in the header. Every packet stays wire-legal — lengths,
+/// ids, and counts all parse — so only a value-level invariant can notice
+/// that each decoded aggregate arrives scaled by `2^bias`, far outside
+/// the codec's error bound. The identical schedule with the bug disarmed
+/// has to pass.
+#[test]
+fn exponent_stamp_bug_trips_the_tolerant_conservation_invariant() {
+    let schedule = ChaosSchedule {
+        faults: vec![ChaosFault::EdgeDown {
+            worker: 1,
+            at: SimDuration::from_millis(2),
+            duration: SimDuration::from_millis(40),
+        }],
+    };
+    let mut cfg = ChaosConfig::new(Algorithm::Ppo, Strategy::SyncIsw, 0);
+    cfg.iterations = 8;
+    cfg.schedule = Some(schedule);
+    cfg.codec = CodecKind::FixedPoint;
+
+    cfg.exponent_bug = 2;
+    let broken = run_chaos(&cfg);
+    assert!(
+        broken
+            .violations
+            .iter()
+            .any(|v| v.contains("I1 conservation")),
+        "a 4x-scaled aggregate must escape even the codec-aware tolerance; got {:?}",
+        broken.violations
+    );
+
+    cfg.exponent_bug = 0;
+    let honest = run_chaos(&cfg);
+    assert!(
+        honest.passed(),
+        "honest fixed-point encoding should pass the same schedule: {:?}",
+        honest.violations
+    );
 }
 
 /// The harness must have teeth: replace `Help`-based loss recovery with

@@ -19,7 +19,8 @@ use std::collections::HashMap;
 use iswitch_netsim::SimDuration;
 use serde::{Deserialize, Serialize};
 
-use crate::protocol::{DataSegment, SegmentMeta, FLOATS_PER_SEGMENT, SEG_HEADER_BYTES};
+use crate::protocol::codec::{accumulate_f32, CodecKind, WireAcc};
+use crate::protocol::{DataSegment, SegmentMeta};
 
 /// Hardware parameters of the accelerator (defaults follow §3.5).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -120,6 +121,10 @@ pub struct Accelerator {
     cfg: AcceleratorConfig,
     threshold: u16,
     num_segments: usize,
+    /// The aggregation format this instance's datapath is configured for.
+    /// One codec per job (the flexible-switch per-job knob): slots hold the
+    /// codec's native accumulator and payloads parse under its layout.
+    codec: CodecKind,
     /// Maps the full (round-tagged) `Seg` value of each open round to its
     /// dense slot in `slots` — the SwitchML-style pool layout: one hash
     /// lookup per packet resolves buffer, contribution counter, and worker
@@ -145,10 +150,10 @@ pub struct Accelerator {
 
 /// Per-open-round aggregation state: the BRAM buffer plus the hardware's
 /// per-segment counters, kept together so one packet touches one slot.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 struct Slot {
-    /// Partial sums for this round.
-    values: Vec<f32>,
+    /// Partial sums for this round, in the codec's native representation.
+    acc: WireAcc,
     /// Contributions (packets) received — compared against `H`.
     contributions: u16,
     /// Total workers represented (sums the incoming `count` fields) —
@@ -156,62 +161,15 @@ struct Slot {
     workers: u16,
 }
 
-/// Adds `src` into `acc` element-wise, chunked to the datapath's eight
-/// parallel f32 adders (one 256-bit AXI bus beat) so the compiler emits
-/// vector adds. Lanes are independent — no reassociation — so results are
-/// bit-identical to the scalar loop.
-fn accumulate(acc: &mut [f32], src: &[f32]) {
-    const LANES: usize = 8;
-    let mut acc_chunks = acc.chunks_exact_mut(LANES);
-    let mut src_chunks = src.chunks_exact(LANES);
-    for (a, s) in acc_chunks.by_ref().zip(src_chunks.by_ref()) {
-        for i in 0..LANES {
-            a[i] += s[i];
-        }
-    }
-    for (a, s) in acc_chunks
-        .into_remainder()
-        .iter_mut()
-        .zip(src_chunks.remainder())
-    {
-        *a += s;
-    }
-}
-
-/// Adds big-endian f32 wire data into `acc` element-wise, without first
-/// materializing a decoded `Vec<f32>`. Element order matches [`accumulate`]
-/// exactly, so sums are bit-identical to the decode-then-accumulate path.
-fn accumulate_wire(acc: &mut [f32], bytes: &[u8]) {
-    debug_assert_eq!(acc.len() * 4, bytes.len());
-    for (a, c) in acc.iter_mut().zip(bytes.chunks_exact(4)) {
-        *a += f32::from_be_bytes(c.try_into().expect("4 bytes"));
-    }
-}
-
-/// One arriving contribution, either as decoded floats or as raw wire
-/// bytes. Keeping the two behind one ingest path guarantees both charge
-/// identical latency and produce bit-identical sums.
+/// One arriving contribution, either as decoded floats or as a raw wire
+/// payload (headers included — the codec parses its own sub-header).
+/// Keeping the two behind one ingest path guarantees both charge latency
+/// through the same model and land in the same accumulator.
 enum Contribution<'a> {
     /// Decoded f32 values (the owned [`DataSegment`] path).
     Floats(&'a [f32]),
-    /// Big-endian f32 wire data, header already stripped.
+    /// A full wire payload in the accelerator's codec format.
     Wire(&'a [u8]),
-}
-
-impl Contribution<'_> {
-    fn len(&self) -> usize {
-        match self {
-            Contribution::Floats(src) => src.len(),
-            Contribution::Wire(bytes) => bytes.len() / 4,
-        }
-    }
-
-    fn accumulate_into(&self, acc: &mut [f32]) {
-        match self {
-            Contribution::Floats(src) => accumulate(acc, src),
-            Contribution::Wire(bytes) => accumulate_wire(acc, bytes),
-        }
-    }
 }
 
 impl Accelerator {
@@ -225,16 +183,33 @@ impl Accelerator {
     /// Panics if `threshold` is zero, `num_segments` is zero, or the buffer
     /// requirement exceeds the configured BRAM budget.
     pub fn new(cfg: AcceleratorConfig, num_segments: usize, threshold: u16) -> Self {
+        Self::with_codec(cfg, num_segments, threshold, CodecKind::F32)
+    }
+
+    /// An accelerator whose datapath aggregates in `codec`'s native
+    /// representation. [`Accelerator::new`] is `with_codec(.., F32)`, the
+    /// paper's raw-float datapath, bit-identical to the pre-codec build.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Accelerator::new`].
+    pub fn with_codec(
+        cfg: AcceleratorConfig,
+        num_segments: usize,
+        threshold: u16,
+        codec: CodecKind,
+    ) -> Self {
         assert!(threshold > 0, "aggregation threshold H must be positive");
         assert!(num_segments > 0, "at least one segment required");
         assert!(
-            FLOATS_PER_SEGMENT * 4 <= cfg.buffer_bytes,
+            codec.acc_bytes(codec.elems_per_segment()) <= cfg.buffer_bytes,
             "BRAM budget smaller than a single segment"
         );
         Accelerator {
             cfg,
             threshold,
             num_segments,
+            codec,
             index: HashMap::new(),
             slots: Vec::new(),
             free: Vec::new(),
@@ -247,6 +222,11 @@ impl Accelerator {
     /// The configured aggregation threshold `H`.
     pub fn threshold(&self) -> u16 {
         self.threshold
+    }
+
+    /// The aggregation format this datapath is configured for.
+    pub fn codec(&self) -> CodecKind {
+        self.codec
     }
 
     /// Changes `H` (the `SetH` control action). Takes effect for segments
@@ -302,46 +282,61 @@ impl Accelerator {
     ///
     /// # Panics
     ///
-    /// Panics if the segment index is out of range or a segment arrives
-    /// with an inconsistent length.
+    /// Panics if the segment index is out of range, a segment arrives with
+    /// an inconsistent length, or (for quantized codecs) a value is
+    /// non-finite — the floats path re-encodes through the codec, and
+    /// quantized formats reject NaN/Inf.
     pub fn ingest(&mut self, seg: &DataSegment) -> (Option<DataSegment>, SimDuration) {
-        self.ingest_inner(seg.seg, seg.count, Contribution::Floats(&seg.values))
+        self.ingest_inner(
+            seg.seg,
+            seg.count,
+            seg.values.len(),
+            Contribution::Floats(&seg.values),
+        )
     }
 
     /// Ingests one contribution straight from its encoded UDP payload
-    /// (`meta` from [`DataSegment::decode_meta`], `payload` the full wire
-    /// payload including the `Seg` header).
+    /// (`meta` from the codec's `decode_meta`, `payload` the full wire
+    /// payload including all headers).
     ///
     /// Semantically identical to decoding into a [`DataSegment`] and
-    /// calling [`Accelerator::ingest`] — same latency charge, bit-identical
-    /// sums — but the per-packet value vector is never materialized, which
-    /// is what the hardware does too: adders read bus beats, not heap
-    /// allocations.
+    /// calling [`Accelerator::ingest`] — same latency model, same
+    /// accumulator — but the per-packet value vector is never materialized,
+    /// which is what the hardware does too: adders read bus beats, not heap
+    /// allocations. The payload may carry the codec's narrow contribution
+    /// or wide result encoding (hierarchical aggregation feeds parent
+    /// switches with wide child aggregates).
     ///
     /// # Panics
     ///
-    /// Panics under the same conditions as [`Accelerator::ingest`].
+    /// Panics if the segment index is out of range, the length is
+    /// inconsistent, or the payload does not parse under this
+    /// accelerator's codec.
     pub fn ingest_wire(
         &mut self,
         meta: SegmentMeta,
         payload: &[u8],
     ) -> (Option<DataSegment>, SimDuration) {
-        self.ingest_inner(
-            meta.seg,
-            meta.count,
-            Contribution::Wire(&payload[SEG_HEADER_BYTES..]),
-        )
+        self.ingest_inner(meta.seg, meta.count, meta.len, Contribution::Wire(payload))
     }
 
     fn ingest_inner(
         &mut self,
         idx: u64,
         count: u16,
+        len: usize,
         values: Contribution<'_>,
     ) -> (Option<DataSegment>, SimDuration) {
-        let len = values.len();
         self.stats.packets_in += 1;
-        let latency = self.charge(len * 4 + 8);
+        let codec = self.codec.codec();
+        // Datapath occupancy follows the bytes actually streamed: the real
+        // payload length on the wire path, the codec's contribution size on
+        // the floats path. For f32 both equal the legacy `len * 4 + 8`.
+        let payload_bytes = match values {
+            Contribution::Floats(_) => codec.contribution_bytes(len),
+            Contribution::Wire(payload) => payload.len(),
+        };
+        let latency = self.charge(payload_bytes);
 
         let slot_id = match self.index.get(&idx) {
             Some(&slot_id) => slot_id,
@@ -351,23 +346,23 @@ impl Accelerator {
                 // hardware would. (This genuinely happens when loss
                 // desynchronizes workers by an iteration: N-1 full vectors
                 // may contend for a buffer that holds less than one.)
-                if self.resident_bytes + len * 4 > self.cfg.buffer_bytes {
+                let acc_bytes = self.codec.acc_bytes(len);
+                if self.resident_bytes + acc_bytes > self.cfg.buffer_bytes {
                     self.stats.bram_drops += 1;
                     return (None, latency);
                 }
-                self.resident_bytes += len * 4;
+                self.resident_bytes += acc_bytes;
                 let slot_id = match self.free.pop() {
                     Some(recycled) => {
                         let slot = &mut self.slots[recycled as usize];
-                        slot.values.clear();
-                        slot.values.resize(len, 0.0);
+                        slot.acc.reset(len);
                         slot.contributions = 0;
                         slot.workers = 0;
                         recycled
                     }
                     None => {
                         self.slots.push(Slot {
-                            values: vec![0.0; len],
+                            acc: codec.new_acc(len),
                             contributions: 0,
                             workers: 0,
                         });
@@ -380,11 +375,32 @@ impl Accelerator {
         };
         let slot = &mut self.slots[slot_id as usize];
         assert_eq!(
-            slot.values.len(),
+            slot.acc.len(),
             len,
             "segment {idx:#x} length changed between contributions"
         );
-        values.accumulate_into(&mut slot.values);
+        match values {
+            // The legacy owned-floats fast path: f32 accumulators add the
+            // decoded values directly, bit-identically to the wire path.
+            Contribution::Floats(src) => {
+                if let WireAcc::F32(sums) = &mut slot.acc {
+                    accumulate_f32(sums, src);
+                } else {
+                    // Quantized codecs have no direct floats path in
+                    // hardware either — the contribution passes through the
+                    // codec's narrow encoding, quantization error included.
+                    let payload = codec
+                        .encode_contribution(idx, src)
+                        .expect("finite contribution values");
+                    codec
+                        .accumulate(&mut slot.acc, &payload)
+                        .expect("self-encoded payload accumulates");
+                }
+            }
+            Contribution::Wire(payload) => codec
+                .accumulate(&mut slot.acc, payload)
+                .expect("payload matches the accelerator codec"),
+        }
         if self.resident_bytes > self.stats.peak_buffer_bytes {
             self.stats.peak_buffer_bytes = self.resident_bytes;
         }
@@ -404,10 +420,16 @@ impl Accelerator {
             .remove(&idx)
             .expect("completing a resident segment");
         let slot = &mut self.slots[slot_id as usize];
-        let values = std::mem::take(&mut slot.values);
+        let freed = slot.acc.resident_bytes();
+        // f32 slots hand their buffer to the result without a copy (the
+        // legacy path); integer accumulators decode to fresh f32 sums.
+        let values = match &mut slot.acc {
+            WireAcc::F32(sums) => std::mem::take(sums),
+            acc => self.codec.codec().decode_acc(acc),
+        };
         let count = slot.workers;
         self.free.push(slot_id);
-        self.resident_bytes -= values.len() * 4;
+        self.resident_bytes -= freed;
         self.stats.segments_emitted += 1;
         let result = DataSegment {
             seg: idx,

@@ -51,11 +51,14 @@ pub use accelerator::{Accelerator, AcceleratorConfig, AcceleratorStats, Resource
 pub use control_plane::{Member, MemberType, MembershipTable};
 pub use error::ProtocolError;
 pub use protocol::{
-    dscp, is_iswitch_tos, num_quant_segments, num_segments, quantize_gradient, seg_index,
-    seg_round, segment_gradient, segment_gradient_round, tag_round, ControlMessage, DataSegment,
-    GradientAssembler, QuantAccelerator, QuantConfig, QuantSegment, RoundAssembler, RoundInsert,
-    SegmentMeta, FLOATS_PER_SEGMENT, INTS_PER_SEGMENT, ISWITCH_UDP_PORT, MAX_SEG_INDEX,
-    ROUND_SHIFT, SEG_HEADER_BYTES, TOS_CONTROL, TOS_DATA,
+    decode_seg_field, dscp, is_iswitch_tos, num_quant_segments, num_segments, quantize_gradient,
+    seg_index, seg_round, segment_gradient, segment_gradient_round, tag_round, topk_indices,
+    AggregationCodec, BlockFloatCodec, CodecKind, ControlMessage, DataSegment, F32Codec,
+    FixedPointCodec, GradientAssembler, QuantAccelerator, QuantConfig, QuantSegment,
+    RoundAssembler, RoundInsert, SegmentMeta, TopKCodec, WireAcc, BLOCKFLOAT_ELEMS_PER_SEGMENT,
+    BLOCK_ELEMS, CODEC_HEADER_BYTES, FIXED_ELEMS_PER_SEGMENT, FLOATS_PER_SEGMENT, INTS_PER_SEGMENT,
+    ISWITCH_UDP_PORT, MAX_SEG_INDEX, ROUND_SHIFT, SEG_HEADER_BYTES, TOPK_DIVISOR,
+    TOPK_ELEMS_PER_SEGMENT, TOS_CONTROL, TOS_DATA,
 };
 pub use switch_ext::{
     AggregationMode, AggregationRole, ExtensionConfig, ExtensionStats, IswitchExtension,
@@ -63,5 +66,6 @@ pub use switch_ext::{
 };
 pub use worker::{
     control_packet, data_packet, data_packet_wire, decode_control, decode_data, decode_data_meta,
-    gradient_packets, gradient_packets_round, EncodedGradient,
+    gradient_packets, gradient_packets_round, gradient_packets_round_codec, result_packet,
+    EncodedGradient,
 };

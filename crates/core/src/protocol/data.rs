@@ -16,6 +16,7 @@ use bytes::Bytes;
 use iswitch_netsim::MAX_UDP_PAYLOAD;
 
 use crate::error::ProtocolError;
+use crate::protocol::codec::CodecKind;
 
 /// Bytes of the `Seg` header at the start of every data payload.
 pub const SEG_HEADER_BYTES: usize = 8;
@@ -109,6 +110,26 @@ pub(crate) fn encode_segment(seg: u64, count: u16, values: &[f32]) -> Bytes {
         dst.copy_from_slice(&v.to_be_bytes());
     }
     Bytes::from(buf)
+}
+
+/// Reads just the round-tagged `Seg` field of a data payload, without
+/// touching the body. Codec-agnostic: every codec layout begins with the
+/// same 8-byte `Seg` header, so consumers that only need arrival identity
+/// (gap detection in reliable transports) parse one way for all formats.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::Truncated`] if the payload is shorter than the
+/// header.
+pub fn decode_seg_field(payload: &[u8]) -> Result<u64, ProtocolError> {
+    if payload.len() < SEG_HEADER_BYTES {
+        return Err(ProtocolError::Truncated {
+            needed: SEG_HEADER_BYTES,
+            got: payload.len(),
+        });
+    }
+    let header = u64::from_be_bytes(payload[..8].try_into().expect("8 bytes"));
+    Ok(header >> 16)
 }
 
 impl DataSegment {
@@ -210,6 +231,10 @@ pub fn segment_gradient_round(grad: &[f32], round: u32) -> Vec<DataSegment> {
 #[derive(Debug, Clone)]
 pub struct GradientAssembler {
     grad_len: usize,
+    /// Elements per full segment — [`FLOATS_PER_SEGMENT`] for the f32
+    /// format, the codec's own capacity otherwise. Segment `i` covers
+    /// offsets `i * seg_elems ..`.
+    seg_elems: usize,
     values: Vec<f32>,
     counts: Vec<u16>,
     received: Vec<bool>,
@@ -217,16 +242,29 @@ pub struct GradientAssembler {
 }
 
 impl GradientAssembler {
-    /// An assembler for a gradient of `grad_len` elements.
+    /// An assembler for a gradient of `grad_len` elements in the f32
+    /// segment layout.
     ///
     /// # Panics
     ///
     /// Panics if `grad_len` is zero.
     pub fn new(grad_len: usize) -> Self {
+        Self::with_seg_elems(grad_len, FLOATS_PER_SEGMENT)
+    }
+
+    /// An assembler whose segments carry `seg_elems` elements each (the
+    /// codec's per-segment capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad_len` or `seg_elems` is zero.
+    pub fn with_seg_elems(grad_len: usize, seg_elems: usize) -> Self {
         assert!(grad_len > 0, "gradient length must be positive");
-        let n = num_segments(grad_len);
+        assert!(seg_elems > 0, "segment capacity must be positive");
+        let n = grad_len.div_ceil(seg_elems);
         GradientAssembler {
             grad_len,
+            seg_elems,
             values: vec![0.0; grad_len],
             counts: vec![0; n],
             received: vec![false; n],
@@ -267,8 +305,8 @@ impl GradientAssembler {
         if idx >= self.received.len() {
             return Err(ProtocolError::InvalidField("seg"));
         }
-        let offset = idx * FLOATS_PER_SEGMENT;
-        let expect = (self.grad_len - offset).min(FLOATS_PER_SEGMENT);
+        let offset = idx * self.seg_elems;
+        let expect = (self.grad_len - offset).min(self.seg_elems);
         if seg.values.len() != expect {
             return Err(ProtocolError::InvalidField("payload length"));
         }
@@ -292,8 +330,8 @@ impl GradientAssembler {
         let mut out = self.values;
         for (i, &count) in self.counts.iter().enumerate() {
             assert!(count > 0, "segment {i} has zero contributors");
-            let offset = i * FLOATS_PER_SEGMENT;
-            let end = (offset + FLOATS_PER_SEGMENT).min(out.len());
+            let offset = i * self.seg_elems;
+            let end = (offset + self.seg_elems).min(out.len());
             let inv = 1.0 / f32::from(count);
             for v in &mut out[offset..end] {
                 *v *= inv;
@@ -341,6 +379,9 @@ pub enum RoundInsert {
 #[derive(Debug, Clone)]
 pub struct RoundAssembler {
     grad_len: usize,
+    /// The wire format result segments arrive in; governs segment count,
+    /// layout, and [`RoundAssembler::insert_wire`] parsing.
+    codec: CodecKind,
     /// `Some(r)`: accept only segments tagged with round `r` (mod 2^16).
     /// `None`: accept any round tag (the asynchronous pipeline, where
     /// contributions are not round-aligned).
@@ -353,20 +394,32 @@ pub struct RoundAssembler {
 }
 
 impl RoundAssembler {
-    /// An assembler for `grad_len`-element vectors. With `store_values`,
-    /// aggregated values are buffered and [`RoundAssembler::take_mean`]
-    /// yields the count-weighted mean after completion.
+    /// An assembler for `grad_len`-element vectors in the f32 wire format.
+    /// With `store_values`, aggregated values are buffered and
+    /// [`RoundAssembler::take_mean`] yields the count-weighted mean after
+    /// completion.
     ///
     /// # Panics
     ///
     /// Panics if `grad_len` is zero.
     pub fn new(grad_len: usize, store_values: bool) -> Self {
+        Self::with_codec(grad_len, store_values, CodecKind::F32)
+    }
+
+    /// An assembler for result segments in `codec`'s wire format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad_len` is zero.
+    pub fn with_codec(grad_len: usize, store_values: bool, codec: CodecKind) -> Self {
         assert!(grad_len > 0, "gradient length must be positive");
-        let n = num_segments(grad_len);
+        let n = codec.num_segments(grad_len);
         RoundAssembler {
             grad_len,
+            codec,
             round: None,
-            values: store_values.then(|| GradientAssembler::new(grad_len)),
+            values: store_values
+                .then(|| GradientAssembler::with_seg_elems(grad_len, codec.elems_per_segment())),
             store_values,
             received: vec![false; n],
             pending: n,
@@ -381,7 +434,10 @@ impl RoundAssembler {
         self.pending = self.received.len();
         self.done = false;
         if self.store_values {
-            self.values = Some(GradientAssembler::new(self.grad_len));
+            self.values = Some(GradientAssembler::with_seg_elems(
+                self.grad_len,
+                self.codec.elems_per_segment(),
+            ));
         }
     }
 
@@ -420,15 +476,19 @@ impl RoundAssembler {
         }
     }
 
-    /// Feeds one received segment straight from its encoded wire payload.
+    /// Feeds one received segment straight from its encoded wire payload,
+    /// parsed under the assembler's codec. This is the single wire-decode
+    /// path for broadcast results: the codec owns both the accelerator's
+    /// accumulate and this decode, so the two cannot drift.
     ///
-    /// Equivalent to [`DataSegment::decode`] followed by
+    /// Equivalent to the codec's full decode followed by
     /// [`RoundAssembler::insert`], except that bookkeeping-only assemblers
     /// (timing mode) never materialize the value vector — the hot path for
     /// broadcast results fanned out to every worker. Malformed payloads
     /// report [`RoundInsert::Stale`].
     pub fn insert_wire(&mut self, payload: &[u8]) -> RoundInsert {
-        let Ok(meta) = DataSegment::decode_meta(payload) else {
+        let codec = self.codec.codec();
+        let Ok(meta) = codec.decode_meta(payload) else {
             return RoundInsert::Stale;
         };
         match self.admit(meta.seg) {
@@ -437,7 +497,7 @@ impl RoundAssembler {
                     // Co-simulation keeps the aggregate values: fall back to
                     // the full decode (checks run only once — `admit` already
                     // filtered stale rounds and duplicates).
-                    let Ok(seg) = DataSegment::decode(payload) else {
+                    let Ok(seg) = codec.decode_values(payload) else {
                         return RoundInsert::Stale;
                     };
                     if asm.insert(&seg).is_err() {

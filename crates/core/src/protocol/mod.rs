@@ -1,17 +1,23 @@
 //! The iSwitch network protocol (paper §3.2): ToS tagging, control
 //! messages, and gradient data segmentation.
 
+pub(crate) mod codec;
 mod control;
 pub(crate) mod data;
 mod quant;
 mod tos;
 
+pub use codec::{
+    topk_indices, AggregationCodec, BlockFloatCodec, CodecKind, F32Codec, FixedPointCodec,
+    TopKCodec, WireAcc, BLOCKFLOAT_ELEMS_PER_SEGMENT, BLOCK_ELEMS, CODEC_HEADER_BYTES,
+    FIXED_ELEMS_PER_SEGMENT, TOPK_DIVISOR, TOPK_ELEMS_PER_SEGMENT,
+};
 pub use control::ControlMessage;
 pub(crate) use data::encode_segment;
 pub use data::{
-    num_segments, seg_index, seg_round, segment_gradient, segment_gradient_round, tag_round,
-    DataSegment, GradientAssembler, RoundAssembler, RoundInsert, SegmentMeta, FLOATS_PER_SEGMENT,
-    MAX_SEG_INDEX, ROUND_SHIFT, SEG_HEADER_BYTES,
+    decode_seg_field, num_segments, seg_index, seg_round, segment_gradient, segment_gradient_round,
+    tag_round, DataSegment, GradientAssembler, RoundAssembler, RoundInsert, SegmentMeta,
+    FLOATS_PER_SEGMENT, MAX_SEG_INDEX, ROUND_SHIFT, SEG_HEADER_BYTES,
 };
 pub use quant::{
     num_quant_segments, quantize_gradient, QuantAccelerator, QuantConfig, QuantSegment,

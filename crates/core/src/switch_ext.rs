@@ -27,9 +27,10 @@ use iswitch_obs::{Counter, Histogram, Registry, Span, TraceEvent};
 
 use crate::accelerator::{Accelerator, AcceleratorConfig};
 use crate::control_plane::{Member, MemberType, MembershipTable};
+use crate::protocol::codec::CodecKind;
 use crate::protocol::{
-    dscp, num_segments, seg_index, seg_round, ControlMessage, DataSegment, ISWITCH_UDP_PORT,
-    TOS_CONTROL, TOS_DATA,
+    dscp, seg_index, seg_round, ControlMessage, DataSegment, ISWITCH_UDP_PORT, TOS_CONTROL,
+    TOS_DATA,
 };
 
 /// Destination IP carried by downward result broadcasts. Worker apps accept
@@ -94,6 +95,10 @@ pub struct ExtensionConfig {
     /// packet and stay phase-shifted forever (the round-versioning problem
     /// follow-on systems like SwitchML solve with slot versions).
     pub stale_flush: Option<SimDuration>,
+    /// Aggregation format the job runs in (the per-job datapath knob).
+    /// Every switch and worker of a job must agree; defaults to
+    /// [`CodecKind::F32`], the paper's raw-float format.
+    pub codec: CodecKind,
 }
 
 impl ExtensionConfig {
@@ -111,6 +116,7 @@ impl ExtensionConfig {
             auto_threshold: false,
             mode: AggregationMode::OnTheFly,
             stale_flush: None,
+            codec: CodecKind::F32,
         }
     }
 
@@ -133,6 +139,7 @@ impl ExtensionConfig {
             auto_threshold: false,
             mode: AggregationMode::OnTheFly,
             stale_flush: None,
+            codec: CodecKind::F32,
         }
     }
 
@@ -155,6 +162,12 @@ impl ExtensionConfig {
     /// [`ExtensionConfig::stale_flush`]).
     pub fn with_stale_flush(mut self, age: SimDuration) -> Self {
         self.stale_flush = Some(age);
+        self
+    }
+
+    /// Sets the job's aggregation codec (see [`ExtensionConfig::codec`]).
+    pub fn with_codec(mut self, codec: CodecKind) -> Self {
+        self.codec = codec;
         self
     }
 }
@@ -286,10 +299,11 @@ impl IswitchExtension {
             "a switch needs at least one child"
         );
         assert!(cfg.grad_len > 0, "gradient length must be positive");
-        let accel = Accelerator::new(
+        let accel = Accelerator::with_codec(
             cfg.accel.clone(),
-            num_segments(cfg.grad_len),
+            cfg.codec.num_segments(cfg.grad_len),
             cfg.threshold.max(1),
+            cfg.codec,
         );
         IswitchExtension {
             cfg,
@@ -337,8 +351,9 @@ impl IswitchExtension {
 
     fn data_packet(&self, dst: IpAddr, seg: &DataSegment) -> Packet {
         // Reuses the worker-side factory so switch-emitted results carry
-        // the same causal key shape as worker contributions.
-        crate::worker::data_packet(self.cfg.switch_ip, dst, seg)
+        // the same causal key shape as worker contributions. Results leave
+        // in the codec's wide format (for f32, the legacy raw encoding).
+        crate::worker::result_packet(self.cfg.switch_ip, dst, seg, self.cfg.codec)
     }
 
     fn broadcast_down(&mut self, sw: &mut SwitchServices<'_, '_>, seg: &DataSegment, ce: bool) {
@@ -416,7 +431,11 @@ impl IswitchExtension {
                 // Globally aggregated result coming down: fan out unchanged.
                 // The payload is already the exact bytes the children expect,
                 // so relay it zero-copy instead of decode + re-encode.
-                let meta = DataSegment::decode_meta(&pkt.payload)
+                let meta = self
+                    .cfg
+                    .codec
+                    .codec()
+                    .decode_meta(&pkt.payload)
                     .expect("malformed result packet from parent switch");
                 let mut relay = crate::worker::data_packet_wire(
                     self.cfg.switch_ip,
@@ -434,7 +453,7 @@ impl IswitchExtension {
                 return;
             }
         }
-        let meta = match DataSegment::decode_meta(&pkt.payload) {
+        let meta = match self.cfg.codec.codec().decode_meta(&pkt.payload) {
             Ok(meta) => meta,
             // Malformed data packets are dropped, as real hardware would.
             Err(_) => return,

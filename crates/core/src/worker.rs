@@ -4,11 +4,25 @@
 use bytes::Bytes;
 use iswitch_netsim::{CausalKey, IpAddr, Packet};
 
+use crate::protocol::codec::{CodecKind, FixedPointCodec};
 use crate::protocol::{
     dscp, encode_segment, seg_index, seg_round, tag_round, ControlMessage, DataSegment,
     SegmentMeta, FLOATS_PER_SEGMENT, ISWITCH_UDP_PORT, SEG_HEADER_BYTES, TOS_CONTROL, TOS_DATA,
 };
 use crate::switch_ext::UPSTREAM_IP;
+
+/// Encodes one contribution chunk under `codec`, honoring the seeded
+/// exponent-stamp bias for fixed-point (the chaos harness's codec bug; a
+/// bias of zero is correct operation and the only value other codecs
+/// accept a stamp for).
+fn encode_codec_segment(codec: CodecKind, seg: u64, values: &[f32], exp_bias: i8) -> Bytes {
+    let payload = if exp_bias != 0 && codec == CodecKind::FixedPoint {
+        FixedPointCodec.encode_contribution_biased(seg, values, exp_bias)
+    } else {
+        codec.codec().encode_contribution(seg, values)
+    };
+    payload.expect("gradient values are finite")
+}
 
 /// Builds the sequence of data packets carrying `grad` from a worker at
 /// `src` toward its switch. One packet per segment, in segment order.
@@ -36,6 +50,40 @@ pub fn gradient_packets_round(src: IpAddr, grad: &[f32], round: u32) -> Vec<Pack
         .collect()
 }
 
+/// Like [`gradient_packets_round`] with the contribution payloads encoded
+/// under `codec`. `exp_bias` seeds the fixed-point exponent-stamp bug
+/// (zero for correct operation; ignored by other codecs). For
+/// [`CodecKind::F32`] with zero bias the packets are byte-identical to
+/// [`gradient_packets_round`].
+///
+/// # Panics
+///
+/// Panics if the gradient contains non-finite values — quantized codecs
+/// reject NaN/Inf at encode time.
+pub fn gradient_packets_round_codec(
+    src: IpAddr,
+    grad: &[f32],
+    round: u32,
+    codec: CodecKind,
+    exp_bias: i8,
+) -> Vec<Packet> {
+    if codec == CodecKind::F32 {
+        return gradient_packets_round(src, grad, round);
+    }
+    grad.chunks(codec.elems_per_segment())
+        .enumerate()
+        .map(|(i, chunk)| {
+            let seg = tag_round(i as u64, round);
+            sealed_data_packet(
+                src,
+                UPSTREAM_IP,
+                seg,
+                encode_codec_segment(codec, seg, chunk, exp_bias),
+            )
+        })
+        .collect()
+}
+
 /// Pre-encoded contribution payloads for a gradient vector whose contents
 /// do not change between iterations (timing-mode synthetic gradients).
 ///
@@ -54,12 +102,34 @@ pub struct EncodedGradient {
 impl EncodedGradient {
     /// Encodes `grad` once as worker contributions (count = 1).
     pub fn new(src: IpAddr, grad: &[f32]) -> Self {
+        Self::with_codec(src, grad, CodecKind::F32, 0)
+    }
+
+    /// Encodes `grad` once under `codec` (`exp_bias` seeds the fixed-point
+    /// exponent-stamp bug; zero is correct operation). The per-round header
+    /// patch in [`EncodedGradient::packets_round`] works for every codec —
+    /// all layouts share the 8-byte `Seg` header and nothing else in the
+    /// payload depends on the round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient contains non-finite values and the codec is
+    /// quantized.
+    pub fn with_codec(src: IpAddr, grad: &[f32], codec: CodecKind, exp_bias: i8) -> Self {
+        let encode = |i: usize, chunk: &[f32]| {
+            let seg = tag_round(i as u64, 0);
+            if codec == CodecKind::F32 {
+                encode_segment(seg, 1, chunk)
+            } else {
+                encode_codec_segment(codec, seg, chunk, exp_bias)
+            }
+        };
         EncodedGradient {
             src,
             round0: grad
-                .chunks(FLOATS_PER_SEGMENT)
+                .chunks(codec.elems_per_segment())
                 .enumerate()
-                .map(|(i, chunk)| encode_segment(tag_round(i as u64, 0), 1, chunk))
+                .map(|(i, chunk)| encode(i, chunk))
                 .collect(),
         }
     }
@@ -96,6 +166,13 @@ impl EncodedGradient {
 /// of training work the packet carries.
 pub fn data_packet(src: IpAddr, dst: IpAddr, seg: &DataSegment) -> Packet {
     sealed_data_packet(src, dst, seg.seg, seg.encode())
+}
+
+/// Builds a result packet carrying an aggregate in `codec`'s wide result
+/// format — what iSwitch switches broadcast down (and intermediates send
+/// up). For [`CodecKind::F32`] this is exactly [`data_packet`].
+pub fn result_packet(src: IpAddr, dst: IpAddr, seg: &DataSegment, codec: CodecKind) -> Packet {
+    sealed_data_packet(src, dst, seg.seg, codec.codec().encode_result(seg))
 }
 
 /// Re-wraps an already-encoded data payload into a packet from `src` —

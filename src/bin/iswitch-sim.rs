@@ -18,6 +18,7 @@ use iswitch::cluster::{
     ChaosSchedule, ConvergenceConfig, CosimConfig, Strategy, TimingConfig, TraceOptions,
     TransportKind,
 };
+use iswitch::core::CodecKind;
 use iswitch::netsim::{EgressQueue, FattreeShape};
 use iswitch::obs::JsonValue;
 use iswitch::rl::Algorithm;
@@ -71,6 +72,15 @@ OPTIONS:
     --edge-loss <P>                    random per-packet loss probability on
                                        every worker edge link (timing only;
                                        exercises Help/FBcast recovery)
+    --codec <f32|fixed-point|block-float|top-k>
+                                       aggregation codec: how gradients are
+                                       laid out on the wire and summed in
+                                       the switch (default: f32, the exact
+                                       legacy format; timing, cosim, and
+                                       chaos, isw strategies only). Cosim
+                                       additionally reports the decoded
+                                       aggregate's error against the exact
+                                       host-side mean
     --transport <go-back|nack|dcqcn>   reliability/congestion policy on every
                                        worker (default: go-back). go-back:
                                        switch-assisted Help/FBcast recovery;
@@ -162,6 +172,15 @@ fn parse_f64(args: &[String], name: &str) -> Option<f64> {
     })
 }
 
+fn parse_codec(args: &[String]) -> Option<CodecKind> {
+    parse_flag(args, "--codec").map(|v| {
+        v.parse::<CodecKind>().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(2);
+        })
+    })
+}
+
 fn write_artifact(path: &str, contents: &str) {
     if let Some(parent) = Path::new(path).parent() {
         if !parent.as_os_str().is_empty() {
@@ -195,6 +214,9 @@ fn cmd_cosim(args: &[String], alg: Algorithm, strategy: Strategy) {
     if let Some(s) = parse_usize(args, "--seed") {
         cfg.seed = s as u64;
     }
+    if let Some(c) = parse_codec(args) {
+        cfg.codec = c;
+    }
     println!(
         "co-simulating {} / {} with {} workers (target reward {:?})…",
         alg,
@@ -221,11 +243,26 @@ fn cmd_cosim(args: &[String], alg: Algorithm, strategy: Strategy) {
         r.final_average_reward
     );
     println!("per-iteration time : {}", r.per_iteration);
+    if let (Some(mean), Some(max)) = (r.ref_error_mean, r.ref_error_max) {
+        println!(
+            "aggregate ref error: mean {mean:.3e}  max {max:.3e}  ({})",
+            cfg.codec
+        );
+    }
     if let Some(path) = parse_flag(args, "--metrics-out") {
         let mut doc = JsonValue::empty_object();
         doc.insert("artifact", JsonValue::Str("cosim".to_owned()));
         doc.insert("algorithm", JsonValue::Str(alg.to_string()));
         doc.insert("strategy", JsonValue::Str(strategy.label().to_owned()));
+        if cfg.codec != CodecKind::F32 {
+            // Non-default codecs only: f32 artifacts keep their exact
+            // pre-codec byte layout.
+            doc.insert("codec", JsonValue::Str(cfg.codec.label().to_owned()));
+            if let (Some(mean), Some(max)) = (r.ref_error_mean, r.ref_error_max) {
+                doc.insert("ref_error_mean", JsonValue::Float(mean));
+                doc.insert("ref_error_max", JsonValue::Float(max));
+            }
+        }
         doc.insert("workers", JsonValue::UInt(cfg.workers as u64));
         doc.insert("iterations", JsonValue::UInt(r.iterations as u64));
         doc.insert("updates", JsonValue::UInt(r.updates));
@@ -308,6 +345,13 @@ fn cmd_timing(args: &[String]) {
             eprintln!("{e}");
             exit(2);
         });
+    }
+    if let Some(c) = parse_codec(args) {
+        if c != CodecKind::F32 && !matches!(strategy, Strategy::SyncIsw | Strategy::AsyncIsw) {
+            eprintln!("--codec applies to the in-switch strategies (isw, async-isw)");
+            exit(2);
+        }
+        cfg.codec = c;
     }
     if args.iter().any(|a| a == "--incast") {
         cfg.incast = true;
@@ -476,6 +520,11 @@ fn cmd_chaos(args: &[String]) {
                 eprintln!("{e}");
                 exit(2);
             });
+        }
+        if let Some(c) = parse_codec(args) {
+            if matches!(strategy, Strategy::SyncIsw | Strategy::AsyncIsw) {
+                cfg.codec = c;
+            }
         }
         cfg.schedule = schedule.clone();
         let report = run_chaos(&cfg);
