@@ -36,17 +36,28 @@
 //! pins itself to them before measuring, so cells don't share cores with
 //! ambient load (`--no-pin` opts out).
 //!
+//! Each cell also archives its deterministic **telemetry counters**
+//! (egress ECN marks, queue/link drops, lookahead epochs and barrier-stall
+//! nanoseconds, per-transport recovery and congestion-control activity)
+//! under a `telemetry` object. They are not part of the fingerprint; they
+//! exist so `--explain` can diff a diverged cell against the archived
+//! baseline and name the subsystem that moved, not just the symptom.
+//!
 //! Flags: `--quick` (reduced matrix: first seed only), `--stable` (omit
 //! measured fields; skip the throughput gate), `--out <path>` (default
 //! `BENCH_perf.json`), `--baseline <path>`, `--threshold <f>`,
-//! `--update-baseline` (rewrite the baseline from this run), `--no-pin`.
+//! `--update-baseline` (rewrite the baseline from this run),
+//! `--explain` (per-subsystem regression table for every cell that
+//! diverged from the baseline, even when fingerprints pass), `--no-pin`.
 
 use std::path::PathBuf;
 use std::process::exit;
 use std::time::Instant;
 
 use iswitch_bench::{banner, write_metrics};
-use iswitch_cluster::{run_timing_perf, PerfSample, Strategy, TimingConfig, TransportKind};
+use iswitch_cluster::{
+    run_timing_perf, PerfSample, Strategy, TimingConfig, TransportKind, TransportStats,
+};
 use iswitch_core::CodecKind;
 use iswitch_netsim::FattreeShape;
 use iswitch_obs::JsonValue;
@@ -111,6 +122,7 @@ const TOPOLOGIES: [Topo; 3] = [
 struct Cell {
     id: String,
     sample: PerfSample,
+    transport: TransportStats,
     per_iteration_ns: u64,
     wall_ns: u64,
     cpu_ns: u64,
@@ -268,6 +280,7 @@ fn run_one(id: String, cfg: &TimingConfig) -> Cell {
     Cell {
         id,
         sample,
+        transport: result.transport,
         per_iteration_ns: result.per_iteration.as_nanos(),
         wall_ns,
         cpu_ns,
@@ -334,6 +347,15 @@ fn report_json(cells: &[Cell], quick: bool, stable: bool, peak_rss: Option<u64>)
         );
         row.insert("sim_ns", JsonValue::UInt(c.sample.sim_ns));
         row.insert("per_iteration_ns", JsonValue::UInt(c.per_iteration_ns));
+        // Deterministic telemetry counters, archived per cell so a failing
+        // gate can explain *which subsystem* moved (`--explain`). Not part
+        // of the workload fingerprint: the five fields above remain the
+        // behaviour contract.
+        let mut telemetry = JsonValue::empty_object();
+        for (field, value) in telemetry_fields(c) {
+            telemetry.insert(field, JsonValue::UInt(value));
+        }
+        row.insert("telemetry", telemetry);
         if !stable {
             row.insert("wall_ns", JsonValue::UInt(c.wall_ns));
             row.insert("cpu_ns", JsonValue::UInt(c.cpu_ns));
@@ -379,6 +401,81 @@ fn report_json(cells: &[Cell], quick: bool, stable: bool, peak_rss: Option<u64>)
     doc.insert("cells", JsonValue::Array(rows));
     doc.insert("totals", totals);
     doc
+}
+
+/// The telemetry counters archived per cell, in render order. Grouped by
+/// the subsystem that produces them so `--explain` can attribute a
+/// regression: `netsim.*` from the packet engine's queues and links,
+/// `shard.*` from the conservative-lookahead barrier, `transport.*` from
+/// the workers' reliability/congestion layer.
+fn telemetry_fields(c: &Cell) -> [(&'static str, u64); 10] {
+    [
+        ("netsim.ecn_marked", c.sample.ecn_marked),
+        ("netsim.dropped_queue", c.sample.dropped_queue),
+        ("netsim.dropped_link_down", c.sample.dropped_link_down),
+        ("shard.epochs", c.sample.epochs),
+        ("shard.barrier_stall_ns", c.sample.barrier_stall_ns),
+        ("transport.help_requests", c.transport.help_requests),
+        ("transport.nacks_sent", c.transport.nacks_sent),
+        ("transport.retransmits", c.transport.retransmits),
+        ("transport.ecn_echoes", c.transport.ecn_echoes),
+        ("transport.rate_cuts", c.transport.rate_cuts),
+    ]
+}
+
+/// The regression explainer (`--explain`): for every cell that diverged
+/// from the baseline, a per-subsystem table of what moved — the workload
+/// fingerprint fields plus the archived telemetry counters, then vs now.
+/// A fingerprint mismatch names the *symptom* (event counts shifted); the
+/// telemetry rows name the *subsystem* (queues started marking, a domain
+/// started stalling, a transport started cutting its rate).
+fn explain_divergence(cells: &[Cell], baseline: &JsonValue) -> String {
+    use std::fmt::Write as _;
+    let base = cell_map(baseline);
+    let mut s = String::new();
+    for c in cells {
+        let Some((_, b)) = base.iter().find(|(id, _)| *id == c.id) else {
+            let _ = writeln!(s, "{}: new cell, nothing to compare against", c.id);
+            continue;
+        };
+        // timing/ fields live at the row's top level; telemetry under the
+        // cell's `telemetry` object (absent in pre-telemetry baselines).
+        let timing: [(&str, u64); 5] = [
+            ("timing.events", c.sample.events),
+            ("timing.packets_sent", c.sample.packets_sent),
+            ("timing.packets_delivered", c.sample.packets_delivered),
+            ("timing.sim_ns", c.sample.sim_ns),
+            ("timing.per_iteration_ns", c.per_iteration_ns),
+        ];
+        let mut lines = Vec::new();
+        for (field, now) in timing.iter() {
+            let key = field.rsplit('.').next().expect("dotted field");
+            let was = b.get(key).and_then(|v| v.as_u64());
+            if was != Some(*now) {
+                lines.push((*field, was, *now));
+            }
+        }
+        let base_tel = b.get("telemetry");
+        for (field, now) in telemetry_fields(c) {
+            let was = base_tel.and_then(|t| t.get(field)).and_then(|v| v.as_u64());
+            if was != Some(now) {
+                lines.push((field, was, now));
+            }
+        }
+        if lines.is_empty() {
+            continue;
+        }
+        let _ = writeln!(s, "{}:", c.id);
+        let _ = writeln!(s, "  {:<28} {:>15} {:>15}", "field", "baseline", "now");
+        for (field, was, now) in lines {
+            let was = was.map_or("-".to_owned(), |v| v.to_string());
+            let _ = writeln!(s, "  {field:<28} {was:>15} {now:>15}");
+        }
+    }
+    if s.is_empty() {
+        s.push_str("every archived field matches the baseline\n");
+    }
+    s
 }
 
 /// Peak resident-set size of this process in bytes (`VmHWM`), if the
@@ -531,6 +628,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let stable = args.iter().any(|a| a == "--stable");
     let update_baseline = args.iter().any(|a| a == "--update-baseline");
+    let explain = args.iter().any(|a| a == "--explain");
     let out = parse_flag(&args, "--out").unwrap_or_else(|| "BENCH_perf.json".to_owned());
     let baseline_path = parse_flag(&args, "--baseline")
         .map(PathBuf::from)
@@ -638,6 +736,8 @@ fn main() {
         for m in &mismatches {
             eprintln!("  {m}");
         }
+        eprintln!("per-subsystem telemetry of the diverged cells vs the baseline:");
+        eprint!("{}", explain_divergence(&cells, &baseline));
         eprintln!("per-cell throughput vs the baseline:");
         eprint!("{}", comparison_table(&cells, &baseline));
         eprintln!(
@@ -650,6 +750,10 @@ fn main() {
         "workload fingerprints match the baseline ({} cells)",
         cells.len()
     );
+    if explain {
+        println!("per-subsystem telemetry vs the baseline:");
+        print!("{}", explain_divergence(&cells, &baseline));
+    }
 
     if !stable {
         let current = doc

@@ -13,7 +13,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use iswitch_obs::JsonValue;
+use iswitch_obs::{CounterTrack, JsonValue};
 
 /// One span reconstructed from a `"span"` trace event.
 #[derive(Debug, Clone)]
@@ -79,9 +79,13 @@ pub struct TraceAnalysis {
     run: RunMeta,
     /// Producer address (`u32` widened) → worker index.
     worker_index: BTreeMap<u64, u64>,
+    /// Worker index → dotted IP string (the key worker tracks use).
+    worker_ip: BTreeMap<u64, String>,
     spans: Vec<SpanRec>,
     tx: Vec<TxRec>,
     dropped_events: u64,
+    /// Counter tracks joined against the trace (see [`Self::with_timeseries`]).
+    timeseries: Vec<(String, CounterTrack)>,
 }
 
 fn get_u64(doc: &JsonValue, key: &str) -> Option<u64> {
@@ -106,6 +110,7 @@ impl TraceAnalysis {
     pub fn from_jsonl(text: &str) -> Result<TraceAnalysis, String> {
         let mut run = RunMeta::default();
         let mut worker_index = BTreeMap::new();
+        let mut worker_ip = BTreeMap::new();
         let mut spans = Vec::new();
         let mut tx = Vec::new();
         for (lineno, line) in text.lines().enumerate() {
@@ -126,6 +131,9 @@ impl TraceAnalysis {
                         (get_u64(&doc, "index"), get_u64(&doc, "addr"))
                     {
                         worker_index.insert(addr, index);
+                        if let Some(ip) = get_str(&doc, "ip") {
+                            worker_ip.insert(index, ip);
+                        }
                     }
                 }
                 Some("span") => {
@@ -172,10 +180,22 @@ impl TraceAnalysis {
         Ok(TraceAnalysis {
             run,
             worker_index,
+            worker_ip,
             spans,
             tx,
             dropped_events: 0,
+            timeseries: Vec::new(),
         })
+    }
+
+    /// Attaches counter tracks (from `timing --timeseries-out`, parsed with
+    /// [`iswitch_obs::parse_timeseries_jsonl`]) so the report can join each
+    /// round's critical path against the telemetry recorded while the round
+    /// ran: the gating link's queue-depth/ECN/drop series and the gating
+    /// worker's transport rate series.
+    pub fn with_timeseries(mut self, tracks: Vec<(String, CounterTrack)>) -> Self {
+        self.timeseries = tracks;
+        self
     }
 
     /// Records that the source trace dropped `n` events (bounded buffer),
@@ -338,6 +358,84 @@ impl TraceAnalysis {
         })
     }
 
+    /// All tracks whose name starts with `prefix` and ends with `suffix`.
+    fn tracks_matching<'a>(
+        &'a self,
+        prefix: &'a str,
+        suffix: &'a str,
+    ) -> impl Iterator<Item = &'a CounterTrack> {
+        self.timeseries
+            .iter()
+            .filter(move |(name, _)| name.starts_with(prefix) && name.ends_with(suffix))
+            .map(|(_, tr)| tr)
+    }
+
+    /// Joins each round's critical path against the attached counter
+    /// tracks: what the gating link's egress queue, ECN marker, and drop
+    /// counter did while the round ran, and what the gating worker's
+    /// transport was doing when the barrier closed. Empty without
+    /// [`Self::with_timeseries`].
+    ///
+    /// The join windows are `[previous round's barrier, this round's
+    /// barrier]` — the simulated interval in which this round's traffic was
+    /// on the wire. Link tracks exist per direction; the queue peak takes
+    /// the worst direction and the cumulative counters sum both, so the
+    /// report does not depend on which direction label the gating hop used.
+    fn attribution(&self) -> Vec<RoundAttribution> {
+        if self.timeseries.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut window_start = 0u64;
+        for p in self.critical_path() {
+            let window_end = p.barrier_ns;
+            let mut attr = RoundAttribution {
+                round: p.round,
+                window_start_ns: window_start,
+                window_end_ns: window_end,
+                ..RoundAttribution::default()
+            };
+            if let Some(link) = p.gating_link {
+                let prefix = format!("netsim.link.{link:03}.");
+                attr.link = Some(link);
+                attr.queue_bytes_peak = self
+                    .tracks_matching(&prefix, ".queue_bytes")
+                    .filter_map(|tr| tr.peak_in(window_start, window_end))
+                    .max();
+                let sum = |suffix: &str| {
+                    self.tracks_matching(&prefix, suffix)
+                        .filter_map(|tr| tr.delta_in(window_start, window_end))
+                        .fold(None, |acc: Option<i64>, d| Some(acc.unwrap_or(0) + d))
+                };
+                attr.ecn_marks = sum(".ecn_marks");
+                attr.drops = sum(".drops");
+            }
+            if let Some(w) = p.straggler {
+                attr.worker = Some(w);
+                if let Some(ip) = self.worker_ip.get(&w) {
+                    let prefix = format!("cluster.worker.{ip}.");
+                    let track = |suffix: &str| {
+                        self.tracks_matching(&prefix, suffix)
+                            .next()
+                            .and_then(|tr| tr.value_at(window_end))
+                    };
+                    let delta = |suffix: &str| {
+                        self.tracks_matching(&prefix, suffix)
+                            .next()
+                            .and_then(|tr| tr.delta_in(window_start, window_end))
+                    };
+                    attr.tx_rate_bps = track(".tx_rate_bps");
+                    attr.retransmits = delta(".retransmits");
+                    attr.ecn_echoes = delta(".ecn_echoes");
+                }
+            }
+            attr.verdict = attr.classify(&p);
+            out.push(attr);
+            window_start = window_end;
+        }
+        out
+    }
+
     /// The full analysis as one deterministic JSON document.
     pub fn report_json(&self) -> JsonValue {
         let mut root = JsonValue::empty_object();
@@ -424,6 +522,16 @@ impl TraceAnalysis {
                 ),
             );
             root.insert("aggregation_latency", agg);
+        }
+
+        // Only when counter tracks were attached: joins each round's
+        // critical path against the telemetry recorded while it ran.
+        let attribution = self.attribution();
+        if !attribution.is_empty() {
+            root.insert(
+                "attribution",
+                JsonValue::Array(attribution.iter().map(RoundAttribution::to_json).collect()),
+            );
         }
         root
     }
@@ -529,6 +637,55 @@ impl TraceAnalysis {
                 lat.pooled.p50_ns, lat.pooled.p95_ns, lat.pooled.p99_ns, lat.pooled.count
             );
         }
+        let attribution = self.attribution();
+        if !attribution.is_empty() {
+            let mut verdicts: BTreeMap<&'static str, u64> = BTreeMap::new();
+            for a in &attribution {
+                *verdicts.entry(a.verdict).or_insert(0) += 1;
+            }
+            let _ = writeln!(
+                out,
+                "attribution: {}",
+                verdicts
+                    .iter()
+                    .map(|(v, n)| format!("{v} x{n}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            // Keep long runs readable: detail the first rounds, count the rest.
+            for a in attribution.iter().take(10) {
+                let mut parts = Vec::new();
+                if let (Some(l), Some(q)) = (a.link, a.queue_bytes_peak) {
+                    parts.push(format!(
+                        "link {l} queue peak {q} B, ecn {}, drops {}",
+                        a.ecn_marks.unwrap_or(0),
+                        a.drops.unwrap_or(0)
+                    ));
+                }
+                if let Some(w) = a.worker {
+                    let mut s = format!("worker {w}");
+                    if let Some(r) = a.tx_rate_bps {
+                        if r > 0 {
+                            s.push_str(&format!(" rate {r} bps"));
+                        }
+                    }
+                    if a.retransmits.unwrap_or(0) > 0 {
+                        s.push_str(&format!(" rexmit {}", a.retransmits.unwrap_or(0)));
+                    }
+                    parts.push(s);
+                }
+                let _ = writeln!(
+                    out,
+                    "  round {:>3} [{}]: {}",
+                    a.round,
+                    a.verdict,
+                    parts.join("; ")
+                );
+            }
+            if attribution.len() > 10 {
+                let _ = writeln!(out, "  … {} more round(s)", attribution.len() - 10);
+            }
+        }
         out
     }
 }
@@ -577,6 +734,93 @@ impl RoundPath {
         }
         if let Some(b) = self.gating_backlog_ns {
             o.insert("gating_backlog_ns", JsonValue::UInt(b));
+        }
+        o
+    }
+}
+
+/// One round's telemetry join: what the gating link and gating worker were
+/// doing while the round was on the wire.
+#[derive(Debug, Clone, Default)]
+struct RoundAttribution {
+    round: u64,
+    window_start_ns: u64,
+    window_end_ns: u64,
+    link: Option<u64>,
+    queue_bytes_peak: Option<i64>,
+    ecn_marks: Option<i64>,
+    drops: Option<i64>,
+    worker: Option<u64>,
+    tx_rate_bps: Option<i64>,
+    retransmits: Option<i64>,
+    ecn_echoes: Option<i64>,
+    verdict: &'static str,
+}
+
+impl RoundAttribution {
+    /// Names *why* the round was slow, most specific signal first: packet
+    /// loss on the gating link beats congestion beats rate throttling
+    /// beats the coarse compute/network split from the critical path.
+    fn classify(&self, path: &RoundPath) -> &'static str {
+        if self.drops.unwrap_or(0) > 0 {
+            return "lossy-link";
+        }
+        if self.ecn_marks.unwrap_or(0) > 0 || self.queue_bytes_peak.unwrap_or(0) > 0 {
+            return "congested-link";
+        }
+        if self.retransmits.unwrap_or(0) > 0 {
+            return "worker-retransmitting";
+        }
+        if self.tx_rate_bps.unwrap_or(0) > 0 && self.ecn_echoes.unwrap_or(0) > 0 {
+            return "worker-rate-limited";
+        }
+        match (path.compute_ns, path.network_ns) {
+            (Some(c), Some(n)) if c >= n => "compute-bound",
+            (Some(_), Some(_)) => "network-bound",
+            _ => "unattributed",
+        }
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let mut o = JsonValue::empty_object();
+        o.insert("round", JsonValue::UInt(self.round));
+        o.insert("window_start_ns", JsonValue::UInt(self.window_start_ns));
+        o.insert("window_end_ns", JsonValue::UInt(self.window_end_ns));
+        o.insert("verdict", JsonValue::Str(self.verdict.to_owned()));
+        let int = |v: i64| {
+            if v >= 0 {
+                JsonValue::UInt(v as u64)
+            } else {
+                JsonValue::Int(v)
+            }
+        };
+        if let Some(l) = self.link {
+            let mut link = JsonValue::empty_object();
+            link.insert("index", JsonValue::UInt(l));
+            if let Some(v) = self.queue_bytes_peak {
+                link.insert("queue_bytes_peak", int(v));
+            }
+            if let Some(v) = self.ecn_marks {
+                link.insert("ecn_marks", int(v));
+            }
+            if let Some(v) = self.drops {
+                link.insert("drops", int(v));
+            }
+            o.insert("link", link);
+        }
+        if let Some(w) = self.worker {
+            let mut worker = JsonValue::empty_object();
+            worker.insert("index", JsonValue::UInt(w));
+            if let Some(v) = self.tx_rate_bps {
+                worker.insert("tx_rate_bps", int(v));
+            }
+            if let Some(v) = self.retransmits {
+                worker.insert("retransmits", int(v));
+            }
+            if let Some(v) = self.ecn_echoes {
+                worker.insert("ecn_echoes", int(v));
+            }
+            o.insert("worker", worker);
         }
         o
     }

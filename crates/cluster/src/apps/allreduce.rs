@@ -98,6 +98,10 @@ impl StrategyProtocol for RingProto {
         self.transport.begin_round(iter);
     }
 
+    fn transport_telemetry(&self) -> Option<(TransportStats, Option<u64>)> {
+        Some((self.transport.stats(), self.transport.current_rate_bps()))
+    }
+
     fn start_round(&mut self, rt: &mut Rt<'_, '_, '_>) {
         self.begin_step(rt);
     }

@@ -52,6 +52,10 @@ pub struct IswAsyncProto {
 }
 
 impl StrategyProtocol for IswAsyncProto {
+    fn transport_telemetry(&self) -> Option<(TransportStats, Option<u64>)> {
+        Some((self.transport.stats(), self.transport.current_rate_bps()))
+    }
+
     fn on_start(&mut self, rt: &mut Rt<'_, '_, '_>) {
         if rt.source.wants_values() {
             let mut asm = RoundAssembler::with_codec(self.grad_len, true, self.codec);

@@ -116,6 +116,10 @@ impl StrategyProtocol for IswSyncProto {
         self.transport.begin_round(iter);
     }
 
+    fn transport_telemetry(&self) -> Option<(TransportStats, Option<u64>)> {
+        Some((self.transport.stats(), self.transport.current_rate_bps()))
+    }
+
     fn start_round(&mut self, rt: &mut Rt<'_, '_, '_>) {
         rt.set_timer(rt.phase_send_cost(), P_SEND);
     }

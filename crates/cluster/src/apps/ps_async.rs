@@ -61,6 +61,10 @@ impl StrategyProtocol for PsAsyncProto {
         self.pull(rt);
     }
 
+    fn transport_telemetry(&self) -> Option<(TransportStats, Option<u64>)> {
+        Some((self.transport.stats(), self.transport.current_rate_bps()))
+    }
+
     fn on_timer(&mut self, rt: &mut Rt<'_, '_, '_>, token: u64) -> ProtoEvent {
         match token {
             P_COMPUTE => {

@@ -34,6 +34,7 @@ use crate::apps::common::IterLog;
 use crate::compute_model::{CommCosts, ComputeModel};
 use crate::gradient_source::GradientSource;
 use crate::staleness::StalenessLedger;
+use crate::transport::TransportStats;
 
 /// Runtime-reserved timer tokens live below this; protocol tokens must be
 /// `>= PROTO_BASE`. Token *values* never affect event ordering (ties break
@@ -278,6 +279,14 @@ pub trait StrategyProtocol: Send + 'static {
     fn on_timer(&mut self, _rt: &mut Rt<'_, '_, '_>, _token: u64) -> ProtoEvent {
         ProtoEvent::None
     }
+
+    /// Transport telemetry for this worker's counter tracks: the cumulative
+    /// activity counters plus the current paced send rate (`None` for
+    /// transports without a rate controller — their rate track records 0).
+    /// Protocols that own no transport return `None` and record no tracks.
+    fn transport_telemetry(&self) -> Option<(TransportStats, Option<u64>)> {
+        None
+    }
 }
 
 /// The unified strategy worker: shared runtime + protocol + gradient
@@ -359,11 +368,39 @@ impl<P: StrategyProtocol> StrategyRuntime<P> {
         f(&mut self.proto, &mut rt)
     }
 
+    /// Samples this worker's `cluster.worker.IP.*` transport tracks at the
+    /// current time. Called at iteration boundaries (sync) and commit/update
+    /// boundaries (async); a no-op without a telemetry sink or when the
+    /// protocol owns no transport. Values are cumulative counters plus the
+    /// instantaneous paced rate, so the sink's change-collapse keeps idle
+    /// workers free.
+    fn sample_transport(&self, ctx: &HostCtx<'_, '_>) {
+        let Some(ts) = ctx.timeseries() else { return };
+        let Some((stats, rate)) = self.proto.transport_telemetry() else {
+            return;
+        };
+        let t = ctx.now().as_nanos();
+        let base = format!("cluster.worker.{}", ctx.ip());
+        ts.record(&format!("{base}.tx_rate_bps"), t, rate.unwrap_or(0) as i64);
+        ts.record(&format!("{base}.ecn_echoes"), t, stats.ecn_echoes as i64);
+        ts.record(&format!("{base}.retransmits"), t, stats.retransmits as i64);
+        ts.record(&format!("{base}.rate_cuts"), t, stats.rate_cuts as i64);
+        ts.record(
+            &format!("{base}.help_requests"),
+            t,
+            stats.help_requests as i64,
+        );
+        ts.record(&format!("{base}.nacks_sent"), t, stats.nacks_sent as i64);
+    }
+
     /// Sync: top of an iteration — span start, round reset, compute draw.
     fn begin_iteration(&mut self, ctx: &mut HostCtx<'_, '_>) {
         self.core.log.start(ctx.now());
         self.core.phase_start = ctx.now();
         self.proto.begin_round(self.core.iter);
+        // Sample after the round reset so the track reflects the rate this
+        // round will actually pace at (DCQCN adjusts in `begin_round`).
+        self.sample_transport(ctx);
         let d = self.core.compute.sample_local_compute(&mut self.core.rng);
         ctx.set_timer(d, T_COMPUTE);
     }
@@ -431,6 +468,9 @@ impl<P: StrategyProtocol> StrategyRuntime<P> {
         };
         if (self.core.iter as usize) < iterations {
             self.begin_iteration(ctx);
+        } else {
+            // Final boundary: close every track on the last round's counters.
+            self.sample_transport(ctx);
         }
     }
 
@@ -515,6 +555,7 @@ impl<P: StrategyProtocol> HostApp for StrategyRuntime<P> {
                 );
                 self.rt_call(ctx, |p, rt| p.commit(rt));
                 self.core.commits += 1;
+                self.sample_transport(ctx);
                 // Non-blocking send: the LGC stage continues immediately.
                 self.begin_compute(ctx);
             }
@@ -530,6 +571,7 @@ impl<P: StrategyProtocol> HostApp for StrategyRuntime<P> {
                 if let Some(mean) = outcome.aggregate {
                     self.source.apply_aggregate(&mean);
                 }
+                self.sample_transport(ctx);
             }
             _ => {}
         }

@@ -13,7 +13,7 @@ use iswitch_netsim::{
     FattreeShape, Host, HostApp, LinkId, LinkSpec, LossModel, NodeId, PortId, ShardedSim,
     SimDuration, SimTime, Simulator, SwitchExtension, SwitchRole, TopologyConfig,
 };
-use iswitch_obs::{JsonValue, Trace, TraceEvent};
+use iswitch_obs::{JsonValue, Timeseries, Trace, TraceEvent};
 use iswitch_rl::{paper_model, Algorithm};
 use serde::{Deserialize, Serialize};
 
@@ -267,6 +267,7 @@ struct RunObs {
     metrics: Option<JsonValue>,
     want_metrics: bool,
     trace: Option<Arc<Trace>>,
+    timeseries: Option<Arc<Timeseries>>,
     perf: Option<PerfSample>,
 }
 
@@ -283,6 +284,22 @@ pub struct PerfSample {
     pub packets_delivered: u64,
     /// Final simulation clock in nanoseconds.
     pub sim_ns: u64,
+    /// Packets ECN-CE marked by egress queues.
+    #[serde(default)]
+    pub ecn_marked: u64,
+    /// Packets tail-dropped by full egress queues.
+    #[serde(default)]
+    pub dropped_queue: u64,
+    /// Packets dropped on administratively-down links.
+    #[serde(default)]
+    pub dropped_link_down: u64,
+    /// Simulated nanoseconds domains spent stalled at lookahead barriers
+    /// (sharded runs; 0 otherwise).
+    #[serde(default)]
+    pub barrier_stall_ns: u64,
+    /// Lookahead epochs executed (sharded runs; 0 otherwise).
+    #[serde(default)]
+    pub epochs: u64,
 }
 
 /// How the trace of an observed run is captured.
@@ -298,6 +315,12 @@ pub struct TraceOptions {
     pub capacity: Option<usize>,
     /// Streaming JSONL sink receiving every event as it is recorded.
     pub stream: Option<Box<dyn Write + Send>>,
+    /// Counter-track telemetry sink. When set, the engine samples per-link
+    /// queue/ECN/drop tracks on the sink's cadence, the sharded engine adds
+    /// per-domain epoch tracks, and workers/switches add transport and
+    /// codec tracks (see `iswitch_obs::timeseries`). `None` = no sampling,
+    /// zero overhead.
+    pub timeseries: Option<Arc<Timeseries>>,
 }
 
 /// Machine-readable capture of one timing run: the summary result plus the
@@ -316,6 +339,9 @@ pub struct TimingObservation {
     /// The causal trace. Export with [`Trace::to_jsonl`]; events appear in
     /// record order, not sorted by timestamp.
     pub trace: Arc<Trace>,
+    /// The counter-track telemetry captured during the run, when
+    /// [`TraceOptions::timeseries`] supplied a sink.
+    pub timeseries: Option<Arc<Timeseries>>,
 }
 
 impl TimingObservation {
@@ -347,6 +373,13 @@ impl TimingObservation {
         if let Some(s) = self.result.mean_staleness() {
             summary.insert("mean_staleness", JsonValue::Float(s));
         }
+        let t = &self.result.transport;
+        let mut transport = JsonValue::empty_object();
+        transport.insert("help_requests", JsonValue::UInt(t.help_requests));
+        transport.insert("nacks_sent", JsonValue::UInt(t.nacks_sent));
+        transport.insert("retransmits", JsonValue::UInt(t.retransmits));
+        transport.insert("ecn_echoes", JsonValue::UInt(t.ecn_echoes));
+        transport.insert("rate_cuts", JsonValue::UInt(t.rate_cuts));
         let mut trace_stats = JsonValue::empty_object();
         trace_stats.insert("recorded", JsonValue::UInt(self.trace.recorded()));
         trace_stats.insert("dropped", JsonValue::UInt(self.trace.dropped()));
@@ -354,7 +387,15 @@ impl TimingObservation {
         let mut root = JsonValue::empty_object();
         root.insert("summary", summary);
         root.insert("stages", stages);
+        root.insert("transport", transport);
         root.insert("trace", trace_stats);
+        if let Some(ts) = &self.timeseries {
+            let mut series = JsonValue::empty_object();
+            series.insert("interval_ns", JsonValue::UInt(ts.interval_ns()));
+            series.insert("tracks", JsonValue::UInt(ts.track_count() as u64));
+            series.insert("samples", JsonValue::UInt(ts.sample_count()));
+            root.insert("timeseries", series);
+        }
         root.insert("metrics", self.metrics.clone());
         root
     }
@@ -424,6 +465,7 @@ pub fn run_timing_observed_with(cfg: &TimingConfig, opts: TraceOptions) -> Timin
         metrics: None,
         want_metrics: true,
         trace: Some(Arc::new(trace)),
+        timeseries: opts.timeseries,
         perf: None,
     };
     let result = dispatch(cfg, Some(&mut obs));
@@ -433,6 +475,7 @@ pub fn run_timing_observed_with(cfg: &TimingConfig, opts: TraceOptions) -> Timin
         result,
         metrics: obs.metrics.unwrap_or_else(JsonValue::empty_object),
         trace,
+        timeseries: obs.timeseries,
     }
 }
 
@@ -450,6 +493,7 @@ pub fn run_timing_perf(cfg: &TimingConfig) -> (TimingResult, PerfSample) {
         metrics: None,
         want_metrics: false,
         trace: None,
+        timeseries: None,
         perf: None,
     };
     let result = dispatch(cfg, Some(&mut obs));
@@ -682,6 +726,11 @@ fn capture_metrics(sim: &Simulator, obs: &mut Option<&mut RunObs>) {
             packets_sent: stats.packets_sent,
             packets_delivered: stats.packets_delivered,
             sim_ns: sim.now().as_nanos(),
+            ecn_marked: stats.packets_ecn_marked,
+            dropped_queue: stats.packets_dropped_queue,
+            dropped_link_down: stats.packets_dropped_link_down,
+            barrier_stall_ns: stats.barrier_stall_ns,
+            epochs: stats.epochs,
         });
     }
 }
@@ -699,15 +748,24 @@ fn capture_metrics_sharded(sharded: &ShardedSim, obs: &mut Option<&mut RunObs>) 
             packets_sent: stats.packets_sent,
             packets_delivered: stats.packets_delivered,
             sim_ns: sharded.now().as_nanos(),
+            ecn_marked: stats.packets_ecn_marked,
+            dropped_queue: stats.packets_dropped_queue,
+            dropped_link_down: stats.packets_dropped_link_down,
+            barrier_stall_ns: stats.barrier_stall_ns,
+            epochs: stats.epochs,
         });
     }
 }
 
-/// Hands the capture's trace (if one is wanted) to the simulator so hosts,
-/// links, and switches record causal events as the run executes.
+/// Hands the capture's trace and telemetry sinks (if wanted) to the
+/// simulator so hosts, links, and switches record causal events and
+/// counter tracks as the run executes.
 fn attach_trace(sim: &mut Simulator, obs: &Option<&mut RunObs>) {
     if let Some(trace) = obs.as_deref().and_then(|o| o.trace.as_ref()) {
         sim.set_trace(Arc::clone(trace));
+    }
+    if let Some(ts) = obs.as_deref().and_then(|o| o.timeseries.as_ref()) {
+        sim.set_timeseries(Arc::clone(ts));
     }
 }
 
@@ -1210,6 +1268,9 @@ fn run_sync_isw_sharded(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> Tim
     }
     if let Some(trace) = obs.as_deref().and_then(|o| o.trace.as_ref()) {
         sharded.set_trace(Arc::clone(trace));
+    }
+    if let Some(ts) = obs.as_deref().and_then(|o| o.timeseries.as_ref()) {
+        sharded.set_timeseries(Arc::clone(ts));
     }
     sharded.run(cfg.threads);
     capture_metrics_sharded(&sharded, &mut obs);

@@ -236,6 +236,13 @@ pub trait Transport: Send + 'static {
     /// Activity counters.
     fn stats(&self) -> TransportStats;
 
+    /// Current paced sending rate in bits per second, for telemetry.
+    /// `None` for transports without a rate controller — they send at the
+    /// unpaced line rate, and their rate track reads 0 by convention.
+    fn current_rate_bps(&self) -> Option<u64> {
+        None
+    }
+
     /// **Chaos-harness only**: arms this transport's deliberately-broken
     /// mode (naive whole-train retransmit for go-back, NACK-storm
     /// re-push for NACK), used to prove the conservation invariants trip
@@ -694,6 +701,10 @@ impl Transport for Dcqcn {
 
     fn stats(&self) -> TransportStats {
         self.stats.merged(self.inner.stats())
+    }
+
+    fn current_rate_bps(&self) -> Option<u64> {
+        Some(self.rate_bps)
     }
 
     fn seed_protocol_bug(&mut self) {

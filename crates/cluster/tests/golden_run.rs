@@ -40,6 +40,7 @@ fn seeded_run_reproduces_golden_artifacts_byte_for_byte() {
         TraceOptions {
             capacity: Some(65_536),
             stream: None,
+            timeseries: None,
         },
     );
     let metrics = obs.report_json().render() + "\n";

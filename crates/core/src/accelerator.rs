@@ -19,7 +19,7 @@ use std::collections::HashMap;
 use iswitch_netsim::SimDuration;
 use serde::{Deserialize, Serialize};
 
-use crate::protocol::codec::{accumulate_f32, CodecKind, WireAcc};
+use crate::protocol::codec::{accumulate_f32, AccEffects, CodecKind, WireAcc};
 use crate::protocol::{DataSegment, SegmentMeta};
 
 /// Hardware parameters of the accelerator (defaults follow §3.5).
@@ -82,6 +82,15 @@ pub struct AcceleratorStats {
     pub resets: u64,
     /// Total datapath busy cycles (for utilization studies).
     pub busy_cycles: u64,
+    /// Accumulator elements clamped at the saturating-add rails across all
+    /// ingests — nonzero means the quantized aggregate silently lost
+    /// magnitude (see [`crate::AccEffects`]).
+    #[serde(default)]
+    pub codec_saturations: u64,
+    /// Accumulator exponent rebases (fixed-point/block-float): partial sums
+    /// shifted down to a coarser scale, discarding low-order bits.
+    #[serde(default)]
+    pub codec_rebases: u64,
 }
 
 /// Static resource accounting — the reproduction's analog of the paper's
@@ -379,12 +388,13 @@ impl Accelerator {
             len,
             "segment {idx:#x} length changed between contributions"
         );
-        match values {
+        let effects = match values {
             // The legacy owned-floats fast path: f32 accumulators add the
             // decoded values directly, bit-identically to the wire path.
             Contribution::Floats(src) => {
                 if let WireAcc::F32(sums) = &mut slot.acc {
                     accumulate_f32(sums, src);
+                    AccEffects::default()
                 } else {
                     // Quantized codecs have no direct floats path in
                     // hardware either — the contribution passes through the
@@ -394,13 +404,15 @@ impl Accelerator {
                         .expect("finite contribution values");
                     codec
                         .accumulate(&mut slot.acc, &payload)
-                        .expect("self-encoded payload accumulates");
+                        .expect("self-encoded payload accumulates")
                 }
             }
             Contribution::Wire(payload) => codec
                 .accumulate(&mut slot.acc, payload)
                 .expect("payload matches the accelerator codec"),
-        }
+        };
+        self.stats.codec_saturations += effects.saturations;
+        self.stats.codec_rebases += effects.rebases;
         if self.resident_bytes > self.stats.peak_buffer_bytes {
             self.stats.peak_buffer_bytes = self.resident_bytes;
         }

@@ -263,6 +263,29 @@ impl WireAcc {
     }
 }
 
+/// Numeric side effects of one [`AggregationCodec::accumulate`] call —
+/// the quantization-pressure signals the accelerator folds into
+/// [`crate::AcceleratorStats`] and the `core.switch.NNN.codec_*`
+/// telemetry tracks. Lossless codecs (f32, top-k) always report zeros.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccEffects {
+    /// Elements whose saturating add clamped at ±`i32::MAX` — the
+    /// aggregate silently lost magnitude (SwitchML's overflow hazard).
+    pub saturations: u64,
+    /// Accumulator (or per-block) exponent rebases: a contribution
+    /// arrived at a coarser scale and every existing partial sum was
+    /// shifted down, discarding low-order bits.
+    pub rebases: u64,
+}
+
+impl AccEffects {
+    /// Folds another accumulate's effects into this one.
+    pub fn merge(&mut self, other: AccEffects) {
+        self.saturations += other.saturations;
+        self.rebases += other.rebases;
+    }
+}
+
 /// One aggregation format: payload layout, switch-side accumulation, and
 /// the precision contract. Implementations are stateless singletons
 /// reached through [`CodecKind::codec`].
@@ -313,13 +336,16 @@ pub trait AggregationCodec: Sync {
     /// Accumulates one payload (narrow or wide) into `acc` in the codec's
     /// native representation — the single wire-accumulate path shared by
     /// the accelerator and (via [`AggregationCodec::decode_values`]) the
-    /// worker-side assemblers, so the two cannot drift.
+    /// worker-side assemblers, so the two cannot drift. Returns the
+    /// numeric side effects of this accumulate (saturating clamps,
+    /// exponent rebases) so the accelerator can surface quantization
+    /// pressure in its stats and telemetry tracks.
     ///
     /// # Errors
     ///
     /// Returns [`ProtocolError`] for malformed payloads or an element
     /// count that does not match `acc`.
-    fn accumulate(&self, acc: &mut WireAcc, payload: &[u8]) -> Result<(), ProtocolError>;
+    fn accumulate(&self, acc: &mut WireAcc, payload: &[u8]) -> Result<AccEffects, ProtocolError>;
 
     /// Decodes the accumulator back to f32 sums (what the switch emits).
     fn decode_acc(&self, acc: &WireAcc) -> Vec<f32>;
@@ -436,9 +462,13 @@ fn parse_codec_payload(id: u8, payload: &[u8]) -> Result<CodecPayload<'_>, Proto
     })
 }
 
-/// Saturating add of `v` into `a`, symmetric around zero.
-fn sat_add(a: i32, v: i64) -> i32 {
-    (i64::from(a) + v).clamp(-(i32::MAX as i64), i32::MAX as i64) as i32
+/// Saturating add of `v` into `a`, symmetric around zero. Bumps
+/// `saturations` when the clamp fires (the hardware's overflow flag).
+fn sat_add(a: i32, v: i64, saturations: &mut u64) -> i32 {
+    let sum = i64::from(a) + v;
+    let clamped = sum.clamp(-(i32::MAX as i64), i32::MAX as i64);
+    *saturations += u64::from(sum != clamped);
+    clamped as i32
 }
 
 /// `m · 2^shift` with arithmetic shifting and i64 headroom; `shift` is the
@@ -501,7 +531,7 @@ impl AggregationCodec for F32Codec {
         WireAcc::F32(vec![0.0; len])
     }
 
-    fn accumulate(&self, acc: &mut WireAcc, payload: &[u8]) -> Result<(), ProtocolError> {
+    fn accumulate(&self, acc: &mut WireAcc, payload: &[u8]) -> Result<AccEffects, ProtocolError> {
         let WireAcc::F32(sums) = acc else {
             return Err(ProtocolError::InvalidField("accumulator codec"));
         };
@@ -510,7 +540,7 @@ impl AggregationCodec for F32Codec {
             return Err(ProtocolError::InvalidField("payload length"));
         }
         accumulate_f32_be(sums, &payload[SEG_HEADER_BYTES..]);
-        Ok(())
+        Ok(AccEffects::default())
     }
 
     fn decode_acc(&self, acc: &WireAcc) -> Vec<f32> {
@@ -664,7 +694,7 @@ impl AggregationCodec for FixedPointCodec {
         }
     }
 
-    fn accumulate(&self, acc: &mut WireAcc, payload: &[u8]) -> Result<(), ProtocolError> {
+    fn accumulate(&self, acc: &mut WireAcc, payload: &[u8]) -> Result<AccEffects, ProtocolError> {
         let WireAcc::Fixed { acc, exp, seeded } = acc else {
             return Err(ProtocolError::InvalidField("accumulator codec"));
         };
@@ -674,6 +704,7 @@ impl AggregationCodec for FixedPointCodec {
         if p.body.len() != acc.len() * unit {
             return Err(ProtocolError::InvalidField("payload length"));
         }
+        let mut fx = AccEffects::default();
         let e_in = i32::from((p.param >> 8) as u8 as i8);
         if !*seeded {
             *exp = e_in as i8;
@@ -684,20 +715,21 @@ impl AggregationCodec for FixedPointCodec {
             // alignment), then add at unit gain.
             rescale_acc(acc, e_in - i32::from(*exp));
             *exp = e_in as i8;
+            fx.rebases += 1;
         }
         let shift = e_in - i32::from(*exp);
         if wide {
             for (a, c) in acc.iter_mut().zip(p.body.chunks_exact(4)) {
                 let m = i64::from(i32::from_be_bytes(c.try_into().expect("4 bytes")));
-                *a = sat_add(*a, align(m, shift));
+                *a = sat_add(*a, align(m, shift), &mut fx.saturations);
             }
         } else {
             for (a, c) in acc.iter_mut().zip(p.body.chunks_exact(2)) {
                 let m = i64::from(i16::from_be_bytes(c.try_into().expect("2 bytes")));
-                *a = sat_add(*a, align(m, shift));
+                *a = sat_add(*a, align(m, shift), &mut fx.saturations);
             }
         }
-        Ok(())
+        Ok(fx)
     }
 
     fn decode_acc(&self, acc: &WireAcc) -> Vec<f32> {
@@ -865,7 +897,7 @@ impl AggregationCodec for BlockFloatCodec {
         }
     }
 
-    fn accumulate(&self, acc: &mut WireAcc, payload: &[u8]) -> Result<(), ProtocolError> {
+    fn accumulate(&self, acc: &mut WireAcc, payload: &[u8]) -> Result<AccEffects, ProtocolError> {
         let WireAcc::Block { acc, exps } = acc else {
             return Err(ProtocolError::InvalidField("accumulator codec"));
         };
@@ -874,6 +906,7 @@ impl AggregationCodec for BlockFloatCodec {
         if usize::from(p.param) != acc.len() || p.body.len() != block_body_bytes(acc.len(), wide) {
             return Err(ProtocolError::InvalidField("payload length"));
         }
+        let mut fx = AccEffects::default();
         let mut at = 0;
         for (b, block) in acc.chunks_mut(BLOCK_ELEMS).enumerate() {
             let e_byte = p.body[at];
@@ -888,6 +921,7 @@ impl AggregationCodec for BlockFloatCodec {
                     if e_in > cur {
                         rescale_acc(block, e_in - cur);
                         exps[b] = e_byte;
+                        fx.rebases += 1;
                         e_in
                     } else {
                         cur
@@ -900,17 +934,17 @@ impl AggregationCodec for BlockFloatCodec {
                         .zip(p.body[at + 1..at + 1 + blen * 2].chunks_exact(2))
                     {
                         let m = i64::from(i16::from_be_bytes(c.try_into().expect("2 bytes")));
-                        *a = sat_add(*a, align(m, shift));
+                        *a = sat_add(*a, align(m, shift), &mut fx.saturations);
                     }
                 } else {
                     for (a, &byte) in block.iter_mut().zip(&p.body[at + 1..at + 1 + blen]) {
-                        *a = sat_add(*a, align(i64::from(byte as i8), shift));
+                        *a = sat_add(*a, align(i64::from(byte as i8), shift), &mut fx.saturations);
                     }
                 }
             }
             at += block_bytes(blen, wide);
         }
-        Ok(())
+        Ok(fx)
     }
 
     fn decode_acc(&self, acc: &WireAcc) -> Vec<f32> {
@@ -1070,7 +1104,7 @@ impl AggregationCodec for TopKCodec {
         WireAcc::TopK(vec![0.0; len])
     }
 
-    fn accumulate(&self, acc: &mut WireAcc, payload: &[u8]) -> Result<(), ProtocolError> {
+    fn accumulate(&self, acc: &mut WireAcc, payload: &[u8]) -> Result<AccEffects, ProtocolError> {
         let WireAcc::TopK(sums) = acc else {
             return Err(ProtocolError::InvalidField("accumulator codec"));
         };
@@ -1097,7 +1131,7 @@ impl AggregationCodec for TopKCodec {
             }
             accumulate_f32_be(sums, p.body);
         }
-        Ok(())
+        Ok(AccEffects::default())
     }
 
     fn decode_acc(&self, acc: &WireAcc) -> Vec<f32> {

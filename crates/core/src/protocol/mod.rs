@@ -8,9 +8,9 @@ mod quant;
 mod tos;
 
 pub use codec::{
-    topk_indices, AggregationCodec, BlockFloatCodec, CodecKind, F32Codec, FixedPointCodec,
-    TopKCodec, WireAcc, BLOCKFLOAT_ELEMS_PER_SEGMENT, BLOCK_ELEMS, CODEC_HEADER_BYTES,
-    FIXED_ELEMS_PER_SEGMENT, TOPK_DIVISOR, TOPK_ELEMS_PER_SEGMENT,
+    topk_indices, AccEffects, AggregationCodec, BlockFloatCodec, CodecKind, F32Codec,
+    FixedPointCodec, TopKCodec, WireAcc, BLOCKFLOAT_ELEMS_PER_SEGMENT, BLOCK_ELEMS,
+    CODEC_HEADER_BYTES, FIXED_ELEMS_PER_SEGMENT, TOPK_DIVISOR, TOPK_ELEMS_PER_SEGMENT,
 };
 pub use control::ControlMessage;
 pub(crate) use data::encode_segment;

@@ -229,6 +229,10 @@ struct ExtObs {
     control_handled: Arc<Counter>,
     /// Non-iSwitch packets passed through to regular forwarding.
     passed_through: Arc<Counter>,
+    /// Accumulator elements clamped by the codec's saturating add.
+    codec_saturations: Arc<Counter>,
+    /// Accumulator exponent rebases performed by the codec.
+    codec_rebases: Arc<Counter>,
 }
 
 impl ExtObs {
@@ -245,6 +249,8 @@ impl ExtObs {
             upward_forwards: registry.counter(&name("upward_forwards")),
             control_handled: registry.counter(&name("control_handled")),
             passed_through: registry.counter(&name("passed_through")),
+            codec_saturations: registry.counter(&name("codec_saturations")),
+            codec_rebases: registry.counter(&name("codec_rebases")),
         }
     }
 }
@@ -464,9 +470,23 @@ impl IswitchExtension {
         }
         let now = sw.now();
         self.round_open.entry(idx).or_insert(now);
+        let sat_before = self.accel.stats().codec_saturations;
+        let reb_before = self.accel.stats().codec_rebases;
         let (done, latency) = self.accel.ingest_wire(meta, &pkt.payload);
+        let sat_total = self.accel.stats().codec_saturations;
+        let reb_total = self.accel.stats().codec_rebases;
+        if let Some(ts) = sw.timeseries() {
+            // Cumulative quantization-pressure tracks; change-collapse in
+            // the sink keeps clean rounds free.
+            let base = format!("core.switch.n{:03}", sw.node().index());
+            let t = now.as_nanos();
+            ts.record(&format!("{base}.codec_saturations"), t, sat_total as i64);
+            ts.record(&format!("{base}.codec_rebases"), t, reb_total as i64);
+        }
         let obs = self.obs(sw);
         obs.data_ingested.inc();
+        obs.codec_saturations.add(sat_total - sat_before);
+        obs.codec_rebases.add(reb_total - reb_before);
         match done {
             Some(agg) => {
                 // Aggregation latency spans the round's first contribution

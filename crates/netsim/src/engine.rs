@@ -10,7 +10,7 @@ use std::any::Any;
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use iswitch_obs::{JsonValue, Registry, Trace, TraceEvent};
+use iswitch_obs::{JsonValue, Registry, Timeseries, Trace, TraceEvent};
 
 use crate::fault::{FaultAction, FaultPlan};
 use crate::ids::{LinkId, NodeId, PortId, TimerId};
@@ -159,6 +159,12 @@ pub(crate) struct SimCore {
     /// Causal trace sink; `None` (the default) keeps the packet hot path
     /// free of any tracing cost.
     trace: Option<Arc<Trace>>,
+    /// Counter-track telemetry sink; `None` (the default) skips all
+    /// sampling. Like the trace, each execution domain owns a private
+    /// instance so the sharded engine stays deterministic.
+    timeseries: Option<Arc<Timeseries>>,
+    /// Next quantized sampling boundary (multiple of the series interval).
+    next_sample_ns: u64,
 }
 
 impl SimCore {
@@ -252,6 +258,7 @@ impl SimCore {
             if queued >= q.ecn_threshold_bytes {
                 pkt.mark_ecn_ce();
                 self.stats.packets_ecn_marked += 1;
+                self.obs.links[link_id.index()][dir].ecn_marks.inc();
             }
         }
         let link = &mut self.links[link_id.index()];
@@ -335,6 +342,49 @@ impl SimCore {
             },
         );
     }
+
+    /// Samples every link's telemetry tracks at the latest quantized
+    /// boundary not later than `at_ns`, if one is due. Called once per
+    /// processed event (before its effects apply), so a sample at boundary
+    /// `b` reflects exactly the events with timestamps `<= b` that were
+    /// already processed — a definition independent of thread count and
+    /// epoch boundaries. Intermediate boundaries inside an event-free gap
+    /// are skipped: nothing discrete changes there, and the egress-queue
+    /// drain between samples is linear (Perfetto interpolates the ramp).
+    /// Schedules nothing, so enabling telemetry never perturbs event or
+    /// packet counts.
+    fn sample_until(&mut self, at_ns: u64) {
+        let Some(ts) = self.timeseries.as_ref() else {
+            return;
+        };
+        let interval = ts.interval_ns();
+        let boundary = at_ns - at_ns % interval;
+        if boundary < self.next_sample_ns {
+            return;
+        }
+        self.next_sample_ns = boundary + interval;
+        let t = SimTime::from_nanos(boundary);
+        for (i, link) in self.links.iter().enumerate() {
+            for dir in 0..2 {
+                let Some(label) = &self.obs.link_labels[i][dir] else {
+                    continue;
+                };
+                let base = format!("netsim.link.{i:03}.{label}");
+                let obs = &self.obs.links[i][dir];
+                ts.record(
+                    &format!("{base}.queue_bytes"),
+                    boundary,
+                    link.queued_bytes(dir, t) as i64,
+                );
+                ts.record(
+                    &format!("{base}.ecn_marks"),
+                    boundary,
+                    obs.ecn_marks.get() as i64,
+                );
+                ts.record(&format!("{base}.drops"), boundary, obs.drops.get() as i64);
+            }
+        }
+    }
 }
 
 /// Capabilities handed to a [`Device`] during a callback.
@@ -404,6 +454,14 @@ impl<'a> Context<'a> {
         self.core.trace.as_ref()
     }
 
+    /// The counter-track telemetry sink, if one was installed via
+    /// [`Simulator::set_timeseries`]. Devices record their own tracks
+    /// (transport rates, codec counters) into the same deterministic
+    /// export as the engine's link samples.
+    pub fn timeseries(&self) -> Option<&Arc<Timeseries>> {
+        self.core.timeseries.as_ref()
+    }
+
     /// Number of ports connected on this node.
     pub fn port_count(&self) -> usize {
         self.core.node_ports[self.node.index()].len()
@@ -463,6 +521,8 @@ impl Simulator {
                 flows: FlowTracker::default(),
                 obs: EngineObs::new(),
                 trace: None,
+                timeseries: None,
+                next_sample_ns: 0,
             },
             nodes: Vec::new(),
             started: false,
@@ -632,6 +692,22 @@ impl Simulator {
         self.core.trace = Some(trace);
     }
 
+    /// Installs a counter-track telemetry sink. From then on the engine
+    /// samples every link's egress-queue depth and cumulative ECN/drop
+    /// counters on the series' interval (quantized simulated time), and
+    /// devices can record their own tracks through
+    /// [`Context::timeseries`]. Off by default: unsampled runs skip all
+    /// telemetry work. Sampling schedules no events, so event and packet
+    /// counts are identical with and without a sink.
+    pub fn set_timeseries(&mut self, ts: Arc<Timeseries>) {
+        self.core.timeseries = Some(ts);
+    }
+
+    /// The installed telemetry sink, if any.
+    pub fn timeseries(&self) -> Option<&Arc<Timeseries>> {
+        self.core.timeseries.as_ref()
+    }
+
     /// Turns on per-flow (src IP, dst IP) delivery tracking. Off by
     /// default; tracking every packet costs memory proportional to traffic.
     pub fn enable_flow_tracking(&mut self) {
@@ -753,6 +829,9 @@ impl Simulator {
         let Some((at, _seq, kind)) = self.core.queue.pop() else {
             return false;
         };
+        if self.core.timeseries.is_some() {
+            self.core.sample_until(at);
+        }
         self.core.now = SimTime::from_nanos(at);
         self.core.stats.events_processed += 1;
         assert!(
@@ -894,6 +973,46 @@ impl Simulator {
                 break;
             }
             self.step();
+        }
+    }
+
+    /// Records one lookahead epoch's accounting for this domain, called by
+    /// [`crate::ShardedSim`] right after [`Simulator::run_until_before`].
+    ///
+    /// `busy` is how far the domain's clock actually advanced inside the
+    /// epoch window `[t_min, horizon)`; the remainder is *barrier stall* —
+    /// simulated time the domain spent parked at the conservative barrier
+    /// because its work ran out before the horizon. Both are pure functions
+    /// of domain clocks (never wall time), so the counters and the
+    /// `shard.domain.NNN.*` telemetry tracks they feed are byte-identical
+    /// at every thread count. A `u64::MAX` horizon means the run has no
+    /// cross-domain links (single unbounded epoch) — stall is meaningless
+    /// there, so nothing is recorded.
+    pub(crate) fn record_epoch(
+        &mut self,
+        domain: usize,
+        t_min: u64,
+        horizon: u64,
+        events_before: u64,
+    ) {
+        if horizon == u64::MAX {
+            return;
+        }
+        let width = horizon - t_min;
+        let busy = self.core.now.as_nanos().saturating_sub(t_min).min(width);
+        let stall = width - busy;
+        self.core.stats.epochs += 1;
+        self.core.stats.barrier_stall_ns += stall;
+        if let Some(ts) = self.core.timeseries.as_ref() {
+            let epoch_events = self.core.stats.events_processed - events_before;
+            let base = format!("shard.domain.{domain:03}");
+            ts.record(&format!("{base}.busy_ns"), t_min, busy as i64);
+            ts.record(&format!("{base}.stall_ns"), t_min, stall as i64);
+            ts.record(&format!("{base}.epoch_events"), t_min, epoch_events as i64);
+            if domain == 0 {
+                // One global track suffices — every domain shares the bound.
+                ts.record("shard.epoch.lookahead_ns", t_min, width as i64);
+            }
         }
     }
 

@@ -3,7 +3,7 @@
 use std::any::Any;
 use std::sync::Arc;
 
-use iswitch_obs::Trace;
+use iswitch_obs::{Timeseries, Trace};
 
 use crate::engine::{Context, Device};
 use crate::ids::{PortId, TimerId};
@@ -45,6 +45,13 @@ impl<'a, 'b> HostCtx<'a, 'b> {
     /// The causal trace sink, if tracing is enabled for this simulation.
     pub fn trace(&self) -> Option<&Arc<Trace>> {
         self.ctx.trace()
+    }
+
+    /// The counter-track telemetry sink, if timeseries sampling is enabled.
+    /// Host apps record per-worker tracks here (e.g.
+    /// `cluster.worker.IP.tx_rate_bps`).
+    pub fn timeseries(&self) -> Option<&Arc<Timeseries>> {
+        self.ctx.timeseries()
     }
 }
 

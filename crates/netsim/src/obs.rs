@@ -18,7 +18,8 @@
 //!   this is the paper's PS-downlink congestion signal (§5.2).
 //! * `netsim.link.NNN.{dir}.inflight` — gauge of packets queued or on the
 //!   wire per directed link (watermark = peak per-port queue depth).
-//! * `netsim.link.NNN.{dir}.{tx_packets,tx_bytes,drops}` — counters.
+//! * `netsim.link.NNN.{dir}.{tx_packets,tx_bytes,drops,ecn_marks}` —
+//!   counters.
 
 use std::sync::Arc;
 
@@ -37,6 +38,8 @@ pub(crate) struct LinkDirObs {
     pub tx_bytes: Arc<Counter>,
     /// Packets dropped by the loss model on this directed link.
     pub drops: Arc<Counter>,
+    /// Packets ECN-CE marked by this directed link's egress queue.
+    pub ecn_marks: Arc<Counter>,
 }
 
 /// Engine-wide metric handles, resolved once at construction/connect time.
@@ -57,6 +60,11 @@ pub(crate) struct EngineObs {
     pub queue_depth: Arc<Gauge>,
     /// Indexed by `links[link][direction]`.
     pub links: Vec<[LinkDirObs; 2]>,
+    /// `"{src}->{dst}"` label per `[link][direction]`, the stable middle
+    /// component of metric and telemetry-track names. One-way half-links
+    /// (see [`EngineObs::add_link_oneway`]) carry `None` in the unused
+    /// reverse slot so samplers skip its aliased handles.
+    pub link_labels: Vec<[Option<String>; 2]>,
 }
 
 impl EngineObs {
@@ -70,6 +78,7 @@ impl EngineObs {
             ev_fault: registry.counter("netsim.events.fault"),
             queue_depth: registry.gauge("netsim.queue.depth"),
             links: Vec::new(),
+            link_labels: Vec::new(),
             registry,
         }
     }
@@ -90,11 +99,16 @@ impl EngineObs {
                 tx_packets: self.registry.counter(&format!("{base}.tx_packets")),
                 tx_bytes: self.registry.counter(&format!("{base}.tx_bytes")),
                 drops: self.registry.counter(&format!("{base}.drops")),
+                ecn_marks: self.registry.counter(&format!("{base}.ecn_marks")),
             }
         };
         debug_assert_eq!(link_index, self.links.len(), "links register in id order");
         self.links
             .push([dir_obs(a_label, b_label), dir_obs(b_label, a_label)]);
+        self.link_labels.push([
+            Some(format!("{a_label}->{b_label}")),
+            Some(format!("{b_label}->{a_label}")),
+        ]);
     }
 
     /// Registers the metric set for a cross-domain half-link: only the
@@ -110,8 +124,11 @@ impl EngineObs {
             tx_packets: self.registry.counter(&format!("{base}.tx_packets")),
             tx_bytes: self.registry.counter(&format!("{base}.tx_bytes")),
             drops: self.registry.counter(&format!("{base}.drops")),
+            ecn_marks: self.registry.counter(&format!("{base}.ecn_marks")),
         };
         debug_assert_eq!(link_index, self.links.len(), "links register in id order");
         self.links.push([fwd.clone(), fwd]);
+        self.link_labels
+            .push([Some(format!("{src_label}->{dst_label}")), None]);
     }
 }

@@ -44,7 +44,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 
-use iswitch_obs::{JsonValue, Registry, Trace, TraceEvent};
+use iswitch_obs::{JsonValue, Registry, Timeseries, Trace, TraceEvent};
 
 use crate::engine::Simulator;
 use crate::ids::{LinkId, NodeId, PortId};
@@ -109,6 +109,10 @@ pub struct ShardedSim {
     /// merged into `user_trace` when the run completes.
     domain_traces: Vec<Arc<Trace>>,
     user_trace: Option<Arc<Trace>>,
+    /// Per-domain telemetry series when sampling; merged into
+    /// `user_timeseries` in domain order when the run completes.
+    domain_timeseries: Vec<Arc<Timeseries>>,
+    user_timeseries: Option<Arc<Timeseries>>,
 }
 
 impl Default for ShardedSim {
@@ -125,6 +129,8 @@ impl ShardedSim {
             lookahead: None,
             domain_traces: Vec::new(),
             user_trace: None,
+            domain_timeseries: Vec::new(),
+            user_timeseries: None,
         }
     }
 
@@ -245,6 +251,27 @@ impl ShardedSim {
         self.user_trace = Some(trace);
     }
 
+    /// Installs a counter-track telemetry sink for the whole sharded run.
+    ///
+    /// Mirrors [`ShardedSim::set_trace`]: each domain samples into a
+    /// private [`Timeseries`] (a shared instance would interleave domains
+    /// nondeterministically under threads); when [`ShardedSim::run`]
+    /// completes, the per-domain series merge into `ts` in ascending domain
+    /// order. Track names are globally unique (node labels and domain
+    /// indices disambiguate), so the merged export is byte-identical for
+    /// every thread count.
+    ///
+    /// Call after every domain has been added and before the first `run`.
+    pub fn set_timeseries(&mut self, ts: Arc<Timeseries>) {
+        self.domain_timeseries = (0..self.domains.len())
+            .map(|_| Arc::new(Timeseries::new(ts.interval_ns())))
+            .collect();
+        for (sim, t) in self.domains.iter_mut().zip(&self.domain_timeseries) {
+            sim.set_timeseries(Arc::clone(t));
+        }
+        self.user_timeseries = Some(ts);
+    }
+
     /// Caps the number of events each domain may process; exceeding it
     /// panics. The cap is per-domain, mirroring
     /// [`Simulator::set_event_limit`].
@@ -313,6 +340,8 @@ impl ShardedSim {
             "lookahead_ns",
             JsonValue::UInt(self.lookahead.map_or(0, |l| l.as_nanos())),
         );
+        engine.insert("epochs", JsonValue::UInt(stats.epochs));
+        engine.insert("barrier_stall_ns", JsonValue::UInt(stats.barrier_stall_ns));
         let mut root = JsonValue::empty_object();
         root.insert("engine", engine);
         root.insert("metrics", self.merged_metrics().to_json());
@@ -341,6 +370,7 @@ impl ShardedSim {
             }
         }
         self.merge_traces();
+        self.merge_timeseries();
         self.now()
     }
 
@@ -357,7 +387,9 @@ impl ShardedSim {
             let horizon = t_min.saturating_add(lookahead);
             let mut crossings: Vec<(u64, usize, CrossMsg)> = Vec::new();
             for (d, sim) in self.domains.iter_mut().enumerate() {
+                let epoch_start_events = sim.stats().events_processed;
                 sim.run_until_before(horizon);
+                sim.record_epoch(d, t_min, horizon, epoch_start_events);
                 crossings.extend(
                     sim.take_outbox()
                         .into_iter()
@@ -428,8 +460,10 @@ impl ShardedSim {
                         let horizon = t_min.saturating_add(lookahead);
                         let mut sent = Vec::new();
                         for (i, sim) in chunk.iter_mut().enumerate() {
-                            sim.run_until_before(horizon);
                             let d = chunk_base + i;
+                            let epoch_start_events = sim.stats().events_processed;
+                            sim.run_until_before(horizon);
+                            sim.record_epoch(d, t_min, horizon, epoch_start_events);
                             sent.extend(
                                 sim.take_outbox()
                                     .into_iter()
@@ -491,6 +525,19 @@ impl ShardedSim {
             let Some((_, d)) = best else { break };
             user.record(buffers[d][cursors[d]].clone());
             cursors[d] += 1;
+        }
+    }
+
+    /// Folds per-domain telemetry series into the user's sink in ascending
+    /// domain order. Track names are globally unique across domains, so the
+    /// merge is a disjoint union; [`Timeseries::merge_from`] re-sorts each
+    /// track by time, making the result independent of thread count.
+    fn merge_timeseries(&mut self) {
+        let Some(user) = self.user_timeseries.as_ref() else {
+            return;
+        };
+        for ts in &self.domain_timeseries {
+            user.merge_from(ts);
         }
     }
 }

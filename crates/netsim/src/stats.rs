@@ -28,6 +28,16 @@ pub struct SimStats {
     pub faults_applied: u64,
     /// Total events processed by the engine.
     pub events_processed: u64,
+    /// Simulated nanoseconds this execution domain spent stalled at
+    /// conservative lookahead barriers (sharded runs only; the horizon
+    /// minus how far the domain actually advanced, summed over epochs).
+    /// Zero for single-domain runs. Deterministic: computed from domain
+    /// clocks, never from wall time.
+    #[serde(default)]
+    pub barrier_stall_ns: u64,
+    /// Lookahead epochs this domain participated in (sharded runs only).
+    #[serde(default)]
+    pub epochs: u64,
     /// Worst transmit backlog observed on any link direction — the longest
     /// time a newly enqueued packet had to wait for the wire. Large values
     /// on the parameter-server downlink are the paper's "central bottleneck".
@@ -48,6 +58,10 @@ impl SimStats {
         self.packets_ecn_marked += other.packets_ecn_marked;
         self.faults_applied += other.faults_applied;
         self.events_processed += other.events_processed;
+        self.barrier_stall_ns += other.barrier_stall_ns;
+        // Every domain sees the same epoch sequence; the merged view keeps
+        // the count rather than multiplying it by the domain count.
+        self.epochs = self.epochs.max(other.epochs);
         self.max_link_backlog = self.max_link_backlog.max(other.max_link_backlog);
     }
 

@@ -12,7 +12,7 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use iswitch_obs::{Registry, Trace};
+use iswitch_obs::{Registry, Timeseries, Trace};
 
 use crate::engine::{Context, Device};
 use crate::ids::{NodeId, PortId, TimerId};
@@ -137,6 +137,14 @@ impl<'a, 'b> SwitchServices<'a, 'b> {
     /// The causal trace sink, if tracing is enabled for this simulation.
     pub fn trace(&self) -> Option<&Arc<Trace>> {
         self.ctx.trace()
+    }
+
+    /// The counter-track telemetry sink, if timeseries sampling is enabled.
+    /// Extensions record their own tracks here (e.g.
+    /// `core.switch.NNN.codec_saturations`); change-collapse in the sink
+    /// keeps idle tracks free.
+    pub fn timeseries(&self) -> Option<&Arc<Timeseries>> {
+        self.ctx.timeseries()
     }
 }
 

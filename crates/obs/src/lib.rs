@@ -26,15 +26,20 @@
 //! - [`span`]: [`Span`], named intervals of simulated time with
 //!   deterministic IDs and parent/child links, rendered as ordinary trace
 //!   events so one JSONL artifact carries the full causal timeline.
+//! - [`timeseries`]: [`Timeseries`], named integer counter tracks sampled
+//!   on a fixed simulated-time cadence, exported as sorted JSONL and as
+//!   Perfetto counter-track events.
 
 #![warn(missing_docs)]
 
 pub mod json;
 pub mod metrics;
 pub mod span;
+pub mod timeseries;
 pub mod trace;
 
 pub use json::{JsonError, JsonValue};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
 pub use span::Span;
+pub use timeseries::{parse_timeseries_jsonl, CounterTrack, Timeseries};
 pub use trace::{Trace, TraceEvent};

@@ -10,6 +10,7 @@
 use std::io::BufWriter;
 use std::path::Path;
 use std::process::exit;
+use std::sync::Arc;
 
 use iswitch::cluster::analyze::TraceAnalysis;
 use iswitch::cluster::experiments::{fig15, Scale};
@@ -20,7 +21,8 @@ use iswitch::cluster::{
 };
 use iswitch::core::CodecKind;
 use iswitch::netsim::{EgressQueue, FattreeShape};
-use iswitch::obs::JsonValue;
+use iswitch::obs::timeseries::DEFAULT_INTERVAL_NS;
+use iswitch::obs::{parse_timeseries_jsonl, JsonValue, Timeseries};
 use iswitch::rl::Algorithm;
 
 const USAGE: &str = "\
@@ -113,12 +115,33 @@ OPTIONS:
                                        Lines to PATH while the simulation
                                        runs (timing only); memory stays
                                        bounded regardless of run length
+    --trace-buffer <N>                 in-memory trace ring capacity in
+                                       events (default: 65536). When the
+                                       bound drops events the run report
+                                       records `trace.dropped` and the CLI
+                                       prints a loud warning (timing only)
+    --timeseries-out <PATH>            write the sampled counter tracks
+                                       (queue depths, ECN marks, transport
+                                       rates, shard stalls, codec effects)
+                                       as JSON Lines to PATH (timing only)
+    --timeseries-chrome <PATH>         write the counter tracks as Perfetto
+                                       counter-track events to PATH
+                                       (timing only)
+    --timeseries-interval <NS>         sampling cadence in simulated
+                                       nanoseconds (default: 10000)
     --trace <PATH>                     trace file to analyze (analyze only)
     --out <PATH>                       write the analysis report as JSON to
                                        PATH (analyze only)
     --chrome-out <PATH>                write a Chrome trace-event JSON
                                        (Perfetto-loadable) to PATH
                                        (analyze only)
+    --timeseries <PATH>                timeseries JSONL (from `timing
+                                       --timeseries-out`) to join against
+                                       the trace: the report gains a
+                                       per-round attribution section naming
+                                       the gating link's queue/ECN activity
+                                       and the gating worker's transport
+                                       rate (analyze only)
 ";
 
 fn parse_flag(args: &[String], name: &str) -> Option<String> {
@@ -368,12 +391,19 @@ fn cmd_timing(args: &[String]) {
     );
     let metrics_out = parse_flag(args, "--metrics-out");
     let trace_out = parse_flag(args, "--trace-out");
-    let r = if metrics_out.is_some() || trace_out.is_some() {
+    let timeseries_out = parse_flag(args, "--timeseries-out");
+    let timeseries_chrome = parse_flag(args, "--timeseries-chrome");
+    let interval_ns = parse_usize(args, "--timeseries-interval")
+        .map(|n| n.max(1) as u64)
+        .unwrap_or(DEFAULT_INTERVAL_NS);
+    let want_timeseries = timeseries_out.is_some() || timeseries_chrome.is_some();
+    let r = if metrics_out.is_some() || trace_out.is_some() || want_timeseries {
         // Stream the trace to disk as the run executes and keep only a
         // bounded window in memory, so long runs stay flat.
         let mut opts = TraceOptions {
-            capacity: Some(65_536),
+            capacity: Some(parse_usize(args, "--trace-buffer").unwrap_or(65_536)),
             stream: None,
+            timeseries: want_timeseries.then(|| Arc::new(Timeseries::new(interval_ns))),
         };
         if let Some(path) = &trace_out {
             if let Some(parent) = Path::new(path).parent() {
@@ -397,6 +427,37 @@ fn cmd_timing(args: &[String]) {
         }
         if let Some(path) = &trace_out {
             println!("trace streamed to {path} ({} events)", obs.trace.recorded());
+        }
+        if obs.trace.dropped() > 0 {
+            let remedy = if trace_out.is_some() {
+                "the streamed --trace-out file is complete; only the in-memory \
+                 window is truncated. Raise --trace-buffer if something reads \
+                 the in-memory trace."
+            } else {
+                "re-run with a larger --trace-buffer (default 65536) or stream \
+                 with --trace-out for complete coverage."
+            };
+            eprintln!(
+                "WARNING: trace buffer overflowed — {} event(s) dropped (recorded \
+                 as trace.dropped in the run report); {remedy}",
+                obs.trace.dropped()
+            );
+        }
+        if let Some(ts) = &obs.timeseries {
+            if let Some(path) = &timeseries_out {
+                let mut out = Vec::new();
+                ts.to_jsonl(&mut out).expect("jsonl to memory");
+                write_artifact(path, &String::from_utf8(out).expect("jsonl is utf-8"));
+                println!(
+                    "timeseries written to {path} ({} tracks, {} samples)",
+                    ts.track_count(),
+                    ts.sample_count()
+                );
+            }
+            if let Some(path) = &timeseries_chrome {
+                write_artifact(path, &format!("{}\n", ts.chrome_trace().render()));
+                println!("timeseries counter tracks written to {path}");
+            }
         }
         obs.result
     } else {
@@ -561,10 +622,21 @@ fn cmd_analyze(args: &[String]) {
         eprintln!("cannot read {path}: {e}");
         exit(1);
     });
-    let analysis = TraceAnalysis::from_jsonl(&text).unwrap_or_else(|e| {
+    let mut analysis = TraceAnalysis::from_jsonl(&text).unwrap_or_else(|e| {
         eprintln!("{path}: {e}");
         exit(2);
     });
+    if let Some(ts_path) = parse_flag(args, "--timeseries") {
+        let ts_text = std::fs::read_to_string(&ts_path).unwrap_or_else(|e| {
+            eprintln!("cannot read {ts_path}: {e}");
+            exit(1);
+        });
+        let tracks = parse_timeseries_jsonl(&ts_text).unwrap_or_else(|e| {
+            eprintln!("{ts_path}: {e}");
+            exit(2);
+        });
+        analysis = analysis.with_timeseries(tracks);
+    }
     print!("{}", analysis.summary_text());
     if let Some(out) = parse_flag(args, "--out") {
         write_artifact(&out, &format!("{}\n", analysis.report_json().render()));
