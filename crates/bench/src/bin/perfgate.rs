@@ -56,7 +56,8 @@ use std::time::Instant;
 
 use iswitch_bench::{banner, write_metrics};
 use iswitch_cluster::{
-    run_timing_perf, PerfSample, Strategy, TimingConfig, TransportKind, TransportStats,
+    run_multi_tenant_perf, run_timing_perf, MultiJobConfig, PerfSample, Strategy, TenantSpec,
+    TimingConfig, TransportKind, TransportStats,
 };
 use iswitch_core::CodecKind;
 use iswitch_netsim::FattreeShape;
@@ -263,6 +264,79 @@ fn codec_config(codec: CodecKind, seed: u64) -> TimingConfig {
     cfg
 }
 
+/// Algorithms of the contended tenants, in tenant-id order. Mixed model
+/// sizes on purpose: the arbiter must referee jobs whose slot demands
+/// differ by an order of magnitude.
+const TENANT_ALGS: [(Algorithm, &str); 4] = [
+    (Algorithm::Ppo, "ppo"),
+    (Algorithm::A2c, "a2c"),
+    (Algorithm::Dqn, "dqn"),
+    (Algorithm::Ddpg, "ddpg"),
+];
+
+/// One contended multi-tenant fabric run: `n` synchronous iSwitch jobs
+/// share a deliberately undersized slot pool (the joint demand is several
+/// times the fabric), so the epoch arbiter, the quota floor, and the
+/// host-fallback path are all on the measured hot path. Returns one cell
+/// per tenant — each carries its *own* workload fingerprint, so a change
+/// that perturbs only one tenant's behaviour names that tenant. Thread
+/// sweeps of the same `(n, seed)` form identity groups: the arbiter's
+/// epoch barriers must not leak the driver thread count into artifacts.
+fn tenant_cells(n: usize, threads: usize, seed: u64) -> Vec<Cell> {
+    let specs = TENANT_ALGS[..n]
+        .iter()
+        .enumerate()
+        .map(|(i, &(alg, label))| {
+            let mut job = TimingConfig::main_cluster(alg, Strategy::SyncIsw);
+            job.iterations = 6;
+            job.warmup = 2;
+            job.seed = seed;
+            let spec = TenantSpec::new(label, i as u64 + 1, job);
+            // The first tenant holds a guaranteed quota so the floor +
+            // water-fill + round-robin arbitration path is fully exercised.
+            if i == 0 {
+                spec.with_quota(16, 1 << 24)
+            } else {
+                spec
+            }
+        })
+        .collect();
+    let mut cfg = MultiJobConfig::new(specs);
+    cfg.fabric.slots = if n == 2 { 64 } else { 96 };
+    cfg.threads = threads;
+
+    let start = Instant::now();
+    let cpu_start = process_cpu_ns();
+    let out = run_multi_tenant_perf(&cfg);
+    let cpu_ns = process_cpu_ns().saturating_sub(cpu_start) / n as u64;
+    let wall_ns = start.elapsed().as_nanos() as u64 / n as u64;
+    out.tenants
+        .iter()
+        .map(|t| {
+            let id = format!("tenant/x{n}/{}/t{threads}/s{seed:x}", t.name);
+            let sample = t.perf;
+            println!(
+                "  {:<24} {:>9} events  sim {:>12} ns  cpu {:>7.1} ms  {:>8.0} kev/s",
+                id,
+                sample.events,
+                sample.sim_ns,
+                cpu_ns as f64 / 1e6,
+                sample.events as f64 / (cpu_ns.max(1) as f64 / 1e9) / 1e3,
+            );
+            Cell {
+                id,
+                sample,
+                transport: t.observation.result.transport,
+                per_iteration_ns: t.observation.result.per_iteration.as_nanos(),
+                // The run is measured once; wall/CPU time is split evenly
+                // across the tenant cells so totals stay a sum over cells.
+                wall_ns,
+                cpu_ns,
+            }
+        })
+        .collect()
+}
+
 fn run_one(id: String, cfg: &TimingConfig) -> Cell {
     let start = Instant::now();
     let cpu_start = process_cpu_ns();
@@ -321,6 +395,13 @@ fn run_matrix(quick: bool) -> Vec<Cell> {
             let cfg = incast_fattree_config(kind, threads, seed);
             cells.push(run_one(format!("incast/{kind}/t{threads}/s{seed:x}"), &cfg));
         }
+    }
+    // Contended multi-tenant cells: 2 and 4 SyncIsw jobs sharing an
+    // undersized slot pool, per-tenant fingerprints, thread-swept (the
+    // sweep forms per-tenant identity groups checked in-gate). First seed
+    // only — the tenant mix, not the seed, is the swept variable.
+    for &(n, threads) in &[(2usize, 1usize), (2, 2), (4, 1), (4, 4)] {
+        cells.extend(tenant_cells(n, threads, SEEDS[0]));
     }
     // Codec cells: the quantized aggregation formats through the same
     // hierarchy. The `codec/` id prefix keeps them out of the thread-
@@ -542,9 +623,18 @@ fn scaling_identity_mismatches(cells: &[Cell]) -> Vec<String> {
         if id.starts_with("fattree/") {
             return Some("fattree".to_owned());
         }
-        id.strip_prefix("incast/")
-            .and_then(|rest| rest.split('/').next())
-            .map(|kind| format!("incast/{kind}"))
+        if let Some(rest) = id.strip_prefix("incast/") {
+            return rest.split('/').next().map(|kind| format!("incast/{kind}"));
+        }
+        // `tenant/x<n>/<name>/t<threads>/s<seed>`: one group per
+        // (tenant-count, tenant) pair, swept over threads.
+        if let Some(rest) = id.strip_prefix("tenant/") {
+            let mut parts = rest.split('/');
+            if let (Some(size), Some(name)) = (parts.next(), parts.next()) {
+                return Some(format!("tenant/{size}/{name}"));
+            }
+        }
+        None
     };
     let fingerprint = |c: &Cell| {
         (

@@ -53,6 +53,7 @@ pub fn blob_packets(
                     round: u64::from(msg_id),
                     segment: chunk,
                     worker: u64::from(src.as_u32()),
+                    tenant: 0,
                 }),
         );
     }

@@ -25,6 +25,14 @@
 //! * **I5 determinism**: the rendered [`ChaosReport`] is a pure function
 //!   of the config — two runs with the same seeds are byte-identical
 //!   (asserted by callers comparing two runs' reports).
+//! * **I6 cross-tenant isolation** ([`run_chaos_isolation`]): a tenant
+//!   whose guaranteed quota covers its demand produces artifacts (metrics
+//!   report and causal trace) byte-identical to the same job on a
+//!   dedicated fabric, no matter what a co-tenant does — including a
+//!   co-tenant running the seeded slot-leak bug that soaks the
+//!   best-effort slot pool. Checked both ways: the harness must also
+//!   *trip* when the victim's quota is removed and the leak squeezes its
+//!   grant below its concurrency peak.
 //!
 //! Schedules are strategy-aware: only the synchronous iSwitch strategy has
 //! the paper's `Help`/`FBcast` loss recovery, so only its schedule draws
@@ -52,6 +60,7 @@ use crate::apps::{
 };
 use crate::compute_model::ComputeModel;
 use crate::gradient_source::{AgentGradients, GradientSource};
+use crate::tenancy::{run_multi_tenant, MultiJobConfig, TenantSpec};
 use crate::timing_runner::{build_isw_topology, codec_wire_bytes, Strategy, TimingConfig};
 use crate::transport::{make_transport, TransportKind};
 
@@ -1125,6 +1134,198 @@ fn run_chaos_plain(cfg: &ChaosConfig, schedule: ChaosSchedule) -> ChaosReport {
     }
 }
 
+/// Configuration of one cross-tenant isolation (I6) chaos run: a clean
+/// "victim" job shares the switch fabric with an "aggressor" whose
+/// datapath misbehaves, and the victim's artifacts are byte-compared
+/// against the same job on a dedicated fabric.
+#[derive(Debug, Clone)]
+pub struct IsolationConfig {
+    /// Victim benchmark algorithm (small job; Ppo peaks under 32 slots).
+    pub victim: Algorithm,
+    /// Aggressor benchmark algorithm (big job; A2c's demand dwarfs Ppo's).
+    pub aggressor: Algorithm,
+    /// Iterations each tenant measures.
+    pub iterations: usize,
+    /// Base seed for both jobs (the victim's is derived from it).
+    pub seed: u64,
+    /// Total aggregation slots on the shared fabric.
+    pub fabric_slots: u32,
+    /// The victim's guaranteed slot quota. Set to `0` for the harness
+    /// self-test: the leak then squeezes the victim's best-effort grant
+    /// and I6 must trip.
+    pub victim_quota: u32,
+    /// Arm the seeded slot-leak bug on the aggressor: its `complete()`
+    /// path never frees slots, so its demand grows without bound and
+    /// soaks the best-effort pool.
+    pub slot_leak_bug: bool,
+}
+
+impl IsolationConfig {
+    /// The standard I6 cell: Ppo victim (peak demand ~29 slots) behind a
+    /// 32-slot quota on a 40-slot fabric, against a leaky A2c aggressor.
+    pub fn new(seed: u64) -> Self {
+        IsolationConfig {
+            victim: Algorithm::Ppo,
+            aggressor: Algorithm::A2c,
+            iterations: 6,
+            seed,
+            fabric_slots: 40,
+            victim_quota: 32,
+            slot_leak_bug: true,
+        }
+    }
+}
+
+/// Outcome of one I6 run. [`IsolationReport::to_json`] renders
+/// deterministically, so two same-seed runs are byte-identical (I5
+/// applies to this report too).
+#[derive(Debug, Clone)]
+pub struct IsolationReport {
+    /// Base seed of the run.
+    pub seed: u64,
+    /// Whether the victim held a guaranteed quota.
+    pub protected: bool,
+    /// Slot denials the victim's switches recorded on the shared fabric.
+    pub victim_denials: u64,
+    /// Host-path fallback rounds the victim ran on the shared fabric.
+    pub victim_fallback_rounds: u64,
+    /// Slot denials the aggressor's switches recorded.
+    pub aggressor_denials: u64,
+    /// Host-path fallback rounds the aggressor ran.
+    pub aggressor_fallback_rounds: u64,
+    /// FNV-1a over the victim's shared-fabric artifacts (report + trace).
+    pub victim_fingerprint: u64,
+    /// I6 violations, in deterministic order. Empty means isolation held.
+    pub violations: Vec<String>,
+}
+
+impl IsolationReport {
+    /// Whether the isolation invariant held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders the report as one deterministic JSON document.
+    pub fn to_json(&self) -> JsonValue {
+        let mut root = JsonValue::empty_object();
+        root.insert("invariant", JsonValue::Str("I6".into()));
+        root.insert("seed", JsonValue::UInt(self.seed));
+        root.insert("protected", JsonValue::Bool(self.protected));
+        root.insert("victim_denials", JsonValue::UInt(self.victim_denials));
+        root.insert(
+            "victim_fallback_rounds",
+            JsonValue::UInt(self.victim_fallback_rounds),
+        );
+        root.insert("aggressor_denials", JsonValue::UInt(self.aggressor_denials));
+        root.insert(
+            "aggressor_fallback_rounds",
+            JsonValue::UInt(self.aggressor_fallback_rounds),
+        );
+        root.insert(
+            "victim_fingerprint",
+            JsonValue::UInt(self.victim_fingerprint),
+        );
+        root.insert(
+            "violations",
+            JsonValue::Array(
+                self.violations
+                    .iter()
+                    .map(|v| JsonValue::Str(v.clone()))
+                    .collect(),
+            ),
+        );
+        root.insert("passed", JsonValue::Bool(self.passed()));
+        root
+    }
+}
+
+/// FNV-1a over raw bytes (artifact fingerprints).
+fn fingerprint_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Runs one I6 experiment: the victim and aggressor share the fabric,
+/// then the victim reruns alone on an identically-sized fabric, and the
+/// two sets of victim artifacts are compared byte-for-byte.
+///
+/// The solo fabric keeps the same slot count, so a lone victim's grant
+/// (the whole fabric) never binds — the solo run *is* the dedicated-switch
+/// baseline. Any divergence on the shared fabric is therefore caused by
+/// the co-tenant, which is exactly what I6 forbids.
+pub fn run_chaos_isolation(cfg: &IsolationConfig) -> IsolationReport {
+    let mut aggressor_job = TimingConfig::main_cluster(cfg.aggressor, Strategy::SyncIsw);
+    aggressor_job.iterations = cfg.iterations;
+    aggressor_job.warmup = 2;
+    aggressor_job.seed = cfg.seed;
+    aggressor_job.slot_leak_bug = cfg.slot_leak_bug;
+    let mut victim_job = TimingConfig::main_cluster(cfg.victim, Strategy::SyncIsw);
+    victim_job.iterations = cfg.iterations;
+    victim_job.warmup = 2;
+    victim_job.seed = cfg.seed.wrapping_add(0x7E);
+
+    let mut victim_spec = TenantSpec::new("victim", 2, victim_job);
+    if cfg.victim_quota > 0 {
+        victim_spec = victim_spec.with_quota(cfg.victim_quota, 1 << 24);
+    }
+    let aggressor_spec = TenantSpec::new("aggressor", 1, aggressor_job);
+
+    let mut shared_cfg = MultiJobConfig::new(vec![aggressor_spec, victim_spec.clone()]);
+    shared_cfg.fabric.slots = cfg.fabric_slots;
+    let shared = run_multi_tenant(&shared_cfg);
+
+    let mut solo_cfg = MultiJobConfig::new(vec![victim_spec]);
+    solo_cfg.fabric.slots = cfg.fabric_slots;
+    let solo = run_multi_tenant(&solo_cfg);
+
+    let render = |t: &crate::tenancy::TenantRun| {
+        (
+            t.observation.report_json().render(),
+            t.observation.trace.to_jsonl(),
+        )
+    };
+    let shared_victim = &shared.tenants[1];
+    let (shared_report, shared_trace) = render(shared_victim);
+    let (solo_report, solo_trace) = render(&solo.tenants[0]);
+
+    let mut violations = Vec::new();
+    if shared_report != solo_report {
+        violations.push(
+            "I6 isolation: victim metrics report diverges from its dedicated-fabric run".into(),
+        );
+    }
+    if shared_trace != solo_trace {
+        violations.push(
+            "I6 isolation: victim causal trace diverges from its dedicated-fabric run".into(),
+        );
+    }
+    for t in &shared.tenants {
+        if t.observation.result.iterations_measured == 0 {
+            violations.push(format!(
+                "progress: tenant {} measured no iterations on the shared fabric",
+                t.name
+            ));
+        }
+    }
+
+    let mut fp = fingerprint_bytes(shared_report.as_bytes());
+    fp ^= fingerprint_bytes(shared_trace.as_bytes()).rotate_left(1);
+    IsolationReport {
+        seed: cfg.seed,
+        protected: cfg.victim_quota > 0,
+        victim_denials: shared_victim.slot_denials,
+        victim_fallback_rounds: shared_victim.fallback_rounds,
+        aggressor_denials: shared.tenants[0].slot_denials,
+        aggressor_fallback_rounds: shared.tenants[0].fallback_rounds,
+        victim_fingerprint: fp,
+        violations,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1197,5 +1398,43 @@ mod tests {
     fn fingerprint_is_order_and_value_sensitive() {
         assert_ne!(fingerprint(&[1.0, 2.0]), fingerprint(&[2.0, 1.0]));
         assert_eq!(fingerprint(&[1.0, 2.0]), fingerprint(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn isolation_holds_across_seeds_and_trips_on_the_seeded_leak() {
+        // I6 both ways. Holds: a quota'd victim is byte-unperturbed by a
+        // leaky co-tenant across a seed matrix, and the report itself is
+        // seed-deterministic (I5). Trips: dropping the quota lets the
+        // leak squeeze the victim's grant, and the harness must say so.
+        for seed in [1, 7, 23] {
+            let cfg = IsolationConfig::new(seed);
+            let report = run_chaos_isolation(&cfg);
+            assert!(report.passed(), "seed {seed}: {:?}", report.violations);
+            assert_eq!(report.victim_denials, 0, "seed {seed}");
+            assert!(
+                report.aggressor_denials > 0,
+                "seed {seed}: the leak should throttle the aggressor itself"
+            );
+            let again = run_chaos_isolation(&cfg);
+            assert_eq!(
+                report.to_json().render(),
+                again.to_json().render(),
+                "seed {seed}: I6 report not replay-deterministic"
+            );
+        }
+
+        let mut unprotected = IsolationConfig::new(7);
+        unprotected.victim_quota = 0;
+        let report = run_chaos_isolation(&unprotected);
+        assert!(
+            !report.passed(),
+            "the harness self-test must trip without a quota"
+        );
+        assert!(
+            report.violations.iter().any(|v| v.starts_with("I6")),
+            "violations should name I6: {:?}",
+            report.violations
+        );
+        assert!(report.victim_denials > 0);
     }
 }

@@ -39,11 +39,13 @@ pub mod experiments;
 mod gradient_source;
 pub mod report;
 mod staleness;
+mod tenancy;
 mod timing_runner;
 pub mod transport;
 
 pub use chaos::{
-    generate_schedule, run_chaos, ChaosConfig, ChaosFault, ChaosReport, ChaosSchedule,
+    generate_schedule, run_chaos, run_chaos_isolation, ChaosConfig, ChaosFault, ChaosReport,
+    ChaosSchedule, IsolationConfig, IsolationReport,
 };
 pub use compute_model::{CommCosts, Component, ComputeModel};
 pub use convergence::{
@@ -55,6 +57,10 @@ pub use gradient_source::{
     AgentGradients, GradientSource, ReplayGradients, ReplaySchedule, SyntheticGradients,
 };
 pub use staleness::{StalenessDistribution, StalenessLedger};
+pub use tenancy::{
+    run_multi_tenant, run_multi_tenant_perf, FabricConfig, MultiJobConfig, MultiTenantOutcome,
+    TenantQuota, TenantRun, TenantSpec,
+};
 pub use timing_runner::{
     run_timing, run_timing_observed, run_timing_observed_with, run_timing_perf, Breakdown,
     PerfSample, Strategy, TimingConfig, TimingObservation, TimingResult, TraceOptions,

@@ -131,6 +131,20 @@ pub struct TimingConfig {
     /// time) at a bounded precision cost. Ignored by the PS/AR baselines,
     /// which aggregate on hosts.
     pub codec: CodecKind,
+    /// Host-aggregation fallback for the iSwitch strategies: a contribution
+    /// denied an aggregation slot (per-tenant slot grant or buffer budget
+    /// exhausted) completes its round through DRAM-resident host aggregation
+    /// — numerically identical, but charged
+    /// [`iswitch_core::HOST_PATH_LATENCY_FACTOR`]× the datapath latency —
+    /// instead of being dropped for the transport to recover. Multi-tenant
+    /// runs enable this; the default `false` keeps the legacy
+    /// drop-on-overflow behaviour bit-for-bit.
+    pub host_fallback: bool,
+    /// Seeded slot-leak bug on every iSwitch switch (chaos-harness
+    /// both-ways testing): completed rounds never release their slot, so
+    /// occupancy and demand only grow. Never enable outside
+    /// fault-injection tests.
+    pub slot_leak_bug: bool,
     /// Seed for compute-time jitter.
     pub seed: u64,
 }
@@ -160,6 +174,8 @@ impl TimingConfig {
             incast: false,
             background_flows: 0,
             codec: CodecKind::F32,
+            host_fallback: false,
+            slot_leak_bug: false,
             seed: 0x5117c4,
         }
     }
@@ -184,7 +200,7 @@ impl TimingConfig {
 
     /// The compute model for this run: per-algorithm calibration, with
     /// jitter zeroed under the incast workload.
-    fn compute_model(&self) -> ComputeModel {
+    pub(crate) fn compute_model(&self) -> ComputeModel {
         let mut model = ComputeModel::for_algorithm(self.algorithm);
         if self.incast {
             model.jitter = 0.0;
@@ -193,7 +209,7 @@ impl TimingConfig {
     }
 
     /// The transport instance every worker of this run gets.
-    fn make_transport(&self) -> Box<dyn crate::transport::Transport> {
+    pub(crate) fn make_transport(&self) -> Box<dyn crate::transport::Transport> {
         make_transport(self.transport, self.topo.edge.bandwidth_bps)
     }
 }
@@ -263,12 +279,12 @@ impl TimingResult {
 /// the simulator's trace sink unset keeps the packet hot path free of any
 /// event-assembly cost, so wall-clock measurements reflect the engine, not
 /// the instrumentation.
-struct RunObs {
-    metrics: Option<JsonValue>,
-    want_metrics: bool,
-    trace: Option<Arc<Trace>>,
-    timeseries: Option<Arc<Timeseries>>,
-    perf: Option<PerfSample>,
+pub(crate) struct RunObs {
+    pub(crate) metrics: Option<JsonValue>,
+    pub(crate) want_metrics: bool,
+    pub(crate) trace: Option<Arc<Trace>>,
+    pub(crate) timeseries: Option<Arc<Timeseries>>,
+    pub(crate) perf: Option<PerfSample>,
 }
 
 /// Raw engine-side counters of one timing run, captured for benchmark
@@ -401,17 +417,17 @@ impl TimingObservation {
     }
 }
 
-fn model_bytes(alg: Algorithm) -> u64 {
+pub(crate) fn model_bytes(alg: Algorithm) -> u64 {
     paper_model(alg).bytes() as u64
 }
 
-fn grad_len(alg: Algorithm) -> usize {
+pub(crate) fn grad_len(alg: Algorithm) -> usize {
     paper_model(alg).param_count()
 }
 
 /// Collectives per iteration: one per constituent network (DDPG's dual
 /// model aggregates actor and critic separately).
-fn messages(alg: Algorithm) -> u64 {
+pub(crate) fn messages(alg: Algorithm) -> u64 {
     paper_model(alg).networks.len() as u64
 }
 
@@ -549,7 +565,7 @@ fn dispatch(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResult {
 /// Builds either a star or a tree over the given worker apps (plus an
 /// optional trailing server app placed in the first rack), returning the
 /// worker node ids (and the server node id last, when present).
-fn build_plain_topology(
+pub(crate) fn build_plain_topology(
     sim: &mut Simulator,
     mut worker_apps: Vec<Box<dyn HostApp>>,
     server_app: Option<Box<dyn HostApp>>,
@@ -601,7 +617,7 @@ fn build_plain_topology(
 /// the run seed; the burst budget scales with the run length so the
 /// cross traffic spans the measured window yet always drains (the
 /// simulator still reaches idle).
-fn append_background(apps: &mut Vec<Box<dyn HostApp>>, cfg: &TimingConfig) {
+pub(crate) fn append_background(apps: &mut Vec<Box<dyn HostApp>>, cfg: &TimingConfig) {
     if cfg.background_flows == 0 {
         return;
     }
@@ -619,14 +635,14 @@ fn append_background(apps: &mut Vec<Box<dyn HostApp>>, cfg: &TimingConfig) {
 
 /// The IP a host at flattened position `i` has (accounting for rack layout
 /// and the optional server slot).
-fn server_ip(cfg: &TimingConfig) -> iswitch_netsim::IpAddr {
+pub(crate) fn server_ip(cfg: &TimingConfig) -> iswitch_netsim::IpAddr {
     match cfg.workers_per_rack {
         None => host_ip(0, cfg.workers),
         Some(per_rack) => host_ip(0, rack_sizes(cfg.workers, per_rack)[0]),
     }
 }
 
-fn collect_sync_result<T: HostApp>(
+pub(crate) fn collect_sync_result<T: HostApp>(
     sim: &mut Simulator,
     workers: &[iswitch_netsim::NodeId],
     warmup: usize,
@@ -715,7 +731,7 @@ fn summarize_sync_logs(
 
 /// Snapshots the simulation's metrics registry and raw engine counters
 /// into the capture, if any.
-fn capture_metrics(sim: &Simulator, obs: &mut Option<&mut RunObs>) {
+pub(crate) fn capture_metrics(sim: &Simulator, obs: &mut Option<&mut RunObs>) {
     if let Some(obs) = obs.as_deref_mut() {
         if obs.want_metrics {
             obs.metrics = Some(sim.metrics_json());
@@ -760,7 +776,7 @@ fn capture_metrics_sharded(sharded: &ShardedSim, obs: &mut Option<&mut RunObs>) 
 /// Hands the capture's trace and telemetry sinks (if wanted) to the
 /// simulator so hosts, links, and switches record causal events and
 /// counter tracks as the run executes.
-fn attach_trace(sim: &mut Simulator, obs: &Option<&mut RunObs>) {
+pub(crate) fn attach_trace(sim: &mut Simulator, obs: &Option<&mut RunObs>) {
     if let Some(trace) = obs.as_deref().and_then(|o| o.trace.as_ref()) {
         sim.set_trace(Arc::clone(trace));
     }
@@ -773,7 +789,7 @@ fn attach_trace(sim: &mut Simulator, obs: &Option<&mut RunObs>) {
 /// shape (one `run` event) and the worker index ↔ IPv4 mapping (one
 /// `worker` event each) that analyzers use to resolve the `worker`
 /// attribute causal events carry (the address as `u32`).
-fn emit_run_meta(cfg: &TimingConfig, obs: &mut Option<&mut RunObs>) {
+pub(crate) fn emit_run_meta(cfg: &TimingConfig, obs: &mut Option<&mut RunObs>) {
     let Some(trace) = obs.as_deref_mut().and_then(|o| o.trace.as_deref()) else {
         return;
     };
@@ -864,7 +880,7 @@ fn run_sync_ps(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> TimingResult
 }
 
 /// Worker IPs in flattened order for the current layout.
-fn worker_ips(cfg: &TimingConfig) -> Vec<iswitch_netsim::IpAddr> {
+pub(crate) fn worker_ips(cfg: &TimingConfig) -> Vec<iswitch_netsim::IpAddr> {
     if let Some(shape) = cfg.fattree {
         // Pod-major global racks, exactly like build_tree3/build_fattree.
         return (0..shape.racks())
@@ -943,12 +959,29 @@ pub(crate) fn codec_wire_bytes(codec: CodecKind, len: usize) -> usize {
 }
 
 /// What [`build_isw_topology`] produced: the worker nodes plus the
-/// fault-plan targets of the deployment (worker edge links).
+/// fault-plan targets of the deployment (worker edge links) and every
+/// accelerator-bearing switch (grant installation / churn-reset targets).
 pub(crate) struct IswTopology {
     /// Worker host nodes in flattened order.
     pub workers: Vec<NodeId>,
     /// Edge link of each worker, index-aligned with `workers`.
     pub worker_links: Vec<LinkId>,
+    /// Every switch carrying an [`IswitchExtension`], root-first (core,
+    /// then AGGs, then ToRs; a star has just its one switch).
+    pub switches: Vec<NodeId>,
+}
+
+/// Applies the multi-tenant datapath flags to an extension config: the
+/// host-aggregation fallback path and the seeded slot-leak bug. Both
+/// default off, leaving single-tenant configs bit-for-bit unchanged.
+fn apply_tenant_flags(mut ext_cfg: ExtensionConfig, cfg: &TimingConfig) -> ExtensionConfig {
+    if cfg.host_fallback {
+        ext_cfg = ext_cfg.with_host_fallback();
+    }
+    if cfg.slot_leak_bug {
+        ext_cfg = ext_cfg.with_slot_leak_bug();
+    }
+    ext_cfg
 }
 
 /// Builds the iSwitch topology (star or tree with accelerators installed)
@@ -974,7 +1007,7 @@ pub(crate) fn build_isw_topology(
             ) + SimDuration::from_millis(2);
             ext_cfg.stale_flush = Some(age);
         }
-        ext_cfg
+        apply_tenant_flags(ext_cfg, cfg)
     };
     match cfg.workers_per_rack {
         None => {
@@ -992,6 +1025,7 @@ pub(crate) fn build_isw_topology(
             IswTopology {
                 workers,
                 worker_links,
+                switches: vec![star.switch],
             }
         }
         Some(per_rack) => {
@@ -1010,7 +1044,7 @@ pub(crate) fn build_isw_topology(
                         // stay child-counts so every level completes
                         // consistently.
                         let ext = match role {
-                            SwitchRole::Tor(r) => IswitchExtension::new(
+                            SwitchRole::Tor(r) => IswitchExtension::new(apply_tenant_flags(
                                 ExtensionConfig::for_tree_level(
                                     AggregationRole::Intermediate {
                                         uplink: PortId::new(sizes[r]),
@@ -1019,15 +1053,17 @@ pub(crate) fn build_isw_topology(
                                     len,
                                 )
                                 .with_codec(cfg.codec),
-                            ),
-                            SwitchRole::Core => IswitchExtension::new(
+                                cfg,
+                            )),
+                            SwitchRole::Core => IswitchExtension::new(apply_tenant_flags(
                                 ExtensionConfig::for_tree_level(
                                     AggregationRole::Root,
                                     (0..n_racks).map(PortId::new).collect(),
                                     len,
                                 )
                                 .with_codec(cfg.codec),
-                            ),
+                                cfg,
+                            )),
                             SwitchRole::Agg(_) => {
                                 unreachable!("two-level trees have no aggregation layer")
                             }
@@ -1035,9 +1071,12 @@ pub(crate) fn build_isw_topology(
                         Some(Box::new(ext))
                     };
                     let tree = build_tree(sim, racks, &mut mk_ext, &cfg.topo);
+                    let mut switches = vec![tree.core];
+                    switches.extend_from_slice(&tree.tors);
                     IswTopology {
                         workers: tree.hosts.into_iter().flatten().collect(),
                         worker_links: tree.host_links.into_iter().flatten().collect(),
+                        switches,
                     }
                 }
                 Some(fanout) => {
@@ -1055,7 +1094,7 @@ pub(crate) fn build_isw_topology(
                     let n_aggs = grouped.len();
                     let mut mk_ext = |role: SwitchRole| -> Option<Box<dyn SwitchExtension>> {
                         let ext = match role {
-                            SwitchRole::Tor(r) => IswitchExtension::new(
+                            SwitchRole::Tor(r) => IswitchExtension::new(apply_tenant_flags(
                                 ExtensionConfig::for_tree_level(
                                     AggregationRole::Intermediate {
                                         uplink: PortId::new(sizes[r]),
@@ -1064,8 +1103,9 @@ pub(crate) fn build_isw_topology(
                                     len,
                                 )
                                 .with_codec(cfg.codec),
-                            ),
-                            SwitchRole::Agg(a) => IswitchExtension::new(
+                                cfg,
+                            )),
+                            SwitchRole::Agg(a) => IswitchExtension::new(apply_tenant_flags(
                                 ExtensionConfig::for_tree_level(
                                     AggregationRole::Intermediate {
                                         uplink: PortId::new(group_sizes[a]),
@@ -1074,22 +1114,28 @@ pub(crate) fn build_isw_topology(
                                     len,
                                 )
                                 .with_codec(cfg.codec),
-                            ),
-                            SwitchRole::Core => IswitchExtension::new(
+                                cfg,
+                            )),
+                            SwitchRole::Core => IswitchExtension::new(apply_tenant_flags(
                                 ExtensionConfig::for_tree_level(
                                     AggregationRole::Root,
                                     (0..n_aggs).map(PortId::new).collect(),
                                     len,
                                 )
                                 .with_codec(cfg.codec),
-                            ),
+                                cfg,
+                            )),
                         };
                         Some(Box::new(ext))
                     };
                     let tree3 = build_tree3(sim, grouped, &mut mk_ext, &cfg.topo);
+                    let mut switches = vec![tree3.core];
+                    switches.extend_from_slice(&tree3.aggs);
+                    switches.extend(tree3.tors.iter().flatten().copied());
                     IswTopology {
                         workers: tree3.hosts.into_iter().flatten().flatten().collect(),
                         worker_links: tree3.host_links.into_iter().flatten().flatten().collect(),
+                        switches,
                     }
                 }
             }
@@ -1097,7 +1143,7 @@ pub(crate) fn build_isw_topology(
     }
 }
 
-fn apply_event_limit(sim: &mut Simulator, cfg: &TimingConfig) {
+pub(crate) fn apply_event_limit(sim: &mut Simulator, cfg: &TimingConfig) {
     if let Some(limit) = cfg.event_limit {
         sim.set_event_limit(limit);
     }
@@ -1229,7 +1275,7 @@ fn run_sync_isw_sharded(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> Tim
             ) + SimDuration::from_millis(2);
             ext_cfg.stale_flush = Some(age);
         }
-        ext_cfg
+        apply_tenant_flags(ext_cfg, &cfg)
     };
     let mut mk_ext = |role: SwitchRole| -> Option<Box<dyn SwitchExtension>> {
         let ext = match role {
@@ -1285,7 +1331,7 @@ fn run_sync_isw_sharded(cfg: &TimingConfig, mut obs: Option<&mut RunObs>) -> Tim
 }
 
 /// Mean interval between consecutive update timestamps after warmup.
-fn mean_update_interval(times: &[SimTime], warmup: usize) -> (SimDuration, usize) {
+pub(crate) fn mean_update_interval(times: &[SimTime], warmup: usize) -> (SimDuration, usize) {
     assert!(
         times.len() > warmup + 1,
         "need more than {warmup} + 1 updates, got {}",
@@ -1317,7 +1363,7 @@ fn run_async_until(
 }
 
 /// Emits one `update` event per observed weight-update timestamp.
-fn trace_updates(obs: &mut Option<&mut RunObs>, times: &[SimTime], warmup: usize) {
+pub(crate) fn trace_updates(obs: &mut Option<&mut RunObs>, times: &[SimTime], warmup: usize) {
     if let Some(trace) = obs.as_deref_mut().and_then(|o| o.trace.as_deref()) {
         for (i, t) in times.iter().enumerate() {
             let mut ev = TraceEvent::new(t.as_nanos(), "update")

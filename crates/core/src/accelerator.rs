@@ -22,6 +22,14 @@ use serde::{Deserialize, Serialize};
 use crate::protocol::codec::{accumulate_f32, AccEffects, CodecKind, WireAcc};
 use crate::protocol::{DataSegment, SegmentMeta};
 
+/// Slowdown of the fallback-to-host path relative to the line-rate
+/// datapath. A contribution that cannot get an aggregation slot crosses
+/// the switch-local PCIe bus and is summed by the switch CPU in software;
+/// DMA setup plus a memory-bound software loop costs roughly an order of
+/// magnitude more than streaming through the adder bank, so the host path
+/// charges the datapath latency times this factor.
+pub const HOST_PATH_LATENCY_FACTOR: u64 = 16;
+
 /// Hardware parameters of the accelerator (defaults follow §3.5).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AcceleratorConfig {
@@ -91,6 +99,21 @@ pub struct AcceleratorStats {
     /// shifted down to a coarser scale, discarding low-order bits.
     #[serde(default)]
     pub codec_rebases: u64,
+    /// New rounds refused a slot by the tenant grant (slots or bytes).
+    /// With the host fallback enabled the contribution still lands — via
+    /// the slow path — so a denial is a latency event, not a loss.
+    #[serde(default)]
+    pub slot_denials: u64,
+    /// Contributions accumulated through the fallback-to-host path.
+    #[serde(default)]
+    pub fallback_contributions: u64,
+    /// Rounds completed (or force-flushed) through the host path.
+    #[serde(default)]
+    pub fallback_rounds: u64,
+    /// Slots leaked by the seeded slot-leak bug (never returned to the
+    /// free list; their bytes stay resident). Diagnostic only.
+    #[serde(default)]
+    pub leaked_slots: u64,
 }
 
 /// Static resource accounting — the reproduction's analog of the paper's
@@ -154,6 +177,28 @@ pub struct Accelerator {
     /// retransmission requests for lost result packets. Held in the switch
     /// CPU's DRAM (control plane), not BRAM.
     last_results: HashMap<u64, DataSegment>,
+    /// Open-round cap granted to this tenant's share of the pool for the
+    /// current arbitration epoch. `None` (the single-tenant default) means
+    /// the whole pool, reproducing the legacy behavior bit for bit.
+    slot_grant: Option<u32>,
+    /// BRAM-byte cap granted for the current epoch; `None` means the full
+    /// configured budget. The effective budget is the minimum of the two.
+    byte_grant: Option<usize>,
+    /// When set, a round denied a slot is punted to the host path (switch
+    /// CPU, DRAM-resident software accumulator) instead of being dropped:
+    /// slower by [`HOST_PATH_LATENCY_FACTOR`], but numerically identical.
+    host_fallback: bool,
+    /// Open host-path rounds, keyed like `index`. Lives in switch-CPU
+    /// DRAM, so it is not charged against the BRAM budget.
+    fallback: HashMap<u64, HostSlot>,
+    /// Seeded bug for the chaos harness: completed rounds "forget" to
+    /// return their slot to the free list, so occupancy and resident bytes
+    /// only ever grow. See the I6 isolation tests.
+    slot_leak_bug: bool,
+    /// High-water mark of concurrently open rounds (slots + host path)
+    /// since the last [`Accelerator::take_demand_peak`] — the demand
+    /// signal the multi-tenant arbiter reads at each epoch barrier.
+    demand_peak: u32,
     stats: AcceleratorStats,
 }
 
@@ -167,6 +212,18 @@ struct Slot {
     contributions: u16,
     /// Total workers represented (sums the incoming `count` fields) —
     /// becomes the emitted result's `count` metadata.
+    workers: u16,
+}
+
+/// An open round on the fallback-to-host path. Same codec-native
+/// accumulator as a BRAM slot — the switch CPU runs the identical
+/// arithmetic in software, so a round completes with the same values
+/// whichever path it took — but resident in DRAM and an order of
+/// magnitude slower per packet.
+#[derive(Debug, Clone)]
+struct HostSlot {
+    acc: WireAcc,
+    contributions: u16,
     workers: u16,
 }
 
@@ -224,6 +281,12 @@ impl Accelerator {
             free: Vec::new(),
             resident_bytes: 0,
             last_results: HashMap::new(),
+            slot_grant: None,
+            byte_grant: None,
+            host_fallback: false,
+            fallback: HashMap::new(),
+            slot_leak_bug: false,
+            demand_peak: 0,
             stats: AcceleratorStats::default(),
         }
     }
@@ -255,11 +318,61 @@ impl Accelerator {
         self.resident_bytes
     }
 
-    /// `Seg` values (round-tagged) currently holding a partial round.
+    /// `Seg` values (round-tagged) currently holding a partial round, on
+    /// either the BRAM or the host path.
     pub fn partial_segments(&self) -> Vec<u64> {
-        let mut out: Vec<u64> = self.index.keys().copied().collect();
+        let mut out: Vec<u64> = self
+            .index
+            .keys()
+            .chain(self.fallback.keys())
+            .copied()
+            .collect();
         out.sort_unstable();
         out
+    }
+
+    /// Sets this epoch's tenant grant: at most `slots` concurrently open
+    /// BRAM rounds and `bytes` resident bytes (`None` = uncapped; the
+    /// hardware budget still applies). Called by the multi-tenant arbiter
+    /// at each epoch barrier; single-tenant runs never call it.
+    pub fn set_grant(&mut self, slots: Option<u32>, bytes: Option<usize>) {
+        self.slot_grant = slots;
+        self.byte_grant = bytes;
+    }
+
+    /// Routes slot-denied rounds through the host path (slower, correct)
+    /// instead of dropping them. Multi-tenant runs enable this; the
+    /// single-tenant default keeps the legacy drop-on-overflow behavior.
+    pub fn set_host_fallback(&mut self, on: bool) {
+        self.host_fallback = on;
+    }
+
+    /// Arms the seeded slot-leak bug: completed rounds keep their slot and
+    /// bytes forever. Exists solely so the chaos harness can prove the I6
+    /// isolation invariant trips when a tenant misbehaves.
+    pub fn set_slot_leak_bug(&mut self, on: bool) {
+        self.slot_leak_bug = on;
+    }
+
+    /// Rounds currently occupying BRAM slots (including any leaked by the
+    /// seeded bug — a leak holds hardware, so it counts as occupancy).
+    pub fn open_rounds(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Rounds currently open on the fallback-to-host path.
+    pub fn host_rounds(&self) -> usize {
+        self.fallback.len()
+    }
+
+    /// Returns and rearms the demand high-water mark: the peak number of
+    /// concurrently open rounds (BRAM + host) since the previous call.
+    /// The arbiter reads this at every epoch barrier to size next epoch's
+    /// grants; the mark restarts from the current occupancy.
+    pub fn take_demand_peak(&mut self) -> u32 {
+        let peak = self.demand_peak;
+        self.demand_peak = (self.open_rounds() + self.fallback.len()) as u32;
+        peak
     }
 
     /// Running statistics.
@@ -350,13 +463,31 @@ impl Accelerator {
         let slot_id = match self.index.get(&idx) {
             Some(&slot_id) => slot_id,
             None => {
-                // Opening a new round requires BRAM for its buffer; when
-                // the window is full the packet is dropped, exactly as the
-                // hardware would. (This genuinely happens when loss
+                // A round that already fell back stays on the host path:
+                // its accumulator lives in DRAM, so later contributions
+                // must land there too.
+                if self.fallback.contains_key(&idx) {
+                    return self.ingest_host(idx, count, len, values, latency);
+                }
+                // Opening a new round requires BRAM for its buffer and a
+                // slot under the tenant grant. When either is exhausted
+                // the round falls back to the host path if enabled;
+                // otherwise the packet is dropped, exactly as the
+                // hardware would. (Drops genuinely happen when loss
                 // desynchronizes workers by an iteration: N-1 full vectors
                 // may contend for a buffer that holds less than one.)
                 let acc_bytes = self.codec.acc_bytes(len);
-                if self.resident_bytes + acc_bytes > self.cfg.buffer_bytes {
+                let byte_budget = self
+                    .byte_grant
+                    .map_or(self.cfg.buffer_bytes, |g| g.min(self.cfg.buffer_bytes));
+                let over_slots = self
+                    .slot_grant
+                    .is_some_and(|g| self.open_rounds() >= g as usize);
+                if over_slots || self.resident_bytes + acc_bytes > byte_budget {
+                    if self.host_fallback {
+                        self.stats.slot_denials += 1;
+                        return self.ingest_host(idx, count, len, values, latency);
+                    }
                     self.stats.bram_drops += 1;
                     return (None, latency);
                 }
@@ -379,6 +510,7 @@ impl Accelerator {
                     }
                 };
                 self.index.insert(idx, slot_id);
+                self.note_demand();
                 slot_id
             }
         };
@@ -426,6 +558,70 @@ impl Accelerator {
         }
     }
 
+    /// Accumulates one contribution into the DRAM-resident host-path slot
+    /// for `idx`, creating it on first arrival. Same codec arithmetic as
+    /// the BRAM path — the aggregate is numerically identical — but every
+    /// packet pays [`HOST_PATH_LATENCY_FACTOR`]× the datapath latency.
+    fn ingest_host(
+        &mut self,
+        idx: u64,
+        count: u16,
+        len: usize,
+        values: Contribution<'_>,
+        datapath_latency: SimDuration,
+    ) -> (Option<DataSegment>, SimDuration) {
+        let latency = datapath_latency * HOST_PATH_LATENCY_FACTOR;
+        let codec = self.codec.codec();
+        let slot = self.fallback.entry(idx).or_insert_with(|| HostSlot {
+            acc: codec.new_acc(len),
+            contributions: 0,
+            workers: 0,
+        });
+        assert_eq!(
+            slot.acc.len(),
+            len,
+            "segment {idx:#x} length changed between contributions"
+        );
+        let effects = match values {
+            Contribution::Floats(src) => {
+                if let WireAcc::F32(sums) = &mut slot.acc {
+                    accumulate_f32(sums, src);
+                    AccEffects::default()
+                } else {
+                    let payload = codec
+                        .encode_contribution(idx, src)
+                        .expect("finite contribution values");
+                    codec
+                        .accumulate(&mut slot.acc, &payload)
+                        .expect("self-encoded payload accumulates")
+                }
+            }
+            Contribution::Wire(payload) => codec
+                .accumulate(&mut slot.acc, payload)
+                .expect("payload matches the accelerator codec"),
+        };
+        self.stats.codec_saturations += effects.saturations;
+        self.stats.codec_rebases += effects.rebases;
+        self.stats.fallback_contributions += 1;
+        slot.contributions = slot.contributions.saturating_add(1);
+        slot.workers = slot.workers.saturating_add(count.max(1));
+        if slot.contributions >= self.threshold {
+            self.note_demand();
+            (Some(self.complete_host(idx)), latency)
+        } else {
+            self.note_demand();
+            (None, latency)
+        }
+    }
+
+    /// Updates the demand high-water mark after a round opens.
+    fn note_demand(&mut self) {
+        let open = (self.open_rounds() + self.fallback.len()) as u32;
+        if open > self.demand_peak {
+            self.demand_peak = open;
+        }
+    }
+
     fn complete(&mut self, idx: u64) -> DataSegment {
         let slot_id = self
             .index
@@ -440,8 +636,14 @@ impl Accelerator {
             acc => self.codec.codec().decode_acc(acc),
         };
         let count = slot.workers;
-        self.free.push(slot_id);
-        self.resident_bytes -= freed;
+        if self.slot_leak_bug {
+            // Seeded bug: the slot never returns to the free list and its
+            // bytes stay accounted as resident, so occupancy only grows.
+            self.stats.leaked_slots += 1;
+        } else {
+            self.free.push(slot_id);
+            self.resident_bytes -= freed;
+        }
         self.stats.segments_emitted += 1;
         let result = DataSegment {
             seg: idx,
@@ -452,15 +654,42 @@ impl Accelerator {
         result
     }
 
+    /// Emits and retires the host-path round `idx`.
+    fn complete_host(&mut self, idx: u64) -> DataSegment {
+        let mut slot = self
+            .fallback
+            .remove(&idx)
+            .expect("completing a resident host-path round");
+        let values = match &mut slot.acc {
+            WireAcc::F32(sums) => std::mem::take(sums),
+            acc => self.codec.codec().decode_acc(acc),
+        };
+        self.stats.segments_emitted += 1;
+        self.stats.fallback_rounds += 1;
+        let result = DataSegment {
+            seg: idx,
+            count: slot.workers,
+            values,
+        };
+        self.last_results.insert(idx, result.clone());
+        result
+    }
+
     /// Forces out the partial aggregate of `seg` (the `FBcast` control
-    /// action), if any contributions have arrived. The buffer and counter
-    /// reset either way.
+    /// action), if any contributions have arrived — on either the BRAM or
+    /// the host path. The buffer and counter reset either way.
     pub fn force_broadcast(&mut self, seg: u64) -> Option<DataSegment> {
         // A resident slot always holds at least one contribution (slots are
         // created by the ingest that first contributes).
-        self.index.get(&seg)?;
-        self.stats.forced_broadcasts += 1;
-        Some(self.complete(seg))
+        if self.index.contains_key(&seg) {
+            self.stats.forced_broadcasts += 1;
+            Some(self.complete(seg))
+        } else if self.fallback.contains_key(&seg) {
+            self.stats.forced_broadcasts += 1;
+            Some(self.complete_host(seg))
+        } else {
+            None
+        }
     }
 
     /// The most recently emitted aggregate for `seg`, serving `Help`
@@ -477,6 +706,8 @@ impl Accelerator {
         self.free.clear();
         self.resident_bytes = 0;
         self.last_results.clear();
+        self.fallback.clear();
+        self.demand_peak = 0;
         self.stats.resets += 1;
     }
 }
@@ -644,6 +875,87 @@ mod tests {
         }
         assert_eq!(a.stats().peak_buffer_bytes, 366 * 4);
         assert_eq!(a.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn slot_grant_denies_and_host_path_completes() {
+        let mut a = Accelerator::new(AcceleratorConfig::default(), 4, 2);
+        a.set_grant(Some(1), None);
+        a.set_host_fallback(true);
+        // Segment 0 takes the single granted slot and stays open.
+        let (done, fast) = a.ingest(&seg(0, vec![1.0]));
+        assert!(done.is_none());
+        // Segment 1 is denied and opens on the host path instead.
+        let (done, slow) = a.ingest(&seg(1, vec![2.0]));
+        assert!(done.is_none());
+        assert_eq!(slow, fast * HOST_PATH_LATENCY_FACTOR);
+        // Segment 0 completes on the fast path, freeing its slot …
+        assert!(a.ingest(&seg(0, vec![1.0])).0.is_some());
+        // … but the fallen-back round stays on the host path, and its
+        // aggregate is numerically identical to the BRAM path.
+        let (done, _) = a.ingest(&seg(1, vec![3.0]));
+        assert_eq!(done.unwrap().values, vec![5.0]);
+        assert_eq!(a.stats().slot_denials, 1);
+        assert_eq!(a.stats().fallback_contributions, 2);
+        assert_eq!(a.stats().fallback_rounds, 1);
+        assert_eq!(a.stats().bram_drops, 0);
+        assert_eq!(a.host_rounds(), 0);
+    }
+
+    #[test]
+    fn grant_without_fallback_still_drops() {
+        let mut a = Accelerator::new(AcceleratorConfig::default(), 2, 2);
+        a.set_grant(Some(1), None);
+        a.ingest(&seg(0, vec![1.0]));
+        let (done, _) = a.ingest(&seg(1, vec![1.0]));
+        assert!(done.is_none());
+        assert_eq!(a.stats().bram_drops, 1);
+        assert_eq!(a.stats().slot_denials, 0);
+    }
+
+    #[test]
+    fn force_broadcast_flushes_host_path_partials() {
+        let mut a = Accelerator::new(AcceleratorConfig::default(), 2, 4);
+        a.set_grant(Some(1), None);
+        a.set_host_fallback(true);
+        a.ingest(&seg(0, vec![1.0]));
+        a.ingest(&seg(1, vec![7.0]));
+        assert_eq!(a.host_rounds(), 1);
+        assert_eq!(a.partial_segments(), vec![0, 1]);
+        let flushed = a.force_broadcast(1).expect("host partial flushed");
+        assert_eq!(flushed.values, vec![7.0]);
+        assert_eq!(a.stats().fallback_rounds, 1);
+        assert_eq!(a.last_result(1).unwrap().values, vec![7.0]);
+    }
+
+    #[test]
+    fn demand_peak_tracks_and_rearms() {
+        let mut a = Accelerator::new(AcceleratorConfig::default(), 4, 2);
+        a.ingest(&seg(0, vec![1.0]));
+        a.ingest(&seg(1, vec![1.0]));
+        a.ingest(&seg(0, vec![1.0])); // completes segment 0
+        assert_eq!(a.take_demand_peak(), 2);
+        // Rearmed from the current occupancy (segment 1 still open).
+        assert_eq!(a.take_demand_peak(), 1);
+    }
+
+    #[test]
+    fn slot_leak_bug_inflates_occupancy() {
+        let mut a = Accelerator::new(AcceleratorConfig::default(), 4, 2);
+        a.set_slot_leak_bug(true);
+        let resident_one = {
+            a.ingest(&seg(0, vec![1.0; 8]));
+            a.resident_bytes()
+        };
+        a.ingest(&seg(0, vec![1.0; 8]));
+        // The completed round leaked: occupancy and bytes never dropped.
+        assert_eq!(a.open_rounds(), 1);
+        assert_eq!(a.resident_bytes(), resident_one);
+        assert_eq!(a.stats().leaked_slots, 1);
+        a.ingest(&seg(1, vec![1.0; 8]));
+        a.ingest(&seg(1, vec![1.0; 8]));
+        assert_eq!(a.open_rounds(), 2);
+        assert_eq!(a.resident_bytes(), 2 * resident_one);
     }
 
     #[test]

@@ -47,7 +47,9 @@ mod protocol;
 mod switch_ext;
 mod worker;
 
-pub use accelerator::{Accelerator, AcceleratorConfig, AcceleratorStats, ResourceReport};
+pub use accelerator::{
+    Accelerator, AcceleratorConfig, AcceleratorStats, ResourceReport, HOST_PATH_LATENCY_FACTOR,
+};
 pub use control_plane::{Member, MemberType, MembershipTable};
 pub use error::ProtocolError;
 pub use protocol::{

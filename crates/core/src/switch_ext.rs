@@ -99,6 +99,15 @@ pub struct ExtensionConfig {
     /// Every switch and worker of a job must agree; defaults to
     /// [`CodecKind::F32`], the paper's raw-float format.
     pub codec: CodecKind,
+    /// Routes slot-denied rounds through the fallback-to-host path
+    /// (slower, numerically identical) instead of dropping them. Enabled
+    /// by the multi-tenant runner; the single-tenant default is `false`,
+    /// preserving the legacy drop-on-overflow behavior bit for bit.
+    pub host_fallback: bool,
+    /// Arms the seeded slot-leak bug in the accelerator (chaos-harness
+    /// fault injection for the I6 isolation invariant; never set in
+    /// production configurations).
+    pub slot_leak_bug: bool,
 }
 
 impl ExtensionConfig {
@@ -117,6 +126,8 @@ impl ExtensionConfig {
             mode: AggregationMode::OnTheFly,
             stale_flush: None,
             codec: CodecKind::F32,
+            host_fallback: false,
+            slot_leak_bug: false,
         }
     }
 
@@ -140,6 +151,8 @@ impl ExtensionConfig {
             mode: AggregationMode::OnTheFly,
             stale_flush: None,
             codec: CodecKind::F32,
+            host_fallback: false,
+            slot_leak_bug: false,
         }
     }
 
@@ -168,6 +181,20 @@ impl ExtensionConfig {
     /// Sets the job's aggregation codec (see [`ExtensionConfig::codec`]).
     pub fn with_codec(mut self, codec: CodecKind) -> Self {
         self.codec = codec;
+        self
+    }
+
+    /// Enables the fallback-to-host path (see
+    /// [`ExtensionConfig::host_fallback`]).
+    pub fn with_host_fallback(mut self) -> Self {
+        self.host_fallback = true;
+        self
+    }
+
+    /// Arms the seeded slot-leak bug (see
+    /// [`ExtensionConfig::slot_leak_bug`]).
+    pub fn with_slot_leak_bug(mut self) -> Self {
+        self.slot_leak_bug = true;
         self
     }
 }
@@ -233,10 +260,18 @@ struct ExtObs {
     codec_saturations: Arc<Counter>,
     /// Accumulator exponent rebases performed by the codec.
     codec_rebases: Arc<Counter>,
+    /// New rounds denied an aggregation slot by the tenant grant.
+    /// Registered only when the tenant datapath features are enabled, so
+    /// single-tenant metric reports stay byte-identical to the legacy
+    /// build.
+    slot_denials: Option<Arc<Counter>>,
+    /// Rounds completed through the fallback-to-host path (same
+    /// conditional registration as `slot_denials`).
+    fallback_rounds: Option<Arc<Counter>>,
 }
 
 impl ExtObs {
-    fn resolve(registry: &Registry, node_index: usize) -> Self {
+    fn resolve(registry: &Registry, node_index: usize, tenant_metrics: bool) -> Self {
         let name = |metric: &str| format!("core.switch.n{node_index:03}.{metric}");
         ExtObs {
             agg_latency_ns: registry.histogram(&name("agg_latency_ns")),
@@ -251,6 +286,8 @@ impl ExtObs {
             passed_through: registry.counter(&name("passed_through")),
             codec_saturations: registry.counter(&name("codec_saturations")),
             codec_rebases: registry.counter(&name("codec_rebases")),
+            slot_denials: tenant_metrics.then(|| registry.counter(&name("slot_denials"))),
+            fallback_rounds: tenant_metrics.then(|| registry.counter(&name("fallback_rounds"))),
         }
     }
 }
@@ -305,12 +342,14 @@ impl IswitchExtension {
             "a switch needs at least one child"
         );
         assert!(cfg.grad_len > 0, "gradient length must be positive");
-        let accel = Accelerator::with_codec(
+        let mut accel = Accelerator::with_codec(
             cfg.accel.clone(),
             cfg.codec.num_segments(cfg.grad_len),
             cfg.threshold.max(1),
             cfg.codec,
         );
+        accel.set_host_fallback(cfg.host_fallback);
+        accel.set_slot_leak_bug(cfg.slot_leak_bug);
         IswitchExtension {
             cfg,
             accel,
@@ -329,13 +368,23 @@ impl IswitchExtension {
 
     /// Resolves the metric handles on first use and returns them.
     fn obs(&mut self, sw: &SwitchServices<'_, '_>) -> &ExtObs {
+        let tenant_metrics = self.cfg.host_fallback || self.cfg.slot_leak_bug;
         self.obs
-            .get_or_insert_with(|| ExtObs::resolve(sw.metrics(), sw.node().index()))
+            .get_or_insert_with(|| ExtObs::resolve(sw.metrics(), sw.node().index(), tenant_metrics))
     }
 
     /// The underlying accelerator (for inspection in tests/benches).
     pub fn accelerator(&self) -> &Accelerator {
         &self.accel
+    }
+
+    /// Mutable access to the accelerator. The multi-tenant arbiter uses
+    /// this at epoch barriers to install grants
+    /// ([`Accelerator::set_grant`]) and harvest demand
+    /// ([`Accelerator::take_demand_peak`]); the simulation itself never
+    /// mutates the accelerator from outside the switch.
+    pub fn accelerator_mut(&mut self) -> &mut Accelerator {
+        &mut self.accel
     }
 
     /// The control plane's membership table.
@@ -472,9 +521,13 @@ impl IswitchExtension {
         self.round_open.entry(idx).or_insert(now);
         let sat_before = self.accel.stats().codec_saturations;
         let reb_before = self.accel.stats().codec_rebases;
+        let den_before = self.accel.stats().slot_denials;
+        let fbr_before = self.accel.stats().fallback_rounds;
         let (done, latency) = self.accel.ingest_wire(meta, &pkt.payload);
         let sat_total = self.accel.stats().codec_saturations;
         let reb_total = self.accel.stats().codec_rebases;
+        let den_total = self.accel.stats().slot_denials;
+        let fbr_total = self.accel.stats().fallback_rounds;
         if let Some(ts) = sw.timeseries() {
             // Cumulative quantization-pressure tracks; change-collapse in
             // the sink keeps clean rounds free.
@@ -487,6 +540,12 @@ impl IswitchExtension {
         obs.data_ingested.inc();
         obs.codec_saturations.add(sat_total - sat_before);
         obs.codec_rebases.add(reb_total - reb_before);
+        if let Some(c) = &obs.slot_denials {
+            c.add(den_total - den_before);
+        }
+        if let Some(c) = &obs.fallback_rounds {
+            c.add(fbr_total - fbr_before);
+        }
         match done {
             Some(agg) => {
                 // Aggregation latency spans the round's first contribution

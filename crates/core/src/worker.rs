@@ -192,6 +192,7 @@ fn sealed_data_packet(src: IpAddr, dst: IpAddr, seg: u64, payload: Bytes) -> Pac
             round: u64::from(seg_round(seg)),
             segment: seg_index(seg),
             worker: u64::from(src.as_u32()),
+            tenant: 0,
         })
 }
 

@@ -163,6 +163,9 @@ pub(crate) struct SimCore {
     /// sampling. Like the trace, each execution domain owns a private
     /// instance so the sharded engine stays deterministic.
     timeseries: Option<Arc<Timeseries>>,
+    /// Tenant id stamped on every transmitted causal packet; zero (the
+    /// default) means single-tenant and stamps nothing.
+    tenant: u64,
     /// Next quantized sampling boundary (multiple of the series interval).
     next_sample_ns: u64,
 }
@@ -174,12 +177,17 @@ impl SimCore {
     fn pkt_event(&self, kind: &str, pkt: &Packet) -> Option<TraceEvent> {
         let cause = pkt.cause?;
         self.trace.as_ref()?;
+        let mut ev = TraceEvent::new(self.now.as_nanos(), kind)
+            .with_u64("round", cause.round)
+            .with_u64("seg", cause.segment)
+            .with_u64("worker", cause.worker);
+        if cause.tenant != 0 {
+            // Emitted only in multi-tenant runs so single-tenant exports
+            // stay byte-identical to the pre-tenancy format.
+            ev = ev.with_u64("tenant", cause.tenant);
+        }
         Some(
-            TraceEvent::new(self.now.as_nanos(), kind)
-                .with_u64("round", cause.round)
-                .with_u64("seg", cause.segment)
-                .with_u64("worker", cause.worker)
-                .with_str("src", &pkt.ip.src.to_string())
+            ev.with_str("src", &pkt.ip.src.to_string())
                 .with_str("dst", &pkt.ip.dst.to_string()),
         )
     }
@@ -201,6 +209,14 @@ impl SimCore {
     /// Transmits a packet out of `port` of `node`, modelling FIFO
     /// serialization on the attached link plus sender/receiver overheads.
     fn transmit(&mut self, node: NodeId, port: PortId, mut pkt: Packet) {
+        if self.tenant != 0 {
+            // Tag every causal packet with the owning tenant the moment it
+            // touches the fabric — the multi-tenant analog of an overlay
+            // tag applied at the ingress port.
+            if let Some(cause) = &mut pkt.cause {
+                cause.tenant = self.tenant;
+            }
+        }
         let ports = &self.node_ports[node.index()];
         let Some(&(link_id, dir)) = ports.get(port.index()) else {
             panic!(
@@ -523,6 +539,7 @@ impl Simulator {
                 trace: None,
                 timeseries: None,
                 next_sample_ns: 0,
+                tenant: 0,
             },
             nodes: Vec::new(),
             started: false,
@@ -534,6 +551,17 @@ impl Simulator {
     /// Useful as a runaway-loop backstop in tests.
     pub fn set_event_limit(&mut self, limit: u64) {
         self.event_limit = limit;
+    }
+
+    /// Declares which tenant (job) this simulation instance belongs to in
+    /// a multi-tenant run. Every causal packet transmitted afterwards
+    /// carries the id in its [`CausalKey`](crate::CausalKey), and packet
+    /// lifecycle trace events gain a `tenant` attribute — the hook that
+    /// lets traces, telemetry, and egress accounting attribute bytes per
+    /// tenant. Zero (the default) is the single-tenant mode and changes
+    /// nothing.
+    pub fn set_tenant(&mut self, tenant: u64) {
+        self.core.tenant = tenant;
     }
 
     /// Adds a node and returns its id. `on_start` runs at time zero when the
@@ -951,6 +979,16 @@ impl Simulator {
         }
         self.core.now = self.core.now.max(deadline.min(self.core.now));
         self.core.now
+    }
+
+    /// Whether the event queue is empty (scheduling `Start` events first if
+    /// the simulation has not begun). A simulation driven in bounded
+    /// [`Simulator::run_until`] slices is finished exactly when this turns
+    /// true — pending events are queued regardless of their timestamp, so an
+    /// empty queue after a bounded run means the run is complete, not merely
+    /// paused.
+    pub fn is_idle(&mut self) -> bool {
+        self.next_event_at().is_none()
     }
 
     // ---- sharded-execution support (see `crate::ShardedSim`) -------------
@@ -1439,6 +1477,7 @@ mod tests {
                         round: 3,
                         segment: 7,
                         worker: 1,
+                        tenant: 0,
                     });
                 ctx.send(PortId(0), pkt);
                 // An untagged packet must leave no trace events.
@@ -1488,6 +1527,59 @@ mod tests {
     }
 
     #[test]
+    fn tenant_id_stamps_causal_packets_only_when_set() {
+        use crate::packet::CausalKey;
+
+        struct Tagged;
+        impl Device for Tagged {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                let pkt = Packet::udp(IpAddr::new(10, 0, 0, 1), IpAddr::new(10, 0, 0, 2), 9, 9, 0)
+                    .with_payload(vec![0u8; 100])
+                    .with_cause(CausalKey {
+                        round: 3,
+                        segment: 7,
+                        worker: 1,
+                        tenant: 0,
+                    });
+                ctx.send(PortId(0), pkt);
+            }
+            fn on_packet(&mut self, _: &mut Context<'_>, _: PortId, _: Packet) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+
+        let run = |tenant: u64| {
+            let trace = Arc::new(iswitch_obs::Trace::new());
+            let mut sim = Simulator::new();
+            sim.set_trace(Arc::clone(&trace));
+            sim.set_tenant(tenant);
+            let t = sim.add_node(Box::new(Tagged), NodeOpts::new("tx"));
+            let s = sim.add_node(Box::new(Sink { got: 0 }), NodeOpts::new("rx"));
+            sim.connect(t, s, &LinkSpec::ten_gbe());
+            sim.run_until_idle();
+            trace.to_jsonl()
+        };
+        // Tenant zero (the single-tenant default) emits no tenant attr —
+        // the export is byte-identical to the pre-tenancy format.
+        let solo = run(0);
+        assert!(!solo.contains("tenant"), "untenanted trace stays clean");
+        // A declared tenant stamps every causal lifecycle event.
+        let tenanted = run(2);
+        for line in tenanted.lines() {
+            let ev = iswitch_obs::JsonValue::parse(line).unwrap();
+            assert_eq!(
+                ev.get("tenant").and_then(|v| v.as_u64()),
+                Some(2),
+                "every lifecycle event carries the tenant id"
+            );
+        }
+    }
+
+    #[test]
     fn dropped_tagged_packets_trace_the_drop_reason() {
         let trace = Arc::new(iswitch_obs::Trace::new());
         let spec = LinkSpec::ten_gbe().with_loss(crate::link::LossModel::Exact { drops: vec![0] });
@@ -1498,6 +1590,7 @@ mod tests {
                 round: 0,
                 segment: 0,
                 worker: 0,
+                tenant: 0,
             });
         sim.run_until_idle();
         sim.core.transmit(p, PortId(0), pkt);

@@ -93,7 +93,7 @@ impl From<[u8; 4]> for IpAddr {
 /// which `worker` produced it. The simulator never interprets the key — it
 /// only copies it into per-hop trace events (`pkt.tx` / `pkt.rx` /
 /// `pkt.drop`) when tracing is enabled, so untraced runs pay nothing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct CausalKey {
     /// Aggregation round / iteration index.
     pub round: u64,
@@ -103,6 +103,13 @@ pub struct CausalKey {
     /// address as `u32`; analyzers map it back to a worker index through
     /// run-metadata events.
     pub worker: u64,
+    /// Tenant (job) identity in multi-tenant runs, standing in for the
+    /// VLAN/overlay tag a production deployment would carry on the wire.
+    /// Zero — the single-tenant default — is never emitted into trace
+    /// events, so single-tenant artifacts stay byte-identical to the
+    /// pre-tenancy build. The engine stamps it at transmit time from
+    /// [`crate::Simulator::set_tenant`]; applications leave it zero.
+    pub tenant: u64,
 }
 
 /// IPv4 header fields the simulator cares about.

@@ -15,12 +15,13 @@ use std::sync::Arc;
 use iswitch::cluster::analyze::TraceAnalysis;
 use iswitch::cluster::experiments::{fig15, Scale};
 use iswitch::cluster::{
-    run_chaos, run_convergence, run_cosim, run_timing, run_timing_observed_with, ChaosConfig,
-    ChaosSchedule, ConvergenceConfig, CosimConfig, Strategy, TimingConfig, TraceOptions,
+    run_chaos, run_chaos_isolation, run_convergence, run_cosim, run_multi_tenant, run_timing,
+    run_timing_observed_with, ChaosConfig, ChaosSchedule, ConvergenceConfig, CosimConfig,
+    IsolationConfig, MultiJobConfig, Strategy, TenantSpec, TimingConfig, TraceOptions,
     TransportKind,
 };
 use iswitch::core::CodecKind;
-use iswitch::netsim::{EgressQueue, FattreeShape};
+use iswitch::netsim::{EgressQueue, FattreeShape, SimDuration};
 use iswitch::obs::timeseries::DEFAULT_INTERVAL_NS;
 use iswitch::obs::{parse_timeseries_jsonl, JsonValue, Timeseries};
 use iswitch::rl::Algorithm;
@@ -33,12 +34,17 @@ USAGE:
 
 COMMANDS:
     timing        per-iteration time of one strategy (packet simulation)
+    multi         N concurrent training jobs sharing one switch fabric:
+                  per-tenant slot/byte quotas, deterministic fallback to
+                  host aggregation on slot exhaustion, elastic join/reset
+                  churn; per-tenant artifacts plus a fabric report
     convergence   distributed RL training to a target reward
     scalability   end-to-end speedup across cluster sizes (Fig. 15)
     chaos         seeded fault injection (link outages, loss windows,
                   delay spikes) with protocol invariants checked:
                   gradient conservation, sync barrier, staleness bound,
-                  membership/update consistency, determinism
+                  membership/update consistency, determinism, and (with
+                  --isolation) cross-tenant isolation
     analyze       analyze a causal trace (from `timing --trace-out`):
                   per-round critical path with straggler attribution,
                   stage occupancy, aggregation-latency percentiles, and
@@ -61,8 +67,10 @@ OPTIONS:
                                        derived from the shape (timing,
                                        --strategy isw only)
     --threads <N>                      worker threads driving a --fattree
-                                       run (default 1); every artifact is
-                                       byte-identical for every N
+                                       run, or tenant simulations of a
+                                       multi run (default 1); every
+                                       artifact is byte-identical for
+                                       every N
     --fidelity <timing|cosim>          timing: synthetic payloads, timing
                                        only (default); cosim: real agent
                                        gradients summed by the simulated
@@ -97,6 +105,38 @@ OPTIONS:
                                        share the edge links with the
                                        training traffic (timing only,
                                        single-switch star)
+    --tenants <SPEC,...>               comma-separated tenant specs, each
+                                       NAME=ALG[/STRATEGY] (multi only;
+                                       default: a=ppo/isw,b=a2c/isw)
+    --quota <NAME=SLOTS[/BYTES],...>   guaranteed per-tenant slot (and
+                                       optional buffer-byte) quotas; the
+                                       rest of the fabric is shared on
+                                       demand (multi only)
+    --join <NAME=MS,...>               tenants joining the fabric MS
+                                       milliseconds into the run (multi
+                                       only; §3.2 Join)
+    --reset <NAME=MS,...>              in-band Reset of every switch of the
+                                       named tenants at MS milliseconds of
+                                       tenant-local time (multi only)
+    --fabric-slots <N>                 aggregation slots on the shared
+                                       fabric (multi only; default 65536)
+    --fabric-bytes <N>                 aggregation buffer bytes on the
+                                       shared fabric (multi only)
+    --epoch-ms <N>                     arbitration epoch in simulated
+                                       milliseconds (multi only; default 10)
+    --out-dir <DIR>                    write per-tenant artifacts
+                                       (NAME.report.json, NAME.trace.jsonl)
+                                       plus fabric.json to DIR (multi only)
+    --isolation                        run the I6 cross-tenant isolation
+                                       check instead of the fault matrix: a
+                                       quota'd victim shares the fabric with
+                                       a slot-leaking aggressor and must be
+                                       byte-unperturbed (chaos only)
+    --no-quota                         isolation self-test: drop the
+                                       victim's quota and *require* I6 to
+                                       trip — exits non-zero if the seeded
+                                       leak goes undetected (chaos
+                                       --isolation only)
     --chaos-seed <N>                   fault-schedule seed (chaos only;
                                        default: 1). Same seed => the same
                                        schedule and a byte-identical report
@@ -483,6 +523,164 @@ fn cmd_timing(args: &[String]) {
     }
 }
 
+/// Parses `NAME=VALUE,...` per-tenant assignments.
+fn parse_assignments(args: &[String], flag: &str) -> Vec<(String, String)> {
+    let Some(text) = parse_flag(args, flag) else {
+        return Vec::new();
+    };
+    text.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|pair| {
+            let Some((name, value)) = pair.split_once('=') else {
+                eprintln!("{flag} expects NAME=VALUE pairs, got `{pair}`");
+                exit(2);
+            };
+            (name.to_owned(), value.to_owned())
+        })
+        .collect()
+}
+
+fn cmd_multi(args: &[String]) {
+    let iterations = parse_usize(args, "--iterations");
+    let seed = parse_usize(args, "--seed").map(|s| s as u64).unwrap_or(42);
+    let quotas = parse_assignments(args, "--quota");
+    let joins = parse_assignments(args, "--join");
+    let resets = parse_assignments(args, "--reset");
+
+    let spec_text =
+        parse_flag(args, "--tenants").unwrap_or_else(|| "a=ppo/isw,b=a2c/isw".to_owned());
+    let mut specs = Vec::new();
+    for (i, spec) in spec_text.split(',').filter(|s| !s.is_empty()).enumerate() {
+        let Some((name, job_text)) = spec.split_once('=') else {
+            eprintln!("--tenants expects NAME=ALG[/STRATEGY] specs, got `{spec}`");
+            exit(2);
+        };
+        let (alg_text, strat_text) = match job_text.split_once('/') {
+            Some((a, s)) => (a, s),
+            None => (job_text, "isw"),
+        };
+        let alg = match alg_text {
+            "ppo" => Algorithm::Ppo,
+            "dqn" => Algorithm::Dqn,
+            "a2c" => Algorithm::A2c,
+            "ddpg" => Algorithm::Ddpg,
+            other => {
+                eprintln!("tenant `{name}`: unknown algorithm `{other}`");
+                exit(2);
+            }
+        };
+        let strategy = match strat_text {
+            "isw" => Strategy::SyncIsw,
+            "ps" => Strategy::SyncPs,
+            "ar" => Strategy::SyncAr,
+            "async-ps" => Strategy::AsyncPs,
+            "async-isw" => Strategy::AsyncIsw,
+            other => {
+                eprintln!("tenant `{name}`: unknown strategy `{other}`");
+                exit(2);
+            }
+        };
+        let mut job = TimingConfig::main_cluster(alg, strategy);
+        if let Some(n) = iterations {
+            job.iterations = n;
+        }
+        job.seed = seed.wrapping_add(i as u64);
+        let mut tenant = TenantSpec::new(name, i as u64 + 1, job);
+        let assigned = |list: &[(String, String)]| -> Option<String> {
+            list.iter().find(|(n, _)| n == name).map(|(_, v)| v.clone())
+        };
+        if let Some(q) = assigned(&quotas) {
+            let (slots_text, bytes_text) = match q.split_once('/') {
+                Some((s, b)) => (s.to_owned(), Some(b.to_owned())),
+                None => (q, None),
+            };
+            let slots: u32 = slots_text.parse().unwrap_or_else(|_| {
+                eprintln!("tenant `{name}`: --quota expects a slot count, got `{slots_text}`");
+                exit(2);
+            });
+            let bytes: usize = bytes_text.map_or(1 << 24, |b| {
+                b.parse().unwrap_or_else(|_| {
+                    eprintln!("tenant `{name}`: --quota expects a byte count, got `{b}`");
+                    exit(2);
+                })
+            });
+            tenant = tenant.with_quota(slots, bytes);
+        }
+        let millis = |v: String, flag: &str| -> SimDuration {
+            SimDuration::from_millis(v.parse().unwrap_or_else(|_| {
+                eprintln!("tenant `{name}`: {flag} expects milliseconds, got `{v}`");
+                exit(2);
+            }))
+        };
+        if let Some(at) = assigned(&joins) {
+            tenant = tenant.with_join_at(millis(at, "--join"));
+        }
+        if let Some(at) = assigned(&resets) {
+            tenant = tenant.with_reset_at(millis(at, "--reset"));
+        }
+        specs.push(tenant);
+    }
+    for (n, _) in quotas.iter().chain(&joins).chain(&resets) {
+        if !specs.iter().any(|t| t.name == *n) {
+            eprintln!("`{n}` names no tenant in --tenants");
+            exit(2);
+        }
+    }
+
+    let mut cfg = MultiJobConfig::new(specs);
+    if let Some(s) = parse_usize(args, "--fabric-slots") {
+        cfg.fabric.slots = s as u32;
+    }
+    if let Some(b) = parse_usize(args, "--fabric-bytes") {
+        cfg.fabric.buffer_bytes = b;
+    }
+    if let Some(ms) = parse_usize(args, "--epoch-ms") {
+        cfg.fabric.epoch = SimDuration::from_millis(ms.max(1) as u64);
+    }
+    cfg.threads = parse_usize(args, "--threads").unwrap_or(1).max(1);
+
+    println!(
+        "simulating {} tenants on a shared fabric ({} slots, epoch {})…",
+        cfg.tenants.len(),
+        cfg.fabric.slots,
+        cfg.fabric.epoch
+    );
+    let out = run_multi_tenant(&cfg);
+    println!(
+        "{:<10} {:<10} {:>16} {:>9} {:>10} {:>12}",
+        "tenant", "strategy", "per-iteration", "denials", "fallback", "finished"
+    );
+    for (t, spec) in out.tenants.iter().zip(&cfg.tenants) {
+        println!(
+            "{:<10} {:<10} {:>16} {:>9} {:>9.1}% {:>12}",
+            t.name,
+            spec.job.strategy.label(),
+            t.observation.result.per_iteration.to_string(),
+            t.slot_denials,
+            t.fallback_fraction() * 100.0,
+            SimDuration::from_nanos(t.finished_at.as_nanos()).to_string(),
+        );
+    }
+
+    if let Some(dir) = parse_flag(args, "--out-dir") {
+        for t in &out.tenants {
+            let report = format!("{}/{}.report.json", dir, t.name);
+            write_artifact(
+                &report,
+                &format!("{}\n", t.observation.report_json().render()),
+            );
+            let trace = format!("{}/{}.trace.jsonl", dir, t.name);
+            write_artifact(&trace, &t.observation.trace.to_jsonl());
+        }
+        let fabric = format!("{dir}/fabric.json");
+        write_artifact(&fabric, &format!("{}\n", out.fabric_report.render()));
+        println!(
+            "per-tenant artifacts and fabric.json written to {dir}/ ({} tenants)",
+            out.tenants.len()
+        );
+    }
+}
+
 fn cmd_convergence(args: &[String]) {
     let alg = parse_algorithm(args);
     let mut cfg = ConvergenceConfig::sync_main(alg);
@@ -539,7 +737,51 @@ fn cmd_scalability(args: &[String]) {
     }
 }
 
+/// The I6 cross-tenant isolation check (`chaos --isolation`). With
+/// `--no-quota` the polarity flips: the run *must* trip (the harness
+/// self-test), and an undetected leak exits non-zero.
+fn cmd_chaos_isolation(args: &[String]) {
+    let chaos_seed = parse_usize(args, "--chaos-seed").unwrap_or(1) as u64;
+    let expect_trip = args.iter().any(|a| a == "--no-quota");
+    let mut cfg = IsolationConfig::new(chaos_seed);
+    if expect_trip {
+        cfg.victim_quota = 0;
+    }
+    if let Some(n) = parse_usize(args, "--iterations") {
+        cfg.iterations = n;
+    }
+    let report = run_chaos_isolation(&cfg);
+    println!(
+        "I6 isolation seed={} quota={} victim: denials={} fallback={} — {}",
+        chaos_seed,
+        cfg.victim_quota,
+        report.victim_denials,
+        report.victim_fallback_rounds,
+        if report.passed() { "ok" } else { "VIOLATED" }
+    );
+    for v in &report.violations {
+        println!("    {v}");
+    }
+    if let Some(path) = parse_flag(args, "--report-out") {
+        write_artifact(&path, &format!("{}\n", report.to_json().render()));
+        println!("report written to {path}");
+    }
+    if expect_trip {
+        if report.passed() {
+            eprintln!("self-test FAILED: the seeded slot leak went undetected without a quota");
+            exit(1);
+        }
+        println!("self-test ok: the unquota'd victim was perturbed, as the leak predicts");
+    } else if !report.passed() {
+        exit(1);
+    }
+}
+
 fn cmd_chaos(args: &[String]) {
+    if args.iter().any(|a| a == "--isolation") {
+        cmd_chaos_isolation(args);
+        return;
+    }
     let alg = parse_algorithm(args);
     let strategies: Vec<Strategy> = if parse_flag(args, "--strategy").is_some() {
         vec![parse_strategy(args)]
@@ -652,6 +894,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("timing") => cmd_timing(&args[1..]),
+        Some("multi") => cmd_multi(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("convergence") => cmd_convergence(&args[1..]),
         Some("scalability") => cmd_scalability(&args[1..]),
